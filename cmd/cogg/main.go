@@ -1,0 +1,117 @@
+// Command cogg is the code generator generator: it accepts a code
+// generator specification and produces the driving tables, reporting the
+// statistics of the paper's Tables 1 and 2.
+//
+// Usage:
+//
+//	cogg [flags] [spec-file]
+//
+// Without a spec file the built-in Amdahl 470 specification is used; the
+// names "amdahl470", "amdahl-minimal", and "risc32" select the other
+// built-ins.
+//
+//	-stats      print Table 1 (grammar and parse table statistics)
+//	-sizes      print Table 2 (artifact sizes in 4096-byte pages)
+//	-conflicts  print resolved parse conflicts
+//	-check      report structural table diagnostics
+//	-state N    describe automaton state N
+//	-o FILE     write the serialized table module
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cogg/internal/core"
+	"cogg/internal/lr"
+	"cogg/internal/tables"
+	"cogg/specs"
+)
+
+func main() {
+	stats := flag.Bool("stats", true, "print Table 1 statistics")
+	sizes := flag.Bool("sizes", false, "print Table 2 sizes (pages)")
+	conflicts := flag.Bool("conflicts", false, "print resolved conflicts")
+	check := flag.Bool("check", false, "report structural table diagnostics")
+	state := flag.Int("state", -1, "describe one automaton state")
+	out := flag.String("o", "", "write the serialized table module to this file")
+	flag.Parse()
+
+	name, src, err := loadSpec(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cg, err := core.Generate(name, src)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Printf("Table 1 — %s\n%s\n", name, cg.Table1())
+	}
+	if *sizes {
+		t2, err := cg.Table2()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Table 2 — %s (sizes in pages)\n%s\n", name, t2)
+	}
+	if *conflicts {
+		for _, c := range cg.Table.Conflicts {
+			kind := "shift/reduce -> shift"
+			if c.Kind == lr.ReduceReduce {
+				kind = "reduce/reduce -> longest"
+			}
+			fmt.Printf("state %4d on %-16s %s (chosen %v over %v)\n",
+				c.State, cg.Automaton.SymName(c.Sym), kind, c.Chosen, c.Losers)
+		}
+		fmt.Printf("%d conflicts resolved\n", len(cg.Table.Conflicts))
+	}
+	if *check {
+		issues := lr.CheckTable(cg.Table)
+		for _, is := range issues {
+			fmt.Printf("state %4d: %s\n", is.State, is.Msg)
+		}
+		fmt.Printf("%d diagnostics\n", len(issues))
+	}
+	if *state >= 0 {
+		if *state >= len(cg.Automaton.States) {
+			fatal(fmt.Errorf("state %d out of range (automaton has %d states)", *state, len(cg.Automaton.States)))
+		}
+		fmt.Print(cg.Automaton.Describe(*state))
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sz, err := cg.Encode(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d bytes (%.1f pages; templates %.1f, compressed table %.1f)\n",
+			*out, sz.Total, tables.Pages(sz.Total), tables.Pages(sz.Templates), tables.Pages(sz.Compressed))
+	}
+}
+
+func loadSpec(arg string) (string, string, error) {
+	switch arg {
+	case "", "amdahl470":
+		return "amdahl470.cogg", specs.Amdahl470, nil
+	case "amdahl-minimal", "minimal":
+		return "amdahl-minimal.cogg", specs.AmdahlMinimal, nil
+	case "risc32":
+		return "risc32.cogg", specs.Risc32, nil
+	}
+	b, err := os.ReadFile(arg)
+	if err != nil {
+		return "", "", err
+	}
+	return arg, string(b), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cogg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command ifcgen drives a generated code generator over textual
+// intermediate form directly — the tool for debugging code generator
+// specifications without a front end in the loop.
+//
+// Usage:
+//
+//	ifcgen [flags] [if-file]
+//
+// The IF is read from the file or standard input, as whitespace
+// separated tokens ("assign fullword dsp.100 r.13 iadd ...").
+//
+//	-spec NAME   specification (amdahl470, amdahl-minimal, risc32, or a path)
+//	-risc        use the risc32 target configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cogg/internal/asm"
+	"cogg/internal/driver"
+	"cogg/internal/ir"
+	"cogg/internal/labels"
+	"cogg/internal/rt370"
+	"cogg/specs"
+)
+
+func main() {
+	specName := flag.String("spec", "amdahl470", "code generator specification")
+	risc := flag.Bool("risc", false, "use the risc32 target configuration")
+	trace := flag.Bool("trace", false, "trace every parser action to stderr")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	toks, err := ir.ParseTokens(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	sName, sSrc, err := loadSpec(*specName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := rt370.Config()
+	if *risc {
+		cfg = driver.RiscConfig()
+	}
+	if *trace {
+		cfg.Trace = os.Stderr
+	}
+	tgt, err := driver.NewTargetWithConfig(sName, sSrc, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	prog, res, err := tgt.Gen.Generate("ifcgen", toks)
+	if err != nil {
+		fatal(err)
+	}
+	if err := labels.Layout(prog, tgt.Machine); err != nil {
+		fatal(err)
+	}
+	fmt.Print(asm.Listing(prog, tgt.Machine))
+	fmt.Printf("%d tokens, %d reductions, %d instructions\n",
+		len(toks), res.Reductions, prog.InstructionCount())
+}
+
+func loadSpec(arg string) (string, string, error) {
+	switch arg {
+	case "amdahl470":
+		return "amdahl470.cogg", specs.Amdahl470, nil
+	case "amdahl-minimal", "minimal":
+		return "amdahl-minimal.cogg", specs.AmdahlMinimal, nil
+	case "risc32":
+		return "risc32.cogg", specs.Risc32, nil
+	}
+	b, err := os.ReadFile(arg)
+	if err != nil {
+		return "", "", err
+	}
+	return arg, string(b), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ifcgen:", err)
+	os.Exit(1)
+}

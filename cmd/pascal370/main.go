@@ -1,0 +1,172 @@
+// Command pascal370 is the complete compiler: Pascal source through the
+// shaper, the IF optimizer, and the table-driven code generator to an
+// S/370 object deck, optionally executed on the simulator.
+//
+// Usage:
+//
+//	pascal370 [flags] program.pas
+//
+//	-spec NAME   code generator specification (amdahl470, amdahl-minimal,
+//	             or a file path; default amdahl470)
+//	-S           print the assembly listing
+//	-if          print the linearized intermediate form
+//	-cse         run the IF optimizer (common subexpressions)
+//	-checks      emit subscript checks
+//	-deck FILE   write the object deck (80-column loader records)
+//	-run         execute on the simulator
+//	-set n=v     initialize variable n before running (repeatable)
+//	-print a,b   print listed variables after the run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cogg/internal/driver"
+	"cogg/internal/ifopt"
+	"cogg/internal/ir"
+	"cogg/internal/s370"
+	"cogg/internal/shaper"
+	"cogg/specs"
+)
+
+type setFlags map[string]int32
+
+func (s setFlags) String() string { return "" }
+
+func (s setFlags) Set(v string) error {
+	name, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("expected name=value, got %q", v)
+	}
+	n, err := strconv.ParseInt(val, 10, 32)
+	if err != nil {
+		return err
+	}
+	s[name] = int32(n)
+	return nil
+}
+
+func main() {
+	specName := flag.String("spec", "amdahl470", "code generator specification")
+	listing := flag.Bool("S", false, "print the assembly listing")
+	showIF := flag.Bool("if", false, "print the linearized intermediate form")
+	cse := flag.Bool("cse", false, "run the IF optimizer")
+	checks := flag.Bool("checks", false, "emit subscript checks")
+	uninit := flag.Bool("uninit", false, "abort on reads of uninitialized integers")
+	deck := flag.String("deck", "", "write the object deck to this file")
+	dis := flag.Bool("dis", false, "disassemble the object text (verifies the encoder)")
+	run := flag.Bool("run", false, "execute on the simulator")
+	printVars := flag.String("print", "", "comma separated variables to print after -run")
+	inits := setFlags{}
+	flag.Var(inits, "set", "initialize a variable: name=value")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pascal370 [flags] program.pas")
+		os.Exit(2)
+	}
+	srcFile := flag.Arg(0)
+	src, err := os.ReadFile(srcFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	sName, sSrc, err := loadSpec(*specName)
+	if err != nil {
+		fatal(err)
+	}
+	tgt, err := driver.NewTarget(sName, sSrc)
+	if err != nil {
+		fatal(err)
+	}
+	opt := shaper.Options{StatementRecords: true, SubscriptChecks: *checks, UninitChecks: *uninit}
+	if *cse {
+		opt.CSE = ifopt.New().Apply
+	}
+	c, err := tgt.Compile(srcFile, string(src), opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *showIF {
+		fmt.Println(ir.FormatTokens(c.Tokens))
+	}
+	if *listing {
+		fmt.Print(c.Listing())
+	}
+	fmt.Printf("%s: %d IF tokens, %d reductions, %d instructions, %d code bytes\n",
+		srcFile, len(c.Tokens), c.Result.Reductions,
+		c.Prog.InstructionCount(), c.Prog.CodeSize)
+
+	if *dis {
+		m, ok := tgt.Machine.(*s370.Machine)
+		if !ok {
+			fatal(fmt.Errorf("-dis supports the s370 target only"))
+		}
+		for _, txt := range c.Deck.Texts {
+			if txt.Addr >= c.Prog.Origin && txt.Addr < c.Prog.Origin+c.Prog.CodeSize {
+				fmt.Print(s370.DisassembleAll(m, txt.Data, txt.Addr))
+			}
+		}
+	}
+	if *deck != "" {
+		f, err := os.Create(*deck)
+		if err != nil {
+			fatal(err)
+		}
+		if err := c.Deck.WriteCards(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d text bytes\n", *deck, c.Deck.TotalTextBytes())
+	}
+	if *run {
+		cpu, err := c.Run(inits, 50_000_000)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("executed %d instructions\n", cpu.Steps)
+		if out := driver.Output(cpu); len(out) > 0 {
+			fmt.Print("output:")
+			for _, v := range out {
+				fmt.Printf(" %d", v)
+			}
+			fmt.Println()
+		}
+		if *printVars != "" {
+			for _, name := range strings.Split(*printVars, ",") {
+				name = strings.TrimSpace(name)
+				v, err := driver.Word(cpu, c, name)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("  %s = %d\n", name, v)
+			}
+		}
+	}
+}
+
+func loadSpec(arg string) (string, string, error) {
+	switch arg {
+	case "amdahl470":
+		return "amdahl470.cogg", specs.Amdahl470, nil
+	case "amdahl-minimal", "minimal":
+		return "amdahl-minimal.cogg", specs.AmdahlMinimal, nil
+	}
+	b, err := os.ReadFile(arg)
+	if err != nil {
+		return "", "", err
+	}
+	return arg, string(b), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pascal370:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,292 @@
+// Package cogg is the public interface to the code generator generator
+// and the compiler built around it — a Go implementation of
+//
+//	Peter L. Bird, "An Implementation of a Code Generator Specification
+//	Language for Table Driven Code Generators", PLDI 1982.
+//
+// Three layers are exposed:
+//
+//   - GenerateTables runs CoGG itself: a specification in the language of
+//     the paper's Appendix 2 goes in, SLR driving tables and their
+//     statistics (the paper's Tables 1 and 2) come out.
+//   - NewS370Target / NewRISCTarget instantiate the table-driven code
+//     generator for a target runtime.
+//   - Target.CompilePascal runs the complete compiler — front end,
+//     shaper, IF optimizer, table-driven code generation, label
+//     resolution, loader — and Program.Run executes the object module on
+//     the built-in S/370 simulator.
+//
+// The built-in specifications are exported by package cogg/specs; the
+// implementation lives under internal/ (see DESIGN.md for the map).
+package cogg
+
+import (
+	"fmt"
+	"io"
+
+	"cogg/internal/driver"
+	"cogg/internal/ifopt"
+	"cogg/internal/ir"
+	"cogg/internal/pascal"
+	"cogg/internal/shaper"
+	"cogg/internal/tables"
+)
+
+// TableStats are the grammar and parse-table statistics of one CoGG run:
+// the rows of the paper's Table 1.
+type TableStats struct {
+	SymbolsDeclared    int
+	ParseSymbols       int // X dimension of the parse table
+	States             int
+	Entries            int
+	SignificantEntries int
+	Productions        int
+	Templates          int
+	ProductionOps      int
+	SemanticOps        int
+	ConflictsResolved  int
+}
+
+// TableSizes are the serialized artifact sizes in 4096-byte pages: the
+// rows of the paper's Table 2.
+type TableSizes struct {
+	TemplatePages     float64
+	CompressedPages   float64
+	UncompressedPages float64
+}
+
+// Tables is the product of one CoGG run over a specification.
+type Tables struct {
+	target *driver.Target
+}
+
+// GenerateTables runs the table constructor over specification source
+// and prepares a code generator for the standard S/370 runtime. name is
+// used in diagnostics.
+func GenerateTables(name, source string) (*Tables, error) {
+	t, err := driver.NewTarget(name, source)
+	if err != nil {
+		return nil, err
+	}
+	return &Tables{target: t}, nil
+}
+
+// Stats reports the Table 1 statistics.
+func (t *Tables) Stats() TableStats {
+	s := t.target.CG.ComputeStats()
+	return TableStats{
+		SymbolsDeclared:    s.SymbolsDeclared,
+		ParseSymbols:       s.ParseSymbols,
+		States:             s.States,
+		Entries:            s.Entries,
+		SignificantEntries: s.SignificantEntries,
+		Productions:        s.Productions,
+		Templates:          s.Templates,
+		ProductionOps:      s.ProductionOps,
+		SemanticOps:        s.SemanticOps,
+		ConflictsResolved:  s.Conflicts,
+	}
+}
+
+// Sizes reports the Table 2 artifact sizes.
+func (t *Tables) Sizes() (TableSizes, error) {
+	sz, err := t.target.CG.Sizes()
+	if err != nil {
+		return TableSizes{}, err
+	}
+	return TableSizes{
+		TemplatePages:     tables.Pages(sz.Templates),
+		CompressedPages:   tables.Pages(sz.Compressed),
+		UncompressedPages: tables.Pages(sz.Uncompressed),
+	}, nil
+}
+
+// WriteTo serializes the table module (symbols, template array,
+// compressed parse table); a code generator can be reconstituted from it
+// without re-running the table constructor.
+func (t *Tables) WriteTo(w io.Writer) (int64, error) {
+	sz, err := t.target.CG.Encode(w)
+	return int64(sz.Total), err
+}
+
+// Target turns the tables into a usable compiler target.
+func (t *Tables) Target() *Target { return &Target{t: t.target} }
+
+// Target is a ready-to-use code generator plus target machine.
+type Target struct {
+	t *driver.Target
+}
+
+// NewS370Target builds the standard target from specification source
+// (use specs.Amdahl470 or specs.AmdahlMinimal).
+func NewS370Target(name, source string) (*Target, error) {
+	t, err := driver.NewTarget(name, source)
+	if err != nil {
+		return nil, err
+	}
+	return &Target{t: t}, nil
+}
+
+// NewRISCTarget builds the risc32 demonstration target
+// (use specs.Risc32). Programs compile and list; only the S/370 target
+// has a simulator.
+func NewRISCTarget(name, source string) (*Target, error) {
+	t, err := driver.NewTargetWithConfig(name, source, driver.RiscConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Target{t: t}, nil
+}
+
+// Options control the compiler passes around the code generator.
+type Options struct {
+	// SubscriptChecks emits range checks on array subscripts; a failed
+	// check aborts execution and Run reports it.
+	SubscriptChecks bool
+	// CommonSubexpressions runs the IF optimizer (paper section 4.4).
+	CommonSubexpressions bool
+	// StatementRecords stamps emitted instructions with source lines.
+	StatementRecords bool
+	// UninitChecks aborts a run that reads an integer variable before
+	// writing it (the classic MTS Pascal check).
+	UninitChecks bool
+}
+
+// Program is one compiled Pascal program.
+type Program struct {
+	c *driver.Compiled
+}
+
+// CompilePascal runs the complete pipeline over Pascal source.
+func (t *Target) CompilePascal(name, source string, opt Options) (*Program, error) {
+	sopt := shaper.Options{
+		SubscriptChecks:  opt.SubscriptChecks,
+		StatementRecords: opt.StatementRecords,
+		UninitChecks:     opt.UninitChecks,
+	}
+	if opt.CommonSubexpressions {
+		sopt.CSE = ifopt.New().Apply
+	}
+	c, err := t.t.Compile(name, source, sopt)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{c: c}, nil
+}
+
+// TranslateIF drives the code generator over textual intermediate form
+// ("assign fullword dsp.96 r.13 pos_constant v.7") and returns the
+// assembly listing — the spec-debugging entry point.
+func (t *Target) TranslateIF(source string) (string, error) {
+	toks, err := ir.ParseTokens(source)
+	if err != nil {
+		return "", err
+	}
+	prog, _, err := t.t.Gen.Generate("ifcgen", toks)
+	if err != nil {
+		return "", err
+	}
+	c, err := driver.Finish(prog, emptyShaped(), t.t.Machine)
+	if err != nil {
+		return "", err
+	}
+	return c.Listing(), nil
+}
+
+func emptyShaped() *shaper.Shaped {
+	return &shaper.Shaped{
+		VarOffset:  map[string]int64{},
+		PrInit:     map[int]uint32{},
+		ProcLabel:  map[string]int64{},
+		VectorSlot: map[int]int64{},
+	}
+}
+
+// Listing renders the generated assembly.
+func (p *Program) Listing() string { return p.c.Listing() }
+
+// Instructions returns the emitted machine instruction count (the unit
+// of the paper's Appendix 1 comparison).
+func (p *Program) Instructions() int { return p.c.Prog.InstructionCount() }
+
+// CodeBytes returns the laid-out code size.
+func (p *Program) CodeBytes() int { return p.c.Prog.CodeSize }
+
+// WriteDeck writes the object module as 80-column loader records
+// (ESD/TXT/RLD/END).
+func (p *Program) WriteDeck(w io.Writer) error { return p.c.Deck.WriteCards(w) }
+
+// Result is the outcome of one simulated execution.
+type Result struct {
+	prog  *Program
+	cpu   cpuReader
+	Steps int
+	out   []int32
+}
+
+type cpuReader interface {
+	Word(addr uint32) (int32, error)
+	Byte(addr uint32) (byte, error)
+	Half(addr uint32) (int32, error)
+}
+
+// Run executes the program on the S/370 simulator. init seeds
+// main-program variables before entry; maxSteps bounds execution.
+func (p *Program) Run(init map[string]int32, maxSteps int) (*Result, error) {
+	cpu, err := p.c.Run(init, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{prog: p, cpu: cpu, Steps: cpu.Steps, out: driver.Output(cpu)}, nil
+}
+
+// Output returns the integers the program wrote with write/writeln, in
+// order.
+func (r *Result) Output() []int32 { return r.out }
+
+// Int reads a fullword main-program variable.
+func (r *Result) Int(name string) (int32, error) {
+	addr, ok := r.prog.c.VarAddr(name)
+	if !ok {
+		return 0, fmt.Errorf("cogg: unknown variable %q", name)
+	}
+	return r.cpu.Word(addr)
+}
+
+// Bool reads a boolean main-program variable.
+func (r *Result) Bool(name string) (bool, error) {
+	addr, ok := r.prog.c.VarAddr(name)
+	if !ok {
+		return false, fmt.Errorf("cogg: unknown variable %q", name)
+	}
+	b, err := r.cpu.Byte(addr)
+	return b != 0, err
+}
+
+// Element reads one element of a main-program integer array.
+func (r *Result) Element(name string, index int64) (int32, error) {
+	addr, ok := r.prog.c.VarAddr(name)
+	if !ok {
+		return 0, fmt.Errorf("cogg: unknown variable %q", name)
+	}
+	var arr *arrayInfo
+	for _, v := range r.prog.c.Source.Main.Locals {
+		if v.Name == name {
+			if v.Type.Kind != pascal.TArray {
+				return 0, fmt.Errorf("cogg: %q is not an array", name)
+			}
+			arr = &arrayInfo{lo: v.Type.Lo, hi: v.Type.Hi, elem: v.Type.Elem.Size()}
+		}
+	}
+	if arr == nil {
+		return 0, fmt.Errorf("cogg: unknown array %q", name)
+	}
+	if index < arr.lo || index > arr.hi {
+		return 0, fmt.Errorf("cogg: index %d outside %d..%d", index, arr.lo, arr.hi)
+	}
+	return r.cpu.Word(addr + uint32((index-arr.lo)*arr.elem))
+}
+
+type arrayInfo struct {
+	lo, hi, elem int64
+}

@@ -1,0 +1,169 @@
+package cogg_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+	"testing"
+
+	"cogg"
+	"cogg/specs"
+)
+
+// Example demonstrates the whole system in a dozen lines: build a code
+// generator from the full Amdahl 470 specification, compile a Pascal
+// program with it, and execute the object module on the simulator.
+func Example() {
+	target, err := cogg.NewS370Target("amdahl470.cogg", specs.Amdahl470)
+	if err != nil {
+		log.Fatal(err)
+	}
+	program, err := target.CompilePascal("sum.pas", `
+program sum;
+var i, total: integer;
+begin
+  total := 0;
+  for i := 1 to 100 do total := total + i
+end.
+`, cogg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := program.Run(nil, 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total, _ := result.Int("total")
+	fmt.Println("total =", total)
+	// Output: total = 5050
+}
+
+// ExampleGenerateTables shows the table constructor's statistics.
+func ExampleGenerateTables() {
+	tables, err := cogg.GenerateTables("amdahl-minimal.cogg", specs.AmdahlMinimal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := tables.Stats()
+	fmt.Println(s.Productions > 50, s.States > 100, s.SignificantEntries < s.Entries)
+	// Output: true true true
+}
+
+// ExampleTarget_TranslateIF drives the code generator over textual IF.
+func ExampleTarget_TranslateIF() {
+	target, err := cogg.NewS370Target("amdahl470.cogg", specs.Amdahl470)
+	if err != nil {
+		log.Fatal(err)
+	}
+	listing, err := target.TranslateIF(
+		"assign fullword dsp.96 r.13 iadd fullword dsp.96 r.13 fullword dsp.100 r.13")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(listing), "\n")[1:] {
+		fmt.Println(strings.Join(strings.Fields(line)[1:], " "))
+	}
+	// Output:
+	// l r1,100(r13)
+	// a r1,96(r13)
+	// st r1,96(r13)
+}
+
+func TestFacadeDeckAndSizes(t *testing.T) {
+	tbl, err := cogg.GenerateTables("amdahl470.cogg", specs.Amdahl470)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, err := tbl.Sizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz.CompressedPages >= sz.UncompressedPages {
+		t.Error("compression ratio inverted")
+	}
+	var buf bytes.Buffer
+	n, err := tbl.WriteTo(&buf)
+	if err != nil || n != int64(buf.Len()) {
+		t.Fatalf("WriteTo: %d, %v", n, err)
+	}
+
+	p, err := tbl.Target().CompilePascal("t.pas", `
+program t;
+var a: array[1..5] of integer; i: integer; flag: boolean;
+begin
+  for i := 1 to 5 do a[i] := i * i;
+  flag := a[5] = 25
+end.
+`, cogg.Options{CommonSubexpressions: true, StatementRecords: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instructions() == 0 || p.CodeBytes() == 0 {
+		t.Error("empty program")
+	}
+	var deck bytes.Buffer
+	if err := p.WriteDeck(&deck); err != nil {
+		t.Fatal(err)
+	}
+	if deck.Len()%80 != 0 {
+		t.Errorf("deck not card aligned: %d", deck.Len())
+	}
+	res, err := p.Run(nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := res.Element("a", 3); err != nil || v != 9 {
+		t.Errorf("a[3] = %d, %v", v, err)
+	}
+	if ok, err := res.Bool("flag"); err != nil || !ok {
+		t.Errorf("flag = %v, %v", ok, err)
+	}
+	if _, err := res.Element("a", 6); err == nil {
+		t.Error("out-of-range Element succeeded")
+	}
+	if _, err := res.Int("nosuch"); err == nil {
+		t.Error("unknown variable read succeeded")
+	}
+}
+
+func TestFacadeSubscriptChecks(t *testing.T) {
+	target, err := cogg.NewS370Target("amdahl470.cogg", specs.Amdahl470)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := target.CompilePascal("c.pas", `
+program c;
+var a: array[1..4] of integer; i, x: integer;
+begin x := a[i] end.
+`, cogg.Options{SubscriptChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(map[string]int32{"i": 2}, 100_000); err != nil {
+		t.Fatalf("in-range run: %v", err)
+	}
+	if _, err := p.Run(map[string]int32{"i": 9}, 100_000); err == nil {
+		t.Error("out-of-range subscript did not abort")
+	}
+}
+
+func TestFacadeRISC(t *testing.T) {
+	target, err := cogg.NewRISCTarget("risc32.cogg", specs.Risc32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := target.CompilePascal("r.pas", `
+program r;
+var x, y: integer;
+begin
+  x := 6; y := x * 7
+end.
+`, cogg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Listing(), "mul") {
+		t.Errorf("risc listing:\n%s", p.Listing())
+	}
+}

@@ -1,0 +1,93 @@
+// End to end: compile a complete Pascal program — procedures, loops,
+// arrays, a case statement — with the code generator produced from the
+// full Amdahl 470 specification, then execute the object deck on the
+// S/370 simulator and read the results out of storage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cogg/internal/driver"
+	"cogg/internal/ifopt"
+	"cogg/internal/shaper"
+	"cogg/specs"
+)
+
+const program = `
+program sieve;
+var isprime: array[2..50] of 0..1;
+    i, j, count, largest, class2, class3, classbig: integer;
+
+function square(n: integer): integer;
+begin
+  square := n * n
+end;
+
+begin
+  for i := 2 to 50 do isprime[i] := 1;
+  i := 2;
+  while square(i) <= 50 do
+  begin
+    if isprime[i] = 1 then
+    begin
+      j := square(i);
+      while j <= 50 do
+      begin
+        isprime[j] := 0;
+        j := j + i
+      end
+    end;
+    i := i + 1
+  end;
+  count := 0; largest := 0;
+  class2 := 0; class3 := 0; classbig := 0;
+  for i := 2 to 50 do
+    if isprime[i] = 1 then
+    begin
+      count := count + 1;
+      largest := i;
+      writeln(i);
+      case i mod 4 of
+        1: class2 := class2 + 1;
+        2, 3: class3 := class3 + 1
+      else classbig := classbig + 1
+      end
+    end
+end.
+`
+
+func main() {
+	tgt, err := driver.NewTarget("amdahl470.cogg", specs.Amdahl470)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := tgt.Compile("sieve.pas", program, shaper.Options{
+		StatementRecords: true,
+		CSE:              ifopt.New().Apply,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled: %d IF tokens -> %d reductions -> %d instructions (%d bytes)\n",
+		len(c.Tokens), c.Result.Reductions, c.Prog.InstructionCount(), c.Prog.CodeSize)
+
+	cpu, err := c.Run(nil, 10_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed %d simulated instructions\n\n", cpu.Steps)
+	fmt.Print("primes:")
+	for _, v := range driver.Output(cpu) {
+		fmt.Printf(" %d", v)
+	}
+	fmt.Println()
+	for _, v := range []string{"count", "largest", "class2", "class3", "classbig"} {
+		val, err := driver.Word(cpu, c, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s = %d\n", v, val)
+	}
+	fmt.Println("\n(15 primes up to 50; the largest is 47.)")
+}

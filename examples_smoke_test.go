@@ -1,0 +1,36 @@
+package cogg_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example, checking a signature
+// line of each — the guard against examples rotting as the library
+// evolves.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow under -short")
+	}
+	cases := map[string]string{
+		"quickstart": "3 reductions drove 3 instructions",
+		"end2end":    "largest   = 47",
+		"retarget":   "gcd(1071, 462) computed on the simulator: 21",
+		"idioms":     "p  = 720",
+		"appendix1":  "x[9] = 336",
+	}
+	for name, want := range cases {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Errorf("%s output lacks %q:\n%s", name, want, out)
+			}
+		})
+	}
+}

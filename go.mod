@@ -1,0 +1,3 @@
+module cogg
+
+go 1.22

@@ -1,0 +1,239 @@
+// Package asm defines the machine-neutral instruction container that the
+// generated code generator emits into, and the Machine interface each
+// target implements. Retargeting the code generator "merely requires a
+// rewriting of the templates associated with productions and minor
+// modifications of the routines which actually emit the machine
+// instructions" (paper section 6); those routines are the Machine.
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpdKind classifies instruction operands.
+type OpdKind uint8
+
+const (
+	Reg     OpdKind = iota // register
+	Imm                    // immediate: mask, shift count, SI byte
+	Mem                    // disp(index,base)
+	MemLen                 // disp(length,base), SS form
+	LabelOp                // label reference (pseudo instructions only)
+)
+
+// Operand is one fully resolved instruction operand. Register numbers and
+// displacements are final; only label references remain symbolic until
+// layout.
+type Operand struct {
+	Kind  OpdKind
+	Reg   int
+	Val   int64 // immediate, displacement, or label id
+	Index int
+	Base  int
+	Len   int64
+}
+
+// R makes a register operand.
+func R(n int) Operand { return Operand{Kind: Reg, Reg: n} }
+
+// I makes an immediate operand.
+func I(v int64) Operand { return Operand{Kind: Imm, Val: v} }
+
+// M makes a disp(index,base) memory operand.
+func M(disp int64, index, base int) Operand {
+	return Operand{Kind: Mem, Val: disp, Index: index, Base: base}
+}
+
+// ML makes a disp(length,base) memory operand for SS instructions.
+func ML(disp, length int64, base int) Operand {
+	return Operand{Kind: MemLen, Val: disp, Len: length, Base: base}
+}
+
+// L makes a label-reference operand.
+func L(label int64) Operand { return Operand{Kind: LabelOp, Val: label} }
+
+// PseudoKind marks instructions that the target rewrites at layout time.
+type PseudoKind uint8
+
+const (
+	None      PseudoKind = iota
+	Branch               // conditional branch to a label (span dependent)
+	CaseLoad             // branch-table dispatch: load table entry, branch
+	AddrConst            // 4-byte in-code address constant (label_pntr)
+	LabelMark            // zero-size marker defining a label position
+)
+
+// Instr is one emitted instruction or pseudo instruction.
+type Instr struct {
+	Op      string
+	Opds    []Operand
+	Comment string
+	Stmt    int // source statement number, from stmt_record
+
+	Pseudo  PseudoKind
+	Cond    int64 // Branch: condition mask
+	Label   int64 // Branch/AddrConst/LabelMark/CaseLoad: label id
+	Scratch int   // Branch/CaseLoad: register for the long form
+	IndexR  int   // CaseLoad: index register
+	Long    bool  // Branch: long form selected by relaxation
+	PoolIx  int   // literal pool slot for the long form; -1 if none
+
+	Addr int // byte address, assigned by Layout
+	Size int // bytes, assigned by Layout
+}
+
+// PoolEntry is one literal-pool word (an address constant).
+type PoolEntry struct {
+	Label   int64 // label whose address the entry holds, when IsLabel
+	IsLabel bool
+	Value   int64 // explicit value otherwise
+}
+
+// Program is the code buffer for one compilation unit plus its literal
+// pool and the label dictionary entries gathered while parsing the IF.
+type Program struct {
+	Name   string
+	Instrs []Instr
+
+	// Labels maps a label id to the index of the instruction it precedes
+	// (len(Instrs) labels the end). Negative ids are generator-internal.
+	Labels map[int64]int
+
+	Pool []PoolEntry
+
+	Origin     int // load address of the code
+	PoolOrigin int // load address of the literal pool
+	CodeSize   int // bytes, assigned by Layout
+
+	// AbortSites records `abort` semantic operator interpretations:
+	// instruction index -> abort code.
+	AbortSites map[int]int64
+	// CallArgs records `list_request` interpretations: instruction
+	// index -> argument count.
+	CallArgs map[int]int64
+}
+
+// NewProgram returns an empty program.
+func NewProgram(name string) *Program {
+	return &Program{
+		Name:       name,
+		Labels:     make(map[int64]int),
+		AbortSites: make(map[int]int64),
+		CallArgs:   make(map[int]int64),
+	}
+}
+
+// Append adds an instruction and returns its index.
+func (p *Program) Append(in Instr) int {
+	in.PoolIx = -1
+	p.Instrs = append(p.Instrs, in)
+	return len(p.Instrs) - 1
+}
+
+// DefineLabel records that label id labels the position before
+// instruction index instr.
+func (p *Program) DefineLabel(id int64, instr int) error {
+	if old, dup := p.Labels[id]; dup && old != instr {
+		return fmt.Errorf("asm: label %d defined at both instruction %d and %d", id, old, instr)
+	}
+	p.Labels[id] = instr
+	return nil
+}
+
+// LabelAddr returns the byte address of a label after Layout.
+func (p *Program) LabelAddr(id int64) (int, error) {
+	ix, ok := p.Labels[id]
+	if !ok {
+		return 0, fmt.Errorf("asm: undefined label %d", id)
+	}
+	if ix == len(p.Instrs) {
+		return p.Origin + p.CodeSize, nil
+	}
+	return p.Instrs[ix].Addr, nil
+}
+
+// AddPoolLabel allocates (or reuses) a pool slot holding the address of
+// label id and returns its index.
+func (p *Program) AddPoolLabel(id int64) int {
+	for i, e := range p.Pool {
+		if e.IsLabel && e.Label == id {
+			return i
+		}
+	}
+	p.Pool = append(p.Pool, PoolEntry{Label: id, IsLabel: true})
+	return len(p.Pool) - 1
+}
+
+// PoolAddr returns the byte address of pool slot i.
+func (p *Program) PoolAddr(i int) int { return p.PoolOrigin + 4*i }
+
+// InstructionCount returns the number of real machine instructions
+// (pseudo markers and address constants excluded), the unit of the
+// Appendix 1 comparisons.
+func (p *Program) InstructionCount() int {
+	n := 0
+	for i := range p.Instrs {
+		switch p.Instrs[i].Pseudo {
+		case LabelMark, AddrConst:
+		case Branch:
+			n++
+			if p.Instrs[i].Long {
+				n++ // load of the target address from the pool
+			}
+		case CaseLoad:
+			n += 4
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// Machine is implemented by each target architecture.
+type Machine interface {
+	// Name returns the target name ("s370", "risc32").
+	Name() string
+	// SizeOf returns the byte size of an instruction in its current form
+	// (pseudo branches report their short or long form per in.Long).
+	SizeOf(in *Instr) (int, error)
+	// ShortBranchReach reports whether a branch at the given address can
+	// reach target in its short form.
+	ShortBranchReach(p *Program, branchAddr, target int) bool
+	// Encode produces the final bytes of one laid-out instruction.
+	// Pseudo instructions expand to their full sequences.
+	Encode(p *Program, in *Instr) ([]byte, error)
+	// Format renders one instruction in the target assembly syntax.
+	Format(in *Instr) string
+}
+
+// Listing renders the program as a human-readable assembly listing.
+func Listing(p *Program, m Machine) string {
+	labelAt := map[int][]int64{}
+	for id, ix := range p.Labels {
+		if id >= 0 {
+			labelAt[ix] = append(labelAt[ix], id)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "* %s  (%s, origin %#x)\n", p.Name, m.Name(), p.Origin)
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		for _, id := range labelAt[i] {
+			fmt.Fprintf(&b, "L%d:\n", id)
+		}
+		if in.Pseudo == LabelMark {
+			continue
+		}
+		text := m.Format(in)
+		if in.Comment != "" {
+			fmt.Fprintf(&b, "%08x  %-36s %s\n", in.Addr, text, in.Comment)
+		} else {
+			fmt.Fprintf(&b, "%08x  %s\n", in.Addr, text)
+		}
+	}
+	for _, id := range labelAt[len(p.Instrs)] {
+		fmt.Fprintf(&b, "L%d:\n", id)
+	}
+	return b.String()
+}

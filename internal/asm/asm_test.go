@@ -1,0 +1,79 @@
+package asm_test
+
+import (
+	"strings"
+	"testing"
+
+	"cogg/internal/asm"
+	"cogg/internal/s370"
+)
+
+func TestOperandConstructors(t *testing.T) {
+	if r := asm.R(5); r.Kind != asm.Reg || r.Reg != 5 {
+		t.Errorf("R: %+v", r)
+	}
+	if i := asm.I(42); i.Kind != asm.Imm || i.Val != 42 {
+		t.Errorf("I: %+v", i)
+	}
+	if m := asm.M(100, 3, 13); m.Kind != asm.Mem || m.Val != 100 || m.Index != 3 || m.Base != 13 {
+		t.Errorf("M: %+v", m)
+	}
+	if ml := asm.ML(8, 7, 13); ml.Kind != asm.MemLen || ml.Len != 7 {
+		t.Errorf("ML: %+v", ml)
+	}
+	if l := asm.L(9); l.Kind != asm.LabelOp || l.Val != 9 {
+		t.Errorf("L: %+v", l)
+	}
+}
+
+func TestProgramPool(t *testing.T) {
+	p := asm.NewProgram("T")
+	p.PoolOrigin = 0x8800
+	a := p.AddPoolLabel(4)
+	b := p.AddPoolLabel(7)
+	c := p.AddPoolLabel(4)
+	if a != c || a == b {
+		t.Errorf("pool slots: %d %d %d", a, b, c)
+	}
+	if p.PoolAddr(b) != 0x8804 {
+		t.Errorf("PoolAddr = %#x", p.PoolAddr(b))
+	}
+}
+
+func TestInstructionCount(t *testing.T) {
+	p := asm.NewProgram("T")
+	p.Append(asm.Instr{Op: "lr"})
+	p.Append(asm.Instr{Pseudo: asm.LabelMark, Label: 1})
+	p.Append(asm.Instr{Pseudo: asm.AddrConst, Label: 1})
+	p.Append(asm.Instr{Pseudo: asm.Branch, Cond: 15, Label: 1})
+	p.Append(asm.Instr{Pseudo: asm.Branch, Cond: 15, Label: 1, Long: true})
+	p.Append(asm.Instr{Pseudo: asm.CaseLoad, Label: 1})
+	// lr(1) + short branch(1) + long branch(2) + caseload(4) = 8.
+	if got := p.InstructionCount(); got != 8 {
+		t.Errorf("InstructionCount = %d, want 8", got)
+	}
+}
+
+func TestLabelAddrUndefined(t *testing.T) {
+	p := asm.NewProgram("T")
+	if _, err := p.LabelAddr(3); err == nil {
+		t.Error("undefined label resolved")
+	}
+}
+
+func TestListing(t *testing.T) {
+	m := s370.NewMachine(0x8000)
+	p := asm.NewProgram("LIST")
+	p.Origin = 0x1000
+	p.Append(asm.Instr{Op: "l", Opds: []asm.Operand{asm.R(1), asm.M(100, 0, 13)}, Comment: "load X"})
+	_ = p.DefineLabel(7, 1)
+	p.Append(asm.Instr{Op: "bcr", Opds: []asm.Operand{asm.I(15), asm.R(14)}})
+	p.Instrs[0].Addr = 0x1000
+	p.Instrs[1].Addr = 0x1004
+	text := asm.Listing(p, m)
+	for _, want := range []string{"LIST", "L7:", "load X", "l     r1,100(r13)", "bcr"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("listing lacks %q:\n%s", want, text)
+		}
+	}
+}

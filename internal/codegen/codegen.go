@@ -1,0 +1,170 @@
+// Package codegen is the skeletal parser and code emission routine of a
+// code generator produced by CoGG (paper section 3).
+//
+// The generator performs a bottom-up parse of the linearized prefix
+// intermediate form using the SLR tables constructed by package lr. When
+// a reduction occurs the code emission routine removes the production
+// from the parse stack, allocates all registers requested by the
+// production's templates, fills in the required values (registers,
+// displacements, ...), intercepts templates that require semantic
+// intervention, appends the remaining instructions to the code buffer,
+// and prefixes the left-hand side — with its semantic value — to the
+// input stream.
+package codegen
+
+import (
+	"fmt"
+	"io"
+
+	"cogg/internal/asm"
+	"cogg/internal/cse"
+	"cogg/internal/grammar"
+	"cogg/internal/ir"
+	"cogg/internal/regalloc"
+	"cogg/internal/tables"
+)
+
+// Config carries the target-dependent portions of the code generator:
+// the register classes behind the grammar's nonterminals and the handful
+// of emission routines that must change when retargeting.
+type Config struct {
+	Machine asm.Machine
+
+	// Classes describes the register classes named by the grammar's
+	// nonterminals.
+	Classes []regalloc.Class
+
+	// MoveOp maps a register class to the register-to-register copy
+	// opcode used for `need` evictions ("r" -> "lr").
+	MoveOp map[string]string
+
+	// SaveOp maps a CSE width to the store opcode used when a `modifies`
+	// operator forces a register-resident CSE into its memory home.
+	SaveOp map[cse.Width]string
+
+	// LoadOddOps maps the load_odd_* semantic operators to the opcodes
+	// that fill the odd half of an even/odd pair.
+	LoadOddOps map[string]string
+
+	// FindCommonType maps a CSE width to the IF type operator prefixed
+	// to the input when the CSE must be reloaded from storage.
+	FindCommonType map[cse.Width]string
+
+	// Origin and PoolOrigin are the load addresses of code and of the
+	// literal pool inside the runtime constant area.
+	Origin     int
+	PoolOrigin int
+
+	// Trace, when non-nil, receives one line per parser action (shift,
+	// reduce, prefix-to-input) — the spec-debugging view of the skeletal
+	// parser at work.
+	Trace io.Writer
+}
+
+// Generator is a code generator instantiated from a table module.
+type Generator struct {
+	mod *tables.Module
+	cfg Config
+
+	classNames map[int]string // nonterminal symbol ID -> register class name
+	pairClass  map[string]bool
+}
+
+// New builds a Generator, verifying that the grammar's register
+// nonterminals all have classes and that every semantic operator the
+// productions use is known to the emission routine.
+func New(mod *tables.Module, cfg Config) (*Generator, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("codegen: config has no target machine")
+	}
+	g := &Generator{
+		mod:        mod,
+		cfg:        cfg,
+		classNames: make(map[int]string),
+		pairClass:  make(map[string]bool),
+	}
+	byName := make(map[string]regalloc.Class, len(cfg.Classes))
+	for _, c := range cfg.Classes {
+		byName[c.Name] = c
+		if c.Pair {
+			g.pairClass[c.Name] = true
+		}
+	}
+	gr := mod.Grammar
+	for _, s := range gr.Syms {
+		if s.Kind != grammar.Nonterminal || s.ID == gr.Lambda {
+			continue
+		}
+		if _, ok := byName[s.Name]; !ok {
+			return nil, fmt.Errorf("codegen: nonterminal %q has no register class in the configuration", s.Name)
+		}
+		g.classNames[s.ID] = s.Name
+	}
+	for _, p := range gr.Prods {
+		for _, t := range p.Templates {
+			if !t.Semantic {
+				continue
+			}
+			name := gr.SymName(t.Op)
+			if !knownSemantic(name) {
+				return nil, fmt.Errorf("codegen: production %d uses semantic operator %q unknown to the code emission routine",
+					p.Num, name)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Grammar returns the generator's grammar.
+func (g *Generator) Grammar() *grammar.Grammar { return g.mod.Grammar }
+
+// Result reports statistics of one translation.
+type Result struct {
+	Reductions   int
+	Instructions int
+	// ProdCounts maps production number to the number of times it was
+	// used to reduce, the raw material of the grammar-complexity sweep.
+	ProdCounts map[int]int
+}
+
+// Generate translates one linearized IF program into a code buffer. The
+// returned program still requires labels.Layout and loader.Build.
+func (g *Generator) Generate(name string, toks []ir.Token) (*asm.Program, *Result, error) {
+	ra, err := regalloc.New(g.cfg.Classes)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := &run{
+		g:     g,
+		gr:    g.mod.Grammar,
+		ra:    ra,
+		cses:  cse.New(),
+		prog:  asm.NewProgram(name),
+		input: newInputQueue(toks),
+		res:   &Result{ProdCounts: make(map[int]int)},
+	}
+	r.prog.Origin = g.cfg.Origin
+	r.prog.PoolOrigin = g.cfg.PoolOrigin
+	r.autoLabel = -1
+	if err := r.parse(); err != nil {
+		return nil, nil, err
+	}
+	r.res.Instructions = r.prog.InstructionCount()
+	return r.prog, r.res, nil
+}
+
+// classOf returns the register class name for a nonterminal symbol ID, or
+// "" when the symbol is not a register class.
+func (g *Generator) classOf(sym int) string { return g.classNames[sym] }
+
+// GenError is a code generation failure with parse position context.
+type GenError struct {
+	Pos   int // index of the offending token in the input stream
+	Token ir.Token
+	State int
+	Msg   string
+}
+
+func (e *GenError) Error() string {
+	return fmt.Sprintf("codegen: at token %d (%s, state %d): %s", e.Pos, e.Token, e.State, e.Msg)
+}

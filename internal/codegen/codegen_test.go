@@ -1,0 +1,211 @@
+package codegen_test
+
+import (
+	"strings"
+	"testing"
+
+	"cogg/internal/asm"
+	"cogg/internal/codegen"
+	"cogg/internal/core"
+	"cogg/internal/ir"
+	"cogg/internal/labels"
+	"cogg/internal/loader"
+	"cogg/internal/rt370"
+	"cogg/internal/s370/sim"
+)
+
+// miniSpec is a small but complete specification exercising loads, adds
+// with memory operands (maximal munch), stores, compares, branches, and
+// labels.
+const miniSpec = `
+$Non-terminals
+ r = register
+ cc = condition
+$Terminals
+ dsp = displacement
+ lbl = label
+ cond = condition_mask
+$Operators
+ fullword, iadd, isub, assign, icompare, branch_op, label_def
+$Opcodes
+ l, st, a, s, ar, sr, cr, c, lr
+$Constants
+ using, need, modifies, branch, label_location, skip, ignore_lhs
+ zero = 0, fifteen = 15
+$Productions
+r.2 ::= fullword dsp.1 r.1
+ using r.2
+ l r.2,dsp.1(zero,r.1)
+r.1 ::= iadd r.1 r.2
+ modifies r.1
+ ar r.1,r.2
+r.2 ::= iadd r.2 fullword dsp.1 r.1
+ modifies r.2
+ a r.2,dsp.1(zero,r.1)
+r.2 ::= iadd fullword dsp.1 r.1 r.2
+ modifies r.2
+ a r.2,dsp.1(zero,r.1)
+r.1 ::= isub r.1 r.2
+ modifies r.1
+ sr r.1,r.2
+r.2 ::= isub r.2 fullword dsp.1 r.1
+ modifies r.2
+ s r.2,dsp.1(zero,r.1)
+lambda ::= assign fullword dsp.1 r.1 r.2
+ st r.2,dsp.1(zero,r.1)
+cc.1 ::= icompare r.1 r.2
+ using cc.1
+ cr r.1,r.2
+cc.1 ::= icompare r.2 fullword dsp.1 r.1
+ using cc.1
+ c r.2,dsp.1(zero,r.1)
+lambda ::= branch_op lbl.1 cond.1 cc.1
+ using r.3
+ branch cond.1,lbl.1,r.3
+lambda ::= branch_op lbl.1
+ using r.3
+ branch fifteen,lbl.1,r.3
+lambda ::= label_def lbl.1
+ label_location lbl.1
+`
+
+func buildMini(t *testing.T) *codegen.Generator {
+	t.Helper()
+	cg, err := core.Generate("mini.cogg", miniSpec)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	gen, err := cg.NewGenerator(rt370.Config())
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return gen
+}
+
+func mustTokens(t *testing.T, text string) []ir.Token {
+	t.Helper()
+	toks, err := ir.ParseTokens(text)
+	if err != nil {
+		t.Fatalf("ParseTokens: %v", err)
+	}
+	return toks
+}
+
+// TestAddStatement reproduces the paper's introductory example: for
+// A := A + B the generator emits load, add, store.
+func TestAddStatement(t *testing.T) {
+	gen := buildMini(t)
+	// assign fullword(dsp.100, r.13), iadd(fullword(dsp.100,r.13), fullword(dsp.104,r.13))
+	toks := mustTokens(t, "assign fullword dsp.100 r.13 iadd fullword dsp.100 r.13 fullword dsp.104 r.13")
+	prog, res, err := gen.Generate("ADD", toks)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var ops []string
+	for i := range prog.Instrs {
+		ops = append(ops, prog.Instrs[i].Op)
+	}
+	want := []string{"l", "a", "st"}
+	if strings.Join(ops, " ") != strings.Join(want, " ") {
+		t.Fatalf("emitted %v, want %v", ops, want)
+	}
+	if res.Reductions == 0 {
+		t.Fatal("no reductions recorded")
+	}
+	// The add-from-memory production must win over load-then-AR
+	// (maximal munch / longest right side).
+	if prog.Instrs[1].Op != "a" {
+		t.Fatalf("expected storage add, got %q", prog.Instrs[1].Op)
+	}
+}
+
+// TestExecution runs generated code in the simulator: C := (A + B) - D.
+func TestExecution(t *testing.T) {
+	gen := buildMini(t)
+	toks := mustTokens(t,
+		"assign fullword dsp.108 r.13 isub iadd fullword dsp.100 r.13 fullword dsp.104 r.13 fullword dsp.112 r.13")
+	prog, _, err := gen.Generate("EXEC", toks)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	appendReturn(prog)
+	c := runProgramWith(t, prog, map[int]int32{100: 10, 104: 21, 112: 4})
+	got, err := c.Word(uint32(rt370.DataOrigin + 108))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 27 {
+		t.Fatalf("C = %d, want 27", got)
+	}
+}
+
+// TestBranching compiles a conditional: if A < B then C := 1 flavor IF,
+// expressed directly in IF tokens, and executes both arms.
+func TestBranching(t *testing.T) {
+	gen := buildMini(t)
+	source := "branch_op lbl.1 cond.10 icompare fullword dsp.100 r.13 fullword dsp.104 r.13 " +
+		// then-arm: C := A
+		"assign fullword dsp.108 r.13 fullword dsp.100 r.13 " +
+		"branch_op lbl.2 " +
+		"label_def lbl.1 " +
+		// else-arm: C := B
+		"assign fullword dsp.108 r.13 fullword dsp.104 r.13 " +
+		"label_def lbl.2"
+	// cond.10 = mask 10 (not low): branch to else when A >= B.
+	toks := mustTokens(t, source)
+	prog, _, err := gen.Generate("BR", toks)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	appendReturn(prog)
+
+	c := runProgram(t, prog) // A=10 < B=21: fall through, C := A
+	got, _ := c.Word(uint32(rt370.DataOrigin + 108))
+	if got != 10 {
+		t.Fatalf("C = %d, want 10 (then-arm)", got)
+	}
+
+	// Second run with A >= B.
+	c2 := runProgramWith(t, prog, map[int]int32{100: 50, 104: 21})
+	got2, _ := c2.Word(uint32(rt370.DataOrigin + 108))
+	if got2 != 21 {
+		t.Fatalf("C = %d, want 21 (else-arm)", got2)
+	}
+}
+
+// appendReturn adds the conventional `bcr 15,r14` epilogue.
+func appendReturn(prog *asm.Program) {
+	prog.Append(asm.Instr{Op: "bcr", Opds: []asm.Operand{asm.I(15), asm.R(14)}})
+}
+
+func runProgram(t *testing.T, prog *asm.Program) *sim.CPU {
+	return runProgramWith(t, prog, map[int]int32{100: 10, 104: 21})
+}
+
+func runProgramWith(t *testing.T, prog *asm.Program, vars map[int]int32) *sim.CPU {
+	t.Helper()
+	m := rt370.Machine()
+	if err := labels.Layout(prog, m); err != nil {
+		t.Fatalf("Layout: %v", err)
+	}
+	deck, err := loader.Build(prog, m)
+	if err != nil {
+		t.Fatalf("loader.Build: %v", err)
+	}
+	c, err := rt370.NewCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := deck.LoadInto(c.Mem, 0); err != nil {
+		t.Fatalf("LoadInto: %v", err)
+	}
+	for off, v := range vars {
+		if err := c.SetWord(uint32(rt370.DataOrigin+off), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Run(100000); err != nil {
+		t.Fatalf("Run: %v\nlisting:\n%s", err, asm.Listing(prog, m))
+	}
+	return c
+}

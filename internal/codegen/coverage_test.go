@@ -1,0 +1,199 @@
+package codegen_test
+
+import (
+	"strings"
+	"testing"
+
+	"cogg/internal/asm"
+)
+
+// TestQuadPrecisionStorage: load_extended/store_extended expand to
+// register-pair LD/STD sequences over two long floating registers.
+func TestQuadPrecisionStorage(t *testing.T) {
+	g := amdahlGen(t)
+	p := gen(t, g, "assign quadrealword dsp.96 r.13 quadrealword dsp.200 r.13")
+	got := ops(p)
+	if got != "ld ld std std" {
+		t.Fatalf("quad move sequence %q", got)
+	}
+	// The halves sit eight bytes apart.
+	if p.Instrs[0].Opds[1].Val != 200 || p.Instrs[1].Opds[1].Val != 208 {
+		t.Errorf("load displacements %d/%d", p.Instrs[0].Opds[1].Val, p.Instrs[1].Opds[1].Val)
+	}
+	if p.Instrs[2].Opds[1].Val != 96 || p.Instrs[3].Opds[1].Val != 104 {
+		t.Errorf("store displacements %d/%d", p.Instrs[2].Opds[1].Val, p.Instrs[3].Opds[1].Val)
+	}
+	// Register halves: f and f+2.
+	if p.Instrs[1].Opds[0].Reg != p.Instrs[0].Opds[0].Reg+2 {
+		t.Errorf("pair registers %d/%d", p.Instrs[0].Opds[0].Reg, p.Instrs[1].Opds[0].Reg)
+	}
+}
+
+// TestVarAssignMVCL: the computed-length block move loads both pairs and
+// issues MVCL (paper production 12).
+func TestVarAssignMVCL(t *testing.T) {
+	g := amdahlGen(t)
+	p := gen(t, g, "var_assign addr dsp.96 r.13 addr dsp.600 r.13 fullword dsp.1000 r.13")
+	got := ops(p)
+	if !strings.HasSuffix(got, "mvcl") {
+		t.Fatalf("sequence %q does not end in MVCL", got)
+	}
+	if strings.Count(got, "lr") < 4 {
+		t.Errorf("MVCL setup needs four register copies: %q", got)
+	}
+	var mvcl *asm.Instr
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == "mvcl" {
+			mvcl = &p.Instrs[i]
+		}
+	}
+	if mvcl.Opds[0].Reg%2 != 0 || mvcl.Opds[1].Reg%2 != 0 {
+		t.Errorf("MVCL operands are not even pair bases: %v", mvcl.Opds)
+	}
+}
+
+// TestUninitCheck: the check production compares against the pattern and
+// calls the not_initialized stub.
+func TestUninitCheck(t *testing.T) {
+	g := amdahlGen(t)
+	p := gen(t, g, "assign fullword dsp.96 r.13 uninit_check fullword dsp.100 r.13 fullword dsp.104 r.13")
+	got := ops(p)
+	if !strings.Contains(got, "c bal") {
+		t.Fatalf("check sequence missing: %q", got)
+	}
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == "bal" {
+			if p.Instrs[i].Opds[1].Val != 224 { // not_initialized offset
+				t.Errorf("BAL to %d, want the not_initialized stub at 224", p.Instrs[i].Opds[1].Val)
+			}
+		}
+	}
+}
+
+// TestRangeCheckRegisters: the register form of range_check.
+func TestRangeCheckRegisters(t *testing.T) {
+	g := amdahlGen(t)
+	p := gen(t, g, "assign fullword dsp.96 r.13 "+
+		"range_check fullword dsp.100 r.13 pos_constant v.1 pos_constant v.10")
+	got := ops(p)
+	// Bounds load into registers, then CR/BAL pairs.
+	if strings.Count(got, "bal") != 2 || strings.Count(got, "cr") != 2 {
+		t.Fatalf("register range check sequence %q", got)
+	}
+}
+
+// TestIndexedBooleanAnd: the indexed boolean_and production computes the
+// byte address with LA before the TM chain.
+func TestIndexedBooleanAnd(t *testing.T) {
+	g := amdahlGen(t)
+	p := gen(t, g, "assign byteword dsp.96 r.13 "+
+		"boolean_and byteword pos_constant v.2 dsp.100 r.13 byteword dsp.104 r.13")
+	got := ops(p)
+	if !strings.Contains(got, "la") || strings.Count(got, "tm") != 2 {
+		t.Fatalf("indexed and sequence %q", got)
+	}
+}
+
+// TestSetBitIndexedElement: set_bit_value with an index register and a
+// constant element mask.
+func TestSetBitIndexedElement(t *testing.T) {
+	g := amdahlGen(t)
+	p := gen(t, g, "set_bit_value byteword pos_constant v.3 dsp.100 r.13 elmnt.64")
+	got := ops(p)
+	if !strings.HasSuffix(got, "oi") {
+		t.Fatalf("sequence %q", got)
+	}
+	last := p.Instrs[len(p.Instrs)-1]
+	if last.Opds[1].Val != 64 {
+		t.Errorf("OI mask %d", last.Opds[1].Val)
+	}
+}
+
+// TestDynamicBitTest: the computed-element membership test emits the
+// DIV-8/MOD-8 shift sequence of the paper's production 144.
+func TestDynamicBitTest(t *testing.T) {
+	g := amdahlGen(t)
+	p := gen(t, g, "assign byteword dsp.96 r.13 "+
+		"test_bit_value addr dsp.100 r.13 fullword dsp.200 r.13")
+	got := ops(p)
+	for _, want := range []string{"srl", "sll", "ic", "n"} {
+		if !strings.Contains(" "+got+" ", " "+want+" ") {
+			t.Fatalf("dynamic bit test lacks %q: %q", want, got)
+		}
+	}
+}
+
+// TestShiftByRegister: the variable-shift production passes the count in
+// a base register.
+func TestShiftByRegister(t *testing.T) {
+	g := amdahlGen(t)
+	p := gen(t, g, "assign fullword dsp.96 r.13 "+
+		"l_shift fullword dsp.100 r.13 fullword dsp.104 r.13")
+	var sla *asm.Instr
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == "sla" {
+			sla = &p.Instrs[i]
+		}
+	}
+	if sla == nil {
+		t.Fatalf("no SLA in %q", ops(p))
+	}
+	if sla.Opds[1].Kind != asm.Mem || sla.Opds[1].Base == 0 {
+		t.Errorf("shift count not register-relative: %+v", sla.Opds[1])
+	}
+}
+
+// TestConversionsAreMoves: precision conversions emit register renames.
+func TestConversionsAreMoves(t *testing.T) {
+	g := amdahlGen(t)
+	p := gen(t, g, "assign dblrealword dsp.96 r.13 s_d_cnvrt realword dsp.104 r.13")
+	got := ops(p)
+	if got != "le ldr std" {
+		t.Errorf("conversion sequence %q", got)
+	}
+}
+
+// TestMinimalOperandErrors: template interpretation failures carry
+// production context.
+func TestClearXC(t *testing.T) {
+	g := amdahlGen(t)
+	p := gen(t, g, "clear addr dsp.96 r.13 lng.16")
+	var xc *asm.Instr
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == "xc" {
+			xc = &p.Instrs[i]
+		}
+	}
+	if xc == nil {
+		t.Fatalf("no XC in %q", ops(p))
+	}
+	if xc.Opds[0].Len != 15 {
+		t.Errorf("XC length code %d, want 15", xc.Opds[0].Len)
+	}
+	if xc.Opds[0].Base != xc.Opds[1].Base {
+		t.Errorf("XC must clear in place: %v", xc.Opds)
+	}
+}
+
+// TestMVIStoreProduction: a boolean literal store is a single MVI.
+func TestMVIStoreProduction(t *testing.T) {
+	g := amdahlGen(t)
+	p := gen(t, g, "assign byteword dsp.96 r.13 pos_constant v.1")
+	if got := ops(p); got != "mvi" {
+		t.Errorf("byte literal store = %q, want a single mvi", got)
+	}
+	if p.Instrs[0].Opds[1].Val != 1 {
+		t.Errorf("MVI immediate %d", p.Instrs[0].Opds[1].Val)
+	}
+}
+
+// TestCompareLiteralProduction: compare against a small constant
+// materializes it with LA inside one reduction.
+func TestCompareLiteralProduction(t *testing.T) {
+	g := amdahlGen(t)
+	p := gen(t, g, "branch_op lbl.1 cond.8 icompare fullword dsp.96 r.13 pos_constant v.7 label_def lbl.1")
+	got := ops(p)
+	if got != "l la cr branch" {
+		t.Errorf("literal compare sequence %q", got)
+	}
+}

@@ -1,0 +1,38 @@
+package codegen_test
+
+import (
+	"sync"
+	"testing"
+
+	"cogg/internal/ir"
+)
+
+// TestGeneratorConcurrency: one Generator serves concurrent Generate
+// calls (each run carries its own allocator, stack, and code buffer).
+func TestGeneratorConcurrency(t *testing.T) {
+	g := amdahlGen(t)
+	toks, err := ir.ParseTokens(
+		"assign fullword dsp.96 r.13 iadd fullword dsp.100 r.13 imult fullword dsp.104 r.13 fullword dsp.108 r.13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, _, err := g.Generate("PAR", toks); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

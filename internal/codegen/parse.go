@@ -1,0 +1,200 @@
+package codegen
+
+import (
+	"fmt"
+	"io"
+
+	"cogg/internal/asm"
+	"cogg/internal/cse"
+	"cogg/internal/grammar"
+	"cogg/internal/ir"
+	"cogg/internal/lr"
+	"cogg/internal/regalloc"
+)
+
+// inputQueue is the parser's input stream with prefix pushback: reduced
+// left sides (and the tokens produced by find_common) are prefixed to the
+// stream and consumed before the remaining IF.
+type inputQueue struct {
+	front []ir.Token // pushback, consumed last-in-first-out... see push
+	toks  []ir.Token
+	pos   int // consumed count of toks
+}
+
+func newInputQueue(toks []ir.Token) *inputQueue { return &inputQueue{toks: toks} }
+
+// peek returns the next token; ok is false at end of input.
+func (q *inputQueue) peek() (ir.Token, bool) {
+	if n := len(q.front); n > 0 {
+		return q.front[n-1], true
+	}
+	if q.pos < len(q.toks) {
+		return q.toks[q.pos], true
+	}
+	return ir.Token{}, false
+}
+
+// consume removes the token returned by peek.
+func (q *inputQueue) consume() {
+	if n := len(q.front); n > 0 {
+		q.front = q.front[:n-1]
+		return
+	}
+	q.pos++
+}
+
+// prefix pushes a sequence of tokens so that seq[0] is consumed next.
+func (q *inputQueue) prefix(seq ...ir.Token) {
+	for i := len(seq) - 1; i >= 0; i-- {
+		q.front = append(q.front, seq[i])
+	}
+}
+
+// rewriteRegs substitutes register tokens of one class after an eviction.
+func (q *inputQueue) rewriteRegs(sym string, from, to int64) {
+	for i := range q.front {
+		if q.front[i].Sym == sym && q.front[i].Val == from {
+			q.front[i].Val = to
+		}
+	}
+}
+
+// stackEntry is one parse/translation stack element.
+type stackEntry struct {
+	state int
+	sym   int
+	val   int64
+}
+
+// run is the state of one translation.
+type run struct {
+	g     *Generator
+	gr    *grammar.Grammar
+	ra    *regalloc.File
+	cses  *cse.Table
+	prog  *asm.Program
+	input *inputQueue
+	stack []stackEntry
+	res   *Result
+
+	autoLabel int64 // allocator for generator-internal (negative) labels
+	stmtNum   int   // current source statement, from stmt_record
+
+	// per-reduction state
+	pendingSkips []pendingSkip
+}
+
+type pendingSkip struct {
+	label     int64
+	remaining int64
+}
+
+// parse runs the skeletal LR parser to completion.
+func (r *run) parse() error {
+	r.stack = append(r.stack[:0], stackEntry{state: 0, sym: -1})
+	// Every step either consumes an input token or reduces (popping at
+	// least one stack entry after pushing bounded pushback); bound the
+	// loop generously to catch non-uniformly-reducible grammars, which
+	// Glanville's construction rejects statically.
+	limit := 64*(len(r.input.toks)+8) + 4096
+	for steps := 0; ; steps++ {
+		if steps > limit {
+			return &GenError{Pos: r.input.pos, State: r.top().state,
+				Msg: "parser appears to be looping (grammar is not uniformly reducible)"}
+		}
+		tok, ok := r.input.peek()
+		sym := 0
+		if !ok {
+			sym = len(r.g.mod.Packed.ColOf) - 1 // end-marker symbol id
+		} else {
+			s, found := r.gr.Lookup(tok.Sym)
+			if !found {
+				return &GenError{Pos: r.input.pos, Token: tok, State: r.top().state,
+					Msg: fmt.Sprintf("symbol %q is not declared in the code generator specification", tok.Sym)}
+			}
+			switch s.Kind {
+			case grammar.Operator, grammar.Terminal, grammar.Nonterminal:
+				sym = s.ID
+			default:
+				return &GenError{Pos: r.input.pos, Token: tok, State: r.top().state,
+					Msg: fmt.Sprintf("%s %q cannot occur in the intermediate form", s.Kind, tok.Sym)}
+			}
+		}
+
+		act := r.g.mod.Packed.Lookup(r.top().state, sym)
+		if w := r.g.cfg.Trace; w != nil {
+			r.traceAction(w, tok, ok, act)
+		}
+		switch act.Kind() {
+		case lr.Accept:
+			if len(r.stack) != 1 {
+				return &GenError{Pos: r.input.pos, State: r.top().state,
+					Msg: fmt.Sprintf("input exhausted with %d symbols left on the parse stack", len(r.stack)-1)}
+			}
+			return nil
+		case lr.Shift:
+			r.stack = append(r.stack, stackEntry{state: act.Target(), sym: sym, val: tok.Val})
+			r.input.consume()
+		case lr.Reduce:
+			if err := r.reduce(r.gr.Prods[act.Target()]); err != nil {
+				return err
+			}
+		default:
+			return r.syntaxError(tok, ok)
+		}
+	}
+}
+
+func (r *run) top() *stackEntry { return &r.stack[len(r.stack)-1] }
+
+// traceAction writes one spec-debugging line for the pending action.
+func (r *run) traceAction(w io.Writer, tok ir.Token, haveTok bool, act lr.Action) {
+	lookahead := "$end"
+	if haveTok {
+		lookahead = tok.String()
+	}
+	switch act.Kind() {
+	case lr.Shift:
+		fmt.Fprintf(w, "state %4d  shift  %-16s -> state %d\n", r.top().state, lookahead, act.Target())
+	case lr.Reduce:
+		p := r.gr.Prods[act.Target()]
+		fmt.Fprintf(w, "state %4d  reduce %-16s by %d: %s\n", r.top().state, lookahead, p.Num, r.gr.ProdString(p))
+	case lr.Accept:
+		fmt.Fprintf(w, "state %4d  accept\n", r.top().state)
+	default:
+		fmt.Fprintf(w, "state %4d  ERROR on %s\n", r.top().state, lookahead)
+	}
+}
+
+// syntaxError builds the blocking diagnostic: the specification cannot
+// translate this IF shape, and per the paper the generator "will stop and
+// signal an error" rather than emit a wrong sequence.
+func (r *run) syntaxError(tok ir.Token, haveTok bool) error {
+	desc := "end of input"
+	if haveTok {
+		desc = fmt.Sprintf("token %q", tok.String())
+	}
+	stackSyms := ""
+	for _, e := range r.stack[1:] {
+		stackSyms += " " + r.gr.SymName(e.sym)
+	}
+	return &GenError{Pos: r.input.pos, Token: tok, State: r.top().state,
+		Msg: fmt.Sprintf("no action for %s (stack:%s); the specification cannot translate this IF shape", desc, stackSyms)}
+}
+
+// nextAutoLabel allocates a generator-internal label id (< 0).
+func (r *run) nextAutoLabel() int64 {
+	id := r.autoLabel
+	r.autoLabel--
+	return id
+}
+
+// holdCSEUses returns the extra use count that register (class, n)
+// carries on behalf of live CSEs.
+func (r *run) holdCSEUses(class string, n int) int {
+	total := 0
+	for _, e := range r.cses.HeldIn(class, n) {
+		total += e.Uses
+	}
+	return total
+}

@@ -1,0 +1,255 @@
+package codegen
+
+import (
+	"fmt"
+
+	"cogg/internal/asm"
+	"cogg/internal/grammar"
+	"cogg/internal/ir"
+)
+
+// reduction is the transient state of one execution of the code emission
+// routine.
+type reduction struct {
+	prod   *grammar.Prod
+	bind   map[grammar.Ref]int64 // resolved value of every tagged occurrence
+	popped []stackEntry
+
+	// allocated tracks registers allocated for this production by
+	// `using`/`need`; consumed members (push_odd, find_common) are
+	// removed so the leftovers can be released at the end.
+	allocated map[grammar.Ref]bool
+
+	ignoreLHS bool
+	// pushed lists tokens prefixed to the input by the templates
+	// (push_odd, find_common), in prefix order.
+	pushed []ir.Token
+}
+
+// reduce executes the code emission routine for production p, following
+// the structure of the paper's section 3 pseudo-code.
+func (r *run) reduce(p *grammar.Prod) error {
+	r.ra.Tick()
+	r.res.Reductions++
+	r.res.ProdCounts[p.Num]++
+
+	// Remove the current production from the parse stack.
+	n := len(p.RHS)
+	if len(r.stack)-1 < n {
+		return &GenError{Pos: r.input.pos, State: r.top().state,
+			Msg: fmt.Sprintf("reduce of production %d needs %d stack symbols, have %d", p.Num, n, len(r.stack)-1)}
+	}
+	red := &reduction{
+		prod:      p,
+		bind:      make(map[grammar.Ref]int64),
+		popped:    append([]stackEntry(nil), r.stack[len(r.stack)-n:]...),
+		allocated: make(map[grammar.Ref]bool),
+	}
+	r.stack = r.stack[:len(r.stack)-n]
+	for i, sym := range p.RHS {
+		if tag := p.RHSTags[i]; tag >= 0 {
+			red.bind[grammar.Ref{Sym: sym, Tag: tag}] = red.popped[i].val
+		}
+	}
+
+	// Allocate all requested registers at once, before acting on any
+	// template (paper section 4.1).
+	if err := r.allocate(red); err != nil {
+		return err
+	}
+
+	// Fill in required values and act on each associated template.
+	r.pendingSkips = r.pendingSkips[:0]
+	for ti := range p.Templates {
+		t := &p.Templates[ti]
+		if t.Semantic {
+			if err := r.intervene(red, t); err != nil {
+				return r.templateErr(p, t, err)
+			}
+			continue
+		}
+		in, err := r.buildInstr(red, t)
+		if err != nil {
+			return r.templateErr(p, t, err)
+		}
+		r.emit(in)
+	}
+	if len(r.pendingSkips) > 0 {
+		// A trailing skip may legitimately complete at the end of the
+		// production's sequence; anything else is a template error.
+		for _, ps := range r.pendingSkips {
+			if ps.remaining > 0 {
+				return &GenError{Pos: r.input.pos, State: r.top().state,
+					Msg: fmt.Sprintf("production %d: skip of %d instructions extends past its template sequence", p.Num, ps.remaining)}
+			}
+		}
+		r.pendingSkips = r.pendingSkips[:0]
+	}
+
+	// Release operand registers consumed from the parse stack, keeping
+	// the occurrence the left side reuses.
+	lambda := r.gr.IsLambda(p.LHS)
+	pushLHS := !lambda && !red.ignoreLHS
+	var lhsClass string
+	var lhsVal int64
+	if pushLHS {
+		lhsClass = r.g.classOf(p.LHS)
+		v, ok := red.bind[grammar.Ref{Sym: p.LHS, Tag: p.LHSTag}]
+		if !ok {
+			// Class-conversion production ("r.l ::= d.l"): the value of
+			// the same-tagged right-side nonterminal transfers.
+			for ref, rv := range red.bind {
+				if ref.Tag == p.LHSTag && r.gr.KindOf(ref.Sym) == grammar.Nonterminal {
+					v, ok = rv, true
+				}
+			}
+		}
+		if !ok {
+			return &GenError{Pos: r.input.pos, State: r.top().state,
+				Msg: fmt.Sprintf("production %d: left side %s.%d has no value", p.Num, r.gr.SymName(p.LHS), p.LHSTag)}
+		}
+		lhsVal = v
+	}
+	keptLHS := false
+	for i, e := range red.popped {
+		class := r.g.classOf(p.RHS[i])
+		if class == "" {
+			continue
+		}
+		if pushLHS && !keptLHS && class == lhsClass && e.val == lhsVal {
+			keptLHS = true
+			continue
+		}
+		r.ra.DecUse(class, int(e.val))
+	}
+	// The LHS register was allocated for this production; its single use
+	// transfers to the prefixed token.
+	if pushLHS {
+		delete(red.allocated, grammar.Ref{Sym: p.LHS, Tag: p.LHSTag})
+	}
+
+	// Release transient registers: scratch registers for skips and long
+	// branches, linkage registers taken with `need`.
+	for ref := range red.allocated {
+		class := r.g.classOf(ref.Sym)
+		if class == "" {
+			continue
+		}
+		v := red.bind[ref]
+		if r.g.pairClass[class] {
+			if err := r.ra.FreePair(class, int(v)); err != nil {
+				return err
+			}
+			continue
+		}
+		r.ra.DecUse(class, int(v))
+	}
+
+	// Prefix the LHS (and any tokens pushed by the templates) to the
+	// input stream. Lambda productions complete a statement: the parse
+	// stack must be back at the bottom.
+	if pushLHS {
+		red.pushed = append(red.pushed, ir.Token{Sym: r.gr.SymName(p.LHS), Val: lhsVal})
+	}
+	if len(red.pushed) > 0 {
+		r.input.prefix(red.pushed...)
+	}
+	if lambda && len(r.stack) != 1 {
+		return &GenError{Pos: r.input.pos, State: r.top().state,
+			Msg: fmt.Sprintf("statement production %d reduced with %d symbols still on the parse stack", p.Num, len(r.stack)-1)}
+	}
+	return nil
+}
+
+// allocate performs the up-front register allocation for one production.
+func (r *run) allocate(red *reduction) error {
+	for _, ref := range red.prod.Uses {
+		class := r.g.classOf(ref.Sym)
+		if class == "" {
+			return fmt.Errorf("codegen: using %s.%d: not a register class", r.gr.SymName(ref.Sym), ref.Tag)
+		}
+		n, err := r.ra.Using(class)
+		if err != nil {
+			return &GenError{Pos: r.input.pos, State: r.top().state,
+				Msg: fmt.Sprintf("production %d: %v", red.prod.Num, err)}
+		}
+		red.bind[ref] = int64(n)
+		red.allocated[ref] = true
+	}
+	for _, ref := range red.prod.Needs {
+		class := r.g.classOf(ref.Sym)
+		if class == "" {
+			return fmt.Errorf("codegen: need %s.%d: not a register class", r.gr.SymName(ref.Sym), ref.Tag)
+		}
+		moves, err := r.ra.Need(class, ref.Tag)
+		if err != nil {
+			return &GenError{Pos: r.input.pos, State: r.top().state,
+				Msg: fmt.Sprintf("production %d: %v", red.prod.Num, err)}
+		}
+		for _, mv := range moves {
+			if err := r.materializeMove(red, mv.Class, mv.From, mv.To); err != nil {
+				return err
+			}
+		}
+		red.bind[ref] = int64(ref.Tag)
+		red.allocated[ref] = true
+	}
+	return nil
+}
+
+// materializeMove emits the register copy for a `need` eviction and
+// rewrites every holder of the old register: the translation stack, the
+// pushback queue, the current bindings, and the CSE table.
+func (r *run) materializeMove(red *reduction, class string, from, to int) error {
+	op, ok := r.g.cfg.MoveOp[class]
+	if !ok {
+		return fmt.Errorf("codegen: no move opcode configured for register class %q", class)
+	}
+	r.emit(asm.Instr{Op: op, Opds: []asm.Operand{asm.R(to), asm.R(from)},
+		Comment: fmt.Sprintf("evicted for need r%d", from)})
+	symName := class // nonterminal name is the class name
+	for i := range r.stack {
+		if r.gr.SymName(r.stack[i].sym) == symName && r.stack[i].val == int64(from) {
+			r.stack[i].val = int64(to)
+		}
+	}
+	for i := range red.popped {
+		if r.gr.SymName(red.popped[i].sym) == symName && red.popped[i].val == int64(from) {
+			red.popped[i].val = int64(to)
+		}
+	}
+	for ref, v := range red.bind {
+		if v == int64(from) && r.g.classOf(ref.Sym) == class {
+			red.bind[ref] = int64(to)
+		}
+	}
+	r.input.rewriteRegs(symName, int64(from), int64(to))
+	r.cses.MoveReg(class, from, to)
+	return nil
+}
+
+// emit appends one instruction to the code buffer, resolving pending
+// skip targets and stamping the source statement number.
+func (r *run) emit(in asm.Instr) int {
+	in.Stmt = r.stmtNum
+	ix := r.prog.Append(in)
+	for i := range r.pendingSkips {
+		ps := &r.pendingSkips[i]
+		if ps.remaining > 0 {
+			ps.remaining--
+			if ps.remaining == 0 {
+				// The label lands after this instruction.
+				_ = r.prog.DefineLabel(ps.label, ix+1)
+			}
+		}
+	}
+	return ix
+}
+
+func (r *run) templateErr(p *grammar.Prod, t *grammar.Template, err error) error {
+	if _, ok := err.(*GenError); ok {
+		return err
+	}
+	return &GenError{Pos: r.input.pos, State: r.top().state,
+		Msg: fmt.Sprintf("production %d, template %q (line %d): %v", p.Num, r.gr.SymName(t.Op), t.Line, err)}
+}

@@ -1,0 +1,56 @@
+package codegen_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cogg/internal/grammar"
+	"cogg/internal/ir"
+)
+
+// TestRobustRandomIF: arbitrary token streams over the grammar's
+// alphabet must produce code or a diagnostic — never a panic and never
+// a hang (the step bound catches non-terminating parses).
+func TestRobustRandomIF(t *testing.T) {
+	g := amdahlGen(t)
+	var syms []ir.Token
+	for _, s := range g.Grammar().Syms {
+		switch s.Kind {
+		case grammar.Operator:
+			syms = append(syms, ir.Token{Sym: s.Name})
+		case grammar.Terminal:
+			syms = append(syms, ir.Token{Sym: s.Name, Val: 100})
+		case grammar.Nonterminal:
+			if s.Name != "lambda" {
+				syms = append(syms, ir.Token{Sym: s.Name, Val: 5})
+			}
+		}
+	}
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("seed %d panicked: %v", seed, r)
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		toks := make([]ir.Token, n)
+		for i := range toks {
+			toks[i] = syms[r.Intn(len(syms))]
+			// Vary values across the interesting ranges.
+			switch r.Intn(4) {
+			case 0:
+				toks[i].Val = int64(r.Intn(4096))
+			case 1:
+				toks[i].Val = int64(r.Intn(16))
+			}
+		}
+		_, _, _ = g.Generate("FUZZIF", toks)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,459 @@
+package codegen
+
+import (
+	"fmt"
+
+	"cogg/internal/asm"
+	"cogg/internal/cse"
+	"cogg/internal/grammar"
+	"cogg/internal/ir"
+)
+
+// The semantic operators interpreted by the code emission routine. The
+// specification declares them in its $Constants section; the table
+// constructor verifies at generation time that every one it uses appears
+// here (paper section 4 lists the categories: register allocation and
+// symbol table management, machine idioms, and context sensitive
+// manipulations of the parse/translation stack).
+var semanticOps = map[string]bool{
+	"using": true, "need": true, "modifies": true,
+	"ignore_lhs": true, "IBM_length": true, "ibm_length": true,
+	"push_odd": true, "push_even": true,
+	"load_odd_addr": true, "load_odd_full": true, "load_odd_half": true, "load_odd_reg": true,
+	"label_location": true, "label_pntr": true,
+	"branch": true, "branch_indexed": true, "skip": true, "case_load": true,
+	"abort": true, "stmt_record": true, "list_request": true,
+	"full_common": true, "half_common": true, "byte_common": true,
+	"real_common": true, "dreal_common": true,
+	"find_common": true, "find_real_common": true,
+	"load_extended": true, "store_extended": true, "clear_extended": true,
+}
+
+func knownSemantic(name string) bool { return semanticOps[name] }
+
+// SemanticOpCount returns the number of semantic operators the emission
+// routine implements (entry ix of Table 1 counts those a grammar uses).
+func SemanticOpCount() int { return len(semanticOps) }
+
+// intervene interprets one semantic template.
+func (r *run) intervene(red *reduction, t *grammar.Template) error {
+	name := r.gr.SymName(t.Op)
+	switch name {
+	case "using", "need":
+		return nil // handled by the up-front allocation
+
+	case "modifies":
+		return r.semModifies(red, t)
+
+	case "ignore_lhs":
+		red.ignoreLHS = true
+		return nil
+
+	case "IBM_length", "ibm_length":
+		// IBM SS instructions encode a length of n as n-1; rebind the
+		// terminal so subsequent templates see the encoded value.
+		ref, err := r.refOperand(red, t, 0)
+		if err != nil {
+			return err
+		}
+		v := red.bind[ref]
+		if v < 1 || v > 256 {
+			return fmt.Errorf("IBM_length of %d is outside 1..256", v)
+		}
+		red.bind[ref] = v - 1
+		return nil
+
+	case "push_odd", "push_even":
+		return r.semPushHalf(red, t, name == "push_odd")
+
+	case "load_odd_addr", "load_odd_full", "load_odd_half", "load_odd_reg":
+		return r.semLoadOdd(red, t, name)
+
+	case "label_location":
+		v, err := r.operandValue(red, t, 0)
+		if err != nil {
+			return err
+		}
+		return r.prog.DefineLabel(v, len(r.prog.Instrs))
+
+	case "label_pntr":
+		v, err := r.operandValue(red, t, 0)
+		if err != nil {
+			return err
+		}
+		r.emit(asm.Instr{Pseudo: asm.AddrConst, Label: v})
+		return nil
+
+	case "branch", "branch_indexed":
+		return r.semBranch(red, t, name == "branch_indexed")
+
+	case "skip":
+		return r.semSkip(red, t)
+
+	case "case_load":
+		return r.semCaseLoad(red, t)
+
+	case "abort":
+		v, err := r.operandValue(red, t, 0)
+		if err != nil {
+			return err
+		}
+		r.prog.AbortSites[len(r.prog.Instrs)] = v
+		return nil
+
+	case "stmt_record":
+		v, err := r.operandValue(red, t, 0)
+		if err != nil {
+			return err
+		}
+		r.stmtNum = int(v)
+		return nil
+
+	case "list_request":
+		v, err := r.operandValue(red, t, 0)
+		if err != nil {
+			return err
+		}
+		r.prog.CallArgs[len(r.prog.Instrs)] = v
+		return nil
+
+	case "full_common", "half_common", "byte_common", "real_common", "dreal_common":
+		return r.semCommon(red, t, commonWidth(name))
+
+	case "find_common", "find_real_common":
+		return r.semFindCommon(red, t)
+
+	case "load_extended", "store_extended", "clear_extended":
+		return r.semExtended(red, t, name)
+	}
+	return fmt.Errorf("semantic operator %q is not implemented", name)
+}
+
+func commonWidth(name string) cse.Width {
+	switch name {
+	case "half_common":
+		return cse.Half
+	case "byte_common":
+		return cse.Byte
+	case "real_common":
+		return cse.Real
+	case "dreal_common":
+		return cse.DReal
+	default:
+		return cse.Full
+	}
+}
+
+// semModifies informs the register allocation routine that the contents
+// of a register has been changed: any common subexpression held there is
+// saved to its temporary storage location and its register home
+// invalidated, and the register's usage index is stamped.
+func (r *run) semModifies(red *reduction, t *grammar.Template) error {
+	for i := range t.Operands {
+		ref, err := r.refOperand(red, t, i)
+		if err != nil {
+			return err
+		}
+		class := r.g.classOf(ref.Sym)
+		if class == "" {
+			return fmt.Errorf("modifies %s.%d: not a register", r.gr.SymName(ref.Sym), ref.Tag)
+		}
+		reg := int(red.bind[ref])
+		for _, e := range r.cses.HeldIn(class, reg) {
+			if !e.Saved {
+				op, ok := r.g.cfg.SaveOp[e.Width]
+				if !ok {
+					return fmt.Errorf("no save opcode configured for %s common subexpressions", e.Width)
+				}
+				r.emit(asm.Instr{Op: op,
+					Opds:    []asm.Operand{asm.R(reg), asm.M(e.Mem.Disp, 0, e.Mem.Base)},
+					Comment: fmt.Sprintf("save cse %d before r%d changes", e.ID, reg)})
+				e.Saved = true
+			}
+			// The register carried the CSE's outstanding uses; they move
+			// to the memory home.
+			r.ra.IncUse(class, reg, -e.Uses)
+			r.cses.Invalidate(e)
+		}
+		r.ra.Touch(class, reg)
+	}
+	return nil
+}
+
+// semPushHalf implements push_odd/push_even: one member of an even/odd
+// pair becomes an ordinary register and is prefixed to the input stream
+// ("it does so after performing a type conversion of the odd register
+// into type r.n", paper section 4.3).
+func (r *run) semPushHalf(red *reduction, t *grammar.Template, odd bool) error {
+	ref, err := r.refOperand(red, t, 0)
+	if err != nil {
+		return err
+	}
+	class := r.g.classOf(ref.Sym)
+	if !r.g.pairClass[class] {
+		return fmt.Errorf("push half of %s.%d: class %q is not an even/odd pair class",
+			r.gr.SymName(ref.Sym), ref.Tag, class)
+	}
+	even := int(red.bind[ref])
+	under := r.underClassName(class)
+	var kept int
+	if odd {
+		kept, err = r.ra.ConvertOdd(class, even)
+	} else {
+		kept, err = r.ra.ConvertEven(class, even)
+	}
+	if err != nil {
+		return err
+	}
+	delete(red.allocated, ref)
+	red.pushed = append(red.pushed, ir.Token{Sym: under, Val: int64(kept)})
+	return nil
+}
+
+func (r *run) underClassName(pair string) string {
+	for _, c := range r.g.cfg.Classes {
+		if c.Name == pair {
+			return c.Under
+		}
+	}
+	return ""
+}
+
+// semLoadOdd fills the odd half of a pair: load_odd_addr emits the
+// address-load form, load_odd_full/half the storage loads, load_odd_reg
+// the register copy.
+func (r *run) semLoadOdd(red *reduction, t *grammar.Template, name string) error {
+	ref, err := r.refOperand(red, t, 0)
+	if err != nil {
+		return err
+	}
+	class := r.g.classOf(ref.Sym)
+	if !r.g.pairClass[class] {
+		return fmt.Errorf("%s: %s.%d is not an even/odd pair", name, r.gr.SymName(ref.Sym), ref.Tag)
+	}
+	odd := int(red.bind[ref]) + 1
+	op, ok := r.g.cfg.LoadOddOps[name]
+	if !ok {
+		return fmt.Errorf("no opcode configured for %s", name)
+	}
+	if len(t.Operands) != 2 {
+		return fmt.Errorf("%s expects a pair and one source operand", name)
+	}
+	src, err := r.resolveOperand(red, &t.Operands[1])
+	if err != nil {
+		return err
+	}
+	r.emit(asm.Instr{Op: op, Opds: []asm.Operand{asm.R(odd), src}})
+	return nil
+}
+
+// semBranch enters a branch instruction and its target into the
+// dictionary; the binding of jump instructions to targets is resolved
+// after all code for the module has been generated (section 4.2). The
+// register allocated by the production serves the long form.
+func (r *run) semBranch(red *reduction, t *grammar.Template, indexed bool) error {
+	if len(t.Operands) != 3 {
+		return fmt.Errorf("branch expects condition, label, and scratch register")
+	}
+	cond, err := r.operandValue(red, t, 0)
+	if err != nil {
+		return err
+	}
+	label, err := r.operandValue(red, t, 1)
+	if err != nil {
+		return err
+	}
+	scratchRef, err := r.refOperand(red, t, 2)
+	if err != nil {
+		return err
+	}
+	in := asm.Instr{Pseudo: asm.Branch, Cond: cond, Label: label,
+		Scratch: int(red.bind[scratchRef])}
+	if indexed {
+		return fmt.Errorf("branch_indexed is expressed through case_load in this implementation")
+	}
+	r.emit(in)
+	return nil
+}
+
+// semSkip emits a forward branch over the next n instructions of the same
+// template sequence, avoiding shaper-allocated labels for short internal
+// jumps such as condition-code materialization (section 4.2).
+func (r *run) semSkip(red *reduction, t *grammar.Template) error {
+	if len(t.Operands) != 3 {
+		return fmt.Errorf("skip expects condition, instruction count, and scratch register")
+	}
+	cond, err := r.operandValue(red, t, 0)
+	if err != nil {
+		return err
+	}
+	count, err := r.operandValue(red, t, 1)
+	if err != nil {
+		return err
+	}
+	if count < 1 || count > 8 {
+		return fmt.Errorf("skip count %d is outside a template sequence", count)
+	}
+	scratchRef, err := r.refOperand(red, t, 2)
+	if err != nil {
+		return err
+	}
+	label := r.nextAutoLabel()
+	r.emit(asm.Instr{Pseudo: asm.Branch, Cond: cond, Label: label,
+		Scratch: int(red.bind[scratchRef]),
+		Comment: fmt.Sprintf("skip %d", count)})
+	r.pendingSkips = append(r.pendingSkips, pendingSkip{label: label, remaining: count})
+	return nil
+}
+
+// semCaseLoad emits the branch-table dispatch: load the table address
+// from the literal pool, index it, and branch through the scratch
+// register.
+func (r *run) semCaseLoad(red *reduction, t *grammar.Template) error {
+	if len(t.Operands) != 3 {
+		return fmt.Errorf("case_load expects label, index register, and scratch register")
+	}
+	label, err := r.operandValue(red, t, 0)
+	if err != nil {
+		return err
+	}
+	indexRef, err := r.refOperand(red, t, 1)
+	if err != nil {
+		return err
+	}
+	scratchRef, err := r.refOperand(red, t, 2)
+	if err != nil {
+		return err
+	}
+	in := asm.Instr{Pseudo: asm.CaseLoad, Label: label,
+		IndexR:  int(red.bind[indexRef]),
+		Scratch: int(red.bind[scratchRef])}
+	ix := r.emit(in)
+	r.prog.Instrs[ix].PoolIx = r.prog.AddPoolLabel(label)
+	return nil
+}
+
+// semCommon establishes a common subexpression: its number, use count,
+// register home, and the temporary storage location the shaper allocated
+// (section 4.4).
+func (r *run) semCommon(red *reduction, t *grammar.Template, w cse.Width) error {
+	if len(t.Operands) != 5 {
+		return fmt.Errorf("common declaration expects cse, count, register, displacement, base")
+	}
+	id, err := r.operandValue(red, t, 0)
+	if err != nil {
+		return err
+	}
+	count, err := r.operandValue(red, t, 1)
+	if err != nil {
+		return err
+	}
+	regRef, err := r.refOperand(red, t, 2)
+	if err != nil {
+		return err
+	}
+	disp, err := r.operandValue(red, t, 3)
+	if err != nil {
+		return err
+	}
+	base, err := r.operandValue(red, t, 4)
+	if err != nil {
+		return err
+	}
+	class := r.g.classOf(regRef.Sym)
+	if class == "" {
+		return fmt.Errorf("common register operand %s.%d is not a register", r.gr.SymName(regRef.Sym), regRef.Tag)
+	}
+	reg := int(red.bind[regRef])
+	if _, err := r.cses.Define(id, int(count), class, reg,
+		cse.Home{Disp: disp, Base: int(base)}, w); err != nil {
+		return err
+	}
+	// The register home carries the outstanding uses in addition to the
+	// use the production itself consumes.
+	r.ra.IncUse(class, reg, int(count))
+	return nil
+}
+
+// semFindCommon resolves a use of a common subexpression: if it still
+// resides in a register, that register value is prefixed to the input
+// stream; if it resides only in memory, the address of the CSE is
+// prefixed instead and the ordinary load productions reduce it.
+func (r *run) semFindCommon(red *reduction, t *grammar.Template) error {
+	if len(t.Operands) != 2 {
+		return fmt.Errorf("find_common expects cse number and destination register")
+	}
+	id, err := r.operandValue(red, t, 0)
+	if err != nil {
+		return err
+	}
+	destRef, err := r.refOperand(red, t, 1)
+	if err != nil {
+		return err
+	}
+	entry, _, err := r.cses.Use(id)
+	if err != nil {
+		return err
+	}
+	// The destination register the production allocated is not needed:
+	// either the value is already in a register or the reload goes
+	// through the ordinary productions. Release it.
+	if red.allocated[destRef] {
+		class := r.g.classOf(destRef.Sym)
+		r.ra.DecUse(class, int(red.bind[destRef]))
+		delete(red.allocated, destRef)
+	}
+	if entry.InRegister() {
+		red.pushed = append(red.pushed, ir.Token{Sym: entry.Class, Val: int64(entry.Reg)})
+		return nil
+	}
+	typeOp, ok := r.g.cfg.FindCommonType[entry.Width]
+	if !ok {
+		return fmt.Errorf("no IF type operator configured for %s common subexpressions", entry.Width)
+	}
+	red.pushed = append(red.pushed,
+		ir.Token{Sym: typeOp},
+		ir.Token{Sym: "dsp", Val: entry.Mem.Disp},
+		ir.Token{Sym: "r", Val: int64(entry.Mem.Base)},
+	)
+	return nil
+}
+
+// semExtended implements the quadruple precision (128 bit) floating
+// point storage operators as fullword-pair sequences over two long
+// floating registers.
+func (r *run) semExtended(red *reduction, t *grammar.Template, name string) error {
+	ref, err := r.refOperand(red, t, 0)
+	if err != nil {
+		return err
+	}
+	freg := int(red.bind[ref])
+	switch name {
+	case "clear_extended":
+		r.emit(asm.Instr{Op: "sxr", Opds: []asm.Operand{asm.R(freg), asm.R(freg)},
+			Comment: "zero extended register"})
+		return nil
+	case "load_extended", "store_extended":
+		if len(t.Operands) != 2 {
+			return fmt.Errorf("%s expects a register and a storage operand", name)
+		}
+		mem, err := r.resolveOperand(red, &t.Operands[1])
+		if err != nil {
+			return err
+		}
+		if mem.Kind != asm.Mem {
+			return fmt.Errorf("%s needs a storage operand", name)
+		}
+		op := "ld"
+		if name == "store_extended" {
+			op = "std"
+		}
+		hi := mem
+		lo := mem
+		lo.Val += 8
+		r.emit(asm.Instr{Op: op, Opds: []asm.Operand{asm.R(freg), hi}})
+		r.emit(asm.Instr{Op: op, Opds: []asm.Operand{asm.R(freg + 2), lo}})
+		return nil
+	}
+	return fmt.Errorf("extended operator %q is not implemented", name)
+}

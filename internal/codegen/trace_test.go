@@ -1,0 +1,52 @@
+package codegen_test
+
+import (
+	"strings"
+	"testing"
+
+	"cogg/internal/core"
+	"cogg/internal/ir"
+	"cogg/internal/rt370"
+	"cogg/specs"
+)
+
+// TestTraceOutput: the spec-debugging trace logs every shift, reduce,
+// and the final accept.
+func TestTraceOutput(t *testing.T) {
+	cg, err := core.Generate("amdahl470.cogg", specs.Amdahl470)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	cfg := rt370.Config()
+	cfg.Trace = &sb
+	g, err := cg.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks, err := ir.ParseTokens("assign fullword dsp.96 r.13 pos_constant v.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Generate("T", toks); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"shift  assign",
+		"shift  dsp.96",
+		"reduce",
+		"r.1 ::= pos_constant v.1",
+		"lambda ::= assign fullword dsp.1 r.1 r.2",
+		"accept",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace lacks %q:\n%s", want, text)
+		}
+	}
+	// The reduced LHS is shifted like input (pushback visible as a shift
+	// of r.N).
+	if !strings.Contains(text, "shift  r.") {
+		t.Errorf("trace does not show the prefixed-back nonterminal:\n%s", text)
+	}
+}

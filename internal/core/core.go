@@ -1,0 +1,132 @@
+// Package core is CoGG itself: the code generator generator. It accepts
+// a specification for a code generator and produces the skeletal parser's
+// driving tables, the statistics of the paper's Tables 1 and 2, and —
+// through package codegen — the code generator they drive.
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cogg/internal/codegen"
+	"cogg/internal/grammar"
+	"cogg/internal/lr"
+	"cogg/internal/spec"
+	"cogg/internal/tables"
+)
+
+// CodeGenerator is the product of one CoGG run over a specification.
+type CodeGenerator struct {
+	Spec      *spec.File
+	Grammar   *grammar.Grammar
+	Automaton *lr.Automaton
+	Table     *lr.Table
+	Packed    *tables.Packed
+}
+
+// Stats combines the grammar and parse-table statistics: the rows of the
+// paper's Table 1.
+type Stats struct {
+	grammar.Stats
+	States             int // (iii) states in the parsing automaton
+	Entries            int // (iv)  parse table entries
+	SignificantEntries int // (v)   entries which do NOT contain an error entry
+	Conflicts          int //       ambiguities resolved during construction
+}
+
+// Generate runs the table constructor over a specification source.
+func Generate(name, src string) (*CodeGenerator, error) {
+	f, err := spec.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateFromFile(f)
+}
+
+// GenerateFromFile runs the table constructor over a parsed specification.
+func GenerateFromFile(f *spec.File) (*CodeGenerator, error) {
+	g, err := grammar.Resolve(f)
+	if err != nil {
+		return nil, err
+	}
+	a, err := lr.Build(g)
+	if err != nil {
+		return nil, err
+	}
+	t := a.MakeTable()
+	return &CodeGenerator{
+		Spec:      f,
+		Grammar:   g,
+		Automaton: a,
+		Table:     t,
+		Packed:    tables.Pack(t),
+	}, nil
+}
+
+// ComputeStats assembles the Table 1 statistics.
+func (cg *CodeGenerator) ComputeStats() Stats {
+	return Stats{
+		Stats:              cg.Grammar.ComputeStats(),
+		States:             cg.Table.NumStates,
+		Entries:            cg.Table.Entries(),
+		SignificantEntries: cg.Table.SignificantEntries(),
+		Conflicts:          len(cg.Table.Conflicts),
+	}
+}
+
+// Module bundles the artifacts needed at translation time.
+func (cg *CodeGenerator) Module() *tables.Module {
+	return &tables.Module{Grammar: cg.Grammar, Packed: cg.Packed}
+}
+
+// NewGenerator instantiates the table-driven code generator for a target
+// configuration.
+func (cg *CodeGenerator) NewGenerator(cfg codegen.Config) (*codegen.Generator, error) {
+	return codegen.New(cg.Module(), cfg)
+}
+
+// Encode serializes the table module, reporting the section sizes that
+// Table 2 accounts in pages.
+func (cg *CodeGenerator) Encode(w io.Writer) (tables.SectionSizes, error) {
+	return tables.Encode(w, cg.Grammar, cg.Table, cg.Packed)
+}
+
+// Sizes measures the serialized sections without retaining the output.
+func (cg *CodeGenerator) Sizes() (tables.SectionSizes, error) {
+	return cg.Encode(io.Discard)
+}
+
+// Table1 renders the statistics in the layout of the paper's Table 1.
+func (cg *CodeGenerator) Table1() string {
+	s := cg.ComputeStats()
+	var b strings.Builder
+	row := func(label string, v int) { fmt.Fprintf(&b, "%-34s %7d\n", label, v) }
+	row("i.    Number of symbols declared", s.SymbolsDeclared)
+	row("ii.   X dimension of parse table", s.ParseSymbols)
+	row("iii.  States in parsing automaton", s.States)
+	row("iv.   Parse table entries", s.Entries)
+	row("v.    Significant entries", s.SignificantEntries)
+	row("vi.   Productions", s.Productions)
+	row("vii.  SDT templates", s.Templates)
+	row("viii. Production operators", s.ProductionOps)
+	row("ix.   Semantic operators", s.SemanticOps)
+	return b.String()
+}
+
+// Table2 renders the artifact sizes in the layout of the paper's Table 2
+// (sizes in 4096-byte pages).
+func (cg *CodeGenerator) Table2() (string, error) {
+	sz, err := cg.Sizes()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	row := func(label string, bytes int) {
+		fmt.Fprintf(&b, "%-34s %7.1f\n", label, tables.Pages(bytes))
+	}
+	row("i.    Template array", sz.Templates)
+	row("ii.   Compressed parse table", sz.Compressed)
+	row("iii.  Uncompressed parse table", sz.Uncompressed)
+	return b.String(), nil
+}

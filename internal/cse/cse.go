@@ -1,0 +1,118 @@
+// Package cse implements the code generator's common subexpression table
+// (paper section 4.4). CSEs are detected and use-counted by the IF
+// optimizer; the code generator records, for each CSE number, the
+// register holding the computed value and the temporary storage location
+// the shaper allocated for it. The temporary is used only if the register
+// value must be given up: when a `modifies` operator invalidates the
+// register home, the value is saved to storage and later `find_common`
+// interpretations fall back to the memory home.
+package cse
+
+import "fmt"
+
+// Width is the storage format of a CSE's memory home.
+type Width string
+
+// Widths of the *_common declaration operators.
+const (
+	Full  Width = "full"
+	Half  Width = "half"
+	Byte  Width = "byte"
+	Real  Width = "real"
+	DReal Width = "dreal"
+)
+
+// Home is a base-displacement storage location.
+type Home struct {
+	Disp int64
+	Base int
+}
+
+// Entry is one live common subexpression.
+type Entry struct {
+	ID    int64
+	Uses  int // remaining uses
+	Class string
+	Reg   int // register home; -1 once invalidated
+	Mem   Home
+	Width Width
+	Saved bool // value has been stored to the memory home
+}
+
+// InRegister reports whether the CSE still resides in a register.
+func (e *Entry) InRegister() bool { return e.Reg >= 0 }
+
+// Table tracks the live CSEs of one compilation unit. Each CSE number is
+// unique throughout the compilation.
+type Table struct {
+	entries map[int64]*Entry
+}
+
+// New returns an empty table.
+func New() *Table { return &Table{entries: make(map[int64]*Entry)} }
+
+// Define records a newly established CSE.
+func (t *Table) Define(id int64, uses int, class string, reg int, mem Home, w Width) (*Entry, error) {
+	if _, dup := t.entries[id]; dup {
+		return nil, fmt.Errorf("cse: common subexpression %d declared twice", id)
+	}
+	if uses < 0 {
+		return nil, fmt.Errorf("cse: common subexpression %d has negative use count %d", id, uses)
+	}
+	e := &Entry{ID: id, Uses: uses, Class: class, Reg: reg, Mem: mem, Width: w}
+	t.entries[id] = e
+	return e, nil
+}
+
+// Find returns the entry for id.
+func (t *Table) Find(id int64) (*Entry, bool) {
+	e, ok := t.entries[id]
+	return e, ok
+}
+
+// Use consumes one use of the CSE and reports whether any remain.
+func (t *Table) Use(id int64) (*Entry, bool, error) {
+	e, ok := t.entries[id]
+	if !ok {
+		return nil, false, fmt.Errorf("cse: use of undeclared common subexpression %d", id)
+	}
+	if e.Uses <= 0 {
+		return nil, false, fmt.Errorf("cse: common subexpression %d used more often than its use count", id)
+	}
+	e.Uses--
+	if e.Uses == 0 {
+		delete(t.entries, id)
+		return e, false, nil
+	}
+	return e, true, nil
+}
+
+// HeldIn returns the live entries whose register home is (class, reg).
+func (t *Table) HeldIn(class string, reg int) []*Entry {
+	var out []*Entry
+	for _, e := range t.entries {
+		if e.Reg == reg && e.Class == class {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MoveReg rewrites register homes after an eviction copy.
+func (t *Table) MoveReg(class string, from, to int) {
+	for _, e := range t.entries {
+		if e.Class == class && e.Reg == from {
+			e.Reg = to
+		}
+	}
+}
+
+// Invalidate removes the register home of entry e; subsequent uses go to
+// the memory home.
+func (t *Table) Invalidate(e *Entry) { e.Reg = -1 }
+
+// Live returns the number of live entries.
+func (t *Table) Live() int { return len(t.entries) }
+
+// Reset clears the table between compilation units.
+func (t *Table) Reset() { t.entries = make(map[int64]*Entry) }

@@ -1,0 +1,104 @@
+package cse
+
+import "testing"
+
+func TestDefineFindUse(t *testing.T) {
+	tbl := New()
+	e, err := Define3(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := tbl.Find(7); !ok || got != e {
+		t.Fatal("Find after Define failed")
+	}
+	if tbl.Live() != 1 {
+		t.Errorf("Live = %d", tbl.Live())
+	}
+	// Three uses: the first two keep it live, the third removes it.
+	for i := 0; i < 2; i++ {
+		got, more, err := tbl.Use(7)
+		if err != nil || !more || got != e {
+			t.Fatalf("use %d: %v %v", i, more, err)
+		}
+	}
+	if _, more, err := tbl.Use(7); err != nil || more {
+		t.Fatalf("final use: more=%v err=%v", more, err)
+	}
+	if tbl.Live() != 0 {
+		t.Errorf("Live after exhaustion = %d", tbl.Live())
+	}
+	if _, _, err := tbl.Use(7); err == nil {
+		t.Error("use after exhaustion succeeded")
+	}
+}
+
+// Define3 installs cse 7 with three uses in register r5.
+func Define3(tbl *Table) (*Entry, error) {
+	return tbl.Define(7, 3, "r", 5, Home{Disp: 500, Base: 13}, Full)
+}
+
+func TestDefineErrors(t *testing.T) {
+	tbl := New()
+	if _, err := Define3(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Define3(tbl); err == nil {
+		t.Error("duplicate definition accepted")
+	}
+	if _, err := tbl.Define(8, -1, "r", 1, Home{}, Full); err == nil {
+		t.Error("negative use count accepted")
+	}
+	if _, _, err := tbl.Use(99); err == nil {
+		t.Error("use of undeclared CSE accepted")
+	}
+}
+
+func TestHeldInAndInvalidate(t *testing.T) {
+	tbl := New()
+	e, _ := Define3(tbl)
+	if got := tbl.HeldIn("r", 5); len(got) != 1 || got[0] != e {
+		t.Fatalf("HeldIn: %v", got)
+	}
+	if got := tbl.HeldIn("r", 6); len(got) != 0 {
+		t.Fatalf("HeldIn wrong register: %v", got)
+	}
+	if got := tbl.HeldIn("f", 5); len(got) != 0 {
+		t.Fatalf("HeldIn wrong class: %v", got)
+	}
+	tbl.Invalidate(e)
+	if e.InRegister() {
+		t.Error("still register resident after Invalidate")
+	}
+	if got := tbl.HeldIn("r", 5); len(got) != 0 {
+		t.Errorf("HeldIn after invalidate: %v", got)
+	}
+	// Memory home survives.
+	if e.Mem.Disp != 500 || e.Mem.Base != 13 {
+		t.Errorf("memory home lost: %+v", e.Mem)
+	}
+}
+
+func TestMoveReg(t *testing.T) {
+	tbl := New()
+	e, _ := Define3(tbl)
+	tbl.MoveReg("r", 5, 9)
+	if e.Reg != 9 {
+		t.Errorf("register home after eviction move: %d", e.Reg)
+	}
+	tbl.MoveReg("f", 9, 2) // other class: no effect
+	if e.Reg != 9 {
+		t.Errorf("cross-class move applied: %d", e.Reg)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tbl := New()
+	Define3(tbl)
+	tbl.Reset()
+	if tbl.Live() != 0 {
+		t.Error("Reset left entries")
+	}
+	if _, err := Define3(tbl); err != nil {
+		t.Errorf("redefinition after Reset: %v", err)
+	}
+}

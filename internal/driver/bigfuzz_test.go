@@ -1,0 +1,13 @@
+package driver_test
+
+import "testing"
+
+func TestFuzzBig(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	old := fuzzSeeds
+	fuzzSeeds = 400
+	defer func() { fuzzSeeds = old }()
+	TestFuzzDifferential(t)
+}

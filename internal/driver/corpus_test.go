@@ -1,0 +1,267 @@
+package driver_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cogg/internal/driver"
+	"cogg/internal/shaper"
+)
+
+// corpus holds complete programs with their expected writeln output,
+// computed independently. Every program runs under the full grammar,
+// the minimal grammar, and with the IF optimizer.
+var corpus = map[string]struct {
+	src  string
+	want []int32
+}{
+	"quicksort": {
+		src: `
+program quicksort;
+var a: array[0..15] of integer;
+    i, n: integer;
+
+procedure sort(lo, hi: integer);
+var i, j, pivot, t: integer;
+begin
+  if lo < hi then
+  begin
+    pivot := a[(lo + hi) div 2];
+    i := lo; j := hi;
+    repeat
+      while a[i] < pivot do i := i + 1;
+      while a[j] > pivot do j := j - 1;
+      if i <= j then
+      begin
+        t := a[i]; a[i] := a[j]; a[j] := t;
+        i := i + 1; j := j - 1
+      end
+    until i > j;
+    sort(lo, j);
+    sort(i, hi)
+  end
+end;
+
+begin
+  n := 16;
+  for i := 0 to 15 do a[i] := (i * 7 + 5) mod 16;
+  sort(0, 15);
+  for i := 0 to 15 do writeln(a[i])
+end.
+`,
+		want: []int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+	},
+	"fibonacci": {
+		src: `
+program fib;
+var i, a, b, t: integer;
+
+function rfib(n: integer): integer;
+begin
+  if n < 2 then rfib := n
+  else rfib := rfib(n - 1) + rfib(n - 2)
+end;
+
+begin
+  a := 0; b := 1;
+  for i := 1 to 10 do
+  begin
+    t := a + b; a := b; b := t
+  end;
+  writeln(a);
+  writeln(rfib(10))
+end.
+`,
+		want: []int32{55, 55},
+	},
+	"gcd-chain": {
+		src: `
+program gcdchain;
+var x, y: integer;
+
+function gcd(a, b: integer): integer;
+begin
+  if b = 0 then gcd := a
+  else gcd := gcd(b, a mod b)
+end;
+
+begin
+  writeln(gcd(1071, 462));
+  writeln(gcd(3528, 3780));
+  writeln(gcd(17, 5))
+end.
+`,
+		want: []int32{21, 252, 1},
+	},
+	"knapsack": {
+		src: `
+program knapsack;
+var best: array[0..20] of integer;
+    w, v: array[1..5] of integer;
+    i, cap: integer;
+begin
+  w[1] := 3; v[1] := 4;
+  w[2] := 4; v[2] := 5;
+  w[3] := 7; v[3] := 10;
+  w[4] := 8; v[4] := 11;
+  w[5] := 9; v[5] := 13;
+  for cap := 0 to 20 do best[cap] := 0;
+  for i := 1 to 5 do
+    for cap := 20 downto 1 do
+      if w[i] <= cap then
+        if best[cap - w[i]] + v[i] > best[cap] then
+          best[cap] := best[cap - w[i]] + v[i];
+  writeln(best[20])
+end.
+`,
+		want: []int32{28},
+	},
+	"queens": {
+		src: `
+program queens;
+var col, diag1, diag2: set of 0..63;
+    count, n: integer;
+
+procedure place(row: integer);
+var c: integer;
+begin
+  if row = n then count := count + 1
+  else
+    for c := 0 to 5 do
+      if not ((c in col) or ((row + c) in diag1) or ((row - c + 8) in diag2)) then
+      begin
+        col := col + [c];
+        diag1 := diag1 + [row + c];
+        diag2 := diag2 + [row - c + 8];
+        place(row + 1);
+        col := col - [c];
+        diag1 := diag1 - [row + c];
+        diag2 := diag2 - [row - c + 8]
+      end
+end;
+
+begin
+  n := 6;
+  count := 0;
+  place(0);
+  writeln(count)
+end.
+`,
+		want: []int32{4}, // 6-queens has 4 solutions
+	},
+	"perfect-numbers": {
+		src: `
+program perfect;
+var n, d, sum: integer;
+begin
+  for n := 2 to 500 do
+  begin
+    sum := 0;
+    for d := 1 to n div 2 do
+      if n mod d = 0 then sum := sum + d;
+    if sum = n then writeln(n)
+  end
+end.
+`,
+		want: []int32{6, 28, 496},
+	},
+	"binary-search": {
+		src: `
+program bsearch;
+var a: array[0..31] of integer;
+    i, lo, hi, mid, key, found: integer;
+begin
+  for i := 0 to 31 do a[i] := i * 3;
+  key := 57; found := -1;
+  lo := 0; hi := 31;
+  while lo <= hi do
+  begin
+    mid := (lo + hi) div 2;
+    if a[mid] = key then
+    begin
+      found := mid;
+      lo := hi + 1
+    end
+    else if a[mid] < key then lo := mid + 1
+    else hi := mid - 1
+  end;
+  writeln(found);
+  writeln(a[found])
+end.
+`,
+		want: []int32{19, 57},
+	},
+	"collatz-longest": {
+		src: `
+program collatz;
+var n, steps, start, beststeps, beststart: integer;
+begin
+  beststeps := -1; beststart := 0;
+  for start := 1 to 60 do
+  begin
+    n := start; steps := 0;
+    while n <> 1 do
+    begin
+      if odd(n) then n := 3 * n + 1 else n := n div 2;
+      steps := steps + 1
+    end;
+    if steps > beststeps then
+    begin
+      beststeps := steps;
+      beststart := start
+    end
+  end;
+  writeln(beststart);
+  writeln(beststeps)
+end.
+`,
+		want: []int32{54, 112},
+	},
+}
+
+func runCorpus(t *testing.T, name string, compile func(src string) (*driver.Compiled, error), want []int32) {
+	t.Helper()
+	tc := corpus[name]
+	c, err := compile(tc.src)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", name, err)
+	}
+	cpu, err := c.Run(nil, 50_000_000)
+	if err != nil {
+		t.Fatalf("%s: run: %v", name, err)
+	}
+	got := driver.Output(cpu)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: output %v, want %v", name, got, want)
+	}
+}
+
+func TestCorpusFullGrammar(t *testing.T) {
+	for name, tc := range corpus {
+		t.Run(name, func(t *testing.T) {
+			runCorpus(t, name, func(src string) (*driver.Compiled, error) {
+				return target(t).Compile(name+".pas", src, shaper.Options{StatementRecords: true})
+			}, tc.want)
+		})
+	}
+}
+
+func TestCorpusMinimalGrammar(t *testing.T) {
+	for name, tc := range corpus {
+		t.Run(name, func(t *testing.T) {
+			runCorpus(t, name, func(src string) (*driver.Compiled, error) {
+				return minimalTarget(t).Compile(name+".pas", src, shaper.Options{})
+			}, tc.want)
+		})
+	}
+}
+
+func TestCorpusWithCSE(t *testing.T) {
+	for name, tc := range corpus {
+		t.Run(name, func(t *testing.T) {
+			runCorpus(t, name, func(src string) (*driver.Compiled, error) {
+				return target(t).Compile(name+".pas", src, cseOptions())
+			}, tc.want)
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package driver_test
+
+import (
+	"strings"
+	"testing"
+
+	"cogg/internal/driver"
+	"cogg/internal/ifopt"
+	"cogg/internal/shaper"
+)
+
+// cseOptions returns shaping options with the IF optimizer plugged in.
+func cseOptions() shaper.Options {
+	return shaper.Options{CSE: ifopt.New().Apply}
+}
+
+// TestCSEDifferential compiles programs with and without the IF
+// optimizer and requires identical results with fewer (or equal)
+// instructions.
+func TestCSEDifferential(t *testing.T) {
+	programs := map[string]struct {
+		src  string
+		vars []string
+	}{
+		"repeated-product": {
+			src: `
+program cse1;
+var a, b, x, y: integer;
+begin
+  a := 12; b := 7;
+  x := a*b + 3;
+  y := a*b + 8
+end.
+`,
+			vars: []string{"x", "y"},
+		},
+		"subscript-expression": {
+			src: `
+program cse2;
+var v: array[0..20] of integer;
+    i, x, y: integer;
+begin
+  i := 4;
+  v[i*2+1] := 9;
+  x := v[i*2+1] * 3;
+  y := (i*2+1) + x
+end.
+`,
+			vars: []string{"x", "y"},
+		},
+		"invalidated-between": {
+			src: `
+program cse3;
+var a, b, x, y: integer;
+begin
+  a := 5; b := 6;
+  x := a*b;
+  a := 7;
+  y := a*b
+end.
+`,
+			vars: []string{"x", "y"},
+		},
+	}
+	for name, tc := range programs {
+		t.Run(name, func(t *testing.T) {
+			plain, err := target(t).Compile(name, tc.src, shaper.Options{})
+			if err != nil {
+				t.Fatalf("plain compile: %v", err)
+			}
+			opt, err := target(t).Compile(name, tc.src, cseOptions())
+			if err != nil {
+				t.Fatalf("CSE compile: %v", err)
+			}
+			cpuP, err := plain.Run(nil, 1_000_000)
+			if err != nil {
+				t.Fatalf("plain run: %v", err)
+			}
+			cpuO, err := opt.Run(nil, 1_000_000)
+			if err != nil {
+				t.Fatalf("CSE run: %v\nlisting:\n%s", err, opt.Listing())
+			}
+			for _, v := range tc.vars {
+				pv, err := driver.Word(cpuP, plain, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ov, err := driver.Word(cpuO, opt, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pv != ov {
+					t.Errorf("%s: plain %d vs CSE %d\nCSE listing:\n%s", v, pv, ov, opt.Listing())
+				}
+			}
+			if opt.Prog.InstructionCount() > plain.Prog.InstructionCount() {
+				t.Errorf("CSE grew the program: %d vs %d instructions",
+					opt.Prog.InstructionCount(), plain.Prog.InstructionCount())
+			}
+		})
+	}
+}
+
+// TestCSEActuallyFires checks make_common/use_common appear in the IF and
+// shrink the repeated-product program.
+func TestCSEActuallyFires(t *testing.T) {
+	src := `
+program fires;
+var a, b, x, y, z: integer;
+begin
+  a := 12; b := 7;
+  x := a*b + 3;
+  y := a*b + 8;
+  z := a*b
+end.
+`
+	opt, err := target(t).Compile("fires", src, cseOptions())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	ifText := ""
+	for _, tok := range opt.Tokens {
+		ifText += tok.String() + " "
+	}
+	if !strings.Contains(ifText, "make_common") || !strings.Contains(ifText, "use_common") {
+		t.Fatalf("IF optimizer produced no CSEs:\n%s", ifText)
+	}
+	plain, err := target(t).Compile("fires", src, shaper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Prog.InstructionCount() >= plain.Prog.InstructionCount() {
+		t.Errorf("CSE did not shrink the program: %d vs %d",
+			opt.Prog.InstructionCount(), plain.Prog.InstructionCount())
+	}
+	cpu, err := opt.Run(nil, 1_000_000)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, opt.Listing())
+	}
+	for v, want := range map[string]int32{"x": 87, "y": 92, "z": 84} {
+		if got, _ := driver.Word(cpu, opt, v); got != want {
+			t.Errorf("%s = %d, want %d\n%s", v, got, want, opt.Listing())
+		}
+	}
+}

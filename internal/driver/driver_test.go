@@ -1,0 +1,477 @@
+package driver_test
+
+import (
+	"sync"
+	"testing"
+
+	"cogg/internal/driver"
+	"cogg/internal/shaper"
+	"cogg/specs"
+)
+
+var (
+	fullOnce   sync.Once
+	fullTarget *driver.Target
+	fullErr    error
+)
+
+// target builds (once) the code generator from the full Amdahl spec.
+func target(t *testing.T) *driver.Target {
+	t.Helper()
+	fullOnce.Do(func() {
+		fullTarget, fullErr = driver.NewTarget("amdahl470.cogg", specs.Amdahl470)
+	})
+	if fullErr != nil {
+		t.Fatalf("NewTarget: %v", fullErr)
+	}
+	return fullTarget
+}
+
+// compileRun compiles source, runs it, and returns named fullword values.
+func compileRun(t *testing.T, source string, init map[string]int32, want map[string]int32) *driver.Compiled {
+	t.Helper()
+	c, err := target(t).Compile("test.pas", source, shaper.Options{StatementRecords: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	cpu, err := c.Run(init, 1_000_000)
+	if err != nil {
+		t.Fatalf("Run: %v\nIF: %s\nlisting:\n%s", err, truncate(c.Tokens), c.Listing())
+	}
+	for name, w := range want {
+		got, err := driver.Word(cpu, c, name)
+		if err != nil {
+			t.Fatalf("reading %q: %v", name, err)
+		}
+		if got != w {
+			t.Errorf("%s = %d, want %d\nlisting:\n%s", name, got, w, c.Listing())
+		}
+	}
+	return c
+}
+
+func truncate(toks any) string {
+	s := ""
+	if ts, ok := toks.([]interface{ String() string }); ok {
+		_ = ts
+	}
+	return s
+}
+
+func TestArithmetic(t *testing.T) {
+	compileRun(t, `
+program arith;
+var a, b, c, d, e: integer;
+begin
+  a := 7;
+  b := a * 6;
+  c := (b + a) div 4;
+  d := b mod a;
+  e := -c + abs(0 - 100)
+end.
+`, nil, map[string]int32{"a": 7, "b": 42, "c": 12, "d": 0, "e": 88})
+}
+
+func TestIfElseAndComparisons(t *testing.T) {
+	compileRun(t, `
+program cmp;
+var x, y, big, small: integer;
+begin
+  x := 10; y := 25;
+  if x < y then big := y else big := x;
+  if x >= y then small := y else small := x
+end.
+`, nil, map[string]int32{"big": 25, "small": 10})
+}
+
+func TestWhileLoop(t *testing.T) {
+	compileRun(t, `
+program loop;
+var i, sum: integer;
+begin
+  i := 1; sum := 0;
+  while i <= 10 do
+  begin
+    sum := sum + i;
+    i := i + 1
+  end
+end.
+`, nil, map[string]int32{"sum": 55, "i": 11})
+}
+
+func TestForLoops(t *testing.T) {
+	compileRun(t, `
+program forloop;
+var i, up, down: integer;
+begin
+  up := 0; down := 0;
+  for i := 1 to 5 do up := up + i;
+  for i := 5 downto 1 do down := down + i * i
+end.
+`, nil, map[string]int32{"up": 15, "down": 55})
+}
+
+func TestRepeatUntil(t *testing.T) {
+	compileRun(t, `
+program rep;
+var n, steps: integer;
+begin
+  n := 27; steps := 0;
+  repeat
+    if odd(n) then n := 3 * n + 1 else n := n div 2;
+    steps := steps + 1
+  until n = 1
+end.
+`, nil, map[string]int32{"n": 1, "steps": 111})
+}
+
+func TestArrays(t *testing.T) {
+	compileRun(t, `
+program arrays;
+var a: array[1..10] of integer;
+    i, sum: integer;
+begin
+  for i := 1 to 10 do a[i] := i * i;
+  sum := 0;
+  for i := 1 to 10 do sum := sum + a[i]
+end.
+`, nil, map[string]int32{"sum": 385})
+}
+
+// TestAppendix1Expression is the paper's Appendix 1 program 1:
+// x[q] := a[i] + b[j]*(c[k]-d[l]) + (e[m] div (f[n]+g[o]))*h[p].
+func TestAppendix1Expression(t *testing.T) {
+	c := compileRun(t, `
+program appendix1;
+var a, b, c, d, e, f, g, h, x: array[0..24] of integer;
+    i, j, k, l, m, n, o, p, q: integer;
+begin
+  i := 1; j := 2; k := 3; l := 4; m := 5; n := 6; o := 7; p := 8; q := 9;
+  a[1] := 100; b[2] := 3; c[3] := 50; d[4] := 8;
+  e[5] := 90; f[6] := 4; g[7] := 5; h[8] := 11;
+  x[q] := a[i] + b[j]*(c[k]-d[l]) + (e[m] div (f[n]+g[o]))*h[p]
+end.
+`, nil, nil)
+	// a[i] + b[j]*(c[k]-d[l]) + (e[m] div (f[n]+g[o]))*h[p]
+	// = 100 + 3*42 + (90 div 9)*11 = 100 + 126 + 110 = 336.
+	cpu, err := c.Run(nil, 1_000_000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	base, _ := c.VarAddr("x")
+	got, err := cpu.Word(base + 9*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 336 {
+		t.Fatalf("x[9] = %d, want 336\nlisting:\n%s", got, c.Listing())
+	}
+}
+
+// TestAppendix1Branches is the paper's Appendix 1 program 2.
+func TestAppendix1Branches(t *testing.T) {
+	src := `
+program appendix2;
+var i, j, k, p, q: integer;
+    flag: boolean;
+    z: -32000..32000;
+begin
+  z := 17;
+  flag := true;
+  p := 3; q := 9;
+  j := 12;
+  if flag then i := j - 1
+          else i := z;
+  if p < q then k := z
+end.
+`
+	compileRun(t, src, nil, map[string]int32{"i": 11, "k": 17})
+}
+
+func TestBooleansAndSets(t *testing.T) {
+	compileRun(t, `
+program boolsets;
+var b, c, d, anded, ored, noted: boolean;
+    s: set of 0..63;
+    e, member, outsider: integer;
+begin
+  b := true; c := false;
+  anded := b and c;
+  ored := b or c;
+  noted := not b;
+  d := 3 < 5;
+  s := s + [5];
+  e := 9;
+  s := s + [e];
+  member := 0; outsider := 0;
+  if 5 in s then member := member + 1;
+  if e in s then member := member + 1;
+  if 6 in s then outsider := 1;
+  s := s - [5];
+  if 5 in s then outsider := outsider + 10
+end.
+`, nil, map[string]int32{"member": 2, "outsider": 0})
+}
+
+func TestCaseStatement(t *testing.T) {
+	src := `
+program casedemo;
+var sel, out: integer;
+begin
+  case sel of
+    1: out := 100;
+    2, 3: out := 200;
+    5: out := 500
+  else out := -1
+  end
+end.
+`
+	for sel, want := range map[int32]int32{1: 100, 2: 200, 3: 200, 5: 500, 4: -1, 0: -1, 99: -1} {
+		compileRun(t, src, map[string]int32{"sel": sel}, map[string]int32{"out": want})
+	}
+}
+
+func TestProceduresAndFunctions(t *testing.T) {
+	compileRun(t, `
+program procs;
+var r1, r2: integer;
+
+function addmul(x, y: integer): integer;
+var t: integer;
+begin
+  t := x + y;
+  addmul := t * 2
+end;
+
+procedure nothing;
+begin
+end;
+
+function fact(n: integer): integer;
+begin
+  if n <= 1 then fact := 1
+  else fact := n * fact(n - 1)
+end;
+
+begin
+  nothing;
+  r1 := addmul(3, 4);
+  r2 := fact(6)
+end.
+`, nil, map[string]int32{"r1": 14, "r2": 720})
+}
+
+func TestHalfwordAndByteStorage(t *testing.T) {
+	c := compileRun(t, `
+program storage;
+var h: -30000..30000;
+    ch: 0..255;
+    sum: integer;
+begin
+  h := -1234;
+  ch := 200;
+  sum := h + ch
+end.
+`, nil, map[string]int32{"sum": -1034})
+	cpu, err := c.Run(nil, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := driver.Half(cpu, c, "h"); err != nil || got != -1234 {
+		t.Fatalf("h = %d (%v), want -1234", got, err)
+	}
+	if got, err := driver.Byte(cpu, c, "ch"); err != nil || got != 200 {
+		t.Fatalf("ch = %d (%v), want 200", got, err)
+	}
+}
+
+func TestRealArithmetic(t *testing.T) {
+	c, err := target(t).Compile("real.pas", `
+program reals;
+var x, y, z: real;
+    flag: integer;
+begin
+  x := 2.5;
+  y := x * 4.0 + 1.5;
+  z := abs(-y) / 2.0;
+  flag := 0;
+  if z > 5.0 then flag := 1
+end.
+`, shaper.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	cpu, err := c.Run(nil, 1_000_000)
+	if err != nil {
+		t.Fatalf("Run: %v\nlisting:\n%s", err, c.Listing())
+	}
+	if got, _ := driver.Word(cpu, c, "flag"); got != 1 {
+		t.Fatalf("flag = %d, want 1 (z = 5.75 > 5.0)", got)
+	}
+}
+
+func TestSubscriptChecks(t *testing.T) {
+	src := `
+program checks;
+var a: array[1..10] of integer;
+    i, x: integer;
+begin
+  x := a[i]
+end.
+`
+	c, err := target(t).Compile("checks.pas", src, shaper.Options{SubscriptChecks: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if _, err := c.Run(map[string]int32{"i": 5}, 1_000_000); err != nil {
+		t.Fatalf("in-range subscript aborted: %v", err)
+	}
+	if _, err := c.Run(map[string]int32{"i": 11}, 1_000_000); err == nil {
+		t.Fatal("out-of-range subscript did not abort")
+	}
+}
+
+func TestBlockMoves(t *testing.T) {
+	compileRun(t, `
+program blocks;
+var a, b: array[0..9] of integer;
+    big1, big2: array[0..99] of integer;
+    i, s1, s2: integer;
+begin
+  for i := 0 to 9 do a[i] := i + 1;
+  b := a;
+  s1 := 0;
+  for i := 0 to 9 do s1 := s1 + b[i];
+  for i := 0 to 99 do big1[i] := 2;
+  big2 := big1;
+  s2 := 0;
+  for i := 0 to 99 do s2 := s2 + big2[i]
+end.
+`, nil, map[string]int32{"s1": 55, "s2": 200})
+}
+
+// TestReversedRealForms exercises the memory-first rsub/rdiv productions
+// (load, operate, move back to the left-side register).
+func TestReversedRealForms(t *testing.T) {
+	c, err := target(t).Compile("revreal.pas", `
+program revreal;
+var x, y, z: real;
+    f1, f2: integer;
+begin
+  x := 3.0;
+  y := 10.0 - x;
+  z := 21.0 / y;
+  f1 := 0; f2 := 0;
+  if y = 7.0 then f1 := 1;
+  if z = 3.0 then f2 := 1
+end.
+`, shaper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := c.Run(nil, 1_000_000)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, c.Listing())
+	}
+	for v, want := range map[string]int32{"f1": 1, "f2": 1} {
+		if got, _ := driver.Word(cpu, c, v); got != want {
+			t.Errorf("%s = %d, want %d\n%s", v, got, want, c.Listing())
+		}
+	}
+}
+
+// TestMinMaxBuiltins exercises the imax/imin productions through
+// explicit comparisons... Pascal has no min/max builtin, so drive the
+// productions at the IF level instead via direct comparison chains.
+func TestHalfwordMinMaxForms(t *testing.T) {
+	// The hlfword imax/imin memory variants fire when one operand is a
+	// halfword variable; the shaper only emits imax from abs-style
+	// rewriting, so exercise the productions through ifcgen-style IF.
+	toks := "assign fullword dsp.96 r.13 imax fullword dsp.100 r.13 hlfword dsp.104 r.13 " +
+		"assign fullword dsp.112 r.13 imin hlfword dsp.104 r.13 fullword dsp.100 r.13"
+	prog, _, err := target(t).Gen.Generate("MM", mustTokensD(t, toks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first shape munches into the fullword-first imax form (C with
+	// an LH-loaded operand); the second uses the halfword-memory imin
+	// form directly (CH).
+	ch, lh := 0, 0
+	for i := range prog.Instrs {
+		switch prog.Instrs[i].Op {
+		case "ch":
+			ch++
+		case "lh":
+			lh++
+		}
+	}
+	if ch < 1 || lh < 1 {
+		t.Errorf("halfword forms unused: ch=%d lh=%d", ch, lh)
+	}
+}
+
+// TestGlobalsInProcedures: main's frame sits at a fixed address, so
+// procedures address globals through the dedicated global base register
+// while their own frames stay dynamic (recursion still works).
+func TestGlobalsInProcedures(t *testing.T) {
+	compileRun(t, `
+program globals;
+var counter, depth: integer;
+
+procedure bump(n: integer);
+begin
+  counter := counter + n;
+  if n > 1 then bump(n - 1);
+  depth := depth + 1
+end;
+
+begin
+  counter := 0; depth := 0;
+  bump(5)
+end.
+`, nil, map[string]int32{"counter": 15, "depth": 5})
+}
+
+// TestUninitChecks: the MTS-style read-before-write check plants the
+// uninitialized pattern and the uninit_check production catches reads
+// of it.
+func TestUninitChecks(t *testing.T) {
+	okSrc := `
+program initok;
+var x, y: integer;
+begin
+  x := 5;
+  y := x + 1
+end.
+`
+	badSrc := `
+program initbad;
+var x, y: integer;
+begin
+  y := x + 1
+end.
+`
+	opts := shaper.Options{UninitChecks: true}
+	c, err := target(t).Compile("ok.pas", okSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(nil, 100_000); err != nil {
+		t.Fatalf("initialized program aborted: %v\n%s", err, c.Listing())
+	}
+	c2, err := target(t).Compile("bad.pas", badSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Run(nil, 100_000); err == nil {
+		t.Fatalf("read of uninitialized x did not abort\n%s", c2.Listing())
+	}
+	// Without the option the same program runs (reading the pattern).
+	c3, err := target(t).Compile("bad.pas", badSrc, shaper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c3.Run(nil, 100_000); err != nil {
+		t.Fatalf("unchecked program aborted: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package driver_test
+
+import (
+	"testing"
+
+	"cogg/internal/driver"
+	"cogg/internal/shaper"
+)
+
+// Regression tests for bugs found by the differential fuzzer during
+// development. Each was minimized from a failing random program; the
+// comments name the defect.
+
+// The LA-based add idiom (`la r,v(0,r)`) truncated negative
+// intermediates to 24 bits; the productions were removed from the
+// specification. 39 + (33 + (-584)) must be -512, not 0x00FFFE00.
+func TestRegressionLATruncation(t *testing.T) {
+	compileRun(t, `
+program latrunc;
+var b, v2: integer;
+begin
+  b := -(73 * 8);
+  v2 := abs(39) + (33 + b)
+end.
+`, nil, map[string]int32{"v2": -512})
+}
+
+// The shaper's literal storage overlapped the branch/case literal pool:
+// a large constant (9999) overwrote a case table's address and the
+// dispatch jumped to storage address zero.
+func TestRegressionPoolPartition(t *testing.T) {
+	compileRun(t, `
+program poolclash;
+var a, d, c, h: integer;
+begin
+  d := 2; c := 11; a := 3;
+  h := (d * c) mod 9999;
+  a := a + h;
+  case a mod 4 of
+    1, 2: a := 69 * 49
+  else a := 0
+  end
+end.
+`, nil, map[string]int32{"a": 3381})
+}
+
+// The register save area's r13 slot doubled as the dynamic chain: a
+// callee's STM overwrote the caller's chain with the caller's own frame
+// address, so the caller's exit restored r13 to itself and looped.
+func TestRegressionSaveAreaChain(t *testing.T) {
+	compileRun(t, `
+program chain;
+var r1: integer;
+function double(x: integer): integer;
+begin double := x + x end;
+begin
+  r1 := double(21)
+end.
+`, nil, map[string]int32{"r1": 42})
+}
+
+// Two calls in one expression read the same callee-frame result slot;
+// the second call's frame reuse clobbered the first result. The shaper
+// now copies each result to a caller-frame temporary.
+func TestRegressionDoubleCallResult(t *testing.T) {
+	compileRun(t, `
+program twocalls;
+var x: integer;
+function id(n: integer): integer;
+begin id := n end;
+begin
+  x := id(30) + id(12)
+end.
+`, nil, map[string]int32{"x": 42})
+}
+
+// The hand-written baseline's operand-commuting probe evaluated index
+// subtrees as a side effect, leaking registers and emitting duplicate
+// code. The probe is now a pure shape test.
+func TestRegressionBaselineCommuteProbe(t *testing.T) {
+	src := `
+program commute;
+var v: array[1..8] of integer;
+    i, x: integer;
+begin
+  for i := 1 to 8 do v[i] := i;
+  x := 0;
+  for i := 1 to 8 do x := v[i] + x
+end.
+`
+	prog, err := parsePascal(t, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaped, err := shaper.Shape(prog, shaper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := driver.CompileHandwritten(shaped, target(t).Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := hw.Run(nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := driver.Word(cpu, hw, "x"); got != 36 {
+		t.Errorf("x = %d, want 36", got)
+	}
+}

@@ -1,0 +1,60 @@
+package driver_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cogg/internal/driver"
+	"cogg/internal/shaper"
+)
+
+// TestWriteBuiltin routes output through the runtime stub's vector slot.
+func TestWriteBuiltin(t *testing.T) {
+	src := `
+program out;
+var i: integer;
+function sq(n: integer): integer;
+begin sq := n * n end;
+begin
+  for i := 1 to 5 do writeln(sq(i));
+  write(100, 200)
+end.
+`
+	c, err := target(t).Compile("out.pas", src, shaper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := c.Run(nil, 1_000_000)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, c.Listing())
+	}
+	got := driver.Output(cpu)
+	want := []int32{1, 4, 9, 16, 25, 100, 200}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("output %v, want %v", got, want)
+	}
+}
+
+// TestWriteUnderMinimalGrammar: the builtin is ordinary IF, so the
+// minimal specification handles it too.
+func TestWriteUnderMinimalGrammar(t *testing.T) {
+	src := `
+program out2;
+var x: integer;
+begin
+  x := 6 * 7;
+  writeln(x)
+end.
+`
+	c, err := minimalTarget(t).Compile("out2.pas", src, shaper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := c.Run(nil, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := driver.Output(cpu); len(got) != 1 || got[0] != 42 {
+		t.Errorf("output %v", got)
+	}
+}

@@ -1,0 +1,163 @@
+// Package grammar resolves a parsed CoGG specification into a typed
+// grammar: every identifier is entered into a symbol table recording its
+// class, and every use in a production or template is checked against
+// that class ("such type checking is of utmost importance when processing
+// the description of a realistic code generator", paper section 2).
+package grammar
+
+import "fmt"
+
+// Kind classifies a declared symbol by its declaration subsection.
+type Kind int
+
+const (
+	// Nonterminal symbols correspond to the register classes managed by
+	// the register allocation routine (r, dbl, cc, ...), plus lambda.
+	Nonterminal Kind = iota
+	// Terminal symbols carry values set by the shaper (dsp, cnt, lbl, ...).
+	Terminal
+	// Operator symbols appear only in productions (iadd, fullword, ...).
+	Operator
+	// Opcode symbols are target machine mnemonics (l, a, st, ...).
+	Opcode
+	// Semantic symbols are constants without a numeric value: the
+	// semantic operators interpreted by the code emission routine.
+	Semantic
+	// Constant symbols carry a numeric value (zero = 0, stack_base = 13).
+	Constant
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Nonterminal:
+		return "nonterminal"
+	case Terminal:
+		return "terminal"
+	case Operator:
+		return "operator"
+	case Opcode:
+		return "opcode"
+	case Semantic:
+		return "semantic operator"
+	case Constant:
+		return "constant"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Symbol is one symbol-table entry.
+type Symbol struct {
+	ID    int
+	Name  string
+	Kind  Kind
+	Value int64 // for Constant
+	Alias string
+}
+
+// Arg is one resolved template operand atom.
+type Arg struct {
+	IsRef bool  // tagged symbol reference, bound at code generation time
+	Sym   int   // symbol ID of the reference or constant
+	Tag   int   // reference tag
+	Num   int64 // resolved numeric value for constants and literals
+}
+
+// Operand is one resolved template operand: a base atom and up to two
+// parenthesised atoms (index/base registers, or length/base for SS forms).
+type Operand struct {
+	Base Arg
+	Sub  []Arg
+}
+
+// Template is one resolved translation template.
+type Template struct {
+	Op       int // symbol ID of an Opcode or Semantic symbol
+	Semantic bool
+	Operands []Operand
+	Line     int
+}
+
+// Prod is one resolved production.
+type Prod struct {
+	Num     int // 1-based, in specification order (encodes preference)
+	Line    int
+	LHS     int   // symbol ID; Lambda for an empty left side
+	LHSTag  int   // tag of the LHS reference (meaningless for lambda)
+	RHS     []int // symbol IDs
+	RHSTags []int // tag per RHS position; -1 for untagged operators
+
+	Templates []Template
+
+	// Uses and Needs are the registers requested by the production's
+	// templates, computed once at table construction time so that the
+	// code emission routine can allocate all of them up front.
+	Uses  []Ref // `using`: any free register of the class
+	Needs []Ref // `need`: a specific physical register of the class
+}
+
+// Ref identifies a tagged symbol occurrence within one production.
+type Ref struct {
+	Sym int
+	Tag int
+}
+
+// Grammar is the resolved, type-checked specification.
+type Grammar struct {
+	Name   string
+	Syms   []Symbol // indexed by symbol ID
+	Prods  []*Prod
+	Lambda int // symbol ID of the empty left side
+
+	byName map[string]int
+}
+
+// AddSymbol appends a symbol with the next ID; it exists for
+// deserialization of table modules and for building grammars in tests.
+func (g *Grammar) AddSymbol(name string, kind Kind, value int64) int {
+	if g.byName == nil {
+		g.byName = make(map[string]int)
+	}
+	id := len(g.Syms)
+	g.Syms = append(g.Syms, Symbol{ID: id, Name: name, Kind: kind, Value: value})
+	g.byName[name] = id
+	return id
+}
+
+// Lookup returns the symbol with the given name.
+func (g *Grammar) Lookup(name string) (Symbol, bool) {
+	id, ok := g.byName[name]
+	if !ok {
+		return Symbol{}, false
+	}
+	return g.Syms[id], true
+}
+
+// SymName returns the name of symbol id, or a placeholder for bad IDs.
+func (g *Grammar) SymName(id int) string {
+	if id < 0 || id >= len(g.Syms) {
+		return fmt.Sprintf("sym#%d", id)
+	}
+	return g.Syms[id].Name
+}
+
+// KindOf returns the class of symbol id.
+func (g *Grammar) KindOf(id int) Kind { return g.Syms[id].Kind }
+
+// IsLambda reports whether id is the empty left side.
+func (g *Grammar) IsLambda(id int) bool { return id == g.Lambda }
+
+// ProdString renders production p in specification notation.
+func (g *Grammar) ProdString(p *Prod) string {
+	s := g.refString(p.LHS, p.LHSTag) + " ::="
+	for i, sym := range p.RHS {
+		s += " " + g.refString(sym, p.RHSTags[i])
+	}
+	return s
+}
+
+func (g *Grammar) refString(sym, tag int) string {
+	if tag < 0 || g.IsLambda(sym) || g.Syms[sym].Kind == Operator {
+		return g.SymName(sym)
+	}
+	return fmt.Sprintf("%s.%d", g.SymName(sym), tag)
+}

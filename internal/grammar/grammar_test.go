@@ -1,0 +1,249 @@
+package grammar_test
+
+import (
+	"strings"
+	"testing"
+
+	"cogg/internal/grammar"
+	"cogg/internal/spec"
+)
+
+const okSpec = `
+$Non-terminals
+ r = register
+ dbl = pair
+ cc = condition
+$Terminals
+ dsp = displacement
+ lng = length
+ cond = mask
+ lbl = label
+$Operators
+ fullword, iadd, imult, assign, icompare, branch_op
+$Opcodes
+ l, a, st, mr, cr
+$Constants
+ using, need, modifies, push_odd, ignore_lhs, branch, load_odd_reg
+ zero = 0, unconditional = 15
+$Productions
+r.2 ::= fullword dsp.1 r.1
+ using r.2
+ l r.2,dsp.1(zero,r.1)
+
+r.2 ::= iadd r.2 fullword dsp.1 r.1
+ modifies r.2
+ a r.2,dsp.1(zero,r.1)
+
+r.1 ::= imult r.1 r.2
+ using dbl.1
+ load_odd_reg dbl.1,r.1
+ mr dbl.1,r.2
+ push_odd dbl.1
+ ignore_lhs
+
+lambda ::= assign fullword dsp.1 r.1 r.2
+ st r.2,dsp.1(zero,r.1)
+
+cc.1 ::= icompare r.1 r.2
+ using cc.1
+ cr r.1,r.2
+
+lambda ::= branch_op lbl.1 cond.1 cc.1
+ using r.3
+ branch cond.1,lbl.1,r.3
+`
+
+func resolve(t *testing.T, src string) *grammar.Grammar {
+	t.Helper()
+	f, err := spec.Parse("g.cogg", src)
+	if err != nil {
+		t.Fatalf("spec.Parse: %v", err)
+	}
+	g, err := grammar.Resolve(f)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	return g
+}
+
+func TestResolveKinds(t *testing.T) {
+	g := resolve(t, okSpec)
+	cases := map[string]grammar.Kind{
+		"r": grammar.Nonterminal, "dsp": grammar.Terminal,
+		"iadd": grammar.Operator, "st": grammar.Opcode,
+		"using": grammar.Semantic, "zero": grammar.Constant,
+		"lambda": grammar.Nonterminal,
+	}
+	for name, kind := range cases {
+		s, ok := g.Lookup(name)
+		if !ok {
+			t.Errorf("symbol %q missing", name)
+			continue
+		}
+		if s.Kind != kind {
+			t.Errorf("%q kind = %v, want %v", name, s.Kind, kind)
+		}
+	}
+	if s, _ := g.Lookup("unconditional"); s.Value != 15 {
+		t.Errorf("unconditional value = %d", s.Value)
+	}
+}
+
+func TestUsesAndNeeds(t *testing.T) {
+	g := resolve(t, okSpec)
+	// Production 3 (imult) uses dbl.1.
+	p := g.Prods[2]
+	if len(p.Uses) != 1 || g.SymName(p.Uses[0].Sym) != "dbl" || p.Uses[0].Tag != 1 {
+		t.Errorf("imult uses = %+v", p.Uses)
+	}
+	// Load production uses r.2 (its LHS).
+	p0 := g.Prods[0]
+	if len(p0.Uses) != 1 || p0.Uses[0].Tag != 2 {
+		t.Errorf("load uses = %+v", p0.Uses)
+	}
+}
+
+func TestProdString(t *testing.T) {
+	g := resolve(t, okSpec)
+	got := g.ProdString(g.Prods[1])
+	want := "r.2 ::= iadd r.2 fullword dsp.1 r.1"
+	if got != want {
+		t.Errorf("ProdString = %q, want %q", got, want)
+	}
+	if !strings.HasPrefix(g.ProdString(g.Prods[3]), "lambda ::=") {
+		t.Errorf("lambda ProdString = %q", g.ProdString(g.Prods[3]))
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := resolve(t, okSpec)
+	s := g.ComputeStats()
+	if s.Productions != 6 {
+		t.Errorf("productions = %d", s.Productions)
+	}
+	if s.Templates != 14 {
+		t.Errorf("templates = %d", s.Templates)
+	}
+	if s.ProductionOps != 6 {
+		t.Errorf("production operators = %d", s.ProductionOps)
+	}
+	if s.SemanticOps != 7 {
+		t.Errorf("semantic operators = %d", s.SemanticOps)
+	}
+	// Parse symbols: operators (6) + terminals used (dsp, lng declared
+	// but lng unused -> only used ones count... dsp, cond, lbl) +
+	// nonterminals on left sides (r, cc) + end marker.
+	if s.ParseSymbols < 10 {
+		t.Errorf("parse symbols = %d", s.ParseSymbols)
+	}
+	if s.SymbolsDeclared != 27 {
+		t.Errorf("symbols declared = %d", s.SymbolsDeclared)
+	}
+}
+
+// resolveErr builds a grammar expecting failure.
+func resolveErr(t *testing.T, name, src string) {
+	t.Helper()
+	f, err := spec.Parse("g.cogg", src)
+	if err != nil {
+		t.Fatalf("%s: spec.Parse failed early: %v", name, err)
+	}
+	if _, err := grammar.Resolve(f); err == nil {
+		t.Errorf("%s: Resolve succeeded, want a type error", name)
+	}
+}
+
+const declHeader = `
+$Non-terminals
+ r = register
+$Terminals
+ dsp = displacement
+$Operators
+ fullword, iadd
+$Opcodes
+ l, a
+$Constants
+ using, modifies
+ zero = 0
+$Productions
+`
+
+func TestTypeErrors(t *testing.T) {
+	cases := map[string]string{
+		"opcode on right side": declHeader + `
+r.1 ::= iadd r.1 l
+ a r.1,zero(zero,r.1)
+`,
+		"terminal left side": declHeader + `
+dsp.1 ::= fullword dsp.1 r.1
+ l r.1,dsp.1(zero,r.1)
+`,
+		"untagged nonterminal": declHeader + `
+r ::= fullword dsp.1 r.1
+ using r.1
+`,
+		"untagged terminal on right": declHeader + `
+r.1 ::= fullword dsp r.1
+ using r.1
+`,
+		"tagged operator": declHeader + `
+r.1 ::= iadd.1 r.1 r.2
+ a r.1,zero(zero,r.2)
+`,
+		"unbound template operand": declHeader + `
+r.1 ::= iadd r.1 r.2
+ a r.1,dsp.9(zero,r.2)
+`,
+		"unbound left side": declHeader + `
+r.3 ::= iadd r.1 r.2
+ modifies r.1
+`,
+		"operator as template opcode": declHeader + `
+r.1 ::= iadd r.1 r.2
+ iadd r.1,r.2
+`,
+		"semantic operand not register": declHeader + `
+r.1 ::= iadd r.1 r.2
+ using dsp.1
+`,
+		"duplicate right-side occurrence": declHeader + `
+r.1 ::= iadd r.1 r.1
+ modifies r.1
+`,
+		"using rebinds right side": declHeader + `
+r.1 ::= iadd r.1 r.2
+ using r.1
+`,
+		"lambda with tag": declHeader + `
+lambda.1 ::= iadd r.1 r.2
+ modifies r.1
+`,
+		"too many instructions": declHeader + `
+r.1 ::= iadd r.1 r.2
+ a r.1,zero(zero,r.2)
+ a r.1,zero(zero,r.2)
+ a r.1,zero(zero,r.2)
+ a r.1,zero(zero,r.2)
+ a r.1,zero(zero,r.2)
+ a r.1,zero(zero,r.2)
+ a r.1,zero(zero,r.2)
+ a r.1,zero(zero,r.2)
+ a r.1,zero(zero,r.2)
+`,
+	}
+	for name, src := range cases {
+		resolveErr(t, name, src)
+	}
+}
+
+func TestAddSymbolLookup(t *testing.T) {
+	g := &grammar.Grammar{}
+	id := g.AddSymbol("x", grammar.Constant, 42)
+	s, ok := g.Lookup("x")
+	if !ok || s.ID != id || s.Value != 42 {
+		t.Errorf("AddSymbol/Lookup: %+v %v", s, ok)
+	}
+	if g.SymName(999) == "" {
+		t.Error("SymName out of range should return a placeholder")
+	}
+}

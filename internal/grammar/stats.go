@@ -1,0 +1,62 @@
+package grammar
+
+// Stats are the grammar-level rows of the paper's Table 1. The parse
+// table rows (states, entries, significant entries) are reported by the
+// table constructor in package tables.
+type Stats struct {
+	SymbolsDeclared    int // (i)   all identifiers used in constructing the tables
+	ParseSymbols       int // (ii)  X dimension: symbols which can be encountered in the IF
+	Productions        int // (vi)
+	Templates          int // (vii)
+	ProductionOps      int // (viii) operators which can be encountered in the IF
+	SemanticOps        int // (ix)   operators producing semantic intervention
+	Opcodes            int //        target mnemonics declared
+	NonterminalClasses int //        register classes (excluding lambda)
+}
+
+// ComputeStats derives the grammar statistics.
+func (g *Grammar) ComputeStats() Stats {
+	var s Stats
+	s.SymbolsDeclared = len(g.Syms) - 1 // lambda is predeclared, not user supplied
+
+	// Symbols encounterable in the IF during a parse: every operator or
+	// terminal appearing in a right side, plus every nonterminal that can
+	// be prefixed back onto the input (any non-lambda LHS), plus the end
+	// marker.
+	seen := map[int]bool{}
+	usedSemantic := map[int]bool{}
+	for _, p := range g.Prods {
+		if p.LHS != g.Lambda {
+			seen[p.LHS] = true
+		}
+		for _, sym := range p.RHS {
+			seen[sym] = true
+		}
+		for _, t := range p.Templates {
+			if t.Semantic {
+				usedSemantic[t.Op] = true
+			}
+		}
+	}
+	s.ParseSymbols = len(seen) + 1 // + end marker
+
+	s.Productions = len(g.Prods)
+	for _, p := range g.Prods {
+		s.Templates += len(p.Templates)
+	}
+	for _, sym := range g.Syms {
+		switch sym.Kind {
+		case Operator:
+			s.ProductionOps++
+		case Semantic:
+			s.SemanticOps++
+		case Opcode:
+			s.Opcodes++
+		case Nonterminal:
+			if sym.ID != g.Lambda {
+				s.NonterminalClasses++
+			}
+		}
+	}
+	return s
+}

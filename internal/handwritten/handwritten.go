@@ -1,0 +1,471 @@
+// Package handwritten is a conventional hand-crafted code generator over
+// the same shaped intermediate form the table-driven generator parses.
+// It is the comparison baseline of the paper's Appendix 1 (standing in
+// for IBM's PascalVS translation phase): a competent tree walker with
+// memory-operand folding, written "the traditional way" — a fixed
+// strategy per operator, wired directly into Go code instead of driven
+// by tables.
+//
+// It shares the assembly container, label resolution, loader, and
+// simulator with the table-driven generator, so the two can be compared
+// differentially: same IF in, same machine semantics out.
+package handwritten
+
+import (
+	"fmt"
+
+	"cogg/internal/asm"
+	"cogg/internal/ir"
+	"cogg/internal/rt370"
+)
+
+// Generate translates shaped statement trees (without CSE operators)
+// into a code buffer ready for labels.Layout.
+func Generate(name string, stmts []*ir.Node) (*asm.Program, error) {
+	g := &gen{prog: asm.NewProgram(name)}
+	g.prog.Origin = rt370.CodeOrigin
+	g.prog.PoolOrigin = rt370.PoolOrigin
+	g.autoLabel = -1
+	for i := 1; i <= 9; i++ {
+		g.freeR = append(g.freeR, i)
+	}
+	g.freeF = []int{0, 2, 4, 6}
+	for _, st := range stmts {
+		if err := g.stmt(st); err != nil {
+			return nil, fmt.Errorf("handwritten: %w", err)
+		}
+	}
+	return g.prog, nil
+}
+
+type gen struct {
+	prog      *asm.Program
+	freeR     []int
+	freeF     []int
+	autoLabel int64
+	stmtNum   int
+}
+
+func (g *gen) emit(in asm.Instr) int {
+	in.Stmt = g.stmtNum
+	return g.prog.Append(in)
+}
+
+func (g *gen) op(name string, opds ...asm.Operand) {
+	g.emit(asm.Instr{Op: name, Opds: opds})
+}
+
+// --- registers ------------------------------------------------------------
+
+func (g *gen) allocR() (int, error) {
+	for i, r := range g.freeR {
+		_ = r
+		reg := g.freeR[i]
+		g.freeR = append(g.freeR[:i], g.freeR[i+1:]...)
+		return reg, nil
+	}
+	return 0, fmt.Errorf("out of registers")
+}
+
+func (g *gen) freeReg(r int) {
+	if r >= 1 && r <= 9 {
+		g.freeR = append(g.freeR, r)
+	}
+}
+
+func (g *gen) allocPair() (int, error) {
+	for _, e := range []int{2, 4, 6, 8} {
+		ei, oi := -1, -1
+		for i, r := range g.freeR {
+			if r == e {
+				ei = i
+			}
+			if r == e+1 {
+				oi = i
+			}
+		}
+		if ei >= 0 && oi >= 0 {
+			var rest []int
+			for _, r := range g.freeR {
+				if r != e && r != e+1 {
+					rest = append(rest, r)
+				}
+			}
+			g.freeR = rest
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("out of even/odd pairs")
+}
+
+func (g *gen) allocF() (int, error) {
+	if len(g.freeF) == 0 {
+		return 0, fmt.Errorf("out of floating registers")
+	}
+	f := g.freeF[0]
+	g.freeF = g.freeF[1:]
+	return f, nil
+}
+
+func (g *gen) freeFreg(f int) { g.freeF = append(g.freeF, f) }
+
+func (g *gen) label() int64 {
+	l := g.autoLabel
+	g.autoLabel--
+	return l
+}
+
+// --- shape helpers ----------------------------------------------------------
+
+// memOperand recognizes a plain or indexed storage reference subtree and
+// returns its operand plus the load/fold opcodes. For indexed references
+// the index subtree is evaluated first.
+func (g *gen) memOperand(n *ir.Node) (mem asm.Operand, width string, idxReg int, ok bool, err error) {
+	switch n.Op {
+	case ir.OpFullword, ir.OpHalfword, ir.OpByteword, ir.OpDblreal, ir.OpRealword:
+	default:
+		return asm.Operand{}, "", 0, false, nil
+	}
+	switch len(n.Kids) {
+	case 2: // dsp, base
+		return asm.M(n.Kids[0].Val, 0, int(n.Kids[1].Val)), n.Op, 0, true, nil
+	case 3: // index, dsp, base
+		idx, err := g.evalInt(n.Kids[0])
+		if err != nil {
+			return asm.Operand{}, "", 0, false, err
+		}
+		return asm.M(n.Kids[1].Val, idx, int(n.Kids[2].Val)), n.Op, idx, true, nil
+	}
+	return asm.Operand{}, "", 0, false, fmt.Errorf("malformed storage reference %s", n)
+}
+
+// loadInt loads a storage reference into a fresh register.
+func (g *gen) loadInt(mem asm.Operand, width string, idxReg int) (int, error) {
+	r, err := g.allocR()
+	if err != nil {
+		return 0, err
+	}
+	switch width {
+	case ir.OpFullword:
+		g.op("l", asm.R(r), mem)
+	case ir.OpHalfword:
+		g.op("lh", asm.R(r), mem)
+	case ir.OpByteword:
+		g.op("xr", asm.R(r), asm.R(r))
+		g.op("ic", asm.R(r), mem)
+	default:
+		return 0, fmt.Errorf("cannot load %s into a general register", width)
+	}
+	g.freeReg(idxReg)
+	return r, nil
+}
+
+// --- integer expressions ----------------------------------------------------
+
+// evalInt evaluates an integer subtree into a general register.
+func (g *gen) evalInt(n *ir.Node) (int, error) {
+	switch n.Op {
+	case ir.OpFullword, ir.OpHalfword, ir.OpByteword:
+		mem, width, idx, _, err := g.memOperand(n)
+		if err != nil {
+			return 0, err
+		}
+		return g.loadInt(mem, width, idx)
+	case ir.NTReg:
+		// A base register named directly in the IF.
+		return int(n.Val), nil
+	case ir.OpAddr:
+		r, err := g.allocR()
+		if err != nil {
+			return 0, err
+		}
+		switch len(n.Kids) {
+		case 2:
+			g.op("la", asm.R(r), asm.M(n.Kids[0].Val, 0, int(n.Kids[1].Val)))
+		case 3:
+			idx, err := g.evalInt(n.Kids[0])
+			if err != nil {
+				return 0, err
+			}
+			g.op("la", asm.R(r), asm.M(n.Kids[1].Val, idx, int(n.Kids[2].Val)))
+			g.freeReg(idx)
+		}
+		return r, nil
+	case ir.OpPosConstant:
+		r, err := g.allocR()
+		if err != nil {
+			return 0, err
+		}
+		g.op("la", asm.R(r), asm.M(n.Kids[0].Val, 0, 0))
+		return r, nil
+	case ir.OpNegConstant:
+		r, err := g.allocR()
+		if err != nil {
+			return 0, err
+		}
+		g.op("la", asm.R(r), asm.M(n.Kids[0].Val, 0, 0))
+		g.op("lcr", asm.R(r), asm.R(r))
+		return r, nil
+	case ir.OpIAdd, ir.OpISub:
+		return g.addSub(n)
+	case ir.OpIMult:
+		return g.mult(n)
+	case ir.OpIDiv, ir.OpIMod:
+		return g.divMod(n)
+	case ir.OpIncr:
+		r, err := g.evalInt(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		g.op("a", asm.R(r), asm.M(rt370.OffOneLoc, 0, rt370.RegPoolBase))
+		return r, nil
+	case ir.OpDecr:
+		r, err := g.evalInt(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		g.op("bctr", asm.R(r), asm.R(0))
+		return r, nil
+	case ir.OpINeg:
+		r, err := g.evalInt(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		g.op("lcr", asm.R(r), asm.R(r))
+		return r, nil
+	case ir.OpIAbs:
+		r, err := g.evalInt(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		g.op("lpr", asm.R(r), asm.R(r))
+		return r, nil
+	case ir.OpLShift, ir.OpRShift:
+		r, err := g.evalInt(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		opName := "sla"
+		if n.Op == ir.OpRShift {
+			opName = "sra"
+		}
+		if n.Kids[1].Op == ir.TermValue {
+			g.op(opName, asm.R(r), asm.I(n.Kids[1].Val))
+			return r, nil
+		}
+		cnt, err := g.evalInt(n.Kids[1])
+		if err != nil {
+			return 0, err
+		}
+		g.op(opName, asm.R(r), asm.M(0, 0, cnt))
+		g.freeReg(cnt)
+		return r, nil
+	case ir.OpIMax, ir.OpIMin:
+		l, err := g.evalInt(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		r, err := g.evalInt(n.Kids[1])
+		if err != nil {
+			return 0, err
+		}
+		g.op("cr", asm.R(l), asm.R(r))
+		over := g.label()
+		mask := int64(11) // gte keeps l for max
+		if n.Op == ir.OpIMin {
+			mask = 13
+		}
+		g.branch(mask, over)
+		g.op("lr", asm.R(l), asm.R(r))
+		g.defLabel(over)
+		g.freeReg(r)
+		return l, nil
+	case ir.OpSubscriptCheck, ir.OpRangeCheck:
+		return g.check(n)
+	case ir.OpUninitCheck:
+		r, err := g.evalInt(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		mem, _, idx, _, err := g.memOperand(n.Kids[1])
+		if err != nil {
+			return 0, err
+		}
+		g.op("c", asm.R(r), mem)
+		g.freeReg(idx)
+		g.op("bal", asm.R(14), asm.M(rt370.OffNotInit, 0, rt370.RegPoolBase))
+		return r, nil
+	case ir.TermCond:
+		// Materialize a condition as 0/1: the shaper recorded the mask
+		// that selects "true" for the condition subtree.
+		if err := g.evalCC(n.Kids[0]); err != nil {
+			return 0, err
+		}
+		r, err := g.allocR()
+		if err != nil {
+			return 0, err
+		}
+		g.op("la", asm.R(r), asm.M(1, 0, 0))
+		over := g.label()
+		g.branch(n.Val, over)
+		g.op("la", asm.R(r), asm.M(0, 0, 0))
+		g.defLabel(over)
+		return r, nil
+	case ir.OpBoolNot:
+		r, err := g.evalInt(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		g.op("x", asm.R(r), asm.M(rt370.OffOneLoc, 0, rt370.RegPoolBase))
+		return r, nil
+	case ir.OpMakeCommon:
+		// The baseline has no CSE machinery: evaluate the expression.
+		return g.evalInt(n.Kids[5])
+	}
+	return 0, fmt.Errorf("unsupported integer subtree %q", n.Op)
+}
+
+// isMem reports whether a subtree is a storage reference without
+// evaluating anything (memOperand evaluates index subtrees, so it must
+// only be called on operands that will actually be consumed).
+func isMem(n *ir.Node) bool {
+	switch n.Op {
+	case ir.OpFullword, ir.OpHalfword, ir.OpByteword, ir.OpDblreal, ir.OpRealword:
+		return len(n.Kids) == 2 || len(n.Kids) == 3
+	}
+	return false
+}
+
+// addSub folds plain and indexed memory right operands into A/S/AH/SH.
+func (g *gen) addSub(n *ir.Node) (int, error) {
+	add := n.Op == ir.OpIAdd
+	l, r := n.Kids[0], n.Kids[1]
+	// Commute a memory left operand into the right slot for addition.
+	if add && isMem(l) && !isMem(r) {
+		l, r = r, l
+	}
+	lr, err := g.evalInt(l)
+	if err != nil {
+		return 0, err
+	}
+	if mem, width, idx, ok, err := g.memOperand(r); err != nil {
+		return 0, err
+	} else if ok && width != ir.OpByteword {
+		opName := map[[2]bool]string{
+			{true, true}: "a", {true, false}: "ah",
+			{false, true}: "s", {false, false}: "sh",
+		}[[2]bool{add, width == ir.OpFullword}]
+		g.op(opName, asm.R(lr), mem)
+		g.freeReg(idx)
+		return lr, nil
+	}
+	rr, err := g.evalInt(r)
+	if err != nil {
+		return 0, err
+	}
+	if add {
+		g.op("ar", asm.R(lr), asm.R(rr))
+	} else {
+		g.op("sr", asm.R(lr), asm.R(rr))
+	}
+	g.freeReg(rr)
+	return lr, nil
+}
+
+func (g *gen) mult(n *ir.Node) (int, error) {
+	l, err := g.evalInt(n.Kids[0])
+	if err != nil {
+		return 0, err
+	}
+	pair, err := g.allocPair()
+	if err != nil {
+		return 0, err
+	}
+	g.op("lr", asm.R(pair+1), asm.R(l))
+	g.freeReg(l)
+	if mem, width, idx, ok, err := g.memOperand(n.Kids[1]); err != nil {
+		return 0, err
+	} else if ok && width == ir.OpFullword {
+		g.op("m", asm.R(pair), mem)
+		g.freeReg(idx)
+	} else {
+		r, err := g.evalInt(n.Kids[1])
+		if err != nil {
+			return 0, err
+		}
+		g.op("mr", asm.R(pair), asm.R(r))
+		g.freeReg(r)
+	}
+	g.freeReg(pair) // product is in the odd register
+	return pair + 1, nil
+}
+
+func (g *gen) divMod(n *ir.Node) (int, error) {
+	l, err := g.evalInt(n.Kids[0])
+	if err != nil {
+		return 0, err
+	}
+	pair, err := g.allocPair()
+	if err != nil {
+		return 0, err
+	}
+	g.op("lr", asm.R(pair), asm.R(l))
+	g.freeReg(l)
+	g.op("srda", asm.R(pair), asm.I(32))
+	if mem, width, idx, ok, err := g.memOperand(n.Kids[1]); err != nil {
+		return 0, err
+	} else if ok && width == ir.OpFullword {
+		g.op("d", asm.R(pair), mem)
+		g.freeReg(idx)
+	} else {
+		r, err := g.evalInt(n.Kids[1])
+		if err != nil {
+			return 0, err
+		}
+		g.op("dr", asm.R(pair), asm.R(r))
+		g.freeReg(r)
+	}
+	if n.Op == ir.OpIDiv {
+		g.freeReg(pair)
+		return pair + 1, nil
+	}
+	g.freeReg(pair + 1)
+	return pair, nil
+}
+
+func (g *gen) check(n *ir.Node) (int, error) {
+	r, err := g.evalInt(n.Kids[0])
+	if err != nil {
+		return 0, err
+	}
+	memLo, _, idx1, _, err := g.memOperand(n.Kids[1])
+	if err != nil {
+		return 0, err
+	}
+	g.op("c", asm.R(r), memLo)
+	g.freeReg(idx1)
+	g.op("bal", asm.R(14), asm.M(rt370.OffUnderflow, 0, rt370.RegPoolBase))
+	memHi, _, idx2, _, err := g.memOperand(n.Kids[2])
+	if err != nil {
+		return 0, err
+	}
+	g.op("c", asm.R(r), memHi)
+	g.freeReg(idx2)
+	g.op("bal", asm.R(14), asm.M(rt370.OffOverflow, 0, rt370.RegPoolBase))
+	return r, nil
+}
+
+// branch emits a branch pseudo; a free register is borrowed for the
+// long form so a widened branch never clobbers a live value.
+func (g *gen) branch(mask, label int64) {
+	scratch := 1
+	if r, err := g.allocR(); err == nil {
+		scratch = r
+		g.freeReg(r)
+	}
+	g.emit(asm.Instr{Pseudo: asm.Branch, Cond: mask, Label: label, Scratch: scratch})
+}
+
+func (g *gen) defLabel(l int64) {
+	_ = g.prog.DefineLabel(l, len(g.prog.Instrs))
+}

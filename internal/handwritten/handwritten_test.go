@@ -1,0 +1,80 @@
+package handwritten_test
+
+import (
+	"strings"
+	"testing"
+
+	"cogg/internal/handwritten"
+	"cogg/internal/ir"
+	"cogg/internal/labels"
+	"cogg/internal/rt370"
+)
+
+func trees(t *testing.T, srcs ...string) []*ir.Node {
+	t.Helper()
+	var out []*ir.Node
+	for _, s := range srcs {
+		n, err := ir.ParseTree(s)
+		if err != nil {
+			t.Fatalf("ParseTree(%q): %v", s, err)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func TestGenerateBasicSequence(t *testing.T) {
+	p, err := handwritten.Generate("HW", trees(t,
+		"assign(fullword, dsp.96, r.13, iadd(fullword(dsp.100, r.13), fullword(dsp.104, r.13)))",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for i := range p.Instrs {
+		ops = append(ops, p.Instrs[i].Op)
+	}
+	// Memory right operand folds into A.
+	if strings.Join(ops, " ") != "l a st" {
+		t.Errorf("sequence %v", ops)
+	}
+	if err := labels.Layout(p, rt370.Machine()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommutesMemoryLeftOperand(t *testing.T) {
+	p, err := handwritten.Generate("HW", trees(t,
+		"assign(fullword, dsp.96, r.13, iadd(fullword(dsp.100, r.13), ineg(fullword(dsp.104, r.13))))",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for i := range p.Instrs {
+		ops = append(ops, p.Instrs[i].Op)
+	}
+	// The non-memory operand evaluates first and the memory operand
+	// folds: l, lcr, a, st.
+	if strings.Join(ops, " ") != "l lcr a st" {
+		t.Errorf("sequence %v", ops)
+	}
+}
+
+func TestRegisterDiscipline(t *testing.T) {
+	// A long chain of expressions must release registers as it goes.
+	var srcs []string
+	for i := 0; i < 20; i++ {
+		srcs = append(srcs,
+			"assign(fullword, dsp.96, r.13, imult(iadd(fullword(dsp.100, r.13), fullword(dsp.104, r.13)), fullword(dsp.108, r.13)))")
+	}
+	if _, err := handwritten.Generate("HW", trees(t, srcs...)); err != nil {
+		t.Fatalf("register leak across statements: %v", err)
+	}
+}
+
+func TestUnsupportedShapeReported(t *testing.T) {
+	if _, err := handwritten.Generate("HW", trees(t, "use_common(cse.1)")); err == nil {
+		t.Error("CSE operator accepted by the baseline")
+	}
+}

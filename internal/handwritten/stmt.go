@@ -1,0 +1,496 @@
+package handwritten
+
+import (
+	"fmt"
+
+	"cogg/internal/asm"
+	"cogg/internal/ir"
+	"cogg/internal/rt370"
+)
+
+// stmt translates one statement tree.
+func (g *gen) stmt(n *ir.Node) error {
+	switch n.Op {
+	case ir.OpStatement:
+		g.stmtNum = int(n.Kids[0].Val)
+		return nil
+	case ir.OpLabelDef:
+		g.defLabel(n.Kids[0].Val)
+		return nil
+	case ir.OpLabelIndex:
+		g.emit(asm.Instr{Pseudo: asm.AddrConst, Label: n.Kids[0].Val})
+		return nil
+	case ir.OpBranchOp:
+		if len(n.Kids) == 1 {
+			g.branch(15, n.Kids[0].Val)
+			return nil
+		}
+		cond := n.Kids[1]
+		if err := g.evalCC(cond.Kids[0]); err != nil {
+			return err
+		}
+		g.branch(cond.Val, n.Kids[0].Val)
+		return nil
+	case ir.OpCaseIndex:
+		idx, err := g.evalInt(n.Kids[1])
+		if err != nil {
+			return err
+		}
+		g.op("sll", asm.R(idx), asm.I(2))
+		scratch, err := g.allocR()
+		if err != nil {
+			return err
+		}
+		ix := g.emit(asm.Instr{Pseudo: asm.CaseLoad, Label: n.Kids[0].Val,
+			IndexR: idx, Scratch: scratch})
+		g.prog.Instrs[ix].PoolIx = g.prog.AddPoolLabel(n.Kids[0].Val)
+		g.freeReg(scratch)
+		g.freeReg(idx)
+		return nil
+	case ir.OpAssign:
+		return g.assign(n)
+	case ir.OpLongAssign, ir.OpVarAssign:
+		return g.longMove(n)
+	case ir.OpClear:
+		dst, err := g.evalInt(n.Kids[0])
+		if err != nil {
+			return err
+		}
+		g.op("xc", asm.ML(0, n.Kids[1].Val-1, dst), asm.M(0, 0, dst))
+		g.freeReg(dst)
+		return nil
+	case ir.OpSetBit, ir.OpClearBit:
+		return g.bitUpdate(n)
+	case ir.OpProcEntry:
+		g.op("stm", asm.R(14), asm.R(12), asm.M(rt370.OffSaveArea, 0, rt370.RegStackBase))
+		g.op("bal", asm.R(14), asm.M(rt370.OffEntryCode, 0, rt370.RegPoolBase))
+		return nil
+	case ir.OpProcExit:
+		g.op("l", asm.R(13), asm.M(rt370.OffOldBase, 0, rt370.RegStackBase))
+		g.op("lm", asm.R(14), asm.R(12), asm.M(rt370.OffSaveArea, 0, rt370.RegStackBase))
+		g.op("bcr", asm.I(15), asm.R(14))
+		return nil
+	case ir.OpProcCall:
+		g.prog.CallArgs[len(g.prog.Instrs)] = n.Kids[0].Val
+		// kids: cnt, fullword(bare), dsp, base
+		g.op("l", asm.R(15), asm.M(n.Kids[2].Val, 0, int(n.Kids[3].Val)))
+		g.op("balr", asm.R(14), asm.R(15))
+		return nil
+	case ir.OpAbortOp:
+		g.prog.AbortSites[len(g.prog.Instrs)] = n.Kids[0].Val
+		return nil
+	}
+	return fmt.Errorf("unsupported statement %q", n.Op)
+}
+
+// assign handles the shaped assignment forms. The kids are flattened:
+//
+//	[typeop dsp base value]
+//	[typeop idx dsp base value]
+//	[addrTree addrTree lng]      block move (MVC)
+func (g *gen) assign(n *ir.Node) error {
+	kids := n.Kids
+	head := kids[0]
+	if head.Op == ir.OpAddr && len(kids) == 3 && kids[2].Op == ir.TermLng {
+		dst, err := g.evalInt(kids[0])
+		if err != nil {
+			return err
+		}
+		src, err := g.evalInt(kids[1])
+		if err != nil {
+			return err
+		}
+		g.op("mvc", asm.ML(0, kids[2].Val-1, dst), asm.M(0, 0, src))
+		g.freeReg(dst)
+		g.freeReg(src)
+		return nil
+	}
+	var mem asm.Operand
+	var idxReg int
+	var value *ir.Node
+	switch len(kids) {
+	case 4:
+		mem = asm.M(kids[1].Val, 0, int(kids[2].Val))
+		value = kids[3]
+	case 5:
+		idx, err := g.evalInt(kids[1])
+		if err != nil {
+			return err
+		}
+		idxReg = idx
+		mem = asm.M(kids[2].Val, idx, int(kids[3].Val))
+		value = kids[4]
+	default:
+		return fmt.Errorf("malformed assignment %s", n)
+	}
+
+	switch head.Op {
+	case ir.OpDblreal, ir.OpRealword:
+		f, err := g.evalReal(value)
+		if err != nil {
+			return err
+		}
+		if head.Op == ir.OpDblreal {
+			g.op("std", asm.R(f), mem)
+		} else {
+			g.op("ste", asm.R(f), mem)
+		}
+		g.freeFreg(f)
+		g.freeReg(idxReg)
+		return nil
+	}
+
+	// Boolean condition-code values store through MVI when the target is
+	// directly addressable.
+	if isCCTree(value) {
+		if err := g.evalCC(value); err != nil {
+			return err
+		}
+		if idxReg != 0 {
+			r, err := g.allocR()
+			if err != nil {
+				return err
+			}
+			g.op("la", asm.R(r), mem)
+			mem = asm.M(0, 0, r)
+			g.freeReg(r)
+			g.freeReg(idxReg)
+			idxReg = 0
+		}
+		over := g.label()
+		g.op("mvi", mem, asm.I(0))
+		g.branch(8, over) // false: done
+		g.op("mvi", mem, asm.I(1))
+		g.defLabel(over)
+		return nil
+	}
+
+	r, err := g.evalInt(value)
+	if err != nil {
+		return err
+	}
+	switch head.Op {
+	case ir.OpFullword:
+		g.op("st", asm.R(r), mem)
+	case ir.OpHalfword:
+		g.op("sth", asm.R(r), mem)
+	case ir.OpByteword:
+		g.op("stc", asm.R(r), mem)
+	default:
+		return fmt.Errorf("unsupported assignment format %q", head.Op)
+	}
+	g.freeReg(r)
+	g.freeReg(idxReg)
+	return nil
+}
+
+// isCCTree recognizes value subtrees that produce a condition code in
+// the TM convention (true selected by mask 7, false by mask 8); the
+// shaper routes comparisons through cond-to-register instead.
+func isCCTree(n *ir.Node) bool {
+	switch n.Op {
+	case ir.OpBoolAnd, ir.OpBoolOr, ir.OpBoolTest, ir.OpTestBit, ir.OpIOdd:
+		return true
+	}
+	return false
+}
+
+// evalCC emits code leaving the tested condition in the condition code.
+// The masks follow the shaper's conventions: comparison masks for
+// icompare/rcompare, the TM conventions (true=7, false=8) for the
+// boolean forms.
+func (g *gen) evalCC(n *ir.Node) error {
+	switch n.Op {
+	case ir.OpICompare:
+		l, err := g.evalInt(n.Kids[0])
+		if err != nil {
+			return err
+		}
+		if mem, width, idx, ok, err := g.memOperand(n.Kids[1]); err != nil {
+			return err
+		} else if ok && width == ir.OpFullword {
+			g.op("c", asm.R(l), mem)
+			g.freeReg(idx)
+			g.freeReg(l)
+			return nil
+		} else if ok && width == ir.OpHalfword {
+			g.op("ch", asm.R(l), mem)
+			g.freeReg(idx)
+			g.freeReg(l)
+			return nil
+		}
+		r, err := g.evalInt(n.Kids[1])
+		if err != nil {
+			return err
+		}
+		g.op("cr", asm.R(l), asm.R(r))
+		g.freeReg(l)
+		g.freeReg(r)
+		return nil
+	case ir.OpRCompare:
+		l, err := g.evalReal(n.Kids[0])
+		if err != nil {
+			return err
+		}
+		r, err := g.evalReal(n.Kids[1])
+		if err != nil {
+			return err
+		}
+		g.op("cdr", asm.R(l), asm.R(r))
+		g.freeFreg(l)
+		g.freeFreg(r)
+		return nil
+	case ir.OpBoolTest:
+		// [byteword dsp base] flattened, or a register subtree.
+		if len(n.Kids) == 3 && n.Kids[0].Op == ir.OpByteword {
+			g.op("tm", asm.M(n.Kids[1].Val, 0, int(n.Kids[2].Val)), asm.I(1))
+			return nil
+		}
+		r, err := g.evalInt(n.Kids[0])
+		if err != nil {
+			return err
+		}
+		g.op("n", asm.R(r), asm.M(rt370.OffOneLoc, 0, rt370.RegPoolBase))
+		g.freeReg(r)
+		return nil
+	case ir.OpIOdd:
+		r, err := g.evalInt(n.Kids[0])
+		if err != nil {
+			return err
+		}
+		g.op("n", asm.R(r), asm.M(rt370.OffOneLoc, 0, rt370.RegPoolBase))
+		g.freeReg(r)
+		return nil
+	case ir.OpBoolAnd, ir.OpBoolOr:
+		return g.boolPair(n)
+	case ir.OpTestBit:
+		return g.testBit(n)
+	}
+	return fmt.Errorf("unsupported condition subtree %q", n.Op)
+}
+
+// boolPair evaluates and/or over flattened byte operands or register
+// subtrees using the TM/skip idiom of the specification.
+func (g *gen) boolPair(n *ir.Node) error {
+	and := n.Op == ir.OpBoolAnd
+	// Flattened (byte,byte) form: [byteword dsp r byteword dsp r].
+	if len(n.Kids) == 6 && n.Kids[0].Op == ir.OpByteword {
+		over := g.label()
+		g.op("tm", asm.M(n.Kids[1].Val, 0, int(n.Kids[2].Val)), asm.I(1))
+		if and {
+			g.branch(8, over)
+		} else {
+			g.branch(7, over)
+		}
+		g.op("tm", asm.M(n.Kids[4].Val, 0, int(n.Kids[5].Val)), asm.I(1))
+		g.defLabel(over)
+		return nil
+	}
+	if len(n.Kids) != 2 {
+		return fmt.Errorf("malformed boolean operation %s", n)
+	}
+	l, err := g.evalInt(n.Kids[0])
+	if err != nil {
+		return err
+	}
+	r, err := g.evalInt(n.Kids[1])
+	if err != nil {
+		return err
+	}
+	if and {
+		g.op("nr", asm.R(l), asm.R(r))
+	} else {
+		g.op("or", asm.R(l), asm.R(r))
+	}
+	g.op("n", asm.R(l), asm.M(rt370.OffOneLoc, 0, rt370.RegPoolBase))
+	g.freeReg(l)
+	g.freeReg(r)
+	return nil
+}
+
+// testBit handles set membership: immediate TM or the dynamic bit test.
+func (g *gen) testBit(n *ir.Node) error {
+	// [byteword dsp base elmnt]
+	if len(n.Kids) == 4 && n.Kids[0].Op == ir.OpByteword {
+		g.op("tm", asm.M(n.Kids[1].Val, 0, int(n.Kids[2].Val)), asm.I(n.Kids[3].Val))
+		return nil
+	}
+	// [addr dsp base elemTree]
+	if len(n.Kids) == 4 && n.Kids[0].Op == ir.OpAddr {
+		e, err := g.evalInt(n.Kids[3])
+		if err != nil {
+			return err
+		}
+		bit, err := g.allocR()
+		if err != nil {
+			return err
+		}
+		g.op("lr", asm.R(bit), asm.R(e))
+		g.op("srl", asm.R(e), asm.I(3))
+		g.op("n", asm.R(bit), asm.M(rt370.OffSevenLoc, 0, rt370.RegPoolBase))
+		g.op("ic", asm.R(e), asm.M(n.Kids[1].Val, e, int(n.Kids[2].Val)))
+		g.op("sll", asm.R(bit), asm.I(2))
+		g.op("n", asm.R(e), asm.M(rt370.OffBitmasks, bit, rt370.RegPoolBase))
+		g.freeReg(bit)
+		g.freeReg(e)
+		return nil
+	}
+	return fmt.Errorf("malformed bit test %s", n)
+}
+
+// bitUpdate handles set_bit_value and clear_bit_value statements.
+func (g *gen) bitUpdate(n *ir.Node) error {
+	set := n.Op == ir.OpSetBit
+	// [byteword dsp base elmnt]
+	if len(n.Kids) == 4 && n.Kids[0].Op == ir.OpByteword {
+		mem := asm.M(n.Kids[1].Val, 0, int(n.Kids[2].Val))
+		if set {
+			g.op("oi", mem, asm.I(n.Kids[3].Val))
+		} else {
+			g.op("ni", mem, asm.I(n.Kids[3].Val))
+		}
+		return nil
+	}
+	// [addr dsp base elemTree]: dynamic element.
+	if len(n.Kids) == 4 && n.Kids[0].Op == ir.OpAddr {
+		e, err := g.evalInt(n.Kids[3])
+		if err != nil {
+			return err
+		}
+		bit, err := g.allocR()
+		if err != nil {
+			return err
+		}
+		tmp, err := g.allocR()
+		if err != nil {
+			return err
+		}
+		g.op("lr", asm.R(bit), asm.R(e))
+		g.op("srl", asm.R(e), asm.I(3))
+		g.op("n", asm.R(bit), asm.M(rt370.OffSevenLoc, 0, rt370.RegPoolBase))
+		g.op("ic", asm.R(tmp), asm.M(n.Kids[1].Val, e, int(n.Kids[2].Val)))
+		g.op("sll", asm.R(bit), asm.I(2))
+		g.op("o", asm.R(tmp), asm.M(rt370.OffBitmasks, bit, rt370.RegPoolBase))
+		if !set {
+			// (byte OR mask) XOR mask clears the bit.
+			g.op("x", asm.R(tmp), asm.M(rt370.OffBitmasks, bit, rt370.RegPoolBase))
+		}
+		g.op("stc", asm.R(tmp), asm.M(n.Kids[1].Val, e, int(n.Kids[2].Val)))
+		g.freeReg(tmp)
+		g.freeReg(bit)
+		g.freeReg(e)
+		return nil
+	}
+	return fmt.Errorf("malformed bit update %s", n)
+}
+
+// longMove handles long_assign and var_assign with MVCL.
+func (g *gen) longMove(n *ir.Node) error {
+	dst, err := g.evalInt(n.Kids[0])
+	if err != nil {
+		return err
+	}
+	src, err := g.evalInt(n.Kids[1])
+	if err != nil {
+		return err
+	}
+	p1, err := g.allocPair()
+	if err != nil {
+		return err
+	}
+	p2, err := g.allocPair()
+	if err != nil {
+		return err
+	}
+	if n.Op == ir.OpLongAssign {
+		g.op("la", asm.R(p1+1), asm.M(n.Kids[2].Val, 0, 0))
+		g.op("la", asm.R(p2+1), asm.M(n.Kids[2].Val, 0, 0))
+	} else {
+		l, err := g.evalInt(n.Kids[2])
+		if err != nil {
+			return err
+		}
+		g.op("lr", asm.R(p1+1), asm.R(l))
+		g.op("lr", asm.R(p2+1), asm.R(l))
+		g.freeReg(l)
+	}
+	g.op("lr", asm.R(p1), asm.R(dst))
+	g.op("lr", asm.R(p2), asm.R(src))
+	g.op("mvcl", asm.R(p1), asm.R(p2))
+	g.freeReg(dst)
+	g.freeReg(src)
+	g.freeReg(p1)
+	g.freeReg(p1 + 1)
+	g.freeReg(p2)
+	g.freeReg(p2 + 1)
+	return nil
+}
+
+// evalReal evaluates a floating point subtree into a floating register.
+func (g *gen) evalReal(n *ir.Node) (int, error) {
+	switch n.Op {
+	case ir.OpDblreal, ir.OpRealword:
+		mem, width, idx, _, err := g.memOperand(n)
+		if err != nil {
+			return 0, err
+		}
+		f, err := g.allocF()
+		if err != nil {
+			return 0, err
+		}
+		if width == ir.OpDblreal {
+			g.op("ld", asm.R(f), mem)
+		} else {
+			g.op("le", asm.R(f), mem)
+		}
+		g.freeReg(idx)
+		return f, nil
+	case ir.OpRAdd, ir.OpRSub, ir.OpRMult, ir.OpRDiv:
+		l, err := g.evalReal(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		if mem, width, idx, ok, err := g.memOperand(n.Kids[1]); err != nil {
+			return 0, err
+		} else if ok && width == ir.OpDblreal {
+			opName := map[string]string{
+				ir.OpRAdd: "ad", ir.OpRSub: "sd", ir.OpRMult: "md", ir.OpRDiv: "dd",
+			}[n.Op]
+			g.op(opName, asm.R(l), mem)
+			g.freeReg(idx)
+			return l, nil
+		}
+		r, err := g.evalReal(n.Kids[1])
+		if err != nil {
+			return 0, err
+		}
+		opName := map[string]string{
+			ir.OpRAdd: "adr", ir.OpRSub: "sdr", ir.OpRMult: "mdr", ir.OpRDiv: "ddr",
+		}[n.Op]
+		g.op(opName, asm.R(l), asm.R(r))
+		g.freeFreg(r)
+		return l, nil
+	case ir.OpRNeg:
+		f, err := g.evalReal(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		g.op("lcdr", asm.R(f), asm.R(f))
+		return f, nil
+	case ir.OpRAbs:
+		f, err := g.evalReal(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		g.op("lpdr", asm.R(f), asm.R(f))
+		return f, nil
+	case ir.OpHalve:
+		f, err := g.evalReal(n.Kids[0])
+		if err != nil {
+			return 0, err
+		}
+		g.op("hdr", asm.R(f), asm.R(f))
+		return f, nil
+	}
+	return 0, fmt.Errorf("unsupported real subtree %q", n.Op)
+}

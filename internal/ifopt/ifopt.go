@@ -1,0 +1,267 @@
+// Package ifopt is the IF optimizer: it detects common subexpressions
+// and establishes their use counts (paper section 4.4: "All CSEs are
+// detected, and their use counts established, by an IF optimizer").
+//
+// Within each straight-line region of a shaped procedure body, repeated
+// pure computation subtrees are rewritten: the first occurrence is
+// wrapped in make_common (declaring the CSE number, the remaining use
+// count, and a shaper-allocated temporary storage home) and every later
+// occurrence becomes use_common. The code generator's semantic routines
+// track whether the value still lives in a register and reload from the
+// temporary only if a `modifies` forced it to storage.
+package ifopt
+
+import (
+	"sort"
+
+	"cogg/internal/ir"
+	"cogg/internal/rt370"
+)
+
+// TempAllocator matches shaper.TempAllocator: it hands out temporary
+// storage in the current frame.
+type TempAllocator func(size int64) int64
+
+// Optimizer numbers common subexpressions; each CSE number is unique
+// throughout the compilation, so one Optimizer serves a whole program.
+type Optimizer struct {
+	seq int64
+	// MinSize is the minimum node count for a candidate subtree
+	// (defaults to 3: at least one operator over a memory operand).
+	MinSize int
+}
+
+// New returns an optimizer.
+func New() *Optimizer { return &Optimizer{MinSize: 3} }
+
+// Apply rewrites a shaped statement sequence in place and returns it.
+// Its signature matches shaper.Options.CSE.
+func (o *Optimizer) Apply(stmts []*ir.Node, alloc func(size int64) int64) ([]*ir.Node, error) {
+	start := 0
+	for i := 0; i <= len(stmts); i++ {
+		boundary := i == len(stmts)
+		closeAfter := false
+		if !boundary {
+			switch stmts[i].Op {
+			case ir.OpLabelDef, ir.OpLabelIndex, ir.OpProcEntry, ir.OpProcExit,
+				ir.OpProcCall, ir.OpAbortOp:
+				boundary = true
+			case ir.OpBranchOp, ir.OpCaseIndex:
+				// The branch itself may still use values computed in the
+				// block; close the block after it.
+				closeAfter = true
+			}
+		}
+		if boundary {
+			o.block(stmts[start:i], alloc)
+			start = i + 1
+		} else if closeAfter {
+			o.block(stmts[start:i+1], alloc)
+			start = i + 1
+		}
+	}
+	return stmts, nil
+}
+
+// candidateRoots are the operators whose subtrees qualify as CSEs:
+// computed integer values held in general registers.
+var candidateRoots = map[string]bool{
+	ir.OpIAdd: true, ir.OpISub: true, ir.OpIMult: true,
+	ir.OpIDiv: true, ir.OpIMod: true,
+	ir.OpLShift: true, ir.OpRShift: true,
+	ir.OpIAbs: true, ir.OpINeg: true,
+}
+
+// loaders are the storage-reading type operators.
+var loaders = map[string]bool{
+	ir.OpFullword: true, ir.OpHalfword: true, ir.OpByteword: true,
+	ir.OpRealword: true, ir.OpDblreal: true,
+}
+
+// occurrence is one appearance of a candidate key.
+type occurrence struct {
+	node *ir.Node
+	size int
+}
+
+type group struct {
+	key  string
+	occs []*occurrence
+	size int
+}
+
+type readSet struct {
+	exact map[[2]int64]bool // (base, dsp) pairs
+	wild  map[int64]bool    // bases read with computed displacements
+}
+
+// block runs CSE over one straight-line region.
+func (o *Optimizer) block(stmts []*ir.Node, alloc func(size int64) int64) {
+	if len(stmts) < 1 {
+		return
+	}
+	open := map[string][]*occurrence{}
+	reads := map[string]readSet{}
+	var closed []group
+
+	closeKey := func(key string) {
+		occs := open[key]
+		if len(occs) >= 2 {
+			closed = append(closed, group{key: key, occs: occs, size: occs[0].size})
+		}
+		delete(open, key)
+		delete(reads, key)
+	}
+
+	for _, st := range stmts {
+		// Collect this statement's candidate subtrees in prefix order.
+		var visit func(n *ir.Node)
+		visit = func(n *ir.Node) {
+			if n == nil {
+				return
+			}
+			if candidateRoots[n.Op] {
+				if size := n.Size(); size >= o.MinSize {
+					key := n.String()
+					open[key] = append(open[key], &occurrence{node: n, size: size})
+					if _, ok := reads[key]; !ok {
+						rs := readSet{exact: map[[2]int64]bool{}, wild: map[int64]bool{}}
+						collectReads(n, &rs)
+						reads[key] = rs
+					}
+				}
+			}
+			for _, k := range n.Kids {
+				visit(k)
+			}
+		}
+		visit(st)
+
+		// Apply the statement's writes: close any key it may disturb.
+		base, dsp, wild, writes := writeTarget(st)
+		if !writes {
+			continue
+		}
+		for key, rs := range reads {
+			hit := false
+			if wild {
+				hit = rs.wild[base] || anyBase(rs.exact, base)
+			} else {
+				hit = rs.exact[[2]int64{base, dsp}] || rs.wild[base]
+			}
+			if hit {
+				closeKey(key)
+			}
+		}
+	}
+	for key := range open {
+		closeKey(key)
+	}
+
+	// Largest subtrees first; occurrences already claimed by a larger
+	// rewrite are unavailable.
+	sort.Slice(closed, func(i, j int) bool {
+		if closed[i].size != closed[j].size {
+			return closed[i].size > closed[j].size
+		}
+		return closed[i].key < closed[j].key
+	})
+	covered := map[*ir.Node]bool{}
+	markCovered := func(n *ir.Node) {
+		var walk func(m *ir.Node)
+		walk = func(m *ir.Node) {
+			covered[m] = true
+			for _, k := range m.Kids {
+				walk(k)
+			}
+		}
+		walk(n)
+	}
+	for _, g := range closed {
+		var live []*occurrence
+		for _, oc := range g.occs {
+			if !covered[oc.node] {
+				live = append(live, oc)
+			}
+		}
+		if len(live) < 2 {
+			continue
+		}
+		o.seq++
+		temp := alloc(4)
+		for _, oc := range live {
+			markCovered(oc.node)
+		}
+		first := live[0].node
+		clone := first.Clone()
+		*first = ir.Node{Op: ir.OpMakeCommon, Kids: []*ir.Node{
+			ir.V(ir.TermCse, o.seq),
+			ir.V(ir.TermCnt, int64(len(live)-1)),
+			{Op: ir.OpFullword},
+			ir.V(ir.TermDsp, temp),
+			ir.V(ir.NTReg, rt370.RegStackBase),
+			clone,
+		}}
+		for _, oc := range live[1:] {
+			*oc.node = ir.Node{Op: ir.OpUseCommon, Kids: []*ir.Node{ir.V(ir.TermCse, o.seq)}}
+		}
+	}
+}
+
+// collectReads gathers the storage locations a subtree loads.
+func collectReads(n *ir.Node, rs *readSet) {
+	if loaders[n.Op] {
+		switch len(n.Kids) {
+		case 2: // dsp, base
+			rs.exact[[2]int64{n.Kids[1].Val, n.Kids[0].Val}] = true
+			return
+		case 3: // index, dsp, base: extent unknown
+			rs.wild[n.Kids[2].Val] = true
+			collectReads(n.Kids[0], rs)
+			return
+		}
+	}
+	for _, k := range n.Kids {
+		collectReads(k, rs)
+	}
+}
+
+// anyBase reports whether any exact read uses the base register.
+func anyBase(exact map[[2]int64]bool, base int64) bool {
+	for k := range exact {
+		if k[0] == base {
+			return true
+		}
+	}
+	return false
+}
+
+// writeTarget extracts the storage a statement writes: base register,
+// displacement, and whether the extent is unknown (indexed or block
+// writes).
+func writeTarget(st *ir.Node) (base, dsp int64, wild, writes bool) {
+	switch st.Op {
+	case ir.OpAssign:
+		kids := st.Kids
+		if len(kids) == 0 {
+			return 0, 0, false, false
+		}
+		head := kids[0]
+		if loaders[head.Op] && len(head.Kids) == 0 {
+			// Flattened scalar target: [typeop dsp base value] or
+			// [typeop idx dsp base value].
+			if len(kids) == 4 && kids[1].Op == ir.TermDsp {
+				return kids[2].Val, kids[1].Val, false, true
+			}
+			if len(kids) == 5 {
+				return kids[3].Val, 0, true, true
+			}
+		}
+		// Block moves and other shapes: unknown extent on the stack base.
+		return rt370.RegStackBase, 0, true, true
+	case ir.OpLongAssign, ir.OpVarAssign, ir.OpClear,
+		ir.OpSetBit, ir.OpClearBit, ir.OpStoreBit:
+		return rt370.RegStackBase, 0, true, true
+	}
+	return 0, 0, false, false
+}

@@ -1,0 +1,185 @@
+package ifopt_test
+
+import (
+	"strings"
+	"testing"
+
+	"cogg/internal/ifopt"
+	"cogg/internal/ir"
+)
+
+// alloc is a deterministic temp allocator for tests.
+func alloc() (func(int64) int64, *[]int64) {
+	var got []int64
+	next := int64(500)
+	return func(size int64) int64 {
+		got = append(got, next)
+		off := next
+		next += size
+		return off
+	}, &got
+}
+
+// stmts parses a sequence of IF statement trees.
+func stmts(t *testing.T, srcs ...string) []*ir.Node {
+	t.Helper()
+	var out []*ir.Node
+	for _, s := range srcs {
+		n, err := ir.ParseTree(s)
+		if err != nil {
+			t.Fatalf("ParseTree(%q): %v", s, err)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func apply(t *testing.T, in []*ir.Node) string {
+	t.Helper()
+	a, _ := alloc()
+	out, err := ifopt.New().Apply(in, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []string
+	for _, n := range out {
+		parts = append(parts, n.String())
+	}
+	return strings.Join(parts, "\n")
+}
+
+func TestDetectsRepeatedSubtree(t *testing.T) {
+	got := apply(t, stmts(t,
+		"assign(fullword, dsp.96, r.13, iadd(imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)), pos_constant(v.3)))",
+		"assign(fullword, dsp.120, r.13, isub(imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)), pos_constant(v.8)))",
+	))
+	if !strings.Contains(got, "make_common(cse.1, cnt.1") {
+		t.Errorf("no make_common:\n%s", got)
+	}
+	if !strings.Contains(got, "use_common(cse.1)") {
+		t.Errorf("no use_common:\n%s", got)
+	}
+	// The first occurrence (parse order) carries the declaration.
+	if strings.Index(got, "make_common") > strings.Index(got, "use_common") {
+		t.Error("make_common does not precede use_common")
+	}
+}
+
+func TestUseCountMatchesOccurrences(t *testing.T) {
+	got := apply(t, stmts(t,
+		"assign(fullword, dsp.96, r.13, imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)))",
+		"assign(fullword, dsp.120, r.13, imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)))",
+		"assign(fullword, dsp.124, r.13, imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)))",
+	))
+	if !strings.Contains(got, "cnt.2") {
+		t.Errorf("three occurrences must declare two further uses:\n%s", got)
+	}
+	if c := strings.Count(got, "use_common(cse.1)"); c != 2 {
+		t.Errorf("use_common count = %d, want 2:\n%s", c, got)
+	}
+}
+
+func TestStoreInvalidates(t *testing.T) {
+	got := apply(t, stmts(t,
+		"assign(fullword, dsp.96, r.13, imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)))",
+		"assign(fullword, dsp.100, r.13, pos_constant(v.1))", // writes an input
+		"assign(fullword, dsp.120, r.13, imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)))",
+	))
+	if strings.Contains(got, "make_common") {
+		t.Errorf("CSE across an invalidating store:\n%s", got)
+	}
+}
+
+func TestUnrelatedStoreKeepsCSE(t *testing.T) {
+	got := apply(t, stmts(t,
+		"assign(fullword, dsp.96, r.13, imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)))",
+		"assign(fullword, dsp.900, r.13, pos_constant(v.1))", // unrelated slot
+		"assign(fullword, dsp.120, r.13, imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)))",
+	))
+	if !strings.Contains(got, "make_common") {
+		t.Errorf("unrelated store killed the CSE:\n%s", got)
+	}
+}
+
+func TestIndexedWriteInvalidatesWildly(t *testing.T) {
+	got := apply(t, stmts(t,
+		"assign(fullword, dsp.96, r.13, imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)))",
+		// Indexed store: extent unknown, kills everything on r13.
+		"assign(fullword, l_shift(fullword(dsp.200, r.13), v.2), dsp.300, r.13, pos_constant(v.1))",
+		"assign(fullword, dsp.120, r.13, imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)))",
+	))
+	if strings.Contains(got, "make_common") {
+		t.Errorf("CSE across an indexed store:\n%s", got)
+	}
+}
+
+func TestBlockBoundaries(t *testing.T) {
+	got := apply(t, stmts(t,
+		"assign(fullword, dsp.96, r.13, imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)))",
+		"label_def(lbl.1)", // control merge: conservative boundary
+		"assign(fullword, dsp.120, r.13, imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)))",
+	))
+	if strings.Contains(got, "make_common") {
+		t.Errorf("CSE across a label:\n%s", got)
+	}
+}
+
+func TestBranchMayUseBlockValues(t *testing.T) {
+	got := apply(t, stmts(t,
+		"assign(fullword, dsp.96, r.13, imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)))",
+		"branch_op(lbl.1, cond.8(icompare(imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)), pos_constant(v.0))))",
+	))
+	if !strings.Contains(got, "make_common") || !strings.Contains(got, "use_common") {
+		t.Errorf("branch compare did not reuse the block's CSE:\n%s", got)
+	}
+}
+
+func TestLargestSubtreeWins(t *testing.T) {
+	// a*b repeats, and so does (a*b)+c; the larger must be chosen and
+	// consume the smaller's occurrences.
+	got := apply(t, stmts(t,
+		"assign(fullword, dsp.96, r.13, iadd(imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)), fullword(dsp.108, r.13)))",
+		"assign(fullword, dsp.120, r.13, iadd(imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)), fullword(dsp.108, r.13)))",
+	))
+	if c := strings.Count(got, "make_common"); c != 1 {
+		t.Errorf("make_common count = %d, want 1 (outermost only):\n%s", c, got)
+	}
+	if !strings.Contains(got, "make_common(cse.1, cnt.1, fullword, dsp.500, r.13, iadd(") {
+		t.Errorf("outermost subtree not chosen:\n%s", got)
+	}
+}
+
+func TestMinSizeExcludesTinyTrees(t *testing.T) {
+	// Plain loads repeat but are not candidates (no arithmetic root).
+	got := apply(t, stmts(t,
+		"assign(fullword, dsp.96, r.13, fullword(dsp.100, r.13))",
+		"assign(fullword, dsp.120, r.13, fullword(dsp.100, r.13))",
+	))
+	if strings.Contains(got, "make_common") {
+		t.Errorf("bare load became a CSE:\n%s", got)
+	}
+}
+
+func TestUniqueNumbersAcrossCalls(t *testing.T) {
+	o := ifopt.New()
+	a, _ := alloc()
+	mk := func() []*ir.Node {
+		return stmts(t,
+			"assign(fullword, dsp.96, r.13, imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)))",
+			"assign(fullword, dsp.120, r.13, imult(fullword(dsp.100, r.13), fullword(dsp.104, r.13)))",
+		)
+	}
+	out1, err := o.Apply(mk(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := o.Apply(mk(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := out1[0].String()
+	t2 := out2[0].String()
+	if !strings.Contains(t1, "cse.1") || !strings.Contains(t2, "cse.2") {
+		t.Errorf("CSE numbers not unique throughout the compilation:\n%s\n%s", t1, t2)
+	}
+}

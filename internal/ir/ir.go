@@ -1,0 +1,174 @@
+// Package ir defines the intermediate form (IF) consumed by table-driven
+// code generators produced by CoGG.
+//
+// The front end of the compiler builds IF trees; the shaper resolves
+// addresses and linearizes each statement tree into prefix (Polish) order.
+// The code generator then parses the linear token stream bottom-up,
+// reducing subtrees that correspond to valid target computations.
+//
+// Two representations are provided:
+//
+//   - Node: an IF tree, as built by the front end and the IF optimizer.
+//   - Token: one element of the linearized prefix stream, as consumed by
+//     the generated code generator.
+//
+// Every token carries a symbol name and an optional semantic value.
+// Operators (iadd, fullword, assign, ...) carry no value; terminals
+// (dsp, cnt, lbl, cse, ...) carry the value installed by the shaper; and
+// nonterminal tokens (r, dbl, cc, ...) appear only when the code generator
+// prefixes a reduced left-hand side back onto its input stream.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Token is one element of the linearized prefix IF.
+type Token struct {
+	Sym string // symbol name: operator, value-carrying terminal, or nonterminal
+	Val int64  // semantic value for terminals (displacement, count, label, ...)
+}
+
+// String renders the token in the textual IF notation: bare operators
+// print as their name, valued symbols print as "name.value".
+func (t Token) String() string {
+	if t.Val == 0 && !Valued(t.Sym) {
+		return t.Sym
+	}
+	return fmt.Sprintf("%s.%d", t.Sym, t.Val)
+}
+
+// Node is an IF tree node. Leaves are value-carrying terminals or
+// register designators; interior nodes are operators.
+type Node struct {
+	Op   string
+	Val  int64
+	Kids []*Node
+}
+
+// N builds an operator node.
+func N(op string, kids ...*Node) *Node { return &Node{Op: op, Kids: kids} }
+
+// V builds a value-carrying leaf, such as a displacement or a count.
+func V(sym string, val int64) *Node { return &Node{Op: sym, Val: val} }
+
+// Clone returns a deep copy of the tree.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Op: n.Op, Val: n.Val}
+	if len(n.Kids) > 0 {
+		c.Kids = make([]*Node, len(n.Kids))
+		for i, k := range n.Kids {
+			c.Kids[i] = k.Clone()
+		}
+	}
+	return c
+}
+
+// Equal reports whether two trees are structurally identical.
+func (n *Node) Equal(m *Node) bool {
+	if n == nil || m == nil {
+		return n == m
+	}
+	if n.Op != m.Op || n.Val != m.Val || len(n.Kids) != len(m.Kids) {
+		return false
+	}
+	for i := range n.Kids {
+		if !n.Kids[i].Equal(m.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the number of nodes in the tree.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	s := 1
+	for _, k := range n.Kids {
+		s += k.Size()
+	}
+	return s
+}
+
+// Linearize appends the prefix-order token stream for the tree to dst and
+// returns the extended slice.
+func (n *Node) Linearize(dst []Token) []Token {
+	if n == nil {
+		return dst
+	}
+	dst = append(dst, Token{Sym: n.Op, Val: n.Val})
+	for _, k := range n.Kids {
+		dst = k.Linearize(dst)
+	}
+	return dst
+}
+
+// String renders the tree in functional notation, e.g.
+// "iadd(fullword(dsp.100, r.13), r.2)".
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder) {
+	if n == nil {
+		b.WriteString("<nil>")
+		return
+	}
+	b.WriteString(n.Op)
+	if n.Val != 0 || (len(n.Kids) == 0 && Valued(n.Op)) {
+		fmt.Fprintf(b, ".%d", n.Val)
+	}
+	if len(n.Kids) > 0 {
+		b.WriteByte('(')
+		for i, k := range n.Kids {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			k.write(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Program is a sequence of shaped statement trees for one compilation unit.
+type Program struct {
+	Name  string
+	Stmts []*Node
+}
+
+// Linearize returns the concatenated prefix token stream for all statements.
+func (p *Program) Linearize() []Token {
+	var out []Token
+	for _, s := range p.Stmts {
+		out = s.Linearize(out)
+	}
+	return out
+}
+
+// String renders each statement tree on its own line.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, s := range p.Stmts {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTokens renders a token stream as a single line of text that
+// ParseTokens can read back.
+func FormatTokens(toks []Token) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}

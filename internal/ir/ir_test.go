@@ -1,0 +1,192 @@
+package ir
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Sym: "iadd"}, "iadd"},
+		{Token{Sym: "dsp", Val: 100}, "dsp.100"},
+		{Token{Sym: "r", Val: 13}, "r.13"},
+		{Token{Sym: "dsp", Val: 0}, "dsp.0"}, // valued symbols keep .0
+		{Token{Sym: "lbl", Val: -3}, "lbl.-3"},
+	}
+	for _, c := range cases {
+		if got := c.tok.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.tok, got, c.want)
+		}
+	}
+}
+
+func TestParseTokensRoundTrip(t *testing.T) {
+	src := "assign fullword dsp.100 r.13 iadd fullword dsp.100 r.13 fullword dsp.104 r.13"
+	toks, err := ParseTokens(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 11 {
+		t.Fatalf("got %d tokens, want 11", len(toks))
+	}
+	if toks[2] != (Token{Sym: "dsp", Val: 100}) {
+		t.Errorf("token 2 = %v", toks[2])
+	}
+	if got := FormatTokens(toks); got != src {
+		t.Errorf("round trip:\n got %q\nwant %q", got, src)
+	}
+}
+
+func TestParseTokensEmptyAndWhitespace(t *testing.T) {
+	toks, err := ParseTokens("  \n\t ")
+	if err != nil || len(toks) != 0 {
+		t.Fatalf("whitespace input: %v, %d tokens", err, len(toks))
+	}
+}
+
+func TestTreeBuildAndString(t *testing.T) {
+	n := N("assign",
+		N("fullword", V("dsp", 100), V("r", 13)),
+		N("iadd",
+			N("fullword", V("dsp", 100), V("r", 13)),
+			N("fullword", V("dsp", 104), V("r", 13))))
+	want := "assign(fullword(dsp.100, r.13), iadd(fullword(dsp.100, r.13), fullword(dsp.104, r.13)))"
+	if got := n.String(); got != want {
+		t.Errorf("String:\n got %s\nwant %s", got, want)
+	}
+	if n.Size() != 11 {
+		t.Errorf("Size = %d, want 11", n.Size())
+	}
+}
+
+func TestLinearizePrefixOrder(t *testing.T) {
+	n := N("iadd", N("fullword", V("dsp", 4), V("r", 13)), V("r", 2))
+	toks := n.Linearize(nil)
+	want := "iadd fullword dsp.4 r.13 r.2"
+	if got := FormatTokens(toks); got != want {
+		t.Errorf("linearize = %q, want %q", got, want)
+	}
+}
+
+func TestParseTreeRoundTrip(t *testing.T) {
+	src := "assign(fullword(dsp.100, r.13), iadd(fullword(dsp.100, r.13), r.2))"
+	n, err := ParseTree(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.String(); got != src {
+		t.Errorf("round trip:\n got %s\nwant %s", got, src)
+	}
+}
+
+func TestParseTreesMultiple(t *testing.T) {
+	ns, err := ParseTrees("iadd(r.1, r.2)  isub(r.3, r.4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 2 || ns[0].Op != "iadd" || ns[1].Op != "isub" {
+		t.Fatalf("got %v", ns)
+	}
+}
+
+func TestParseTreeErrors(t *testing.T) {
+	for _, bad := range []string{
+		"iadd(r.1",        // unterminated
+		"iadd(r.1 r.2)",   // missing comma
+		"",                // empty
+		"iadd(r.1,) r",    // empty argument then trailing
+		"iadd(r.1, r.2))", // extra close
+	} {
+		if _, err := ParseTree(bad); err == nil {
+			t.Errorf("ParseTree(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	n := N("iadd", N("fullword", V("dsp", 4), V("r", 13)), V("r", 2))
+	c := n.Clone()
+	if !n.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Kids[0].Kids[0].Val = 8
+	if n.Equal(c) {
+		t.Fatal("mutation of clone affected equality")
+	}
+	if n.Kids[0].Kids[0].Val != 4 {
+		t.Fatal("clone shares structure with original")
+	}
+}
+
+func TestProgramLinearize(t *testing.T) {
+	p := &Program{Name: "x", Stmts: []*Node{
+		N("label_def", V("lbl", 1)),
+		N("branch_op", V("lbl", 1)),
+	}}
+	if got := FormatTokens(p.Linearize()); got != "label_def lbl.1 branch_op lbl.1" {
+		t.Errorf("program linearize = %q", got)
+	}
+	if !strings.Contains(p.String(), "label_def(lbl.1)") {
+		t.Errorf("program string = %q", p.String())
+	}
+}
+
+// randomTree builds a random IF tree for the round-trip property.
+func randomTree(r *rand.Rand, depth int) *Node {
+	ops := []string{"iadd", "isub", "imult", "fullword", "hlfword", "assign"}
+	leaves := []string{"dsp", "v", "lbl", "cnt", "r"}
+	if depth == 0 || r.Intn(3) == 0 {
+		return V(leaves[r.Intn(len(leaves))], int64(r.Intn(4096)))
+	}
+	n := &Node{Op: ops[r.Intn(len(ops))]}
+	for i := 0; i < 1+r.Intn(3); i++ {
+		n.Kids = append(n.Kids, randomTree(r, depth-1))
+	}
+	return n
+}
+
+// TestQuickTreeStringRoundTrip: parsing a printed tree reproduces it.
+func TestQuickTreeStringRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomTree(r, 4)
+		m, err := ParseTree(n.String())
+		return err == nil && n.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTokenRoundTrip: formatting then parsing a token stream
+// reproduces it (for valued symbol names).
+func TestQuickTokenRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomTree(r, 3)
+		toks := n.Linearize(nil)
+		parsed, err := ParseTokens(FormatTokens(toks))
+		return err == nil && reflect.DeepEqual(toks, parsed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLinearizeSize: the token stream length equals the node count.
+func TestQuickLinearizeSize(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomTree(r, 4)
+		return len(n.Linearize(nil)) == n.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

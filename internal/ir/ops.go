@@ -1,0 +1,150 @@
+package ir
+
+// Operator names of the intermediate form. These mirror the $Operators
+// section of the Amdahl 470 specification (Appendix 2 of the paper); the
+// front end and the shaper emit exactly these names, and code generator
+// specifications declare the subset they can translate.
+const (
+	// Addressing and data-type operators. The unary type operators give
+	// the code generator access to the storage format of every operand
+	// (paper section 4.5).
+	OpAddr     = "addr"
+	OpFullword = "fullword"
+	OpHalfword = "hlfword"
+	OpByteword = "byteword"
+	OpTypeword = "typeword"
+	OpRealword = "realword"
+	OpDblreal  = "dblrealword"
+	OpQuadreal = "quadrealword"
+
+	// Integer arithmetic.
+	OpIAdd     = "iadd"
+	OpISub     = "isub"
+	OpIMult    = "imult"
+	OpIDiv     = "idiv"
+	OpIMod     = "imod"
+	OpICompare = "icompare"
+	OpIAbs     = "iabs"
+	OpIMax     = "imax"
+	OpIMin     = "imin"
+	OpIOdd     = "iodd"
+	OpINeg     = "ineg"
+
+	// Shifts.
+	OpLShift = "l_shift"
+	OpRShift = "r_shift"
+
+	// Assignment and data transfer.
+	OpAssign      = "assign"
+	OpLongAssign  = "long_assign"
+	OpVarAssign   = "var_assign"
+	OpClear       = "clear"
+	OpDecr        = "decr"
+	OpIncr        = "incr"
+	OpPosConstant = "pos_constant"
+	OpNegConstant = "neg_constant"
+
+	// Statement bookkeeping and runtime checks.
+	OpAbortOp        = "abort_op"
+	OpStatement      = "statement"
+	OpCaseCheck      = "case_check"
+	OpUninitCheck    = "uninit_check"
+	OpRangeCheck     = "range_check"
+	OpSubscriptCheck = "subscript_check"
+
+	// Boolean operators.
+	OpBoolOr   = "boolean_or"
+	OpBoolAnd  = "boolean_and"
+	OpBoolNot  = "boolean_not"
+	OpBoolTest = "boolean_test"
+
+	// Set (bitset) operators with inline code generation.
+	OpTestBit  = "test_bit_value"
+	OpSetBit   = "set_bit_value"
+	OpStoreBit = "store_bit_value"
+	OpClearBit = "clear_bit_value"
+	OpLoadBit  = "load_bit_value"
+
+	// Real (floating point) arithmetic.
+	OpRAdd     = "radd"
+	OpRSub     = "rsub"
+	OpRMult    = "rmult"
+	OpRDiv     = "rdiv"
+	OpRAbs     = "rabs"
+	OpRNeg     = "rneg"
+	OpRCompare = "rcompare"
+	OpHalve    = "halve"
+	OpRMin     = "rmin"
+	OpRMax     = "rmax"
+
+	// Precision conversions (single/double/extended, integer/real).
+	OpSXCnvrt = "s_x_cnvrt"
+	OpXSCnvrt = "x_s_cnvrt"
+	OpDXCnvrt = "d_x_cnvrt"
+	OpXDCnvrt = "x_d_cnvrt"
+	OpSDCnvrt = "s_d_cnvrt"
+	OpDSCnvrt = "d_s_cnvrt"
+	OpISCnvrt = "i_s_cnvrt"
+	OpSICnvrt = "s_i_cnvrt"
+
+	// Control flow.
+	OpBranchOp   = "branch_op"
+	OpLabelDef   = "label_def"
+	OpLabelIndex = "label_index"
+	OpCaseIndex  = "case_index"
+
+	// Procedure linkage.
+	OpProcCall  = "procedure_call"
+	OpProcEntry = "procedure_entry"
+	OpProcExit  = "procedure_exit"
+	OpNameParam = "name_param"
+
+	// Common subexpressions (paper section 4.4). The IF optimizer wraps
+	// the first occurrence of a repeated subtree in make_common and
+	// replaces later occurrences with use_common.
+	OpMakeCommon = "make_common"
+	OpUseCommon  = "use_common"
+)
+
+// Terminal symbol names: value-carrying leaves installed by the shaper.
+// These mirror the $Terminals section of the specification.
+const (
+	TermDsp   = "dsp"   // displacement from a base register
+	TermLng   = "lng"   // length of a storage-to-storage move
+	TermCnt   = "cnt"   // count (parameters, CSE uses)
+	TermLbl   = "lbl"   // label number
+	TermCond  = "cond"  // branch condition mask
+	TermErr   = "error" // abort code
+	TermStmt  = "stmt"  // source statement number
+	TermElmnt = "elmnt" // constant set element (bit mask within a byte)
+	TermValue = "v"     // immediate constant to be loaded
+	TermCse   = "cse"   // common subexpression number
+)
+
+// Nonterminal symbol names: register classes managed by the register
+// allocation routine. These appear in the token stream only when the code
+// generator prefixes a reduced LHS back onto its input.
+const (
+	NTReg    = "r"   // general purpose register
+	NTDbl    = "dbl" // even/odd general register pair
+	NTFreg   = "f"   // floating point register
+	NTCC     = "cc"  // condition code (set by a comparison)
+	NTLambda = "lambda"
+)
+
+// valued records which symbol names carry a semantic value in the token
+// stream, for printing and parsing the textual IF notation.
+var valued = map[string]bool{
+	TermDsp: true, TermLng: true, TermCnt: true, TermLbl: true,
+	TermCond: true, TermErr: true, TermStmt: true, TermElmnt: true,
+	TermValue: true, TermCse: true,
+	NTReg: true, NTDbl: true, NTFreg: true, NTCC: true,
+}
+
+// Valued reports whether tokens with the given symbol name carry a
+// semantic value in the textual notation.
+func Valued(sym string) bool { return valued[sym] }
+
+// RegisterValued marks an additional symbol name as value carrying; code
+// generator specifications may declare terminals beyond the standard set.
+func RegisterValued(sym string) { valued[sym] = true }

@@ -1,0 +1,125 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseTokens reads the linear textual IF notation: whitespace-separated
+// tokens, each either a bare symbol name ("iadd") or "name.value"
+// ("dsp.100"). It is the inverse of FormatTokens.
+func ParseTokens(src string) ([]Token, error) {
+	fields := strings.Fields(src)
+	out := make([]Token, 0, len(fields))
+	for _, f := range fields {
+		t, err := parseTokenText(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func parseTokenText(f string) (Token, error) {
+	if i := strings.LastIndexByte(f, '.'); i >= 0 {
+		if v, err := strconv.ParseInt(f[i+1:], 10, 64); err == nil {
+			return Token{Sym: f[:i], Val: v}, nil
+		}
+	}
+	if f == "" {
+		return Token{}, fmt.Errorf("ir: empty token")
+	}
+	return Token{Sym: f}, nil
+}
+
+// ParseTree reads the functional tree notation produced by Node.String,
+// e.g. "assign(fullword(dsp.100, r.13), iadd(r.1, r.2))". Multiple
+// whitespace-separated trees may follow one another; ParseTree reads one.
+func ParseTree(src string) (*Node, error) {
+	p := &treeParser{src: src}
+	n, err := p.node()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("ir: trailing input at offset %d: %q", p.pos, p.src[p.pos:])
+	}
+	return n, nil
+}
+
+// ParseTrees reads a sequence of trees, one statement per tree.
+func ParseTrees(src string) ([]*Node, error) {
+	p := &treeParser{src: src}
+	var out []*Node
+	for {
+		p.skipSpace()
+		if p.pos == len(p.src) {
+			return out, nil
+		}
+		n, err := p.node()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+}
+
+type treeParser struct {
+	src string
+	pos int
+}
+
+func (p *treeParser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *treeParser) node() (*Node, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '(' || c == ')' || c == ',' || unicode.IsSpace(rune(c)) {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("ir: expected symbol at offset %d", p.pos)
+	}
+	tok, err := parseTokenText(p.src[start:p.pos])
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{Op: tok.Sym, Val: tok.Val}
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		p.pos++ // consume '('
+		for {
+			kid, err := p.node()
+			if err != nil {
+				return nil, err
+			}
+			n.Kids = append(n.Kids, kid)
+			p.skipSpace()
+			if p.pos >= len(p.src) {
+				return nil, fmt.Errorf("ir: unterminated argument list for %q", n.Op)
+			}
+			switch p.src[p.pos] {
+			case ',':
+				p.pos++
+			case ')':
+				p.pos++
+				return n, nil
+			default:
+				return nil, fmt.Errorf("ir: expected ',' or ')' at offset %d, found %q", p.pos, p.src[p.pos])
+			}
+		}
+	}
+	return n, nil
+}

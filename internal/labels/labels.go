@@ -1,0 +1,135 @@
+// Package labels resolves label references and span-dependent branch
+// instructions (paper section 4.2).
+//
+// While parsing the IF, the code generator records label locations and
+// branch sites in a dictionary (asm.Program carries it). No routine
+// operating only on the IF can know how many instructions a construct
+// takes, and the exact target of a forward branch is unknown until the
+// label is encountered; both problems are solved after all code for a
+// module has been generated, by the layout pass here.
+//
+// Branches begin in their short form. Any branch whose target cannot be
+// reached with the target's short displacement grows to the long form —
+// an additional load of the target address (from the literal pool)
+// into the scratch register the template allocated for that purpose —
+// and the pass repeats until no branch changes size. Growth is monotone,
+// so the iteration reaches a fixpoint (Robertson 1979; Leverett &
+// Szymanski 1980).
+package labels
+
+import (
+	"fmt"
+
+	"cogg/internal/asm"
+)
+
+// Layout assigns sizes and addresses to every instruction of p, widening
+// span-dependent branches until a fixpoint, and verifies that every
+// referenced label is defined.
+func Layout(p *asm.Program, m asm.Machine) error {
+	if err := checkRefs(p); err != nil {
+		return err
+	}
+	for round := 0; ; round++ {
+		if round > len(p.Instrs)+1 {
+			return fmt.Errorf("labels: relaxation did not converge after %d rounds", round)
+		}
+		addr := p.Origin
+		for i := range p.Instrs {
+			in := &p.Instrs[i]
+			size, err := m.SizeOf(in)
+			if err != nil {
+				return fmt.Errorf("labels: instruction %d (%s): %w", i, in.Op, err)
+			}
+			in.Addr = addr
+			in.Size = size
+			addr += size
+		}
+		p.CodeSize = addr - p.Origin
+
+		changed := false
+		for i := range p.Instrs {
+			in := &p.Instrs[i]
+			if in.Pseudo != asm.Branch || in.Long {
+				continue
+			}
+			target, err := p.LabelAddr(in.Label)
+			if err != nil {
+				return err
+			}
+			if !m.ShortBranchReach(p, in.Addr, target) {
+				in.Long = true
+				in.PoolIx = p.AddPoolLabel(in.Label)
+				changed = true
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// checkRefs verifies every label referenced by a branch, case dispatch,
+// address constant, or pool entry is defined in the dictionary.
+func checkRefs(p *asm.Program) error {
+	need := func(id int64, what string, ix int) error {
+		if _, ok := p.Labels[id]; !ok {
+			return fmt.Errorf("labels: %s at instruction %d references undefined label %d", what, ix, id)
+		}
+		return nil
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Pseudo {
+		case asm.Branch:
+			if err := need(in.Label, "branch", i); err != nil {
+				return err
+			}
+		case asm.CaseLoad:
+			if err := need(in.Label, "case dispatch", i); err != nil {
+				return err
+			}
+		case asm.AddrConst:
+			if err := need(in.Label, "address constant", i); err != nil {
+				return err
+			}
+		}
+	}
+	for i, e := range p.Pool {
+		if e.IsLabel {
+			if _, ok := p.Labels[e.Label]; !ok {
+				return fmt.Errorf("labels: pool slot %d references undefined label %d", i, e.Label)
+			}
+		}
+	}
+	return nil
+}
+
+// LongBranchCount reports how many branches were widened to the long
+// form, the measure of experiment E7.
+func LongBranchCount(p *asm.Program) int {
+	n := 0
+	for i := range p.Instrs {
+		if p.Instrs[i].Pseudo == asm.Branch && p.Instrs[i].Long {
+			n++
+		}
+	}
+	return n
+}
+
+// PoolBytes materializes the literal pool as big-endian 32-bit words.
+func PoolBytes(p *asm.Program) ([]byte, error) {
+	out := make([]byte, 0, 4*len(p.Pool))
+	for i, e := range p.Pool {
+		v := e.Value
+		if e.IsLabel {
+			addr, err := p.LabelAddr(e.Label)
+			if err != nil {
+				return nil, fmt.Errorf("labels: pool slot %d: %w", i, err)
+			}
+			v = int64(addr)
+		}
+		out = append(out, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return out, nil
+}

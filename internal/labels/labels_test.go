@@ -1,0 +1,227 @@
+package labels_test
+
+import (
+	"strings"
+	"testing"
+
+	"cogg/internal/asm"
+	"cogg/internal/labels"
+	"cogg/internal/rt370"
+)
+
+// prog builds a program with n plain 4-byte instructions, inserting
+// branches and label marks per the callback.
+func prog(name string) *asm.Program {
+	p := asm.NewProgram(name)
+	p.Origin = rt370.CodeOrigin
+	p.PoolOrigin = rt370.PoolOrigin
+	return p
+}
+
+func pad(p *asm.Program, n int) {
+	for i := 0; i < n; i++ {
+		p.Append(asm.Instr{Op: "lr", Opds: []asm.Operand{asm.R(1), asm.R(1)}})
+	}
+}
+
+func TestLayoutShortBranch(t *testing.T) {
+	p := prog("SHORT")
+	m := rt370.Machine()
+	p.Append(asm.Instr{Pseudo: asm.Branch, Cond: 15, Label: 1, Scratch: 3})
+	pad(p, 5)
+	if err := p.DefineLabel(1, len(p.Instrs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := labels.Layout(p, m); err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Long {
+		t.Error("short-range branch widened")
+	}
+	if p.Instrs[0].Size != 4 {
+		t.Errorf("short branch size = %d", p.Instrs[0].Size)
+	}
+	if labels.LongBranchCount(p) != 0 {
+		t.Error("long branch count nonzero")
+	}
+	addr, err := p.LabelAddr(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != rt370.CodeOrigin+4+5*2 {
+		t.Errorf("label at %#x", addr)
+	}
+}
+
+func TestLayoutWidensFarBranch(t *testing.T) {
+	p := prog("FAR")
+	m := rt370.Machine()
+	p.Append(asm.Instr{Pseudo: asm.Branch, Cond: 15, Label: 1, Scratch: 3})
+	// 2100 two-byte instructions put the target past the 4096-byte page.
+	pad(p, 2100)
+	_ = p.DefineLabel(1, len(p.Instrs))
+	pad(p, 1)
+	if err := labels.Layout(p, m); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Instrs[0].Long {
+		t.Fatal("far branch stayed short")
+	}
+	if p.Instrs[0].Size != 6 {
+		t.Errorf("long branch size = %d, want 6 (L + BCR)", p.Instrs[0].Size)
+	}
+	if labels.LongBranchCount(p) != 1 {
+		t.Errorf("long branch count = %d", labels.LongBranchCount(p))
+	}
+	if len(p.Pool) != 1 || !p.Pool[0].IsLabel || p.Pool[0].Label != 1 {
+		t.Errorf("pool = %+v", p.Pool)
+	}
+}
+
+// TestLayoutCascade: widening one branch can push another's target over
+// the boundary; the fixpoint must catch it.
+func TestLayoutCascade(t *testing.T) {
+	p := prog("CASC")
+	m := rt370.Machine()
+	// Branch A targets just under the boundary; branch B just over when
+	// A is short. Widening B does not move A's target (targets measured
+	// from the origin), so construct the reverse: many branches whose
+	// targets straddle the boundary as earlier branches grow.
+	for i := 0; i < 30; i++ {
+		p.Append(asm.Instr{Pseudo: asm.Branch, Cond: 15, Label: int64(i + 1), Scratch: 3})
+	}
+	pad(p, 1970) // ~4060 bytes after the 30 branches when all short
+	for i := 0; i < 30; i++ {
+		_ = p.DefineLabel(int64(i+1), len(p.Instrs))
+		pad(p, 2)
+	}
+	if err := labels.Layout(p, m); err != nil {
+		t.Fatal(err)
+	}
+	// Verify every branch's final form is consistent with its target.
+	for i := 0; i < 30; i++ {
+		in := p.Instrs[i]
+		target, _ := p.LabelAddr(in.Label)
+		reach := m.ShortBranchReach(p, in.Addr, target)
+		if reach && in.Long {
+			// Allowed: relaxation is monotone and may overshoot, but
+			// only if the target was unreachable at some earlier size.
+			continue
+		}
+		if !reach && !in.Long {
+			t.Fatalf("branch %d short but target %#x unreachable", i, target)
+		}
+	}
+	if labels.LongBranchCount(p) == 0 {
+		t.Error("expected some long branches in the cascade")
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	p := prog("UNDEF")
+	p.Append(asm.Instr{Pseudo: asm.Branch, Cond: 15, Label: 9, Scratch: 3})
+	err := labels.Layout(p, rt370.Machine())
+	if err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUndefinedPoolLabel(t *testing.T) {
+	p := prog("POOLU")
+	p.AddPoolLabel(42)
+	err := labels.Layout(p, rt370.Machine())
+	if err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPoolBytes(t *testing.T) {
+	p := prog("POOL")
+	pad(p, 3)
+	_ = p.DefineLabel(7, 2)
+	ix := p.AddPoolLabel(7)
+	if ix != 0 || p.AddPoolLabel(7) != 0 {
+		t.Error("pool slots not deduplicated")
+	}
+	p.Pool = append(p.Pool, asm.PoolEntry{Value: 0x12345678})
+	if err := labels.Layout(p, rt370.Machine()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := labels.PoolBytes(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 8 {
+		t.Fatalf("pool bytes = %d", len(b))
+	}
+	addr, _ := p.LabelAddr(7)
+	got := int(b[0])<<24 | int(b[1])<<16 | int(b[2])<<8 | int(b[3])
+	if got != addr {
+		t.Errorf("pool[0] = %#x, want %#x", got, addr)
+	}
+	if b[4] != 0x12 || b[7] != 0x78 {
+		t.Errorf("pool[1] bytes = % x", b[4:8])
+	}
+}
+
+func TestLabelAtEnd(t *testing.T) {
+	p := prog("END")
+	pad(p, 4)
+	_ = p.DefineLabel(1, len(p.Instrs))
+	if err := labels.Layout(p, rt370.Machine()); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := p.LabelAddr(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != p.Origin+p.CodeSize {
+		t.Errorf("end label at %#x, want %#x", addr, p.Origin+p.CodeSize)
+	}
+}
+
+func TestDuplicateLabelRejected(t *testing.T) {
+	p := prog("DUP")
+	pad(p, 2)
+	if err := p.DefineLabel(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DefineLabel(1, 1); err == nil {
+		t.Error("redefinition accepted")
+	}
+	if err := p.DefineLabel(1, 0); err != nil {
+		t.Errorf("idempotent definition rejected: %v", err)
+	}
+}
+
+// TestLayoutIdempotent: re-running layout over an already laid-out
+// program changes nothing (relaxation is monotone and at a fixpoint).
+func TestLayoutIdempotent(t *testing.T) {
+	p := prog("IDEM")
+	m := rt370.Machine()
+	p.Append(asm.Instr{Pseudo: asm.Branch, Cond: 15, Label: 1, Scratch: 3})
+	pad(p, 2100)
+	_ = p.DefineLabel(1, len(p.Instrs))
+	pad(p, 3)
+	if err := labels.Layout(p, m); err != nil {
+		t.Fatal(err)
+	}
+	var addrs []int
+	var longs []bool
+	for i := range p.Instrs {
+		addrs = append(addrs, p.Instrs[i].Addr)
+		longs = append(longs, p.Instrs[i].Long)
+	}
+	size, pool := p.CodeSize, len(p.Pool)
+	if err := labels.Layout(p, m); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Instrs {
+		if p.Instrs[i].Addr != addrs[i] || p.Instrs[i].Long != longs[i] {
+			t.Fatalf("instruction %d changed across re-layout", i)
+		}
+	}
+	if p.CodeSize != size || len(p.Pool) != pool {
+		t.Error("program shape changed across re-layout")
+	}
+}

@@ -1,0 +1,268 @@
+// Package loader implements the Loader Record Generator (paper section
+// 3): after the label dictionary has been resolved it encodes the final
+// instructions and constructs the TEXT records which make up the object
+// module, in the 80-column card-image format of the OS/360 loader
+// (ESD/TXT/RLD/END). Record names and section names are carried in ASCII
+// rather than EBCDIC; the record structure is otherwise faithful.
+package loader
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"cogg/internal/asm"
+	"cogg/internal/labels"
+)
+
+// CardSize is the length of one loader record.
+const CardSize = 80
+
+// TxtDataMax is the payload capacity of one TXT record (columns 17-72).
+const TxtDataMax = 56
+
+// Section is one ESD (external symbol dictionary) item: a control section
+// with its load address and length.
+type Section struct {
+	Name   string
+	Addr   int
+	Length int
+}
+
+// Text is one span of object text destined for storage.
+type Text struct {
+	Addr int
+	Data []byte
+}
+
+// Reloc marks a 4-byte address constant that the loader must relocate.
+type Reloc struct {
+	Addr int
+}
+
+// Deck is one object module.
+type Deck struct {
+	Name     string
+	Entry    int
+	Sections []Section
+	Texts    []Text
+	Relocs   []Reloc
+}
+
+// Build encodes a laid-out program into an object deck: code text,
+// literal pool text, and relocation items for every address constant.
+func Build(p *asm.Program, m asm.Machine) (*Deck, error) {
+	d := &Deck{Name: p.Name, Entry: p.Origin}
+
+	var code bytes.Buffer
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if p.Origin+code.Len() != in.Addr {
+			return nil, fmt.Errorf("loader: instruction %d laid out at %#x but text cursor is %#x (run labels.Layout first)",
+				i, in.Addr, p.Origin+code.Len())
+		}
+		b, err := m.Encode(p, in)
+		if err != nil {
+			return nil, fmt.Errorf("loader: instruction %d: %w", i, err)
+		}
+		if len(b) != in.Size {
+			return nil, fmt.Errorf("loader: instruction %d (%s) encoded to %d bytes, laid out as %d",
+				i, in.Op, len(b), in.Size)
+		}
+		code.Write(b)
+		if in.Pseudo == asm.AddrConst {
+			d.Relocs = append(d.Relocs, Reloc{Addr: in.Addr})
+		}
+	}
+	d.Sections = append(d.Sections, Section{Name: p.Name, Addr: p.Origin, Length: code.Len()})
+	d.Texts = appendTexts(d.Texts, p.Origin, code.Bytes())
+
+	if len(p.Pool) > 0 {
+		pool, err := labels.PoolBytes(p)
+		if err != nil {
+			return nil, err
+		}
+		d.Sections = append(d.Sections, Section{Name: "@POOL", Addr: p.PoolOrigin, Length: len(pool)})
+		d.Texts = appendTexts(d.Texts, p.PoolOrigin, pool)
+		for i, e := range p.Pool {
+			if e.IsLabel {
+				d.Relocs = append(d.Relocs, Reloc{Addr: p.PoolAddr(i)})
+			}
+		}
+	}
+	return d, nil
+}
+
+func appendTexts(texts []Text, addr int, data []byte) []Text {
+	for len(data) > 0 {
+		n := len(data)
+		if n > TxtDataMax {
+			n = TxtDataMax
+		}
+		texts = append(texts, Text{Addr: addr, Data: append([]byte(nil), data[:n]...)})
+		addr += n
+		data = data[n:]
+	}
+	return texts
+}
+
+// LoadInto copies every text record into storage, applying the relocation
+// factor to each address constant.
+func (d *Deck) LoadInto(mem []byte, factor int) error {
+	for _, t := range d.Texts {
+		addr := t.Addr + factor
+		if addr < 0 || addr+len(t.Data) > len(mem) {
+			return fmt.Errorf("loader: TXT record at %#x does not fit in storage", addr)
+		}
+		copy(mem[addr:], t.Data)
+	}
+	for _, r := range d.Relocs {
+		addr := r.Addr + factor
+		if addr < 0 || addr+4 > len(mem) {
+			return fmt.Errorf("loader: RLD item at %#x outside storage", addr)
+		}
+		v := int(uint32(mem[addr])<<24|uint32(mem[addr+1])<<16|uint32(mem[addr+2])<<8|uint32(mem[addr+3])) + factor
+		mem[addr], mem[addr+1], mem[addr+2], mem[addr+3] =
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+	}
+	return nil
+}
+
+// TotalTextBytes returns the number of object text bytes in the deck.
+func (d *Deck) TotalTextBytes() int {
+	n := 0
+	for _, t := range d.Texts {
+		n += len(t.Data)
+	}
+	return n
+}
+
+// --- card-image encoding ------------------------------------------------
+
+// WriteCards emits the deck as 80-byte loader records.
+func (d *Deck) WriteCards(w io.Writer) error {
+	write := func(card []byte) error {
+		if len(card) != CardSize {
+			panic("loader: internal error: short card")
+		}
+		_, err := w.Write(card)
+		return err
+	}
+	for i, s := range d.Sections {
+		card := blankCard("ESD")
+		copy(card[16:24], padName(s.Name))
+		card[24] = 0x00 // type SD
+		put3(card[25:], s.Addr)
+		put3(card[28:], s.Length)
+		put2(card[14:], i+1) // ESDID
+		if err := write(card); err != nil {
+			return err
+		}
+	}
+	for _, t := range d.Texts {
+		card := blankCard("TXT")
+		put3(card[5:], t.Addr)
+		put2(card[10:], len(t.Data))
+		put2(card[14:], 1)
+		copy(card[16:], t.Data)
+		if err := write(card); err != nil {
+			return err
+		}
+	}
+	for start := 0; start < len(d.Relocs); start += 7 {
+		end := start + 7
+		if end > len(d.Relocs) {
+			end = len(d.Relocs)
+		}
+		card := blankCard("RLD")
+		put2(card[10:], (end-start)*8)
+		for i, r := range d.Relocs[start:end] {
+			item := card[16+8*i:]
+			put2(item, 1)     // R pointer
+			put2(item[2:], 1) // P pointer
+			item[4] = 0x0C    // 4-byte address constant, positive
+			put3(item[5:], r.Addr)
+		}
+		if err := write(card); err != nil {
+			return err
+		}
+	}
+	card := blankCard("END")
+	put3(card[5:], d.Entry)
+	copy(card[16:24], padName(d.Name))
+	return write(card)
+}
+
+// ReadCards parses a deck written by WriteCards.
+func ReadCards(r io.Reader) (*Deck, error) {
+	d := &Deck{}
+	card := make([]byte, CardSize)
+	for {
+		_, err := io.ReadFull(r, card)
+		if err == io.EOF {
+			return nil, fmt.Errorf("loader: deck has no END record")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("loader: reading record: %w", err)
+		}
+		if card[0] != 0x02 {
+			return nil, fmt.Errorf("loader: record does not begin with X'02'")
+		}
+		switch string(card[1:4]) {
+		case "ESD":
+			d.Sections = append(d.Sections, Section{
+				Name:   trimName(card[16:24]),
+				Addr:   get3(card[25:]),
+				Length: get3(card[28:]),
+			})
+		case "TXT":
+			n := get2(card[10:])
+			if n < 0 || n > TxtDataMax {
+				return nil, fmt.Errorf("loader: TXT record with byte count %d", n)
+			}
+			d.Texts = append(d.Texts, Text{
+				Addr: get3(card[5:]),
+				Data: append([]byte(nil), card[16:16+n]...),
+			})
+		case "RLD":
+			n := get2(card[10:])
+			if n%8 != 0 || n > 56 {
+				return nil, fmt.Errorf("loader: RLD record with data length %d", n)
+			}
+			for i := 0; i < n/8; i++ {
+				item := card[16+8*i:]
+				d.Relocs = append(d.Relocs, Reloc{Addr: get3(item[5:])})
+			}
+		case "END":
+			d.Entry = get3(card[5:])
+			d.Name = trimName(card[16:24])
+			return d, nil
+		default:
+			return nil, fmt.Errorf("loader: unknown record type %q", card[1:4])
+		}
+	}
+}
+
+func blankCard(kind string) []byte {
+	card := make([]byte, CardSize)
+	for i := range card {
+		card[i] = ' '
+	}
+	card[0] = 0x02
+	copy(card[1:4], kind)
+	return card
+}
+
+func padName(name string) []byte {
+	b := []byte("        ")
+	copy(b, name)
+	return b
+}
+
+func trimName(b []byte) string { return string(bytes.TrimRight(b, " ")) }
+
+func put3(b []byte, v int) { b[0], b[1], b[2] = byte(v>>16), byte(v>>8), byte(v) }
+func put2(b []byte, v int) { b[0], b[1] = byte(v>>8), byte(v) }
+
+func get3(b []byte) int { return int(b[0])<<16 | int(b[1])<<8 | int(b[2]) }
+func get2(b []byte) int { return int(b[0])<<8 | int(b[1]) }

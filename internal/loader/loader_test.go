@@ -1,0 +1,167 @@
+package loader_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cogg/internal/asm"
+	"cogg/internal/labels"
+	"cogg/internal/loader"
+	"cogg/internal/rt370"
+)
+
+// sample builds a small laid-out program with a branch, a long branch,
+// and an address constant.
+func sample(t *testing.T) (*asm.Program, *loader.Deck) {
+	t.Helper()
+	m := rt370.Machine()
+	p := asm.NewProgram("SAMPLE")
+	p.Origin = rt370.CodeOrigin
+	p.PoolOrigin = rt370.PoolOrigin
+	p.Append(asm.Instr{Op: "l", Opds: []asm.Operand{asm.R(1), asm.M(100, 0, 13)}})
+	p.Append(asm.Instr{Pseudo: asm.Branch, Cond: 15, Label: 1, Scratch: 3})
+	p.Append(asm.Instr{Pseudo: asm.AddrConst, Label: 1})
+	for i := 0; i < 60; i++ {
+		p.Append(asm.Instr{Op: "ar", Opds: []asm.Operand{asm.R(1), asm.R(1)}})
+	}
+	_ = p.DefineLabel(1, len(p.Instrs))
+	p.Append(asm.Instr{Op: "bcr", Opds: []asm.Operand{asm.I(15), asm.R(14)}})
+	if err := labels.Layout(p, m); err != nil {
+		t.Fatal(err)
+	}
+	deck, err := loader.Build(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, deck
+}
+
+func TestBuildDeck(t *testing.T) {
+	p, deck := sample(t)
+	if deck.Entry != p.Origin {
+		t.Errorf("entry %#x", deck.Entry)
+	}
+	if len(deck.Sections) == 0 || deck.Sections[0].Name != "SAMPLE" {
+		t.Errorf("sections: %+v", deck.Sections)
+	}
+	if deck.Sections[0].Length != p.CodeSize {
+		t.Errorf("section length %d, want %d", deck.Sections[0].Length, p.CodeSize)
+	}
+	if deck.TotalTextBytes() < p.CodeSize {
+		t.Errorf("text bytes %d < code size %d", deck.TotalTextBytes(), p.CodeSize)
+	}
+	// The address constant must have an RLD item.
+	if len(deck.Relocs) == 0 {
+		t.Error("no relocation items for the address constant")
+	}
+}
+
+func TestLoadInto(t *testing.T) {
+	p, deck := sample(t)
+	mem := make([]byte, rt370.MemSize)
+	if err := deck.LoadInto(mem, 0); err != nil {
+		t.Fatal(err)
+	}
+	// First instruction bytes at the origin.
+	if mem[p.Origin] != 0x58 {
+		t.Errorf("origin byte %#x", mem[p.Origin])
+	}
+	// The address constant holds the label address.
+	acAddr := p.Instrs[2].Addr
+	got := int(mem[acAddr])<<24 | int(mem[acAddr+1])<<16 | int(mem[acAddr+2])<<8 | int(mem[acAddr+3])
+	want, _ := p.LabelAddr(1)
+	if got != want {
+		t.Errorf("address constant %#x, want %#x", got, want)
+	}
+}
+
+func TestLoadIntoRelocates(t *testing.T) {
+	p, deck := sample(t)
+	mem := make([]byte, rt370.MemSize)
+	const factor = 0x2000
+	if err := deck.LoadInto(mem, factor); err != nil {
+		t.Fatal(err)
+	}
+	acAddr := p.Instrs[2].Addr + factor
+	got := int(mem[acAddr])<<24 | int(mem[acAddr+1])<<16 | int(mem[acAddr+2])<<8 | int(mem[acAddr+3])
+	want, _ := p.LabelAddr(1)
+	if got != want+factor {
+		t.Errorf("relocated constant %#x, want %#x", got, want+factor)
+	}
+}
+
+func TestCardsRoundTrip(t *testing.T) {
+	_, deck := sample(t)
+	var buf bytes.Buffer
+	if err := deck.WriteCards(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len()%loader.CardSize != 0 {
+		t.Fatalf("deck length %d is not card aligned", buf.Len())
+	}
+	back, err := loader.ReadCards(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Entry != deck.Entry || back.Name != deck.Name {
+		t.Errorf("header: %+v", back)
+	}
+	if !reflect.DeepEqual(back.Texts, deck.Texts) {
+		t.Error("text records changed across the card deck")
+	}
+	if len(back.Relocs) != len(deck.Relocs) {
+		t.Errorf("relocs %d vs %d", len(back.Relocs), len(deck.Relocs))
+	}
+	// Loading the reread deck gives identical storage.
+	m1 := make([]byte, rt370.MemSize)
+	m2 := make([]byte, rt370.MemSize)
+	if err := deck.LoadInto(m1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.LoadInto(m2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("reread deck loads differently")
+	}
+}
+
+func TestReadCardsErrors(t *testing.T) {
+	if _, err := loader.ReadCards(bytes.NewReader(nil)); err == nil {
+		t.Error("empty deck accepted")
+	}
+	card := make([]byte, loader.CardSize)
+	if _, err := loader.ReadCards(bytes.NewReader(card)); err == nil {
+		t.Error("record without X'02' accepted")
+	}
+	card[0] = 0x02
+	copy(card[1:4], "XXX")
+	if _, err := loader.ReadCards(bytes.NewReader(card)); err == nil {
+		t.Error("unknown record type accepted")
+	}
+	// TXT-only deck with no END.
+	card[0] = 0x02
+	copy(card[1:4], "TXT")
+	if _, err := loader.ReadCards(bytes.NewReader(card)); err == nil {
+		t.Error("deck without END accepted")
+	}
+}
+
+func TestLoadIntoBounds(t *testing.T) {
+	_, deck := sample(t)
+	small := make([]byte, 16)
+	if err := deck.LoadInto(small, 0); err == nil {
+		t.Error("load into tiny storage succeeded")
+	}
+}
+
+func TestBuildRejectsUnlaidProgram(t *testing.T) {
+	p := asm.NewProgram("BAD")
+	p.Origin = rt370.CodeOrigin
+	p.Append(asm.Instr{Op: "lr", Opds: []asm.Operand{asm.R(1), asm.R(2)}})
+	// No labels.Layout: Addr fields are zero, mismatching the origin.
+	if _, err := loader.Build(p, rt370.Machine()); err == nil {
+		t.Error("Build accepted a program that was never laid out")
+	}
+}

@@ -1,0 +1,103 @@
+package lr
+
+import (
+	"fmt"
+
+	"cogg/internal/grammar"
+)
+
+// CheckLoops rejects grammars on which the skeletal parser could cycle
+// without consuming input. After a reduction the left side is prefixed
+// to the input and immediately shifted, so a cycle among unit
+// productions (right side = one nonterminal) re-reduces forever:
+//
+//	a ::= b   and   b ::= a
+//
+// Glanville's construction verifies such properties statically so that
+// the generated code generator provably terminates; this is the dynamic
+// half of that guarantee (the parse loop also carries a step bound as a
+// backstop).
+func CheckLoops(g *grammar.Grammar) error {
+	// Edge lhs -> rhs for every unit production lhs ::= rhs.
+	next := map[int][]int{}
+	prodOf := map[[2]int]int{}
+	for _, p := range g.Prods {
+		if len(p.RHS) != 1 {
+			continue
+		}
+		sym := p.RHS[0]
+		if g.Syms[sym].Kind != grammar.Nonterminal {
+			continue
+		}
+		next[p.LHS] = append(next[p.LHS], sym)
+		prodOf[[2]int{p.LHS, sym}] = p.Num
+	}
+	// A cycle reachable from any unit production is fatal.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[int]int{}
+	var visit func(n int, path []int) error
+	visit = func(n int, path []int) error {
+		color[n] = gray
+		for _, m := range next[n] {
+			switch color[m] {
+			case gray:
+				// Reconstruct the cycle for the diagnostic.
+				names := ""
+				for _, s := range append(path, n, m) {
+					if names != "" {
+						names += " -> "
+					}
+					names += g.SymName(s)
+				}
+				return fmt.Errorf(
+					"lr: unit productions form a loop (%s, e.g. production %d): the parser would reduce forever without consuming input",
+					names, prodOf[[2]int{n, m}])
+			case white:
+				if err := visit(m, append(path, n)); err != nil {
+					return err
+				}
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for n := range next {
+		if color[n] == white {
+			if err := visit(n, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Issue is a non-fatal table diagnostic.
+type Issue struct {
+	State int
+	Msg   string
+}
+
+// CheckTable reports structural weaknesses that a specification author
+// should know about: states whose rows hold no significant action (the
+// parser would block on any input there).
+func CheckTable(t *Table) []Issue {
+	var issues []Issue
+	for state := 0; state < t.NumStates; state++ {
+		any := false
+		for _, a := range t.Row(state) {
+			if a.Kind() != Error {
+				any = true
+				break
+			}
+		}
+		if !any {
+			issues = append(issues, Issue{State: state,
+				Msg: "state has no significant action: the parser blocks on every input here"})
+		}
+	}
+	return issues
+}

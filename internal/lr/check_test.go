@@ -1,0 +1,103 @@
+package lr_test
+
+import (
+	"strings"
+	"testing"
+
+	"cogg/internal/grammar"
+	"cogg/internal/lr"
+	"cogg/internal/spec"
+)
+
+const loopingSpec = `
+$Non-terminals
+ a = one
+ b = other
+$Terminals
+ dsp = displacement
+$Operators
+ fullword
+$Opcodes
+ l
+$Constants
+ using
+ zero = 0
+$Productions
+a.1 ::= b.1
+
+b.1 ::= a.1
+
+a.2 ::= fullword dsp.1 a.1
+ using a.2
+ l a.2,dsp.1(zero,a.1)
+
+lambda ::= fullword dsp.1 b.1
+ l b.1,dsp.1(zero,b.1)
+`
+
+func TestLoopingGrammarRejected(t *testing.T) {
+	f, err := spec.Parse("loop.cogg", loopingSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grammar.Resolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = lr.Build(g)
+	if err == nil {
+		t.Fatal("looping grammar accepted")
+	}
+	if !strings.Contains(err.Error(), "loop") {
+		t.Errorf("diagnostic = %v", err)
+	}
+}
+
+func TestSingleUnitProductionAccepted(t *testing.T) {
+	// One unit production (the paper's "r.l ::= d.l { }") is fine; only
+	// cycles loop.
+	src := `
+$Non-terminals
+ r = register
+ d = double
+$Terminals
+ dsp = displacement
+$Operators
+ fullword, imult
+$Opcodes
+ l, mr
+$Constants
+ using
+ zero = 0
+$Productions
+r.1 ::= d.1
+
+d.2 ::= imult d.2 r.1
+ mr d.2,r.1
+
+d.2 ::= fullword dsp.1 r.1
+ using d.2
+ l d.2,dsp.1(zero,r.1)
+
+lambda ::= fullword dsp.1 r.1
+ l r.1,dsp.1(zero,r.1)
+`
+	f, err := spec.Parse("unit.cogg", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grammar.Resolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lr.Build(g); err != nil {
+		t.Fatalf("acyclic unit production rejected: %v", err)
+	}
+}
+
+func TestCheckTableCleanOnRealGrammar(t *testing.T) {
+	_, _, tbl := buildSmall(t)
+	if issues := lr.CheckTable(tbl); len(issues) != 0 {
+		t.Errorf("issues on a healthy grammar: %+v", issues)
+	}
+}

@@ -1,0 +1,311 @@
+// Package lr constructs the parsing automaton that drives a CoGG code
+// generator: an SLR(1) machine over the linearized prefix intermediate
+// form, with the Graham-Glanville conflict resolution rules.
+//
+// The machine differs from a conventional LR parser in one respect: after
+// a reduction the left-hand side nonterminal is prefixed to the *input
+// stream* (with its semantic value — an allocated register, a condition
+// code) rather than being pushed through a separate GOTO table. Shift
+// actions therefore exist uniformly for terminals, operators, and
+// nonterminals, and the table's X dimension counts every symbol that can
+// be encountered in the IF during a parse (entry ii of Table 1).
+//
+// Code generation grammars are deliberately ambiguous: many productions
+// overlap so that the generator can recognize a large number of tree
+// shapes (there are "no less than thirteen productions associated with
+// integer addition" in the paper's specification). Conflicts are resolved
+// as Glanville prescribes:
+//
+//   - shift/reduce: shift, matching the largest possible subtree
+//     (maximal munch);
+//   - reduce/reduce: the production with the longer right side wins, ties
+//     broken in favor of the production declared first — specification
+//     order encodes the implementer's preference.
+package lr
+
+import (
+	"fmt"
+	"sort"
+
+	"cogg/internal/grammar"
+)
+
+// Item is an LR(0) item: a production with a dot position.
+type Item struct {
+	Prod int // index into Grammar.Prods
+	Dot  int
+}
+
+// State is one state of the parsing automaton.
+type State struct {
+	ID     int
+	Kernel []Item
+	Items  []Item      // closure
+	Shift  map[int]int // symbol ID -> successor state
+	// Reduce maps a lookahead symbol ID (or EOF) to the candidate
+	// production indices, before conflict resolution.
+	Reduce map[int][]int
+}
+
+// Automaton is the LR(0) collection with SLR lookahead sets.
+type Automaton struct {
+	G      *grammar.Grammar
+	States []*State
+	EOF    int // pseudo-symbol: len(G.Syms)
+
+	First  map[int]symset // nonterminal -> FIRST set (includes the nonterminal itself)
+	Follow map[int]symset
+}
+
+type symset map[int]bool
+
+// Build constructs the automaton for grammar g, first rejecting grammars
+// the skeletal parser could loop on (see CheckLoops).
+func Build(g *grammar.Grammar) (*Automaton, error) {
+	if len(g.Prods) == 0 {
+		return nil, fmt.Errorf("lr: grammar %q has no productions", g.Name)
+	}
+	if err := CheckLoops(g); err != nil {
+		return nil, err
+	}
+	a := &Automaton{G: g, EOF: len(g.Syms)}
+	a.computeFirst()
+	a.computeFollow()
+	a.buildStates()
+	a.attachReduces()
+	return a, nil
+}
+
+// prodsFor returns the production indices deriving nonterminal sym, in
+// declaration order.
+func (a *Automaton) prodsFor(sym int) []int {
+	var out []int
+	for i, p := range a.G.Prods {
+		if p.LHS == sym {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// computeFirst computes FIRST for every nonterminal. Because reduced
+// nonterminals are prefixed back onto the input, a nonterminal is itself a
+// possible input token and belongs to its own FIRST set. Right sides are
+// never empty, so FIRST of a sentential form is FIRST of its head symbol.
+func (a *Automaton) computeFirst() {
+	a.First = make(map[int]symset)
+	for id, s := range a.G.Syms {
+		if s.Kind == grammar.Nonterminal {
+			set := symset{}
+			if id != a.G.Lambda {
+				set[id] = true // the nonterminal token itself
+			}
+			a.First[id] = set
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range a.G.Prods {
+			head := p.RHS[0]
+			dst := a.First[p.LHS]
+			if src, ok := a.First[head]; ok {
+				for t := range src {
+					if !dst[t] {
+						dst[t] = true
+						changed = true
+					}
+				}
+			} else if !dst[head] {
+				dst[head] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// firstOf returns the FIRST set of a single symbol.
+func (a *Automaton) firstOf(sym int) symset {
+	if set, ok := a.First[sym]; ok {
+		return set
+	}
+	return symset{sym: true}
+}
+
+// computeFollow computes FOLLOW for every nonterminal, over the grammar
+// augmented with GOAL ::= lambda GOAL | lambda: the input is a sequence of
+// statements each deriving lambda, so lambda is followed by the start of
+// any statement or by the end marker.
+func (a *Automaton) computeFollow() {
+	a.Follow = make(map[int]symset)
+	for id, s := range a.G.Syms {
+		if s.Kind == grammar.Nonterminal {
+			a.Follow[id] = symset{}
+		}
+	}
+	lf := a.Follow[a.G.Lambda]
+	lf[a.EOF] = true
+	for t := range a.First[a.G.Lambda] {
+		lf[t] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range a.G.Prods {
+			for i, sym := range p.RHS {
+				dst, isNT := a.Follow[sym]
+				if !isNT {
+					continue
+				}
+				if i+1 < len(p.RHS) {
+					for t := range a.firstOf(p.RHS[i+1]) {
+						if !dst[t] {
+							dst[t] = true
+							changed = true
+						}
+					}
+				} else {
+					for t := range a.Follow[p.LHS] {
+						if !dst[t] {
+							dst[t] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// closure extends a kernel to its LR(0) closure.
+func (a *Automaton) closure(kernel []Item) []Item {
+	items := append([]Item(nil), kernel...)
+	inSet := map[Item]bool{}
+	for _, it := range items {
+		inSet[it] = true
+	}
+	added := map[int]bool{} // nonterminals already expanded
+	for i := 0; i < len(items); i++ {
+		it := items[i]
+		p := a.G.Prods[it.Prod]
+		if it.Dot >= len(p.RHS) {
+			continue
+		}
+		sym := p.RHS[it.Dot]
+		if a.G.Syms[sym].Kind != grammar.Nonterminal || added[sym] {
+			continue
+		}
+		added[sym] = true
+		for _, pi := range a.prodsFor(sym) {
+			ni := Item{Prod: pi, Dot: 0}
+			if !inSet[ni] {
+				inSet[ni] = true
+				items = append(items, ni)
+			}
+		}
+	}
+	sortItems(items)
+	return items
+}
+
+func sortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Prod != items[j].Prod {
+			return items[i].Prod < items[j].Prod
+		}
+		return items[i].Dot < items[j].Dot
+	})
+}
+
+func kernelKey(kernel []Item) string {
+	b := make([]byte, 0, len(kernel)*8)
+	for _, it := range kernel {
+		b = append(b,
+			byte(it.Prod), byte(it.Prod>>8), byte(it.Prod>>16),
+			byte(it.Dot), byte(it.Dot>>8))
+	}
+	return string(b)
+}
+
+// buildStates constructs the canonical LR(0) collection. The start state's
+// kernel holds an initial item for every lambda production: each statement
+// of the IF begins a fresh parse from state 0.
+func (a *Automaton) buildStates() {
+	var startKernel []Item
+	for _, pi := range a.prodsFor(a.G.Lambda) {
+		startKernel = append(startKernel, Item{Prod: pi, Dot: 0})
+	}
+	sortItems(startKernel)
+
+	index := map[string]int{}
+	add := func(kernel []Item) int {
+		key := kernelKey(kernel)
+		if id, ok := index[key]; ok {
+			return id
+		}
+		s := &State{
+			ID:     len(a.States),
+			Kernel: kernel,
+			Items:  a.closure(kernel),
+			Shift:  map[int]int{},
+			Reduce: map[int][]int{},
+		}
+		index[key] = s.ID
+		a.States = append(a.States, s)
+		return s.ID
+	}
+	add(startKernel)
+
+	for i := 0; i < len(a.States); i++ {
+		s := a.States[i]
+		// Group items by the symbol after the dot.
+		moves := map[int][]Item{}
+		var order []int
+		for _, it := range s.Items {
+			p := a.G.Prods[it.Prod]
+			if it.Dot >= len(p.RHS) {
+				continue
+			}
+			sym := p.RHS[it.Dot]
+			if _, seen := moves[sym]; !seen {
+				order = append(order, sym)
+			}
+			moves[sym] = append(moves[sym], Item{Prod: it.Prod, Dot: it.Dot + 1})
+		}
+		sort.Ints(order)
+		for _, sym := range order {
+			kernel := moves[sym]
+			sortItems(kernel)
+			s.Shift[sym] = add(kernel)
+		}
+	}
+}
+
+// attachReduces installs the SLR reduce candidates: a completed item
+// [A -> alpha .] proposes its production on every lookahead in FOLLOW(A).
+func (a *Automaton) attachReduces() {
+	for _, s := range a.States {
+		for _, it := range s.Items {
+			p := a.G.Prods[it.Prod]
+			if it.Dot != len(p.RHS) {
+				continue
+			}
+			for la := range a.Follow[p.LHS] {
+				s.Reduce[la] = append(s.Reduce[la], it.Prod)
+			}
+		}
+		for la := range s.Reduce {
+			sort.Ints(s.Reduce[la])
+		}
+	}
+}
+
+// NumSymbols returns the width of the action table: every grammar symbol
+// plus the end marker.
+func (a *Automaton) NumSymbols() int { return len(a.G.Syms) + 1 }
+
+// SymName names a column, including the end marker.
+func (a *Automaton) SymName(sym int) string {
+	if sym == a.EOF {
+		return "$end"
+	}
+	return a.G.SymName(sym)
+}

@@ -1,0 +1,247 @@
+package lr_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cogg/internal/grammar"
+	"cogg/internal/lr"
+	"cogg/internal/spec"
+	"cogg/specs"
+)
+
+const smallSpec = `
+$Non-terminals
+ r = register
+$Terminals
+ dsp = displacement
+$Operators
+ fullword, iadd, assign
+$Opcodes
+ l, a, ar, st
+$Constants
+ using, modifies
+ zero = 0
+$Productions
+r.2 ::= fullword dsp.1 r.1
+ using r.2
+ l r.2,dsp.1(zero,r.1)
+
+r.1 ::= iadd r.1 r.2
+ modifies r.1
+ ar r.1,r.2
+
+r.2 ::= iadd r.2 fullword dsp.1 r.1
+ modifies r.2
+ a r.2,dsp.1(zero,r.1)
+
+lambda ::= assign fullword dsp.1 r.1 r.2
+ st r.2,dsp.1(zero,r.1)
+`
+
+func buildSmall(t testing.TB) (*grammar.Grammar, *lr.Automaton, *lr.Table) {
+	t.Helper()
+	f, err := spec.Parse("small.cogg", smallSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grammar.Resolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := lr.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, a, a.MakeTable()
+}
+
+func TestFirstIncludesNonterminalItself(t *testing.T) {
+	g, a, _ := buildSmall(t)
+	r, _ := g.Lookup("r")
+	if !a.First[r.ID][r.ID] {
+		t.Error("FIRST(r) must contain r: reduced nonterminals are prefixed to the input")
+	}
+	fullword, _ := g.Lookup("fullword")
+	if !a.First[r.ID][fullword.ID] {
+		t.Error("FIRST(r) must contain fullword")
+	}
+	iadd, _ := g.Lookup("iadd")
+	if !a.First[r.ID][iadd.ID] {
+		t.Error("FIRST(r) must contain iadd")
+	}
+}
+
+func TestFollowLambdaHasEOFAndStatementStarts(t *testing.T) {
+	g, a, _ := buildSmall(t)
+	follow := a.Follow[g.Lambda]
+	if !follow[a.EOF] {
+		t.Error("FOLLOW(lambda) must contain the end marker")
+	}
+	assign, _ := g.Lookup("assign")
+	if !follow[assign.ID] {
+		t.Error("FOLLOW(lambda) must contain statement starts")
+	}
+}
+
+func TestStartStateHoldsLambdaProductions(t *testing.T) {
+	g, a, _ := buildSmall(t)
+	start := a.States[0]
+	found := false
+	for _, it := range start.Kernel {
+		if g.Prods[it.Prod].LHS == g.Lambda && it.Dot == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("start state kernel lacks the lambda productions")
+	}
+}
+
+func TestAcceptInStartState(t *testing.T) {
+	_, a, tbl := buildSmall(t)
+	if got := tbl.Lookup(0, a.EOF); got.Kind() != lr.Accept {
+		t.Errorf("action(0, $end) = %v, want accept", got)
+	}
+}
+
+// TestReduceReducePrefersLongest: after [iadd r fullword dsp r] both the
+// plain load (3 symbols) and the add-from-memory production (5 symbols)
+// are complete; the longer must win everywhere it is chosen.
+func TestReduceReducePrefersLongest(t *testing.T) {
+	g, _, tbl := buildSmall(t)
+	foundLongWin := false
+	for _, c := range tbl.Conflicts {
+		if c.Kind != lr.ReduceReduce {
+			continue
+		}
+		chosen := g.Prods[c.Chosen.Target()]
+		for _, l := range c.Losers {
+			if len(g.Prods[l].RHS) > len(chosen.RHS) {
+				t.Errorf("conflict in state %d: chose %d-symbol production over %d-symbol",
+					c.State, len(chosen.RHS), len(g.Prods[l].RHS))
+			}
+			if len(g.Prods[l].RHS) < len(chosen.RHS) {
+				foundLongWin = true
+			}
+		}
+	}
+	if !foundLongWin {
+		t.Error("expected at least one reduce/reduce conflict resolved to the longer production (maximal munch)")
+	}
+}
+
+func TestActionPacking(t *testing.T) {
+	for _, a := range []lr.Action{
+		lr.MkAction(lr.Shift, 0),
+		lr.MkAction(lr.Shift, 12345),
+		lr.MkAction(lr.Reduce, 678),
+		lr.MkAction(lr.Accept, 0),
+		lr.MkAction(lr.Error, 0),
+	} {
+		v, ok := a.Pack16()
+		if !ok {
+			t.Fatalf("Pack16(%v) rejected", a)
+		}
+		if got := lr.Unpack16(v); got != a {
+			t.Errorf("Unpack16(Pack16(%v)) = %v", a, got)
+		}
+	}
+	if _, ok := lr.MkAction(lr.Shift, 1<<14).Pack16(); ok {
+		t.Error("Pack16 accepted an over-wide target")
+	}
+}
+
+// TestTableInvariants checks structural soundness of the full Amdahl
+// table: every shift targets a real state, every reduce names a real
+// production, and nonterminal columns exist (they are shifted like
+// input).
+func TestTableInvariants(t *testing.T) {
+	f, err := spec.Parse("amdahl470.cogg", specs.Amdahl470)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grammar.Resolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := lr.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := a.MakeTable()
+	for state := 0; state < tbl.NumStates; state++ {
+		for sym := 0; sym < len(tbl.ColOf); sym++ {
+			act := tbl.Lookup(state, sym)
+			switch act.Kind() {
+			case lr.Shift:
+				if act.Target() < 0 || act.Target() >= tbl.NumStates {
+					t.Fatalf("shift to bad state %d", act.Target())
+				}
+			case lr.Reduce:
+				if act.Target() < 0 || act.Target() >= len(g.Prods) {
+					t.Fatalf("reduce of bad production %d", act.Target())
+				}
+				// A reduce must pop exactly the production's right side;
+				// the parser checks depth at run time, but the RHS must
+				// at least be nonempty.
+				if len(g.Prods[act.Target()].RHS) == 0 {
+					t.Fatalf("reduce of empty production")
+				}
+			}
+		}
+	}
+	// Nonterminal r must have a column: it is shifted after pushback.
+	r, _ := g.Lookup("r")
+	if tbl.ColOf[r.ID] < 0 {
+		t.Error("nonterminal r has no table column")
+	}
+	// Opcodes must not consume columns.
+	st, _ := g.Lookup("st")
+	if tbl.ColOf[st.ID] >= 0 {
+		t.Error("opcode st received a table column; it can never occur in the IF")
+	}
+}
+
+// TestDeterministicConstruction: building the same grammar twice yields
+// identical automata and tables.
+func TestDeterministicConstruction(t *testing.T) {
+	_, _, t1 := buildSmall(t)
+	_, _, t2 := buildSmall(t)
+	if t1.NumStates != t2.NumStates || t1.NumCols != t2.NumCols {
+		t.Fatalf("shape differs: %dx%d vs %dx%d", t1.NumStates, t1.NumCols, t2.NumStates, t2.NumCols)
+	}
+	for i, a := range t1.Rows() {
+		if t2.Rows()[i] != a {
+			t.Fatalf("entry %d differs: %v vs %v", i, a, t2.Rows()[i])
+		}
+	}
+}
+
+// TestQuickShiftColumnsSignificant: for random (state, symbol) pairs, a
+// shift in the automaton always appears in the table unless a conflict
+// chose otherwise — shift always wins, so it must appear.
+func TestQuickShiftPreserved(t *testing.T) {
+	_, a, tbl := buildSmall(t)
+	f := func(si, sym uint8) bool {
+		s := a.States[int(si)%len(a.States)]
+		for symID, next := range s.Shift {
+			if got := tbl.Lookup(s.ID, symID); got.Kind() != lr.Shift || got.Target() != next {
+				return false
+			}
+		}
+		_ = sym
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	_, a, _ := buildSmall(t)
+	text := a.Describe(0)
+	if text == "" {
+		t.Fatal("Describe returned nothing")
+	}
+}

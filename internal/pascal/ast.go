@@ -1,0 +1,301 @@
+package pascal
+
+// TypeKind classifies the storage formats the architecture offers; the
+// unary type operators of the IF (fullword, hlfword, byteword, ...)
+// mirror them (paper section 4.5).
+type TypeKind int
+
+const (
+	TInt    TypeKind = iota // fullword integer
+	THalf                   // halfword subrange
+	TByte                   // byte subrange / char
+	TBool                   // boolean, one byte holding 0 or 1
+	TReal                   // long (double precision) real
+	TSingle                 // short (single precision) real
+	TArray
+	TSet // set of 0..63, eight bytes
+)
+
+// Type describes a variable's storage format.
+type Type struct {
+	Kind   TypeKind
+	Lo, Hi int64 // subrange and array index bounds
+	Elem   *Type // array element type
+}
+
+// Predefined types.
+var (
+	IntType    = &Type{Kind: TInt, Lo: -1 << 31, Hi: 1<<31 - 1}
+	BoolType   = &Type{Kind: TBool, Lo: 0, Hi: 1}
+	RealType   = &Type{Kind: TReal}
+	SingleType = &Type{Kind: TSingle}
+	SetType    = &Type{Kind: TSet, Lo: 0, Hi: 63}
+)
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case TInt:
+		return 4
+	case THalf:
+		return 2
+	case TByte, TBool:
+		return 1
+	case TReal:
+		return 8
+	case TSingle:
+		return 4
+	case TSet:
+		return 8
+	case TArray:
+		return (t.Hi - t.Lo + 1) * t.Elem.Size()
+	}
+	return 0
+}
+
+// Numeric reports whether the type participates in integer arithmetic.
+func (t *Type) Numeric() bool {
+	return t.Kind == TInt || t.Kind == THalf || t.Kind == TByte
+}
+
+// RealLike reports whether the type is a floating point format.
+func (t *Type) RealLike() bool { return t.Kind == TReal || t.Kind == TSingle }
+
+// Same reports structural type identity.
+func (t *Type) Same(u *Type) bool {
+	if t.Kind != u.Kind {
+		return false
+	}
+	if t.Kind == TArray {
+		return t.Lo == u.Lo && t.Hi == u.Hi && t.Elem.Same(u.Elem)
+	}
+	return true
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TInt:
+		return "integer"
+	case THalf:
+		return "halfword subrange"
+	case TByte:
+		return "byte subrange"
+	case TBool:
+		return "boolean"
+	case TReal:
+		return "real"
+	case TSingle:
+		return "single"
+	case TSet:
+		return "set"
+	case TArray:
+		return "array of " + t.Elem.String()
+	}
+	return "?"
+}
+
+// VarSym is a declared variable, parameter, or function result slot.
+type VarSym struct {
+	Name  string
+	Type  *Type
+	Proc  *Proc // owning procedure; nil for globals of the main program
+	Param bool
+	// Offset is assigned by the shaper: displacement within the frame.
+	Offset int64
+}
+
+// Proc is a procedure or function. The main program body is the Proc
+// with Name "main" and Main true.
+type Proc struct {
+	Name   string
+	Main   bool
+	Params []*VarSym
+	Result *VarSym // function result slot; nil for procedures
+	Locals []*VarSym
+	Body   []Stmt
+	Line   int
+
+	// Index is the procedure's slot in the transfer vector, assigned by
+	// the shaper.
+	Index int
+}
+
+// Program is a checked compilation unit.
+type Program struct {
+	Name  string
+	Main  *Proc
+	Procs []*Proc // excluding Main
+}
+
+// AllProcs returns main followed by the declared procedures.
+func (p *Program) AllProcs() []*Proc {
+	out := make([]*Proc, 0, len(p.Procs)+1)
+	out = append(out, p.Main)
+	return append(out, p.Procs...)
+}
+
+// --- expressions ---------------------------------------------------------
+
+// Expr is a typed expression node.
+type Expr interface {
+	Type() *Type
+	Line() int
+}
+
+type exprBase struct {
+	T  *Type
+	Ln int
+}
+
+func (e *exprBase) Type() *Type { return e.T }
+func (e *exprBase) Line() int   { return e.Ln }
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	exprBase
+	V int64
+}
+
+// RealLit is a floating point literal.
+type RealLit struct {
+	exprBase
+	V float64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	exprBase
+	V bool
+}
+
+// VarRef reads a whole variable.
+type VarRef struct {
+	exprBase
+	Sym *VarSym
+}
+
+// IndexExpr reads one array element.
+type IndexExpr struct {
+	exprBase
+	Arr *VarRef
+	Idx Expr
+}
+
+// BinExpr is a binary operation: + - * div mod, relationals
+// (= <> < <= > >=), and, or, and the set operations + - (with a SetLit
+// right operand) and in.
+type BinExpr struct {
+	exprBase
+	Op   string
+	L, R Expr
+}
+
+// UnExpr is unary minus or not.
+type UnExpr struct {
+	exprBase
+	Op string
+	E  Expr
+}
+
+// SetLit is a one-element set constructor [e], legal only as the right
+// operand of a set + or -.
+type SetLit struct {
+	exprBase
+	Elem Expr
+}
+
+// CallExpr invokes a function inside an expression.
+type CallExpr struct {
+	exprBase
+	Proc *Proc
+	Args []Expr
+}
+
+// BuiltinExpr is abs(e) or odd(e).
+type BuiltinExpr struct {
+	exprBase
+	Name string
+	E    Expr
+}
+
+// --- statements ----------------------------------------------------------
+
+// Stmt is a statement node.
+type Stmt interface{ StmtLine() int }
+
+type stmtBase struct{ Ln int }
+
+func (s *stmtBase) StmtLine() int { return s.Ln }
+
+// AssignStmt stores RHS into LHS (a VarRef or IndexExpr).
+type AssignStmt struct {
+	stmtBase
+	LHS Expr
+	RHS Expr
+}
+
+// IfStmt with optional else.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt loops while the condition holds.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// RepeatStmt loops until the condition holds.
+type RepeatStmt struct {
+	stmtBase
+	Body []Stmt
+	Cond Expr
+}
+
+// ForStmt iterates an integer control variable.
+type ForStmt struct {
+	stmtBase
+	Var  *VarSym
+	From Expr
+	To   Expr
+	Down bool
+	Body Stmt
+}
+
+// CaseArm is one labelled arm of a case statement.
+type CaseArm struct {
+	Vals []int64
+	Body Stmt
+}
+
+// CaseStmt dispatches on an integer selector.
+type CaseStmt struct {
+	stmtBase
+	Sel  Expr
+	Arms []CaseArm
+	Else Stmt // may be nil
+}
+
+// CallStmt invokes a procedure.
+type CallStmt struct {
+	stmtBase
+	Proc *Proc
+	Args []Expr
+}
+
+// CompoundStmt is begin ... end.
+type CompoundStmt struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// WriteStmt is the write/writeln builtin: each integer argument is
+// appended to the runtime output area.
+type WriteStmt struct {
+	stmtBase
+	Args []Expr
+}

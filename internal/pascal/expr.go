@@ -1,0 +1,294 @@
+package pascal
+
+// expression := simple [relop simple] | simple 'in' designator
+func (p *parser) expression() (Expr, error) {
+	line := p.tok().Line
+	l, err := p.simple()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKw("in") {
+		set, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		if !l.Type().Numeric() {
+			return nil, p.errf("left operand of in must be an integer")
+		}
+		if set.Type().Kind != TSet {
+			return nil, p.errf("right operand of in must be a set")
+		}
+		return &BinExpr{exprBase{BoolType, line}, "in", l, set}, nil
+	}
+	for _, op := range []string{"=", "<>", "<", "<=", ">", ">="} {
+		if p.isOp(op) {
+			p.pos++
+			r, err := p.simple()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.checkCompare(l, r); err != nil {
+				return nil, err
+			}
+			return &BinExpr{exprBase{BoolType, line}, op, l, r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) checkCompare(l, r Expr) error {
+	lt, rt := l.Type(), r.Type()
+	switch {
+	case lt.Numeric() && rt.Numeric():
+		return nil
+	case lt.RealLike() && rt.RealLike() && lt.Kind == rt.Kind:
+		return nil
+	case lt.Kind == TBool && rt.Kind == TBool:
+		return nil
+	}
+	return p.errf("cannot compare %s with %s", lt, rt)
+}
+
+// simple := ['-'] term { (+ | - | or) term }
+func (p *parser) simple() (Expr, error) {
+	line := p.tok().Line
+	neg := false
+	if p.isOp("-") {
+		p.pos++
+		neg = true
+	} else if p.isOp("+") {
+		p.pos++
+	}
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	if neg {
+		l, err = p.negate(l, line)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for {
+		line = p.tok().Line
+		var op string
+		switch {
+		case p.isOp("+"):
+			op = "+"
+		case p.isOp("-"):
+			op = "-"
+		case p.isKw("or"):
+			op = "or"
+		default:
+			return l, nil
+		}
+		p.pos++
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l, err = p.binary(op, l, r, line)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// term := factor { (* | / | div | mod | and) factor }
+func (p *parser) term() (Expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		line := p.tok().Line
+		var op string
+		switch {
+		case p.isOp("*"):
+			op = "*"
+		case p.isOp("/"):
+			op = "/"
+		case p.isKw("div"):
+			op = "div"
+		case p.isKw("mod"):
+			op = "mod"
+		case p.isKw("and"):
+			op = "and"
+		default:
+			return l, nil
+		}
+		p.pos++
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l, err = p.binary(op, l, r, line)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) negate(e Expr, line int) (Expr, error) {
+	if lit, ok := e.(*IntLit); ok {
+		lit.V = -lit.V
+		return lit, nil
+	}
+	if lit, ok := e.(*RealLit); ok {
+		lit.V = -lit.V
+		return lit, nil
+	}
+	switch {
+	case e.Type().Numeric():
+		return &UnExpr{exprBase{IntType, line}, "-", e}, nil
+	case e.Type().RealLike():
+		return &UnExpr{exprBase{e.Type(), line}, "-", e}, nil
+	}
+	return nil, p.errf("cannot negate %s", e.Type())
+}
+
+func (p *parser) binary(op string, l, r Expr, line int) (Expr, error) {
+	lt, rt := l.Type(), r.Type()
+	switch op {
+	case "and", "or":
+		if lt.Kind != TBool || rt.Kind != TBool {
+			return nil, p.errf("%s requires boolean operands", op)
+		}
+		return &BinExpr{exprBase{BoolType, line}, op, l, r}, nil
+	case "/":
+		if !lt.RealLike() || lt.Kind != rt.Kind {
+			return nil, p.errf("/ requires real operands of the same precision (use div for integers)")
+		}
+		return &BinExpr{exprBase{lt, line}, op, l, r}, nil
+	case "div", "mod":
+		if !lt.Numeric() || !rt.Numeric() {
+			return nil, p.errf("%s requires integer operands", op)
+		}
+		return &BinExpr{exprBase{IntType, line}, op, l, r}, nil
+	}
+	// + - * over integers, reals, and (for + and -) sets.
+	switch {
+	case lt.Numeric() && rt.Numeric():
+		return &BinExpr{exprBase{IntType, line}, op, l, r}, nil
+	case lt.RealLike() && rt.RealLike() && lt.Kind == rt.Kind:
+		return &BinExpr{exprBase{lt, line}, op, l, r}, nil
+	case lt.Kind == TSet && op != "*":
+		if _, ok := r.(*SetLit); !ok {
+			return nil, p.errf("set %s supports only a one-element set constructor on the right", op)
+		}
+		return &BinExpr{exprBase{SetType, line}, op, l, r}, nil
+	}
+	return nil, p.errf("operator %s cannot combine %s and %s", op, lt, rt)
+}
+
+// factor := literal | designator | function call | (expr) | not factor |
+// [elem] | abs(e) | odd(e)
+func (p *parser) factor() (Expr, error) {
+	line := p.tok().Line
+	t := p.tok()
+	switch {
+	case t.Kind == TokInt:
+		p.pos++
+		return &IntLit{exprBase{litType(t.Int), line}, t.Int}, nil
+	case t.Kind == TokReal:
+		p.pos++
+		return &RealLit{exprBase{RealType, line}, t.Real}, nil
+	case p.acceptKw("true"):
+		return &BoolLit{exprBase{BoolType, line}, true}, nil
+	case p.acceptKw("false"):
+		return &BoolLit{exprBase{BoolType, line}, false}, nil
+	case p.acceptKw("not"):
+		e, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		if e.Type().Kind != TBool {
+			return nil, p.errf("not requires a boolean operand")
+		}
+		return &UnExpr{exprBase{BoolType, line}, "not", e}, nil
+	case p.acceptOp("("):
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.acceptOp("["):
+		elem, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if !elem.Type().Numeric() {
+			return nil, p.errf("set element must be an integer")
+		}
+		if err := p.expectOp("]"); err != nil {
+			return nil, err
+		}
+		return &SetLit{exprBase{SetType, line}, elem}, nil
+	case t.Kind == TokIdent:
+		name := t.Text
+		p.pos++
+		switch name {
+		case "abs", "odd", "sqr":
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			switch name {
+			case "odd":
+				if !e.Type().Numeric() {
+					return nil, p.errf("odd requires an integer operand")
+				}
+				return &BuiltinExpr{exprBase{BoolType, line}, name, e}, nil
+			case "abs":
+				rt := IntType
+				if e.Type().RealLike() {
+					rt = e.Type()
+				} else if !e.Type().Numeric() {
+					return nil, p.errf("abs requires a numeric operand")
+				}
+				return &BuiltinExpr{exprBase{rt, line}, name, e}, nil
+			default: // sqr
+				if e.Type().Numeric() {
+					return &BinExpr{exprBase{IntType, line}, "*", e, e}, nil
+				}
+				if e.Type().RealLike() {
+					return &BinExpr{exprBase{e.Type(), line}, "*", e, e}, nil
+				}
+				return nil, p.errf("sqr requires a numeric operand")
+			}
+		}
+		if c, ok := p.consts[name]; ok {
+			if c.isReal {
+				return &RealLit{exprBase{RealType, line}, c.f}, nil
+			}
+			return &IntLit{exprBase{litType(c.i), line}, c.i}, nil
+		}
+		if proc, ok := p.procs[name]; ok {
+			if proc.Result == nil {
+				return nil, p.errf("procedure %q used in an expression", name)
+			}
+			args, err := p.callArgs(proc)
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{exprBase{proc.Result.Type, line}, proc, args}, nil
+		}
+		return p.designator(name, line)
+	}
+	return nil, p.errf("expected expression, found %s", t)
+}
+
+// litType types an integer literal by value so that subrange contexts
+// accept it.
+func litType(v int64) *Type {
+	return IntType
+}

@@ -1,0 +1,492 @@
+package pascal
+
+import "fmt"
+
+// Parse builds the typed syntax tree for one Pascal program, performing
+// static semantic checking as it parses.
+func Parse(file, src string) (*Program, error) {
+	toks, err := Lex(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		file:   file,
+		toks:   toks,
+		consts: map[string]constVal{},
+		types:  map[string]*Type{},
+		procs:  map[string]*Proc{},
+	}
+	return p.program()
+}
+
+type constVal struct {
+	isReal bool
+	i      int64
+	f      float64
+}
+
+type parser struct {
+	file string
+	toks []Tok
+	pos  int
+
+	consts map[string]constVal
+	types  map[string]*Type
+	procs  map[string]*Proc
+
+	cur     *Proc // procedure whose body is being parsed
+	mainSym map[string]*VarSym
+	curSym  map[string]*VarSym
+}
+
+func (p *parser) tok() Tok  { return p.toks[p.pos] }
+func (p *parser) next() Tok { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{p.file, p.tok().Line, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) isKw(kw string) bool {
+	t := p.tok()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *parser) isOp(op string) bool {
+	t := p.tok()
+	return t.Kind == TokOp && t.Text == op
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.isKw(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.isOp(op) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %q, found %s", kw, p.tok())
+	}
+	return nil
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q, found %s", op, p.tok())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.tok().Kind != TokIdent {
+		return "", p.errf("expected identifier, found %s", p.tok())
+	}
+	return p.next().Text, nil
+}
+
+// program := 'program' ident ';' decls 'begin' stmts 'end' '.'
+func (p *parser) program() (*Program, error) {
+	if err := p.expectKw("program"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(";"); err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: name}
+	main := &Proc{Name: "main", Main: true, Line: p.tok().Line}
+	p.cur = main
+	p.mainSym = map[string]*VarSym{}
+	p.curSym = p.mainSym
+
+	for {
+		switch {
+		case p.isKw("const"):
+			if err := p.constSection(); err != nil {
+				return nil, err
+			}
+		case p.isKw("type"):
+			if err := p.typeSection(); err != nil {
+				return nil, err
+			}
+		case p.isKw("var"):
+			if err := p.varSection(main); err != nil {
+				return nil, err
+			}
+		case p.isKw("procedure") || p.isKw("function"):
+			proc, err := p.procDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Procs = append(prog.Procs, proc)
+			p.cur = main
+			p.curSym = p.mainSym
+		default:
+			goto body
+		}
+	}
+body:
+	if err := p.expectKw("begin"); err != nil {
+		return nil, err
+	}
+	stmts, err := p.stmtList("end")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("."); err != nil {
+		return nil, err
+	}
+	main.Body = stmts
+	prog.Main = main
+	return prog, nil
+}
+
+func (p *parser) constSection() error {
+	p.pos++ // const
+	for p.tok().Kind == TokIdent {
+		name, _ := p.ident()
+		if err := p.expectOp("="); err != nil {
+			return err
+		}
+		v, err := p.constant()
+		if err != nil {
+			return err
+		}
+		if _, dup := p.consts[name]; dup {
+			return p.errf("constant %q already declared", name)
+		}
+		p.consts[name] = v
+		if err := p.expectOp(";"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// constant := ['-'] (int | real | constname)
+func (p *parser) constant() (constVal, error) {
+	neg := p.acceptOp("-")
+	t := p.tok()
+	var v constVal
+	switch {
+	case t.Kind == TokInt:
+		v = constVal{i: t.Int}
+		p.pos++
+	case t.Kind == TokReal:
+		v = constVal{isReal: true, f: t.Real}
+		p.pos++
+	case t.Kind == TokIdent:
+		c, ok := p.consts[t.Text]
+		if !ok {
+			return v, p.errf("unknown constant %q", t.Text)
+		}
+		v = c
+		p.pos++
+	default:
+		return v, p.errf("expected constant, found %s", t)
+	}
+	if neg {
+		v.i, v.f = -v.i, -v.f
+	}
+	return v, nil
+}
+
+func (p *parser) intConstant() (int64, error) {
+	v, err := p.constant()
+	if err != nil {
+		return 0, err
+	}
+	if v.isReal {
+		return 0, p.errf("integer constant required")
+	}
+	return v.i, nil
+}
+
+func (p *parser) typeSection() error {
+	p.pos++ // type
+	for p.tok().Kind == TokIdent {
+		name, _ := p.ident()
+		if err := p.expectOp("="); err != nil {
+			return err
+		}
+		t, err := p.typeExpr()
+		if err != nil {
+			return err
+		}
+		if _, dup := p.types[name]; dup {
+			return p.errf("type %q already declared", name)
+		}
+		p.types[name] = t
+		if err := p.expectOp(";"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) typeExpr() (*Type, error) {
+	switch {
+	case p.acceptKw("array"):
+		if err := p.expectOp("["); err != nil {
+			return nil, err
+		}
+		lo, err := p.intConstant()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(".."); err != nil {
+			return nil, err
+		}
+		hi, err := p.intConstant()
+		if err != nil {
+			return nil, err
+		}
+		if hi < lo {
+			return nil, p.errf("array bounds %d..%d are empty", lo, hi)
+		}
+		if err := p.expectOp("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("of"); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if elem.Kind == TArray {
+			return nil, p.errf("multidimensional arrays are not supported")
+		}
+		return &Type{Kind: TArray, Lo: lo, Hi: hi, Elem: elem}, nil
+	case p.acceptKw("set"):
+		if err := p.expectKw("of"); err != nil {
+			return nil, err
+		}
+		lo, err := p.intConstant()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(".."); err != nil {
+			return nil, err
+		}
+		hi, err := p.intConstant()
+		if err != nil {
+			return nil, err
+		}
+		if lo < 0 || hi > 63 {
+			return nil, p.errf("set base range %d..%d exceeds 0..63", lo, hi)
+		}
+		return SetType, nil
+	case p.tok().Kind == TokIdent:
+		name := p.tok().Text
+		switch name {
+		case "integer":
+			p.pos++
+			return IntType, nil
+		case "boolean":
+			p.pos++
+			return BoolType, nil
+		case "real":
+			p.pos++
+			return RealType, nil
+		case "single", "shortreal":
+			p.pos++
+			return SingleType, nil
+		case "char":
+			p.pos++
+			return &Type{Kind: TByte, Lo: 0, Hi: 255}, nil
+		}
+		if t, ok := p.types[name]; ok {
+			p.pos++
+			return t, nil
+		}
+		if _, isConst := p.consts[name]; !isConst {
+			return nil, p.errf("unknown type %q", name)
+		}
+		fallthrough
+	default:
+		// Subrange type: constant .. constant.
+		lo, err := p.intConstant()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(".."); err != nil {
+			return nil, err
+		}
+		hi, err := p.intConstant()
+		if err != nil {
+			return nil, err
+		}
+		if hi < lo {
+			return nil, p.errf("subrange %d..%d is empty", lo, hi)
+		}
+		return subrangeType(lo, hi), nil
+	}
+}
+
+// subrangeType picks the storage format the bounds allow, giving the
+// code generator access to halfword and byte instructions (section 4.5).
+func subrangeType(lo, hi int64) *Type {
+	switch {
+	case lo >= 0 && hi <= 255:
+		return &Type{Kind: TByte, Lo: lo, Hi: hi}
+	case lo >= -32768 && hi <= 32767:
+		return &Type{Kind: THalf, Lo: lo, Hi: hi}
+	default:
+		return &Type{Kind: TInt, Lo: lo, Hi: hi}
+	}
+}
+
+func (p *parser) varSection(owner *Proc) error {
+	p.pos++ // var
+	for p.tok().Kind == TokIdent {
+		var names []string
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return err
+			}
+			names = append(names, name)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(":"); err != nil {
+			return err
+		}
+		t, err := p.typeExpr()
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			if err := p.declareVar(owner, name, t, false); err != nil {
+				return err
+			}
+		}
+		if err := p.expectOp(";"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) declareVar(owner *Proc, name string, t *Type, param bool) error {
+	if _, dup := p.curSym[name]; dup {
+		return p.errf("variable %q already declared", name)
+	}
+	sym := &VarSym{Name: name, Type: t, Proc: owner, Param: param}
+	p.curSym[name] = sym
+	if param {
+		owner.Params = append(owner.Params, sym)
+	} else {
+		owner.Locals = append(owner.Locals, sym)
+	}
+	return nil
+}
+
+func (p *parser) procDecl() (*Proc, error) {
+	isFunc := p.isKw("function")
+	p.pos++
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := p.procs[name]; dup {
+		return nil, p.errf("procedure %q already declared", name)
+	}
+	proc := &Proc{Name: name, Line: p.tok().Line}
+	p.cur = proc
+	p.curSym = map[string]*VarSym{}
+
+	if p.acceptOp("(") {
+		for {
+			var names []string
+			for {
+				pn, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				names = append(names, pn)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(":"); err != nil {
+				return nil, err
+			}
+			t, err := p.typeExpr()
+			if err != nil {
+				return nil, err
+			}
+			if t.Kind == TArray {
+				return nil, p.errf("array parameters are not supported")
+			}
+			for _, pn := range names {
+				if err := p.declareVar(proc, pn, t, true); err != nil {
+					return nil, err
+				}
+			}
+			if !p.acceptOp(";") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if isFunc {
+		if err := p.expectOp(":"); err != nil {
+			return nil, err
+		}
+		t, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TArray || t.Kind == TSet {
+			return nil, p.errf("function result must be a scalar type")
+		}
+		proc.Result = &VarSym{Name: name, Type: t, Proc: proc}
+		proc.Locals = append(proc.Locals, proc.Result)
+	}
+	if err := p.expectOp(";"); err != nil {
+		return nil, err
+	}
+	// The procedure must be registered before its body so that direct
+	// recursion resolves.
+	p.procs[name] = proc
+	if p.isKw("var") {
+		if err := p.varSection(proc); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("begin"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmtList("end")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(";"); err != nil {
+		return nil, err
+	}
+	proc.Body = body
+	return proc, nil
+}

@@ -1,0 +1,255 @@
+package pascal
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("t.pas", "program P; { comment } var x := 12 3.5 'A' 'str' <> <= .. (* more *) end.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tok := range toks {
+		switch tok.Kind {
+		case TokKeyword:
+			kinds = append(kinds, "kw:"+tok.Text)
+		case TokIdent:
+			kinds = append(kinds, "id:"+tok.Text)
+		case TokInt:
+			kinds = append(kinds, "int")
+		case TokReal:
+			kinds = append(kinds, "real")
+		case TokString:
+			kinds = append(kinds, "str")
+		case TokOp:
+			kinds = append(kinds, tok.Text)
+		case TokEOF:
+			kinds = append(kinds, "eof")
+		}
+	}
+	want := []string{"kw:program", "id:p", ";", "kw:var", "id:x", ":=", "int", "real",
+		"int", "str", "<>", "<=", "..", "kw:end", ".", "eof"}
+	if strings.Join(kinds, " ") != strings.Join(want, " ") {
+		t.Errorf("lex:\n got %v\nwant %v", kinds, want)
+	}
+}
+
+func TestLexCaseInsensitive(t *testing.T) {
+	toks, err := Lex("t.pas", "PROGRAM BeGiN X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "program" ||
+		toks[1].Text != "begin" || toks[2].Text != "x" {
+		t.Errorf("case folding: %v", toks[:3])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"{ unterminated", "(* unterminated", "'unterminated", "#"} {
+		if _, err := Lex("t.pas", bad); err == nil {
+			t.Errorf("Lex(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestCharLiteral(t *testing.T) {
+	toks, _ := Lex("t.pas", "'A'")
+	if toks[0].Kind != TokInt || toks[0].Int != 65 {
+		t.Errorf("char literal: %+v", toks[0])
+	}
+}
+
+func parseOK(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse("t.pas", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParseProgramShape(t *testing.T) {
+	p := parseOK(t, `
+program shapes;
+const n = 10;
+type vec = array[1..n] of integer;
+var a: vec;
+    i: integer;
+    h: -100..100;
+    ch: char;
+    b: boolean;
+    s: set of 0..63;
+    r: real;
+
+procedure fill(start: integer);
+var j: integer;
+begin
+  j := start
+end;
+
+function top(x: integer): integer;
+begin
+  top := x + 1
+end;
+
+begin
+  i := top(3);
+  fill(i)
+end.
+`)
+	if p.Name != "shapes" {
+		t.Errorf("name %q", p.Name)
+	}
+	if len(p.Procs) != 2 {
+		t.Fatalf("procs: %d", len(p.Procs))
+	}
+	if len(p.Main.Locals) != 7 {
+		t.Errorf("main locals: %d", len(p.Main.Locals))
+	}
+	if p.Procs[1].Result == nil || p.Procs[1].Result.Type.Kind != TInt {
+		t.Error("function result missing")
+	}
+	if len(p.Main.Body) != 2 {
+		t.Errorf("main body: %d statements", len(p.Main.Body))
+	}
+}
+
+func TestSubrangeStorage(t *testing.T) {
+	cases := []struct {
+		lo, hi int64
+		want   TypeKind
+	}{
+		{0, 255, TByte},
+		{0, 256, THalf},
+		{-1, 100, THalf},
+		{-32768, 32767, THalf},
+		{-32769, 0, TInt},
+		{0, 1 << 20, TInt},
+	}
+	for _, c := range cases {
+		if got := subrangeType(c.lo, c.hi).Kind; got != c.want {
+			t.Errorf("subrange %d..%d stored as %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestTypeSizes(t *testing.T) {
+	arr := &Type{Kind: TArray, Lo: 1, Hi: 10, Elem: IntType}
+	if arr.Size() != 40 {
+		t.Errorf("array size %d", arr.Size())
+	}
+	if SetType.Size() != 8 || RealType.Size() != 8 || BoolType.Size() != 1 {
+		t.Error("scalar sizes wrong")
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	cases := map[string]string{
+		"undeclared variable": `program p; begin x := 1 end.`,
+		"type mismatch":       `program p; var b: boolean; begin b := 3 end.`,
+		"real into int":       `program p; var i: integer; begin i := 1.5 end.`,
+		"div on reals":        `program p; var r: real; begin r := 1.0 div 2.0 end.`,
+		"slash on ints":       `program p; var i: integer; begin i := 4 / 2 end.`,
+		"and on ints":         `program p; var i: integer; begin i := 1 and 2 end.`,
+		"if non-boolean":      `program p; var i: integer; begin if i then i := 1 end.`,
+		"while non-boolean":   `program p; var i: integer; begin while i do i := 1 end.`,
+		"for non-integer": `program p; var b: boolean; begin
+  for b := 1 to 2 do b := true end.`,
+		"duplicate variable": `program p; var x, x: integer; begin x := 1 end.`,
+		"duplicate case label": `program p; var i: integer; begin
+  case i of 1: i := 0; 1: i := 2 end end.`,
+		"call arity": `program p; var i: integer;
+procedure q(a: integer); begin end;
+begin q(1, 2) end.`,
+		"function as procedure": `program p; var i: integer;
+function f: integer; begin f := 1 end;
+begin f end.`,
+		"procedure in expression": `program p; var i: integer;
+procedure q; begin end;
+begin i := q end.`,
+		"subscript of scalar":  `program p; var i: integer; begin i[1] := 2 end.`,
+		"set element mismatch": `program p; var s: set of 0..63; var r: real; begin s := s + [r] end.`,
+		"array assign shape": `program p;
+var a, b: array[1..3] of integer; c: array[1..4] of integer;
+begin a := c end.`,
+		"multidimensional array": `program p;
+var a: array[1..3] of array[1..3] of integer;
+begin end.`,
+		"missing final period": `program p; begin end`,
+	}
+	for name, src := range cases {
+		if _, err := Parse("t.pas", src); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestConstantsFold(t *testing.T) {
+	p := parseOK(t, `
+program p;
+const k = 5; negk = -5;
+var a: array[1..k] of integer;
+    i: integer;
+begin
+  i := k + negk
+end.
+`)
+	arr := p.Main.Locals[0].Type
+	if arr.Hi != 5 {
+		t.Errorf("array bound from constant: %d", arr.Hi)
+	}
+}
+
+func TestFunctionResultAssignment(t *testing.T) {
+	p := parseOK(t, `
+program p;
+var x: integer;
+function f: integer;
+begin
+  f := 42
+end;
+begin x := f end.
+`)
+	f := p.Procs[0]
+	as, ok := f.Body[0].(*AssignStmt)
+	if !ok {
+		t.Fatalf("body[0] is %T", f.Body[0])
+	}
+	ref, ok := as.LHS.(*VarRef)
+	if !ok || ref.Sym != f.Result {
+		t.Error("function name does not designate the result slot")
+	}
+}
+
+func TestCaseElse(t *testing.T) {
+	p := parseOK(t, `
+program p;
+var i: integer;
+begin
+  case i of
+    1: i := 10;
+    2, 3: i := 20
+  else i := -1
+  end
+end.
+`)
+	cs := p.Main.Body[0].(*CaseStmt)
+	if len(cs.Arms) != 2 || cs.Else == nil {
+		t.Errorf("case shape: %d arms, else=%v", len(cs.Arms), cs.Else)
+	}
+	if len(cs.Arms[1].Vals) != 2 {
+		t.Errorf("second arm labels: %v", cs.Arms[1].Vals)
+	}
+}
+
+func TestSqrDesugars(t *testing.T) {
+	p := parseOK(t, `program p; var i: integer; begin i := sqr(3) end.`)
+	as := p.Main.Body[0].(*AssignStmt)
+	bin, ok := as.RHS.(*BinExpr)
+	if !ok || bin.Op != "*" {
+		t.Errorf("sqr desugars to %T", as.RHS)
+	}
+}

@@ -1,0 +1,384 @@
+package pascal
+
+// stmtList parses statements separated by ';' until one of the closing
+// keywords ("end", "until") is next.
+func (p *parser) stmtList(closers ...string) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		for _, c := range closers {
+			if p.isKw(c) {
+				return out, nil
+			}
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			out = append(out, s)
+		}
+		if !p.acceptOp(";") {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) statement() (Stmt, error) {
+	line := p.tok().Line
+	switch {
+	case p.isOp(";") || p.isKw("end") || p.isKw("until"):
+		return nil, nil // empty statement
+	case p.acceptKw("begin"):
+		stmts, err := p.stmtList("end")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("end"); err != nil {
+			return nil, err
+		}
+		return &CompoundStmt{stmtBase{line}, stmts}, nil
+	case p.acceptKw("if"):
+		return p.ifStatement(line)
+	case p.acceptKw("while"):
+		return p.whileStatement(line)
+	case p.acceptKw("repeat"):
+		return p.repeatStatement(line)
+	case p.acceptKw("for"):
+		return p.forStatement(line)
+	case p.acceptKw("case"):
+		return p.caseStatement(line)
+	case p.tok().Kind == TokIdent:
+		return p.assignOrCall(line)
+	}
+	return nil, p.errf("expected statement, found %s", p.tok())
+}
+
+func (p *parser) ifStatement(line int) (Stmt, error) {
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if cond.Type().Kind != TBool {
+		return nil, p.errf("if condition must be boolean, found %s", cond.Type())
+	}
+	if err := p.expectKw("then"); err != nil {
+		return nil, err
+	}
+	then, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	var els Stmt
+	if p.acceptKw("else") {
+		els, err = p.statement()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &IfStmt{stmtBase{line}, cond, then, els}, nil
+}
+
+func (p *parser) whileStatement(line int) (Stmt, error) {
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if cond.Type().Kind != TBool {
+		return nil, p.errf("while condition must be boolean, found %s", cond.Type())
+	}
+	if err := p.expectKw("do"); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{stmtBase{line}, cond, body}, nil
+}
+
+func (p *parser) repeatStatement(line int) (Stmt, error) {
+	body, err := p.stmtList("until")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("until"); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if cond.Type().Kind != TBool {
+		return nil, p.errf("until condition must be boolean, found %s", cond.Type())
+	}
+	return &RepeatStmt{stmtBase{line}, body, cond}, nil
+}
+
+func (p *parser) forStatement(line int) (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sym, err := p.lookupVar(name)
+	if err != nil {
+		return nil, err
+	}
+	if sym.Type.Kind != TInt {
+		return nil, p.errf("for control variable %q must be a fullword integer", name)
+	}
+	if err := p.expectOp(":="); err != nil {
+		return nil, err
+	}
+	from, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	down := false
+	switch {
+	case p.acceptKw("to"):
+	case p.acceptKw("downto"):
+		down = true
+	default:
+		return nil, p.errf("expected to or downto, found %s", p.tok())
+	}
+	to, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if !from.Type().Numeric() || !to.Type().Numeric() {
+		return nil, p.errf("for bounds must be integers")
+	}
+	if err := p.expectKw("do"); err != nil {
+		return nil, err
+	}
+	body, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{stmtBase{line}, sym, from, to, down, body}, nil
+}
+
+func (p *parser) caseStatement(line int) (Stmt, error) {
+	sel, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if !sel.Type().Numeric() {
+		return nil, p.errf("case selector must be an integer, found %s", sel.Type())
+	}
+	if err := p.expectKw("of"); err != nil {
+		return nil, err
+	}
+	cs := &CaseStmt{stmtBase: stmtBase{line}, Sel: sel}
+	seen := map[int64]bool{}
+	for {
+		if p.isKw("end") || p.isKw("else") {
+			break
+		}
+		var vals []int64
+		for {
+			v, err := p.intConstant()
+			if err != nil {
+				return nil, err
+			}
+			if seen[v] {
+				return nil, p.errf("duplicate case label %d", v)
+			}
+			seen[v] = true
+			vals = append(vals, v)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(":"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		cs.Arms = append(cs.Arms, CaseArm{Vals: vals, Body: body})
+		if !p.acceptOp(";") {
+			break
+		}
+	}
+	if p.acceptKw("else") {
+		els, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		cs.Else = els
+		p.acceptOp(";")
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	if len(cs.Arms) == 0 {
+		return nil, p.errf("case statement has no arms")
+	}
+	return cs, nil
+}
+
+// assignOrCall distinguishes `v := e`, `a[i] := e`, `f := e` (function
+// result), `p(args)`, and the write/writeln builtins.
+func (p *parser) assignOrCall(line int) (Stmt, error) {
+	name, _ := p.ident()
+
+	if (name == "write" || name == "writeln") && !p.isOp(":=") {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		for {
+			a, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if !a.Type().Numeric() {
+				return nil, p.errf("%s writes integers; found %s", name, a.Type())
+			}
+			args = append(args, a)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &WriteStmt{stmtBase{line}, args}, nil
+	}
+
+	if proc, ok := p.procs[name]; ok && !p.isOp(":=") {
+		args, err := p.callArgs(proc)
+		if err != nil {
+			return nil, err
+		}
+		if proc.Result != nil {
+			return nil, p.errf("function %q called as a procedure", name)
+		}
+		return &CallStmt{stmtBase{line}, proc, args}, nil
+	}
+
+	lhs, err := p.designator(name, line)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(":="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.checkAssign(lhs, rhs); err != nil {
+		return nil, err
+	}
+	return &AssignStmt{stmtBase{line}, lhs, rhs}, nil
+}
+
+// designator parses a variable or array-element reference for a name
+// already consumed. Inside a function body, the function's name
+// designates its result slot.
+func (p *parser) designator(name string, line int) (Expr, error) {
+	var sym *VarSym
+	if p.cur.Result != nil && name == p.cur.Name {
+		sym = p.cur.Result
+	} else {
+		var err error
+		sym, err = p.lookupVar(name)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ref := &VarRef{exprBase{sym.Type, line}, sym}
+	if p.acceptOp("[") {
+		if sym.Type.Kind != TArray {
+			return nil, p.errf("%q is not an array", name)
+		}
+		idx, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if !idx.Type().Numeric() {
+			return nil, p.errf("array subscript must be an integer")
+		}
+		if err := p.expectOp("]"); err != nil {
+			return nil, err
+		}
+		return &IndexExpr{exprBase{sym.Type.Elem, line}, ref, idx}, nil
+	}
+	return ref, nil
+}
+
+func (p *parser) lookupVar(name string) (*VarSym, error) {
+	if sym, ok := p.curSym[name]; ok {
+		return sym, nil
+	}
+	// Globals: main's frame sits at a fixed address, addressed through
+	// its own base register inside procedures.
+	if !p.cur.Main {
+		if sym, ok := p.mainSym[name]; ok {
+			return sym, nil
+		}
+	}
+	return nil, p.errf("undeclared variable %q", name)
+}
+
+// checkAssign validates an assignment's types.
+func (p *parser) checkAssign(lhs, rhs Expr) error {
+	lt, rt := lhs.Type(), rhs.Type()
+	switch {
+	case lt.Numeric() && rt.Numeric():
+		return nil
+	case lt.Kind == TBool && rt.Kind == TBool:
+		return nil
+	case lt.RealLike() && rt.RealLike() && lt.Kind == rt.Kind:
+		return nil
+	case lt.Kind == TSingle && rt.Kind == TReal:
+		// A real literal adapts to the single-precision context.
+		if lit, ok := rhs.(*RealLit); ok {
+			lit.T = SingleType
+			return nil
+		}
+	case lt.Kind == TSet && rt.Kind == TSet:
+		return nil
+	case lt.Kind == TArray && rt.Kind == TArray && lt.Same(rt):
+		if _, ok := rhs.(*VarRef); !ok {
+			return p.errf("array assignment requires a whole array on the right")
+		}
+		return nil
+	}
+	return p.errf("cannot assign %s to %s", rt, lt)
+}
+
+func (p *parser) callArgs(proc *Proc) ([]Expr, error) {
+	var args []Expr
+	if p.acceptOp("(") {
+		for {
+			a, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if len(args) != len(proc.Params) {
+		return nil, p.errf("%q expects %d arguments, found %d", proc.Name, len(proc.Params), len(args))
+	}
+	for i, a := range args {
+		pt := proc.Params[i].Type
+		at := a.Type()
+		ok := pt.Numeric() && at.Numeric() ||
+			pt.Kind == at.Kind && (pt.Kind == TBool || pt.RealLike() || pt.Kind == TSet)
+		if !ok {
+			return nil, p.errf("argument %d of %q: cannot pass %s as %s", i+1, proc.Name, at, pt)
+		}
+	}
+	return args, nil
+}

@@ -1,0 +1,197 @@
+// Package pascal is the front end of the compiler: lexical analyzer,
+// parser, and static semantic checker for the Pascal subset the code
+// generation experiments exercise — integer, boolean, character,
+// subrange, real, array, and small-set types; assignments; if, while,
+// repeat, for, and case statements; and non-nested procedures and
+// functions with value parameters.
+//
+// The front end produces a typed syntax tree; the shaper (package
+// shaper) resolves storage and lowers it to the intermediate form.
+package pascal
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokReal
+	TokString
+	TokKeyword
+	TokOp // one of the operator/punctuation spellings below
+)
+
+// Tok is one lexical token.
+type Tok struct {
+	Kind TokKind
+	Text string // identifiers lower-cased (Pascal is case insensitive)
+	Int  int64
+	Real float64
+	Line int
+}
+
+func (t Tok) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	case TokInt:
+		return fmt.Sprint(t.Int)
+	case TokReal:
+		return fmt.Sprint(t.Real)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"program": true, "var": true, "const": true, "type": true,
+	"begin": true, "end": true, "if": true, "then": true, "else": true,
+	"while": true, "do": true, "repeat": true, "until": true,
+	"for": true, "to": true, "downto": true, "case": true, "of": true,
+	"procedure": true, "function": true, "array": true, "set": true,
+	"div": true, "mod": true, "and": true, "or": true, "not": true,
+	"in": true, "true": true, "false": true,
+}
+
+// Error is a front-end diagnostic.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+// Lex tokenizes Pascal source.
+func Lex(file, src string) ([]Tok, error) {
+	var toks []Tok
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '{': // comment
+			for i < len(src) && src[i] != '}' {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i == len(src) {
+				return nil, &Error{file, line, "unterminated comment"}
+			}
+			i++
+		case c == '(' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == ')') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= len(src) {
+				return nil, &Error{file, line, "unterminated comment"}
+			}
+			i += 2
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			word := strings.ToLower(src[start:i])
+			kind := TokIdent
+			if keywords[word] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Tok{Kind: kind, Text: word, Line: line})
+		case unicode.IsDigit(rune(c)):
+			start := i
+			for i < len(src) && unicode.IsDigit(rune(src[i])) {
+				i++
+			}
+			isReal := false
+			if i+1 < len(src) && src[i] == '.' && unicode.IsDigit(rune(src[i+1])) {
+				isReal = true
+				i++
+				for i < len(src) && unicode.IsDigit(rune(src[i])) {
+					i++
+				}
+			}
+			if i < len(src) && (src[i] == 'e' || src[i] == 'E') {
+				j := i + 1
+				if j < len(src) && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				if j < len(src) && unicode.IsDigit(rune(src[j])) {
+					isReal = true
+					i = j
+					for i < len(src) && unicode.IsDigit(rune(src[i])) {
+						i++
+					}
+				}
+			}
+			text := src[start:i]
+			if isReal {
+				var f float64
+				if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+					return nil, &Error{file, line, "bad real literal " + text}
+				}
+				toks = append(toks, Tok{Kind: TokReal, Real: f, Line: line})
+			} else {
+				var v int64
+				if _, err := fmt.Sscanf(text, "%d", &v); err != nil {
+					return nil, &Error{file, line, "bad integer literal " + text}
+				}
+				toks = append(toks, Tok{Kind: TokInt, Int: v, Line: line})
+			}
+		case c == '\'':
+			i++
+			start := i
+			for i < len(src) && src[i] != '\'' {
+				i++
+			}
+			if i == len(src) {
+				return nil, &Error{file, line, "unterminated string"}
+			}
+			text := src[start:i]
+			i++
+			if len(text) == 1 {
+				// Character literal: value is its code.
+				toks = append(toks, Tok{Kind: TokInt, Int: int64(text[0]), Line: line})
+			} else {
+				toks = append(toks, Tok{Kind: TokString, Text: text, Line: line})
+			}
+		default:
+			op := ""
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch {
+			case two == ":=" || two == "<=" || two == ">=" || two == "<>" || two == "..":
+				op = two
+				i += 2
+			case strings.ContainsRune("+-*/=<>()[],;:.", rune(c)):
+				op = string(c)
+				i++
+			default:
+				return nil, &Error{file, line, fmt.Sprintf("unexpected character %q", c)}
+			}
+			toks = append(toks, Tok{Kind: TokOp, Text: op, Line: line})
+		}
+	}
+	toks = append(toks, Tok{Kind: TokEOF, Line: line})
+	return toks, nil
+}

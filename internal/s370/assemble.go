@@ -1,0 +1,216 @@
+package s370
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cogg/internal/asm"
+)
+
+// Assemble parses assembly text in the syntax the listings print — one
+// instruction per line, lower-case mnemonics, operands like r1, 100,
+// 100(r13), 100(r3,r13), or 8(7,r13) for SS length forms — and returns
+// the instructions. Comments start with '*' or follow ';'.
+func Assemble(src string) ([]asm.Instr, error) {
+	var out []asm.Instr
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		in, err := AssembleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// AssembleLine parses a single instruction.
+func AssembleLine(line string) (asm.Instr, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return asm.Instr{}, fmt.Errorf("empty instruction")
+	}
+	op := strings.ToLower(fields[0])
+	info, ok := Lookup(op)
+	if !ok {
+		return asm.Instr{}, fmt.Errorf("unknown mnemonic %q", op)
+	}
+	in := asm.Instr{Op: op}
+	if len(fields) > 1 {
+		operands, err := splitOperands(strings.Join(fields[1:], ""))
+		if err != nil {
+			return in, err
+		}
+		for i, text := range operands {
+			o, err := parseOperand(info, i, text)
+			if err != nil {
+				return in, fmt.Errorf("%s operand %d: %w", op, i+1, err)
+			}
+			in.Opds = append(in.Opds, o)
+		}
+	}
+	// Validate by encoding once.
+	m := Machine{}
+	if _, err := m.encodePlain(&in); err != nil {
+		return in, err
+	}
+	return in, nil
+}
+
+// AssembleTo encodes assembly text directly to bytes.
+func AssembleTo(src string) ([]byte, error) {
+	ins, err := Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	m := Machine{}
+	var out []byte
+	for i := range ins {
+		b, err := m.encodePlain(&ins[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// splitOperands splits on commas outside parentheses.
+func splitOperands(s string) ([]string, error) {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced parentheses in %q", s)
+			}
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced parentheses in %q", s)
+	}
+	out = append(out, s[start:])
+	return out, nil
+}
+
+func parseOperand(info OpInfo, i int, text string) (asm.Operand, error) {
+	if text == "" {
+		return asm.Operand{}, fmt.Errorf("empty operand")
+	}
+	// disp(...) forms.
+	if open := strings.IndexByte(text, '('); open >= 0 {
+		if !strings.HasSuffix(text, ")") {
+			return asm.Operand{}, fmt.Errorf("malformed storage operand %q", text)
+		}
+		disp, err := parseNum(text[:open])
+		if err != nil {
+			return asm.Operand{}, err
+		}
+		inner := strings.Split(text[open+1:len(text)-1], ",")
+		switch len(inner) {
+		case 1:
+			base, err := parseReg(inner[0])
+			if err != nil {
+				return asm.Operand{}, err
+			}
+			return asm.M(disp, 0, base), nil
+		case 2:
+			// d(x,b) or, for SS first operands, d(l,b).
+			base, err := parseReg(inner[1])
+			if err != nil {
+				return asm.Operand{}, err
+			}
+			if info.Format == SS && i == 0 {
+				length, err := parseNum(inner[0])
+				if err != nil {
+					return asm.Operand{}, err
+				}
+				return asm.ML(disp, length, base), nil
+			}
+			index, err := parseReg(inner[0])
+			if err != nil {
+				return asm.Operand{}, err
+			}
+			return asm.M(disp, index, base), nil
+		}
+		return asm.Operand{}, fmt.Errorf("too many address elements in %q", text)
+	}
+	// Bare register.
+	if text[0] == 'r' || text[0] == 'R' {
+		n, err := parseReg(text)
+		if err != nil {
+			return asm.Operand{}, err
+		}
+		return asm.R(n), nil
+	}
+	// Bare number: a mask, an immediate, a shift count — or, in a
+	// storage position, a displacement with no base.
+	v, err := parseNum(text)
+	if err != nil {
+		return asm.Operand{}, err
+	}
+	if storagePosition(info, i) {
+		return asm.M(v, 0, 0), nil
+	}
+	return asm.I(v), nil
+}
+
+// storagePosition reports whether operand i of the format is a storage
+// reference (so a bare number is a displacement, not an immediate).
+func storagePosition(info OpInfo, i int) bool {
+	switch info.Format {
+	case RX:
+		return i == 1
+	case RS:
+		return !info.Shift && i == 2
+	case SI:
+		return i == 0
+	case SS:
+		return true
+	}
+	return false
+}
+
+func parseReg(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'R') {
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n > 15 {
+			return 0, fmt.Errorf("bad register %q", s)
+		}
+		return n, nil
+	}
+	// A bare number denotes a register in register positions
+	// (stack_base-style constants).
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > 15 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+func parseNum(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}

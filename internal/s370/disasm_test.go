@@ -1,0 +1,121 @@
+package s370
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cogg/internal/asm"
+)
+
+// randomInstr builds a random encodable instruction for a given opcode.
+func randomInstr(r *rand.Rand, name string, info OpInfo) asm.Instr {
+	reg := func() asm.Operand { return asm.R(r.Intn(16)) }
+	mem := func() asm.Operand { return asm.M(int64(r.Intn(4096)), r.Intn(16), r.Intn(16)) }
+	memNoIdx := func() asm.Operand { return asm.M(int64(r.Intn(4096)), 0, r.Intn(16)) }
+	in := asm.Instr{Op: name}
+	switch info.Format {
+	case RR:
+		first := reg()
+		if info.Mask {
+			first = asm.I(int64(r.Intn(16)))
+		}
+		in.Opds = []asm.Operand{first, reg()}
+	case RX:
+		first := reg()
+		if info.Mask {
+			first = asm.I(int64(r.Intn(16)))
+		}
+		in.Opds = []asm.Operand{first, mem()}
+	case RS:
+		if info.Shift {
+			if r.Intn(2) == 0 {
+				in.Opds = []asm.Operand{reg(), asm.I(int64(r.Intn(64)))}
+			} else {
+				in.Opds = []asm.Operand{reg(), asm.M(int64(r.Intn(4096)), 0, 1+r.Intn(15))}
+			}
+		} else {
+			in.Opds = []asm.Operand{reg(), reg(), memNoIdx()}
+		}
+	case SI:
+		in.Opds = []asm.Operand{memNoIdx(), asm.I(int64(r.Intn(256)))}
+	case SS:
+		in.Opds = []asm.Operand{asm.ML(int64(r.Intn(4096)), int64(r.Intn(256)), r.Intn(16)), memNoIdx()}
+	}
+	return in
+}
+
+// TestQuickEncodeDisassembleRoundTrip: encode → disassemble → encode
+// yields the same bytes for every opcode and random operands.
+func TestQuickEncodeDisassembleRoundTrip(t *testing.T) {
+	m := NewMachine(0x8000)
+	names := make([]string, 0, len(Ops))
+	for name := range Ops {
+		names = append(names, name)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 16; trial++ {
+			name := names[r.Intn(len(names))]
+			info, _ := Lookup(name)
+			in := randomInstr(r, name, info)
+			b1, err := m.Encode(nil, &in)
+			if err != nil {
+				t.Logf("encode %s %v: %v", name, in.Opds, err)
+				return false
+			}
+			back, size, err := Disassemble(b1)
+			if err != nil || size != len(b1) {
+				t.Logf("disassemble %s: %v", name, err)
+				return false
+			}
+			if back.Op != name {
+				t.Logf("%s decoded as %s", name, back.Op)
+				return false
+			}
+			b2, err := m.Encode(nil, &back)
+			if err != nil {
+				t.Logf("re-encode %s %v: %v", name, back.Opds, err)
+				return false
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Logf("%s: % X != % X", name, b1, b2)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassembleErrors(t *testing.T) {
+	if _, _, err := Disassemble(nil); err == nil {
+		t.Error("empty buffer disassembled")
+	}
+	if _, _, err := Disassemble([]byte{0xFF, 0x00}); err == nil {
+		t.Error("unknown opcode disassembled")
+	}
+	if _, _, err := Disassemble([]byte{0x58, 0x10}); err == nil {
+		t.Error("truncated RX disassembled")
+	}
+}
+
+func TestDisassembleAll(t *testing.T) {
+	m := NewMachine(0x8000)
+	code := []byte{
+		0x58, 0x10, 0xD0, 0x64, // l r1,100(r13)
+		0x1A, 0x12, // ar r1,r2
+		0xFF,       // junk byte
+		0x07, 0xFE, // bcr 15,r14
+	}
+	text := DisassembleAll(m, code, 0x1000)
+	for _, want := range []string{"l     r1,100(r13)", "ar    r1,r2", ".byte 0xff", "bcr"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("listing lacks %q:\n%s", want, text)
+		}
+	}
+}

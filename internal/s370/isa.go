@@ -1,0 +1,212 @@
+// Package s370 models the IBM System/370 instruction subset of the
+// Amdahl 470 that the Pascal code generator specification emits: the
+// opcode catalogue, instruction encoder and formatter, and the
+// asm.Machine implementation used for layout and object generation.
+package s370
+
+import "fmt"
+
+// Format is an instruction format of the architecture.
+type Format uint8
+
+const (
+	RR Format = iota // op r1,r2            (2 bytes)
+	RX               // op r1,d2(x2,b2)     (4 bytes)
+	RS               // op r1,r3,d2(b2)     (4 bytes)
+	SI               // op d1(b1),i2        (4 bytes)
+	SS               // op d1(l,b1),d2(b2)  (6 bytes)
+)
+
+// Size returns the byte length of instructions of the format.
+func (f Format) Size() int {
+	switch f {
+	case RR:
+		return 2
+	case SS:
+		return 6
+	default:
+		return 4
+	}
+}
+
+// OpInfo describes one machine opcode.
+type OpInfo struct {
+	Name   string
+	Code   byte
+	Format Format
+	// Mask marks RR/RX opcodes whose r1 field is a condition mask
+	// rather than a register (BC, BCR).
+	Mask bool
+	// Shift marks RS opcodes whose second operand is a shift amount and
+	// whose r3 field is unused (SLA, SRDA, ...).
+	Shift bool
+}
+
+// Ops is the opcode catalogue, keyed by lower-case mnemonic as written in
+// code generator specifications.
+var Ops = map[string]OpInfo{
+	// RR integer and logical.
+	"lr":   {Code: 0x18, Format: RR},
+	"ltr":  {Code: 0x12, Format: RR},
+	"lcr":  {Code: 0x13, Format: RR},
+	"lpr":  {Code: 0x10, Format: RR},
+	"lnr":  {Code: 0x11, Format: RR},
+	"ar":   {Code: 0x1A, Format: RR},
+	"sr":   {Code: 0x1B, Format: RR},
+	"mr":   {Code: 0x1C, Format: RR},
+	"dr":   {Code: 0x1D, Format: RR},
+	"alr":  {Code: 0x1E, Format: RR},
+	"slr":  {Code: 0x1F, Format: RR},
+	"cr":   {Code: 0x19, Format: RR},
+	"clr":  {Code: 0x15, Format: RR},
+	"nr":   {Code: 0x14, Format: RR},
+	"or":   {Code: 0x16, Format: RR},
+	"xr":   {Code: 0x17, Format: RR},
+	"bcr":  {Code: 0x07, Format: RR, Mask: true},
+	"balr": {Code: 0x05, Format: RR},
+	"bctr": {Code: 0x06, Format: RR},
+	"mvcl": {Code: 0x0E, Format: RR},
+	"clcl": {Code: 0x0F, Format: RR},
+	"spm":  {Code: 0x04, Format: RR},
+
+	// RR floating point (long and short forms).
+	"ldr":  {Code: 0x28, Format: RR},
+	"lcdr": {Code: 0x23, Format: RR},
+	"lpdr": {Code: 0x20, Format: RR},
+	"lndr": {Code: 0x21, Format: RR},
+	"ltdr": {Code: 0x22, Format: RR},
+	"hdr":  {Code: 0x24, Format: RR},
+	"adr":  {Code: 0x2A, Format: RR},
+	"sdr":  {Code: 0x2B, Format: RR},
+	"mdr":  {Code: 0x2C, Format: RR},
+	"ddr":  {Code: 0x2D, Format: RR},
+	"cdr":  {Code: 0x29, Format: RR},
+	"ler":  {Code: 0x38, Format: RR},
+	"lcer": {Code: 0x33, Format: RR},
+	"lper": {Code: 0x30, Format: RR},
+	"her":  {Code: 0x34, Format: RR},
+	"aer":  {Code: 0x3A, Format: RR},
+	"ser":  {Code: 0x3B, Format: RR},
+	"mer":  {Code: 0x3C, Format: RR},
+	"der":  {Code: 0x3D, Format: RR},
+	"cer":  {Code: 0x39, Format: RR},
+	"ldxr": {Code: 0x25, Format: RR}, // extended (quad) move, modeled
+	"axr":  {Code: 0x36, Format: RR}, // extended add
+	"sxr":  {Code: 0x37, Format: RR}, // extended subtract
+	"mxr":  {Code: 0x26, Format: RR}, // extended multiply
+
+	// RX integer and logical.
+	"l":   {Code: 0x58, Format: RX},
+	"lh":  {Code: 0x48, Format: RX},
+	"la":  {Code: 0x41, Format: RX},
+	"st":  {Code: 0x50, Format: RX},
+	"sth": {Code: 0x40, Format: RX},
+	"stc": {Code: 0x42, Format: RX},
+	"ic":  {Code: 0x43, Format: RX},
+	"ex":  {Code: 0x44, Format: RX},
+	"a":   {Code: 0x5A, Format: RX},
+	"ah":  {Code: 0x4A, Format: RX},
+	"al":  {Code: 0x5E, Format: RX},
+	"s":   {Code: 0x5B, Format: RX},
+	"sh":  {Code: 0x4B, Format: RX},
+	"sl":  {Code: 0x5F, Format: RX},
+	"m":   {Code: 0x5C, Format: RX},
+	"mh":  {Code: 0x4C, Format: RX},
+	"d":   {Code: 0x5D, Format: RX},
+	"c":   {Code: 0x59, Format: RX},
+	"ch":  {Code: 0x49, Format: RX},
+	"cl":  {Code: 0x55, Format: RX},
+	"n":   {Code: 0x54, Format: RX},
+	"o":   {Code: 0x56, Format: RX},
+	"x":   {Code: 0x57, Format: RX},
+	"bc":  {Code: 0x47, Format: RX, Mask: true},
+	"bal": {Code: 0x45, Format: RX},
+	"bct": {Code: 0x46, Format: RX},
+	"cvb": {Code: 0x4F, Format: RX},
+	"cvd": {Code: 0x4E, Format: RX},
+
+	// RX floating point.
+	"ld":  {Code: 0x68, Format: RX},
+	"std": {Code: 0x60, Format: RX},
+	"ad":  {Code: 0x6A, Format: RX},
+	"sd":  {Code: 0x6B, Format: RX},
+	"md":  {Code: 0x6C, Format: RX},
+	"dd":  {Code: 0x6D, Format: RX},
+	"cd":  {Code: 0x69, Format: RX},
+	"le":  {Code: 0x78, Format: RX},
+	"ste": {Code: 0x70, Format: RX},
+	"ae":  {Code: 0x7A, Format: RX},
+	"se":  {Code: 0x7B, Format: RX},
+	"me":  {Code: 0x7C, Format: RX},
+	"de":  {Code: 0x7D, Format: RX},
+	"ce":  {Code: 0x79, Format: RX},
+
+	// RS.
+	"lm":   {Code: 0x98, Format: RS},
+	"stm":  {Code: 0x90, Format: RS},
+	"bxh":  {Code: 0x86, Format: RS},
+	"bxle": {Code: 0x87, Format: RS},
+	"sll":  {Code: 0x89, Format: RS, Shift: true},
+	"srl":  {Code: 0x88, Format: RS, Shift: true},
+	"sla":  {Code: 0x8B, Format: RS, Shift: true},
+	"sra":  {Code: 0x8A, Format: RS, Shift: true},
+	"sldl": {Code: 0x8D, Format: RS, Shift: true},
+	"srdl": {Code: 0x8C, Format: RS, Shift: true},
+	"slda": {Code: 0x8F, Format: RS, Shift: true},
+	"srda": {Code: 0x8E, Format: RS, Shift: true},
+
+	// SI.
+	"mvi": {Code: 0x92, Format: SI},
+	"cli": {Code: 0x95, Format: SI},
+	"ni":  {Code: 0x94, Format: SI},
+	"oi":  {Code: 0x96, Format: SI},
+	"xi":  {Code: 0x97, Format: SI},
+	"tm":  {Code: 0x91, Format: SI},
+
+	// SS.
+	"mvc": {Code: 0xD2, Format: SS},
+	"clc": {Code: 0xD5, Format: SS},
+	"nc":  {Code: 0xD4, Format: SS},
+	"oc":  {Code: 0xD6, Format: SS},
+	"xc":  {Code: 0xD7, Format: SS},
+	"mvn": {Code: 0xD1, Format: SS},
+	"mvz": {Code: 0xD3, Format: SS},
+}
+
+// byCode maps opcode byte back to OpInfo for decoding.
+var byCode = func() map[byte]OpInfo {
+	m := make(map[byte]OpInfo, len(Ops))
+	for name, info := range Ops {
+		info.Name = name
+		if old, dup := m[info.Code]; dup {
+			panic(fmt.Sprintf("s370: opcode %#x assigned to both %s and %s", info.Code, old.Name, name))
+		}
+		m[info.Code] = info
+	}
+	return m
+}()
+
+// Lookup returns the OpInfo for a mnemonic.
+func Lookup(mnemonic string) (OpInfo, bool) {
+	info, ok := Ops[mnemonic]
+	if ok {
+		info.Name = mnemonic
+	}
+	return info, ok
+}
+
+// Decode returns the OpInfo for an opcode byte.
+func Decode(code byte) (OpInfo, bool) {
+	info, ok := byCode[code]
+	return info, ok
+}
+
+// Condition mask bits of BC/BCR: bit 8 selects condition code 0, bit 4
+// code 1, bit 2 code 2, bit 1 code 3.
+const (
+	CondEqual    = 8  // CC0: equal / zero / all selected bits zero
+	CondLow      = 4  // CC1: first operand low / negative / bits mixed
+	CondHigh     = 2  // CC2: first operand high / positive
+	CondOverflow = 1  // CC3: overflow / all selected bits one
+	CondAlways   = 15 // unconditional
+)

@@ -1,0 +1,340 @@
+package sim
+
+import (
+	"math"
+
+	"cogg/internal/s370"
+)
+
+// Run executes instructions from the current PC until the CPU halts,
+// faults, or exceeds maxSteps.
+func (c *CPU) Run(maxSteps int) error {
+	for !c.Halted {
+		if c.Steps >= maxSteps {
+			return c.fault("step limit %d exceeded (runaway program?)", maxSteps)
+		}
+		c.Steps++
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes one instruction.
+func (c *CPU) Step() error {
+	if int(c.PC)+2 > len(c.Mem) {
+		return c.fault("instruction fetch outside storage")
+	}
+	code := c.Mem[c.PC]
+	info, ok := s370.Decode(code)
+	if !ok {
+		return c.fault("unknown opcode %#02x", code)
+	}
+	size := info.Format.Size()
+	if int(c.PC)+size > len(c.Mem) {
+		return c.fault("instruction %s extends outside storage", info.Name)
+	}
+	raw := c.Mem[c.PC : c.PC+uint32(size)]
+	next := c.PC + uint32(size)
+	c.branched = false
+	defer func() {
+		if !c.branched && !c.Halted {
+			c.PC = next
+		}
+	}()
+
+	switch info.Format {
+	case s370.RR:
+		return c.execRR(info, int(raw[1]>>4), int(raw[1]&0xF), next)
+	case s370.RX:
+		r1 := int(raw[1] >> 4)
+		x2 := int(raw[1] & 0xF)
+		b2 := int(raw[2] >> 4)
+		d2 := uint32(raw[2]&0xF)<<8 | uint32(raw[3])
+		addr := d2
+		if x2 != 0 {
+			addr += c.R[x2]
+		}
+		if b2 != 0 {
+			addr += c.R[b2]
+		}
+		return c.execRX(info, r1, addr, next)
+	case s370.RS:
+		r1 := int(raw[1] >> 4)
+		r3 := int(raw[1] & 0xF)
+		b2 := int(raw[2] >> 4)
+		d2 := uint32(raw[2]&0xF)<<8 | uint32(raw[3])
+		addr := d2
+		if !info.Shift && b2 != 0 {
+			addr += c.R[b2]
+		}
+		if info.Shift {
+			// Shift amount is the low six bits of the effective address.
+			amount := d2
+			if b2 != 0 {
+				amount += c.R[b2]
+			}
+			return c.execShift(info, r1, int(amount&63))
+		}
+		return c.execRS(info, r1, r3, addr, next)
+	case s370.SI:
+		i2 := raw[1]
+		b1 := int(raw[2] >> 4)
+		d1 := uint32(raw[2]&0xF)<<8 | uint32(raw[3])
+		addr := d1
+		if b1 != 0 {
+			addr += c.R[b1]
+		}
+		return c.execSI(info, addr, i2)
+	case s370.SS:
+		l := int(raw[1]) + 1
+		b1 := int(raw[2] >> 4)
+		d1 := uint32(raw[2]&0xF)<<8 | uint32(raw[3])
+		b2 := int(raw[4] >> 4)
+		d2 := uint32(raw[4]&0xF)<<8 | uint32(raw[5])
+		a1, a2 := d1, d2
+		if b1 != 0 {
+			a1 += c.R[b1]
+		}
+		if b2 != 0 {
+			a2 += c.R[b2]
+		}
+		return c.execSS(info, a1, a2, l)
+	}
+	return c.fault("unhandled format for %s", info.Name)
+}
+
+func (c *CPU) execRR(info s370.OpInfo, r1, r2 int, next uint32) error {
+	switch info.Name {
+	case "lr":
+		c.R[r1] = c.R[r2]
+	case "ltr":
+		c.R[r1] = c.R[r2]
+		c.signCC(int32(c.R[r1]))
+	case "lcr":
+		c.R[r1] = uint32(c.addCC(-int64(int32(c.R[r2]))))
+	case "lpr":
+		v := int64(int32(c.R[r2]))
+		if v < 0 {
+			v = -v
+		}
+		c.R[r1] = uint32(c.addCC(v))
+	case "lnr":
+		v := int64(int32(c.R[r2]))
+		if v > 0 {
+			v = -v
+		}
+		c.R[r1] = uint32(c.addCC(v))
+	case "ar":
+		c.R[r1] = uint32(c.addCC(int64(int32(c.R[r1])) + int64(int32(c.R[r2]))))
+	case "sr":
+		c.R[r1] = uint32(c.addCC(int64(int32(c.R[r1])) - int64(int32(c.R[r2]))))
+	case "alr":
+		v := uint64(c.R[r1]) + uint64(c.R[r2])
+		c.R[r1] = uint32(v)
+		c.logicalCC(uint32(v))
+	case "slr":
+		v := c.R[r1] - c.R[r2]
+		c.R[r1] = v
+		c.logicalCC(v)
+	case "mr":
+		e, err := c.pair(r1)
+		if err != nil {
+			return err
+		}
+		prod := int64(int32(c.R[e+1])) * int64(int32(c.R[r2]))
+		c.R[e] = uint32(uint64(prod) >> 32)
+		c.R[e+1] = uint32(prod)
+	case "dr":
+		e, err := c.pair(r1)
+		if err != nil {
+			return err
+		}
+		dividend := int64(uint64(c.R[e])<<32 | uint64(c.R[e+1]))
+		divisor := int64(int32(c.R[r2]))
+		if divisor == 0 {
+			return c.fault("fixed point divide by zero")
+		}
+		c.R[e] = uint32(int32(dividend % divisor))
+		c.R[e+1] = uint32(int32(dividend / divisor))
+	case "cr":
+		c.compare(int32(c.R[r1]), int32(c.R[r2]))
+	case "clr":
+		c.compareU(c.R[r1], c.R[r2])
+	case "nr":
+		c.R[r1] &= c.R[r2]
+		c.logicalCC(c.R[r1])
+	case "or":
+		c.R[r1] |= c.R[r2]
+		c.logicalCC(c.R[r1])
+	case "xr":
+		c.R[r1] ^= c.R[r2]
+		c.logicalCC(c.R[r1])
+	case "bcr":
+		if r2 != 0 && c.branchTaken(r1) {
+			c.jump(c.R[r2])
+		}
+	case "balr":
+		c.R[r1] = next
+		if r2 != 0 {
+			c.jump(c.R[r2])
+		}
+	case "bctr":
+		c.R[r1]--
+		if r2 != 0 && c.R[r1] != 0 {
+			c.jump(c.R[r2])
+		}
+	case "mvcl":
+		return c.execMVCL(r1, r2)
+	case "clcl":
+		return c.fault("clcl is not implemented")
+	case "spm":
+		// Set program mask: condition code from bits 2-3 of r1.
+		c.CC = uint8(c.R[r1] >> 28 & 3)
+	case "ldr", "ler", "ldxr":
+		f1, err := c.freg(r1)
+		if err != nil {
+			return err
+		}
+		f2, err := c.freg(r2)
+		if err != nil {
+			return err
+		}
+		c.F[f1] = c.F[f2]
+	case "ltdr":
+		f1, err := c.freg(r1)
+		if err != nil {
+			return err
+		}
+		f2, err := c.freg(r2)
+		if err != nil {
+			return err
+		}
+		c.F[f1] = c.F[f2]
+		c.compareF(c.F[f1], 0)
+	case "lcdr", "lcer":
+		f1, err := c.freg(r1)
+		if err != nil {
+			return err
+		}
+		f2, err := c.freg(r2)
+		if err != nil {
+			return err
+		}
+		c.F[f1] = -c.F[f2]
+		c.compareF(c.F[f1], 0)
+	case "lpdr", "lper":
+		f1, err := c.freg(r1)
+		if err != nil {
+			return err
+		}
+		f2, err := c.freg(r2)
+		if err != nil {
+			return err
+		}
+		c.F[f1] = math.Abs(c.F[f2])
+		c.compareF(c.F[f1], 0)
+	case "lndr":
+		f1, err := c.freg(r1)
+		if err != nil {
+			return err
+		}
+		f2, err := c.freg(r2)
+		if err != nil {
+			return err
+		}
+		c.F[f1] = -math.Abs(c.F[f2])
+		c.compareF(c.F[f1], 0)
+	case "hdr", "her":
+		f1, err := c.freg(r1)
+		if err != nil {
+			return err
+		}
+		f2, err := c.freg(r2)
+		if err != nil {
+			return err
+		}
+		c.F[f1] = c.F[f2] / 2
+	case "adr", "aer", "axr":
+		return c.floatRR(r1, r2, func(a, b float64) float64 { return a + b }, true)
+	case "sdr", "ser", "sxr":
+		return c.floatRR(r1, r2, func(a, b float64) float64 { return a - b }, true)
+	case "mdr", "mer", "mxr":
+		return c.floatRR(r1, r2, func(a, b float64) float64 { return a * b }, false)
+	case "ddr", "der":
+		if c.F[r2] == 0 {
+			return c.fault("floating point divide by zero")
+		}
+		return c.floatRR(r1, r2, func(a, b float64) float64 { return a / b }, false)
+	case "cdr", "cer":
+		f1, err := c.freg(r1)
+		if err != nil {
+			return err
+		}
+		f2, err := c.freg(r2)
+		if err != nil {
+			return err
+		}
+		c.compareF(c.F[f1], c.F[f2])
+	default:
+		return c.fault("RR opcode %s is not implemented", info.Name)
+	}
+	return nil
+}
+
+func (c *CPU) floatRR(r1, r2 int, op func(a, b float64) float64, setCC bool) error {
+	f1, err := c.freg(r1)
+	if err != nil {
+		return err
+	}
+	f2, err := c.freg(r2)
+	if err != nil {
+		return err
+	}
+	c.F[f1] = op(c.F[f1], c.F[f2])
+	if setCC {
+		c.compareF(c.F[f1], 0)
+	}
+	return nil
+}
+
+func (c *CPU) execMVCL(r1, r2 int) error {
+	e1, err := c.pair(r1)
+	if err != nil {
+		return err
+	}
+	e2, err := c.pair(r2)
+	if err != nil {
+		return err
+	}
+	dst := c.R[e1]
+	dstLen := c.R[e1+1] & 0x00FFFFFF
+	src := c.R[e2]
+	srcLen := c.R[e2+1] & 0x00FFFFFF
+	pad := byte(c.R[e2+1] >> 24)
+	for i := uint32(0); i < dstLen; i++ {
+		var b byte
+		if i < srcLen {
+			b, err = c.Byte(src + i)
+			if err != nil {
+				return err
+			}
+		} else {
+			b = pad
+		}
+		if err := c.SetByte(dst+i, b); err != nil {
+			return err
+		}
+	}
+	moved := dstLen
+	if srcLen < moved {
+		moved = srcLen
+	}
+	c.R[e1] = dst + dstLen
+	c.R[e1+1] &= 0xFF000000
+	c.R[e2] = src + moved
+	c.R[e2+1] = c.R[e2+1]&0xFF000000 | (srcLen - moved)
+	c.compareU(dstLen, srcLen)
+	return nil
+}

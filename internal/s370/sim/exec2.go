@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"math"
+
+	"cogg/internal/s370"
+)
+
+func (c *CPU) execRX(info s370.OpInfo, r1 int, addr, next uint32) error {
+	switch info.Name {
+	case "l":
+		v, err := c.Word(addr)
+		if err != nil {
+			return err
+		}
+		c.R[r1] = uint32(v)
+	case "lh":
+		v, err := c.Half(addr)
+		if err != nil {
+			return err
+		}
+		c.R[r1] = uint32(v)
+	case "la":
+		c.R[r1] = addr & 0x00FFFFFF
+	case "st":
+		return c.SetWord(addr, int32(c.R[r1]))
+	case "sth":
+		return c.SetHalf(addr, int32(c.R[r1]))
+	case "stc":
+		return c.SetByte(addr, byte(c.R[r1]))
+	case "ic":
+		b, err := c.Byte(addr)
+		if err != nil {
+			return err
+		}
+		c.R[r1] = c.R[r1]&0xFFFFFF00 | uint32(b)
+	case "a", "s", "c", "n", "o", "x", "m", "d", "al", "sl", "cl":
+		v, err := c.Word(addr)
+		if err != nil {
+			return err
+		}
+		return c.fullwordOp(info.Name, r1, v)
+	case "ah", "sh", "ch", "mh":
+		v, err := c.Half(addr)
+		if err != nil {
+			return err
+		}
+		switch info.Name {
+		case "ah":
+			c.R[r1] = uint32(c.addCC(int64(int32(c.R[r1])) + int64(v)))
+		case "sh":
+			c.R[r1] = uint32(c.addCC(int64(int32(c.R[r1])) - int64(v)))
+		case "ch":
+			c.compare(int32(c.R[r1]), v)
+		case "mh":
+			c.R[r1] = uint32(int32(c.R[r1]) * v)
+		}
+	case "bc":
+		if c.branchTaken(r1) {
+			c.jump(addr)
+		}
+	case "bal":
+		c.R[r1] = next
+		c.jump(addr)
+	case "bct":
+		c.R[r1]--
+		if c.R[r1] != 0 {
+			c.jump(addr)
+		}
+	case "ex", "cvb", "cvd":
+		return c.fault("%s is not implemented", info.Name)
+	case "ld", "le":
+		v, err := c.floatAt(addr, info.Name == "le")
+		if err != nil {
+			return err
+		}
+		f1, err := c.freg(r1)
+		if err != nil {
+			return err
+		}
+		c.F[f1] = v
+	case "std", "ste":
+		f1, err := c.freg(r1)
+		if err != nil {
+			return err
+		}
+		return c.setFloatAt(addr, c.F[f1], info.Name == "ste")
+	case "ad", "sd", "md", "dd", "cd", "ae", "se", "me", "de", "ce":
+		short := info.Name[len(info.Name)-1] == 'e'
+		v, err := c.floatAt(addr, short)
+		if err != nil {
+			return err
+		}
+		f1, err := c.freg(r1)
+		if err != nil {
+			return err
+		}
+		switch info.Name[0] {
+		case 'a':
+			c.F[f1] += v
+			c.compareF(c.F[f1], 0)
+		case 's':
+			c.F[f1] -= v
+			c.compareF(c.F[f1], 0)
+		case 'm':
+			c.F[f1] *= v
+		case 'd':
+			if v == 0 {
+				return c.fault("floating point divide by zero")
+			}
+			c.F[f1] /= v
+		case 'c':
+			c.compareF(c.F[f1], v)
+		}
+	default:
+		return c.fault("RX opcode %s is not implemented", info.Name)
+	}
+	return nil
+}
+
+// fullwordOp applies a fullword second operand to r1.
+func (c *CPU) fullwordOp(name string, r1 int, v int32) error {
+	switch name {
+	case "a":
+		c.R[r1] = uint32(c.addCC(int64(int32(c.R[r1])) + int64(v)))
+	case "s":
+		c.R[r1] = uint32(c.addCC(int64(int32(c.R[r1])) - int64(v)))
+	case "al":
+		sum := uint64(c.R[r1]) + uint64(uint32(v))
+		c.R[r1] = uint32(sum)
+		c.logicalCC(uint32(sum))
+	case "sl":
+		diff := c.R[r1] - uint32(v)
+		c.R[r1] = diff
+		c.logicalCC(diff)
+	case "c":
+		c.compare(int32(c.R[r1]), v)
+	case "cl":
+		c.compareU(c.R[r1], uint32(v))
+	case "n":
+		c.R[r1] &= uint32(v)
+		c.logicalCC(c.R[r1])
+	case "o":
+		c.R[r1] |= uint32(v)
+		c.logicalCC(c.R[r1])
+	case "x":
+		c.R[r1] ^= uint32(v)
+		c.logicalCC(c.R[r1])
+	case "m":
+		e, err := c.pair(r1)
+		if err != nil {
+			return err
+		}
+		prod := int64(int32(c.R[e+1])) * int64(v)
+		c.R[e] = uint32(uint64(prod) >> 32)
+		c.R[e+1] = uint32(prod)
+	case "d":
+		e, err := c.pair(r1)
+		if err != nil {
+			return err
+		}
+		dividend := int64(uint64(c.R[e])<<32 | uint64(c.R[e+1]))
+		if v == 0 {
+			return c.fault("fixed point divide by zero")
+		}
+		c.R[e] = uint32(int32(dividend % int64(v)))
+		c.R[e+1] = uint32(int32(dividend / int64(v)))
+	}
+	return nil
+}
+
+func (c *CPU) floatAt(addr uint32, short bool) (float64, error) {
+	if short {
+		v, err := c.Word(addr)
+		if err != nil {
+			return 0, err
+		}
+		return float64(math.Float32frombits(uint32(v))), nil
+	}
+	hi, err := c.Word(addr)
+	if err != nil {
+		return 0, err
+	}
+	lo, err := c.Word(addr + 4)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(uint64(uint32(hi))<<32 | uint64(uint32(lo))), nil
+}
+
+func (c *CPU) setFloatAt(addr uint32, v float64, short bool) error {
+	if short {
+		return c.SetWord(addr, int32(math.Float32bits(float32(v))))
+	}
+	bits := math.Float64bits(v)
+	if err := c.SetWord(addr, int32(uint32(bits>>32))); err != nil {
+		return err
+	}
+	return c.SetWord(addr+4, int32(uint32(bits)))
+}
+
+func (c *CPU) execRS(info s370.OpInfo, r1, r3 int, addr, next uint32) error {
+	switch info.Name {
+	case "lm":
+		for r := r1; ; r = (r + 1) & 15 {
+			v, err := c.Word(addr)
+			if err != nil {
+				return err
+			}
+			c.R[r] = uint32(v)
+			addr += 4
+			if r == r3 {
+				break
+			}
+		}
+	case "stm":
+		for r := r1; ; r = (r + 1) & 15 {
+			if err := c.SetWord(addr, int32(c.R[r])); err != nil {
+				return err
+			}
+			addr += 4
+			if r == r3 {
+				break
+			}
+		}
+	case "bxh":
+		c.R[r1] += c.R[r3]
+		cmp := c.R[r3|1]
+		if int32(c.R[r1]) > int32(cmp) {
+			c.jump(addr)
+		}
+	case "bxle":
+		c.R[r1] += c.R[r3]
+		cmp := c.R[r3|1]
+		if int32(c.R[r1]) <= int32(cmp) {
+			c.jump(addr)
+		}
+	default:
+		return c.fault("RS opcode %s is not implemented", info.Name)
+	}
+	return nil
+}
+
+func (c *CPU) execShift(info s370.OpInfo, r1, amount int) error {
+	double := len(info.Name) == 4 // sldl, srdl, slda, srda
+	arith := info.Name[len(info.Name)-1] == 'a'
+	left := info.Name[1] == 'l'
+	if !double {
+		v := c.R[r1]
+		switch {
+		case left && arith:
+			r := int64(int32(v)) << amount
+			c.R[r1] = uint32(v&0x80000000) | uint32(r)&0x7FFFFFFF
+			c.signCC(int32(c.R[r1]))
+		case left:
+			c.R[r1] = v << amount
+		case arith:
+			c.R[r1] = uint32(int32(v) >> amount)
+			c.signCC(int32(c.R[r1]))
+		default:
+			if amount >= 32 {
+				c.R[r1] = 0
+			} else {
+				c.R[r1] = v >> amount
+			}
+		}
+		return nil
+	}
+	e, err := c.pair(r1)
+	if err != nil {
+		return err
+	}
+	v := uint64(c.R[e])<<32 | uint64(c.R[e+1])
+	switch {
+	case left && arith:
+		r := v << amount
+		r = v&0x8000000000000000 | r&0x7FFFFFFFFFFFFFFF
+		c.R[e], c.R[e+1] = uint32(r>>32), uint32(r)
+		c.signCC64(int64(r))
+	case left:
+		r := v << amount
+		c.R[e], c.R[e+1] = uint32(r>>32), uint32(r)
+	case arith:
+		r := uint64(int64(v) >> amount)
+		c.R[e], c.R[e+1] = uint32(r>>32), uint32(r)
+		c.signCC64(int64(r))
+	default:
+		var r uint64
+		if amount < 64 {
+			r = v >> amount
+		}
+		c.R[e], c.R[e+1] = uint32(r>>32), uint32(r)
+	}
+	return nil
+}
+
+func (c *CPU) signCC64(v int64) {
+	switch {
+	case v == 0:
+		c.CC = 0
+	case v < 0:
+		c.CC = 1
+	default:
+		c.CC = 2
+	}
+}
+
+func (c *CPU) execSI(info s370.OpInfo, addr uint32, i2 byte) error {
+	switch info.Name {
+	case "mvi":
+		return c.SetByte(addr, i2)
+	case "cli":
+		b, err := c.Byte(addr)
+		if err != nil {
+			return err
+		}
+		c.compareU(uint32(b), uint32(i2))
+	case "ni", "oi", "xi":
+		b, err := c.Byte(addr)
+		if err != nil {
+			return err
+		}
+		switch info.Name {
+		case "ni":
+			b &= i2
+		case "oi":
+			b |= i2
+		case "xi":
+			b ^= i2
+		}
+		if err := c.SetByte(addr, b); err != nil {
+			return err
+		}
+		c.logicalCC(uint32(b))
+	case "tm":
+		b, err := c.Byte(addr)
+		if err != nil {
+			return err
+		}
+		sel := b & i2
+		switch {
+		case sel == 0:
+			c.CC = 0 // all selected bits zero
+		case sel == i2:
+			c.CC = 3 // all selected bits one
+		default:
+			c.CC = 1 // mixed
+		}
+	default:
+		return c.fault("SI opcode %s is not implemented", info.Name)
+	}
+	return nil
+}
+
+func (c *CPU) execSS(info s370.OpInfo, a1, a2 uint32, l int) error {
+	switch info.Name {
+	case "mvc":
+		for i := 0; i < l; i++ {
+			b, err := c.Byte(a2 + uint32(i))
+			if err != nil {
+				return err
+			}
+			if err := c.SetByte(a1+uint32(i), b); err != nil {
+				return err
+			}
+		}
+	case "clc":
+		for i := 0; i < l; i++ {
+			b1, err := c.Byte(a1 + uint32(i))
+			if err != nil {
+				return err
+			}
+			b2, err := c.Byte(a2 + uint32(i))
+			if err != nil {
+				return err
+			}
+			if b1 != b2 {
+				c.compareU(uint32(b1), uint32(b2))
+				return nil
+			}
+		}
+		c.CC = 0
+	case "nc", "oc", "xc":
+		any := uint32(0)
+		for i := 0; i < l; i++ {
+			b1, err := c.Byte(a1 + uint32(i))
+			if err != nil {
+				return err
+			}
+			b2, err := c.Byte(a2 + uint32(i))
+			if err != nil {
+				return err
+			}
+			switch info.Name {
+			case "nc":
+				b1 &= b2
+			case "oc":
+				b1 |= b2
+			case "xc":
+				b1 ^= b2
+			}
+			any |= uint32(b1)
+			if err := c.SetByte(a1+uint32(i), b1); err != nil {
+				return err
+			}
+		}
+		c.logicalCC(any)
+	default:
+		return c.fault("SS opcode %s is not implemented", info.Name)
+	}
+	return nil
+}

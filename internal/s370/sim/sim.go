@@ -1,0 +1,204 @@
+// Package sim interprets the S/370 instruction subset emitted by the
+// generated code generators, standing in for the Amdahl 470 the paper ran
+// on. It models sixteen 32-bit general registers, four floating point
+// registers, the condition code, and big-endian storage.
+//
+// Floating point values are held as IEEE doubles rather than
+// hexadecimal-normalized S/370 floats; the code generation experiments
+// depend only on operation shape, not on the float encoding.
+package sim
+
+import "fmt"
+
+// CPU is one simulated processor with its storage.
+type CPU struct {
+	R   [16]uint32
+	F   [8]float64 // floating registers 0,2,4,6
+	CC  uint8
+	PC  uint32
+	Mem []byte
+
+	// HaltAddr is the magic address that stops execution when branched
+	// to; the runtime places it in r14 at entry so that `bcr 15,r14`
+	// returns to the host.
+	HaltAddr uint32
+
+	Halted bool
+	Steps  int
+
+	branched bool // set by jump; Step does not advance the PC after a taken branch
+}
+
+// New allocates a CPU with memSize bytes of storage.
+func New(memSize int) *CPU {
+	return &CPU{Mem: make([]byte, memSize), HaltAddr: 0x00DEAD00}
+}
+
+// Fault is an execution error with machine state context.
+type Fault struct {
+	PC  uint32
+	Msg string
+}
+
+func (f *Fault) Error() string { return fmt.Sprintf("sim: fault at %#x: %s", f.PC, f.Msg) }
+
+func (c *CPU) fault(format string, args ...any) error {
+	return &Fault{PC: c.PC, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Load copies bytes into storage at addr.
+func (c *CPU) Load(addr int, data []byte) error {
+	if addr < 0 || addr+len(data) > len(c.Mem) {
+		return fmt.Errorf("sim: load of %d bytes at %#x outside storage", len(data), addr)
+	}
+	copy(c.Mem[addr:], data)
+	return nil
+}
+
+// Word reads the fullword at addr.
+func (c *CPU) Word(addr uint32) (int32, error) {
+	if int(addr)+4 > len(c.Mem) {
+		return 0, c.fault("fullword fetch at %#x outside storage", addr)
+	}
+	m := c.Mem[addr:]
+	return int32(uint32(m[0])<<24 | uint32(m[1])<<16 | uint32(m[2])<<8 | uint32(m[3])), nil
+}
+
+// SetWord writes the fullword at addr.
+func (c *CPU) SetWord(addr uint32, v int32) error {
+	if int(addr)+4 > len(c.Mem) {
+		return c.fault("fullword store at %#x outside storage", addr)
+	}
+	u := uint32(v)
+	c.Mem[addr], c.Mem[addr+1], c.Mem[addr+2], c.Mem[addr+3] =
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u)
+	return nil
+}
+
+// Half reads the sign-extended halfword at addr.
+func (c *CPU) Half(addr uint32) (int32, error) {
+	if int(addr)+2 > len(c.Mem) {
+		return 0, c.fault("halfword fetch at %#x outside storage", addr)
+	}
+	return int32(int16(uint16(c.Mem[addr])<<8 | uint16(c.Mem[addr+1]))), nil
+}
+
+// SetHalf writes the low halfword of v at addr.
+func (c *CPU) SetHalf(addr uint32, v int32) error {
+	if int(addr)+2 > len(c.Mem) {
+		return c.fault("halfword store at %#x outside storage", addr)
+	}
+	c.Mem[addr], c.Mem[addr+1] = byte(uint32(v)>>8), byte(uint32(v))
+	return nil
+}
+
+// Byte reads one byte.
+func (c *CPU) Byte(addr uint32) (byte, error) {
+	if int(addr) >= len(c.Mem) {
+		return 0, c.fault("byte fetch at %#x outside storage", addr)
+	}
+	return c.Mem[addr], nil
+}
+
+// SetByte writes one byte.
+func (c *CPU) SetByte(addr uint32, v byte) error {
+	if int(addr) >= len(c.Mem) {
+		return c.fault("byte store at %#x outside storage", addr)
+	}
+	c.Mem[addr] = v
+	return nil
+}
+
+func (c *CPU) pair(r1 int) (int, error) {
+	if r1%2 != 0 {
+		return 0, c.fault("register r%d is not the even member of a pair", r1)
+	}
+	return r1, nil
+}
+
+// signCC sets the condition code from a signed result: 0 zero, 1
+// negative, 2 positive.
+func (c *CPU) signCC(v int32) {
+	switch {
+	case v == 0:
+		c.CC = 0
+	case v < 0:
+		c.CC = 1
+	default:
+		c.CC = 2
+	}
+}
+
+// addCC sets the condition code for an add/subtract, including overflow.
+func (c *CPU) addCC(v int64) int32 {
+	r := int32(v)
+	if int64(r) != v {
+		c.CC = 3
+		return r
+	}
+	c.signCC(r)
+	return r
+}
+
+func (c *CPU) compare(a, b int32) {
+	switch {
+	case a == b:
+		c.CC = 0
+	case a < b:
+		c.CC = 1
+	default:
+		c.CC = 2
+	}
+}
+
+func (c *CPU) compareU(a, b uint32) {
+	switch {
+	case a == b:
+		c.CC = 0
+	case a < b:
+		c.CC = 1
+	default:
+		c.CC = 2
+	}
+}
+
+func (c *CPU) compareF(a, b float64) {
+	switch {
+	case a == b:
+		c.CC = 0
+	case a < b:
+		c.CC = 1
+	default:
+		c.CC = 2
+	}
+}
+
+func (c *CPU) logicalCC(v uint32) {
+	if v == 0 {
+		c.CC = 0
+	} else {
+		c.CC = 1
+	}
+}
+
+func (c *CPU) freg(n int) (int, error) {
+	if n != 0 && n != 2 && n != 4 && n != 6 {
+		return 0, c.fault("r%d is not a floating point register", n)
+	}
+	return n, nil
+}
+
+// branchTaken reports whether a BC mask selects the current condition code.
+func (c *CPU) branchTaken(mask int) bool {
+	return mask&(8>>c.CC) != 0
+}
+
+// jump transfers control, halting on the magic address.
+func (c *CPU) jump(addr uint32) {
+	c.branched = true
+	if addr == c.HaltAddr {
+		c.Halted = true
+		return
+	}
+	c.PC = addr
+}

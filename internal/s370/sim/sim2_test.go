@@ -1,0 +1,277 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+
+	"cogg/internal/asm"
+)
+
+func TestLoadVariantsCC(t *testing.T) {
+	cases := []struct {
+		op     string
+		in     int32
+		want   int32
+		wantCC uint8
+	}{
+		{"ltr", -5, -5, 1},
+		{"ltr", 0, 0, 0},
+		{"ltr", 9, 9, 2},
+		{"lcr", 5, -5, 1},
+		{"lcr", -5, 5, 2},
+		{"lcr", 0, 0, 0},
+		{"lpr", -7, 7, 2},
+		{"lpr", 7, 7, 2},
+		{"lnr", 7, -7, 1},
+		{"lnr", -7, -7, 1},
+		{"lnr", 0, 0, 0},
+	}
+	for _, tc := range cases {
+		c := assemble(t, asm.Instr{Op: tc.op, Opds: []asm.Operand{asm.R(1), asm.R(2)}})
+		c.R[2] = u32(tc.in)
+		run(t, c)
+		if int32(c.R[1]) != tc.want || c.CC != tc.wantCC {
+			t.Errorf("%s(%d): r1=%d cc=%d, want %d cc=%d",
+				tc.op, tc.in, int32(c.R[1]), c.CC, tc.want, tc.wantCC)
+		}
+	}
+}
+
+func TestLogicalAddSubtract(t *testing.T) {
+	c := assemble(t, asm.Instr{Op: "alr", Opds: []asm.Operand{asm.R(1), asm.R(2)}})
+	c.R[1], c.R[2] = 0xFFFFFFFF, 2
+	run(t, c)
+	if c.R[1] != 1 {
+		t.Errorf("ALR wrap: %#x", c.R[1])
+	}
+	c = assemble(t, asm.Instr{Op: "slr", Opds: []asm.Operand{asm.R(1), asm.R(2)}})
+	c.R[1], c.R[2] = 1, 2
+	run(t, c)
+	if c.R[1] != 0xFFFFFFFF {
+		t.Errorf("SLR wrap: %#x", c.R[1])
+	}
+}
+
+func TestImmediateStorageOps(t *testing.T) {
+	c := assemble(t,
+		asm.Instr{Op: "mvi", Opds: []asm.Operand{asm.M(0x300, 0, 0), asm.I(0xAB)}},
+		asm.Instr{Op: "oi", Opds: []asm.Operand{asm.M(0x301, 0, 0), asm.I(0x0F)}},
+		asm.Instr{Op: "ni", Opds: []asm.Operand{asm.M(0x302, 0, 0), asm.I(0xF0)}},
+		asm.Instr{Op: "xi", Opds: []asm.Operand{asm.M(0x303, 0, 0), asm.I(0xFF)}},
+		asm.Instr{Op: "cli", Opds: []asm.Operand{asm.M(0x300, 0, 0), asm.I(0xAB)}},
+	)
+	c.SetByte(0x301, 0x30)
+	c.SetByte(0x302, 0x37)
+	c.SetByte(0x303, 0x55)
+	run(t, c)
+	if b, _ := c.Byte(0x300); b != 0xAB {
+		t.Errorf("MVI: %#x", b)
+	}
+	if b, _ := c.Byte(0x301); b != 0x3F {
+		t.Errorf("OI: %#x", b)
+	}
+	if b, _ := c.Byte(0x302); b != 0x30 {
+		t.Errorf("NI: %#x", b)
+	}
+	if b, _ := c.Byte(0x303); b != 0xAA {
+		t.Errorf("XI: %#x", b)
+	}
+	if c.CC != 0 {
+		t.Errorf("CLI equal: cc=%d", c.CC)
+	}
+}
+
+func TestCLCOrders(t *testing.T) {
+	for _, tc := range []struct {
+		a, b   string
+		wantCC uint8
+	}{
+		{"ABC", "ABC", 0},
+		{"ABB", "ABC", 1},
+		{"ABD", "ABC", 2},
+	} {
+		c := assemble(t, asm.Instr{Op: "clc", Opds: []asm.Operand{asm.ML(0x400, 2, 0), asm.M(0x410, 0, 0)}})
+		copy(c.Mem[0x400:], tc.a)
+		copy(c.Mem[0x410:], tc.b)
+		run(t, c)
+		if c.CC != tc.wantCC {
+			t.Errorf("CLC %q %q: cc=%d, want %d", tc.a, tc.b, c.CC, tc.wantCC)
+		}
+	}
+}
+
+func TestNCOC(t *testing.T) {
+	c := assemble(t,
+		asm.Instr{Op: "nc", Opds: []asm.Operand{asm.ML(0x500, 1, 0), asm.M(0x510, 0, 0)}},
+		asm.Instr{Op: "oc", Opds: []asm.Operand{asm.ML(0x520, 1, 0), asm.M(0x510, 0, 0)}},
+	)
+	copy(c.Mem[0x500:], []byte{0xF0, 0x0F})
+	copy(c.Mem[0x510:], []byte{0xAA, 0xAA})
+	copy(c.Mem[0x520:], []byte{0x00, 0x00})
+	run(t, c)
+	if c.Mem[0x500] != 0xA0 || c.Mem[0x501] != 0x0A {
+		t.Errorf("NC: % x", c.Mem[0x500:0x502])
+	}
+	if c.Mem[0x520] != 0xAA || c.Mem[0x521] != 0xAA {
+		t.Errorf("OC: % x", c.Mem[0x520:0x522])
+	}
+}
+
+func TestBXLELoop(t *testing.T) {
+	// BXLE r1,r4: r1 += r4 (increment), compare with r5 (limit).
+	c := assemble(t,
+		asm.Instr{Op: "ar", Opds: []asm.Operand{asm.R(2), asm.R(1)}},
+		asm.Instr{Op: "bxle", Opds: []asm.Operand{asm.R(1), asm.R(4), asm.M(0x100, 0, 0)}},
+	)
+	c.R[1], c.R[2] = 1, 0
+	c.R[4], c.R[5] = 1, 5
+	run(t, c)
+	// Iterations: r2 accumulates r1 before each increment: 1+2+3+4+5=15.
+	if c.R[2] != 15 {
+		t.Errorf("BXLE sum = %d", c.R[2])
+	}
+}
+
+func TestBXH(t *testing.T) {
+	c := assemble(t,
+		asm.Instr{Op: "bxh", Opds: []asm.Operand{asm.R(1), asm.R(4), asm.M(0x108, 0, 0)}},
+		asm.Instr{Op: "la", Opds: []asm.Operand{asm.R(9), asm.M(99, 0, 0)}},
+	)
+	c.R[1], c.R[4], c.R[5] = 10, 1, 5
+	run(t, c)
+	if c.R[9] == 99 {
+		t.Error("BXH with high result did not branch")
+	}
+}
+
+func TestShortFloat(t *testing.T) {
+	c := assemble(t,
+		asm.Instr{Op: "le", Opds: []asm.Operand{asm.R(0), asm.M(0x600, 0, 0)}},
+		asm.Instr{Op: "ae", Opds: []asm.Operand{asm.R(0), asm.M(0x604, 0, 0)}},
+		asm.Instr{Op: "me", Opds: []asm.Operand{asm.R(0), asm.M(0x604, 0, 0)}},
+		asm.Instr{Op: "se", Opds: []asm.Operand{asm.R(0), asm.M(0x604, 0, 0)}},
+		asm.Instr{Op: "de", Opds: []asm.Operand{asm.R(0), asm.M(0x604, 0, 0)}},
+		asm.Instr{Op: "ce", Opds: []asm.Operand{asm.R(0), asm.M(0x604, 0, 0)}},
+		asm.Instr{Op: "ste", Opds: []asm.Operand{asm.R(0), asm.M(0x608, 0, 0)}},
+	)
+	put32 := func(addr uint32, f float32) {
+		c.SetWord(addr, int32(math.Float32bits(f)))
+	}
+	put32(0x600, 3)
+	put32(0x604, 2)
+	run(t, c)
+	// ((3+2)*2-2)/2 = 4.
+	v, _ := c.Word(0x608)
+	if got := math.Float32frombits(uint32(v)); got != 4 {
+		t.Errorf("short float chain = %v", got)
+	}
+	if c.CC != 2 {
+		t.Errorf("CE 4 vs 2: cc=%d", c.CC)
+	}
+}
+
+func TestFloatRegisterChecks(t *testing.T) {
+	c := assemble(t, asm.Instr{Op: "ldr", Opds: []asm.Operand{asm.R(1), asm.R(2)}})
+	if err := c.Run(10); err == nil {
+		t.Error("LDR with an odd floating register did not fault")
+	}
+}
+
+func TestFloatUnaries(t *testing.T) {
+	c := assemble(t,
+		asm.Instr{Op: "lcdr", Opds: []asm.Operand{asm.R(2), asm.R(0)}},
+		asm.Instr{Op: "lpdr", Opds: []asm.Operand{asm.R(4), asm.R(2)}},
+		asm.Instr{Op: "lndr", Opds: []asm.Operand{asm.R(6), asm.R(4)}},
+		asm.Instr{Op: "hdr", Opds: []asm.Operand{asm.R(0), asm.R(4)}},
+		asm.Instr{Op: "ltdr", Opds: []asm.Operand{asm.R(2), asm.R(2)}},
+	)
+	c.F[0] = 10
+	run(t, c)
+	if c.F[2] != -10 || c.F[4] != 10 || c.F[6] != -10 || c.F[0] != 5 {
+		t.Errorf("unaries: %v %v %v %v", c.F[2], c.F[4], c.F[6], c.F[0])
+	}
+	if c.CC != 1 {
+		t.Errorf("LTDR(-10) cc=%d", c.CC)
+	}
+}
+
+func TestDoubleLogicalShifts(t *testing.T) {
+	c := assemble(t, asm.Instr{Op: "sldl", Opds: []asm.Operand{asm.R(2), asm.I(8)}})
+	c.R[2], c.R[3] = 0x00000001, 0x80000000
+	run(t, c)
+	if c.R[2] != 0x00000180 || c.R[3] != 0 {
+		t.Errorf("SLDL: %#x:%#x", c.R[2], c.R[3])
+	}
+	c = assemble(t, asm.Instr{Op: "srdl", Opds: []asm.Operand{asm.R(2), asm.I(8)}})
+	c.R[2], c.R[3] = 0x00000180, 0
+	run(t, c)
+	if c.R[2] != 0x1 || c.R[3] != 0x80000000 {
+		t.Errorf("SRDL: %#x:%#x", c.R[2], c.R[3])
+	}
+}
+
+func TestLAMasks24Bits(t *testing.T) {
+	c := assemble(t, asm.Instr{Op: "la", Opds: []asm.Operand{asm.R(1), asm.M(0xFFF, 0, 2)}})
+	c.R[2] = 0xFFFFFFFF
+	run(t, c)
+	if c.R[1] != ((0xFFFFFFFF+0xFFF)&0x00FFFFFF)&0x00FFFFFF {
+		t.Errorf("LA mask: %#x", c.R[1])
+	}
+}
+
+func TestSPM(t *testing.T) {
+	c := assemble(t, asm.Instr{Op: "spm", Opds: []asm.Operand{asm.R(1), asm.R(0)}})
+	c.R[1] = 2 << 28
+	run(t, c)
+	if c.CC != 2 {
+		t.Errorf("SPM cc=%d", c.CC)
+	}
+}
+
+func TestBAL(t *testing.T) {
+	c := assemble(t, asm.Instr{Op: "bal", Opds: []asm.Operand{asm.R(7), asm.M(0x104, 0, 0)}})
+	run(t, c)
+	if c.R[7] != 0x104 {
+		t.Errorf("BAL link %#x", c.R[7])
+	}
+}
+
+func TestHalfwordArith(t *testing.T) {
+	c := assemble(t,
+		asm.Instr{Op: "ah", Opds: []asm.Operand{asm.R(1), asm.M(0x700, 0, 0)}},
+		asm.Instr{Op: "sh", Opds: []asm.Operand{asm.R(2), asm.M(0x700, 0, 0)}},
+		asm.Instr{Op: "mh", Opds: []asm.Operand{asm.R(3), asm.M(0x700, 0, 0)}},
+		asm.Instr{Op: "ch", Opds: []asm.Operand{asm.R(4), asm.M(0x700, 0, 0)}},
+	)
+	c.SetHalf(0x700, -3)
+	c.R[1], c.R[2], c.R[3], c.R[4] = 10, 10, 10, u32(-3)
+	run(t, c)
+	if int32(c.R[1]) != 7 || int32(c.R[2]) != 13 || int32(c.R[3]) != -30 {
+		t.Errorf("halfword arith: %d %d %d", int32(c.R[1]), int32(c.R[2]), int32(c.R[3]))
+	}
+	if c.CC != 0 {
+		t.Errorf("CH equal cc=%d", c.CC)
+	}
+}
+
+func TestUnsignedFullwordOps(t *testing.T) {
+	c := assemble(t,
+		asm.Instr{Op: "cl", Opds: []asm.Operand{asm.R(1), asm.M(0x700, 0, 0)}},
+	)
+	c.SetWord(0x700, 1)
+	c.R[1] = 0xFFFFFFFF
+	run(t, c)
+	if c.CC != 2 {
+		t.Errorf("CL unsigned: cc=%d", c.CC)
+	}
+	c = assemble(t,
+		asm.Instr{Op: "al", Opds: []asm.Operand{asm.R(1), asm.M(0x700, 0, 0)}},
+		asm.Instr{Op: "sl", Opds: []asm.Operand{asm.R(2), asm.M(0x700, 0, 0)}},
+	)
+	c.SetWord(0x700, 5)
+	c.R[1], c.R[2] = 10, 3
+	run(t, c)
+	if c.R[1] != 15 || c.R[2] != 0xFFFFFFFE {
+		t.Errorf("AL/SL: %#x %#x", c.R[1], c.R[2])
+	}
+}

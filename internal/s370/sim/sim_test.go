@@ -1,0 +1,427 @@
+package sim_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cogg/internal/asm"
+	"cogg/internal/s370"
+	"cogg/internal/s370/sim"
+)
+
+// assemble encodes a sequence of instructions at 0x100 followed by
+// `bcr 15,r14` and returns a CPU ready to run them.
+func assemble(t *testing.T, ins ...asm.Instr) *sim.CPU {
+	t.Helper()
+	m := s370.NewMachine(0x8000)
+	c := sim.New(0x20000)
+	addr := 0x100
+	ins = append(ins, asm.Instr{Op: "bcr", Opds: []asm.Operand{asm.I(15), asm.R(14)}})
+	for i := range ins {
+		b, err := m.Encode(nil, &ins[i])
+		if err != nil {
+			t.Fatalf("encode %s: %v", ins[i].Op, err)
+		}
+		if err := c.Load(addr, b); err != nil {
+			t.Fatal(err)
+		}
+		addr += len(b)
+	}
+	c.PC = 0x100
+	c.R[14] = c.HaltAddr
+	return c
+}
+
+// u32 reinterprets a signed value as a register image.
+func u32(v int32) uint32 { return uint32(v) }
+
+func run(t *testing.T, c *sim.CPU) {
+	t.Helper()
+	if err := c.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted {
+		t.Fatal("not halted")
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	c := assemble(t,
+		asm.Instr{Op: "l", Opds: []asm.Operand{asm.R(1), asm.M(0x200, 0, 0)}},
+		asm.Instr{Op: "st", Opds: []asm.Operand{asm.R(1), asm.M(0x204, 0, 0)}},
+		asm.Instr{Op: "lh", Opds: []asm.Operand{asm.R(2), asm.M(0x208, 0, 0)}},
+		asm.Instr{Op: "sth", Opds: []asm.Operand{asm.R(2), asm.M(0x20C, 0, 0)}},
+		asm.Instr{Op: "ic", Opds: []asm.Operand{asm.R(3), asm.M(0x208, 0, 0)}},
+		asm.Instr{Op: "stc", Opds: []asm.Operand{asm.R(3), asm.M(0x20E, 0, 0)}},
+		asm.Instr{Op: "la", Opds: []asm.Operand{asm.R(4), asm.M(0x7FF, 0, 0)}},
+	)
+	c.SetWord(0x200, -123456)
+	c.SetHalf(0x208, -42)
+	run(t, c)
+	if v, _ := c.Word(0x204); v != -123456 {
+		t.Errorf("ST result %d", v)
+	}
+	if v, _ := c.Half(0x20C); v != -42 {
+		t.Errorf("STH result %d", v)
+	}
+	if int32(c.R[2]) != -42 {
+		t.Errorf("LH sign extension: %d", int32(c.R[2]))
+	}
+	if b, _ := c.Byte(0x20E); b != 0xFF {
+		t.Errorf("IC/STC byte %#x", b)
+	}
+	if c.R[4] != 0x7FF {
+		t.Errorf("LA = %#x", c.R[4])
+	}
+}
+
+func TestArithmeticAndCC(t *testing.T) {
+	cases := []struct {
+		name   string
+		a, b   int32
+		op     string
+		want   int32
+		wantCC uint8
+	}{
+		{"add-pos", 3, 4, "ar", 7, 2},
+		{"add-neg", 3, -4, "ar", -1, 1},
+		{"add-zero", 4, -4, "ar", 0, 0},
+		{"add-overflow", math.MaxInt32, 1, "ar", math.MinInt32, 3},
+		{"sub", 10, 4, "sr", 6, 2},
+		{"sub-underflow", math.MinInt32, 1, "sr", math.MaxInt32, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := assemble(t, asm.Instr{Op: tc.op, Opds: []asm.Operand{asm.R(1), asm.R(2)}})
+			c.R[1], c.R[2] = uint32(tc.a), uint32(tc.b)
+			run(t, c)
+			if int32(c.R[1]) != tc.want || c.CC != tc.wantCC {
+				t.Errorf("%s: r1=%d cc=%d, want %d cc=%d", tc.op, int32(c.R[1]), c.CC, tc.want, tc.wantCC)
+			}
+		})
+	}
+}
+
+func TestMultiplyDivide(t *testing.T) {
+	// MR multiplies the odd register of the pair by the operand.
+	c := assemble(t, asm.Instr{Op: "mr", Opds: []asm.Operand{asm.R(2), asm.R(5)}})
+	c.R[3] = u32(-7)
+	c.R[5] = 6
+	run(t, c)
+	if int32(c.R[3]) != -42 || int32(c.R[2]) != -1 {
+		t.Errorf("MR: pair = %d:%d", int32(c.R[2]), int32(c.R[3]))
+	}
+
+	// DR divides the 64-bit pair: quotient odd, remainder even.
+	c = assemble(t,
+		asm.Instr{Op: "srda", Opds: []asm.Operand{asm.R(2), asm.I(32)}},
+		asm.Instr{Op: "dr", Opds: []asm.Operand{asm.R(2), asm.R(5)}},
+	)
+	c.R[2] = u32(-100)
+	c.R[5] = 7
+	run(t, c)
+	if int32(c.R[3]) != -14 || int32(c.R[2]) != -2 {
+		t.Errorf("DR: quotient %d remainder %d, want -14 and -2 (truncating)", int32(c.R[3]), int32(c.R[2]))
+	}
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	c := assemble(t, asm.Instr{Op: "dr", Opds: []asm.Operand{asm.R(2), asm.R(5)}})
+	c.R[3] = 10
+	if err := c.Run(100); err == nil || !strings.Contains(err.Error(), "divide") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOddPairFaults(t *testing.T) {
+	c := assemble(t, asm.Instr{Op: "mr", Opds: []asm.Operand{asm.R(3), asm.R(5)}})
+	if err := c.Run(100); err == nil || !strings.Contains(err.Error(), "pair") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	for _, tc := range []struct {
+		a, b   int32
+		wantCC uint8
+	}{{5, 5, 0}, {4, 5, 1}, {6, 5, 2}, {-1, 1, 1}} {
+		c := assemble(t, asm.Instr{Op: "cr", Opds: []asm.Operand{asm.R(1), asm.R(2)}})
+		c.R[1], c.R[2] = uint32(tc.a), uint32(tc.b)
+		run(t, c)
+		if c.CC != tc.wantCC {
+			t.Errorf("CR %d:%d cc=%d, want %d", tc.a, tc.b, c.CC, tc.wantCC)
+		}
+	}
+	// CLR is unsigned: -1 compares high.
+	c := assemble(t, asm.Instr{Op: "clr", Opds: []asm.Operand{asm.R(1), asm.R(2)}})
+	c.R[1], c.R[2] = ^uint32(0), 1
+	run(t, c)
+	if c.CC != 2 {
+		t.Errorf("CLR cc=%d, want 2", c.CC)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	cases := []struct {
+		op     string
+		val    int32
+		amount int64
+		want   int32
+	}{
+		{"sla", 3, 2, 12},
+		{"sla", -3, 2, -12},
+		{"sra", -12, 2, -3},
+		{"sll", 1, 31, math.MinInt32},
+		{"srl", -1, 28, 15},
+	}
+	for _, tc := range cases {
+		c := assemble(t, asm.Instr{Op: tc.op, Opds: []asm.Operand{asm.R(1), asm.I(tc.amount)}})
+		c.R[1] = uint32(tc.val)
+		run(t, c)
+		if int32(c.R[1]) != tc.want {
+			t.Errorf("%s %d by %d = %d, want %d", tc.op, tc.val, tc.amount, int32(c.R[1]), tc.want)
+		}
+	}
+}
+
+func TestDoubleShifts(t *testing.T) {
+	// SRDA r2,32: sign extend r2 into the pair (the division prelude).
+	c := assemble(t, asm.Instr{Op: "srda", Opds: []asm.Operand{asm.R(2), asm.I(32)}})
+	c.R[2] = u32(-5)
+	run(t, c)
+	if int32(c.R[2]) != -1 || int32(c.R[3]) != -5 {
+		t.Errorf("SRDA 32: pair %d:%d, want -1:-5", int32(c.R[2]), int32(c.R[3]))
+	}
+	// SLDA by 4.
+	c = assemble(t, asm.Instr{Op: "slda", Opds: []asm.Operand{asm.R(2), asm.I(4)}})
+	c.R[2], c.R[3] = 0, 0x10
+	run(t, c)
+	if c.R[3] != 0x100 || c.R[2] != 0 {
+		t.Errorf("SLDA 4: pair %#x:%#x", c.R[2], c.R[3])
+	}
+}
+
+func TestLogical(t *testing.T) {
+	c := assemble(t,
+		asm.Instr{Op: "nr", Opds: []asm.Operand{asm.R(1), asm.R(2)}},
+		asm.Instr{Op: "or", Opds: []asm.Operand{asm.R(3), asm.R(2)}},
+		asm.Instr{Op: "xr", Opds: []asm.Operand{asm.R(4), asm.R(2)}},
+	)
+	c.R[1], c.R[2], c.R[3], c.R[4] = 0b1100, 0b1010, 0b0001, 0b1010
+	run(t, c)
+	if c.R[1] != 0b1000 || c.R[3] != 0b1011 || c.R[4] != 0 {
+		t.Errorf("logical results %b %b %b", c.R[1], c.R[3], c.R[4])
+	}
+	if c.CC != 0 {
+		t.Errorf("XR zero result must set CC0, got %d", c.CC)
+	}
+}
+
+func TestTMConditions(t *testing.T) {
+	for _, tc := range []struct {
+		mem    byte
+		mask   int64
+		wantCC uint8
+	}{
+		{0x00, 0x01, 0}, // all selected zero
+		{0x01, 0x01, 3}, // all selected one
+		{0x01, 0x03, 1}, // mixed
+		{0xFF, 0xF0, 3},
+	} {
+		c := assemble(t, asm.Instr{Op: "tm", Opds: []asm.Operand{asm.M(0x300, 0, 0), asm.I(tc.mask)}})
+		c.SetByte(0x300, tc.mem)
+		run(t, c)
+		if c.CC != tc.wantCC {
+			t.Errorf("TM %#x mask %#x: cc=%d, want %d", tc.mem, tc.mask, c.CC, tc.wantCC)
+		}
+	}
+}
+
+func TestBranches(t *testing.T) {
+	// BC 8 skips an LA when equal.
+	c := assemble(t,
+		asm.Instr{Op: "cr", Opds: []asm.Operand{asm.R(1), asm.R(2)}},
+		asm.Instr{Op: "bc", Opds: []asm.Operand{asm.I(8), asm.M(0x10A, 0, 0)}},
+		asm.Instr{Op: "la", Opds: []asm.Operand{asm.R(5), asm.M(99, 0, 0)}},
+	)
+	c.R[1], c.R[2] = 7, 7
+	run(t, c)
+	if c.R[5] == 99 {
+		t.Error("taken branch executed the skipped instruction")
+	}
+	// BCT loops: sum 5 iterations.
+	c = assemble(t,
+		asm.Instr{Op: "ar", Opds: []asm.Operand{asm.R(2), asm.R(3)}},
+		asm.Instr{Op: "bct", Opds: []asm.Operand{asm.R(1), asm.M(0x100, 0, 0)}},
+	)
+	c.R[1], c.R[2], c.R[3] = 5, 0, 10
+	run(t, c)
+	if c.R[2] != 50 {
+		t.Errorf("BCT loop sum = %d", c.R[2])
+	}
+	// BALR records the return address.
+	c = assemble(t, asm.Instr{Op: "balr", Opds: []asm.Operand{asm.R(6), asm.R(0)}})
+	run(t, c)
+	if c.R[6] != 0x102 {
+		t.Errorf("BALR link = %#x", c.R[6])
+	}
+}
+
+func TestBCTRDecrementOnly(t *testing.T) {
+	c := assemble(t, asm.Instr{Op: "bctr", Opds: []asm.Operand{asm.R(1), asm.R(0)}})
+	c.R[1] = 10
+	run(t, c)
+	if c.R[1] != 9 {
+		t.Errorf("BCTR r1,0 = %d", c.R[1])
+	}
+}
+
+func TestStoreMultipleWraps(t *testing.T) {
+	c := assemble(t,
+		asm.Instr{Op: "stm", Opds: []asm.Operand{asm.R(14), asm.R(12), asm.M(0x400, 0, 0)}},
+		asm.Instr{Op: "lm", Opds: []asm.Operand{asm.R(14), asm.R(12), asm.M(0x400, 0, 0)}},
+	)
+	for i := range c.R {
+		c.R[i] = uint32(i * 100)
+	}
+	c.R[14] = c.HaltAddr
+	run(t, c)
+	// r14,r15,r0..r12 stored: 15 registers.
+	if v, _ := c.Word(0x400 + 4); v != 1500 {
+		t.Errorf("second stored register = %d, want r15=1500", v)
+	}
+	if v, _ := c.Word(0x400 + 2*4); v != 0 {
+		t.Errorf("third stored register = %d, want r0=0", v)
+	}
+	if v, _ := c.Word(0x400 + 14*4); v != 1200 {
+		t.Errorf("last stored register = %d, want r12=1200", v)
+	}
+}
+
+func TestMVCAndXC(t *testing.T) {
+	c := assemble(t,
+		asm.Instr{Op: "mvc", Opds: []asm.Operand{asm.ML(0x500, 7, 0), asm.M(0x510, 0, 0)}},
+		asm.Instr{Op: "xc", Opds: []asm.Operand{asm.ML(0x520, 3, 0), asm.M(0x520, 0, 0)}},
+	)
+	copy(c.Mem[0x510:], "ABCDEFGH")
+	copy(c.Mem[0x520:], "WXYZ")
+	run(t, c)
+	if got := string(c.Mem[0x500:0x508]); got != "ABCDEFGH" {
+		t.Errorf("MVC copied %q", got)
+	}
+	if v, _ := c.Word(0x520); v != 0 {
+		t.Errorf("XC self-clear = %#x", v)
+	}
+}
+
+func TestMVCL(t *testing.T) {
+	c := assemble(t, asm.Instr{Op: "mvcl", Opds: []asm.Operand{asm.R(2), asm.R(4)}})
+	copy(c.Mem[0x600:], "HELLO")
+	c.R[2], c.R[3] = 0x700, 10           // destination, length 10
+	c.R[4], c.R[5] = 0x600, 5|0x2A000000 // source length 5, pad '*'
+	run(t, c)
+	if got := string(c.Mem[0x700:0x70A]); got != "HELLO*****" {
+		t.Errorf("MVCL result %q", got)
+	}
+	if c.CC != 2 {
+		t.Errorf("MVCL cc=%d (dest longer), want 2", c.CC)
+	}
+}
+
+func TestFloating(t *testing.T) {
+	m := s370.NewMachine(0x8000)
+	_ = m
+	c := assemble(t,
+		asm.Instr{Op: "ld", Opds: []asm.Operand{asm.R(0), asm.M(0x800, 0, 0)}},
+		asm.Instr{Op: "ad", Opds: []asm.Operand{asm.R(0), asm.M(0x808, 0, 0)}},
+		asm.Instr{Op: "mdr", Opds: []asm.Operand{asm.R(0), asm.R(0)}},
+		asm.Instr{Op: "std", Opds: []asm.Operand{asm.R(0), asm.M(0x810, 0, 0)}},
+	)
+	put := func(addr uint32, f float64) {
+		bits := math.Float64bits(f)
+		c.SetWord(addr, int32(uint32(bits>>32)))
+		c.SetWord(addr+4, int32(uint32(bits)))
+	}
+	put(0x800, 2.5)
+	put(0x808, 1.5)
+	run(t, c)
+	hi, _ := c.Word(0x810)
+	lo, _ := c.Word(0x814)
+	got := math.Float64frombits(uint64(uint32(hi))<<32 | uint64(uint32(lo)))
+	if got != 16.0 {
+		t.Errorf("(2.5+1.5)^2 = %v", got)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	// Unknown opcode.
+	c := sim.New(0x1000)
+	c.Mem[0x100] = 0xFF
+	c.PC = 0x100
+	if err := c.Step(); err == nil {
+		t.Error("unknown opcode did not fault")
+	}
+	// Out-of-storage access.
+	c2 := assemble(t, asm.Instr{Op: "l", Opds: []asm.Operand{asm.R(1), asm.M(0xFFF, 0, 12)}})
+	c2.R[12] = 0x1F000
+	if err := c2.Run(10); err == nil {
+		t.Error("out-of-storage load did not fault")
+	}
+	// Step limit.
+	c3 := assemble(t, asm.Instr{Op: "bc", Opds: []asm.Operand{asm.I(15), asm.M(0x100, 0, 0)}})
+	if err := c3.Run(50); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("runaway loop: %v", err)
+	}
+}
+
+// TestQuickALUMatchesGo cross-checks AR/SR/MR against Go arithmetic over
+// random operands.
+func TestQuickALUMatchesGo(t *testing.T) {
+	f := func(a, b int32) bool {
+		c := assemble(t, asm.Instr{Op: "ar", Opds: []asm.Operand{asm.R(1), asm.R(2)}})
+		c.R[1], c.R[2] = uint32(a), uint32(b)
+		if err := c.Run(10); err != nil {
+			return false
+		}
+		if int32(c.R[1]) != a+b {
+			return false
+		}
+		c = assemble(t, asm.Instr{Op: "mr", Opds: []asm.Operand{asm.R(2), asm.R(5)}})
+		c.R[3], c.R[5] = uint32(a), uint32(b)
+		if err := c.Run(10); err != nil {
+			return false
+		}
+		prod := int64(a) * int64(b)
+		return int32(c.R[3]) == int32(prod) && int32(c.R[2]) == int32(prod>>32)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDivideMatchesGo checks the SRDA/DR sequence against Go's
+// truncating division.
+func TestQuickDivideMatchesGo(t *testing.T) {
+	f := func(a, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		if a == math.MinInt32 && b == -1 {
+			return true // overflow case: quotient unrepresentable
+		}
+		c := assemble(t,
+			asm.Instr{Op: "srda", Opds: []asm.Operand{asm.R(2), asm.I(32)}},
+			asm.Instr{Op: "dr", Opds: []asm.Operand{asm.R(2), asm.R(5)}},
+		)
+		c.R[2], c.R[5] = uint32(a), uint32(b)
+		if err := c.Run(10); err != nil {
+			return false
+		}
+		return int32(c.R[3]) == a/b && int32(c.R[2]) == a%b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

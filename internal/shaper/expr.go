@@ -1,0 +1,474 @@
+package shaper
+
+import (
+	"cogg/internal/ir"
+	"cogg/internal/pascal"
+	"cogg/internal/rt370"
+)
+
+// constNode shapes an integer constant: small values through LA
+// (pos_constant/neg_constant), large ones from literal storage.
+func (s *sh) constNode(v int64) *ir.Node {
+	switch {
+	case v >= 0 && v <= 4095:
+		return ir.N(ir.OpPosConstant, ir.V(ir.TermValue, v))
+	case v < 0 && v >= -4095:
+		return ir.N(ir.OpNegConstant, ir.V(ir.TermValue, -v))
+	default:
+		return ir.N(ir.OpFullword, ir.V(ir.TermDsp, s.literal(int32(v))), poolBase())
+	}
+}
+
+// intExpr shapes an integer-valued expression into a value subtree.
+func (s *sh) intExpr(e pascal.Expr) (*ir.Node, error) {
+	switch t := e.(type) {
+	case *pascal.IntLit:
+		return s.constNode(t.V), nil
+	case *pascal.VarRef:
+		op, err := typeOp(t.Sym.Type)
+		if err != nil {
+			return nil, s.errf(t.Line(), "%v", err)
+		}
+		load := ir.N(op, ir.V(ir.TermDsp, t.Sym.Offset), s.varBase(t.Sym))
+		if s.opt.UninitChecks && t.Sym.Type.Kind == pascal.TInt {
+			load = ir.N(ir.OpUninitCheck, load,
+				ir.N(ir.OpFullword, ir.V(ir.TermDsp, s.literal(UninitPattern)), poolBase()))
+		}
+		return load, nil
+	case *pascal.IndexExpr:
+		op, err := typeOp(t.Type())
+		if err != nil {
+			return nil, s.errf(t.Line(), "%v", err)
+		}
+		idx, dsp, err := s.indexParts(t)
+		if err != nil {
+			return nil, err
+		}
+		return ir.N(op, idx, ir.V(ir.TermDsp, dsp), s.varBase(t.Arr.Sym)), nil
+	case *pascal.UnExpr:
+		if t.Op != "-" {
+			return nil, s.errf(t.Line(), "operator %q in integer context", t.Op)
+		}
+		k, err := s.intExpr(t.E)
+		if err != nil {
+			return nil, err
+		}
+		return ir.N(ir.OpINeg, k), nil
+	case *pascal.BuiltinExpr:
+		k, err := s.intExpr(t.E)
+		if err != nil {
+			return nil, err
+		}
+		switch t.Name {
+		case "abs":
+			return ir.N(ir.OpIAbs, k), nil
+		}
+		return nil, s.errf(t.Line(), "builtin %q in integer context", t.Name)
+	case *pascal.CallExpr:
+		return s.callValue(t)
+	case *pascal.BinExpr:
+		var op string
+		switch t.Op {
+		case "+":
+			op = ir.OpIAdd
+		case "-":
+			op = ir.OpISub
+		case "*":
+			op = ir.OpIMult
+		case "div":
+			op = ir.OpIDiv
+		case "mod":
+			op = ir.OpIMod
+		default:
+			return nil, s.errf(t.Line(), "operator %q in integer context", t.Op)
+		}
+		// x - 1 and x + 1 use the decrement/increment idioms.
+		if c, ok := t.R.(*pascal.IntLit); ok && c.V == 1 {
+			l, err := s.intExpr(t.L)
+			if err != nil {
+				return nil, err
+			}
+			if t.Op == "-" {
+				return ir.N(ir.OpDecr, l), nil
+			}
+			if t.Op == "+" {
+				return ir.N(ir.OpIncr, l), nil
+			}
+		}
+		// Multiplication and division by powers of two become shifts.
+		if c, ok := t.R.(*pascal.IntLit); ok && c.V > 1 && c.V&(c.V-1) == 0 && c.V <= 1<<30 {
+			if t.Op == "*" || t.Op == "div" {
+				l, err := s.intExpr(t.L)
+				if err != nil {
+					return nil, err
+				}
+				sh := int64(0)
+				for v := c.V; v > 1; v >>= 1 {
+					sh++
+				}
+				op := ir.OpLShift
+				if t.Op == "div" {
+					op = ir.OpRShift
+				}
+				return ir.N(op, l, ir.V(ir.TermValue, sh)), nil
+			}
+		}
+		l, err := s.intExpr(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.intExpr(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return ir.N(op, l, r), nil
+	}
+	if e.Type().Kind == pascal.TBool {
+		return s.boolToReg(e)
+	}
+	return nil, s.errf(e.Line(), "unsupported integer expression %T", e)
+}
+
+// realExpr shapes a floating point expression.
+func (s *sh) realExpr(e pascal.Expr) (*ir.Node, error) {
+	switch t := e.(type) {
+	case *pascal.RealLit:
+		if e.Type().Kind == pascal.TSingle {
+			return ir.N(ir.OpRealword, ir.V(ir.TermDsp, s.singleLiteral(t.V)), poolBase()), nil
+		}
+		return ir.N(ir.OpDblreal, ir.V(ir.TermDsp, s.realLiteral(t.V)), poolBase()), nil
+	case *pascal.IntLit:
+		// Integer literal in a real context: shaped as a real literal.
+		return ir.N(ir.OpDblreal, ir.V(ir.TermDsp, s.realLiteral(float64(t.V))), poolBase()), nil
+	case *pascal.VarRef:
+		op, err := typeOp(t.Sym.Type)
+		if err != nil {
+			return nil, s.errf(t.Line(), "%v", err)
+		}
+		return ir.N(op, ir.V(ir.TermDsp, t.Sym.Offset), s.varBase(t.Sym)), nil
+	case *pascal.IndexExpr:
+		op, err := typeOp(t.Type())
+		if err != nil {
+			return nil, s.errf(t.Line(), "%v", err)
+		}
+		idx, dsp, err := s.indexParts(t)
+		if err != nil {
+			return nil, err
+		}
+		return ir.N(op, idx, ir.V(ir.TermDsp, dsp), s.varBase(t.Arr.Sym)), nil
+	case *pascal.UnExpr:
+		k, err := s.realExpr(t.E)
+		if err != nil {
+			return nil, err
+		}
+		return ir.N(ir.OpRNeg, k), nil
+	case *pascal.BuiltinExpr:
+		if t.Name == "abs" {
+			k, err := s.realExpr(t.E)
+			if err != nil {
+				return nil, err
+			}
+			return ir.N(ir.OpRAbs, k), nil
+		}
+	case *pascal.CallExpr:
+		return s.callValue(t)
+	case *pascal.BinExpr:
+		var op string
+		switch t.Op {
+		case "+":
+			op = ir.OpRAdd
+		case "-":
+			op = ir.OpRSub
+		case "*":
+			op = ir.OpRMult
+		case "/":
+			op = ir.OpRDiv
+		default:
+			return nil, s.errf(t.Line(), "operator %q in real context", t.Op)
+		}
+		// x / 2.0 halves in the register.
+		if c, ok := t.R.(*pascal.RealLit); ok && t.Op == "/" && c.V == 2.0 {
+			l, err := s.realExpr(t.L)
+			if err != nil {
+				return nil, err
+			}
+			return ir.N(ir.OpHalve, l), nil
+		}
+		l, err := s.realExpr(t.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.realExpr(t.R)
+		if err != nil {
+			return nil, err
+		}
+		return ir.N(op, l, r), nil
+	}
+	return nil, s.errf(e.Line(), "unsupported real expression %T", e)
+}
+
+// callValue hoists a function call to a statement, then copies the
+// result out of the callee's (dead but intact) frame into a temporary of
+// the caller's frame: a second call in the same expression would reuse
+// the callee frame and clobber the slot.
+func (s *sh) callValue(t *pascal.CallExpr) (*ir.Node, error) {
+	call, err := s.shapeCall(t.Proc, t.Args, t.Line())
+	if err != nil {
+		return nil, err
+	}
+	s.pre = append(s.pre, call...)
+	res := t.Proc.Result
+	op, err := typeOp(res.Type)
+	if err != nil {
+		return nil, s.errf(t.Line(), "%v", err)
+	}
+	tmp := s.tempWord(res.Type.Size())
+	s.pre = append(s.pre, ir.N(ir.OpAssign,
+		&ir.Node{Op: op},
+		ir.V(ir.TermDsp, tmp),
+		stackBase(),
+		ir.N(op, ir.V(ir.TermDsp, rt370.FrameSize+res.Offset), stackBase()),
+	))
+	return ir.N(op, ir.V(ir.TermDsp, tmp), stackBase()), nil
+}
+
+// --- boolean lowering ---------------------------------------------------
+
+// condTree is a condition-code subtree plus the branch mask selecting
+// "condition true".
+type condTree struct {
+	cc       *ir.Node
+	trueMask int64
+}
+
+// relMask maps a relational operator to the BC mask that selects it
+// after a compare.
+var relMask = map[string]int64{
+	"=": 8, "<>": 7, "<": 4, "<=": 13, ">": 2, ">=": 11,
+}
+
+// condForm shapes a boolean expression as a condition-code subtree. It
+// handles leaves and `not`; and/or fall back to materialized registers.
+func (s *sh) condForm(e pascal.Expr) (condTree, error) {
+	switch t := e.(type) {
+	case *pascal.BinExpr:
+		switch t.Op {
+		case "=", "<>", "<", "<=", ">", ">=":
+			lt := t.L.Type()
+			var l, r *ir.Node
+			var err error
+			var cmp string
+			if lt.RealLike() {
+				cmp = ir.OpRCompare
+				l, err = s.realExpr(t.L)
+				if err != nil {
+					return condTree{}, err
+				}
+				r, err = s.realExpr(t.R)
+			} else {
+				cmp = ir.OpICompare
+				l, err = s.intExpr(t.L)
+				if err != nil {
+					return condTree{}, err
+				}
+				r, err = s.intExpr(t.R)
+			}
+			if err != nil {
+				return condTree{}, err
+			}
+			return condTree{ir.N(cmp, l, r), relMask[t.Op]}, nil
+		case "in":
+			return s.inForm(t)
+		case "and", "or":
+			// Materialize both sides and combine with the TM-style
+			// boolean templates (value-context and/or; conditions
+			// short-circuit in lowerCond before reaching here).
+			op := ir.OpBoolAnd
+			if t.Op == "or" {
+				op = ir.OpBoolOr
+			}
+			l, err := s.boolToReg(t.L)
+			if err != nil {
+				return condTree{}, err
+			}
+			r, err := s.boolToReg(t.R)
+			if err != nil {
+				return condTree{}, err
+			}
+			return condTree{ir.N(op, l, r), 7}, nil
+		}
+	case *pascal.UnExpr:
+		if t.Op == "not" {
+			inner, err := s.condForm(t.E)
+			if err != nil {
+				return condTree{}, err
+			}
+			return condTree{inner.cc, inner.trueMask ^ 15}, nil
+		}
+	case *pascal.VarRef:
+		return condTree{ir.N(ir.OpBoolTest,
+			&ir.Node{Op: ir.OpByteword}, ir.V(ir.TermDsp, t.Sym.Offset), s.varBase(t.Sym)), 7}, nil
+	case *pascal.IndexExpr:
+		v, err := s.intExpr(t)
+		if err != nil {
+			return condTree{}, err
+		}
+		return condTree{ir.N(ir.OpBoolTest, v), 7}, nil
+	case *pascal.BoolLit:
+		// Compare two constants: constant condition. Shape as a register
+		// test so the structure stays uniform.
+		v, err := s.boolToReg(t)
+		if err != nil {
+			return condTree{}, err
+		}
+		return condTree{ir.N(ir.OpBoolTest, v), 7}, nil
+	case *pascal.BuiltinExpr:
+		if t.Name == "odd" {
+			v, err := s.intExpr(t.E)
+			if err != nil {
+				return condTree{}, err
+			}
+			return condTree{ir.N(ir.OpIOdd, v), 7}, nil
+		}
+	case *pascal.CallExpr:
+		v, err := s.callValue(t)
+		if err != nil {
+			return condTree{}, err
+		}
+		return condTree{ir.N(ir.OpBoolTest, v), 7}, nil
+	}
+	return condTree{}, s.errf(e.Line(), "unsupported boolean expression %T", e)
+}
+
+// inForm shapes set membership: constant elements use the immediate TM
+// form; computed elements the dynamic bit-test sequence.
+func (s *sh) inForm(t *pascal.BinExpr) (condTree, error) {
+	set, ok := t.R.(*pascal.VarRef)
+	if !ok {
+		return condTree{}, s.errf(t.Line(), "in requires a set variable on the right")
+	}
+	if c, ok := t.L.(*pascal.IntLit); ok {
+		if c.V < 0 || c.V > 63 {
+			return condTree{}, s.errf(t.Line(), "set element %d outside 0..63", c.V)
+		}
+		return condTree{ir.N(ir.OpTestBit,
+			&ir.Node{Op: ir.OpByteword},
+			ir.V(ir.TermDsp, set.Sym.Offset+c.V/8),
+			s.varBase(set.Sym),
+			ir.V(ir.TermElmnt, int64(0x80>>(c.V%8))),
+		), 7}, nil
+	}
+	elem, err := s.intExpr(t.L)
+	if err != nil {
+		return condTree{}, err
+	}
+	return condTree{ir.N(ir.OpTestBit,
+		&ir.Node{Op: ir.OpAddr},
+		ir.V(ir.TermDsp, set.Sym.Offset),
+		s.varBase(set.Sym),
+		elem,
+	), 7}, nil
+}
+
+// boolToReg materializes a boolean expression as a 0/1 register value
+// through the condition-to-register production.
+func (s *sh) boolToReg(e pascal.Expr) (*ir.Node, error) {
+	switch t := e.(type) {
+	case *pascal.BoolLit:
+		v := int64(0)
+		if t.V {
+			v = 1
+		}
+		return ir.N(ir.OpPosConstant, ir.V(ir.TermValue, v)), nil
+	case *pascal.VarRef:
+		return s.boolLoad(t), nil
+	case *pascal.UnExpr:
+		if t.Op == "not" {
+			inner, err := s.boolToReg(t.E)
+			if err != nil {
+				return nil, err
+			}
+			return ir.N(ir.OpBoolNot, inner), nil
+		}
+	}
+	ct, err := s.condForm(e)
+	if err != nil {
+		return nil, err
+	}
+	return &ir.Node{Op: ir.TermCond, Val: ct.trueMask, Kids: []*ir.Node{ct.cc}}, nil
+}
+
+// lowerCond emits branches for a condition: jump to target when the
+// condition's value equals when. and/or short-circuit.
+func (s *sh) lowerCond(e pascal.Expr, target int64, when bool) ([]*ir.Node, error) {
+	switch t := e.(type) {
+	case *pascal.BinExpr:
+		switch t.Op {
+		case "and":
+			if when {
+				skip := s.newLabel()
+				first, err := s.lowerCond(t.L, skip, false)
+				if err != nil {
+					return nil, err
+				}
+				second, err := s.lowerCond(t.R, target, true)
+				if err != nil {
+					return nil, err
+				}
+				return append(append(first, second...), s.defLabel(skip)), nil
+			}
+			first, err := s.lowerCond(t.L, target, false)
+			if err != nil {
+				return nil, err
+			}
+			second, err := s.lowerCond(t.R, target, false)
+			if err != nil {
+				return nil, err
+			}
+			return append(first, second...), nil
+		case "or":
+			if when {
+				first, err := s.lowerCond(t.L, target, true)
+				if err != nil {
+					return nil, err
+				}
+				second, err := s.lowerCond(t.R, target, true)
+				if err != nil {
+					return nil, err
+				}
+				return append(first, second...), nil
+			}
+			skip := s.newLabel()
+			first, err := s.lowerCond(t.L, skip, true)
+			if err != nil {
+				return nil, err
+			}
+			second, err := s.lowerCond(t.R, target, false)
+			if err != nil {
+				return nil, err
+			}
+			return append(append(first, second...), s.defLabel(skip)), nil
+		}
+	case *pascal.UnExpr:
+		if t.Op == "not" {
+			return s.lowerCond(t.E, target, !when)
+		}
+	case *pascal.BoolLit:
+		if t.V == when {
+			return []*ir.Node{s.goTo(target)}, nil
+		}
+		return nil, nil
+	}
+	ct, err := s.condForm(e)
+	if err != nil {
+		return nil, err
+	}
+	mask := ct.trueMask
+	if !when {
+		mask ^= 15
+	}
+	return []*ir.Node{ir.N(ir.OpBranchOp,
+		ir.V(ir.TermLbl, target),
+		&ir.Node{Op: ir.TermCond, Val: mask, Kids: []*ir.Node{ct.cc}},
+	)}, nil
+}

@@ -1,0 +1,330 @@
+// Package shaper implements the shaping routine that stands between the
+// front end and the code generator (paper section 1): it resolves
+// variable addresses by assigning base registers and displacements, lays
+// out stack frames, allocates labels and literal storage, and lowers the
+// typed syntax tree into the linearized prefix intermediate form the
+// table-driven code generator parses.
+//
+// The shaper fixes the IF shapes; the code generator specification
+// decides how well they translate. Array accesses, for example, are
+// shaped with an explicit index subtree (`fullword r.3 dsp.1 r.1`) —
+// the full Amdahl grammar folds the index register into one RX
+// instruction while the minimal grammar computes the address with
+// explicit adds, from the same IF.
+package shaper
+
+import (
+	"fmt"
+	"math"
+
+	"cogg/internal/ir"
+	"cogg/internal/pascal"
+	"cogg/internal/rt370"
+)
+
+// Options control shaping.
+type Options struct {
+	// SubscriptChecks wraps array subscripts in subscript_check
+	// operators comparing against literal bounds.
+	SubscriptChecks bool
+	// StatementRecords emits a statement operator per source statement.
+	StatementRecords bool
+	// UninitChecks wraps fullword variable loads in uninit_check
+	// operators comparing against the uninitialized storage pattern; the
+	// runtime fills fresh data storage with the pattern and a read
+	// before the first write aborts (the MTS Pascal check the paper's
+	// compiler environment was known for).
+	UninitChecks bool
+	// CSE, when non-nil, is invoked on every shaped procedure body with
+	// a temporary-storage allocator; the IF optimizer (package ifopt)
+	// plugs in here.
+	CSE func(stmts []*ir.Node, alloc func(size int64) int64) ([]*ir.Node, error)
+}
+
+// UninitPattern is the fullword the runtime plants in fresh storage
+// when uninitialized-variable checking is on.
+const UninitPattern = int32(-0x7E7E7E7F) // 0x81818181
+
+// Shaped is the result of shaping one program.
+type Shaped struct {
+	Name  string
+	Stmts []*ir.Node
+
+	// UninitChecks records that the program was shaped with
+	// read-before-write checking; the loader must plant UninitPattern.
+	UninitChecks bool
+
+	// VarOffset maps "var" (main) or "proc.var" to the variable's frame
+	// displacement.
+	VarOffset map[string]int64
+
+	// PrInit holds initialized words of the runtime constant area
+	// beyond the fixed part: literal pool values, keyed by pr offset.
+	PrInit map[int]uint32
+
+	// ProcLabel maps procedure name to its entry label.
+	ProcLabel map[string]int64
+	// VectorSlot maps a transfer-vector slot offset (within the pr
+	// area) to the procedure entry label whose address belongs there.
+	VectorSlot map[int]int64
+
+	// Labels is the number of labels allocated.
+	Labels int64
+	// FrameBytes maps procedure name to its frame water mark.
+	FrameBytes map[string]int64
+}
+
+// Linearize produces the prefix token stream for the whole program.
+func (s *Shaped) Linearize() []ir.Token {
+	var out []ir.Token
+	for _, n := range s.Stmts {
+		out = n.Linearize(out)
+	}
+	return out
+}
+
+// Shape lowers a checked program.
+func Shape(prog *pascal.Program, opt Options) (out *Shaped, err error) {
+	defer shapeRecover(&err)
+	s := &sh{
+		opt: opt,
+		out: &Shaped{
+			Name:       prog.Name,
+			VarOffset:  map[string]int64{},
+			PrInit:     map[int]uint32{},
+			ProcLabel:  map[string]int64{},
+			VectorSlot: map[int]int64{},
+			FrameBytes: map[string]int64{},
+		},
+		litOffsets: map[uint64]int{},
+		prNext:     rt370.LitOffset,
+	}
+	s.out.UninitChecks = opt.UninitChecks
+	// The last vector slot belongs to the writeln runtime stub.
+	s.out.PrInit[rt370.OffProcVector+4*rt370.WriteVectorSlot] =
+		uint32(rt370.PrOrigin + rt370.OffWriteStub)
+	procs := prog.AllProcs()
+	if len(procs) > rt370.ProcVectorCap-1 {
+		return nil, fmt.Errorf("shaper: %d procedures exceed the transfer vector capacity %d",
+			len(procs), rt370.ProcVectorCap)
+	}
+	// Assign vector slots and entry labels first so calls can be shaped
+	// before their callee's body.
+	for i, proc := range procs {
+		proc.Index = i
+		lbl := s.newLabel()
+		s.out.ProcLabel[proc.Name] = lbl
+		s.out.VectorSlot[rt370.OffProcVector+4*i] = lbl
+	}
+	for _, proc := range procs {
+		if err := s.layoutFrame(proc); err != nil {
+			return nil, err
+		}
+	}
+	for _, proc := range procs {
+		if err := s.emitProc(proc); err != nil {
+			return nil, err
+		}
+	}
+	return s.out, nil
+}
+
+// Shape recovers literal-partition overflow panics as errors; the hook
+// lives here so every literal call site stays simple.
+func shapeRecover(err *error) {
+	if r := recover(); r != nil {
+		if _, ok := r.(litOverflow); ok {
+			*err = fmt.Errorf("shaper: program uses more than %d bytes of literal storage", 4096-rt370.LitOffset)
+			return
+		}
+		panic(r)
+	}
+}
+
+type sh struct {
+	opt Options
+	out *Shaped
+
+	cur      *pascal.Proc
+	frameTop int64 // next free frame offset of the current procedure
+
+	labelSeq   int64
+	cseSeq     int64
+	litOffsets map[uint64]int // literal key -> pr offset
+	prNext     int
+
+	// pre collects statements hoisted out of expressions (function
+	// calls); flushed before the containing statement.
+	pre []*ir.Node
+}
+
+func (s *sh) newLabel() int64 {
+	s.labelSeq++
+	s.out.Labels = s.labelSeq
+	return s.labelSeq
+}
+
+func (s *sh) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("shaper: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// layoutFrame assigns displacements to parameters, result, and locals.
+func (s *sh) layoutFrame(proc *pascal.Proc) error {
+	off := int64(rt370.VarOrigin)
+	place := func(v *pascal.VarSym) {
+		size := v.Type.Size()
+		align := int64(4)
+		if size >= 8 {
+			align = 8
+		} else if size < 4 {
+			align = size
+		}
+		off = (off + align - 1) / align * align
+		v.Offset = off
+		off += size
+		key := v.Name
+		if !proc.Main {
+			key = proc.Name + "." + v.Name
+		}
+		s.out.VarOffset[key] = v.Offset
+	}
+	for _, v := range proc.Params {
+		place(v)
+	}
+	for _, v := range proc.Locals {
+		if !v.Param {
+			place(v)
+		}
+	}
+	if off > rt370.FrameSize-256 {
+		return fmt.Errorf("shaper: procedure %q needs %d frame bytes; frames are %d bytes",
+			proc.Name, off, rt370.FrameSize)
+	}
+	s.out.FrameBytes[proc.Name] = off
+	return nil
+}
+
+// tempWord allocates a hidden temporary in the current frame.
+func (s *sh) tempWord(size int64) int64 {
+	align := int64(4)
+	if size >= 8 {
+		align = 8
+	}
+	s.frameTop = (s.frameTop + align - 1) / align * align
+	off := s.frameTop
+	s.frameTop += size
+	return off
+}
+
+// literal interns a fullword literal in the runtime constant area and
+// returns its pr displacement. The partition holds 256 literals; the
+// base register reaches no further.
+func (s *sh) literal(v int32) int64 {
+	key := uint64(uint32(v))
+	if off, ok := s.litOffsets[key]; ok {
+		return int64(off)
+	}
+	off := s.allocLit(4)
+	s.litOffsets[key] = off
+	s.out.PrInit[off] = uint32(v)
+	return int64(off)
+}
+
+// allocLit reserves size bytes of literal storage, panicking past the
+// partition — Shape converts the panic into an error.
+func (s *sh) allocLit(size int) int {
+	if size >= 8 {
+		s.prNext = (s.prNext + 7) / 8 * 8
+	}
+	off := s.prNext
+	s.prNext += size
+	if s.prNext > 4096 {
+		panic(litOverflow{})
+	}
+	return off
+}
+
+type litOverflow struct{}
+
+// realLiteral interns an 8-byte real literal.
+func (s *sh) realLiteral(f float64) int64 {
+	bits := math.Float64bits(f)
+	key := bits ^ 0xABCD0123_45670000 // avoid clashing with the int key space
+	if off, ok := s.litOffsets[key]; ok {
+		return int64(off)
+	}
+	off := s.allocLit(8)
+	s.litOffsets[key] = off
+	s.out.PrInit[off] = uint32(bits >> 32)
+	s.out.PrInit[off+4] = uint32(bits)
+	return int64(off)
+}
+
+// singleLiteral interns a 4-byte short real literal.
+func (s *sh) singleLiteral(f float64) int64 {
+	bits := math.Float32bits(float32(f))
+	key := uint64(bits) ^ 0x5555AAAA_00000000
+	if off, ok := s.litOffsets[key]; ok {
+		return int64(off)
+	}
+	off := s.allocLit(4)
+	s.litOffsets[key] = off
+	s.out.PrInit[off] = bits
+	return int64(off)
+}
+
+// base register tokens.
+func stackBase() *ir.Node { return ir.V(ir.NTReg, rt370.RegStackBase) }
+func poolBase() *ir.Node  { return ir.V(ir.NTReg, rt370.RegPoolBase) }
+
+// varBase returns the base register token for a variable: the dynamic
+// frame register for the current procedure's own variables, the static
+// global base for main's variables referenced from procedures.
+func (s *sh) varBase(sym *pascal.VarSym) *ir.Node {
+	if sym.Proc != nil && sym.Proc.Main && !s.cur.Main {
+		return ir.V(ir.NTReg, rt370.RegGlobalBase)
+	}
+	return stackBase()
+}
+
+// typeOp returns the IF unary type operator for a storage format.
+func typeOp(t *pascal.Type) (string, error) {
+	switch t.Kind {
+	case pascal.TInt:
+		return ir.OpFullword, nil
+	case pascal.THalf:
+		return ir.OpHalfword, nil
+	case pascal.TByte, pascal.TBool:
+		return ir.OpByteword, nil
+	case pascal.TReal:
+		return ir.OpDblreal, nil
+	case pascal.TSingle:
+		return ir.OpRealword, nil
+	}
+	return "", fmt.Errorf("type %s has no direct storage operator", t)
+}
+
+// emitProc shapes one procedure: entry label, prologue, body, epilogue.
+func (s *sh) emitProc(proc *pascal.Proc) error {
+	s.cur = proc
+	s.frameTop = s.out.FrameBytes[proc.Name]
+	body := []*ir.Node{
+		ir.N(ir.OpLabelDef, ir.V(ir.TermLbl, s.out.ProcLabel[proc.Name])),
+		ir.N(ir.OpProcEntry),
+	}
+	stmts, err := s.stmtSeq(proc.Body)
+	if err != nil {
+		return err
+	}
+	body = append(body, stmts...)
+	body = append(body, ir.N(ir.OpProcExit))
+	if s.opt.CSE != nil {
+		body, err = s.opt.CSE(body, s.tempWord)
+		if err != nil {
+			return err
+		}
+	}
+	s.out.Stmts = append(s.out.Stmts, body...)
+	s.out.FrameBytes[proc.Name] = s.frameTop
+	return nil
+}

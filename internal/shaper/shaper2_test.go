@@ -1,0 +1,224 @@
+package shaper_test
+
+import (
+	"strings"
+	"testing"
+
+	"cogg/internal/pascal"
+	"cogg/internal/shaper"
+)
+
+func TestRealShapes(t *testing.T) {
+	s := shape(t, `
+program reals;
+var x, y: real;
+    sr: single;
+begin
+  x := 2.5;
+  y := -x * 4.0 + abs(x) - x / 2.0;
+  sr := 1.5;
+  if x < y then x := y
+end.
+`, shaper.Options{})
+	text := ifText(s)
+	for _, want := range []string{
+		"dblrealword dsp.", // variable loads
+		"rneg", "rmult", "radd", "rabs", "rsub",
+		"halve",    // x / 2.0
+		"rcompare", // the condition
+		"realword", // the single-precision store
+		"r.12",     // literal loads from the constant area
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("real shapes lack %q:\n%s", want, text)
+		}
+	}
+	// 2.5 interned once as a double literal (8 bytes, two words).
+	words := 0
+	for _, w := range s.PrInit {
+		_ = w
+		words++
+	}
+	if words < 4 {
+		t.Errorf("expected real literals in PrInit, found %d words", words)
+	}
+}
+
+func TestRepeatShape(t *testing.T) {
+	s := shape(t, `
+program rep;
+var i: integer;
+begin
+  i := 3;
+  repeat i := i - 1 until i = 0
+end.
+`, shaper.Options{})
+	text := ifText(s)
+	// Loop back while the condition is false: branch with the inverted
+	// mask (ne = 7) to the top label.
+	if !strings.Contains(text, "branch_op lbl.") || !strings.Contains(text, "cond.7") {
+		t.Errorf("repeat shape:\n%s", text)
+	}
+	if !strings.Contains(text, "decr") {
+		t.Errorf("i - 1 not shaped as decr:\n%s", text)
+	}
+}
+
+func TestBooleanValueShapes(t *testing.T) {
+	s := shape(t, `
+program bools;
+var a, b, c: boolean;
+    x, y: integer;
+begin
+  a := true;
+  b := a;
+  c := a and b;
+  a := x < y;
+  b := not a;
+  c := odd(x)
+end.
+`, shaper.Options{})
+	text := ifText(s)
+	for _, want := range []string{
+		"pos_constant v.1",     // a := true
+		"boolean_and byteword", // direct TM form for var-var and
+		"cond.4 icompare",      // comparison materialized via cond->register
+		"boolean_not byteword", // not of a variable value
+		"cond.7 iodd",          // odd through the condition register
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("boolean value shapes lack %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestInOperatorShapes(t *testing.T) {
+	s := shape(t, `
+program sets;
+var s: set of 0..63;
+    e, hits: integer;
+begin
+  if 12 in s then hits := 1;
+  if e in s then hits := 2
+end.
+`, shaper.Options{})
+	text := ifText(s)
+	// Constant membership: byte displacement 12/8 = 1 into the set, mask
+	// 0x80 >> (12%8) = 0x08 = 8.
+	if !strings.Contains(text, "test_bit_value byteword dsp.97 r.13 elmnt.8") {
+		t.Errorf("constant membership shape:\n%s", text)
+	}
+	if !strings.Contains(text, "test_bit_value addr dsp.96 r.13") {
+		t.Errorf("dynamic membership shape:\n%s", text)
+	}
+}
+
+func TestForDownto(t *testing.T) {
+	s := shape(t, `
+program down;
+var i, s: integer;
+begin
+  for i := 5 downto 1 do s := s + i
+end.
+`, shaper.Options{})
+	text := ifText(s)
+	if !strings.Contains(text, "cond.4 icompare") { // exit when i < bound
+		t.Errorf("downto exit condition:\n%s", text)
+	}
+	if !strings.Contains(text, "decr") {
+		t.Errorf("downto step must decr:\n%s", text)
+	}
+}
+
+func TestNegativeDisplacementFoldedIntoIndex(t *testing.T) {
+	// An array whose lo*size exceeds its offset would need a negative
+	// effective displacement; the shaper folds the origin into the index.
+	s := shape(t, `
+program fold;
+var a: array[1000..1010] of integer;
+    i, x: integer;
+begin
+  x := a[i]
+end.
+`, shaper.Options{})
+	text := ifText(s)
+	if !strings.Contains(text, "isub") {
+		t.Errorf("index not rebased for a large low bound:\n%s", text)
+	}
+}
+
+func TestLiteralOverflowReported(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("program big;\nvar x: integer;\nbegin\n")
+	// More distinct large literals than the 1KB partition holds.
+	for i := 0; i < 300; i++ {
+		sb.WriteString("  x := ")
+		sb.WriteString(itoa(100000 + i))
+		sb.WriteString(";\n")
+	}
+	sb.WriteString("end.\n")
+	prog, err := pascal.Parse("big.pas", sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = shaper.Shape(prog, shaper.Options{})
+	if err == nil || !strings.Contains(err.Error(), "literal storage") {
+		t.Errorf("literal overflow: %v", err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestProcedureLocalsKeyed(t *testing.T) {
+	s := shape(t, `
+program keys;
+var g: integer;
+procedure p(a: integer);
+var loc: integer;
+begin loc := a end;
+begin p(1) end.
+`, shaper.Options{})
+	if _, ok := s.VarOffset["p.a"]; !ok {
+		t.Errorf("parameter offset not exported: %v", s.VarOffset)
+	}
+	if _, ok := s.VarOffset["p.loc"]; !ok {
+		t.Errorf("local offset not exported: %v", s.VarOffset)
+	}
+	if s.VarOffset["p.a"] >= s.VarOffset["p.loc"] {
+		t.Error("parameters must precede locals in the frame")
+	}
+}
+
+func TestFunctionCallHoisting(t *testing.T) {
+	s := shape(t, `
+program hoist;
+var x: integer;
+function one: integer;
+begin one := 1 end;
+begin
+  x := one + one
+end.
+`, shaper.Options{})
+	text := ifText(s)
+	// Two calls, both before the assignment's arithmetic.
+	if c := strings.Count(text, "procedure_call"); c != 2 {
+		t.Errorf("hoisted calls: %d, want 2", c)
+	}
+	assignIx := strings.Index(text, "assign fullword dsp.96")
+	lastCall := strings.LastIndex(text, "procedure_call")
+	if lastCall > assignIx {
+		t.Errorf("call not hoisted before the assignment:\n%s", text)
+	}
+}

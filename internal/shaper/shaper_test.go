@@ -1,0 +1,324 @@
+package shaper_test
+
+import (
+	"strings"
+	"testing"
+
+	"cogg/internal/ir"
+	"cogg/internal/pascal"
+	"cogg/internal/rt370"
+	"cogg/internal/shaper"
+)
+
+func shape(t *testing.T, src string, opt shaper.Options) *shaper.Shaped {
+	t.Helper()
+	prog, err := pascal.Parse("t.pas", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s, err := shaper.Shape(prog, opt)
+	if err != nil {
+		t.Fatalf("shape: %v", err)
+	}
+	return s
+}
+
+func ifText(s *shaper.Shaped) string { return ir.FormatTokens(s.Linearize()) }
+
+func TestVariableOffsetsAligned(t *testing.T) {
+	s := shape(t, `
+program p;
+var b1: boolean;
+    i: integer;
+    h: -100..100;
+    r: real;
+    a: array[1..3] of integer;
+begin
+end.
+`, shaper.Options{})
+	off := s.VarOffset
+	if off["b1"] != rt370.VarOrigin {
+		t.Errorf("b1 at %d", off["b1"])
+	}
+	if off["i"]%4 != 0 {
+		t.Errorf("integer misaligned at %d", off["i"])
+	}
+	if off["h"]%2 != 0 {
+		t.Errorf("halfword misaligned at %d", off["h"])
+	}
+	if off["r"]%8 != 0 {
+		t.Errorf("real misaligned at %d", off["r"])
+	}
+	if off["a"]%4 != 0 {
+		t.Errorf("array misaligned at %d", off["a"])
+	}
+}
+
+func TestSimpleAssignShape(t *testing.T) {
+	s := shape(t, `program p; var x, y: integer; begin x := y end.`, shaper.Options{})
+	text := ifText(s)
+	want := "assign fullword dsp.96 r.13 fullword dsp.100 r.13"
+	if !strings.Contains(text, want) {
+		t.Errorf("IF %q lacks %q", text, want)
+	}
+}
+
+func TestIndexedShape(t *testing.T) {
+	s := shape(t, `
+program p;
+var a: array[0..9] of integer; i, x: integer;
+begin x := a[i] end.
+`, shaper.Options{})
+	text := ifText(s)
+	// Element access: fullword <scaled index> dsp base; scale by 4 is a
+	// left shift of 2.
+	if !strings.Contains(text, "fullword l_shift fullword dsp.136 r.13 v.2 dsp.96 r.13") {
+		t.Errorf("indexed load shape missing in %q", text)
+	}
+}
+
+func TestConstantShapes(t *testing.T) {
+	s := shape(t, `
+program p;
+var a, b, c: integer;
+begin
+  a := 7;
+  b := -9;
+  c := 100000
+end.
+`, shaper.Options{})
+	text := ifText(s)
+	if !strings.Contains(text, "pos_constant v.7") {
+		t.Error("small positive constant not shaped through pos_constant")
+	}
+	if !strings.Contains(text, "neg_constant v.9") {
+		t.Error("small negative constant not shaped through neg_constant")
+	}
+	// 100000 goes to literal storage addressed from pr_base (r12).
+	if !strings.Contains(text, "r.12") {
+		t.Error("large constant not shaped as a literal load")
+	}
+	found := false
+	for _, w := range s.PrInit {
+		if w == 100000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("literal 100000 missing from PrInit")
+	}
+}
+
+func TestLiteralInterning(t *testing.T) {
+	s := shape(t, `
+program p;
+var a, b: integer;
+begin
+  a := 100000;
+  b := 100000
+end.
+`, shaper.Options{})
+	count := 0
+	for _, w := range s.PrInit {
+		if w == 100000 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("literal interned %d times", count)
+	}
+}
+
+func TestIncrDecrIdioms(t *testing.T) {
+	s := shape(t, `
+program p; var i, j: integer;
+begin
+  i := i + 1;
+  j := j - 1
+end.
+`, shaper.Options{})
+	text := ifText(s)
+	if !strings.Contains(text, "incr fullword") {
+		t.Error("i + 1 not shaped as incr")
+	}
+	if !strings.Contains(text, "decr fullword") {
+		t.Error("j - 1 not shaped as decr")
+	}
+}
+
+func TestPowerOfTwoScaling(t *testing.T) {
+	s := shape(t, `
+program p; var i, j, k: integer;
+begin
+  j := i * 8;
+  k := i div 4
+end.
+`, shaper.Options{})
+	text := ifText(s)
+	if !strings.Contains(text, "l_shift fullword dsp.96 r.13 v.3") {
+		t.Errorf("i*8 not shaped as a shift: %q", text)
+	}
+	if !strings.Contains(text, "r_shift fullword dsp.96 r.13 v.2") {
+		t.Errorf("i div 4 not shaped as a shift: %q", text)
+	}
+}
+
+func TestShortCircuitConditions(t *testing.T) {
+	s := shape(t, `
+program p; var a, b, x: integer;
+begin
+  if (a < 1) and (b < 2) then x := 1;
+  if (a < 1) or (b < 2) then x := 2
+end.
+`, shaper.Options{})
+	text := ifText(s)
+	// `and` in a false-branching context produces two branch_op in a
+	// row without label between; `or` introduces a skip label.
+	if strings.Count(text, "branch_op") < 4 {
+		t.Errorf("expected short-circuit branches, got %q", text)
+	}
+}
+
+func TestSubscriptCheckOption(t *testing.T) {
+	src := `program p; var a: array[1..5] of integer; i, x: integer; begin x := a[i] end.`
+	plain := shape(t, src, shaper.Options{})
+	checked := shape(t, src, shaper.Options{SubscriptChecks: true})
+	if strings.Contains(ifText(plain), "subscript_check") {
+		t.Error("plain shaping emitted subscript checks")
+	}
+	if !strings.Contains(ifText(checked), "subscript_check") {
+		t.Error("checked shaping missing subscript_check")
+	}
+}
+
+func TestStatementRecords(t *testing.T) {
+	src := `program p; var x: integer; begin x := 1; x := 2 end.`
+	with := shape(t, src, shaper.Options{StatementRecords: true})
+	without := shape(t, src, shaper.Options{})
+	if c := strings.Count(ifText(with), "statement stmt."); c != 2 {
+		t.Errorf("statement records: %d", c)
+	}
+	if strings.Contains(ifText(without), "statement") {
+		t.Error("statement records emitted without the option")
+	}
+}
+
+func TestProcedureVectorAndLabels(t *testing.T) {
+	s := shape(t, `
+program p;
+var x: integer;
+procedure q; begin end;
+begin q end.
+`, shaper.Options{})
+	if len(s.VectorSlot) != 2 {
+		t.Fatalf("vector slots: %v", s.VectorSlot)
+	}
+	if _, ok := s.ProcLabel["main"]; !ok {
+		t.Error("main has no entry label")
+	}
+	if _, ok := s.ProcLabel["q"]; !ok {
+		t.Error("q has no entry label")
+	}
+	text := ifText(s)
+	if !strings.Contains(text, "procedure_entry") || !strings.Contains(text, "procedure_exit") {
+		t.Error("missing linkage operators")
+	}
+	if !strings.Contains(text, "procedure_call cnt.0 fullword dsp.260 r.12") {
+		t.Errorf("call shape missing: %q", text)
+	}
+}
+
+func TestCallArgumentsLandInCalleeFrame(t *testing.T) {
+	s := shape(t, `
+program p;
+var x: integer;
+procedure q(a, b: integer); begin end;
+begin q(1, 2) end.
+`, shaper.Options{})
+	text := ifText(s)
+	// Parameters at FrameSize+96 and FrameSize+100 of the caller.
+	if !strings.Contains(text, "assign fullword dsp.2144 r.13 pos_constant v.1") {
+		t.Errorf("first argument transfer missing: %q", text)
+	}
+	if !strings.Contains(text, "assign fullword dsp.2148 r.13 pos_constant v.2") {
+		t.Errorf("second argument transfer missing: %q", text)
+	}
+}
+
+func TestSetUpdateRequiresSameVariable(t *testing.T) {
+	prog, err := pascal.Parse("t.pas", `
+program p; var s, t: set of 0..63; begin s := t + [1] end.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shaper.Shape(prog, shaper.Options{}); err == nil {
+		t.Error("s := t + [e] shaped without error")
+	}
+}
+
+func TestDynamicSetRemovalShape(t *testing.T) {
+	s := shape(t, `
+program p; var s: set of 0..63; e: integer; begin s := s - [e] end.
+`, shaper.Options{})
+	if !strings.Contains(ifText(s), "clear_bit_value addr") {
+		t.Errorf("dynamic removal shape:\n%s", ifText(s))
+	}
+}
+
+func TestFrameOverflow(t *testing.T) {
+	prog, err := pascal.Parse("t.pas", `
+program p;
+var a: array[0..600] of integer;
+begin end.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shaper.Shape(prog, shaper.Options{}); err == nil {
+		t.Error("2404-byte frame accepted in a 2048-byte frame layout")
+	}
+}
+
+func TestBlockMoveSelection(t *testing.T) {
+	s := shape(t, `
+program p;
+var small1, small2: array[1..10] of integer;
+    big1, big2: array[1..100] of integer;
+begin
+  small1 := small2;
+  big1 := big2
+end.
+`, shaper.Options{})
+	text := ifText(s)
+	if !strings.Contains(text, "assign addr") || !strings.Contains(text, "lng.40") {
+		t.Errorf("small move not MVC-shaped: %q", text)
+	}
+	if !strings.Contains(text, "long_assign") || !strings.Contains(text, "lng.400") {
+		t.Errorf("large move not MVCL-shaped: %q", text)
+	}
+}
+
+func TestCaseShape(t *testing.T) {
+	s := shape(t, `
+program p; var i, x: integer;
+begin
+  case i of
+    3: x := 1;
+    5: x := 2
+  end
+end.
+`, shaper.Options{})
+	text := ifText(s)
+	if !strings.Contains(text, "case_index") {
+		t.Error("case dispatch missing")
+	}
+	// Labels 3..5 -> 3 table entries.
+	if got := strings.Count(text, "label_index"); got != 3 {
+		t.Errorf("branch table entries: %d, want 3", got)
+	}
+	// Selector biased by the low label.
+	if !strings.Contains(text, "isub") {
+		t.Error("selector not biased by the low case label")
+	}
+}

@@ -1,0 +1,565 @@
+package shaper
+
+import (
+	"cogg/internal/ir"
+	"cogg/internal/pascal"
+	"cogg/internal/rt370"
+)
+
+// stmtSeq shapes a statement list, flushing hoisted call statements
+// before each statement that produced them.
+func (s *sh) stmtSeq(stmts []pascal.Stmt) ([]*ir.Node, error) {
+	var out []*ir.Node
+	for _, st := range stmts {
+		shaped, err := s.stmt(st)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, shaped...)
+	}
+	return out, nil
+}
+
+// stmt shapes one statement to a sequence of IF statement trees.
+func (s *sh) stmt(st pascal.Stmt) ([]*ir.Node, error) {
+	if st == nil {
+		return nil, nil
+	}
+	var out []*ir.Node
+	if s.opt.StatementRecords {
+		out = append(out, ir.N(ir.OpStatement, ir.V(ir.TermStmt, int64(st.StmtLine()))))
+	}
+	body, err := s.stmtBody(st)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, body...), nil
+}
+
+// flushPre prepends any statements hoisted while shaping expressions.
+func (s *sh) flushPre(tail ...*ir.Node) []*ir.Node {
+	out := append([]*ir.Node{}, s.pre...)
+	s.pre = nil
+	return append(out, tail...)
+}
+
+func (s *sh) stmtBody(st pascal.Stmt) ([]*ir.Node, error) {
+	switch t := st.(type) {
+	case *pascal.CompoundStmt:
+		return s.stmtSeq(t.Stmts)
+	case *pascal.AssignStmt:
+		return s.assign(t)
+	case *pascal.IfStmt:
+		return s.ifStmt(t)
+	case *pascal.WhileStmt:
+		return s.whileStmt(t)
+	case *pascal.RepeatStmt:
+		return s.repeatStmt(t)
+	case *pascal.ForStmt:
+		return s.forStmt(t)
+	case *pascal.CaseStmt:
+		return s.caseStmt(t)
+	case *pascal.CallStmt:
+		call, err := s.shapeCall(t.Proc, t.Args, t.StmtLine())
+		if err != nil {
+			return nil, err
+		}
+		return s.flushPre(call...), nil
+	case *pascal.WriteStmt:
+		return s.writeStmt(t)
+	}
+	return nil, s.errf(st.StmtLine(), "unsupported statement %T", st)
+}
+
+// assign shapes an assignment statement.
+func (s *sh) assign(t *pascal.AssignStmt) ([]*ir.Node, error) {
+	lt := t.LHS.Type()
+
+	// Whole-array and whole-set moves.
+	if lt.Kind == pascal.TArray || lt.Kind == pascal.TSet {
+		if bin, ok := t.RHS.(*pascal.BinExpr); ok && lt.Kind == pascal.TSet {
+			return s.setUpdate(t, bin)
+		}
+		return s.blockAssign(t)
+	}
+
+	// Boolean targets: the shape depends on the right side (section 4.5
+	// meets the boolean templates).
+	if lt.Kind == pascal.TBool {
+		return s.boolAssign(t)
+	}
+
+	dest, err := s.storageRef(t.LHS)
+	if err != nil {
+		return nil, err
+	}
+	var value *ir.Node
+	if lt.RealLike() {
+		value, err = s.realExpr(t.RHS)
+	} else {
+		// Literal stores into byte storage truncate exactly as STC
+		// would, keeping the direct MVI production in value range.
+		if lit, ok := t.RHS.(*pascal.IntLit); ok && lt.Kind == pascal.TByte {
+			value = s.constNode(lit.V & 0xFF)
+		} else {
+			value, err = s.intExpr(t.RHS)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	kids := append(dest, value)
+	return s.flushPre(ir.N(ir.OpAssign, kids...)), nil
+}
+
+// storageRef shapes the address part of a scalar variable or array
+// element: the operand children of assign/load shapes —
+// [typeop, (index,) dsp, base].
+func (s *sh) storageRef(e pascal.Expr) ([]*ir.Node, error) {
+	switch t := e.(type) {
+	case *pascal.VarRef:
+		op, err := typeOp(t.Sym.Type)
+		if err != nil {
+			return nil, s.errf(t.Line(), "%v", err)
+		}
+		return []*ir.Node{
+			{Op: op},
+			ir.V(ir.TermDsp, t.Sym.Offset),
+			s.varBase(t.Sym),
+		}, nil
+	case *pascal.IndexExpr:
+		op, err := typeOp(t.Type())
+		if err != nil {
+			return nil, s.errf(t.Line(), "%v", err)
+		}
+		idx, dsp, err := s.indexParts(t)
+		if err != nil {
+			return nil, err
+		}
+		return []*ir.Node{
+			{Op: op},
+			idx,
+			ir.V(ir.TermDsp, dsp),
+			s.varBase(t.Arr.Sym),
+		}, nil
+	}
+	return nil, s.errf(e.Line(), "expression is not a storage reference")
+}
+
+// indexParts shapes an array subscript: the scaled index subtree and the
+// effective displacement.
+func (s *sh) indexParts(t *pascal.IndexExpr) (*ir.Node, int64, error) {
+	arr := t.Arr.Sym.Type
+	elem := arr.Elem.Size()
+	raw, err := s.intExpr(t.Idx)
+	if err != nil {
+		return nil, 0, err
+	}
+	if s.opt.SubscriptChecks {
+		raw = ir.N(ir.OpSubscriptCheck, raw,
+			ir.N(ir.OpFullword, ir.V(ir.TermDsp, s.literal(int32(arr.Lo))), poolBase()),
+			ir.N(ir.OpFullword, ir.V(ir.TermDsp, s.literal(int32(arr.Hi))), poolBase()),
+		)
+	}
+	dsp := t.Arr.Sym.Offset - arr.Lo*elem
+	if dsp < 0 || dsp > 4095-arr.Elem.Size() {
+		// Fold the origin into the index instead.
+		raw = ir.N(ir.OpISub, raw, s.constNode(arr.Lo))
+		dsp = t.Arr.Sym.Offset
+	}
+	var idx *ir.Node
+	switch elem {
+	case 1:
+		idx = raw
+	case 2:
+		idx = ir.N(ir.OpLShift, raw, ir.V(ir.TermValue, 1))
+	case 4:
+		idx = ir.N(ir.OpLShift, raw, ir.V(ir.TermValue, 2))
+	case 8:
+		idx = ir.N(ir.OpLShift, raw, ir.V(ir.TermValue, 3))
+	default:
+		idx = ir.N(ir.OpIMult, raw, s.constNode(elem))
+	}
+	return idx, dsp, nil
+}
+
+// blockAssign shapes array/set copies with MVC (length known, <= 256) or
+// MVCL.
+func (s *sh) blockAssign(t *pascal.AssignStmt) ([]*ir.Node, error) {
+	src, ok := t.RHS.(*pascal.VarRef)
+	if !ok {
+		return nil, s.errf(t.StmtLine(), "block assignment requires a whole variable on the right")
+	}
+	dst, ok := t.LHS.(*pascal.VarRef)
+	if !ok {
+		return nil, s.errf(t.StmtLine(), "block assignment requires a whole variable on the left")
+	}
+	size := dst.Sym.Type.Size()
+	dstAddr := ir.N(ir.OpAddr, ir.V(ir.TermDsp, dst.Sym.Offset), s.varBase(dst.Sym))
+	srcAddr := ir.N(ir.OpAddr, ir.V(ir.TermDsp, src.Sym.Offset), s.varBase(src.Sym))
+	if size <= 256 {
+		return s.flushPre(ir.N(ir.OpAssign, dstAddr, srcAddr, ir.V(ir.TermLng, size))), nil
+	}
+	return s.flushPre(ir.N(ir.OpLongAssign, dstAddr, srcAddr, ir.V(ir.TermLng, size))), nil
+}
+
+// setUpdate shapes s := s + [e] and s := s - [e].
+func (s *sh) setUpdate(t *pascal.AssignStmt, bin *pascal.BinExpr) ([]*ir.Node, error) {
+	lhs, ok := t.LHS.(*pascal.VarRef)
+	if !ok {
+		return nil, s.errf(t.StmtLine(), "set update target must be a set variable")
+	}
+	base, ok := bin.L.(*pascal.VarRef)
+	if !ok || base.Sym != lhs.Sym {
+		return nil, s.errf(t.StmtLine(), "set update must have the form s := s + [e] or s := s - [e]")
+	}
+	lit := bin.R.(*pascal.SetLit)
+	if c, ok := lit.Elem.(*pascal.IntLit); ok {
+		if c.V < 0 || c.V > 63 {
+			return nil, s.errf(t.StmtLine(), "set element %d outside 0..63", c.V)
+		}
+		byteOff := lhs.Sym.Offset + c.V/8
+		mask := int64(0x80 >> (c.V % 8))
+		member := []*ir.Node{
+			{Op: ir.OpByteword},
+			ir.V(ir.TermDsp, byteOff),
+			s.varBase(lhs.Sym),
+		}
+		if bin.Op == "+" {
+			return s.flushPre(ir.N(ir.OpSetBit, append(member, ir.V(ir.TermElmnt, mask))...)), nil
+		}
+		// clear_bit_value carries the complemented mask for NI.
+		return s.flushPre(ir.N(ir.OpClearBit, append(member, ir.V(ir.TermElmnt, 0xFF^mask))...)), nil
+	}
+	elem, err := s.intExpr(lit.Elem)
+	if err != nil {
+		return nil, err
+	}
+	op := ir.OpSetBit
+	if bin.Op == "-" {
+		op = ir.OpClearBit
+	}
+	return s.flushPre(ir.N(op,
+		&ir.Node{Op: ir.OpAddr},
+		ir.V(ir.TermDsp, lhs.Sym.Offset),
+		s.varBase(lhs.Sym),
+		elem,
+	)), nil
+}
+
+// boolAssign shapes an assignment to a boolean variable, choosing among
+// the store-a-register, store-the-condition-code, and direct TM forms.
+func (s *sh) boolAssign(t *pascal.AssignStmt) ([]*ir.Node, error) {
+	dest, err := s.storageRef(t.LHS)
+	if err != nil {
+		return nil, err
+	}
+	switch r := t.RHS.(type) {
+	case *pascal.BoolLit:
+		v := int64(0)
+		if r.V {
+			v = 1
+		}
+		kids := append(dest, ir.N(ir.OpPosConstant, ir.V(ir.TermValue, v)))
+		return s.flushPre(ir.N(ir.OpAssign, kids...)), nil
+	case *pascal.VarRef:
+		// Byte copy.
+		kids := append(dest, s.boolLoad(r))
+		return s.flushPre(ir.N(ir.OpAssign, kids...)), nil
+	case *pascal.BinExpr:
+		// Direct boolean_and/boolean_or over two variables produces a
+		// condition code the assign-cc production stores.
+		if (r.Op == "and" || r.Op == "or") && isBoolVar(r.L) && isBoolVar(r.R) {
+			op := ir.OpBoolAnd
+			if r.Op == "or" {
+				op = ir.OpBoolOr
+			}
+			lv := r.L.(*pascal.VarRef)
+			rv := r.R.(*pascal.VarRef)
+			ccTree := ir.N(op,
+				&ir.Node{Op: ir.OpByteword}, ir.V(ir.TermDsp, lv.Sym.Offset), s.varBase(lv.Sym),
+				&ir.Node{Op: ir.OpByteword}, ir.V(ir.TermDsp, rv.Sym.Offset), s.varBase(rv.Sym),
+			)
+			kids := append(dest, ccTree)
+			return s.flushPre(ir.N(ir.OpAssign, kids...)), nil
+		}
+	}
+	// General boolean expression: materialize 0/1 in a register.
+	val, err := s.boolToReg(t.RHS)
+	if err != nil {
+		return nil, err
+	}
+	kids := append(dest, val)
+	return s.flushPre(ir.N(ir.OpAssign, kids...)), nil
+}
+
+func isBoolVar(e pascal.Expr) bool {
+	v, ok := e.(*pascal.VarRef)
+	return ok && v.Sym.Type.Kind == pascal.TBool
+}
+
+// boolLoad shapes a boolean variable as a byte load subtree.
+func (s *sh) boolLoad(v *pascal.VarRef) *ir.Node {
+	return ir.N(ir.OpByteword, ir.V(ir.TermDsp, v.Sym.Offset), s.varBase(v.Sym))
+}
+
+// ifStmt shapes an if statement with short-circuit condition lowering.
+func (s *sh) ifStmt(t *pascal.IfStmt) ([]*ir.Node, error) {
+	elseLbl := s.newLabel()
+	out, err := s.lowerCond(t.Cond, elseLbl, false)
+	if err != nil {
+		return nil, err
+	}
+	out = s.flushPre(out...)
+	thenStmts, err := s.stmt(t.Then)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, thenStmts...)
+	if t.Else != nil {
+		endLbl := s.newLabel()
+		out = append(out, s.goTo(endLbl), s.defLabel(elseLbl))
+		elseStmts, err := s.stmt(t.Else)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, elseStmts...)
+		out = append(out, s.defLabel(endLbl))
+	} else {
+		out = append(out, s.defLabel(elseLbl))
+	}
+	return out, nil
+}
+
+func (s *sh) whileStmt(t *pascal.WhileStmt) ([]*ir.Node, error) {
+	top, end := s.newLabel(), s.newLabel()
+	out := []*ir.Node{s.defLabel(top)}
+	cond, err := s.lowerCond(t.Cond, end, false)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s.flushPre(cond...)...)
+	body, err := s.stmt(t.Body)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, body...)
+	return append(out, s.goTo(top), s.defLabel(end)), nil
+}
+
+func (s *sh) repeatStmt(t *pascal.RepeatStmt) ([]*ir.Node, error) {
+	top := s.newLabel()
+	out := []*ir.Node{s.defLabel(top)}
+	body, err := s.stmtSeq(t.Body)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, body...)
+	cond, err := s.lowerCond(t.Cond, top, false) // loop back while the condition is false
+	if err != nil {
+		return nil, err
+	}
+	return append(out, s.flushPre(cond...)...), nil
+}
+
+func (s *sh) forStmt(t *pascal.ForStmt) ([]*ir.Node, error) {
+	ctrl := &pascal.VarRef{Sym: t.Var}
+	ctrlRef, err := s.storageRef(ctrl)
+	if err != nil {
+		return nil, err
+	}
+	from, err := s.intExpr(t.From)
+	if err != nil {
+		return nil, err
+	}
+	out := s.flushPre(ir.N(ir.OpAssign, append(ctrlRef, from)...))
+
+	top, end := s.newLabel(), s.newLabel()
+	out = append(out, s.defLabel(top))
+
+	// Exit when the control variable passes the bound.
+	bound, err := s.intExpr(t.To)
+	if err != nil {
+		return nil, err
+	}
+	exitMask := int64(2) // branch when control > bound
+	if t.Down {
+		exitMask = 4 // downto: branch when control < bound
+	}
+	ctrlLoad := ir.N(ir.OpFullword, ir.V(ir.TermDsp, t.Var.Offset), s.varBase(t.Var))
+	out = append(out, s.flushPre(ir.N(ir.OpBranchOp,
+		ir.V(ir.TermLbl, end),
+		&ir.Node{Op: ir.TermCond, Val: exitMask, Kids: []*ir.Node{ir.N(ir.OpICompare, ctrlLoad, bound)}},
+	))...)
+
+	body, err := s.stmt(t.Body)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, body...)
+
+	// Step the control variable with the increment/decrement idioms.
+	step := ir.OpIncr
+	if t.Down {
+		step = ir.OpDecr
+	}
+	ctrlRef2, _ := s.storageRef(ctrl)
+	stepTree := ir.N(step, ir.N(ir.OpFullword, ir.V(ir.TermDsp, t.Var.Offset), s.varBase(t.Var)))
+	out = append(out, ir.N(ir.OpAssign, append(ctrlRef2, stepTree)...))
+	return append(out, s.goTo(top), s.defLabel(end)), nil
+}
+
+// caseStmt shapes a case statement as a branch-table dispatch
+// (case_index plus a run of label_index entries).
+func (s *sh) caseStmt(t *pascal.CaseStmt) ([]*ir.Node, error) {
+	lo, hi := t.Arms[0].Vals[0], t.Arms[0].Vals[0]
+	for _, arm := range t.Arms {
+		for _, v := range arm.Vals {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi-lo > 512 {
+		return nil, s.errf(t.StmtLine(), "case label range %d..%d is too sparse for a branch table", lo, hi)
+	}
+
+	sel, err := s.intExpr(t.Sel)
+	if err != nil {
+		return nil, err
+	}
+	if lo != 0 {
+		sel = ir.N(ir.OpISub, sel, s.constNode(lo))
+	}
+	tmp := s.tempWord(4)
+	out := s.flushPre(ir.N(ir.OpAssign,
+		&ir.Node{Op: ir.OpFullword}, ir.V(ir.TermDsp, tmp), stackBase(), sel))
+
+	elseLbl, endLbl, tblLbl := s.newLabel(), s.newLabel(), s.newLabel()
+	tmpLoad := func() *ir.Node {
+		return ir.N(ir.OpFullword, ir.V(ir.TermDsp, tmp), stackBase())
+	}
+	// Guard the table range.
+	out = append(out,
+		ir.N(ir.OpBranchOp, ir.V(ir.TermLbl, elseLbl),
+			&ir.Node{Op: ir.TermCond, Val: 4, Kids: []*ir.Node{
+				ir.N(ir.OpICompare, tmpLoad(), ir.N(ir.OpPosConstant, ir.V(ir.TermValue, 0))),
+			}}),
+		ir.N(ir.OpBranchOp, ir.V(ir.TermLbl, elseLbl),
+			&ir.Node{Op: ir.TermCond, Val: 2, Kids: []*ir.Node{
+				ir.N(ir.OpICompare, tmpLoad(), s.constNode(hi-lo)),
+			}}),
+		ir.N(ir.OpCaseIndex, ir.V(ir.TermLbl, tblLbl), tmpLoad()),
+	)
+
+	// The branch table itself: one address constant per value in range.
+	armLabels := make([]int64, hi-lo+1)
+	for i := range armLabels {
+		armLabels[i] = elseLbl
+	}
+	armLbl := make([]int64, len(t.Arms))
+	for i, arm := range t.Arms {
+		armLbl[i] = s.newLabel()
+		for _, v := range arm.Vals {
+			armLabels[v-lo] = armLbl[i]
+		}
+	}
+	out = append(out, s.defLabel(tblLbl))
+	for _, l := range armLabels {
+		out = append(out, ir.N(ir.OpLabelIndex, ir.V(ir.TermLbl, l)))
+	}
+	for i, arm := range t.Arms {
+		out = append(out, s.defLabel(armLbl[i]))
+		body, err := s.stmt(arm.Body)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, body...)
+		out = append(out, s.goTo(endLbl))
+	}
+	out = append(out, s.defLabel(elseLbl))
+	if t.Else != nil {
+		body, err := s.stmt(t.Else)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, body...)
+	}
+	return append(out, s.defLabel(endLbl)), nil
+}
+
+// shapeCall shapes argument transfer plus the call itself. Arguments are
+// stored into the callee's frame, which sits at a fixed offset above the
+// caller's.
+func (s *sh) shapeCall(proc *pascal.Proc, args []pascal.Expr, line int) ([]*ir.Node, error) {
+	var out []*ir.Node
+	for i, arg := range args {
+		param := proc.Params[i]
+		op, err := typeOp(param.Type)
+		if err != nil {
+			return nil, s.errf(line, "%v", err)
+		}
+		var value *ir.Node
+		if param.Type.RealLike() {
+			value, err = s.realExpr(arg)
+		} else if param.Type.Kind == pascal.TBool {
+			value, err = s.boolToReg(arg)
+		} else {
+			value, err = s.intExpr(arg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ir.N(ir.OpAssign,
+			&ir.Node{Op: op},
+			ir.V(ir.TermDsp, rt370.FrameSize+param.Offset),
+			stackBase(),
+			value,
+		))
+	}
+	vecOff := int64(rt370.OffProcVector + 4*proc.Index)
+	out = append(out, ir.N(ir.OpProcCall,
+		ir.V(ir.TermCnt, int64(len(args))),
+		&ir.Node{Op: ir.OpFullword},
+		ir.V(ir.TermDsp, vecOff),
+		poolBase(),
+	))
+	return out, nil
+}
+
+// writeStmt routes each argument through the writeln runtime stub: the
+// value transfers in the first callee-frame slot and the call goes
+// through the stub's reserved vector entry, exactly like any procedure.
+func (s *sh) writeStmt(t *pascal.WriteStmt) ([]*ir.Node, error) {
+	var out []*ir.Node
+	vecOff := int64(rt370.OffProcVector + 4*rt370.WriteVectorSlot)
+	for _, arg := range t.Args {
+		value, err := s.intExpr(arg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out,
+			ir.N(ir.OpAssign,
+				&ir.Node{Op: ir.OpFullword},
+				ir.V(ir.TermDsp, rt370.FrameSize+rt370.VarOrigin),
+				stackBase(),
+				value),
+			ir.N(ir.OpProcCall,
+				ir.V(ir.TermCnt, 1),
+				&ir.Node{Op: ir.OpFullword},
+				ir.V(ir.TermDsp, vecOff),
+				poolBase()))
+	}
+	return s.flushPre(out...), nil
+}
+
+func (s *sh) defLabel(l int64) *ir.Node {
+	return ir.N(ir.OpLabelDef, ir.V(ir.TermLbl, l))
+}
+
+func (s *sh) goTo(l int64) *ir.Node {
+	return ir.N(ir.OpBranchOp, ir.V(ir.TermLbl, l))
+}

@@ -1,0 +1,69 @@
+package spec_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cogg/internal/grammar"
+	"cogg/internal/lr"
+	"cogg/internal/spec"
+	"cogg/specs"
+)
+
+// TestRobustMutatedSpecs feeds randomly mutated specification text
+// through the whole table constructor: every input must either build or
+// return an error — never panic, never hang.
+func TestRobustMutatedSpecs(t *testing.T) {
+	base := strings.Split(specs.AmdahlMinimal, "\n")
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("seed %d panicked: %v", seed, r)
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		lines := append([]string(nil), base...)
+		for k := 0; k < 1+r.Intn(6); k++ {
+			i := r.Intn(len(lines))
+			switch r.Intn(5) {
+			case 0: // delete a line
+				lines = append(lines[:i], lines[i+1:]...)
+			case 1: // duplicate a line
+				lines = append(lines[:i], append([]string{lines[i]}, lines[i:]...)...)
+			case 2: // swap two lines
+				j := r.Intn(len(lines))
+				lines[i], lines[j] = lines[j], lines[i]
+			case 3: // truncate a line
+				if len(lines[i]) > 0 {
+					lines[i] = lines[i][:r.Intn(len(lines[i]))]
+				}
+			case 4: // inject noise
+				noise := []string{"$Bogus", "::=", "r.1 ::=", " using q.9",
+					"lambda ::= lambda", "a.b.c", " l r.1,", "$Productions"}
+				lines[i] = noise[r.Intn(len(noise))]
+			}
+			if len(lines) == 0 {
+				return true
+			}
+		}
+		src := strings.Join(lines, "\n")
+		file, err := spec.Parse("mut.cogg", src)
+		if err != nil {
+			return true
+		}
+		g, err := grammar.Resolve(file)
+		if err != nil {
+			return true
+		}
+		if _, err := lr.Build(g); err != nil {
+			return true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

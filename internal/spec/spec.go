@@ -1,0 +1,189 @@
+// Package spec implements the CoGG code generator specification language.
+//
+// A specification has a declaration section and a production section
+// (paper section 2). The declaration section is divided into five
+// subsections, each introduced by a '$' header and declaring a different
+// class of symbol:
+//
+//	$Non-terminals   register classes managed by the register allocator
+//	$Terminals       identifiers whose values are set by the shaper
+//	$Operators       symbols found only in productions (IF operators)
+//	$Opcodes         mnemonics of the target machine instructions
+//	$Constants       numeric constants and semantic operators
+//
+// The production section ($Productions) specifies the syntax directed
+// translation scheme: each production is a line in column one
+//
+//	lhs ::= sym sym ... sym
+//
+// followed by up to eight template lines, each indented (templates must
+// skip column one), naming either a target opcode or a semantic operator
+// plus its operands:
+//
+//	r.2 ::= fullword dsp.1 r.1
+//	 using r.2
+//	 l    r.2,dsp.1(zero,r.1)
+//
+// Lines beginning with '*' are comments; blank lines are ignored.
+package spec
+
+import "fmt"
+
+// File is the parsed form of one specification.
+type File struct {
+	Name string // source name, for diagnostics
+
+	Nonterminals []Decl
+	Terminals    []Decl
+	Operators    []Decl
+	Opcodes      []Decl
+	Constants    []Decl
+
+	Productions []Production
+}
+
+// Decl is one declared identifier. Constants may carry a numeric value
+// ("stack_base = 13"); declarations in other sections may carry a
+// descriptive alias after '=' which is recorded but has no semantic
+// meaning ("r = register").
+type Decl struct {
+	Name     string
+	HasValue bool
+	Value    int64
+	Alias    string
+	Line     int
+}
+
+// SymRef is an occurrence of a declared symbol in a production, with an
+// optional numeric tag ("r.2"). Tags link symbol occurrences in the
+// production to operand references in its templates. For the `need`
+// semantic operator the tag denotes a specific physical register.
+type SymRef struct {
+	Name   string
+	Tag    int
+	HasTag bool
+}
+
+func (s SymRef) String() string {
+	if s.HasTag {
+		return fmt.Sprintf("%s.%d", s.Name, s.Tag)
+	}
+	return s.Name
+}
+
+// Production is one SDTS production with its translation templates.
+type Production struct {
+	Num       int // 1-based index in declaration order
+	Line      int
+	LHS       SymRef // Name "lambda" for an empty left side
+	RHS       []SymRef
+	Templates []Template
+}
+
+// Lambda reports whether the production has an empty left side.
+func (p *Production) Lambda() bool { return p.LHS.Name == "lambda" }
+
+// Template is one translation template line: a machine instruction to be
+// emitted, or a semantic operator interpreted by the code emission routine.
+type Template struct {
+	Line     int
+	Op       string
+	Operands []Operand
+	Comment  string
+}
+
+// AtomKind discriminates the three forms a template operand atom may take.
+type AtomKind int
+
+const (
+	AtomRef  AtomKind = iota // tagged symbol reference: dsp.1
+	AtomName                 // bare declared name: zero, stack_base
+	AtomNum                  // integer literal: 32
+)
+
+// Atom is a primary operand element.
+type Atom struct {
+	Kind AtomKind
+	Name string
+	Tag  int
+	Num  int64
+}
+
+func (a Atom) String() string {
+	switch a.Kind {
+	case AtomRef:
+		return fmt.Sprintf("%s.%d", a.Name, a.Tag)
+	case AtomName:
+		return a.Name
+	default:
+		return fmt.Sprint(a.Num)
+	}
+}
+
+// Operand is one comma-separated operand of a template: an atom optionally
+// followed by one or two parenthesised atoms, covering every S/370 operand
+// shape the specification language needs:
+//
+//	r.2                register
+//	dsp.1(r.3,r.1)     displacement(index,base)
+//	zero(lng.1,r.1)    displacement(length,base) for SS instructions
+//	entry_code(pr_base)
+type Operand struct {
+	Base Atom
+	Sub  []Atom // nil, or 1-2 parenthesised atoms
+}
+
+func (o Operand) String() string {
+	s := o.Base.String()
+	if len(o.Sub) > 0 {
+		s += "("
+		for i, a := range o.Sub {
+			if i > 0 {
+				s += ","
+			}
+			s += a.String()
+		}
+		s += ")"
+	}
+	return s
+}
+
+// Error is a specification diagnostic with position information.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", e.File, e.Msg)
+}
+
+func errf(file string, line int, format string, args ...any) error {
+	return &Error{File: file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// AllDecls returns the declarations of all five sections in order.
+func (f *File) AllDecls() []Decl {
+	out := make([]Decl, 0,
+		len(f.Nonterminals)+len(f.Terminals)+len(f.Operators)+len(f.Opcodes)+len(f.Constants))
+	out = append(out, f.Nonterminals...)
+	out = append(out, f.Terminals...)
+	out = append(out, f.Operators...)
+	out = append(out, f.Opcodes...)
+	out = append(out, f.Constants...)
+	return out
+}
+
+// TemplateCount returns the total number of template lines across all
+// productions (entry vii of the paper's Table 1).
+func (f *File) TemplateCount() int {
+	n := 0
+	for _, p := range f.Productions {
+		n += len(p.Templates)
+	}
+	return n
+}

@@ -1,0 +1,287 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+const tiny = `
+$Non-terminals
+ r = register            General purpose, allocated LRU.
+ cc = condition
+$Terminals
+ dsp = displacement
+ lng = length
+$Operators
+ fullword, iadd, assign
+$Opcodes
+ l, a, st, mvc
+$Constants
+ using, modifies, IBM_length,
+ zero = 0, one = 1, stack_base = 13
+$Productions
+* A load.
+r.2 ::= fullword dsp.1 r.1
+ using r.2
+ l r.2,dsp.1(zero,r.1)          Load fullword.
+
+r.2 ::= iadd r.2 fullword dsp.1 r.1
+ modifies r.2
+ a r.2,dsp.1(zero,r.1)
+
+lambda ::= assign fullword dsp.1 r.1 r.2
+ st r.2,dsp.1(zero,r.1)
+
+lambda ::= assign r.1 r.2 lng.1
+ IBM_length lng.1
+ mvc zero(lng.1,r.1),zero(r.2)
+`
+
+func parse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("test.cogg", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func TestParseSections(t *testing.T) {
+	f := parse(t, tiny)
+	if len(f.Nonterminals) != 2 || f.Nonterminals[0].Name != "r" {
+		t.Errorf("nonterminals: %+v", f.Nonterminals)
+	}
+	if f.Nonterminals[0].Alias == "" || !strings.Contains(f.Nonterminals[0].Alias, "register") {
+		t.Errorf("alias lost: %+v", f.Nonterminals[0])
+	}
+	if len(f.Terminals) != 2 || len(f.Operators) != 3 || len(f.Opcodes) != 4 {
+		t.Errorf("section sizes: %d %d %d", len(f.Terminals), len(f.Operators), len(f.Opcodes))
+	}
+	if len(f.Constants) != 6 {
+		t.Errorf("constants: %+v", f.Constants)
+	}
+}
+
+func TestNumericConstants(t *testing.T) {
+	f := parse(t, tiny)
+	byName := map[string]Decl{}
+	for _, d := range f.Constants {
+		byName[d.Name] = d
+	}
+	if d := byName["stack_base"]; !d.HasValue || d.Value != 13 {
+		t.Errorf("stack_base = %+v", d)
+	}
+	if d := byName["using"]; d.HasValue {
+		t.Errorf("semantic opcode using has a value: %+v", d)
+	}
+}
+
+func TestDescriptionWithCommas(t *testing.T) {
+	f := parse(t, `
+$Non-terminals
+ dbl = double_register   Even/odd pair for multiply, divide, MVCL.
+$Terminals
+ dsp = displacement
+$Operators
+ iadd
+$Opcodes
+ ar
+$Constants
+ modifies
+$Productions
+dbl.1 ::= iadd dbl.1 dsp.2
+ modifies dbl.1
+ ar dbl.1,dbl.1
+`)
+	if len(f.Nonterminals) != 1 {
+		t.Fatalf("description with commas split the declaration: %+v", f.Nonterminals)
+	}
+	if !strings.Contains(f.Nonterminals[0].Alias, "MVCL") {
+		t.Errorf("alias truncated: %q", f.Nonterminals[0].Alias)
+	}
+}
+
+func TestProductions(t *testing.T) {
+	f := parse(t, tiny)
+	if len(f.Productions) != 4 {
+		t.Fatalf("got %d productions", len(f.Productions))
+	}
+	p := f.Productions[1]
+	if p.Num != 2 || p.LHS.Name != "r" || p.LHS.Tag != 2 {
+		t.Errorf("production 2 header: %+v", p)
+	}
+	wantRHS := []string{"iadd", "r.2", "fullword", "dsp.1", "r.1"}
+	if len(p.RHS) != len(wantRHS) {
+		t.Fatalf("RHS: %v", p.RHS)
+	}
+	for i, w := range wantRHS {
+		if p.RHS[i].String() != w {
+			t.Errorf("RHS[%d] = %s, want %s", i, p.RHS[i], w)
+		}
+	}
+	if len(p.Templates) != 2 || p.Templates[0].Op != "modifies" || p.Templates[1].Op != "a" {
+		t.Errorf("templates: %+v", p.Templates)
+	}
+}
+
+func TestLambdaProduction(t *testing.T) {
+	f := parse(t, tiny)
+	p := f.Productions[2]
+	if !p.Lambda() {
+		t.Errorf("production 3 should be lambda: %+v", p.LHS)
+	}
+}
+
+func TestOperandShapes(t *testing.T) {
+	f := parse(t, tiny)
+	// l r.2,dsp.1(zero,r.1)
+	tmpl := f.Productions[0].Templates[1]
+	if len(tmpl.Operands) != 2 {
+		t.Fatalf("operands: %+v", tmpl.Operands)
+	}
+	if tmpl.Operands[0].String() != "r.2" {
+		t.Errorf("operand 0 = %s", tmpl.Operands[0])
+	}
+	if tmpl.Operands[1].String() != "dsp.1(zero,r.1)" {
+		t.Errorf("operand 1 = %s", tmpl.Operands[1])
+	}
+	// mvc zero(lng.1,r.1),zero(r.2): SS length form
+	mvc := f.Productions[3].Templates[1]
+	if mvc.Operands[0].String() != "zero(lng.1,r.1)" || mvc.Operands[1].String() != "zero(r.2)" {
+		t.Errorf("mvc operands: %v", mvc.Operands)
+	}
+}
+
+func TestTrailingComments(t *testing.T) {
+	f := parse(t, tiny)
+	tmpl := f.Productions[0].Templates[1]
+	if tmpl.Comment != "Load fullword." {
+		t.Errorf("comment = %q", tmpl.Comment)
+	}
+}
+
+func TestTemplateCount(t *testing.T) {
+	if got := parse(t, tiny).TemplateCount(); got != 7 {
+		t.Errorf("TemplateCount = %d, want 7", got)
+	}
+}
+
+func TestZeroTemplateProduction(t *testing.T) {
+	f := parse(t, `
+$Non-terminals
+ r = register
+$Terminals
+ dsp = displacement
+$Operators
+ s_d_cnvrt
+$Opcodes
+ lr
+$Constants
+ using
+$Productions
+r.1 ::= s_d_cnvrt r.1
+`)
+	if len(f.Productions) != 1 || len(f.Productions[0].Templates) != 0 {
+		t.Errorf("zero-template production: %+v", f.Productions)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"text before section": "r = register\n$Productions\n",
+		"unknown section":     "$Bogus\n",
+		"duplicate symbol": `
+$Operators
+ iadd, iadd
+$Productions
+`,
+		"missing ::=": `
+$Non-terminals
+ r = x
+$Operators
+ iadd
+$Productions
+r.1 iadd r.1
+`,
+		"empty right side": `
+$Non-terminals
+ r = x
+$Operators
+ iadd
+$Productions
+r.1 ::=
+ nothing
+`,
+		"template outside production": `
+$Non-terminals
+ r = x
+$Productions
+ l r.2,0(r.1)
+`,
+		"bad identifier": `
+$Operators
+ 9lives
+$Productions
+`,
+		"no productions": `
+$Operators
+ iadd
+`,
+	}
+	for name, src := range cases {
+		if _, err := Parse("bad.cogg", src); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestErrorCarriesPosition(t *testing.T) {
+	_, err := Parse("pos.cogg", "$Operators\n iadd\n$Productions\nbroken line here\n")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	se, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.File != "pos.cogg" || se.Line != 4 {
+		t.Errorf("position = %s:%d", se.File, se.Line)
+	}
+	if !strings.Contains(err.Error(), "pos.cogg:4") {
+		t.Errorf("message = %q", err.Error())
+	}
+}
+
+func TestOptionsSectionIgnored(t *testing.T) {
+	f := parse(t, "$options\n whatever junk, even = signs\n"+tiny)
+	if len(f.Productions) != 4 {
+		t.Errorf("options section disturbed parsing: %d productions", len(f.Productions))
+	}
+}
+
+func TestOperandVersusComment(t *testing.T) {
+	// "Push" is not a declared name, so the second field is a comment.
+	f := parse(t, `
+$Non-terminals
+ r = register
+$Terminals
+ dsp = displacement
+$Operators
+ iadd
+$Opcodes
+ ar
+$Constants
+ ignore_lhs
+$Productions
+r.1 ::= iadd r.1 r.2
+ ar r.1,r.2
+ ignore_lhs Push odd register onto stack.
+`)
+	tmpl := f.Productions[0].Templates[1]
+	if len(tmpl.Operands) != 0 {
+		t.Errorf("comment parsed as operands: %+v", tmpl.Operands)
+	}
+	if !strings.Contains(tmpl.Comment, "Push odd register") {
+		t.Errorf("comment = %q", tmpl.Comment)
+	}
+}

@@ -1,0 +1,138 @@
+package tables
+
+import "cogg/internal/lr"
+
+// PackedDedup is an ablation of the row-displacement scheme: identical
+// rows are merged before comb packing. The measured result is negative —
+// in an LR action table every row carries state-specific shift targets,
+// so no two rows coincide and the extra row-index array only adds
+// overhead (see BenchmarkCompressionAblation). The further step, default
+// reductions, would shrink the table but conflicts with the scheme's
+// central guarantee: a default reduce runs instruction templates before
+// the error is noticed, and the paper requires the generator to "stop
+// and signal an error" instead of emitting a wrong sequence. The comb
+// over significant entries is what remains.
+type PackedDedup struct {
+	NumStates int
+	NumCols   int
+	ColOf     []int32
+	RowOf     []int32 // state -> unique row id
+	Base      []int32 // per unique row
+	Data      []lr.Action
+	Check     []int32 // owning unique row + 1
+}
+
+// PackDedup merges identical rows, then comb-packs the unique ones.
+func PackDedup(t *lr.Table) *PackedDedup {
+	p := &PackedDedup{
+		NumStates: t.NumStates,
+		NumCols:   t.NumCols,
+		ColOf:     append([]int32(nil), t.ColOf...),
+		RowOf:     make([]int32, t.NumStates),
+	}
+	// Identify unique rows.
+	index := map[string]int32{}
+	var uniques [][]lr.Action
+	for s := 0; s < t.NumStates; s++ {
+		row := t.Row(s)
+		key := rowKey(row)
+		id, ok := index[key]
+		if !ok {
+			id = int32(len(uniques))
+			index[key] = id
+			uniques = append(uniques, row)
+		}
+		p.RowOf[s] = id
+	}
+	p.Base = make([]int32, len(uniques))
+
+	// Comb-pack unique rows, densest first.
+	order := make([]int, len(uniques))
+	for i := range order {
+		order[i] = i
+	}
+	density := func(i int) int {
+		n := 0
+		for _, a := range uniques[i] {
+			if a.Kind() != lr.Error {
+				n++
+			}
+		}
+		return n
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && density(order[j]) > density(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	grow := func(n int) {
+		for len(p.Data) < n {
+			p.Data = append(p.Data, 0)
+			p.Check = append(p.Check, 0)
+		}
+	}
+	for _, id := range order {
+		row := uniques[id]
+		var cols []int32
+		for c, a := range row {
+			if a.Kind() != lr.Error {
+				cols = append(cols, int32(c))
+			}
+		}
+		if len(cols) == 0 {
+			p.Base[id] = 0
+			continue
+		}
+		base := -cols[0]
+	search:
+		for ; ; base++ {
+			for _, c := range cols {
+				idx := int(base + c)
+				if idx < len(p.Check) && p.Check[idx] != 0 {
+					continue search
+				}
+			}
+			break
+		}
+		p.Base[id] = base
+		for _, c := range cols {
+			idx := int(base + c)
+			grow(idx + 1)
+			p.Data[idx] = row[c]
+			p.Check[idx] = int32(id) + 1
+		}
+	}
+	return p
+}
+
+func rowKey(row []lr.Action) string {
+	b := make([]byte, 0, len(row)*4)
+	for _, a := range row {
+		b = append(b, byte(a), byte(a>>8), byte(a>>16), byte(a>>24))
+	}
+	return string(b)
+}
+
+// Lookup returns the action for (state, symbol id).
+func (p *PackedDedup) Lookup(state, sym int) lr.Action {
+	col := p.ColOf[sym]
+	if col < 0 {
+		return lr.MkAction(lr.Error, 0)
+	}
+	row := p.RowOf[state]
+	idx := int(p.Base[row]) + int(col)
+	if idx < 0 || idx >= len(p.Check) || p.Check[idx] != row+1 {
+		return lr.MkAction(lr.Error, 0)
+	}
+	return p.Data[idx]
+}
+
+// UniqueRows reports how many distinct rows the table has.
+func (p *PackedDedup) UniqueRows() int { return len(p.Base) }
+
+// SizeBytes accounts the storage with the same entry widths as Packed:
+// two bytes per data/check/column entry, two per row index, four per
+// base.
+func (p *PackedDedup) SizeBytes() int {
+	return 2*len(p.ColOf) + 2*len(p.RowOf) + 4*len(p.Base) + 2*len(p.Data) + 2*len(p.Check)
+}

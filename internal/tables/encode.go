@@ -1,0 +1,335 @@
+package tables
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cogg/internal/grammar"
+	"cogg/internal/lr"
+)
+
+// magic identifies a serialized table module.
+var magic = [8]byte{'C', 'o', 'G', 'G', 't', 'b', 'l', '1'}
+
+// SectionSizes reports the serialized size of each component of a table
+// module, the raw material of the paper's Table 2.
+type SectionSizes struct {
+	Symbols      int // symbol table bytes
+	Templates    int // template array bytes (Table 2 entry i)
+	Compressed   int // compressed parse table bytes (entry ii)
+	Uncompressed int // uncompressed parse table bytes (entry iii)
+	Total        int // bytes actually written (symbols+templates+compressed)
+}
+
+// Module bundles everything a code generator needs at translation time.
+type Module struct {
+	Grammar *grammar.Grammar
+	Packed  *Packed
+}
+
+// Encode serializes the module and reports section sizes. Only the
+// compressed table is stored; the uncompressed size is accounted for
+// comparison.
+func Encode(w io.Writer, g *grammar.Grammar, t *lr.Table, p *Packed) (SectionSizes, error) {
+	var sizes SectionSizes
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+
+	start := buf.Len()
+	encodeSymbols(&buf, g)
+	sizes.Symbols = buf.Len() - start
+
+	start = buf.Len()
+	encodeProds(&buf, g)
+	sizes.Templates = buf.Len() - start
+
+	start = buf.Len()
+	if err := encodePacked(&buf, p); err != nil {
+		return sizes, err
+	}
+	sizes.Compressed = buf.Len() - start
+
+	sizes.Uncompressed = UncompressedSizeBytes(t)
+	sizes.Total = buf.Len()
+	_, err := w.Write(buf.Bytes())
+	return sizes, err
+}
+
+// Decode reads a module serialized by Encode.
+func Decode(r io.Reader) (*Module, error) {
+	d := &decoder{r: r}
+	var got [8]byte
+	d.bytes(got[:])
+	if d.err == nil && got != magic {
+		return nil, fmt.Errorf("tables: bad magic %q", got[:])
+	}
+	g := decodeSymbols(d)
+	decodeProds(d, g)
+	p := decodePacked(d)
+	if d.err != nil {
+		return nil, fmt.Errorf("tables: decode: %w", d.err)
+	}
+	return &Module{Grammar: g, Packed: p}, nil
+}
+
+// --- encoding helpers -------------------------------------------------
+
+func putU16(buf *bytes.Buffer, v uint16) {
+	buf.WriteByte(byte(v))
+	buf.WriteByte(byte(v >> 8))
+}
+
+func putU32(buf *bytes.Buffer, v int) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(v))
+	buf.Write(b[:])
+}
+
+func putI64(buf *bytes.Buffer, v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	buf.Write(b[:])
+}
+
+func putStr(buf *bytes.Buffer, s string) {
+	putU32(buf, len(s))
+	buf.WriteString(s)
+}
+
+func encodeSymbols(buf *bytes.Buffer, g *grammar.Grammar) {
+	putStr(buf, g.Name)
+	putU32(buf, g.Lambda)
+	putU32(buf, len(g.Syms))
+	for _, s := range g.Syms {
+		putStr(buf, s.Name)
+		putU32(buf, int(s.Kind))
+		putI64(buf, s.Value)
+	}
+}
+
+func encodeArg(buf *bytes.Buffer, a grammar.Arg) {
+	flag := 0
+	if a.IsRef {
+		flag = 1
+	}
+	putU32(buf, flag)
+	putU32(buf, a.Sym)
+	putU32(buf, a.Tag)
+	putI64(buf, a.Num)
+}
+
+func encodeProds(buf *bytes.Buffer, g *grammar.Grammar) {
+	putU32(buf, len(g.Prods))
+	for _, p := range g.Prods {
+		putU32(buf, p.Num)
+		putU32(buf, p.LHS)
+		putU32(buf, p.LHSTag+1) // bias so -1 encodes as 0
+		putU32(buf, len(p.RHS))
+		for i := range p.RHS {
+			putU32(buf, p.RHS[i])
+			putU32(buf, p.RHSTags[i]+1)
+		}
+		putU32(buf, len(p.Uses))
+		for _, u := range p.Uses {
+			putU32(buf, u.Sym)
+			putU32(buf, u.Tag)
+		}
+		putU32(buf, len(p.Needs))
+		for _, u := range p.Needs {
+			putU32(buf, u.Sym)
+			putU32(buf, u.Tag)
+		}
+		putU32(buf, len(p.Templates))
+		for _, t := range p.Templates {
+			putU32(buf, t.Op)
+			sem := 0
+			if t.Semantic {
+				sem = 1
+			}
+			putU32(buf, sem)
+			putU32(buf, len(t.Operands))
+			for _, o := range t.Operands {
+				encodeArg(buf, o.Base)
+				putU32(buf, len(o.Sub))
+				for _, s := range o.Sub {
+					encodeArg(buf, s)
+				}
+			}
+		}
+	}
+}
+
+func encodePacked(buf *bytes.Buffer, p *Packed) error {
+	putU32(buf, p.NumStates)
+	putU32(buf, p.NumCols)
+	putU32(buf, len(p.ColOf))
+	for _, v := range p.ColOf {
+		putU16(buf, uint16(v)) // -1 wraps to 0xFFFF
+	}
+	putU32(buf, len(p.Base))
+	for _, v := range p.Base {
+		putU32(buf, int(v))
+	}
+	putU32(buf, len(p.Data))
+	for _, v := range p.Data {
+		a16, ok := v.Pack16()
+		if !ok {
+			return fmt.Errorf("tables: action target %d exceeds the 14-bit packed form", v.Target())
+		}
+		putU16(buf, a16)
+	}
+	putU32(buf, len(p.Check))
+	for _, v := range p.Check {
+		if v < 0 || v > 0xFFFF {
+			return fmt.Errorf("tables: check entry %d exceeds sixteen bits", v)
+		}
+		putU16(buf, uint16(v))
+	}
+	return nil
+}
+
+// --- decoding helpers -------------------------------------------------
+
+type decoder struct {
+	r   io.Reader
+	err error
+}
+
+func (d *decoder) bytes(b []byte) {
+	if d.err != nil {
+		return
+	}
+	_, d.err = io.ReadFull(d.r, b)
+}
+
+func (d *decoder) u16() uint16 {
+	var b [2]byte
+	d.bytes(b[:])
+	return binary.LittleEndian.Uint16(b[:])
+}
+
+func (d *decoder) u32() int {
+	var b [4]byte
+	d.bytes(b[:])
+	return int(int32(binary.LittleEndian.Uint32(b[:])))
+}
+
+func (d *decoder) i64() int64 {
+	var b [8]byte
+	d.bytes(b[:])
+	return int64(binary.LittleEndian.Uint64(b[:]))
+}
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil || n < 0 || n > 1<<20 {
+		if d.err == nil {
+			d.err = fmt.Errorf("string length %d out of range", n)
+		}
+		return ""
+	}
+	b := make([]byte, n)
+	d.bytes(b)
+	return string(b)
+}
+
+func (d *decoder) count(limit int) int {
+	n := d.u32()
+	if d.err == nil && (n < 0 || n > limit) {
+		d.err = fmt.Errorf("count %d out of range (limit %d)", n, limit)
+		return 0
+	}
+	return n
+}
+
+func decodeSymbols(d *decoder) *grammar.Grammar {
+	g := &grammar.Grammar{}
+	g.Name = d.str()
+	g.Lambda = d.u32()
+	n := d.count(1 << 20)
+	for i := 0; i < n; i++ {
+		name := d.str()
+		kind := grammar.Kind(d.u32())
+		value := d.i64()
+		if d.err != nil {
+			return g
+		}
+		g.AddSymbol(name, kind, value)
+	}
+	return g
+}
+
+func decodeArg(d *decoder) grammar.Arg {
+	var a grammar.Arg
+	a.IsRef = d.u32() == 1
+	a.Sym = d.u32()
+	a.Tag = d.u32()
+	a.Num = d.i64()
+	return a
+}
+
+func decodeProds(d *decoder, g *grammar.Grammar) {
+	n := d.count(1 << 20)
+	for i := 0; i < n && d.err == nil; i++ {
+		p := &grammar.Prod{}
+		p.Num = d.u32()
+		p.LHS = d.u32()
+		p.LHSTag = d.u32() - 1
+		rhsLen := d.count(1 << 10)
+		for j := 0; j < rhsLen; j++ {
+			p.RHS = append(p.RHS, d.u32())
+			p.RHSTags = append(p.RHSTags, d.u32()-1)
+		}
+		uses := d.count(1 << 10)
+		for j := 0; j < uses; j++ {
+			p.Uses = append(p.Uses, grammar.Ref{Sym: d.u32(), Tag: d.u32()})
+		}
+		needs := d.count(1 << 10)
+		for j := 0; j < needs; j++ {
+			p.Needs = append(p.Needs, grammar.Ref{Sym: d.u32(), Tag: d.u32()})
+		}
+		tmpls := d.count(1 << 10)
+		for j := 0; j < tmpls; j++ {
+			var t grammar.Template
+			t.Op = d.u32()
+			t.Semantic = d.u32() == 1
+			operands := d.count(1 << 10)
+			for k := 0; k < operands; k++ {
+				var o grammar.Operand
+				o.Base = decodeArg(d)
+				subs := d.count(2)
+				for m := 0; m < subs; m++ {
+					o.Sub = append(o.Sub, decodeArg(d))
+				}
+				t.Operands = append(t.Operands, o)
+			}
+			p.Templates = append(p.Templates, t)
+		}
+		g.Prods = append(g.Prods, p)
+	}
+}
+
+func decodePacked(d *decoder) *Packed {
+	p := &Packed{}
+	p.NumStates = d.u32()
+	p.NumCols = d.u32()
+	n := d.count(1 << 24)
+	for i := 0; i < n; i++ {
+		p.ColOf = append(p.ColOf, int32(int16(d.u16())))
+	}
+	n = d.count(1 << 24)
+	for i := 0; i < n; i++ {
+		p.Base = append(p.Base, int32(d.u32()))
+	}
+	n = d.count(1 << 24)
+	for i := 0; i < n; i++ {
+		p.Data = append(p.Data, lr.Unpack16(d.u16()))
+	}
+	n = d.count(1 << 24)
+	for i := 0; i < n; i++ {
+		p.Check = append(p.Check, int32(d.u16()))
+	}
+	return p
+}

@@ -1,0 +1,181 @@
+package tables_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cogg/internal/core"
+	"cogg/internal/lr"
+	"cogg/internal/tables"
+	"cogg/specs"
+)
+
+// buildFrom constructs tables from a spec source.
+func buildFrom(t testing.TB, name, src string) *core.CodeGenerator {
+	t.Helper()
+	cg, err := core.Generate(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cg
+}
+
+func TestPages(t *testing.T) {
+	if tables.Pages(4096) != 1.0 {
+		t.Errorf("Pages(4096) = %v", tables.Pages(4096))
+	}
+	if tables.Pages(2048) != 0.5 {
+		t.Errorf("Pages(2048) = %v", tables.Pages(2048))
+	}
+}
+
+// TestPackEquivalenceMinimal: the packed table answers identically to
+// the dense one for the minimal grammar (the full grammar is covered in
+// package core's tests).
+func TestPackEquivalenceMinimal(t *testing.T) {
+	cg := buildFrom(t, "amdahl-minimal.cogg", specs.AmdahlMinimal)
+	p := tables.Pack(cg.Table)
+	for state := 0; state < cg.Table.NumStates; state++ {
+		for sym := 0; sym < len(cg.Table.ColOf); sym++ {
+			if got, want := p.Lookup(state, sym), cg.Table.Lookup(state, sym); got != want {
+				t.Fatalf("(%d,%d): packed %v, dense %v", state, sym, got, want)
+			}
+		}
+	}
+}
+
+// TestPackOutOfRange: lookups outside any comb row return Error rather
+// than a neighbour's action.
+func TestPackOutOfRange(t *testing.T) {
+	cg := buildFrom(t, "risc32.cogg", specs.Risc32)
+	p := tables.Pack(cg.Table)
+	// A state with an empty row: find one and probe every symbol.
+	for state := 0; state < p.NumStates; state++ {
+		for sym := 0; sym < len(p.ColOf); sym++ {
+			if p.ColOf[sym] < 0 {
+				if got := p.Lookup(state, sym); got.Kind() != lr.Error {
+					t.Fatalf("columnless symbol %d returned %v", sym, got)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickPackedRandomProbes: random probes against the dense table.
+func TestQuickPackedRandomProbes(t *testing.T) {
+	cg := buildFrom(t, "amdahl-minimal.cogg", specs.AmdahlMinimal)
+	p := tables.Pack(cg.Table)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 32; i++ {
+			state := r.Intn(p.NumStates)
+			sym := r.Intn(len(p.ColOf))
+			if p.Lookup(state, sym) != cg.Table.Lookup(state, sym) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressedSmallerThanDense(t *testing.T) {
+	for _, s := range []struct{ name, src string }{
+		{"amdahl470.cogg", specs.Amdahl470},
+		{"amdahl-minimal.cogg", specs.AmdahlMinimal},
+		{"risc32.cogg", specs.Risc32},
+	} {
+		cg := buildFrom(t, s.name, s.src)
+		p := tables.Pack(cg.Table)
+		if p.SizeBytes() >= tables.UncompressedSizeBytes(cg.Table) {
+			t.Errorf("%s: compressed %d >= dense %d", s.name,
+				p.SizeBytes(), tables.UncompressedSizeBytes(cg.Table))
+		}
+	}
+}
+
+func TestEncodeSizesMatchStream(t *testing.T) {
+	cg := buildFrom(t, "risc32.cogg", specs.Risc32)
+	var buf bytes.Buffer
+	sz, err := cg.Encode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz.Total != buf.Len() {
+		t.Errorf("Total %d != stream %d", sz.Total, buf.Len())
+	}
+	if got := 8 + sz.Symbols + sz.Templates + sz.Compressed; got != buf.Len() {
+		t.Errorf("section sizes %d do not add up to %d", got, buf.Len())
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := tables.Decode(bytes.NewReader([]byte("not a table module"))); err == nil {
+		t.Error("Decode accepted garbage")
+	}
+	// Truncation after the magic.
+	cg := buildFrom(t, "risc32.cogg", specs.Risc32)
+	var buf bytes.Buffer
+	if _, err := cg.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{9, 20, buf.Len() / 2, buf.Len() - 1} {
+		if _, err := tables.Decode(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Errorf("Decode accepted a module truncated to %d bytes", cut)
+		}
+	}
+}
+
+func TestDecodedModuleDrivesSameActions(t *testing.T) {
+	cg := buildFrom(t, "amdahl-minimal.cogg", specs.AmdahlMinimal)
+	var buf bytes.Buffer
+	if _, err := cg.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := tables.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for state := 0; state < cg.Packed.NumStates; state += 3 {
+		for sym := 0; sym < len(cg.Packed.ColOf); sym++ {
+			if got, want := mod.Packed.Lookup(state, sym), cg.Packed.Lookup(state, sym); got != want {
+				t.Fatalf("(%d,%d): decoded %v, original %v", state, sym, got, want)
+			}
+		}
+	}
+	// Grammar round trip: production templates preserved.
+	for i, p := range cg.Grammar.Prods {
+		q := mod.Grammar.Prods[i]
+		if len(p.Templates) != len(q.Templates) || len(p.RHS) != len(q.RHS) ||
+			len(p.Uses) != len(q.Uses) || len(p.Needs) != len(q.Needs) {
+			t.Fatalf("production %d shape changed across encode/decode", p.Num)
+		}
+	}
+}
+
+// TestDedupEquivalence: the row-merged table answers identically.
+func TestDedupEquivalence(t *testing.T) {
+	for _, s := range []struct{ name, src string }{
+		{"amdahl470.cogg", specs.Amdahl470},
+		{"amdahl-minimal.cogg", specs.AmdahlMinimal},
+	} {
+		cg := buildFrom(t, s.name, s.src)
+		d := tables.PackDedup(cg.Table)
+		for state := 0; state < cg.Table.NumStates; state++ {
+			for sym := 0; sym < len(cg.Table.ColOf); sym++ {
+				if got, want := d.Lookup(state, sym), cg.Table.Lookup(state, sym); got != want {
+					t.Fatalf("%s (%d,%d): dedup %v, dense %v", s.name, state, sym, got, want)
+				}
+			}
+		}
+		// The documented negative result: LR action rows carry
+		// state-specific shift targets, so nothing merges.
+		if d.UniqueRows() != cg.Table.NumStates {
+			t.Logf("%s: %d unique rows of %d states", s.name, d.UniqueRows(), cg.Table.NumStates)
+		}
+	}
+}

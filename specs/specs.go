@@ -1,0 +1,29 @@
+// Package specs embeds the code generator specifications shipped with the
+// repository: the full Amdahl 470 SDTS (the paper's Appendix 2), a
+// minimal variant with one production per operator (the paper's
+// "microcomputer" size-control scenario), and a small RISC target
+// demonstrating retargetability.
+package specs
+
+import _ "embed"
+
+// Amdahl470 is the full-scale S/370 specification: every addressing-mode
+// variant, even/odd pair idioms, bitset operations, floating point, and
+// common subexpression handling.
+//
+//go:embed amdahl470.cogg
+var Amdahl470 string
+
+// AmdahlMinimal is the reduced specification: a single production per IF
+// operator, enough to generate correct (but naive) code with far smaller
+// tables. "A language implementer can therefore control the size of the
+// compiler by changing the complexity of the grammar" (paper section 6).
+//
+//go:embed amdahl-minimal.cogg
+var AmdahlMinimal string
+
+// Risc32 targets a simple load/store machine and demonstrates that
+// retargeting requires only rewriting the templates.
+//
+//go:embed risc32.cogg
+var Risc32 string

@@ -1,0 +1,79 @@
+package specs_test
+
+import (
+	"strings"
+	"testing"
+
+	"cogg/internal/spec"
+	"cogg/specs"
+)
+
+// TestEmbeddedSpecsParse: every shipped specification parses and has the
+// expected scale.
+func TestEmbeddedSpecsParse(t *testing.T) {
+	cases := []struct {
+		name, src string
+		minProds  int
+	}{
+		{"amdahl470.cogg", specs.Amdahl470, 150},
+		{"amdahl-minimal.cogg", specs.AmdahlMinimal, 50},
+		{"risc32.cogg", specs.Risc32, 30},
+	}
+	for _, c := range cases {
+		f, err := spec.Parse(c.name, c.src)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if len(f.Productions) < c.minProds {
+			t.Errorf("%s: %d productions, want >= %d", c.name, len(f.Productions), c.minProds)
+		}
+	}
+}
+
+// TestFullSpecHasThirteenIAddForms: the paper's redundancy claim holds
+// in the shipped grammar ("no less than thirteen productions associated
+// with integer addition").
+func TestFullSpecHasThirteenIAddForms(t *testing.T) {
+	f, err := spec.Parse("amdahl470.cogg", specs.Amdahl470)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iadd := 0
+	for _, p := range f.Productions {
+		for _, r := range p.RHS {
+			if r.Name == "iadd" {
+				iadd++
+				break
+			}
+		}
+	}
+	if iadd < 13 {
+		t.Errorf("iadd productions: %d, want >= 13", iadd)
+	}
+}
+
+// TestSpecsShareTheIF: the minimal and full grammars declare the same
+// operators, so the shaper's output parses under both.
+func TestSpecsShareTheIF(t *testing.T) {
+	full, err := spec.Parse("amdahl470.cogg", specs.Amdahl470)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := spec.Parse("amdahl-minimal.cogg", specs.AmdahlMinimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullOps := map[string]bool{}
+	for _, d := range full.Operators {
+		fullOps[d.Name] = true
+	}
+	for _, d := range min.Operators {
+		if !fullOps[d.Name] {
+			t.Errorf("minimal grammar declares operator %q absent from the full grammar", d.Name)
+		}
+	}
+	if !strings.Contains(specs.Amdahl470, "push_odd") {
+		t.Error("full spec lost the even/odd idioms")
+	}
+}
