@@ -10,6 +10,9 @@
 //	E6 BenchmarkComponentSizes           — section 6 lines-of-code claim
 //	E7 BenchmarkBranchRelaxation         — section 4.2 span-dependent branches
 //	E8 BenchmarkTableConstruction, BenchmarkCodeGenerationRate — throughput
+//	E9 BenchmarkCompressionAblation      — dense vs comb vs row-merged tables
+//	E10 BenchmarkBatchThroughput         — batch service: worker scaling,
+//	                                       cold vs. warm table-module cache
 //
 // Run with: go test -bench=. -benchmem
 package cogg_test
@@ -22,11 +25,14 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"cogg/internal/batch"
 	"cogg/internal/core"
 	"cogg/internal/driver"
 	"cogg/internal/ifopt"
 	"cogg/internal/pascal"
+	"cogg/internal/rt370"
 	"cogg/internal/shaper"
 	"cogg/internal/tables"
 	"cogg/specs"
@@ -390,6 +396,85 @@ end.
 	}
 	b.ReportMetric(float64(without), "instructions_plain")
 	b.ReportMetric(float64(with), "instructions_cse")
+}
+
+// --- E10: batch throughput -----------------------------------------------------
+
+// batchWorkload is sixteen distinct programs: the differential corpus
+// shapes scaled into a batch.
+func batchWorkload() []batch.Unit {
+	var units []batch.Unit
+	for i := 0; i < 16; i++ {
+		name := fmt.Sprintf("u%d", i)
+		src := fmt.Sprintf(`
+program %s;
+var a: array[1..20] of integer;
+    i, j, s: integer;
+begin
+  for i := 1 to 20 do a[i] := i * %d;
+  s := 0;
+  for i := 1 to 20 do
+  begin
+    j := a[i] + i * %d;
+    s := s + j * 2 - a[i] div 3;
+    if s > %d then s := s - 1
+  end
+end.
+`, name, i+2, i+1, 50+i)
+		units = append(units, batch.Unit{Name: name + ".pas", Source: src,
+			Opt: shaper.Options{StatementRecords: true}})
+	}
+	return units
+}
+
+// BenchmarkBatchThroughput measures the batch compilation service end
+// to end: load the amdahl470 tables (cold = build from specification
+// source and populate the cache; warm = decode the on-disk module,
+// skipping SLR construction) and compile sixteen programs on 1/4/8
+// workers. The table_load_ms metric is the cold-vs-warm headline: warm
+// must beat cold by well over 5x since decoding replaces automaton
+// construction.
+func BenchmarkBatchThroughput(b *testing.B) {
+	units := batchWorkload()
+	for _, mode := range []string{"cold", "warm"} {
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("cache=%s/workers=%d", mode, workers), func(b *testing.B) {
+				dir := b.TempDir()
+				if mode == "warm" {
+					seed := batch.New(batch.Options{CacheDir: dir})
+					if _, err := seed.Module("amdahl470.cogg", specs.Amdahl470); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var loadNS, unitsDone int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					svc := batch.New(batch.Options{CacheDir: dir, Workers: workers})
+					start := time.Now()
+					tgt, err := svc.Target("amdahl470.cogg", specs.Amdahl470, rt370.Config())
+					if err != nil {
+						b.Fatal(err)
+					}
+					loadNS += int64(time.Since(start))
+					if mode == "cold" {
+						// Cold means cold every iteration: drop the
+						// on-disk module so the next run rebuilds.
+						b.StopTimer()
+						os.RemoveAll(dir)
+						b.StartTimer()
+					}
+					for _, r := range svc.CompileBatch(tgt, units) {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+					unitsDone += int64(len(units))
+				}
+				b.ReportMetric(float64(loadNS)/float64(b.N)/1e6, "table_load_ms")
+				b.ReportMetric(float64(unitsDone)/b.Elapsed().Seconds(), "units/s")
+			})
+		}
+	}
 }
 
 // --- helpers -------------------------------------------------------------------

@@ -10,19 +10,26 @@
 // names "amdahl470", "amdahl-minimal", and "risc32" select the other
 // built-ins.
 //
-//	-stats      print Table 1 (grammar and parse table statistics)
+//	-stats      print Table 1 (grammar and parse table statistics), plus
+//	            the batch-service counters when -cache is in use
 //	-sizes      print Table 2 (artifact sizes in 4096-byte pages)
 //	-conflicts  print resolved parse conflicts
 //	-check      report structural table diagnostics
 //	-state N    describe automaton state N
 //	-o FILE     write the serialized table module
+//	-cache DIR  publish the table module into the shared on-disk cache,
+//	            keyed by content hash of the specification — the offline
+//	            step that lets later ifcgen/pascal370 runs warm-start
+//	            without reconstructing the SLR tables
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"cogg/internal/batch"
 	"cogg/internal/core"
 	"cogg/internal/lr"
 	"cogg/internal/tables"
@@ -36,6 +43,7 @@ func main() {
 	check := flag.Bool("check", false, "report structural table diagnostics")
 	state := flag.Int("state", -1, "describe one automaton state")
 	out := flag.String("o", "", "write the serialized table module to this file")
+	cacheDir := flag.String("cache", "", "publish the table module into this cache directory")
 	flag.Parse()
 
 	name, src, err := loadSpec(flag.Arg(0))
@@ -93,6 +101,16 @@ func main() {
 		fmt.Printf("wrote %s: %d bytes (%.1f pages; templates %.1f, compressed table %.1f)\n",
 			*out, sz.Total, tables.Pages(sz.Total), tables.Pages(sz.Templates), tables.Pages(sz.Compressed))
 	}
+	if *cacheDir != "" {
+		svc := batch.New(batch.Options{CacheDir: *cacheDir})
+		if err := svc.Store(name, src, cg.Module()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cached table module %s under %s\n", batch.Key(name, src)[:12], *cacheDir)
+		if *stats {
+			fmt.Print(svc.Stats.String())
+		}
+	}
 }
 
 func loadSpec(arg string) (string, string, error) {
@@ -108,7 +126,11 @@ func loadSpec(arg string) (string, string, error) {
 	if err != nil {
 		return "", "", err
 	}
-	return arg, string(b), nil
+	// Name the spec by its base name, not the argument path: the name is
+	// part of the table-module cache key, and `cogg specs/amdahl470.cogg`
+	// must publish the same key that ifcgen/pascal370 look up for the
+	// built-in "amdahl470.cogg".
+	return filepath.Base(arg), string(b), nil
 }
 
 func fatal(err error) {

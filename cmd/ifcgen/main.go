@@ -4,13 +4,21 @@
 //
 // Usage:
 //
-//	ifcgen [flags] [if-file]
+//	ifcgen [flags] [if-file...]
 //
-// The IF is read from the file or standard input, as whitespace
-// separated tokens ("assign fullword dsp.100 r.13 iadd ...").
+// The IF is read from the files or standard input, as whitespace
+// separated tokens ("assign fullword dsp.100 r.13 iadd ..."). With
+// several files the streams are translated concurrently on the batch
+// service's worker pool; listings are printed in argument order.
 //
 //	-spec NAME   specification (amdahl470, amdahl-minimal, risc32, or a path)
 //	-risc        use the risc32 target configuration
+//	-cache DIR   table-module cache: warm-start from a module published
+//	             by cogg -cache instead of reconstructing the tables
+//	-j N         worker pool size (default GOMAXPROCS)
+//	-stats       print the batch-service counters (cache traffic, table
+//	             build vs. codegen time, queue depth) to standard error
+//	-trace       trace every parser action to stderr (single stream only)
 package main
 
 import (
@@ -19,10 +27,8 @@ import (
 	"io"
 	"os"
 
-	"cogg/internal/asm"
+	"cogg/internal/batch"
 	"cogg/internal/driver"
-	"cogg/internal/ir"
-	"cogg/internal/labels"
 	"cogg/internal/rt370"
 	"cogg/specs"
 )
@@ -31,21 +37,17 @@ func main() {
 	specName := flag.String("spec", "amdahl470", "code generator specification")
 	risc := flag.Bool("risc", false, "use the risc32 target configuration")
 	trace := flag.Bool("trace", false, "trace every parser action to stderr")
+	cacheDir := flag.String("cache", "", "table-module cache directory")
+	workers := flag.Int("j", 0, "worker pool size (default GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print batch-service statistics to stderr")
 	flag.Parse()
 
-	var src []byte
-	var err error
-	if flag.NArg() > 0 {
-		src, err = os.ReadFile(flag.Arg(0))
-	} else {
-		src, err = io.ReadAll(os.Stdin)
-	}
+	units, err := readUnits(flag.Args())
 	if err != nil {
 		fatal(err)
 	}
-	toks, err := ir.ParseTokens(string(src))
-	if err != nil {
-		fatal(err)
+	if *trace && len(units) > 1 {
+		fatal(fmt.Errorf("-trace interleaves across streams; pass a single file"))
 	}
 
 	sName, sSrc, err := loadSpec(*specName)
@@ -59,20 +61,55 @@ func main() {
 	if *trace {
 		cfg.Trace = os.Stderr
 	}
-	tgt, err := driver.NewTargetWithConfig(sName, sSrc, cfg)
+
+	svc := batch.New(batch.Options{CacheDir: *cacheDir, Workers: *workers})
+	tgt, err := svc.Target(sName, sSrc, cfg)
 	if err != nil {
 		fatal(err)
 	}
-	prog, res, err := tgt.Gen.Generate("ifcgen", toks)
-	if err != nil {
-		fatal(err)
+	results := svc.TranslateBatch(tgt, units)
+
+	failed := false
+	for _, r := range results {
+		if len(results) > 1 {
+			fmt.Printf("=== %s\n", r.Name)
+		}
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "ifcgen: %s: %v\n", r.Name, r.Err)
+			failed = true
+			continue
+		}
+		fmt.Print(r.Listing)
+		fmt.Printf("%d tokens, %d reductions, %d instructions\n",
+			r.Tokens, r.Reductions, r.Instructions)
 	}
-	if err := labels.Layout(prog, tgt.Machine); err != nil {
-		fatal(err)
+	if *stats {
+		fmt.Fprint(os.Stderr, svc.Stats.String())
 	}
-	fmt.Print(asm.Listing(prog, tgt.Machine))
-	fmt.Printf("%d tokens, %d reductions, %d instructions\n",
-		len(toks), res.Reductions, prog.InstructionCount())
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// readUnits loads each named IF file, or standard input when no files
+// are given.
+func readUnits(args []string) ([]batch.IFUnit, error) {
+	if len(args) == 0 {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		return []batch.IFUnit{{Name: "ifcgen", Text: string(src)}}, nil
+	}
+	units := make([]batch.IFUnit, 0, len(args))
+	for _, a := range args {
+		src, err := os.ReadFile(a)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, batch.IFUnit{Name: a, Text: string(src)})
+	}
+	return units, nil
 }
 
 func loadSpec(arg string) (string, string, error) {

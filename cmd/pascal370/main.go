@@ -4,15 +4,23 @@
 //
 // Usage:
 //
-//	pascal370 [flags] program.pas
+//	pascal370 [flags] program.pas...
+//
+// Several programs compile concurrently on the batch service's worker
+// pool; per-program output appears in argument order regardless of
+// completion order.
 //
 //	-spec NAME   code generator specification (amdahl470, amdahl-minimal,
 //	             or a file path; default amdahl470)
+//	-cache DIR   table-module cache: warm-start from a module published
+//	             by cogg -cache instead of reconstructing the tables
+//	-j N         worker pool size (default GOMAXPROCS)
+//	-stats       print batch-service counters to standard error
 //	-S           print the assembly listing
 //	-if          print the linearized intermediate form
 //	-cse         run the IF optimizer (common subexpressions)
 //	-checks      emit subscript checks
-//	-deck FILE   write the object deck (80-column loader records)
+//	-deck FILE   write the object deck (single program only)
 //	-run         execute on the simulator
 //	-set n=v     initialize variable n before running (repeatable)
 //	-print a,b   print listed variables after the run
@@ -25,9 +33,11 @@ import (
 	"strconv"
 	"strings"
 
+	"cogg/internal/batch"
 	"cogg/internal/driver"
 	"cogg/internal/ifopt"
 	"cogg/internal/ir"
+	"cogg/internal/rt370"
 	"cogg/internal/s370"
 	"cogg/internal/shaper"
 	"cogg/specs"
@@ -52,6 +62,9 @@ func (s setFlags) Set(v string) error {
 
 func main() {
 	specName := flag.String("spec", "amdahl470", "code generator specification")
+	cacheDir := flag.String("cache", "", "table-module cache directory")
+	workers := flag.Int("j", 0, "worker pool size (default GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print batch-service statistics to stderr")
 	listing := flag.Bool("S", false, "print the assembly listing")
 	showIF := flag.Bool("if", false, "print the linearized intermediate form")
 	cse := flag.Bool("cse", false, "run the IF optimizer")
@@ -65,47 +78,82 @@ func main() {
 	flag.Var(inits, "set", "initialize a variable: name=value")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pascal370 [flags] program.pas")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: pascal370 [flags] program.pas...")
 		os.Exit(2)
 	}
-	srcFile := flag.Arg(0)
-	src, err := os.ReadFile(srcFile)
-	if err != nil {
-		fatal(err)
+	if *deck != "" && flag.NArg() > 1 {
+		fatal(fmt.Errorf("-deck names a single output file; pass one program"))
+	}
+
+	opt := shaper.Options{StatementRecords: true, SubscriptChecks: *checks, UninitChecks: *uninit}
+	if *cse {
+		opt.CSE = ifopt.New().Apply
+	}
+	units := make([]batch.Unit, 0, flag.NArg())
+	for _, srcFile := range flag.Args() {
+		src, err := os.ReadFile(srcFile)
+		if err != nil {
+			fatal(err)
+		}
+		units = append(units, batch.Unit{Name: srcFile, Source: string(src), Opt: opt})
 	}
 
 	sName, sSrc, err := loadSpec(*specName)
 	if err != nil {
 		fatal(err)
 	}
-	tgt, err := driver.NewTarget(sName, sSrc)
-	if err != nil {
-		fatal(err)
-	}
-	opt := shaper.Options{StatementRecords: true, SubscriptChecks: *checks, UninitChecks: *uninit}
-	if *cse {
-		opt.CSE = ifopt.New().Apply
-	}
-	c, err := tgt.Compile(srcFile, string(src), opt)
+	svc := batch.New(batch.Options{CacheDir: *cacheDir, Workers: *workers})
+	tgt, err := svc.Target(sName, sSrc, rt370.Config())
 	if err != nil {
 		fatal(err)
 	}
 
-	if *showIF {
+	failed := false
+	for _, r := range svc.CompileBatch(tgt, units) {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "pascal370: %s: %v\n", r.Name, r.Err)
+			failed = true
+			continue
+		}
+		if err := report(r.Name, r.Compiled, tgt, reportOpts{
+			listing: *listing, showIF: *showIF, dis: *dis, deck: *deck,
+			run: *run, printVars: *printVars, inits: inits,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, svc.Stats.String())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+type reportOpts struct {
+	listing, showIF, dis, run bool
+	deck, printVars           string
+	inits                     setFlags
+}
+
+// report prints one compiled program's requested views and optionally
+// runs it — the per-program half of the original single-file flow.
+func report(srcFile string, c *driver.Compiled, tgt *driver.Target, o reportOpts) error {
+	if o.showIF {
 		fmt.Println(ir.FormatTokens(c.Tokens))
 	}
-	if *listing {
+	if o.listing {
 		fmt.Print(c.Listing())
 	}
 	fmt.Printf("%s: %d IF tokens, %d reductions, %d instructions, %d code bytes\n",
 		srcFile, len(c.Tokens), c.Result.Reductions,
 		c.Prog.InstructionCount(), c.Prog.CodeSize)
 
-	if *dis {
+	if o.dis {
 		m, ok := tgt.Machine.(*s370.Machine)
 		if !ok {
-			fatal(fmt.Errorf("-dis supports the s370 target only"))
+			return fmt.Errorf("-dis supports the s370 target only")
 		}
 		for _, txt := range c.Deck.Texts {
 			if txt.Addr >= c.Prog.Origin && txt.Addr < c.Prog.Origin+c.Prog.CodeSize {
@@ -113,23 +161,23 @@ func main() {
 			}
 		}
 	}
-	if *deck != "" {
-		f, err := os.Create(*deck)
+	if o.deck != "" {
+		f, err := os.Create(o.deck)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := c.Deck.WriteCards(f); err != nil {
-			fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s: %d text bytes\n", *deck, c.Deck.TotalTextBytes())
+		fmt.Printf("wrote %s: %d text bytes\n", o.deck, c.Deck.TotalTextBytes())
 	}
-	if *run {
-		cpu, err := c.Run(inits, 50_000_000)
+	if o.run {
+		cpu, err := c.Run(o.inits, 50_000_000)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("executed %d instructions\n", cpu.Steps)
 		if out := driver.Output(cpu); len(out) > 0 {
@@ -139,17 +187,18 @@ func main() {
 			}
 			fmt.Println()
 		}
-		if *printVars != "" {
-			for _, name := range strings.Split(*printVars, ",") {
+		if o.printVars != "" {
+			for _, name := range strings.Split(o.printVars, ",") {
 				name = strings.TrimSpace(name)
 				v, err := driver.Word(cpu, c, name)
 				if err != nil {
-					fatal(err)
+					return err
 				}
 				fmt.Printf("  %s = %d\n", name, v)
 			}
 		}
 	}
+	return nil
 }
 
 func loadSpec(arg string) (string, string, error) {

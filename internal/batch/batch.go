@@ -1,0 +1,294 @@
+// Package batch is the concurrent compilation service: many programs
+// through one table-driven code generator, with the expensive artifact —
+// the SLR driving tables built from a CoGG specification — produced
+// once and reused everywhere.
+//
+// The paper's economics motivate the design: constructing the tables
+// costs tens of milliseconds of automaton construction, while driving
+// them over a program costs microseconds. The service therefore caches
+// compiled table modules in two tiers keyed by content hash of the
+// specification (see Key):
+//
+//   - an in-memory LRU of decoded modules, and
+//   - an on-disk cache of tables.Encode output, so a warm start skips
+//     SLR construction entirely and pays only the decode.
+//
+// Corrupt or stale disk entries (including modules serialized under an
+// older format version) are silently discarded and regenerated.
+//
+// Compilation units fan out across a bounded worker pool with
+// deterministic output ordering: results arrive indexed by input
+// position regardless of completion order. The unit of parallelism is
+// one program (or one IF stream for TranslateBatch). The shaper does
+// not allow splitting below the program: procedures share the label
+// space, the transfer vector, and the literal pool of their program, so
+// a finer unit would race on all three. What the shaper does allow —
+// and what the generator's immutability guarantees (see codegen.New) —
+// is any number of units driving one decoded module concurrently.
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"cogg/internal/asm"
+	"cogg/internal/codegen"
+	"cogg/internal/core"
+	"cogg/internal/driver"
+	"cogg/internal/ir"
+	"cogg/internal/labels"
+	"cogg/internal/shaper"
+	"cogg/internal/tables"
+)
+
+// Options configure a Service.
+type Options struct {
+	// Workers bounds the compilation pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// CacheDir is the on-disk table-module cache; empty disables the
+	// disk tier (the in-memory LRU still applies).
+	CacheDir string
+	// MemEntries caps the in-memory module LRU; <= 0 means 8.
+	MemEntries int
+}
+
+// Service is a concurrent compilation service. It is safe for use from
+// multiple goroutines; all counters accumulate in Stats.
+type Service struct {
+	Stats Stats
+
+	workers int
+	dir     string
+	mem     *moduleLRU
+
+	// inflight collapses concurrent requests for the same key into one
+	// table construction (or one disk decode).
+	mu       sync.Mutex
+	inflight map[string]*call
+}
+
+type call struct {
+	done chan struct{}
+	mod  *tables.Module
+	err  error
+}
+
+// New builds a Service. The cache directory is created lazily on the
+// first store.
+func New(opts Options) *Service {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	mem := opts.MemEntries
+	if mem <= 0 {
+		mem = 8
+	}
+	return &Service{
+		workers:  w,
+		dir:      opts.CacheDir,
+		mem:      newModuleLRU(mem),
+		inflight: map[string]*call{},
+	}
+}
+
+// Workers reports the pool bound.
+func (s *Service) Workers() int { return s.workers }
+
+// Module returns the table module for a specification, consulting the
+// in-memory LRU, then the disk cache, and only then running the table
+// constructor (and populating both tiers). Concurrent calls for the
+// same specification share one construction.
+func (s *Service) Module(specName, specSrc string) (*tables.Module, error) {
+	key := Key(specName, specSrc)
+	if mod, ok := s.mem.get(key); ok {
+		s.Stats.MemHits.Add(1)
+		return mod, nil
+	}
+
+	s.mu.Lock()
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		if c.err == nil {
+			// Joining an in-flight construction is a memory-tier hit:
+			// the module was served without building or decoding.
+			s.Stats.MemHits.Add(1)
+		}
+		return c.mod, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	c.mod, c.err = s.moduleSlow(key, specName, specSrc)
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(c.done)
+	return c.mod, c.err
+}
+
+// moduleSlow is the path below the in-memory tier.
+func (s *Service) moduleSlow(key, specName, specSrc string) (*tables.Module, error) {
+	if mod, ok := s.loadDisk(key); ok {
+		s.mem.put(key, mod)
+		return mod, nil
+	}
+	start := time.Now()
+	cg, err := core.Generate(specName, specSrc)
+	if err != nil {
+		return nil, err
+	}
+	s.Stats.TableBuildNanos.Add(int64(time.Since(start)))
+	s.Stats.Misses.Add(1)
+	mod := cg.Module()
+	s.mem.put(key, mod)
+	if err := s.storeDisk(key, mod); err != nil {
+		return nil, fmt.Errorf("batch: caching %s: %w", specName, err)
+	}
+	return mod, nil
+}
+
+// Store publishes an already-constructed module into both cache tiers
+// under the specification it was built from — the path cogg uses to
+// warm the cache offline for later ifcgen/pascal370 runs.
+func (s *Service) Store(specName, specSrc string, mod *tables.Module) error {
+	key := Key(specName, specSrc)
+	s.mem.put(key, mod)
+	return s.storeDisk(key, mod)
+}
+
+// Target returns a ready-to-use compiler target for a specification,
+// built from the cached module when one exists.
+func (s *Service) Target(specName, specSrc string, cfg codegen.Config) (*driver.Target, error) {
+	mod, err := s.Module(specName, specSrc)
+	if err != nil {
+		return nil, err
+	}
+	return driver.NewTargetFromModule(mod, cfg)
+}
+
+// Unit is one program to compile: a named Pascal source plus its
+// shaping options.
+type Unit struct {
+	Name   string
+	Source string
+	Opt    shaper.Options
+}
+
+// Result is the outcome of one unit, at the unit's input position.
+type Result struct {
+	Name     string
+	Compiled *driver.Compiled
+	Err      error
+}
+
+// CompileBatch compiles every unit through the target's generator,
+// fanning out across the worker pool. The returned slice is parallel to
+// units: results land at their input index whatever order the workers
+// finish in, so batch output is deterministic.
+func (s *Service) CompileBatch(tgt *driver.Target, units []Unit) []Result {
+	results := make([]Result, len(units))
+	s.run(len(units), func(i int) {
+		start := time.Now()
+		c, err := tgt.Compile(units[i].Name, units[i].Source, units[i].Opt)
+		s.Stats.CodegenNanos.Add(int64(time.Since(start)))
+		results[i] = Result{Name: units[i].Name, Compiled: c, Err: err}
+		if err != nil {
+			s.Stats.UnitsFailed.Add(1)
+			return
+		}
+		s.Stats.UnitsCompiled.Add(1)
+		s.Stats.Instructions.Add(int64(c.Prog.InstructionCount()))
+		s.Stats.BytesEmitted.Add(int64(c.Prog.CodeSize))
+	})
+	return results
+}
+
+// IFUnit is one textual intermediate-form stream to translate — the
+// spec-debugging granularity of ifcgen, and the finest unit the shaper
+// permits when procedure bodies are shaped into independent streams.
+type IFUnit struct {
+	Name string
+	Text string
+}
+
+// IFResult is the outcome of one IF unit.
+type IFResult struct {
+	Name         string
+	Listing      string
+	Tokens       int
+	Reductions   int
+	Instructions int
+	Err          error
+}
+
+// TranslateBatch drives the code generator over each IF stream
+// concurrently, returning laid-out listings in input order.
+func (s *Service) TranslateBatch(tgt *driver.Target, units []IFUnit) []IFResult {
+	results := make([]IFResult, len(units))
+	s.run(len(units), func(i int) {
+		start := time.Now()
+		r := translateOne(tgt, units[i])
+		s.Stats.CodegenNanos.Add(int64(time.Since(start)))
+		results[i] = r
+		if r.Err != nil {
+			s.Stats.UnitsFailed.Add(1)
+			return
+		}
+		s.Stats.UnitsCompiled.Add(1)
+		s.Stats.Instructions.Add(int64(r.Instructions))
+	})
+	return results
+}
+
+// translateOne tokenizes, generates, and lays out one IF stream.
+func translateOne(tgt *driver.Target, u IFUnit) IFResult {
+	toks, err := ir.ParseTokens(u.Text)
+	if err != nil {
+		return IFResult{Name: u.Name, Err: err}
+	}
+	prog, res, err := tgt.Gen.Generate(u.Name, toks)
+	if err != nil {
+		return IFResult{Name: u.Name, Err: err}
+	}
+	if err := labels.Layout(prog, tgt.Machine); err != nil {
+		return IFResult{Name: u.Name, Err: err}
+	}
+	return IFResult{
+		Name:         u.Name,
+		Listing:      asm.Listing(prog, tgt.Machine),
+		Tokens:       len(toks),
+		Reductions:   res.Reductions,
+		Instructions: prog.InstructionCount(),
+	}
+}
+
+// run executes n indexed jobs on the bounded pool.
+func (s *Service) run(n int, job func(i int)) {
+	s.Stats.enqueue(n)
+	workers := s.workers
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				job(i)
+				s.Stats.dequeue()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,151 @@
+package batch
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"cogg/internal/tables"
+)
+
+// Key derives the cache key for a specification: the hex SHA-256 over
+// the table-module format version, the specification name, and the
+// specification bytes. All three matter for staleness:
+//
+//   - a one-byte edit to the spec source must miss,
+//   - two specs with identical text but different names are distinct
+//     artifacts (diagnostics embed the name), and
+//   - a format-version bump (the magic string in package tables) must
+//     orphan every module serialized under the old encoding.
+func Key(specName, specSrc string) string {
+	return keyWith(tables.FormatVersion(), specName, specSrc)
+}
+
+// keyWith is Key with the format version injected — split out so the
+// staleness tests can prove a version bump changes every key.
+func keyWith(version, specName, specSrc string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, part := range []string{version, specName, specSrc} {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(part)))
+		h.Write(n[:])
+		h.Write([]byte(part))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// moduleLRU is the in-memory tier: decoded table modules by cache key,
+// evicting least-recently-used beyond cap. Modules are immutable after
+// decode, so one cached module may be handed to any number of callers.
+type moduleLRU struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *lruEntry
+	byKey map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	mod *tables.Module
+}
+
+func newModuleLRU(capacity int) *moduleLRU {
+	return &moduleLRU{cap: capacity, order: list.New(), byKey: map[string]*list.Element{}}
+}
+
+func (c *moduleLRU) get(key string) (*tables.Module, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).mod, true
+}
+
+func (c *moduleLRU) put(key string, mod *tables.Module) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*lruEntry).mod = mod
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, mod: mod})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// diskPath places a cache entry inside the service's cache directory.
+func (s *Service) diskPath(key string) string {
+	return filepath.Join(s.dir, key+".cogtbl")
+}
+
+// loadDisk tries the on-disk tier. A decode failure — truncation,
+// corruption, or a module serialized under a different format version
+// (whose magic no longer matches) — discards the entry and falls back
+// to regeneration rather than surfacing an error.
+func (s *Service) loadDisk(key string) (*tables.Module, bool) {
+	if s.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.diskPath(key))
+	if err != nil {
+		return nil, false
+	}
+	start := time.Now()
+	mod, err := tables.Decode(bytes.NewReader(data))
+	if err != nil {
+		s.Stats.DiskBad.Add(1)
+		os.Remove(s.diskPath(key))
+		return nil, false
+	}
+	s.Stats.DecodeNanos.Add(int64(time.Since(start)))
+	s.Stats.DiskHits.Add(1)
+	return mod, true
+}
+
+// storeDisk writes an encoded module under its key, atomically: the
+// bytes land in a temporary file first so a crashed or concurrent writer
+// can never leave a half-written entry at the final name.
+func (s *Service) storeDisk(key string, mod *tables.Module) error {
+	if s.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if _, err := tables.EncodeModule(&buf, mod); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.diskPath(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	s.Stats.DiskBytes.Add(int64(buf.Len()))
+	return nil
+}

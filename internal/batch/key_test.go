@@ -1,0 +1,34 @@
+package batch
+
+import (
+	"testing"
+
+	"cogg/internal/tables"
+)
+
+// TestKeyCoversFormatVersion is the white-box half of the staleness
+// contract: the cache key must change when the table-module format
+// version (the magic string in package tables) is bumped, so every disk
+// entry written under the old encoding is orphaned rather than decoded.
+func TestKeyCoversFormatVersion(t *testing.T) {
+	const name, src = "spec.cogg", "$Non-terminals\n r = register\n"
+	v1 := keyWith("CoGGtbl1", name, src)
+	v2 := keyWith("CoGGtbl2", name, src)
+	if v1 == v2 {
+		t.Error("format version bump did not change the cache key")
+	}
+	if Key(name, src) != keyWith(tables.FormatVersion(), name, src) {
+		t.Error("Key does not incorporate tables.FormatVersion")
+	}
+}
+
+// TestKeyFieldsDoNotCollide: the key hashes length-prefixed fields, so
+// moving a byte between the name and the source must not collide.
+func TestKeyFieldsDoNotCollide(t *testing.T) {
+	if keyWith("v", "ab", "c") == keyWith("v", "a", "bc") {
+		t.Error("name/source boundary shift produced a key collision")
+	}
+	if keyWith("va", "b", "c") == keyWith("v", "ab", "c") {
+		t.Error("version/name boundary shift produced a key collision")
+	}
+}

@@ -1,0 +1,108 @@
+package batch
+
+import (
+	"expvar"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Stats counts what the batch service did: cache traffic, where the time
+// went, and how much code came out. All counters are monotonic and
+// updated atomically, so a Stats may be read (Snapshot, String, or an
+// expvar poll) while compilations are in flight.
+type Stats struct {
+	// Cache traffic for table modules, by tier.
+	MemHits   atomic.Int64 // served from the in-memory LRU
+	DiskHits  atomic.Int64 // decoded from the on-disk cache
+	Misses    atomic.Int64 // built from specification source
+	DiskBad   atomic.Int64 // disk entries discarded (corrupt or stale format)
+	DiskBytes atomic.Int64 // bytes written to the on-disk cache
+
+	// Time accounting, in nanoseconds.
+	TableBuildNanos atomic.Int64 // SLR construction (cache misses only)
+	DecodeNanos     atomic.Int64 // table module decoding (disk hits)
+	CodegenNanos    atomic.Int64 // summed across units (wall time per unit)
+
+	// Unit throughput.
+	UnitsCompiled atomic.Int64
+	UnitsFailed   atomic.Int64
+	Instructions  atomic.Int64 // instructions emitted by successful units
+	BytesEmitted  atomic.Int64 // code bytes laid out by successful units
+
+	// Queue pressure: units waiting or running right now, and the
+	// high-water mark over the service's lifetime.
+	QueueDepth    atomic.Int64
+	QueueDepthMax atomic.Int64
+}
+
+// enqueue notes n units entering the pool and updates the high-water mark.
+func (s *Stats) enqueue(n int) {
+	d := s.QueueDepth.Add(int64(n))
+	for {
+		max := s.QueueDepthMax.Load()
+		if d <= max || s.QueueDepthMax.CompareAndSwap(max, d) {
+			return
+		}
+	}
+}
+
+func (s *Stats) dequeue() { s.QueueDepth.Add(-1) }
+
+// Snapshot is a point-in-time copy of every counter.
+type Snapshot struct {
+	MemHits, DiskHits, Misses, DiskBad int64
+	DiskBytes                          int64
+	TableBuild, Decode, Codegen        time.Duration
+	UnitsCompiled, UnitsFailed         int64
+	Instructions, BytesEmitted         int64
+	QueueDepth, QueueDepthMax          int64
+}
+
+// Snapshot reads every counter once.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		MemHits:       s.MemHits.Load(),
+		DiskHits:      s.DiskHits.Load(),
+		Misses:        s.Misses.Load(),
+		DiskBad:       s.DiskBad.Load(),
+		DiskBytes:     s.DiskBytes.Load(),
+		TableBuild:    time.Duration(s.TableBuildNanos.Load()),
+		Decode:        time.Duration(s.DecodeNanos.Load()),
+		Codegen:       time.Duration(s.CodegenNanos.Load()),
+		UnitsCompiled: s.UnitsCompiled.Load(),
+		UnitsFailed:   s.UnitsFailed.Load(),
+		Instructions:  s.Instructions.Load(),
+		BytesEmitted:  s.BytesEmitted.Load(),
+		QueueDepth:    s.QueueDepth.Load(),
+		QueueDepthMax: s.QueueDepthMax.Load(),
+	}
+}
+
+// String renders the counters as the block printed by the -stats flag of
+// cogg, ifcgen, and pascal370.
+func (s *Stats) String() string {
+	v := s.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "batch statistics\n")
+	fmt.Fprintf(&b, "  table cache      %d mem hits, %d disk hits, %d misses, %d bad disk entries\n",
+		v.MemHits, v.DiskHits, v.Misses, v.DiskBad)
+	fmt.Fprintf(&b, "  disk writes      %d bytes\n", v.DiskBytes)
+	fmt.Fprintf(&b, "  table build      %v\n", v.TableBuild)
+	fmt.Fprintf(&b, "  module decode    %v\n", v.Decode)
+	fmt.Fprintf(&b, "  code generation  %v across %d units (%d failed)\n",
+		v.Codegen, v.UnitsCompiled+v.UnitsFailed, v.UnitsFailed)
+	fmt.Fprintf(&b, "  emitted          %d instructions, %d code bytes\n",
+		v.Instructions, v.BytesEmitted)
+	fmt.Fprintf(&b, "  queue depth      %d now, %d peak\n", v.QueueDepth, v.QueueDepthMax)
+	return b.String()
+}
+
+// Publish registers the counters with the process-wide expvar registry
+// under the given name. Like all expvar registrations the name must be
+// unique for the life of the process; a second Publish with the same
+// name panics.
+func (s *Stats) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return s.Snapshot() }))
+}

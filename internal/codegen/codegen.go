@@ -62,6 +62,16 @@ type Config struct {
 }
 
 // Generator is a code generator instantiated from a table module.
+//
+// A Generator is immutable once New returns: the table module, the
+// configuration, and the class maps are only ever read afterwards, and
+// every Generate call carries its own allocator, CSE table, parse
+// stack, and code buffer. One Generator — including one built from a
+// single decoded module — therefore serves any number of concurrent
+// Generate calls. The one caveat is Config.Trace: the trace writer is
+// shared across runs, so a traced Generator must either be confined to
+// one goroutine or given a writer that is itself safe for concurrent
+// use.
 type Generator struct {
 	mod *tables.Module
 	cfg Config

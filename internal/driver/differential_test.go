@@ -1,11 +1,16 @@
 package driver_test
 
 import (
+	"sort"
 	"testing"
 
+	"cogg/internal/asm"
+	"cogg/internal/batch"
 	"cogg/internal/driver"
 	"cogg/internal/pascal"
+	"cogg/internal/rt370"
 	"cogg/internal/shaper"
+	"cogg/specs"
 )
 
 // differentialPrograms are compiled by both the table-driven generator
@@ -123,6 +128,55 @@ end.
 `,
 }
 
+// compareWithHandwritten runs a table-driven compilation against the
+// hand-written baseline for the same source and asserts every byte of
+// every main-program variable ends up identical in simulator memory.
+func compareWithHandwritten(t *testing.T, name, src string, td *driver.Compiled, m asm.Machine) {
+	t.Helper()
+	// Shape again for the baseline: shaping mutates no state, but the
+	// trees are rewritten in place downstream.
+	prog2, err := pascal.Parse(name+".pas", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	shapedHW, err := shaper.Shape(prog2, shaper.Options{StatementRecords: true})
+	if err != nil {
+		t.Fatalf("shape: %v", err)
+	}
+	hw, err := driver.CompileHandwritten(shapedHW, m)
+	if err != nil {
+		t.Fatalf("handwritten compile: %v", err)
+	}
+
+	cpuTD, err := td.Run(nil, 2_000_000)
+	if err != nil {
+		t.Fatalf("table-driven run: %v\n%s", err, td.Listing())
+	}
+	cpuHW, err := hw.Run(nil, 2_000_000)
+	if err != nil {
+		t.Fatalf("handwritten run: %v\n%s", err, hw.Listing())
+	}
+
+	for _, v := range prog2.Main.Locals {
+		addr, _ := td.VarAddr(v.Name)
+		size := v.Type.Size()
+		for off := int64(0); off < size; off++ {
+			a, errA := cpuTD.Byte(addr + uint32(off))
+			b, errB := cpuHW.Byte(addr + uint32(off))
+			if errA != nil || errB != nil {
+				t.Fatalf("reading %s+%d: %v %v", v.Name, off, errA, errB)
+			}
+			if a != b {
+				t.Errorf("%s byte %d: table-driven %#x vs handwritten %#x\nTD:\n%s\nHW:\n%s",
+					v.Name, off, a, b, td.Listing(), hw.Listing())
+				break
+			}
+		}
+	}
+	t.Logf("instructions: table-driven %d, handwritten %d",
+		td.Prog.InstructionCount(), hw.Prog.InstructionCount())
+}
+
 func TestDifferentialAgainstHandwritten(t *testing.T) {
 	for name, src := range differentialPrograms {
 		t.Run(name, func(t *testing.T) {
@@ -138,45 +192,49 @@ func TestDifferentialAgainstHandwritten(t *testing.T) {
 			if err != nil {
 				t.Fatalf("table-driven compile: %v", err)
 			}
-			// Shape again for the baseline: shaping mutates no state, but
-			// the trees are rewritten in place downstream.
-			prog2, _ := pascal.Parse(name+".pas", src)
-			shapedHW, err := shaper.Shape(prog2, shaper.Options{StatementRecords: true})
-			if err != nil {
-				t.Fatalf("shape: %v", err)
-			}
-			hw, err := driver.CompileHandwritten(shapedHW, target(t).Machine)
-			if err != nil {
-				t.Fatalf("handwritten compile: %v", err)
-			}
-
-			cpuTD, err := td.Run(nil, 2_000_000)
-			if err != nil {
-				t.Fatalf("table-driven run: %v\n%s", err, td.Listing())
-			}
-			cpuHW, err := hw.Run(nil, 2_000_000)
-			if err != nil {
-				t.Fatalf("handwritten run: %v\n%s", err, hw.Listing())
-			}
-
-			for _, v := range prog.Main.Locals {
-				addr, _ := td.VarAddr(v.Name)
-				size := v.Type.Size()
-				for off := int64(0); off < size; off++ {
-					a, errA := cpuTD.Byte(addr + uint32(off))
-					b, errB := cpuHW.Byte(addr + uint32(off))
-					if errA != nil || errB != nil {
-						t.Fatalf("reading %s+%d: %v %v", v.Name, off, errA, errB)
-					}
-					if a != b {
-						t.Errorf("%s byte %d: table-driven %#x vs handwritten %#x\nTD:\n%s\nHW:\n%s",
-							v.Name, off, a, b, td.Listing(), hw.Listing())
-						break
-					}
-				}
-			}
-			t.Logf("instructions: table-driven %d, handwritten %d",
-				td.Prog.InstructionCount(), hw.Prog.InstructionCount())
+			compareWithHandwritten(t, name, src, td, target(t).Machine)
 		})
+	}
+}
+
+// TestDifferentialBatchConcurrent runs the same generated-vs-handwritten
+// comparison through the batch service: every program compiles on an
+// 8-worker pool sharing one generator reconstituted from the module
+// cache, and each result must still match the hand-written baseline's
+// simulator memory byte for byte. This is the concurrency half of the
+// differential check: parallel compilation may not change what the
+// compiler emits.
+func TestDifferentialBatchConcurrent(t *testing.T) {
+	svc := batch.New(batch.Options{Workers: 8, CacheDir: t.TempDir()})
+	tgt, err := svc.Target("amdahl470.cogg", specs.Amdahl470, rt370.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	names := make([]string, 0, len(differentialPrograms))
+	for name := range differentialPrograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	units := make([]batch.Unit, 0, len(names))
+	for _, name := range names {
+		units = append(units, batch.Unit{
+			Name:   name,
+			Source: differentialPrograms[name],
+			Opt:    shaper.Options{StatementRecords: true},
+		})
+	}
+
+	results := svc.CompileBatch(tgt, units)
+	for i, r := range results {
+		t.Run(r.Name, func(t *testing.T) {
+			if r.Err != nil {
+				t.Fatalf("batch compile: %v", r.Err)
+			}
+			compareWithHandwritten(t, r.Name, units[i].Source, r.Compiled, tgt.Machine)
+		})
+	}
+	if v := svc.Stats.Snapshot(); v.UnitsCompiled != int64(len(units)) {
+		t.Errorf("stats count %d compiled units, want %d", v.UnitsCompiled, len(units))
 	}
 }

@@ -22,11 +22,18 @@ import (
 	"cogg/internal/rt370"
 	"cogg/internal/s370/sim"
 	"cogg/internal/shaper"
+	"cogg/internal/tables"
 )
 
 // Target is a ready-to-use code generator for the S/370 runtime.
+//
+// CG is non-nil only for targets built by running the table constructor
+// (NewTarget, NewTargetWithConfig); a target reconstituted from a
+// serialized table module (NewTargetFromModule) carries the decoded
+// module in Mod instead, and Table 1 statistics are unavailable.
 type Target struct {
 	CG      *core.CodeGenerator
+	Mod     *tables.Module
 	Gen     *codegen.Generator
 	Machine asm.Machine
 }
@@ -47,7 +54,21 @@ func NewTargetWithConfig(specName, specSrc string, cfg codegen.Config) (*Target,
 	if err != nil {
 		return nil, err
 	}
-	return &Target{CG: cg, Gen: gen, Machine: cfg.Machine}, nil
+	return &Target{CG: cg, Mod: cg.Module(), Gen: gen, Machine: cfg.Machine}, nil
+}
+
+// NewTargetFromModule instantiates the code generator from a decoded
+// table module, skipping SLR table construction entirely — the warm
+// path of the batch compilation service. The resulting target compiles
+// programs exactly like one built from the specification source; only
+// the construction-time artifacts (automaton, Table 1 statistics) are
+// absent.
+func NewTargetFromModule(mod *tables.Module, cfg codegen.Config) (*Target, error) {
+	gen, err := codegen.New(mod, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Target{Mod: mod, Gen: gen, Machine: cfg.Machine}, nil
 }
 
 // RiscConfig returns the configuration for the risc32 retargeting

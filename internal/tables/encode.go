@@ -10,8 +10,16 @@ import (
 	"cogg/internal/lr"
 )
 
-// magic identifies a serialized table module.
+// magic identifies a serialized table module. The trailing digit is the
+// format version: any change to the encoding below must bump it, which
+// invalidates every cached module on disk (package batch keys its cache
+// on FormatVersion).
 var magic = [8]byte{'C', 'o', 'G', 'G', 't', 'b', 'l', '1'}
+
+// FormatVersion returns the serialization format identifier (the magic
+// string, version digit included). Cache keys for encoded modules must
+// incorporate it so a format change can never resurrect stale bytes.
+func FormatVersion() string { return string(magic[:]) }
 
 // SectionSizes reports the serialized size of each component of a table
 // module, the raw material of the paper's Table 2.
@@ -33,25 +41,34 @@ type Module struct {
 // compressed table is stored; the uncompressed size is accounted for
 // comparison.
 func Encode(w io.Writer, g *grammar.Grammar, t *lr.Table, p *Packed) (SectionSizes, error) {
+	sizes, err := EncodeModule(w, &Module{Grammar: g, Packed: p})
+	sizes.Uncompressed = UncompressedSizeBytes(t)
+	return sizes, err
+}
+
+// EncodeModule serializes a module without an lr.Table in hand — the
+// re-encoding path for modules reconstituted by Decode (the uncompressed
+// size cannot be accounted and is reported as zero). The byte stream is
+// identical to Encode's for the same grammar and packed table.
+func EncodeModule(w io.Writer, m *Module) (SectionSizes, error) {
 	var sizes SectionSizes
 	var buf bytes.Buffer
 	buf.Write(magic[:])
 
 	start := buf.Len()
-	encodeSymbols(&buf, g)
+	encodeSymbols(&buf, m.Grammar)
 	sizes.Symbols = buf.Len() - start
 
 	start = buf.Len()
-	encodeProds(&buf, g)
+	encodeProds(&buf, m.Grammar)
 	sizes.Templates = buf.Len() - start
 
 	start = buf.Len()
-	if err := encodePacked(&buf, p); err != nil {
+	if err := encodePacked(&buf, m.Packed); err != nil {
 		return sizes, err
 	}
 	sizes.Compressed = buf.Len() - start
 
-	sizes.Uncompressed = UncompressedSizeBytes(t)
 	sizes.Total = buf.Len()
 	_, err := w.Write(buf.Bytes())
 	return sizes, err
