@@ -19,6 +19,12 @@
 //	-stats       print the batch-service counters (cache traffic, table
 //	             build vs. codegen time, queue depth) to standard error
 //	-trace       trace every parser action to stderr (single stream only)
+//	-timeout D   per-stream wall-time limit (e.g. 30s); a stream past the
+//	             deadline fails alone while the rest of the batch proceeds
+//	-retries N   retry a stream that failed with a transient (I/O) fault
+//	-max-errors N  blocked-parse diagnostics collected per stream before
+//	             giving up (default 16); each names the parse state, the
+//	             stacked symbols, and the IF operator the tables reject
 package main
 
 import (
@@ -40,6 +46,9 @@ func main() {
 	cacheDir := flag.String("cache", "", "table-module cache directory")
 	workers := flag.Int("j", 0, "worker pool size (default GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print batch-service statistics to stderr")
+	timeout := flag.Duration("timeout", 0, "per-stream wall-time limit (0 disables)")
+	retries := flag.Int("retries", 0, "retries for transient (I/O) faults")
+	maxErrors := flag.Int("max-errors", 0, "blocked-parse diagnostics per stream (default 16)")
 	flag.Parse()
 
 	units, err := readUnits(flag.Args())
@@ -61,8 +70,14 @@ func main() {
 	if *trace {
 		cfg.Trace = os.Stderr
 	}
+	cfg.MaxBlocks = *maxErrors
 
-	svc := batch.New(batch.Options{CacheDir: *cacheDir, Workers: *workers})
+	svc := batch.New(batch.Options{
+		CacheDir:    *cacheDir,
+		Workers:     *workers,
+		UnitTimeout: *timeout,
+		Retries:     *retries,
+	})
 	tgt, err := svc.Target(sName, sSrc, cfg)
 	if err != nil {
 		fatal(err)
@@ -75,7 +90,7 @@ func main() {
 			fmt.Printf("=== %s\n", r.Name)
 		}
 		if r.Err != nil {
-			fmt.Fprintf(os.Stderr, "ifcgen: %s: %v\n", r.Name, r.Err)
+			fmt.Fprintf(os.Stderr, "ifcgen: %s [%s]: %v\n", r.Name, r.Mode, r.Err)
 			failed = true
 			continue
 		}

@@ -16,6 +16,11 @@
 //	             by cogg -cache instead of reconstructing the tables
 //	-j N         worker pool size (default GOMAXPROCS)
 //	-stats       print batch-service counters to standard error
+//	-timeout D   per-program wall-time limit (e.g. 30s); a program past
+//	             the deadline fails alone, the rest of the batch proceeds
+//	-retries N   retry a program that failed with a transient (I/O) fault
+//	-max-errors N  blocked-parse diagnostics collected per program before
+//	             giving up (default 16)
 //	-S           print the assembly listing
 //	-if          print the linearized intermediate form
 //	-cse         run the IF optimizer (common subexpressions)
@@ -65,6 +70,9 @@ func main() {
 	cacheDir := flag.String("cache", "", "table-module cache directory")
 	workers := flag.Int("j", 0, "worker pool size (default GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print batch-service statistics to stderr")
+	timeout := flag.Duration("timeout", 0, "per-program wall-time limit (0 disables)")
+	retries := flag.Int("retries", 0, "retries for transient (I/O) faults")
+	maxErrors := flag.Int("max-errors", 0, "blocked-parse diagnostics per program (default 16)")
 	listing := flag.Bool("S", false, "print the assembly listing")
 	showIF := flag.Bool("if", false, "print the linearized intermediate form")
 	cse := flag.Bool("cse", false, "run the IF optimizer")
@@ -103,8 +111,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	svc := batch.New(batch.Options{CacheDir: *cacheDir, Workers: *workers})
-	tgt, err := svc.Target(sName, sSrc, rt370.Config())
+	svc := batch.New(batch.Options{
+		CacheDir:    *cacheDir,
+		Workers:     *workers,
+		UnitTimeout: *timeout,
+		Retries:     *retries,
+	})
+	cfg := rt370.Config()
+	cfg.MaxBlocks = *maxErrors
+	tgt, err := svc.Target(sName, sSrc, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -112,7 +127,7 @@ func main() {
 	failed := false
 	for _, r := range svc.CompileBatch(tgt, units) {
 		if r.Err != nil {
-			fmt.Fprintf(os.Stderr, "pascal370: %s: %v\n", r.Name, r.Err)
+			fmt.Fprintf(os.Stderr, "pascal370: %s [%s]: %v\n", r.Name, r.Mode, r.Err)
 			failed = true
 			continue
 		}

@@ -28,7 +28,6 @@
 package batch
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -52,6 +51,18 @@ type Options struct {
 	CacheDir string
 	// MemEntries caps the in-memory module LRU; <= 0 means 8.
 	MemEntries int
+
+	// UnitTimeout bounds each compilation unit's wall time; a unit past
+	// the deadline fails with FailTimeout while the rest of the batch
+	// proceeds. <= 0 disables the deadline.
+	UnitTimeout time.Duration
+	// Retries is how many times a unit or cache operation that failed
+	// with a transient fault (FailIO: disk trouble, corrupt decode) is
+	// retried with exponential backoff; <= 0 disables retry.
+	Retries int
+	// RetryBackoff is the first retry's delay, doubling per retry;
+	// <= 0 means 10ms.
+	RetryBackoff time.Duration
 }
 
 // Service is a concurrent compilation service. It is safe for use from
@@ -62,6 +73,10 @@ type Service struct {
 	workers int
 	dir     string
 	mem     *moduleLRU
+
+	timeout time.Duration
+	retries int
+	backoff time.Duration
 
 	// inflight collapses concurrent requests for the same key into one
 	// table construction (or one disk decode).
@@ -86,10 +101,17 @@ func New(opts Options) *Service {
 	if mem <= 0 {
 		mem = 8
 	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
 	return &Service{
 		workers:  w,
 		dir:      opts.CacheDir,
 		mem:      newModuleLRU(mem),
+		timeout:  opts.UnitTimeout,
+		retries:  opts.Retries,
+		backoff:  backoff,
 		inflight: map[string]*call{},
 	}
 }
@@ -146,8 +168,11 @@ func (s *Service) moduleSlow(key, specName, specSrc string) (*tables.Module, err
 	s.Stats.Misses.Add(1)
 	mod := cg.Module()
 	s.mem.put(key, mod)
-	if err := s.storeDisk(key, mod); err != nil {
-		return nil, fmt.Errorf("batch: caching %s: %w", specName, err)
+	// A failed cache write is degraded, not fatal: the module is in
+	// memory and every unit can proceed. Transient disk faults retry
+	// with backoff first; a write that still fails is only counted.
+	if err := s.storeDiskRetry(key, mod); err != nil {
+		s.Stats.DiskWriteErrs.Add(1)
 	}
 	return mod, nil
 }
@@ -180,25 +205,35 @@ type Unit struct {
 }
 
 // Result is the outcome of one unit, at the unit's input position.
+// Mode classifies any failure; a panic recovered from the unit arrives
+// as Err wrapping a *PanicError with the captured stack.
 type Result struct {
 	Name     string
 	Compiled *driver.Compiled
 	Err      error
+	Mode     FailureMode
 }
 
 // CompileBatch compiles every unit through the target's generator,
 // fanning out across the worker pool. The returned slice is parallel to
 // units: results land at their input index whatever order the workers
 // finish in, so batch output is deterministic.
+//
+// Units are isolated: each runs under recover with the service's
+// per-unit deadline and transient-fault retry, so one unit that
+// panics, stalls, or hits a resource limit yields a structured per-unit
+// error while every other unit completes normally.
 func (s *Service) CompileBatch(tgt *driver.Target, units []Unit) []Result {
 	results := make([]Result, len(units))
 	s.run(len(units), func(i int) {
 		start := time.Now()
-		c, err := tgt.Compile(units[i].Name, units[i].Source, units[i].Opt)
+		c, err := attempt(s, units[i].Name, func() (*driver.Compiled, error) {
+			return tgt.Compile(units[i].Name, units[i].Source, units[i].Opt)
+		})
 		s.Stats.CodegenNanos.Add(int64(time.Since(start)))
-		results[i] = Result{Name: units[i].Name, Compiled: c, Err: err}
+		results[i] = Result{Name: units[i].Name, Compiled: c, Err: err, Mode: Classify(err)}
 		if err != nil {
-			s.Stats.UnitsFailed.Add(1)
+			s.Stats.noteFailure(results[i].Mode)
 			return
 		}
 		s.Stats.UnitsCompiled.Add(1)
@@ -224,19 +259,25 @@ type IFResult struct {
 	Reductions   int
 	Instructions int
 	Err          error
+	Mode         FailureMode
 }
 
 // TranslateBatch drives the code generator over each IF stream
-// concurrently, returning laid-out listings in input order.
+// concurrently, returning laid-out listings in input order. Units are
+// isolated the same way CompileBatch's are.
 func (s *Service) TranslateBatch(tgt *driver.Target, units []IFUnit) []IFResult {
 	results := make([]IFResult, len(units))
 	s.run(len(units), func(i int) {
 		start := time.Now()
-		r := translateOne(tgt, units[i])
+		r, err := attempt(s, units[i].Name, func() (IFResult, error) {
+			r := translateOne(tgt, units[i])
+			return r, r.Err
+		})
 		s.Stats.CodegenNanos.Add(int64(time.Since(start)))
+		r.Name, r.Err, r.Mode = units[i].Name, err, Classify(err)
 		results[i] = r
-		if r.Err != nil {
-			s.Stats.UnitsFailed.Add(1)
+		if err != nil {
+			s.Stats.noteFailure(r.Mode)
 			return
 		}
 		s.Stats.UnitsCompiled.Add(1)

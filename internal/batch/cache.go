@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"cogg/internal/faultinject"
 	"cogg/internal/tables"
 )
 
@@ -99,6 +100,9 @@ func (s *Service) loadDisk(key string) (*tables.Module, bool) {
 	if s.dir == "" {
 		return nil, false
 	}
+	if err := faultinject.Eval("batch/cache/read", key); err != nil {
+		return nil, false
+	}
 	data, err := os.ReadFile(s.diskPath(key))
 	if err != nil {
 		return nil, false
@@ -129,6 +133,9 @@ func (s *Service) storeDisk(key string, mod *tables.Module) error {
 	if _, err := tables.EncodeModule(&buf, mod); err != nil {
 		return err
 	}
+	if err := faultinject.Eval("batch/cache/write", key); err != nil {
+		return err
+	}
 	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
 	if err != nil {
 		return err
@@ -142,10 +149,26 @@ func (s *Service) storeDisk(key string, mod *tables.Module) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	if err := faultinject.Eval("batch/cache/rename", key); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := os.Rename(tmp.Name(), s.diskPath(key)); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
 	s.Stats.DiskBytes.Add(int64(buf.Len()))
 	return nil
+}
+
+// storeDiskRetry is storeDisk with the service's transient-fault retry
+// schedule.
+func (s *Service) storeDiskRetry(key string, mod *tables.Module) error {
+	err := s.storeDisk(key, mod)
+	for try := 0; err != nil && try < s.retries && transient(err); try++ {
+		s.Stats.Retries.Add(1)
+		time.Sleep(s.backoff << try)
+		err = s.storeDisk(key, mod)
+	}
+	return err
 }

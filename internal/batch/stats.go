@@ -31,6 +31,17 @@ type Stats struct {
 	Instructions  atomic.Int64 // instructions emitted by successful units
 	BytesEmitted  atomic.Int64 // code bytes laid out by successful units
 
+	// Failure taxonomy: UnitsFailed broken down by FailureMode, plus
+	// fault-tolerance machinery counters.
+	FailedPanic    atomic.Int64 // units that panicked (recovered)
+	FailedBlocked  atomic.Int64 // units whose parse blocked
+	FailedTimeout  atomic.Int64 // units past the per-unit deadline
+	FailedResource atomic.Int64 // units over a translation resource limit
+	FailedIO       atomic.Int64 // units lost to infrastructure faults
+	FailedOther    atomic.Int64 // everything else
+	Retries        atomic.Int64 // transient-fault retries performed
+	DiskWriteErrs  atomic.Int64 // cache writes that failed after retry (degraded)
+
 	// Queue pressure: units waiting or running right now, and the
 	// high-water mark over the service's lifetime.
 	QueueDepth    atomic.Int64
@@ -50,6 +61,25 @@ func (s *Stats) enqueue(n int) {
 
 func (s *Stats) dequeue() { s.QueueDepth.Add(-1) }
 
+// noteFailure records one failed unit under its mode.
+func (s *Stats) noteFailure(m FailureMode) {
+	s.UnitsFailed.Add(1)
+	switch m {
+	case FailPanic:
+		s.FailedPanic.Add(1)
+	case FailBlocked:
+		s.FailedBlocked.Add(1)
+	case FailTimeout:
+		s.FailedTimeout.Add(1)
+	case FailResource:
+		s.FailedResource.Add(1)
+	case FailIO:
+		s.FailedIO.Add(1)
+	default:
+		s.FailedOther.Add(1)
+	}
+}
+
 // Snapshot is a point-in-time copy of every counter.
 type Snapshot struct {
 	MemHits, DiskHits, Misses, DiskBad int64
@@ -58,6 +88,10 @@ type Snapshot struct {
 	UnitsCompiled, UnitsFailed         int64
 	Instructions, BytesEmitted         int64
 	QueueDepth, QueueDepthMax          int64
+
+	FailedPanic, FailedBlocked, FailedTimeout int64
+	FailedResource, FailedIO, FailedOther     int64
+	Retries, DiskWriteErrs                    int64
 }
 
 // Snapshot reads every counter once.
@@ -77,6 +111,15 @@ func (s *Stats) Snapshot() Snapshot {
 		BytesEmitted:  s.BytesEmitted.Load(),
 		QueueDepth:    s.QueueDepth.Load(),
 		QueueDepthMax: s.QueueDepthMax.Load(),
+
+		FailedPanic:    s.FailedPanic.Load(),
+		FailedBlocked:  s.FailedBlocked.Load(),
+		FailedTimeout:  s.FailedTimeout.Load(),
+		FailedResource: s.FailedResource.Load(),
+		FailedIO:       s.FailedIO.Load(),
+		FailedOther:    s.FailedOther.Load(),
+		Retries:        s.Retries.Load(),
+		DiskWriteErrs:  s.DiskWriteErrs.Load(),
 	}
 }
 
@@ -96,6 +139,13 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "  emitted          %d instructions, %d code bytes\n",
 		v.Instructions, v.BytesEmitted)
 	fmt.Fprintf(&b, "  queue depth      %d now, %d peak\n", v.QueueDepth, v.QueueDepthMax)
+	if v.UnitsFailed > 0 {
+		fmt.Fprintf(&b, "  failure modes    %d panic, %d blocked, %d timeout, %d resource-limit, %d io, %d other\n",
+			v.FailedPanic, v.FailedBlocked, v.FailedTimeout, v.FailedResource, v.FailedIO, v.FailedOther)
+	}
+	if v.Retries > 0 || v.DiskWriteErrs > 0 {
+		fmt.Fprintf(&b, "  fault tolerance  %d retries, %d degraded cache writes\n", v.Retries, v.DiskWriteErrs)
+	}
 	return b.String()
 }
 

@@ -1,0 +1,214 @@
+package codegen_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cogg/internal/codegen"
+	"cogg/internal/core"
+	"cogg/internal/rt370"
+)
+
+func buildMiniWith(t *testing.T, mutate func(*codegen.Config)) *codegen.Generator {
+	t.Helper()
+	cg, err := core.Generate("mini.cogg", miniSpec)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	cfg := rt370.Config()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	gen, err := cg.NewGenerator(cfg)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return gen
+}
+
+// TestBlockedParseCollectsMultipleDiagnostics: a single Generate call
+// over IF with two independent shapes the (deliberately incomplete)
+// specification never anticipated must report both blocking sites, each
+// with state, stack, and lookahead context — not abort at the first.
+func TestBlockedParseCollectsMultipleDiagnostics(t *testing.T) {
+	gen := buildMini(t)
+	toks := mustTokens(t,
+		// Blocks mid-expression: label_def where an operand is required.
+		"assign fullword dsp.100 r.13 label_def lbl.5 "+
+			// A translatable statement between the two holes.
+			"assign fullword dsp.104 r.13 fullword dsp.108 r.13 "+
+			// Blocks again: a condition mask in an operand position.
+			"assign fullword dsp.112 r.13 cond.8")
+	_, _, err := gen.Generate("HOLES", toks)
+	var be *codegen.BlockedError
+	if !errors.As(err, &be) {
+		t.Fatalf("Generate = %v, want *BlockedError", err)
+	}
+	if len(be.Blocks) < 2 {
+		t.Fatalf("collected %d blocks, want >= 2:\n%v", len(be.Blocks), err)
+	}
+	if be.Truncated {
+		t.Errorf("Truncated set below the cap")
+	}
+	seen := map[string]bool{}
+	for i, d := range be.Blocks {
+		if d.Lookahead == "" {
+			t.Errorf("block %d has no lookahead", i)
+		}
+		if d.State < 0 {
+			t.Errorf("block %d has state %d", i, d.State)
+		}
+		if d.Reason == "" {
+			t.Errorf("block %d has no reason", i)
+		}
+		seen[d.Lookahead] = true
+	}
+	if !seen["label_def"] || !seen["cond.8"] {
+		t.Errorf("lookaheads = %v, want both label_def and cond.8", seen)
+	}
+	// The first block happens mid-statement: the partial assign must be
+	// visible on the recorded stack.
+	if len(be.Blocks[0].Stack) == 0 {
+		t.Errorf("first block has an empty stack; want the partial statement")
+	}
+	if !strings.Contains(err.Error(), "state") || !strings.Contains(err.Error(), "stack") {
+		t.Errorf("error text lacks state/stack context:\n%v", err)
+	}
+}
+
+// TestBlockedParseCap: collection stops at Config.MaxBlocks and the
+// error says so.
+func TestBlockedParseCap(t *testing.T) {
+	gen := buildMiniWith(t, func(c *codegen.Config) { c.MaxBlocks = 2 })
+	toks := mustTokens(t,
+		"assign fullword dsp.100 r.13 cond.1 "+
+			"assign fullword dsp.104 r.13 cond.2 "+
+			"assign fullword dsp.108 r.13 cond.3 "+
+			"assign fullword dsp.112 r.13 cond.4")
+	_, _, err := gen.Generate("CAPPED", toks)
+	var be *codegen.BlockedError
+	if !errors.As(err, &be) {
+		t.Fatalf("Generate = %v, want *BlockedError", err)
+	}
+	if len(be.Blocks) != 2 {
+		t.Fatalf("collected %d blocks, want exactly 2 (the cap)", len(be.Blocks))
+	}
+	if !be.Truncated {
+		t.Errorf("Truncated not set at the cap with input remaining")
+	}
+}
+
+// TestBlockedAtEndOfInput: a statement truncated mid-expression blocks
+// on $end with the partial parse on the stack.
+func TestBlockedAtEndOfInput(t *testing.T) {
+	gen := buildMini(t)
+	toks := mustTokens(t, "assign fullword dsp.100 r.13")
+	_, _, err := gen.Generate("TRUNC", toks)
+	var be *codegen.BlockedError
+	if !errors.As(err, &be) {
+		t.Fatalf("Generate = %v, want *BlockedError", err)
+	}
+	if len(be.Blocks) != 1 || be.Blocks[0].Lookahead != "$end" {
+		t.Fatalf("blocks = %+v, want one $end block", be.Blocks)
+	}
+}
+
+// TestUndeclaredSymbolIsBlock: symbols the specification never declared
+// are blocked-parse diagnostics too, and the parse continues past them.
+func TestUndeclaredSymbolIsBlock(t *testing.T) {
+	gen := buildMini(t)
+	toks := mustTokens(t,
+		"halfword dsp.2 r.13 "+
+			"assign fullword dsp.104 r.13 fullword dsp.108 r.13 "+
+			"imul r.1 r.2")
+	_, _, err := gen.Generate("UNDECL", toks)
+	var be *codegen.BlockedError
+	if !errors.As(err, &be) {
+		t.Fatalf("Generate = %v, want *BlockedError", err)
+	}
+	if len(be.Blocks) < 2 {
+		t.Fatalf("collected %d blocks, want >= 2:\n%v", len(be.Blocks), err)
+	}
+	if !strings.Contains(be.Blocks[0].Reason, "not declared") {
+		t.Errorf("first reason = %q, want a not-declared diagnostic", be.Blocks[0].Reason)
+	}
+}
+
+// TestCleanParseHasNoBlocks: a translatable stream still reports nil.
+func TestCleanParseHasNoBlocks(t *testing.T) {
+	gen := buildMini(t)
+	toks := mustTokens(t, "assign fullword dsp.104 r.13 fullword dsp.108 r.13")
+	if _, _, err := gen.Generate("CLEAN", toks); err != nil {
+		t.Fatalf("Generate = %v", err)
+	}
+}
+
+// TestStackDepthLimit: a pathological operator chain degrades to a
+// ResourceError, never a panic or unbounded growth.
+func TestStackDepthLimit(t *testing.T) {
+	gen := buildMiniWith(t, func(c *codegen.Config) { c.MaxStackDepth = 16 })
+	text := "assign fullword dsp.100 r.13 "
+	for i := 0; i < 64; i++ {
+		text += "iadd "
+	}
+	text += "r.1 r.2"
+	_, _, err := gen.Generate("DEEP", mustTokens(t, text))
+	var re *codegen.ResourceError
+	if !errors.As(err, &re) || re.Kind != codegen.ResStackDepth {
+		t.Fatalf("Generate = %v, want ResourceError{ResStackDepth}", err)
+	}
+	if re.Limit != 16 {
+		t.Errorf("Limit = %d, want 16", re.Limit)
+	}
+}
+
+// TestCodeBytesLimit: the code buffer is bounded; exceeding the bound
+// is a structured error.
+func TestCodeBytesLimit(t *testing.T) {
+	gen := buildMiniWith(t, func(c *codegen.Config) { c.MaxCodeBytes = 6 })
+	toks := mustTokens(t,
+		"assign fullword dsp.100 r.13 iadd fullword dsp.100 r.13 fullword dsp.104 r.13")
+	_, _, err := gen.Generate("BIGCODE", toks)
+	var re *codegen.ResourceError
+	if !errors.As(err, &re) || re.Kind != codegen.ResCodeBytes {
+		t.Fatalf("Generate = %v, want ResourceError{ResCodeBytes}", err)
+	}
+}
+
+// TestRegisterExhaustionIsResourceError: register-allocation failure
+// carries the ResRegisters kind for the batch failure taxonomy. The
+// class is shrunk to two allocatable registers so a right-spine of adds
+// (every operand loaded and held live) deterministically exhausts it.
+func TestRegisterExhaustionIsResourceError(t *testing.T) {
+	gen := buildMiniWith(t, func(c *codegen.Config) {
+		for i := range c.Classes {
+			if c.Classes[i].Name == "r" {
+				c.Classes[i].Regs = []int{1, 2}
+				c.Classes[i].Extra = nil
+			}
+		}
+	})
+	// A balanced add tree holds one live register per level — depth 4
+	// cannot fit in 2 registers (the spine forms fold into memory
+	// operands and never build pressure).
+	var tree func(depth int) string
+	tree = func(depth int) string {
+		if depth == 0 {
+			return "fullword dsp.100 r.13"
+		}
+		return "iadd " + tree(depth-1) + " " + tree(depth-1)
+	}
+	text := "assign fullword dsp.4 r.13 " + tree(4)
+	_, _, err := gen.Generate("PRESSURE", mustTokens(t, text))
+	var re *codegen.ResourceError
+	if err == nil {
+		t.Fatal("two-register class absorbed the pressure; want ResourceError")
+	}
+	if !errors.As(err, &re) || re.Kind != codegen.ResRegisters {
+		t.Fatalf("Generate = %v, want ResourceError{ResRegisters}", err)
+	}
+	if !strings.Contains(re.Error(), "resource limit") {
+		t.Errorf("error text = %q", re.Error())
+	}
+}

@@ -59,6 +59,51 @@ type Config struct {
 	// reduce, prefix-to-input) — the spec-debugging view of the skeletal
 	// parser at work.
 	Trace io.Writer
+
+	// MaxBlocks caps the blocked-parse diagnostics collected per
+	// Generate before the parser gives up resynchronizing; <= 0 means
+	// DefaultMaxBlocks.
+	MaxBlocks int
+
+	// MaxStackDepth bounds the parse stack; <= 0 means
+	// DefaultMaxStackDepth. Exceeding it is a ResourceError.
+	MaxStackDepth int
+
+	// MaxCodeBytes bounds the code buffer (estimated from instruction
+	// sizes as emitted, before layout); <= 0 means DefaultMaxCodeBytes.
+	// Exceeding it is a ResourceError.
+	MaxCodeBytes int
+}
+
+// Default translation resource limits, applied when the corresponding
+// Config field is zero. They are generous for real programs — the
+// paper's compiler never comes near them — and exist so pathological IF
+// streams degrade to structured errors instead of unbounded memory.
+const (
+	DefaultMaxBlocks     = 16
+	DefaultMaxStackDepth = 1 << 16
+	DefaultMaxCodeBytes  = 1 << 24
+)
+
+func (g *Generator) maxBlocks() int {
+	if g.cfg.MaxBlocks > 0 {
+		return g.cfg.MaxBlocks
+	}
+	return DefaultMaxBlocks
+}
+
+func (g *Generator) maxStackDepth() int {
+	if g.cfg.MaxStackDepth > 0 {
+		return g.cfg.MaxStackDepth
+	}
+	return DefaultMaxStackDepth
+}
+
+func (g *Generator) maxCodeBytes() int {
+	if g.cfg.MaxCodeBytes > 0 {
+		return g.cfg.MaxCodeBytes
+	}
+	return DefaultMaxCodeBytes
 }
 
 // Generator is a code generator instantiated from a table module.

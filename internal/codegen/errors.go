@@ -1,0 +1,98 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BlockDiag describes one place the skeletal parser blocked: an
+// (LR state, IF symbol) pair with no action, which the paper identifies
+// as the failure mode of an incomplete specification — a front end
+// emitted an IF shape the specification never anticipated. The parser
+// records the diagnostic, resynchronizes at the next statement
+// boundary, and keeps collecting, so one Generate call can report every
+// hole in the specification that the input exercises.
+type BlockDiag struct {
+	Pos       int      // index of the offending token in the input stream
+	Stmt      int      // source statement number (0 without stmt records)
+	State     int      // LR state that has no action
+	Lookahead string   // offending token, or "$end" at end of input
+	Stack     []string // parse stack symbol names, bottom first
+	Reason    string   // why the parse cannot proceed
+}
+
+func (d BlockDiag) String() string {
+	stack := "(empty)"
+	if len(d.Stack) > 0 {
+		stack = strings.Join(d.Stack, " ")
+	}
+	s := fmt.Sprintf("token %d: blocked in state %d on %s (stack: %s): %s",
+		d.Pos, d.State, d.Lookahead, stack, d.Reason)
+	if d.Stmt > 0 {
+		s = fmt.Sprintf("statement %d, %s", d.Stmt, s)
+	}
+	return s
+}
+
+// BlockedError reports every site where a translation blocked. Blocks
+// holds at least one diagnostic; Truncated notes that collection
+// stopped at the configured cap (Config.MaxBlocks) with input left.
+type BlockedError struct {
+	Name      string
+	Blocks    []BlockDiag
+	Truncated bool
+}
+
+func (e *BlockedError) Error() string {
+	suffix := ""
+	if e.Truncated {
+		suffix = " (more suppressed)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "codegen: %s: the specification cannot translate this IF: %d blocked parse site(s)%s",
+		e.Name, len(e.Blocks), suffix)
+	for _, d := range e.Blocks {
+		b.WriteString("\n  ")
+		b.WriteString(d.String())
+	}
+	return b.String()
+}
+
+// ResourceKind names a translation-time resource limit.
+type ResourceKind int
+
+const (
+	ResStackDepth ResourceKind = iota // parse stack exceeded Config.MaxStackDepth
+	ResCodeBytes                      // code buffer exceeded Config.MaxCodeBytes
+	ResRegisters                      // register allocation failed (demand exceeds the class)
+)
+
+func (k ResourceKind) String() string {
+	switch k {
+	case ResStackDepth:
+		return "parse-stack depth"
+	case ResCodeBytes:
+		return "code-buffer bytes"
+	case ResRegisters:
+		return "registers"
+	}
+	return fmt.Sprintf("resource#%d", int(k))
+}
+
+// ResourceError reports that a translation hit an explicit resource
+// limit. Limits degrade to errors, never panics: a pathological IF
+// stream can exhaust a register class, blow the parse stack, or emit
+// unbounded code, and all three must surface as a structured per-unit
+// failure.
+type ResourceError struct {
+	Kind  ResourceKind
+	Limit int // the configured bound, when the kind has one
+	Pos   int // input position at the failure
+	State int // LR state at the failure
+	Msg   string
+}
+
+func (e *ResourceError) Error() string {
+	return fmt.Sprintf("codegen: resource limit (%s) at token %d, state %d: %s",
+		e.Kind, e.Pos, e.State, e.Msg)
+}

@@ -1,0 +1,49 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"cogg/internal/core"
+	"cogg/internal/ir"
+	"cogg/internal/rt370"
+)
+
+// FuzzGenerate drives the table-driven generator over arbitrary IF
+// prefix streams. Whatever the stream — truncated mid-expression,
+// symbols in impossible positions, undeclared opcodes — Generate must
+// return (possibly a BlockedError carrying diagnostics), never panic:
+// blocked-parse recovery and the resource limits are the only exits.
+func FuzzGenerate(f *testing.F) {
+	cg, err := core.Generate("mini.cogg", miniSpec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	gen, err := cg.NewGenerator(rt370.Config())
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add("assign fullword dsp.100 r.13 iadd fullword dsp.100 r.13 fullword dsp.104 r.13")
+	f.Add("label_def lbl.1 assign fullword dsp.100 r.13 fullword dsp.104 r.13 branch_op lbl.1")
+	f.Add("icompare r.1 r.2 branch_op lbl.3 cond.8")
+	f.Add("assign fullword dsp.100")      // truncated mid-statement
+	f.Add("iadd iadd iadd r.1 r.2")       // operator where operand expected
+	f.Add("dsp.100 r.13 assign fullword") // operands before any operator
+	f.Add("halfword imul r.1 r.2")        // undeclared symbols
+
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 1<<13 {
+			return // bound per-input work; long streams add no new shapes
+		}
+		toks, err := ir.ParseTokens(text)
+		if err != nil {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Generate panicked on %q: %v", text, r)
+			}
+		}()
+		gen.Generate("fuzz", toks)
+	})
+}

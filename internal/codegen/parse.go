@@ -80,6 +80,17 @@ type run struct {
 	autoLabel int64 // allocator for generator-internal (negative) labels
 	stmtNum   int   // current source statement, from stmt_record
 
+	// blocked-parse recovery state: diagnostics collected so far and
+	// whether the cap cut collection short.
+	blocks    []BlockDiag
+	truncated bool
+
+	// code-buffer accounting for the MaxCodeBytes limit. codeErr is
+	// sticky so emit (which many template paths call without an error
+	// return) can record the violation for the parse loop to surface.
+	codeBytes int
+	codeErr   error
+
 	// per-reduction state
 	pendingSkips []pendingSkip
 }
@@ -89,9 +100,14 @@ type pendingSkip struct {
 	remaining int64
 }
 
-// parse runs the skeletal LR parser to completion.
+// parse runs the skeletal LR parser to completion. A blocked parse —
+// an (state, IF symbol) pair with no action — is recorded as a
+// BlockDiag and recovered by resynchronizing at the next statement
+// boundary, so one run reports every blocking site the input exercises
+// (up to Config.MaxBlocks); any blocks surface as one BlockedError.
 func (r *run) parse() error {
 	r.stack = append(r.stack[:0], stackEntry{state: 0, sym: -1})
+	maxDepth := r.g.maxStackDepth()
 	// Every step either consumes an input token or reduces (popping at
 	// least one stack entry after pushing bounded pushback); bound the
 	// loop generously to catch non-uniformly-reducible grammars, which
@@ -102,6 +118,9 @@ func (r *run) parse() error {
 			return &GenError{Pos: r.input.pos, State: r.top().state,
 				Msg: "parser appears to be looping (grammar is not uniformly reducible)"}
 		}
+		if r.codeErr != nil {
+			return r.codeErr
+		}
 		tok, ok := r.input.peek()
 		sym := 0
 		if !ok {
@@ -109,15 +128,19 @@ func (r *run) parse() error {
 		} else {
 			s, found := r.gr.Lookup(tok.Sym)
 			if !found {
-				return &GenError{Pos: r.input.pos, Token: tok, State: r.top().state,
-					Msg: fmt.Sprintf("symbol %q is not declared in the code generator specification", tok.Sym)}
+				if r.block(tok, ok, fmt.Sprintf("symbol %q is not declared in the code generator specification", tok.Sym)) {
+					continue
+				}
+				return r.finish()
 			}
 			switch s.Kind {
 			case grammar.Operator, grammar.Terminal, grammar.Nonterminal:
 				sym = s.ID
 			default:
-				return &GenError{Pos: r.input.pos, Token: tok, State: r.top().state,
-					Msg: fmt.Sprintf("%s %q cannot occur in the intermediate form", s.Kind, tok.Sym)}
+				if r.block(tok, ok, fmt.Sprintf("%s %q cannot occur in the intermediate form", s.Kind, tok.Sym)) {
+					continue
+				}
+				return r.finish()
 			}
 		}
 
@@ -131,8 +154,13 @@ func (r *run) parse() error {
 				return &GenError{Pos: r.input.pos, State: r.top().state,
 					Msg: fmt.Sprintf("input exhausted with %d symbols left on the parse stack", len(r.stack)-1)}
 			}
-			return nil
+			return r.finish()
 		case lr.Shift:
+			if len(r.stack) >= maxDepth {
+				return &ResourceError{Kind: ResStackDepth, Limit: maxDepth,
+					Pos: r.input.pos, State: r.top().state,
+					Msg: fmt.Sprintf("parse stack exceeds %d entries", maxDepth)}
+			}
 			r.stack = append(r.stack, stackEntry{state: act.Target(), sym: sym, val: tok.Val})
 			r.input.consume()
 		case lr.Reduce:
@@ -140,8 +168,82 @@ func (r *run) parse() error {
 				return err
 			}
 		default:
-			return r.syntaxError(tok, ok)
+			if r.block(tok, ok, "no action; the specification cannot translate this IF shape") {
+				continue
+			}
+			return r.finish()
 		}
+	}
+}
+
+// finish ends a parse: clean runs report nil, runs that blocked report
+// every collected diagnostic as one BlockedError.
+func (r *run) finish() error {
+	if len(r.blocks) == 0 {
+		return nil
+	}
+	return &BlockedError{Name: r.prog.Name, Blocks: r.blocks, Truncated: r.truncated}
+}
+
+// block records a blocked-parse diagnostic and resynchronizes so the
+// parse can continue collecting further blocks. It reports false when
+// parsing cannot continue: the input is exhausted or the diagnostic cap
+// is reached.
+//
+// Recovery abandons the offending IF subtree: the pushback queue, the
+// parse stack, and the register and CSE state all describe the broken
+// statement, so all four reset, and input is skipped until a token that
+// can begin a statement (one with an action in the start state). The
+// code emitted after a block is best-effort — Generate still returns an
+// error — recovery exists to surface every specification hole in one
+// run, not to salvage the translation.
+func (r *run) block(tok ir.Token, haveTok bool, reason string) bool {
+	d := BlockDiag{Pos: r.input.pos, Stmt: r.stmtNum, State: r.top().state,
+		Lookahead: "$end", Reason: reason}
+	if haveTok {
+		d.Lookahead = tok.String()
+	}
+	for _, e := range r.stack[1:] {
+		d.Stack = append(d.Stack, r.gr.SymName(e.sym))
+	}
+	r.blocks = append(r.blocks, d)
+	if w := r.g.cfg.Trace; w != nil {
+		fmt.Fprintf(w, "state %4d  BLOCKED on %s; resynchronizing\n", d.State, d.Lookahead)
+	}
+	if len(r.blocks) >= r.g.maxBlocks() {
+		if haveTok {
+			r.truncated = true
+		}
+		return false
+	}
+	if !haveTok {
+		return false
+	}
+	r.input.front = r.input.front[:0]
+	r.stack = append(r.stack[:0], stackEntry{state: 0, sym: -1})
+	ra, err := regalloc.New(r.g.cfg.Classes)
+	if err != nil {
+		return false
+	}
+	r.ra = ra
+	r.cses = cse.New()
+	r.input.consume()
+	for {
+		next, ok := r.input.peek()
+		if !ok {
+			// The start state accepts at end of input, so the main loop
+			// terminates cleanly and finish reports the blocks.
+			return true
+		}
+		if s, found := r.gr.Lookup(next.Sym); found {
+			switch s.Kind {
+			case grammar.Operator, grammar.Terminal, grammar.Nonterminal:
+				if r.g.mod.Packed.Lookup(0, s.ID).Kind() != lr.Error {
+					return true
+				}
+			}
+		}
+		r.input.consume()
 	}
 }
 
@@ -164,22 +266,6 @@ func (r *run) traceAction(w io.Writer, tok ir.Token, haveTok bool, act lr.Action
 	default:
 		fmt.Fprintf(w, "state %4d  ERROR on %s\n", r.top().state, lookahead)
 	}
-}
-
-// syntaxError builds the blocking diagnostic: the specification cannot
-// translate this IF shape, and per the paper the generator "will stop and
-// signal an error" rather than emit a wrong sequence.
-func (r *run) syntaxError(tok ir.Token, haveTok bool) error {
-	desc := "end of input"
-	if haveTok {
-		desc = fmt.Sprintf("token %q", tok.String())
-	}
-	stackSyms := ""
-	for _, e := range r.stack[1:] {
-		stackSyms += " " + r.gr.SymName(e.sym)
-	}
-	return &GenError{Pos: r.input.pos, Token: tok, State: r.top().state,
-		Msg: fmt.Sprintf("no action for %s (stack:%s); the specification cannot translate this IF shape", desc, stackSyms)}
 }
 
 // nextAutoLabel allocates a generator-internal label id (< 0).

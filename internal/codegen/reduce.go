@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cogg/internal/asm"
+	"cogg/internal/faultinject"
 	"cogg/internal/grammar"
 	"cogg/internal/ir"
 )
@@ -29,6 +30,9 @@ type reduction struct {
 // reduce executes the code emission routine for production p, following
 // the structure of the paper's section 3 pseudo-code.
 func (r *run) reduce(p *grammar.Prod) error {
+	if err := faultinject.Eval("codegen/reduce", r.prog.Name); err != nil {
+		return err
+	}
 	r.ra.Tick()
 	r.res.Reductions++
 	r.res.ProdCounts[p.Num]++
@@ -170,7 +174,7 @@ func (r *run) allocate(red *reduction) error {
 		}
 		n, err := r.ra.Using(class)
 		if err != nil {
-			return &GenError{Pos: r.input.pos, State: r.top().state,
+			return &ResourceError{Kind: ResRegisters, Pos: r.input.pos, State: r.top().state,
 				Msg: fmt.Sprintf("production %d: %v", red.prod.Num, err)}
 		}
 		red.bind[ref] = int64(n)
@@ -183,7 +187,7 @@ func (r *run) allocate(red *reduction) error {
 		}
 		moves, err := r.ra.Need(class, ref.Tag)
 		if err != nil {
-			return &GenError{Pos: r.input.pos, State: r.top().state,
+			return &ResourceError{Kind: ResRegisters, Pos: r.input.pos, State: r.top().state,
 				Msg: fmt.Sprintf("production %d: %v", red.prod.Num, err)}
 		}
 		for _, mv := range moves {
@@ -229,9 +233,22 @@ func (r *run) materializeMove(red *reduction, class string, from, to int) error 
 }
 
 // emit appends one instruction to the code buffer, resolving pending
-// skip targets and stamping the source statement number.
+// skip targets and stamping the source statement number. The code
+// buffer is bounded: past Config.MaxCodeBytes a sticky ResourceError is
+// recorded for the parse loop to surface (emit itself has no error
+// return — the template paths call it unconditionally).
 func (r *run) emit(in asm.Instr) int {
 	in.Stmt = r.stmtNum
+	if sz, err := r.g.cfg.Machine.SizeOf(&in); err == nil {
+		r.codeBytes += sz
+	} else {
+		r.codeBytes += 6 // the longest S/370 instruction; a safe overestimate
+	}
+	if max := r.g.maxCodeBytes(); r.codeBytes > max && r.codeErr == nil {
+		r.codeErr = &ResourceError{Kind: ResCodeBytes, Limit: max, Pos: r.input.pos,
+			State: r.top().state,
+			Msg:   fmt.Sprintf("code buffer exceeds %d bytes", max)}
+	}
 	ix := r.prog.Append(in)
 	for i := range r.pendingSkips {
 		ps := &r.pendingSkips[i]

@@ -1,0 +1,236 @@
+// Package faultinject provides named failpoints for chaos testing the
+// compilation pipeline. A failpoint is a call to Eval at a named site
+// ("batch/cache/read", "tables/decode", "codegen/reduce", ...); when a
+// matching rule is armed the site injects a deterministic fault — an
+// error, a panic, or a delay — on a schedule, so the chaos tests can
+// prove that one poisoned compilation unit cannot take its batch down.
+//
+// Injection is off by default and costs one atomic load per site when
+// off. Tests arm sites programmatically with Set/Reset; the command
+// line tools (and any other process) can arm them through the
+// COGG_FAILPOINTS environment variable, parsed at init:
+//
+//	COGG_FAILPOINTS="site[#key]=kind[:arg][@after][*count];..."
+//
+// where kind is "error" (arg = error class, default "io"), "panic", or
+// "delay" (arg = a time.ParseDuration string), "@after" skips the first
+// after matching hits, and "*count" fires at most count times. For
+// example:
+//
+//	COGG_FAILPOINTS="batch/cache/rename=error:io;codegen/reduce#p7.pas=delay:5s@2*1"
+//
+// injects an I/O error into every cache rename and a single 5 second
+// stall into the third reduction of unit p7.pas.
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is what an armed failpoint does when its schedule fires.
+type Kind int
+
+const (
+	KindError Kind = iota // Eval returns an *InjectedError
+	KindPanic             // Eval panics with a *Panic value
+	KindDelay             // Eval sleeps for Rule.Delay, then reports no fault
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("kind#%d", int(k))
+}
+
+// Rule arms one failpoint site.
+type Rule struct {
+	Site  string // site name, e.g. "batch/cache/read"
+	Key   string // fire only when Eval's key matches; "" matches any key
+	Kind  Kind
+	Class string        // KindError: error class carried by InjectedError ("io", ...)
+	Delay time.Duration // KindDelay: how long to stall the site
+	After int           // skip the first After matching hits
+	Count int           // fire at most Count times; 0 means every time
+}
+
+// InjectedError is the error returned by a fired KindError rule. The
+// Class lets the batch service's failure classifier treat an injected
+// fault exactly like the real one ("io" classifies as a disk fault).
+type InjectedError struct {
+	Site  string
+	Key   string
+	Class string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: %s: injected %s fault", e.Site, e.Class)
+}
+
+// Panic is the value a fired KindPanic rule panics with.
+type Panic struct {
+	Site string
+	Key  string
+}
+
+func (p *Panic) String() string { return "faultinject: injected panic at " + p.Site }
+
+// armed state: a copy-on-write rule table behind one atomic flag so the
+// disarmed fast path is a single load.
+var (
+	active atomic.Bool
+	mu     sync.Mutex
+	rules  []*armedRule
+)
+
+type armedRule struct {
+	Rule
+	hits atomic.Int64 // matching Eval calls seen so far
+}
+
+// Set arms a rule. Rules accumulate until Reset; several rules may arm
+// the same site (first match by arming order wins on each Eval).
+func Set(r Rule) {
+	mu.Lock()
+	defer mu.Unlock()
+	rules = append(rules, &armedRule{Rule: r})
+	active.Store(true)
+}
+
+// Reset disarms every rule.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	rules = nil
+	active.Store(false)
+}
+
+// Active reports whether any rule is armed.
+func Active() bool { return active.Load() }
+
+// Eval evaluates the named site. With no armed rule matching (site,
+// key) it reports nil at the cost of one atomic load. A matching rule
+// whose schedule fires injects its fault: KindError returns an
+// *InjectedError, KindDelay sleeps and then returns nil, and KindPanic
+// panics with a *Panic — the caller is expected to be running under the
+// batch service's per-unit recover.
+func Eval(site, key string) error {
+	if !active.Load() {
+		return nil
+	}
+	mu.Lock()
+	var fire *armedRule
+	for _, r := range rules {
+		if r.Site != site || (r.Key != "" && r.Key != key) {
+			continue
+		}
+		n := r.hits.Add(1)
+		fired := n - int64(r.After)
+		if fired < 1 || (r.Count > 0 && fired > int64(r.Count)) {
+			continue
+		}
+		fire = r
+		break
+	}
+	mu.Unlock()
+	if fire == nil {
+		return nil
+	}
+	switch fire.Kind {
+	case KindPanic:
+		panic(&Panic{Site: site, Key: key})
+	case KindDelay:
+		time.Sleep(fire.Delay)
+		return nil
+	default:
+		class := fire.Class
+		if class == "" {
+			class = "io"
+		}
+		return &InjectedError{Site: site, Key: key, Class: class}
+	}
+}
+
+// EnvVar names the environment variable parsed at init.
+const EnvVar = "COGG_FAILPOINTS"
+
+func init() {
+	if spec := os.Getenv(EnvVar); spec != "" {
+		if err := Arm(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "faultinject: %s: %v\n", EnvVar, err)
+		}
+	}
+}
+
+// Arm parses a COGG_FAILPOINTS specification and arms every rule in it.
+func Arm(spec string) error {
+	for _, field := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ',' }) {
+		r, err := parseRule(strings.TrimSpace(field))
+		if err != nil {
+			return err
+		}
+		Set(r)
+	}
+	return nil
+}
+
+// parseRule parses one "site[#key]=kind[:arg][@after][*count]" clause.
+func parseRule(s string) (Rule, error) {
+	var r Rule
+	lhs, rhs, ok := strings.Cut(s, "=")
+	if !ok {
+		return r, fmt.Errorf("rule %q has no '='", s)
+	}
+	r.Site, r.Key, _ = strings.Cut(lhs, "#")
+	if r.Site == "" {
+		return r, fmt.Errorf("rule %q has no site", s)
+	}
+	if rhs, ok = cutSuffixInt(rhs, "*", &r.Count); !ok {
+		return r, fmt.Errorf("rule %q has a bad count", s)
+	}
+	if rhs, ok = cutSuffixInt(rhs, "@", &r.After); !ok {
+		return r, fmt.Errorf("rule %q has a bad skip count", s)
+	}
+	kind, arg, _ := strings.Cut(rhs, ":")
+	switch kind {
+	case "error":
+		r.Kind, r.Class = KindError, arg
+	case "panic":
+		r.Kind = KindPanic
+	case "delay":
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return r, fmt.Errorf("rule %q: %v", s, err)
+		}
+		r.Kind, r.Delay = KindDelay, d
+	default:
+		return r, fmt.Errorf("rule %q has unknown kind %q", s, kind)
+	}
+	return r, nil
+}
+
+// cutSuffixInt splits "prefixSEPn" into prefix and n. Absent separator
+// is fine; a separator with a malformed integer is not.
+func cutSuffixInt(s, sep string, out *int) (string, bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, true
+	}
+	n, err := strconv.Atoi(s[i+len(sep):])
+	if err != nil || n < 0 {
+		return s, false
+	}
+	*out = n
+	return s[:i], true
+}

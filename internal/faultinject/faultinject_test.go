@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsFree(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("active with no rules")
+	}
+	if err := Eval("any/site", "key"); err != nil {
+		t.Fatalf("disarmed Eval = %v", err)
+	}
+}
+
+func TestErrorSchedule(t *testing.T) {
+	defer Reset()
+	Reset()
+	Set(Rule{Site: "a/b", Kind: KindError, Class: "io", After: 2, Count: 2})
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, Eval("a/b", "") != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: fired=%v, want %v (all %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestKeyMatch(t *testing.T) {
+	defer Reset()
+	Reset()
+	Set(Rule{Site: "s", Key: "unit-3", Kind: KindError})
+	if Eval("s", "unit-1") != nil {
+		t.Fatal("fired for wrong key")
+	}
+	err := Eval("s", "unit-3")
+	var inj *InjectedError
+	if !errors.As(err, &inj) || inj.Class != "io" {
+		t.Fatalf("Eval = %v, want InjectedError with default io class", err)
+	}
+	if Eval("other", "unit-3") != nil {
+		t.Fatal("fired for wrong site")
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Reset()
+	Reset()
+	Set(Rule{Site: "p", Kind: KindPanic, Count: 1})
+	defer func() {
+		r := recover()
+		if _, ok := r.(*Panic); !ok {
+			t.Fatalf("recovered %v, want *Panic", r)
+		}
+	}()
+	Eval("p", "")
+	t.Fatal("panic rule did not panic")
+}
+
+func TestDelayAction(t *testing.T) {
+	defer Reset()
+	Reset()
+	Set(Rule{Site: "d", Kind: KindDelay, Delay: 30 * time.Millisecond, Count: 1})
+	start := time.Now()
+	if err := Eval("d", ""); err != nil {
+		t.Fatalf("delay Eval = %v", err)
+	}
+	if since := time.Since(start); since < 25*time.Millisecond {
+		t.Fatalf("delay slept %v, want ~30ms", since)
+	}
+}
+
+func TestArmParsing(t *testing.T) {
+	defer Reset()
+	Reset()
+	err := Arm("batch/cache/read=error:io@1*2; codegen/reduce#p7=delay:50ms, tables/decode=panic*1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	n := len(rules)
+	r0, r1, r2 := rules[0].Rule, rules[1].Rule, rules[2].Rule
+	mu.Unlock()
+	if n != 3 {
+		t.Fatalf("parsed %d rules, want 3", n)
+	}
+	if r0.Site != "batch/cache/read" || r0.Kind != KindError || r0.Class != "io" || r0.After != 1 || r0.Count != 2 {
+		t.Fatalf("rule 0 = %+v", r0)
+	}
+	if r1.Site != "codegen/reduce" || r1.Key != "p7" || r1.Kind != KindDelay || r1.Delay != 50*time.Millisecond {
+		t.Fatalf("rule 1 = %+v", r1)
+	}
+	if r2.Site != "tables/decode" || r2.Kind != KindPanic || r2.Count != 1 {
+		t.Fatalf("rule 2 = %+v", r2)
+	}
+}
+
+func TestArmRejectsMalformed(t *testing.T) {
+	defer Reset()
+	for _, bad := range []string{"nosite", "=error", "s=wobble", "s=delay:xyz", "s=error*-1"} {
+		Reset()
+		if err := Arm(bad); err == nil {
+			t.Errorf("Arm(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	defer Reset()
+	Reset()
+	Set(Rule{Site: "s", Kind: KindError, Class: "io"})
+	Set(Rule{Site: "s", Kind: KindError, Class: "net"})
+	var inj *InjectedError
+	if err := Eval("s", ""); !errors.As(err, &inj) || inj.Class != "io" {
+		t.Fatalf("Eval = %v, want first-armed io rule", err)
+	}
+}

@@ -143,7 +143,7 @@ func (d *Deck) TotalTextBytes() int {
 func (d *Deck) WriteCards(w io.Writer) error {
 	write := func(card []byte) error {
 		if len(card) != CardSize {
-			panic("loader: internal error: short card")
+			return fmt.Errorf("loader: internal error: %d-byte card (records are %d bytes)", len(card), CardSize)
 		}
 		_, err := w.Write(card)
 		return err

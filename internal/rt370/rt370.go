@@ -147,9 +147,10 @@ func Config() codegen.Config {
 
 // ConstArea builds the pr area image: the named constants, the bitmask
 // table for set operations, and the utility stubs, written in assembly
-// text and assembled by package s370 (init panics on an assembly error,
-// which the stub tests would also catch).
-func ConstArea(haltAddr uint32) []byte {
+// text and assembled by package s370. A stub that fails to assemble is
+// a returned error, not a panic — the runtime image is built on every
+// NewCPU, and one bad stub must not take a whole batch process down.
+func ConstArea(haltAddr uint32) ([]byte, error) {
 	area := make([]byte, 0x100)
 	putWord := func(off int, v int32) {
 		u := uint32(v)
@@ -165,10 +166,15 @@ func ConstArea(haltAddr uint32) []byte {
 	putWord(OffHaltVec, int32(haltAddr))
 	putWord(OffOutPtr, OutBase)
 
+	var stubErr error
 	mustPut := func(off int, text string) {
+		if stubErr != nil {
+			return
+		}
 		code, err := s370.AssembleTo(text)
 		if err != nil {
-			panic("rt370: stub assembly: " + err.Error())
+			stubErr = fmt.Errorf("rt370: stub assembly: %w", err)
+			return
 		}
 		copy(area[off:], code)
 	}
@@ -218,7 +224,10 @@ func ConstArea(haltAddr uint32) []byte {
 	stub(OffUnderflow, 4, AbortUnderflow) // CC low after `c value,lower`
 	stub(OffOverflow, 2, AbortOverflow)   // CC high after `c value,upper`
 	stub(OffNotInit, 8, AbortNotInit)     // CC equal after compare with the uninitialized pattern
-	return area
+	if stubErr != nil {
+		return nil, stubErr
+	}
+	return area, nil
 }
 
 // NewCPU prepares a simulator with the runtime loaded: base registers
@@ -226,7 +235,11 @@ func ConstArea(haltAddr uint32) []byte {
 // address so that `bcr 15,r14` returns to the host.
 func NewCPU() (*sim.CPU, error) {
 	c := sim.New(MemSize)
-	if err := c.Load(PrOrigin, ConstArea(c.HaltAddr)); err != nil {
+	area, err := ConstArea(c.HaltAddr)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Load(PrOrigin, area); err != nil {
 		return nil, err
 	}
 	c.R[RegGlobalBase] = MainFrame

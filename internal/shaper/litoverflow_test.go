@@ -1,0 +1,78 @@
+package shaper_test
+
+import (
+	"strings"
+	"testing"
+
+	"cogg/internal/ir"
+	"cogg/internal/pascal"
+	"cogg/internal/shaper"
+)
+
+// bigLiteralProgram builds a program holding more distinct fullword
+// literals than the 1KB pr partition can intern.
+func bigLiteralProgram(t *testing.T, n int) *pascal.Program {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("program big;\nvar x: integer;\nbegin\n")
+	for i := 0; i < n; i++ {
+		sb.WriteString("  x := ")
+		sb.WriteString(strconvItoa(200000 + i))
+		sb.WriteString(";\n")
+	}
+	sb.WriteString("end.\n")
+	prog, err := pascal.Parse("big.pas", sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func strconvItoa(v int) string {
+	var b [12]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// TestLiteralOverflowNeverPanics: literal-partition overflow must reach
+// every caller as a returned error — a raw panic may not cross the
+// package boundary from any allocation path, including one that
+// overflows while a CSE callback is installed.
+func TestLiteralOverflowNeverPanics(t *testing.T) {
+	prog := bigLiteralProgram(t, 400)
+	for _, opt := range []shaper.Options{
+		{},
+		{CSE: func(stmts []*ir.Node, alloc func(size int64) int64) ([]*ir.Node, error) {
+			alloc(4) // callbacks may allocate temporaries mid-overflow
+			return stmts, nil
+		}},
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Shape panicked: %v", r)
+				}
+			}()
+			_, err := shaper.Shape(prog, opt)
+			if err == nil || !strings.Contains(err.Error(), "literal storage") {
+				t.Fatalf("Shape = %v, want literal-storage overflow error", err)
+			}
+		}()
+	}
+}
+
+// TestLiteralOverflowBoundary: the largest program that fits shapes
+// cleanly — the sticky overflow error must not fire early.
+func TestLiteralOverflowBoundary(t *testing.T) {
+	// The pr partition holds (4096-LitOffset)/4 fullword literals; stay
+	// comfortably below while still interning many.
+	prog := bigLiteralProgram(t, 100)
+	if _, err := shaper.Shape(prog, shaper.Options{}); err != nil {
+		t.Fatalf("Shape = %v, want success below the partition", err)
+	}
+}

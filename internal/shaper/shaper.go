@@ -84,8 +84,7 @@ func (s *Shaped) Linearize() []ir.Token {
 }
 
 // Shape lowers a checked program.
-func Shape(prog *pascal.Program, opt Options) (out *Shaped, err error) {
-	defer shapeRecover(&err)
+func Shape(prog *pascal.Program, opt Options) (*Shaped, error) {
 	s := &sh{
 		opt: opt,
 		out: &Shaped{
@@ -125,20 +124,11 @@ func Shape(prog *pascal.Program, opt Options) (out *Shaped, err error) {
 		if err := s.emitProc(proc); err != nil {
 			return nil, err
 		}
+		if s.litErr != nil {
+			return nil, s.litErr
+		}
 	}
 	return s.out, nil
-}
-
-// Shape recovers literal-partition overflow panics as errors; the hook
-// lives here so every literal call site stays simple.
-func shapeRecover(err *error) {
-	if r := recover(); r != nil {
-		if _, ok := r.(litOverflow); ok {
-			*err = fmt.Errorf("shaper: program uses more than %d bytes of literal storage", 4096-rt370.LitOffset)
-			return
-		}
-		panic(r)
-	}
 }
 
 type sh struct {
@@ -152,6 +142,7 @@ type sh struct {
 	cseSeq     int64
 	litOffsets map[uint64]int // literal key -> pr offset
 	prNext     int
+	litErr     error // sticky literal-partition overflow, checked by Shape
 
 	// pre collects statements hoisted out of expressions (function
 	// calls); flushed before the containing statement.
@@ -230,21 +221,23 @@ func (s *sh) literal(v int32) int64 {
 	return int64(off)
 }
 
-// allocLit reserves size bytes of literal storage, panicking past the
-// partition — Shape converts the panic into an error.
+// allocLit reserves size bytes of literal storage. Overflowing the
+// partition records a sticky error that Shape surfaces after the
+// current procedure — never a panic, so no overflow can escape the
+// package, whatever path (expression shaping, the CSE callback, a
+// future caller) reached the allocation. The returned offset is then
+// past the partition; harmless, since the shaped result is discarded.
 func (s *sh) allocLit(size int) int {
 	if size >= 8 {
 		s.prNext = (s.prNext + 7) / 8 * 8
 	}
 	off := s.prNext
 	s.prNext += size
-	if s.prNext > 4096 {
-		panic(litOverflow{})
+	if s.prNext > 4096 && s.litErr == nil {
+		s.litErr = fmt.Errorf("shaper: program uses more than %d bytes of literal storage", 4096-rt370.LitOffset)
 	}
 	return off
 }
-
-type litOverflow struct{}
 
 // realLiteral interns an 8-byte real literal.
 func (s *sh) realLiteral(f float64) int64 {

@@ -1,0 +1,29 @@
+package spec_test
+
+import (
+	"testing"
+
+	"cogg/internal/spec"
+	"cogg/specs"
+)
+
+// FuzzSpecParse drives the specification parser over mutated CoGG
+// source. The parser's contract is errors, never panics: every
+// specification a user can type — truncated, interleaved, or binary
+// garbage — must come back as a diagnostic.
+func FuzzSpecParse(f *testing.F) {
+	f.Add(specs.AmdahlMinimal)
+	f.Add(specs.Amdahl470)
+	f.Add(specs.Risc32)
+	f.Add("")
+	f.Add("machine M\n")
+	f.Add("class r regs 1 2 3\nsym fullword node\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse panicked on %d-byte input: %v", len(src), r)
+			}
+		}()
+		spec.Parse("fuzz.cogg", src)
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"cogg/internal/faultinject"
 	"cogg/internal/grammar"
 	"cogg/internal/lr"
 )
@@ -74,8 +75,16 @@ func EncodeModule(w io.Writer, m *Module) (SectionSizes, error) {
 	return sizes, err
 }
 
-// Decode reads a module serialized by Encode.
+// Decode reads a module serialized by Encode. Beyond parsing, the
+// decoded module is validated for internal consistency — every index
+// the code generator will follow blindly at translation time (symbol
+// references, action targets, check entries) must be in range — so a
+// corrupt or adversarial byte stream yields an error, never a panic in
+// the driver.
 func Decode(r io.Reader) (*Module, error) {
+	if err := faultinject.Eval("tables/decode", ""); err != nil {
+		return nil, fmt.Errorf("tables: decode: %w", err)
+	}
 	d := &decoder{r: r}
 	var got [8]byte
 	d.bytes(got[:])
@@ -88,7 +97,103 @@ func Decode(r io.Reader) (*Module, error) {
 	if d.err != nil {
 		return nil, fmt.Errorf("tables: decode: %w", d.err)
 	}
-	return &Module{Grammar: g, Packed: p}, nil
+	m := &Module{Grammar: g, Packed: p}
+	if err := m.validate(); err != nil {
+		return nil, fmt.Errorf("tables: decode: %w", err)
+	}
+	return m, nil
+}
+
+// validate checks the cross-references a decoded module's consumers
+// follow without bounds checks: the parse loop indexes ColOf by symbol
+// id and Base by state, shift targets become states, reduce targets
+// become productions, and semantic processing indexes the symbol table
+// through production fields.
+func (m *Module) validate() error {
+	g, p := m.Grammar, m.Packed
+	nsym := len(g.Syms)
+	if g.Lambda < 0 || g.Lambda >= nsym {
+		return fmt.Errorf("lambda symbol %d out of range (%d symbols)", g.Lambda, nsym)
+	}
+	checkSym := func(what string, id int) error {
+		if id < 0 || id >= nsym {
+			return fmt.Errorf("%s references symbol %d (have %d)", what, id, nsym)
+		}
+		return nil
+	}
+	for i, prod := range g.Prods {
+		what := fmt.Sprintf("production %d", i)
+		if err := checkSym(what, prod.LHS); err != nil {
+			return err
+		}
+		for _, s := range prod.RHS {
+			if err := checkSym(what, s); err != nil {
+				return err
+			}
+		}
+		for _, u := range prod.Uses {
+			if err := checkSym(what, u.Sym); err != nil {
+				return err
+			}
+		}
+		for _, u := range prod.Needs {
+			if err := checkSym(what, u.Sym); err != nil {
+				return err
+			}
+		}
+		for _, t := range prod.Templates {
+			for _, o := range t.Operands {
+				if err := checkSym(what, o.Base.Sym); err != nil {
+					return err
+				}
+				for _, s := range o.Sub {
+					if err := checkSym(what, s.Sym); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+
+	if p.NumStates < 1 {
+		return fmt.Errorf("packed table has %d states", p.NumStates)
+	}
+	if len(p.Base) != p.NumStates {
+		return fmt.Errorf("base array holds %d entries for %d states", len(p.Base), p.NumStates)
+	}
+	if len(p.ColOf) != nsym+1 {
+		// One column slot per grammar symbol plus the EOF pseudo-symbol
+		// (see lr.Automaton.NumSymbols).
+		return fmt.Errorf("column map covers %d symbols, grammar has %d plus EOF", len(p.ColOf), nsym)
+	}
+	for sym, col := range p.ColOf {
+		if col < -1 || int(col) >= p.NumCols {
+			return fmt.Errorf("symbol %d maps to column %d of %d", sym, col, p.NumCols)
+		}
+	}
+	if len(p.Data) != len(p.Check) {
+		return fmt.Errorf("data and check arrays differ: %d vs %d entries", len(p.Data), len(p.Check))
+	}
+	for i, c := range p.Check {
+		if c < 0 || int(c) > p.NumStates {
+			return fmt.Errorf("check entry %d names state %d of %d", i, c-1, p.NumStates)
+		}
+		if c == 0 {
+			continue // free slot; its action is never followed
+		}
+		a := p.Data[i]
+		switch a.Kind() {
+		case lr.Shift:
+			if a.Target() >= p.NumStates {
+				return fmt.Errorf("entry %d shifts to state %d of %d", i, a.Target(), p.NumStates)
+			}
+		case lr.Reduce:
+			if a.Target() >= len(g.Prods) {
+				return fmt.Errorf("entry %d reduces by production %d of %d", i, a.Target(), len(g.Prods))
+			}
+		}
+	}
+	return nil
 }
 
 // --- encoding helpers -------------------------------------------------
@@ -329,23 +434,26 @@ func decodeProds(d *decoder, g *grammar.Grammar) {
 }
 
 func decodePacked(d *decoder) *Packed {
+	// Every loop bails on the first read error: a truncated stream
+	// claiming 2^24 entries must not spin through millions of zero
+	// reads before the error surfaces.
 	p := &Packed{}
 	p.NumStates = d.u32()
 	p.NumCols = d.u32()
 	n := d.count(1 << 24)
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && d.err == nil; i++ {
 		p.ColOf = append(p.ColOf, int32(int16(d.u16())))
 	}
 	n = d.count(1 << 24)
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && d.err == nil; i++ {
 		p.Base = append(p.Base, int32(d.u32()))
 	}
 	n = d.count(1 << 24)
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && d.err == nil; i++ {
 		p.Data = append(p.Data, lr.Unpack16(d.u16()))
 	}
 	n = d.count(1 << 24)
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && d.err == nil; i++ {
 		p.Check = append(p.Check, int32(d.u16()))
 	}
 	return p

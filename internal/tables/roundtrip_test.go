@@ -16,10 +16,11 @@ import (
 
 // randModule wraps a randomly generated table module for testing/quick.
 // The generator respects the encoding's representational limits (14-bit
-// action targets, 16-bit check entries, int16 column map) but is
-// otherwise unconstrained — the round-trip property must hold for any
-// module the encoder accepts, not just ones a real specification
-// produces.
+// action targets, 16-bit check entries, int16 column map) and Decode's
+// consistency validation (in-range symbol references and action
+// targets) but is otherwise unconstrained — the round-trip property
+// must hold for any module Decode accepts, not just ones a real
+// specification produces.
 type randModule struct{ m *tables.Module }
 
 func (randModule) Generate(r *rand.Rand, size int) reflect.Value {
@@ -78,8 +79,25 @@ func (randModule) Generate(r *rand.Rand, size int) reflect.Value {
 	}
 	entries := r.Intn(33)
 	for i := 0; i < entries; i++ {
-		p.Data = append(p.Data, lr.MkAction(lr.Kind(r.Intn(4)), r.Intn(1<<14)))
-		p.Check = append(p.Check, int32(r.Intn(p.NumStates+1)))
+		// Occupied slots must satisfy Decode's consistency validation:
+		// shift targets are states and reduce targets are productions.
+		// Free slots (check 0) are never followed and stay unconstrained.
+		check := int32(r.Intn(p.NumStates + 1))
+		a := lr.MkAction(lr.Kind(r.Intn(4)), r.Intn(1<<14))
+		if check != 0 {
+			switch a.Kind() {
+			case lr.Shift:
+				a = lr.MkAction(lr.Shift, r.Intn(p.NumStates))
+			case lr.Reduce:
+				if len(g.Prods) == 0 {
+					a = lr.MkAction(lr.Error, a.Target())
+				} else {
+					a = lr.MkAction(lr.Reduce, r.Intn(len(g.Prods)))
+				}
+			}
+		}
+		p.Data = append(p.Data, a)
+		p.Check = append(p.Check, check)
 	}
 	return reflect.ValueOf(randModule{&tables.Module{Grammar: g, Packed: p}})
 }
