@@ -21,6 +21,8 @@
 //	            keyed by content hash of the specification — the offline
 //	            step that lets later ifcgen/pascal370 runs warm-start
 //	            without reconstructing the SLR tables
+//	-cpuprofile FILE  write a CPU profile (phase-labelled: tablebuild)
+//	-memprofile FILE  write an allocation profile on exit
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"cogg/internal/batch"
 	"cogg/internal/core"
 	"cogg/internal/lr"
+	"cogg/internal/profiling"
 	"cogg/internal/tables"
 	"cogg/specs"
 )
@@ -44,13 +47,23 @@ func main() {
 	state := flag.Int("state", -1, "describe one automaton state")
 	out := flag.String("o", "", "write the serialized table module to this file")
 	cacheDir := flag.String("cache", "", "publish the table module into this cache directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
 
 	name, src, err := loadSpec(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	cg, err := core.Generate(name, src)
+	var cg *core.CodeGenerator
+	profiling.Phase("tablebuild", func() {
+		cg, err = core.Generate(name, src)
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -110,6 +123,9 @@ func main() {
 		if *stats {
 			fmt.Print(svc.Stats.String())
 		}
+	}
+	if err := stopProfiles(); err != nil {
+		fatal(err)
 	}
 }
 

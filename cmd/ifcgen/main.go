@@ -25,6 +25,9 @@
 //	-max-errors N  blocked-parse diagnostics collected per stream before
 //	             giving up (default 16); each names the parse state, the
 //	             stacked symbols, and the IF operator the tables reject
+//	-cpuprofile FILE  write a CPU profile (phase-labelled: tablebuild,
+//	             decode, codegen)
+//	-memprofile FILE  write an allocation profile on exit
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 
 	"cogg/internal/batch"
 	"cogg/internal/driver"
+	"cogg/internal/profiling"
 	"cogg/internal/rt370"
 	"cogg/specs"
 )
@@ -49,7 +53,14 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-stream wall-time limit (0 disables)")
 	retries := flag.Int("retries", 0, "retries for transient (I/O) faults")
 	maxErrors := flag.Int("max-errors", 0, "blocked-parse diagnostics per stream (default 16)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
 
 	units, err := readUnits(flag.Args())
 	if err != nil {
@@ -73,10 +84,11 @@ func main() {
 	cfg.MaxBlocks = *maxErrors
 
 	svc := batch.New(batch.Options{
-		CacheDir:    *cacheDir,
-		Workers:     *workers,
-		UnitTimeout: *timeout,
-		Retries:     *retries,
+		CacheDir:      *cacheDir,
+		Workers:       *workers,
+		UnitTimeout:   *timeout,
+		Retries:       *retries,
+		MeasureAllocs: *stats,
 	})
 	tgt, err := svc.Target(sName, sSrc, cfg)
 	if err != nil {
@@ -100,6 +112,9 @@ func main() {
 	}
 	if *stats {
 		fmt.Fprint(os.Stderr, svc.Stats.String())
+	}
+	if err := stopProfiles(); err != nil {
+		fatal(err)
 	}
 	if failed {
 		os.Exit(1)

@@ -29,6 +29,9 @@
 //	-run         execute on the simulator
 //	-set n=v     initialize variable n before running (repeatable)
 //	-print a,b   print listed variables after the run
+//	-cpuprofile FILE  write a CPU profile (phase-labelled: tablebuild,
+//	             decode, codegen)
+//	-memprofile FILE  write an allocation profile on exit
 package main
 
 import (
@@ -42,6 +45,7 @@ import (
 	"cogg/internal/driver"
 	"cogg/internal/ifopt"
 	"cogg/internal/ir"
+	"cogg/internal/profiling"
 	"cogg/internal/rt370"
 	"cogg/internal/s370"
 	"cogg/internal/shaper"
@@ -82,9 +86,16 @@ func main() {
 	dis := flag.Bool("dis", false, "disassemble the object text (verifies the encoder)")
 	run := flag.Bool("run", false, "execute on the simulator")
 	printVars := flag.String("print", "", "comma separated variables to print after -run")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file")
 	inits := setFlags{}
 	flag.Var(inits, "set", "initialize a variable: name=value")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
 
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: pascal370 [flags] program.pas...")
@@ -112,10 +123,11 @@ func main() {
 		fatal(err)
 	}
 	svc := batch.New(batch.Options{
-		CacheDir:    *cacheDir,
-		Workers:     *workers,
-		UnitTimeout: *timeout,
-		Retries:     *retries,
+		CacheDir:      *cacheDir,
+		Workers:       *workers,
+		UnitTimeout:   *timeout,
+		Retries:       *retries,
+		MeasureAllocs: *stats,
 	})
 	cfg := rt370.Config()
 	cfg.MaxBlocks = *maxErrors
@@ -140,6 +152,9 @@ func main() {
 	}
 	if *stats {
 		fmt.Fprint(os.Stderr, svc.Stats.String())
+	}
+	if err := stopProfiles(); err != nil {
+		fatal(err)
 	}
 	if failed {
 		os.Exit(1)

@@ -124,6 +124,20 @@ func NewProgram(name string) *Program {
 	}
 }
 
+// Reset empties the program for a new compilation unit, keeping the
+// instruction and pool buffers (and map storage) for reuse.
+func (p *Program) Reset(name string) {
+	p.Name = name
+	p.Instrs = p.Instrs[:0]
+	clear(p.Labels)
+	p.Pool = p.Pool[:0]
+	p.Origin = 0
+	p.PoolOrigin = 0
+	p.CodeSize = 0
+	clear(p.AbortSites)
+	clear(p.CallArgs)
+}
+
 // Append adds an instruction and returns its index.
 func (p *Program) Append(in Instr) int {
 	in.PoolIx = -1

@@ -38,6 +38,7 @@ import (
 	"cogg/internal/driver"
 	"cogg/internal/ir"
 	"cogg/internal/labels"
+	"cogg/internal/profiling"
 	"cogg/internal/shaper"
 	"cogg/internal/tables"
 )
@@ -63,6 +64,14 @@ type Options struct {
 	// RetryBackoff is the first retry's delay, doubling per retry;
 	// <= 0 means 10ms.
 	RetryBackoff time.Duration
+
+	// MeasureAllocs meters heap allocations per compilation unit into
+	// Stats.CodegenAllocs. Metering reads process-wide memstats around
+	// each unit, which costs time and — with more than one worker —
+	// attributes concurrent units' allocations to each other, so it is
+	// off by default; the -stats flags of ifcgen and pascal370 turn it
+	// on.
+	MeasureAllocs bool
 }
 
 // Service is a concurrent compilation service. It is safe for use from
@@ -77,6 +86,7 @@ type Service struct {
 	timeout time.Duration
 	retries int
 	backoff time.Duration
+	measure bool
 
 	// inflight collapses concurrent requests for the same key into one
 	// table construction (or one disk decode).
@@ -112,6 +122,7 @@ func New(opts Options) *Service {
 		timeout:  opts.UnitTimeout,
 		retries:  opts.Retries,
 		backoff:  backoff,
+		measure:  opts.MeasureAllocs,
 		inflight: map[string]*call{},
 	}
 }
@@ -160,10 +171,16 @@ func (s *Service) moduleSlow(key, specName, specSrc string) (*tables.Module, err
 		return mod, nil
 	}
 	start := time.Now()
-	cg, err := core.Generate(specName, specSrc)
+	m0 := profiling.Mallocs()
+	var cg *core.CodeGenerator
+	var err error
+	profiling.Phase("tablebuild", func() {
+		cg, err = core.Generate(specName, specSrc)
+	})
 	if err != nil {
 		return nil, err
 	}
+	s.Stats.TableBuildAllocs.Add(int64(profiling.Mallocs() - m0))
 	s.Stats.TableBuildNanos.Add(int64(time.Since(start)))
 	s.Stats.Misses.Add(1)
 	mod := cg.Module()
@@ -227,9 +244,15 @@ func (s *Service) CompileBatch(tgt *driver.Target, units []Unit) []Result {
 	results := make([]Result, len(units))
 	s.run(len(units), func(i int) {
 		start := time.Now()
-		c, err := attempt(s, units[i].Name, func() (*driver.Compiled, error) {
-			return tgt.Compile(units[i].Name, units[i].Source, units[i].Opt)
+		m0 := s.meterStart()
+		var c *driver.Compiled
+		var err error
+		profiling.Phase("codegen", func() {
+			c, err = attempt(s, units[i].Name, func() (*driver.Compiled, error) {
+				return tgt.Compile(units[i].Name, units[i].Source, units[i].Opt)
+			})
 		})
+		s.meterEnd(m0)
 		s.Stats.CodegenNanos.Add(int64(time.Since(start)))
 		results[i] = Result{Name: units[i].Name, Compiled: c, Err: err, Mode: Classify(err)}
 		if err != nil {
@@ -269,10 +292,16 @@ func (s *Service) TranslateBatch(tgt *driver.Target, units []IFUnit) []IFResult 
 	results := make([]IFResult, len(units))
 	s.run(len(units), func(i int) {
 		start := time.Now()
-		r, err := attempt(s, units[i].Name, func() (IFResult, error) {
-			r := translateOne(tgt, units[i])
-			return r, r.Err
+		m0 := s.meterStart()
+		var r IFResult
+		var err error
+		profiling.Phase("codegen", func() {
+			r, err = attempt(s, units[i].Name, func() (IFResult, error) {
+				r := translateOne(tgt, units[i])
+				return r, r.Err
+			})
 		})
+		s.meterEnd(m0)
 		s.Stats.CodegenNanos.Add(int64(time.Since(start)))
 		r.Name, r.Err, r.Mode = units[i].Name, err, Classify(err)
 		results[i] = r
@@ -306,6 +335,23 @@ func translateOne(tgt *driver.Target, u IFUnit) IFResult {
 		Reductions:   res.Reductions,
 		Instructions: prog.InstructionCount(),
 	}
+}
+
+// meterStart/meterEnd bracket one unit's allocation metering when
+// Options.MeasureAllocs is on (see the option's caveats).
+func (s *Service) meterStart() uint64 {
+	if !s.measure {
+		return 0
+	}
+	return profiling.Mallocs()
+}
+
+func (s *Service) meterEnd(m0 uint64) {
+	if !s.measure {
+		return
+	}
+	s.Stats.CodegenAllocs.Add(int64(profiling.Mallocs() - m0))
+	s.Stats.AllocsMeasured.Add(1)
 }
 
 // run executes n indexed jobs on the bounded pool.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cogg/internal/faultinject"
+	"cogg/internal/profiling"
 	"cogg/internal/tables"
 )
 
@@ -108,7 +109,10 @@ func (s *Service) loadDisk(key string) (*tables.Module, bool) {
 		return nil, false
 	}
 	start := time.Now()
-	mod, err := tables.Decode(bytes.NewReader(data))
+	var mod *tables.Module
+	profiling.Phase("decode", func() {
+		mod, err = tables.Decode(bytes.NewReader(data))
+	})
 	if err != nil {
 		s.Stats.DiskBad.Add(1)
 		os.Remove(s.diskPath(key))

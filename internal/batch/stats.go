@@ -25,6 +25,16 @@ type Stats struct {
 	DecodeNanos     atomic.Int64 // table module decoding (disk hits)
 	CodegenNanos    atomic.Int64 // summed across units (wall time per unit)
 
+	// Allocation accounting, in heap allocations (mallocs). Table-build
+	// allocs are always metered (construction is single-flighted and
+	// rare); per-unit codegen allocs only under Options.MeasureAllocs,
+	// since reading memstats per unit perturbs throughput, and the
+	// process-wide counter makes concurrent units bleed into each other
+	// — treat CodegenAllocs as an estimate unless Workers is 1.
+	TableBuildAllocs atomic.Int64
+	CodegenAllocs    atomic.Int64
+	AllocsMeasured   atomic.Int64 // units whose allocations were metered
+
 	// Unit throughput.
 	UnitsCompiled atomic.Int64
 	UnitsFailed   atomic.Int64
@@ -89,14 +99,39 @@ type Snapshot struct {
 	Instructions, BytesEmitted         int64
 	QueueDepth, QueueDepthMax          int64
 
+	// Per-phase unit costs, derived at snapshot time: nanoseconds and
+	// heap allocations per table build and per compilation unit (the
+	// alloc rates are zero unless metering was on; see Stats).
+	TableBuildAllocs, CodegenAllocs   int64
+	TableBuildNSPerOp, CodegenNSPerOp int64
+	TableBuildAllocsPerOp             int64
+	CodegenAllocsPerOp                int64
+
 	FailedPanic, FailedBlocked, FailedTimeout int64
 	FailedResource, FailedIO, FailedOther     int64
 	Retries, DiskWriteErrs                    int64
 }
 
+func perOp(total, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return total / n
+}
+
 // Snapshot reads every counter once.
 func (s *Stats) Snapshot() Snapshot {
+	units := s.UnitsCompiled.Load() + s.UnitsFailed.Load()
+	measured := s.AllocsMeasured.Load()
+	builds := s.Misses.Load()
 	return Snapshot{
+		TableBuildAllocs:      s.TableBuildAllocs.Load(),
+		CodegenAllocs:         s.CodegenAllocs.Load(),
+		TableBuildNSPerOp:     perOp(s.TableBuildNanos.Load(), builds),
+		CodegenNSPerOp:        perOp(s.CodegenNanos.Load(), units),
+		TableBuildAllocsPerOp: perOp(s.TableBuildAllocs.Load(), builds),
+		CodegenAllocsPerOp:    perOp(s.CodegenAllocs.Load(), measured),
+
 		MemHits:       s.MemHits.Load(),
 		DiskHits:      s.DiskHits.Load(),
 		Misses:        s.Misses.Load(),
@@ -132,10 +167,12 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "  table cache      %d mem hits, %d disk hits, %d misses, %d bad disk entries\n",
 		v.MemHits, v.DiskHits, v.Misses, v.DiskBad)
 	fmt.Fprintf(&b, "  disk writes      %d bytes\n", v.DiskBytes)
-	fmt.Fprintf(&b, "  table build      %v\n", v.TableBuild)
+	fmt.Fprintf(&b, "  table build      %v (%d ns/op, %d allocs/op)\n",
+		v.TableBuild, v.TableBuildNSPerOp, v.TableBuildAllocsPerOp)
 	fmt.Fprintf(&b, "  module decode    %v\n", v.Decode)
-	fmt.Fprintf(&b, "  code generation  %v across %d units (%d failed)\n",
-		v.Codegen, v.UnitsCompiled+v.UnitsFailed, v.UnitsFailed)
+	fmt.Fprintf(&b, "  code generation  %v across %d units (%d failed; %d ns/op, %d allocs/op)\n",
+		v.Codegen, v.UnitsCompiled+v.UnitsFailed, v.UnitsFailed,
+		v.CodegenNSPerOp, v.CodegenAllocsPerOp)
 	fmt.Fprintf(&b, "  emitted          %d instructions, %d code bytes\n",
 		v.Instructions, v.BytesEmitted)
 	fmt.Fprintf(&b, "  queue depth      %d now, %d peak\n", v.QueueDepth, v.QueueDepthMax)

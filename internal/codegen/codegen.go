@@ -109,34 +109,45 @@ func (g *Generator) maxCodeBytes() int {
 // Generator is a code generator instantiated from a table module.
 //
 // A Generator is immutable once New returns: the table module, the
-// configuration, and the class maps are only ever read afterwards, and
-// every Generate call carries its own allocator, CSE table, parse
-// stack, and code buffer. One Generator — including one built from a
-// single decoded module — therefore serves any number of concurrent
-// Generate calls. The one caveat is Config.Trace: the trace writer is
-// shared across runs, so a traced Generator must either be confined to
-// one goroutine or given a writer that is itself safe for concurrent
-// use.
+// configuration, the class tables, and the production plans are only
+// ever read afterwards, and every Generate call carries its own
+// allocator, CSE table, parse stack, and code buffer. One Generator —
+// including one built from a single decoded module — therefore serves
+// any number of concurrent Generate calls. The one caveat is
+// Config.Trace: the trace writer is shared across runs, so a traced
+// Generator must either be confined to one goroutine or given a writer
+// that is itself safe for concurrent use.
 type Generator struct {
 	mod *tables.Module
 	cfg Config
 
-	classNames map[int]string // nonterminal symbol ID -> register class name
+	classNames []string       // nonterminal symbol ID -> register class name, "" none
+	classSym   map[string]int // register class name -> nonterminal symbol ID
 	pairClass  map[string]bool
+
+	plans        []prodPlan // by production index
+	maxSlots     int        // widest plan, sizes the per-run slot scratch
+	prodCountLen int        // Result.ProdCounts length: max production Num + 1
+	eofSym       int        // end-marker symbol id
 }
 
 // New builds a Generator, verifying that the grammar's register
 // nonterminals all have classes and that every semantic operator the
-// productions use is known to the emission routine.
+// productions use is known to the code emission routine. New also
+// precompiles every production into its plan (see plan.go), so the
+// per-reduction work never consults the grammar's string names or maps.
 func New(mod *tables.Module, cfg Config) (*Generator, error) {
 	if cfg.Machine == nil {
 		return nil, fmt.Errorf("codegen: config has no target machine")
 	}
+	gr := mod.Grammar
 	g := &Generator{
 		mod:        mod,
 		cfg:        cfg,
-		classNames: make(map[int]string),
+		classNames: make([]string, len(gr.Syms)),
+		classSym:   make(map[string]int),
 		pairClass:  make(map[string]bool),
+		eofSym:     len(mod.Packed.ColOf) - 1,
 	}
 	byName := make(map[string]regalloc.Class, len(cfg.Classes))
 	for _, c := range cfg.Classes {
@@ -145,7 +156,6 @@ func New(mod *tables.Module, cfg Config) (*Generator, error) {
 			g.pairClass[c.Name] = true
 		}
 	}
-	gr := mod.Grammar
 	for _, s := range gr.Syms {
 		if s.Kind != grammar.Nonterminal || s.ID == gr.Lambda {
 			continue
@@ -154,6 +164,7 @@ func New(mod *tables.Module, cfg Config) (*Generator, error) {
 			return nil, fmt.Errorf("codegen: nonterminal %q has no register class in the configuration", s.Name)
 		}
 		g.classNames[s.ID] = s.Name
+		g.classSym[s.Name] = s.ID
 	}
 	for _, p := range gr.Prods {
 		for _, t := range p.Templates {
@@ -166,7 +177,11 @@ func New(mod *tables.Module, cfg Config) (*Generator, error) {
 					p.Num, name)
 			}
 		}
+		if p.Num >= g.prodCountLen {
+			g.prodCountLen = p.Num + 1
+		}
 	}
+	g.compilePlans()
 	return g, nil
 }
 
@@ -177,30 +192,62 @@ func (g *Generator) Grammar() *grammar.Grammar { return g.mod.Grammar }
 type Result struct {
 	Reductions   int
 	Instructions int
-	// ProdCounts maps production number to the number of times it was
-	// used to reduce, the raw material of the grammar-complexity sweep.
-	ProdCounts map[int]int
+	// ProdCounts counts, per production number (1-based specification
+	// order; index 0 is unused), how many times the production was used
+	// to reduce — the raw material of the grammar-complexity sweep.
+	ProdCounts []int
 }
 
 // Generate translates one linearized IF program into a code buffer. The
 // returned program still requires labels.Layout and loader.Build.
 func (g *Generator) Generate(name string, toks []ir.Token) (*asm.Program, *Result, error) {
-	ra, err := regalloc.New(g.cfg.Classes)
+	s, err := g.NewSession()
 	if err != nil {
 		return nil, nil, err
 	}
-	r := &run{
-		g:     g,
-		gr:    g.mod.Grammar,
-		ra:    ra,
-		cses:  cse.New(),
-		prog:  asm.NewProgram(name),
-		input: newInputQueue(toks),
-		res:   &Result{ProdCounts: make(map[int]int)},
+	return s.Generate(name, toks)
+}
+
+// Session owns the reusable translation state of one goroutine: the
+// register file, the CSE table, the parse stack, the code buffer, the
+// operand arena, and the per-reduction scratch. Steady-state Generate
+// calls on a warmed-up session perform no heap allocation.
+//
+// A Session is not safe for concurrent use, and the Program and Result
+// returned by Generate alias session-owned storage: they remain valid
+// only until the next Generate call on the same session. Callers that
+// retain programs across calls must use Generator.Generate, which
+// builds a fresh session per translation.
+type Session struct {
+	r run
+}
+
+// NewSession builds a reusable translation session for this generator.
+func (g *Generator) NewSession() (*Session, error) {
+	ra, err := regalloc.New(g.cfg.Classes)
+	if err != nil {
+		return nil, err
 	}
-	r.prog.Origin = g.cfg.Origin
-	r.prog.PoolOrigin = g.cfg.PoolOrigin
-	r.autoLabel = -1
+	s := &Session{}
+	s.r = run{
+		g:         g,
+		gr:        g.mod.Grammar,
+		ra:        ra,
+		cses:      cse.New(),
+		prog:      asm.NewProgram(""),
+		input:     &inputQueue{},
+		res:       &Result{ProdCounts: make([]int, g.prodCountLen)},
+		slots:     make([]int64, g.maxSlots),
+		allocMark: make([]bool, g.maxSlots),
+	}
+	return s, nil
+}
+
+// Generate translates one linearized IF program, reusing the session's
+// buffers. See Session for the aliasing caveat.
+func (s *Session) Generate(name string, toks []ir.Token) (*asm.Program, *Result, error) {
+	r := &s.r
+	r.reset(name, toks)
 	if err := r.parse(); err != nil {
 		return nil, nil, err
 	}

@@ -4,69 +4,10 @@ import (
 	"fmt"
 
 	"cogg/internal/asm"
-	"cogg/internal/grammar"
 )
 
-// argValue resolves one template atom to its number: tagged references
-// read the binding filled from the translation stack and the register
-// allocations; constants and literals carry their own value.
-func (r *run) argValue(red *reduction, a grammar.Arg) (int64, error) {
-	if !a.IsRef {
-		return a.Num, nil
-	}
-	v, ok := red.bind[grammar.Ref{Sym: a.Sym, Tag: a.Tag}]
-	if !ok {
-		return 0, fmt.Errorf("operand %s.%d has no value in this reduction", r.gr.SymName(a.Sym), a.Tag)
-	}
-	return v, nil
-}
-
-// refOperand returns operand i of the template, which must be a bare
-// tagged reference.
-func (r *run) refOperand(red *reduction, t *grammar.Template, i int) (grammar.Ref, error) {
-	if i >= len(t.Operands) {
-		return grammar.Ref{}, fmt.Errorf("missing operand %d", i+1)
-	}
-	o := t.Operands[i]
-	if len(o.Sub) != 0 || !o.Base.IsRef {
-		return grammar.Ref{}, fmt.Errorf("operand %d must be a tagged symbol reference", i+1)
-	}
-	ref := grammar.Ref{Sym: o.Base.Sym, Tag: o.Base.Tag}
-	if _, ok := red.bind[ref]; !ok {
-		return grammar.Ref{}, fmt.Errorf("operand %s.%d has no value in this reduction",
-			r.gr.SymName(ref.Sym), ref.Tag)
-	}
-	return ref, nil
-}
-
-// operandValue resolves operand i of the template to a plain number.
-func (r *run) operandValue(red *reduction, t *grammar.Template, i int) (int64, error) {
-	if i >= len(t.Operands) {
-		return 0, fmt.Errorf("missing operand %d", i+1)
-	}
-	o := t.Operands[i]
-	if len(o.Sub) != 0 {
-		return 0, fmt.Errorf("operand %d must not have an address form", i+1)
-	}
-	return r.argValue(red, o.Base)
-}
-
-// regValue resolves an atom used in a register position: register-class
-// references read their allocation; constants (stack_base, pr_base, zero)
-// denote register numbers directly.
-func (r *run) regValue(red *reduction, a grammar.Arg) (int, error) {
-	v, err := r.argValue(red, a)
-	if err != nil {
-		return 0, err
-	}
-	if v < 0 || v > 15 {
-		return 0, fmt.Errorf("register number %d out of range", v)
-	}
-	return int(v), nil
-}
-
-// resolveOperand fills in the required values of one template operand
-// and classifies it:
+// Runtime resolution of precompiled template operands (see plan.go for
+// the compilation). The operand grammar:
 //
 //	r.2                    -> register
 //	32, shift32, elmnt.1   -> immediate
@@ -77,65 +18,131 @@ func (r *run) regValue(red *reduction, a grammar.Arg) (int, error) {
 // In the two-element address form the first element is a length exactly
 // when it is a terminal reference (a value from the IF, such as lng.1);
 // registers and register-number constants make it an index.
-func (r *run) resolveOperand(red *reduction, o *grammar.Operand) (asm.Operand, error) {
-	switch len(o.Sub) {
-	case 0:
-		if o.Base.IsRef && r.g.classOf(o.Base.Sym) != "" {
-			n, err := r.regValue(red, o.Base)
-			if err != nil {
-				return asm.Operand{}, err
-			}
-			return asm.R(n), nil
+
+// atomVal resolves one pre-resolved atom to its number: slots read the
+// binding filled from the translation stack and the register
+// allocations; literals carry their own value.
+func (r *run) atomVal(a *atomPlan) (int64, error) {
+	if a.slot >= 0 {
+		return r.slots[a.slot], nil
+	}
+	if a.slot == litSlot {
+		return a.val, nil
+	}
+	return 0, fmt.Errorf("operand %s.%d has no value in this reduction", r.gr.SymName(a.ref.Sym), a.ref.Tag)
+}
+
+// regAtom resolves an atom used in a register position: register-class
+// references read their allocation; constants (stack_base, pr_base, zero)
+// denote register numbers directly.
+func (r *run) regAtom(a *atomPlan) (int, error) {
+	v, err := r.atomVal(a)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > 15 {
+		return 0, fmt.Errorf("register number %d out of range", v)
+	}
+	return int(v), nil
+}
+
+// stepRef returns operand i of the compiled template, which must be a
+// bare tagged reference with a value in this reduction.
+func (r *run) stepRef(st *tmplStep, i int) (*refPlan, error) {
+	if i >= len(st.refs) {
+		return nil, fmt.Errorf("missing operand %d", i+1)
+	}
+	rp := &st.refs[i]
+	if !rp.bare {
+		return nil, fmt.Errorf("operand %d must be a tagged symbol reference", i+1)
+	}
+	if rp.slot < 0 {
+		return nil, fmt.Errorf("operand %s.%d has no value in this reduction",
+			r.gr.SymName(rp.ref.Sym), rp.ref.Tag)
+	}
+	return rp, nil
+}
+
+// stepVal resolves operand i of the compiled template to a plain number.
+func (r *run) stepVal(st *tmplStep, i int) (int64, error) {
+	if i >= len(st.vals) {
+		return 0, fmt.Errorf("missing operand %d", i+1)
+	}
+	vp := &st.vals[i]
+	if !vp.scalar {
+		return 0, fmt.Errorf("operand %d must not have an address form", i+1)
+	}
+	return r.atomVal(&vp.atom)
+}
+
+// resolveOpd fills in the required values of one pre-classified operand.
+func (r *run) resolveOpd(o *opdPlan) (asm.Operand, error) {
+	switch o.shape {
+	case opdReg:
+		n, err := r.regAtom(&o.base)
+		if err != nil {
+			return asm.Operand{}, err
 		}
-		v, err := r.argValue(red, o.Base)
+		return asm.R(n), nil
+	case opdImm:
+		v, err := r.atomVal(&o.base)
 		if err != nil {
 			return asm.Operand{}, err
 		}
 		return asm.I(v), nil
-	case 1:
-		disp, err := r.argValue(red, o.Base)
+	case opdMem:
+		disp, err := r.atomVal(&o.base)
 		if err != nil {
 			return asm.Operand{}, err
 		}
-		base, err := r.regValue(red, o.Sub[0])
+		base, err := r.regAtom(&o.b)
 		if err != nil {
 			return asm.Operand{}, err
 		}
 		return asm.M(disp, 0, base), nil
-	case 2:
-		disp, err := r.argValue(red, o.Base)
+	case opdMemIdx:
+		disp, err := r.atomVal(&o.base)
 		if err != nil {
 			return asm.Operand{}, err
 		}
-		base, err := r.regValue(red, o.Sub[1])
+		base, err := r.regAtom(&o.b)
 		if err != nil {
 			return asm.Operand{}, err
 		}
-		if o.Sub[0].IsRef && r.gr.KindOf(o.Sub[0].Sym) == grammar.Terminal {
-			length, err := r.argValue(red, o.Sub[0])
-			if err != nil {
-				return asm.Operand{}, err
-			}
-			return asm.ML(disp, length, base), nil
-		}
-		index, err := r.regValue(red, o.Sub[0])
+		index, err := r.regAtom(&o.x)
 		if err != nil {
 			return asm.Operand{}, err
 		}
 		return asm.M(disp, index, base), nil
+	case opdMemLen:
+		disp, err := r.atomVal(&o.base)
+		if err != nil {
+			return asm.Operand{}, err
+		}
+		base, err := r.regAtom(&o.b)
+		if err != nil {
+			return asm.Operand{}, err
+		}
+		length, err := r.atomVal(&o.x)
+		if err != nil {
+			return asm.Operand{}, err
+		}
+		return asm.ML(disp, length, base), nil
 	}
-	return asm.Operand{}, fmt.Errorf("operand has %d address elements; at most two are allowed", len(o.Sub))
+	return asm.Operand{}, fmt.Errorf("operand has %d address elements; at most two are allowed", o.nsub)
 }
 
-// buildInstr fills one machine-instruction template.
-func (r *run) buildInstr(red *reduction, t *grammar.Template) (asm.Instr, error) {
-	in := asm.Instr{Op: r.gr.SymName(t.Op)}
-	for i := range t.Operands {
-		opd, err := r.resolveOperand(red, &t.Operands[i])
+// emitMachine fills one machine-instruction template into the code
+// buffer, drawing the operand slice from the run's arena.
+func (r *run) emitMachine(st *tmplStep) error {
+	opds := r.arena.alloc(len(st.opds))
+	for i := range st.opds {
+		o, err := r.resolveOpd(&st.opds[i])
 		if err != nil {
-			return in, err
+			return err
 		}
-		in.Opds = append(in.Opds, opd)
+		opds[i] = o
 	}
-	return in, nil
+	r.emit(asm.Instr{Op: st.machOp, Opds: opds})
+	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"cogg/internal/ir"
 	"cogg/internal/lr"
 	"cogg/internal/regalloc"
+	"cogg/internal/tables"
 )
 
 // inputQueue is the parser's input stream with prefix pushback: reduced
@@ -22,6 +23,14 @@ type inputQueue struct {
 }
 
 func newInputQueue(toks []ir.Token) *inputQueue { return &inputQueue{toks: toks} }
+
+// reset rewinds the queue onto a fresh token stream, keeping the
+// pushback buffer's capacity.
+func (q *inputQueue) reset(toks []ir.Token) {
+	q.front = q.front[:0]
+	q.toks = toks
+	q.pos = 0
+}
 
 // peek returns the next token; ok is false at end of input.
 func (q *inputQueue) peek() (ir.Token, bool) {
@@ -66,16 +75,45 @@ type stackEntry struct {
 	val   int64
 }
 
+// opdArena hands out operand slices for emitted instructions from a
+// reusable chunk, so filling a template allocates nothing once the chunk
+// has grown to the program's working size. When a chunk fills up a
+// larger one replaces it; instructions already emitted keep referencing
+// the old chunk, which stays alive behind their slice headers.
+type opdArena struct {
+	buf []asm.Operand
+}
+
+func (a *opdArena) alloc(n int) []asm.Operand {
+	if len(a.buf)+n > cap(a.buf) {
+		c := 2 * (cap(a.buf) + n)
+		if c < 256 {
+			c = 256
+		}
+		a.buf = make([]asm.Operand, 0, c)
+	}
+	s := a.buf[len(a.buf) : len(a.buf)+n : len(a.buf)+n]
+	a.buf = a.buf[:len(a.buf)+n]
+	return s
+}
+
+// reset recycles the current (largest) chunk for the next run. Operand
+// slices handed out before the reset are overwritten by the next run —
+// the session-reuse aliasing caveat documented on Session.
+func (a *opdArena) reset() { a.buf = a.buf[:0] }
+
 // run is the state of one translation.
 type run struct {
-	g     *Generator
-	gr    *grammar.Grammar
-	ra    *regalloc.File
-	cses  *cse.Table
-	prog  *asm.Program
-	input *inputQueue
-	stack []stackEntry
-	res   *Result
+	g      *Generator
+	gr     *grammar.Grammar
+	ra     *regalloc.File
+	cses   *cse.Table
+	prog   *asm.Program
+	input  *inputQueue
+	stack  []stackEntry
+	res    *Result
+	packed *tables.Packed
+	dense  *lr.Table // optional uncompressed dispatch (benchmark ablation)
 
 	autoLabel int64 // allocator for generator-internal (negative) labels
 	stmtNum   int   // current source statement, from stmt_record
@@ -91,13 +129,54 @@ type run struct {
 	codeBytes int
 	codeErr   error
 
-	// per-reduction state
+	// per-reduction scratch, reused across reductions and runs:
+	// slots/allocMark are sized to the generator's widest plan; popped
+	// aliases the truncated parse-stack tail for the current reduction;
+	// pushed stages the tokens prefixed to the input.
+	slots        []int64
+	allocMark    []bool
+	popped       []stackEntry
+	pushed       []ir.Token
+	ignoreLHS    bool
 	pendingSkips []pendingSkip
+	arena        opdArena
 }
 
 type pendingSkip struct {
 	label     int64
 	remaining int64
+}
+
+// reset rewinds the run for a fresh translation, reusing every buffer
+// whose contents do not escape to the caller. The blocked-parse
+// diagnostics do escape (inside BlockedError), so that slice is
+// dropped, not truncated.
+func (r *run) reset(name string, toks []ir.Token) {
+	r.ra.Reset()
+	r.cses.Reset()
+	r.prog.Reset(name)
+	r.prog.Origin = r.g.cfg.Origin
+	r.prog.PoolOrigin = r.g.cfg.PoolOrigin
+	r.input.reset(toks)
+	r.stack = r.stack[:0]
+	r.res.Reductions = 0
+	r.res.Instructions = 0
+	for i := range r.res.ProdCounts {
+		r.res.ProdCounts[i] = 0
+	}
+	r.packed = r.g.mod.Packed
+	r.dense = r.g.mod.Dense
+	r.autoLabel = -1
+	r.stmtNum = 0
+	r.blocks = nil
+	r.truncated = false
+	r.codeBytes = 0
+	r.codeErr = nil
+	r.pushed = r.pushed[:0]
+	r.popped = nil
+	r.ignoreLHS = false
+	r.pendingSkips = r.pendingSkips[:0]
+	r.arena.reset()
 }
 
 // parse runs the skeletal LR parser to completion. A blocked parse —
@@ -124,7 +203,7 @@ func (r *run) parse() error {
 		tok, ok := r.input.peek()
 		sym := 0
 		if !ok {
-			sym = len(r.g.mod.Packed.ColOf) - 1 // end-marker symbol id
+			sym = r.g.eofSym
 		} else {
 			s, found := r.gr.Lookup(tok.Sym)
 			if !found {
@@ -144,7 +223,12 @@ func (r *run) parse() error {
 			}
 		}
 
-		act := r.g.mod.Packed.Lookup(r.top().state, sym)
+		var act lr.Action
+		if r.dense != nil {
+			act = r.dense.Lookup(r.top().state, sym)
+		} else {
+			act = r.packed.Lookup(r.top().state, sym)
+		}
 		if w := r.g.cfg.Trace; w != nil {
 			r.traceAction(w, tok, ok, act)
 		}
@@ -164,7 +248,7 @@ func (r *run) parse() error {
 			r.stack = append(r.stack, stackEntry{state: act.Target(), sym: sym, val: tok.Val})
 			r.input.consume()
 		case lr.Reduce:
-			if err := r.reduce(r.gr.Prods[act.Target()]); err != nil {
+			if err := r.reduce(act.Target()); err != nil {
 				return err
 			}
 		default:
@@ -221,12 +305,8 @@ func (r *run) block(tok ir.Token, haveTok bool, reason string) bool {
 	}
 	r.input.front = r.input.front[:0]
 	r.stack = append(r.stack[:0], stackEntry{state: 0, sym: -1})
-	ra, err := regalloc.New(r.g.cfg.Classes)
-	if err != nil {
-		return false
-	}
-	r.ra = ra
-	r.cses = cse.New()
+	r.ra.Reset()
+	r.cses.Reset()
 	r.input.consume()
 	for {
 		next, ok := r.input.peek()
@@ -238,7 +318,7 @@ func (r *run) block(tok ir.Token, haveTok bool, reason string) bool {
 		if s, found := r.gr.Lookup(next.Sym); found {
 			switch s.Kind {
 			case grammar.Operator, grammar.Terminal, grammar.Nonterminal:
-				if r.g.mod.Packed.Lookup(0, s.ID).Kind() != lr.Error {
+				if r.packed.Lookup(0, s.ID).Kind() != lr.Error {
 					return true
 				}
 			}

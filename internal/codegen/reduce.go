@@ -5,31 +5,19 @@ import (
 
 	"cogg/internal/asm"
 	"cogg/internal/faultinject"
-	"cogg/internal/grammar"
 	"cogg/internal/ir"
 )
 
-// reduction is the transient state of one execution of the code emission
-// routine.
-type reduction struct {
-	prod   *grammar.Prod
-	bind   map[grammar.Ref]int64 // resolved value of every tagged occurrence
-	popped []stackEntry
-
-	// allocated tracks registers allocated for this production by
-	// `using`/`need`; consumed members (push_odd, find_common) are
-	// removed so the leftovers can be released at the end.
-	allocated map[grammar.Ref]bool
-
-	ignoreLHS bool
-	// pushed lists tokens prefixed to the input by the templates
-	// (push_odd, find_common), in prefix order.
-	pushed []ir.Token
-}
-
-// reduce executes the code emission routine for production p, following
-// the structure of the paper's section 3 pseudo-code.
-func (r *run) reduce(p *grammar.Prod) error {
+// reduce executes the code emission routine for production index pi,
+// following the structure of the paper's section 3 pseudo-code. All
+// per-reduction state lives in scratch buffers on the run (the slot
+// array, the allocation marks, the pushback staging buffer), and the
+// popped right side aliases the truncated parse-stack tail — nothing is
+// pushed onto the parse stack until the reduction completes — so a
+// steady-state reduction performs no heap allocation.
+func (r *run) reduce(pi int) error {
+	pl := &r.g.plans[pi]
+	p := pl.prod
 	if err := faultinject.Eval("codegen/reduce", r.prog.Name); err != nil {
 		return err
 	}
@@ -43,40 +31,38 @@ func (r *run) reduce(p *grammar.Prod) error {
 		return &GenError{Pos: r.input.pos, State: r.top().state,
 			Msg: fmt.Sprintf("reduce of production %d needs %d stack symbols, have %d", p.Num, n, len(r.stack)-1)}
 	}
-	red := &reduction{
-		prod:      p,
-		bind:      make(map[grammar.Ref]int64),
-		popped:    append([]stackEntry(nil), r.stack[len(r.stack)-n:]...),
-		allocated: make(map[grammar.Ref]bool),
-	}
+	r.popped = r.stack[len(r.stack)-n:]
 	r.stack = r.stack[:len(r.stack)-n]
-	for i, sym := range p.RHS {
-		if tag := p.RHSTags[i]; tag >= 0 {
-			red.bind[grammar.Ref{Sym: sym, Tag: tag}] = red.popped[i].val
+	for i, s := range pl.rhsSlot {
+		if s >= 0 {
+			r.slots[s] = r.popped[i].val
 		}
 	}
+	for i := 0; i < pl.nslots; i++ {
+		r.allocMark[i] = false
+	}
+	r.ignoreLHS = false
+	r.pushed = r.pushed[:0]
 
 	// Allocate all requested registers at once, before acting on any
 	// template (paper section 4.1).
-	if err := r.allocate(red); err != nil {
+	if err := r.allocate(pl); err != nil {
 		return err
 	}
 
 	// Fill in required values and act on each associated template.
 	r.pendingSkips = r.pendingSkips[:0]
-	for ti := range p.Templates {
-		t := &p.Templates[ti]
-		if t.Semantic {
-			if err := r.intervene(red, t); err != nil {
-				return r.templateErr(p, t, err)
+	for si := range pl.steps {
+		st := &pl.steps[si]
+		if st.op != semMachine {
+			if err := r.intervene(pl, st); err != nil {
+				return r.templateErr(pl, st, err)
 			}
 			continue
 		}
-		in, err := r.buildInstr(red, t)
-		if err != nil {
-			return r.templateErr(p, t, err)
+		if err := r.emitMachine(st); err != nil {
+			return r.templateErr(pl, st, err)
 		}
-		r.emit(in)
 	}
 	if len(r.pendingSkips) > 0 {
 		// A trailing skip may legitimately complete at the end of the
@@ -92,54 +78,48 @@ func (r *run) reduce(p *grammar.Prod) error {
 
 	// Release operand registers consumed from the parse stack, keeping
 	// the occurrence the left side reuses.
-	lambda := r.gr.IsLambda(p.LHS)
-	pushLHS := !lambda && !red.ignoreLHS
-	var lhsClass string
+	pushLHS := !pl.lambda && !r.ignoreLHS
 	var lhsVal int64
 	if pushLHS {
-		lhsClass = r.g.classOf(p.LHS)
-		v, ok := red.bind[grammar.Ref{Sym: p.LHS, Tag: p.LHSTag}]
-		if !ok {
-			// Class-conversion production ("r.l ::= d.l"): the value of
-			// the same-tagged right-side nonterminal transfers.
-			for ref, rv := range red.bind {
-				if ref.Tag == p.LHSTag && r.gr.KindOf(ref.Sym) == grammar.Nonterminal {
-					v, ok = rv, true
-				}
-			}
+		slot := pl.lhsSlot
+		if slot < 0 {
+			slot = pl.lhsFallback
 		}
-		if !ok {
+		if slot < 0 {
 			return &GenError{Pos: r.input.pos, State: r.top().state,
-				Msg: fmt.Sprintf("production %d: left side %s.%d has no value", p.Num, r.gr.SymName(p.LHS), p.LHSTag)}
+				Msg: fmt.Sprintf("production %d: left side %s.%d has no value", p.Num, pl.lhsName, pl.lhsTag)}
 		}
-		lhsVal = v
+		lhsVal = r.slots[slot]
 	}
 	keptLHS := false
-	for i, e := range red.popped {
-		class := r.g.classOf(p.RHS[i])
+	for i := range r.popped {
+		class := pl.rhsClass[i]
 		if class == "" {
 			continue
 		}
-		if pushLHS && !keptLHS && class == lhsClass && e.val == lhsVal {
+		if pushLHS && !keptLHS && class == pl.lhsClass && r.popped[i].val == lhsVal {
 			keptLHS = true
 			continue
 		}
-		r.ra.DecUse(class, int(e.val))
+		r.ra.DecUse(class, int(r.popped[i].val))
 	}
 	// The LHS register was allocated for this production; its single use
 	// transfers to the prefixed token.
-	if pushLHS {
-		delete(red.allocated, grammar.Ref{Sym: p.LHS, Tag: p.LHSTag})
+	if pushLHS && pl.lhsSlot >= 0 {
+		r.allocMark[pl.lhsSlot] = false
 	}
 
 	// Release transient registers: scratch registers for skips and long
 	// branches, linkage registers taken with `need`.
-	for ref := range red.allocated {
-		class := r.g.classOf(ref.Sym)
+	for si := 0; si < pl.nslots; si++ {
+		if !r.allocMark[si] {
+			continue
+		}
+		class := pl.slotClass[si]
 		if class == "" {
 			continue
 		}
-		v := red.bind[ref]
+		v := r.slots[si]
 		if r.g.pairClass[class] {
 			if err := r.ra.FreePair(class, int(v)); err != nil {
 				return err
@@ -153,12 +133,12 @@ func (r *run) reduce(p *grammar.Prod) error {
 	// input stream. Lambda productions complete a statement: the parse
 	// stack must be back at the bottom.
 	if pushLHS {
-		red.pushed = append(red.pushed, ir.Token{Sym: r.gr.SymName(p.LHS), Val: lhsVal})
+		r.pushed = append(r.pushed, ir.Token{Sym: pl.lhsName, Val: lhsVal})
 	}
-	if len(red.pushed) > 0 {
-		r.input.prefix(red.pushed...)
+	if len(r.pushed) > 0 {
+		r.input.prefix(r.pushed...)
 	}
-	if lambda && len(r.stack) != 1 {
+	if pl.lambda && len(r.stack) != 1 {
 		return &GenError{Pos: r.input.pos, State: r.top().state,
 			Msg: fmt.Sprintf("statement production %d reduced with %d symbols still on the parse stack", p.Num, len(r.stack)-1)}
 	}
@@ -166,68 +146,71 @@ func (r *run) reduce(p *grammar.Prod) error {
 }
 
 // allocate performs the up-front register allocation for one production.
-func (r *run) allocate(red *reduction) error {
-	for _, ref := range red.prod.Uses {
-		class := r.g.classOf(ref.Sym)
-		if class == "" {
-			return fmt.Errorf("codegen: using %s.%d: not a register class", r.gr.SymName(ref.Sym), ref.Tag)
+func (r *run) allocate(pl *prodPlan) error {
+	for i := range pl.uses {
+		u := &pl.uses[i]
+		if u.class == "" {
+			return fmt.Errorf("codegen: using %s.%d: not a register class", r.gr.SymName(u.ref.Sym), u.ref.Tag)
 		}
-		n, err := r.ra.Using(class)
+		n, err := r.ra.Using(u.class)
 		if err != nil {
 			return &ResourceError{Kind: ResRegisters, Pos: r.input.pos, State: r.top().state,
-				Msg: fmt.Sprintf("production %d: %v", red.prod.Num, err)}
+				Msg: fmt.Sprintf("production %d: %v", pl.prod.Num, err)}
 		}
-		red.bind[ref] = int64(n)
-		red.allocated[ref] = true
+		r.slots[u.slot] = int64(n)
+		r.allocMark[u.slot] = true
 	}
-	for _, ref := range red.prod.Needs {
-		class := r.g.classOf(ref.Sym)
-		if class == "" {
-			return fmt.Errorf("codegen: need %s.%d: not a register class", r.gr.SymName(ref.Sym), ref.Tag)
+	for i := range pl.needs {
+		nd := &pl.needs[i]
+		if nd.class == "" {
+			return fmt.Errorf("codegen: need %s.%d: not a register class", r.gr.SymName(nd.ref.Sym), nd.ref.Tag)
 		}
-		moves, err := r.ra.Need(class, ref.Tag)
+		mv, evicted, err := r.ra.Need(nd.class, nd.ref.Tag)
 		if err != nil {
 			return &ResourceError{Kind: ResRegisters, Pos: r.input.pos, State: r.top().state,
-				Msg: fmt.Sprintf("production %d: %v", red.prod.Num, err)}
+				Msg: fmt.Sprintf("production %d: %v", pl.prod.Num, err)}
 		}
-		for _, mv := range moves {
-			if err := r.materializeMove(red, mv.Class, mv.From, mv.To); err != nil {
+		if evicted {
+			if err := r.materializeMove(pl, mv.Class, mv.From, mv.To); err != nil {
 				return err
 			}
 		}
-		red.bind[ref] = int64(ref.Tag)
-		red.allocated[ref] = true
+		r.slots[nd.slot] = int64(nd.ref.Tag)
+		r.allocMark[nd.slot] = true
 	}
 	return nil
 }
 
 // materializeMove emits the register copy for a `need` eviction and
 // rewrites every holder of the old register: the translation stack, the
-// pushback queue, the current bindings, and the CSE table.
-func (r *run) materializeMove(red *reduction, class string, from, to int) error {
+// popped right side, the pushback queue, the current bindings, and the
+// CSE table.
+func (r *run) materializeMove(pl *prodPlan, class string, from, to int) error {
 	op, ok := r.g.cfg.MoveOp[class]
 	if !ok {
 		return fmt.Errorf("codegen: no move opcode configured for register class %q", class)
 	}
-	r.emit(asm.Instr{Op: op, Opds: []asm.Operand{asm.R(to), asm.R(from)},
-		Comment: fmt.Sprintf("evicted for need r%d", from)})
-	symName := class // nonterminal name is the class name
+	opds := r.arena.alloc(2)
+	opds[0] = asm.R(to)
+	opds[1] = asm.R(from)
+	r.emit(asm.Instr{Op: op, Opds: opds, Comment: evictComment(from)})
+	symID := r.g.classSym[class] // nonterminal id: its name is the class name
 	for i := range r.stack {
-		if r.gr.SymName(r.stack[i].sym) == symName && r.stack[i].val == int64(from) {
+		if r.stack[i].sym == symID && r.stack[i].val == int64(from) {
 			r.stack[i].val = int64(to)
 		}
 	}
-	for i := range red.popped {
-		if r.gr.SymName(red.popped[i].sym) == symName && red.popped[i].val == int64(from) {
-			red.popped[i].val = int64(to)
+	for i := range r.popped {
+		if r.popped[i].sym == symID && r.popped[i].val == int64(from) {
+			r.popped[i].val = int64(to)
 		}
 	}
-	for ref, v := range red.bind {
-		if v == int64(from) && r.g.classOf(ref.Sym) == class {
-			red.bind[ref] = int64(to)
+	for si := 0; si < pl.nslots; si++ {
+		if r.slots[si] == int64(from) && pl.slotClass[si] == class {
+			r.slots[si] = int64(to)
 		}
 	}
-	r.input.rewriteRegs(symName, int64(from), int64(to))
+	r.input.rewriteRegs(class, int64(from), int64(to))
 	r.cses.MoveReg(class, from, to)
 	return nil
 }
@@ -236,10 +219,13 @@ func (r *run) materializeMove(red *reduction, class string, from, to int) error 
 // skip targets and stamping the source statement number. The code
 // buffer is bounded: past Config.MaxCodeBytes a sticky ResourceError is
 // recorded for the parse loop to surface (emit itself has no error
-// return — the template paths call it unconditionally).
+// return — the template paths call it unconditionally). The instruction
+// is appended before sizing so the Machine reads it in place, keeping
+// the argument from escaping to the heap.
 func (r *run) emit(in asm.Instr) int {
 	in.Stmt = r.stmtNum
-	if sz, err := r.g.cfg.Machine.SizeOf(&in); err == nil {
+	ix := r.prog.Append(in)
+	if sz, err := r.g.cfg.Machine.SizeOf(&r.prog.Instrs[ix]); err == nil {
 		r.codeBytes += sz
 	} else {
 		r.codeBytes += 6 // the longest S/370 instruction; a safe overestimate
@@ -249,7 +235,6 @@ func (r *run) emit(in asm.Instr) int {
 			State: r.top().state,
 			Msg:   fmt.Sprintf("code buffer exceeds %d bytes", max)}
 	}
-	ix := r.prog.Append(in)
 	for i := range r.pendingSkips {
 		ps := &r.pendingSkips[i]
 		if ps.remaining > 0 {
@@ -263,10 +248,10 @@ func (r *run) emit(in asm.Instr) int {
 	return ix
 }
 
-func (r *run) templateErr(p *grammar.Prod, t *grammar.Template, err error) error {
+func (r *run) templateErr(pl *prodPlan, st *tmplStep, err error) error {
 	if _, ok := err.(*GenError); ok {
 		return err
 	}
 	return &GenError{Pos: r.input.pos, State: r.top().state,
-		Msg: fmt.Sprintf("production %d, template %q (line %d): %v", p.Num, r.gr.SymName(t.Op), t.Line, err)}
+		Msg: fmt.Sprintf("production %d, template %q (line %d): %v", pl.prod.Num, st.name, st.t.Line, err)}
 }

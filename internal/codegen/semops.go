@@ -5,7 +5,6 @@ import (
 
 	"cogg/internal/asm"
 	"cogg/internal/cse"
-	"cogg/internal/grammar"
 	"cogg/internal/ir"
 )
 
@@ -14,130 +13,158 @@ import (
 // constructor verifies at generation time that every one it uses appears
 // here (paper section 4 lists the categories: register allocation and
 // symbol table management, machine idioms, and context sensitive
-// manipulations of the parse/translation stack).
-var semanticOps = map[string]bool{
-	"using": true, "need": true, "modifies": true,
-	"ignore_lhs": true, "IBM_length": true, "ibm_length": true,
-	"push_odd": true, "push_even": true,
-	"load_odd_addr": true, "load_odd_full": true, "load_odd_half": true, "load_odd_reg": true,
-	"label_location": true, "label_pntr": true,
-	"branch": true, "branch_indexed": true, "skip": true, "case_load": true,
-	"abort": true, "stmt_record": true, "list_request": true,
-	"full_common": true, "half_common": true, "byte_common": true,
-	"real_common": true, "dreal_common": true,
-	"find_common": true, "find_real_common": true,
-	"load_extended": true, "store_extended": true, "clear_extended": true,
+// manipulations of the parse/translation stack). Each name maps to its
+// plan-time enum value so reductions dispatch on a jump table instead of
+// a string switch.
+var semanticOps = map[string]semOp{
+	"using": semUsing, "need": semNeed, "modifies": semModifies,
+	"ignore_lhs": semIgnoreLHS, "IBM_length": semIBMLength, "ibm_length": semIBMLength,
+	"push_odd": semPushOdd, "push_even": semPushEven,
+	"load_odd_addr": semLoadOddAddr, "load_odd_full": semLoadOddFull,
+	"load_odd_half": semLoadOddHalf, "load_odd_reg": semLoadOddReg,
+	"label_location": semLabelLocation, "label_pntr": semLabelPntr,
+	"branch": semBranch, "branch_indexed": semBranchIndexed,
+	"skip": semSkip, "case_load": semCaseLoad,
+	"abort": semAbort, "stmt_record": semStmtRecord, "list_request": semListRequest,
+	"full_common": semFullCommon, "half_common": semHalfCommon,
+	"byte_common": semByteCommon,
+	"real_common": semRealCommon, "dreal_common": semDRealCommon,
+	"find_common": semFindCommon, "find_real_common": semFindRealCommon,
+	"load_extended": semLoadExtended, "store_extended": semStoreExtended,
+	"clear_extended": semClearExtended,
 }
 
-func knownSemantic(name string) bool { return semanticOps[name] }
+func knownSemantic(name string) bool { _, ok := semanticOps[name]; return ok }
 
 // SemanticOpCount returns the number of semantic operators the emission
 // routine implements (entry ix of Table 1 counts those a grammar uses).
 func SemanticOpCount() int { return len(semanticOps) }
 
-// intervene interprets one semantic template.
-func (r *run) intervene(red *reduction, t *grammar.Template) error {
-	name := r.gr.SymName(t.Op)
-	switch name {
-	case "using", "need":
+// Static comment tables: the steady-state reduction path must not
+// format strings.
+var skipComments = [...]string{
+	"", "skip 1", "skip 2", "skip 3", "skip 4",
+	"skip 5", "skip 6", "skip 7", "skip 8",
+}
+
+var evictComments = [...]string{
+	"evicted for need r0", "evicted for need r1", "evicted for need r2",
+	"evicted for need r3", "evicted for need r4", "evicted for need r5",
+	"evicted for need r6", "evicted for need r7", "evicted for need r8",
+	"evicted for need r9", "evicted for need r10", "evicted for need r11",
+	"evicted for need r12", "evicted for need r13", "evicted for need r14",
+	"evicted for need r15",
+}
+
+func evictComment(from int) string {
+	if from >= 0 && from < len(evictComments) {
+		return evictComments[from]
+	}
+	return fmt.Sprintf("evicted for need r%d", from)
+}
+
+// intervene interprets one compiled semantic template.
+func (r *run) intervene(pl *prodPlan, st *tmplStep) error {
+	switch st.op {
+	case semUsing, semNeed:
 		return nil // handled by the up-front allocation
 
-	case "modifies":
-		return r.semModifies(red, t)
+	case semModifies:
+		return r.semModifies(st)
 
-	case "ignore_lhs":
-		red.ignoreLHS = true
+	case semIgnoreLHS:
+		r.ignoreLHS = true
 		return nil
 
-	case "IBM_length", "ibm_length":
+	case semIBMLength:
 		// IBM SS instructions encode a length of n as n-1; rebind the
 		// terminal so subsequent templates see the encoded value.
-		ref, err := r.refOperand(red, t, 0)
+		rp, err := r.stepRef(st, 0)
 		if err != nil {
 			return err
 		}
-		v := red.bind[ref]
+		v := r.slots[rp.slot]
 		if v < 1 || v > 256 {
 			return fmt.Errorf("IBM_length of %d is outside 1..256", v)
 		}
-		red.bind[ref] = v - 1
+		r.slots[rp.slot] = v - 1
 		return nil
 
-	case "push_odd", "push_even":
-		return r.semPushHalf(red, t, name == "push_odd")
+	case semPushOdd, semPushEven:
+		return r.semPushHalf(st, st.op == semPushOdd)
 
-	case "load_odd_addr", "load_odd_full", "load_odd_half", "load_odd_reg":
-		return r.semLoadOdd(red, t, name)
+	case semLoadOddAddr, semLoadOddFull, semLoadOddHalf, semLoadOddReg:
+		return r.semLoadOdd(st)
 
-	case "label_location":
-		v, err := r.operandValue(red, t, 0)
+	case semLabelLocation:
+		v, err := r.stepVal(st, 0)
 		if err != nil {
 			return err
 		}
 		return r.prog.DefineLabel(v, len(r.prog.Instrs))
 
-	case "label_pntr":
-		v, err := r.operandValue(red, t, 0)
+	case semLabelPntr:
+		v, err := r.stepVal(st, 0)
 		if err != nil {
 			return err
 		}
 		r.emit(asm.Instr{Pseudo: asm.AddrConst, Label: v})
 		return nil
 
-	case "branch", "branch_indexed":
-		return r.semBranch(red, t, name == "branch_indexed")
+	case semBranch, semBranchIndexed:
+		return r.semBranch(st, st.op == semBranchIndexed)
 
-	case "skip":
-		return r.semSkip(red, t)
+	case semSkip:
+		return r.semSkip(st)
 
-	case "case_load":
-		return r.semCaseLoad(red, t)
+	case semCaseLoad:
+		return r.semCaseLoad(st)
 
-	case "abort":
-		v, err := r.operandValue(red, t, 0)
+	case semAbort:
+		v, err := r.stepVal(st, 0)
 		if err != nil {
 			return err
 		}
 		r.prog.AbortSites[len(r.prog.Instrs)] = v
 		return nil
 
-	case "stmt_record":
-		v, err := r.operandValue(red, t, 0)
+	case semStmtRecord:
+		v, err := r.stepVal(st, 0)
 		if err != nil {
 			return err
 		}
 		r.stmtNum = int(v)
 		return nil
 
-	case "list_request":
-		v, err := r.operandValue(red, t, 0)
+	case semListRequest:
+		v, err := r.stepVal(st, 0)
 		if err != nil {
 			return err
 		}
 		r.prog.CallArgs[len(r.prog.Instrs)] = v
 		return nil
 
-	case "full_common", "half_common", "byte_common", "real_common", "dreal_common":
-		return r.semCommon(red, t, commonWidth(name))
+	case semFullCommon, semHalfCommon, semByteCommon, semRealCommon, semDRealCommon:
+		return r.semCommon(st, commonWidth(st.op))
 
-	case "find_common", "find_real_common":
-		return r.semFindCommon(red, t)
+	case semFindCommon, semFindRealCommon:
+		return r.semFindCommon(st)
 
-	case "load_extended", "store_extended", "clear_extended":
-		return r.semExtended(red, t, name)
+	case semLoadExtended, semStoreExtended, semClearExtended:
+		return r.semExtended(st)
 	}
-	return fmt.Errorf("semantic operator %q is not implemented", name)
+	return fmt.Errorf("semantic operator %q is not implemented", st.name)
 }
 
-func commonWidth(name string) cse.Width {
-	switch name {
-	case "half_common":
+func commonWidth(op semOp) cse.Width {
+	switch op {
+	case semHalfCommon:
 		return cse.Half
-	case "byte_common":
+	case semByteCommon:
 		return cse.Byte
-	case "real_common":
+	case semRealCommon:
 		return cse.Real
-	case "dreal_common":
+	case semDRealCommon:
 		return cse.DReal
 	default:
 		return cse.Full
@@ -148,34 +175,35 @@ func commonWidth(name string) cse.Width {
 // of a register has been changed: any common subexpression held there is
 // saved to its temporary storage location and its register home
 // invalidated, and the register's usage index is stamped.
-func (r *run) semModifies(red *reduction, t *grammar.Template) error {
-	for i := range t.Operands {
-		ref, err := r.refOperand(red, t, i)
+func (r *run) semModifies(st *tmplStep) error {
+	for i := range st.refs {
+		rp, err := r.stepRef(st, i)
 		if err != nil {
 			return err
 		}
-		class := r.g.classOf(ref.Sym)
-		if class == "" {
-			return fmt.Errorf("modifies %s.%d: not a register", r.gr.SymName(ref.Sym), ref.Tag)
+		if rp.class == "" {
+			return fmt.Errorf("modifies %s.%d: not a register", r.gr.SymName(rp.ref.Sym), rp.ref.Tag)
 		}
-		reg := int(red.bind[ref])
-		for _, e := range r.cses.HeldIn(class, reg) {
+		reg := int(r.slots[rp.slot])
+		for _, e := range r.cses.HeldIn(rp.class, reg) {
 			if !e.Saved {
 				op, ok := r.g.cfg.SaveOp[e.Width]
 				if !ok {
 					return fmt.Errorf("no save opcode configured for %s common subexpressions", e.Width)
 				}
-				r.emit(asm.Instr{Op: op,
-					Opds:    []asm.Operand{asm.R(reg), asm.M(e.Mem.Disp, 0, e.Mem.Base)},
+				opds := r.arena.alloc(2)
+				opds[0] = asm.R(reg)
+				opds[1] = asm.M(e.Mem.Disp, 0, e.Mem.Base)
+				r.emit(asm.Instr{Op: op, Opds: opds,
 					Comment: fmt.Sprintf("save cse %d before r%d changes", e.ID, reg)})
 				e.Saved = true
 			}
 			// The register carried the CSE's outstanding uses; they move
 			// to the memory home.
-			r.ra.IncUse(class, reg, -e.Uses)
+			r.ra.IncUse(rp.class, reg, -e.Uses)
 			r.cses.Invalidate(e)
 		}
-		r.ra.Touch(class, reg)
+		r.ra.Touch(rp.class, reg)
 	}
 	return nil
 }
@@ -184,29 +212,28 @@ func (r *run) semModifies(red *reduction, t *grammar.Template) error {
 // pair becomes an ordinary register and is prefixed to the input stream
 // ("it does so after performing a type conversion of the odd register
 // into type r.n", paper section 4.3).
-func (r *run) semPushHalf(red *reduction, t *grammar.Template, odd bool) error {
-	ref, err := r.refOperand(red, t, 0)
+func (r *run) semPushHalf(st *tmplStep, odd bool) error {
+	rp, err := r.stepRef(st, 0)
 	if err != nil {
 		return err
 	}
-	class := r.g.classOf(ref.Sym)
-	if !r.g.pairClass[class] {
+	if !r.g.pairClass[rp.class] {
 		return fmt.Errorf("push half of %s.%d: class %q is not an even/odd pair class",
-			r.gr.SymName(ref.Sym), ref.Tag, class)
+			r.gr.SymName(rp.ref.Sym), rp.ref.Tag, rp.class)
 	}
-	even := int(red.bind[ref])
-	under := r.underClassName(class)
+	even := int(r.slots[rp.slot])
+	under := r.underClassName(rp.class)
 	var kept int
 	if odd {
-		kept, err = r.ra.ConvertOdd(class, even)
+		kept, err = r.ra.ConvertOdd(rp.class, even)
 	} else {
-		kept, err = r.ra.ConvertEven(class, even)
+		kept, err = r.ra.ConvertEven(rp.class, even)
 	}
 	if err != nil {
 		return err
 	}
-	delete(red.allocated, ref)
-	red.pushed = append(red.pushed, ir.Token{Sym: under, Val: int64(kept)})
+	r.allocMark[rp.slot] = false
+	r.pushed = append(r.pushed, ir.Token{Sym: under, Val: int64(kept)})
 	return nil
 }
 
@@ -222,28 +249,30 @@ func (r *run) underClassName(pair string) string {
 // semLoadOdd fills the odd half of a pair: load_odd_addr emits the
 // address-load form, load_odd_full/half the storage loads, load_odd_reg
 // the register copy.
-func (r *run) semLoadOdd(red *reduction, t *grammar.Template, name string) error {
-	ref, err := r.refOperand(red, t, 0)
+func (r *run) semLoadOdd(st *tmplStep) error {
+	rp, err := r.stepRef(st, 0)
 	if err != nil {
 		return err
 	}
-	class := r.g.classOf(ref.Sym)
-	if !r.g.pairClass[class] {
-		return fmt.Errorf("%s: %s.%d is not an even/odd pair", name, r.gr.SymName(ref.Sym), ref.Tag)
+	if !r.g.pairClass[rp.class] {
+		return fmt.Errorf("%s: %s.%d is not an even/odd pair", st.name, r.gr.SymName(rp.ref.Sym), rp.ref.Tag)
 	}
-	odd := int(red.bind[ref]) + 1
-	op, ok := r.g.cfg.LoadOddOps[name]
+	odd := int(r.slots[rp.slot]) + 1
+	op, ok := r.g.cfg.LoadOddOps[st.name]
 	if !ok {
-		return fmt.Errorf("no opcode configured for %s", name)
+		return fmt.Errorf("no opcode configured for %s", st.name)
 	}
-	if len(t.Operands) != 2 {
-		return fmt.Errorf("%s expects a pair and one source operand", name)
+	if len(st.opds) != 2 {
+		return fmt.Errorf("%s expects a pair and one source operand", st.name)
 	}
-	src, err := r.resolveOperand(red, &t.Operands[1])
+	src, err := r.resolveOpd(&st.opds[1])
 	if err != nil {
 		return err
 	}
-	r.emit(asm.Instr{Op: op, Opds: []asm.Operand{asm.R(odd), src}})
+	opds := r.arena.alloc(2)
+	opds[0] = asm.R(odd)
+	opds[1] = src
+	r.emit(asm.Instr{Op: op, Opds: opds})
 	return nil
 }
 
@@ -251,57 +280,56 @@ func (r *run) semLoadOdd(red *reduction, t *grammar.Template, name string) error
 // dictionary; the binding of jump instructions to targets is resolved
 // after all code for the module has been generated (section 4.2). The
 // register allocated by the production serves the long form.
-func (r *run) semBranch(red *reduction, t *grammar.Template, indexed bool) error {
-	if len(t.Operands) != 3 {
+func (r *run) semBranch(st *tmplStep, indexed bool) error {
+	if len(st.opds) != 3 {
 		return fmt.Errorf("branch expects condition, label, and scratch register")
 	}
-	cond, err := r.operandValue(red, t, 0)
+	cond, err := r.stepVal(st, 0)
 	if err != nil {
 		return err
 	}
-	label, err := r.operandValue(red, t, 1)
+	label, err := r.stepVal(st, 1)
 	if err != nil {
 		return err
 	}
-	scratchRef, err := r.refOperand(red, t, 2)
+	scratch, err := r.stepRef(st, 2)
 	if err != nil {
 		return err
 	}
-	in := asm.Instr{Pseudo: asm.Branch, Cond: cond, Label: label,
-		Scratch: int(red.bind[scratchRef])}
 	if indexed {
 		return fmt.Errorf("branch_indexed is expressed through case_load in this implementation")
 	}
-	r.emit(in)
+	r.emit(asm.Instr{Pseudo: asm.Branch, Cond: cond, Label: label,
+		Scratch: int(r.slots[scratch.slot])})
 	return nil
 }
 
 // semSkip emits a forward branch over the next n instructions of the same
 // template sequence, avoiding shaper-allocated labels for short internal
 // jumps such as condition-code materialization (section 4.2).
-func (r *run) semSkip(red *reduction, t *grammar.Template) error {
-	if len(t.Operands) != 3 {
+func (r *run) semSkip(st *tmplStep) error {
+	if len(st.opds) != 3 {
 		return fmt.Errorf("skip expects condition, instruction count, and scratch register")
 	}
-	cond, err := r.operandValue(red, t, 0)
+	cond, err := r.stepVal(st, 0)
 	if err != nil {
 		return err
 	}
-	count, err := r.operandValue(red, t, 1)
+	count, err := r.stepVal(st, 1)
 	if err != nil {
 		return err
 	}
 	if count < 1 || count > 8 {
 		return fmt.Errorf("skip count %d is outside a template sequence", count)
 	}
-	scratchRef, err := r.refOperand(red, t, 2)
+	scratch, err := r.stepRef(st, 2)
 	if err != nil {
 		return err
 	}
 	label := r.nextAutoLabel()
 	r.emit(asm.Instr{Pseudo: asm.Branch, Cond: cond, Label: label,
-		Scratch: int(red.bind[scratchRef]),
-		Comment: fmt.Sprintf("skip %d", count)})
+		Scratch: int(r.slots[scratch.slot]),
+		Comment: skipComments[count]})
 	r.pendingSkips = append(r.pendingSkips, pendingSkip{label: label, remaining: count})
 	return nil
 }
@@ -309,25 +337,25 @@ func (r *run) semSkip(red *reduction, t *grammar.Template) error {
 // semCaseLoad emits the branch-table dispatch: load the table address
 // from the literal pool, index it, and branch through the scratch
 // register.
-func (r *run) semCaseLoad(red *reduction, t *grammar.Template) error {
-	if len(t.Operands) != 3 {
+func (r *run) semCaseLoad(st *tmplStep) error {
+	if len(st.opds) != 3 {
 		return fmt.Errorf("case_load expects label, index register, and scratch register")
 	}
-	label, err := r.operandValue(red, t, 0)
+	label, err := r.stepVal(st, 0)
 	if err != nil {
 		return err
 	}
-	indexRef, err := r.refOperand(red, t, 1)
+	index, err := r.stepRef(st, 1)
 	if err != nil {
 		return err
 	}
-	scratchRef, err := r.refOperand(red, t, 2)
+	scratch, err := r.stepRef(st, 2)
 	if err != nil {
 		return err
 	}
 	in := asm.Instr{Pseudo: asm.CaseLoad, Label: label,
-		IndexR:  int(red.bind[indexRef]),
-		Scratch: int(red.bind[scratchRef])}
+		IndexR:  int(r.slots[index.slot]),
+		Scratch: int(r.slots[scratch.slot])}
 	ix := r.emit(in)
 	r.prog.Instrs[ix].PoolIx = r.prog.AddPoolLabel(label)
 	return nil
@@ -336,42 +364,41 @@ func (r *run) semCaseLoad(red *reduction, t *grammar.Template) error {
 // semCommon establishes a common subexpression: its number, use count,
 // register home, and the temporary storage location the shaper allocated
 // (section 4.4).
-func (r *run) semCommon(red *reduction, t *grammar.Template, w cse.Width) error {
-	if len(t.Operands) != 5 {
+func (r *run) semCommon(st *tmplStep, w cse.Width) error {
+	if len(st.opds) != 5 {
 		return fmt.Errorf("common declaration expects cse, count, register, displacement, base")
 	}
-	id, err := r.operandValue(red, t, 0)
+	id, err := r.stepVal(st, 0)
 	if err != nil {
 		return err
 	}
-	count, err := r.operandValue(red, t, 1)
+	count, err := r.stepVal(st, 1)
 	if err != nil {
 		return err
 	}
-	regRef, err := r.refOperand(red, t, 2)
+	regRef, err := r.stepRef(st, 2)
 	if err != nil {
 		return err
 	}
-	disp, err := r.operandValue(red, t, 3)
+	disp, err := r.stepVal(st, 3)
 	if err != nil {
 		return err
 	}
-	base, err := r.operandValue(red, t, 4)
+	base, err := r.stepVal(st, 4)
 	if err != nil {
 		return err
 	}
-	class := r.g.classOf(regRef.Sym)
-	if class == "" {
-		return fmt.Errorf("common register operand %s.%d is not a register", r.gr.SymName(regRef.Sym), regRef.Tag)
+	if regRef.class == "" {
+		return fmt.Errorf("common register operand %s.%d is not a register", r.gr.SymName(regRef.ref.Sym), regRef.ref.Tag)
 	}
-	reg := int(red.bind[regRef])
-	if _, err := r.cses.Define(id, int(count), class, reg,
+	reg := int(r.slots[regRef.slot])
+	if _, err := r.cses.Define(id, int(count), regRef.class, reg,
 		cse.Home{Disp: disp, Base: int(base)}, w); err != nil {
 		return err
 	}
 	// The register home carries the outstanding uses in addition to the
 	// use the production itself consumes.
-	r.ra.IncUse(class, reg, int(count))
+	r.ra.IncUse(regRef.class, reg, int(count))
 	return nil
 }
 
@@ -379,15 +406,15 @@ func (r *run) semCommon(red *reduction, t *grammar.Template, w cse.Width) error 
 // resides in a register, that register value is prefixed to the input
 // stream; if it resides only in memory, the address of the CSE is
 // prefixed instead and the ordinary load productions reduce it.
-func (r *run) semFindCommon(red *reduction, t *grammar.Template) error {
-	if len(t.Operands) != 2 {
+func (r *run) semFindCommon(st *tmplStep) error {
+	if len(st.opds) != 2 {
 		return fmt.Errorf("find_common expects cse number and destination register")
 	}
-	id, err := r.operandValue(red, t, 0)
+	id, err := r.stepVal(st, 0)
 	if err != nil {
 		return err
 	}
-	destRef, err := r.refOperand(red, t, 1)
+	destRef, err := r.stepRef(st, 1)
 	if err != nil {
 		return err
 	}
@@ -398,20 +425,19 @@ func (r *run) semFindCommon(red *reduction, t *grammar.Template) error {
 	// The destination register the production allocated is not needed:
 	// either the value is already in a register or the reload goes
 	// through the ordinary productions. Release it.
-	if red.allocated[destRef] {
-		class := r.g.classOf(destRef.Sym)
-		r.ra.DecUse(class, int(red.bind[destRef]))
-		delete(red.allocated, destRef)
+	if r.allocMark[destRef.slot] {
+		r.ra.DecUse(destRef.class, int(r.slots[destRef.slot]))
+		r.allocMark[destRef.slot] = false
 	}
 	if entry.InRegister() {
-		red.pushed = append(red.pushed, ir.Token{Sym: entry.Class, Val: int64(entry.Reg)})
+		r.pushed = append(r.pushed, ir.Token{Sym: entry.Class, Val: int64(entry.Reg)})
 		return nil
 	}
 	typeOp, ok := r.g.cfg.FindCommonType[entry.Width]
 	if !ok {
 		return fmt.Errorf("no IF type operator configured for %s common subexpressions", entry.Width)
 	}
-	red.pushed = append(red.pushed,
+	r.pushed = append(r.pushed,
 		ir.Token{Sym: typeOp},
 		ir.Token{Sym: "dsp", Val: entry.Mem.Disp},
 		ir.Token{Sym: "r", Val: int64(entry.Mem.Base)},
@@ -422,38 +448,46 @@ func (r *run) semFindCommon(red *reduction, t *grammar.Template) error {
 // semExtended implements the quadruple precision (128 bit) floating
 // point storage operators as fullword-pair sequences over two long
 // floating registers.
-func (r *run) semExtended(red *reduction, t *grammar.Template, name string) error {
-	ref, err := r.refOperand(red, t, 0)
+func (r *run) semExtended(st *tmplStep) error {
+	rp, err := r.stepRef(st, 0)
 	if err != nil {
 		return err
 	}
-	freg := int(red.bind[ref])
-	switch name {
-	case "clear_extended":
-		r.emit(asm.Instr{Op: "sxr", Opds: []asm.Operand{asm.R(freg), asm.R(freg)},
-			Comment: "zero extended register"})
+	freg := int(r.slots[rp.slot])
+	switch st.op {
+	case semClearExtended:
+		opds := r.arena.alloc(2)
+		opds[0] = asm.R(freg)
+		opds[1] = asm.R(freg)
+		r.emit(asm.Instr{Op: "sxr", Opds: opds, Comment: "zero extended register"})
 		return nil
-	case "load_extended", "store_extended":
-		if len(t.Operands) != 2 {
-			return fmt.Errorf("%s expects a register and a storage operand", name)
+	case semLoadExtended, semStoreExtended:
+		if len(st.opds) != 2 {
+			return fmt.Errorf("%s expects a register and a storage operand", st.name)
 		}
-		mem, err := r.resolveOperand(red, &t.Operands[1])
+		mem, err := r.resolveOpd(&st.opds[1])
 		if err != nil {
 			return err
 		}
 		if mem.Kind != asm.Mem {
-			return fmt.Errorf("%s needs a storage operand", name)
+			return fmt.Errorf("%s needs a storage operand", st.name)
 		}
 		op := "ld"
-		if name == "store_extended" {
+		if st.op == semStoreExtended {
 			op = "std"
 		}
 		hi := mem
 		lo := mem
 		lo.Val += 8
-		r.emit(asm.Instr{Op: op, Opds: []asm.Operand{asm.R(freg), hi}})
-		r.emit(asm.Instr{Op: op, Opds: []asm.Operand{asm.R(freg + 2), lo}})
+		opds := r.arena.alloc(2)
+		opds[0] = asm.R(freg)
+		opds[1] = hi
+		r.emit(asm.Instr{Op: op, Opds: opds})
+		opds = r.arena.alloc(2)
+		opds[0] = asm.R(freg + 2)
+		opds[1] = lo
+		r.emit(asm.Instr{Op: op, Opds: opds})
 		return nil
 	}
-	return fmt.Errorf("extended operator %q is not implemented", name)
+	return fmt.Errorf("extended operator %q is not implemented", st.name)
 }

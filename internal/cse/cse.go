@@ -114,5 +114,6 @@ func (t *Table) Invalidate(e *Entry) { e.Reg = -1 }
 // Live returns the number of live entries.
 func (t *Table) Live() int { return len(t.entries) }
 
-// Reset clears the table between compilation units.
-func (t *Table) Reset() { t.entries = make(map[int64]*Entry) }
+// Reset clears the table between compilation units, keeping the map's
+// bucket storage so a warmed-up table resets without allocating.
+func (t *Table) Reset() { clear(t.entries) }

@@ -1,0 +1,60 @@
+package lr
+
+import "math/bits"
+
+// SymSet is a word-packed set of symbol IDs. FIRST/FOLLOW computation and
+// closure membership are fixed-universe set problems (every member is a
+// symbol ID below NumSymbols), so a dense bitset replaces the former
+// map[int]bool representation: union is a handful of uint64 ORs instead
+// of a map iteration, and membership is one shift and mask.
+type SymSet []uint64
+
+// NewSymSet returns an empty set over a universe of n symbols.
+func NewSymSet(n int) SymSet { return make(SymSet, (n+63)/64) }
+
+// Has reports whether symbol id is in the set.
+func (s SymSet) Has(id int) bool {
+	w := id >> 6
+	return w < len(s) && s[w]&(1<<(uint(id)&63)) != 0
+}
+
+// Add inserts symbol id, reporting whether the set changed.
+func (s SymSet) Add(id int) bool {
+	w, bit := id>>6, uint64(1)<<(uint(id)&63)
+	if s[w]&bit != 0 {
+		return false
+	}
+	s[w] |= bit
+	return true
+}
+
+// UnionWith ORs other into s, reporting whether s changed.
+func (s SymSet) UnionWith(other SymSet) bool {
+	changed := false
+	for w, v := range other {
+		if v&^s[w] != 0 {
+			s[w] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Len counts the members.
+func (s SymSet) Len() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls f on every member in ascending order.
+func (s SymSet) ForEach(f func(id int)) {
+	for w, v := range s {
+		for v != 0 {
+			f(w<<6 | bits.TrailingZeros64(v))
+			v &= v - 1
+		}
+	}
+}

@@ -21,6 +21,12 @@
 //   - reduce/reduce: the production with the longer right side wins, ties
 //     broken in favor of the production declared first — specification
 //     order encodes the implementer's preference.
+//
+// Construction works over dense representations throughout: FIRST/FOLLOW
+// and closure membership are word-packed bitsets (SymSet), per-state
+// shift actions are a dense slice indexed by symbol, and kernel item
+// sets are interned by hash so each distinct kernel is closed exactly
+// once.
 package lr
 
 import (
@@ -40,12 +46,22 @@ type Item struct {
 type State struct {
 	ID     int
 	Kernel []Item
-	Items  []Item      // closure
-	Shift  map[int]int // symbol ID -> successor state
-	// Reduce maps a lookahead symbol ID (or EOF) to the candidate
-	// production indices, before conflict resolution.
-	Reduce map[int][]int
+	Items  []Item // closure
+
+	// Shift is dense: Shift[sym] is the successor state for symbol sym,
+	// or -1 when the symbol cannot be shifted here. Its length is the
+	// automaton's NumSymbols.
+	Shift []int32
+
+	// Completed lists the productions whose items are complete in this
+	// state ([A -> alpha .]), in ascending production order. The SLR
+	// reduce candidates for a lookahead la are exactly the completed
+	// productions whose left side has la in FOLLOW.
+	Completed []int32
 }
+
+// ShiftTo returns the successor state for symbol sym, or -1.
+func (s *State) ShiftTo(sym int) int { return int(s.Shift[sym]) }
 
 // Automaton is the LR(0) collection with SLR lookahead sets.
 type Automaton struct {
@@ -53,11 +69,18 @@ type Automaton struct {
 	States []*State
 	EOF    int // pseudo-symbol: len(G.Syms)
 
-	First  map[int]symset // nonterminal -> FIRST set (includes the nonterminal itself)
-	Follow map[int]symset
-}
+	First  []SymSet // nonterminal -> FIRST set (includes the nonterminal itself); nil for others
+	Follow []SymSet // nonterminal -> FOLLOW set; nil for others
 
-type symset map[int]bool
+	prodsBySym [][]int32 // nonterminal -> production indices, declaration order
+
+	// Closure scratch, epoch-stamped so each buildStates iteration skips
+	// the O(items) map rebuilds of the former representation.
+	itemStamp []int32 // item key -> epoch when last added to the closure
+	ntStamp   []int32 // nonterminal -> epoch when last expanded
+	epoch     int32
+	maxRHS    int
+}
 
 // Build constructs the automaton for grammar g, first rejecting grammars
 // the skeletal parser could loop on (see CheckLoops).
@@ -69,36 +92,43 @@ func Build(g *grammar.Grammar) (*Automaton, error) {
 		return nil, err
 	}
 	a := &Automaton{G: g, EOF: len(g.Syms)}
+	a.indexProds()
 	a.computeFirst()
 	a.computeFollow()
 	a.buildStates()
-	a.attachReduces()
 	return a, nil
+}
+
+// indexProds builds the nonterminal -> productions index and sizes the
+// closure scratch.
+func (a *Automaton) indexProds() {
+	a.prodsBySym = make([][]int32, len(a.G.Syms))
+	for i, p := range a.G.Prods {
+		a.prodsBySym[p.LHS] = append(a.prodsBySym[p.LHS], int32(i))
+		if len(p.RHS) > a.maxRHS {
+			a.maxRHS = len(p.RHS)
+		}
+	}
+	a.itemStamp = make([]int32, len(a.G.Prods)*(a.maxRHS+1))
+	a.ntStamp = make([]int32, len(a.G.Syms))
 }
 
 // prodsFor returns the production indices deriving nonterminal sym, in
 // declaration order.
-func (a *Automaton) prodsFor(sym int) []int {
-	var out []int
-	for i, p := range a.G.Prods {
-		if p.LHS == sym {
-			out = append(out, i)
-		}
-	}
-	return out
-}
+func (a *Automaton) prodsFor(sym int) []int32 { return a.prodsBySym[sym] }
 
 // computeFirst computes FIRST for every nonterminal. Because reduced
 // nonterminals are prefixed back onto the input, a nonterminal is itself a
 // possible input token and belongs to its own FIRST set. Right sides are
 // never empty, so FIRST of a sentential form is FIRST of its head symbol.
 func (a *Automaton) computeFirst() {
-	a.First = make(map[int]symset)
+	n := a.NumSymbols()
+	a.First = make([]SymSet, len(a.G.Syms))
 	for id, s := range a.G.Syms {
 		if s.Kind == grammar.Nonterminal {
-			set := symset{}
+			set := NewSymSet(n)
 			if id != a.G.Lambda {
-				set[id] = true // the nonterminal token itself
+				set.Add(id) // the nonterminal token itself
 			}
 			a.First[id] = set
 		}
@@ -108,27 +138,15 @@ func (a *Automaton) computeFirst() {
 		for _, p := range a.G.Prods {
 			head := p.RHS[0]
 			dst := a.First[p.LHS]
-			if src, ok := a.First[head]; ok {
-				for t := range src {
-					if !dst[t] {
-						dst[t] = true
-						changed = true
-					}
+			if src := a.First[head]; src != nil {
+				if dst.UnionWith(src) {
+					changed = true
 				}
-			} else if !dst[head] {
-				dst[head] = true
+			} else if dst.Add(head) {
 				changed = true
 			}
 		}
 	}
-}
-
-// firstOf returns the FIRST set of a single symbol.
-func (a *Automaton) firstOf(sym int) symset {
-	if set, ok := a.First[sym]; ok {
-		return set
-	}
-	return symset{sym: true}
 }
 
 // computeFollow computes FOLLOW for every nonterminal, over the grammar
@@ -136,53 +154,51 @@ func (a *Automaton) firstOf(sym int) symset {
 // statements each deriving lambda, so lambda is followed by the start of
 // any statement or by the end marker.
 func (a *Automaton) computeFollow() {
-	a.Follow = make(map[int]symset)
+	n := a.NumSymbols()
+	a.Follow = make([]SymSet, len(a.G.Syms))
 	for id, s := range a.G.Syms {
 		if s.Kind == grammar.Nonterminal {
-			a.Follow[id] = symset{}
+			a.Follow[id] = NewSymSet(n)
 		}
 	}
 	lf := a.Follow[a.G.Lambda]
-	lf[a.EOF] = true
-	for t := range a.First[a.G.Lambda] {
-		lf[t] = true
-	}
+	lf.Add(a.EOF)
+	lf.UnionWith(a.First[a.G.Lambda])
 	for changed := true; changed; {
 		changed = false
 		for _, p := range a.G.Prods {
 			for i, sym := range p.RHS {
-				dst, isNT := a.Follow[sym]
-				if !isNT {
+				dst := a.Follow[sym]
+				if dst == nil {
 					continue
 				}
 				if i+1 < len(p.RHS) {
-					for t := range a.firstOf(p.RHS[i+1]) {
-						if !dst[t] {
-							dst[t] = true
+					next := p.RHS[i+1]
+					if src := a.First[next]; src != nil {
+						if dst.UnionWith(src) {
 							changed = true
 						}
+					} else if dst.Add(next) {
+						changed = true
 					}
-				} else {
-					for t := range a.Follow[p.LHS] {
-						if !dst[t] {
-							dst[t] = true
-							changed = true
-						}
-					}
+				} else if dst.UnionWith(a.Follow[p.LHS]) {
+					changed = true
 				}
 			}
 		}
 	}
 }
 
-// closure extends a kernel to its LR(0) closure.
+// closure extends a kernel to its LR(0) closure. The membership and
+// expansion marks live in epoch-stamped arrays shared across calls, so a
+// closure costs no allocations beyond the returned item slice.
 func (a *Automaton) closure(kernel []Item) []Item {
-	items := append([]Item(nil), kernel...)
-	inSet := map[Item]bool{}
+	a.epoch++
+	e := a.epoch
+	items := append(make([]Item, 0, len(kernel)*2), kernel...)
 	for _, it := range items {
-		inSet[it] = true
+		a.itemStamp[it.Prod*(a.maxRHS+1)+it.Dot] = e
 	}
-	added := map[int]bool{} // nonterminals already expanded
 	for i := 0; i < len(items); i++ {
 		it := items[i]
 		p := a.G.Prods[it.Prod]
@@ -190,15 +206,15 @@ func (a *Automaton) closure(kernel []Item) []Item {
 			continue
 		}
 		sym := p.RHS[it.Dot]
-		if a.G.Syms[sym].Kind != grammar.Nonterminal || added[sym] {
+		if a.G.Syms[sym].Kind != grammar.Nonterminal || a.ntStamp[sym] == e {
 			continue
 		}
-		added[sym] = true
+		a.ntStamp[sym] = e
 		for _, pi := range a.prodsFor(sym) {
-			ni := Item{Prod: pi, Dot: 0}
-			if !inSet[ni] {
-				inSet[ni] = true
-				items = append(items, ni)
+			key := int(pi) * (a.maxRHS + 1)
+			if a.itemStamp[key] != e {
+				a.itemStamp[key] = e
+				items = append(items, Item{Prod: int(pi), Dot: 0})
 			}
 		}
 	}
@@ -215,85 +231,104 @@ func sortItems(items []Item) {
 	})
 }
 
-func kernelKey(kernel []Item) string {
-	b := make([]byte, 0, len(kernel)*8)
+// kernelHash is an FNV-1a hash over the kernel's (production, dot) pairs;
+// kernels are interned under it so state construction compares a handful
+// of candidate item slices instead of materializing a string key per
+// GOTO computation.
+func kernelHash(kernel []Item) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
 	for _, it := range kernel {
-		b = append(b,
-			byte(it.Prod), byte(it.Prod>>8), byte(it.Prod>>16),
-			byte(it.Dot), byte(it.Dot>>8))
+		h = (h ^ uint64(it.Prod)) * prime64
+		h = (h ^ uint64(it.Dot)) * prime64
 	}
-	return string(b)
+	return h
+}
+
+func sameKernel(a, b []Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // buildStates constructs the canonical LR(0) collection. The start state's
 // kernel holds an initial item for every lambda production: each statement
 // of the IF begins a fresh parse from state 0.
 func (a *Automaton) buildStates() {
+	nsym := a.NumSymbols()
 	var startKernel []Item
 	for _, pi := range a.prodsFor(a.G.Lambda) {
-		startKernel = append(startKernel, Item{Prod: pi, Dot: 0})
+		startKernel = append(startKernel, Item{Prod: int(pi), Dot: 0})
 	}
 	sortItems(startKernel)
 
-	index := map[string]int{}
+	index := map[uint64][]int{} // kernel hash -> candidate state IDs
 	add := func(kernel []Item) int {
-		key := kernelKey(kernel)
-		if id, ok := index[key]; ok {
-			return id
+		h := kernelHash(kernel)
+		for _, id := range index[h] {
+			if sameKernel(a.States[id].Kernel, kernel) {
+				return id
+			}
+		}
+		shift := make([]int32, nsym)
+		for i := range shift {
+			shift[i] = -1
 		}
 		s := &State{
 			ID:     len(a.States),
-			Kernel: kernel,
+			Kernel: append([]Item(nil), kernel...),
 			Items:  a.closure(kernel),
-			Shift:  map[int]int{},
-			Reduce: map[int][]int{},
+			Shift:  shift,
 		}
-		index[key] = s.ID
+		for _, it := range s.Items {
+			if it.Dot == len(a.G.Prods[it.Prod].RHS) {
+				s.Completed = append(s.Completed, int32(it.Prod))
+			}
+		}
+		index[h] = append(index[h], s.ID)
 		a.States = append(a.States, s)
 		return s.ID
 	}
 	add(startKernel)
 
+	// Per-iteration scratch for grouping items by the symbol after the
+	// dot: per-symbol item buffers whose capacity persists across states,
+	// reset by walking only the symbols actually touched.
+	moveOf := make([][]Item, nsym)
+	seen := make([]bool, nsym)
+	var order []int
+
 	for i := 0; i < len(a.States); i++ {
 		s := a.States[i]
-		// Group items by the symbol after the dot.
-		moves := map[int][]Item{}
-		var order []int
+		order = order[:0]
 		for _, it := range s.Items {
 			p := a.G.Prods[it.Prod]
 			if it.Dot >= len(p.RHS) {
 				continue
 			}
 			sym := p.RHS[it.Dot]
-			if _, seen := moves[sym]; !seen {
+			if !seen[sym] {
+				seen[sym] = true
 				order = append(order, sym)
 			}
-			moves[sym] = append(moves[sym], Item{Prod: it.Prod, Dot: it.Dot + 1})
+			moveOf[sym] = append(moveOf[sym], Item{Prod: it.Prod, Dot: it.Dot + 1})
 		}
 		sort.Ints(order)
 		for _, sym := range order {
-			kernel := moves[sym]
+			kernel := moveOf[sym]
 			sortItems(kernel)
-			s.Shift[sym] = add(kernel)
-		}
-	}
-}
-
-// attachReduces installs the SLR reduce candidates: a completed item
-// [A -> alpha .] proposes its production on every lookahead in FOLLOW(A).
-func (a *Automaton) attachReduces() {
-	for _, s := range a.States {
-		for _, it := range s.Items {
-			p := a.G.Prods[it.Prod]
-			if it.Dot != len(p.RHS) {
-				continue
-			}
-			for la := range a.Follow[p.LHS] {
-				s.Reduce[la] = append(s.Reduce[la], it.Prod)
-			}
-		}
-		for la := range s.Reduce {
-			sort.Ints(s.Reduce[la])
+			s.Shift[sym] = int32(add(kernel))
+			moveOf[sym] = moveOf[sym][:0]
+			seen[sym] = false
 		}
 	}
 }

@@ -138,55 +138,77 @@ func (a *Automaton) MakeTable() *Table {
 	}
 
 	// Assign columns to the symbols encounterable in the IF: everything
-	// that appears in some state's shift or reduce sets, plus the end
-	// marker.
+	// that appears in some state's shift actions or reduce lookaheads,
+	// plus the end marker. The reduce lookaheads of a state are the
+	// union of FOLLOW over its completed productions' left sides.
 	for i := range t.ColOf {
 		t.ColOf[i] = -1
 	}
-	occurs := make([]bool, a.NumSymbols())
+	occurs := NewSymSet(a.NumSymbols())
 	for _, s := range a.States {
-		for sym := range s.Shift {
-			occurs[sym] = true
+		for sym, next := range s.Shift {
+			if next >= 0 {
+				occurs.Add(sym)
+			}
 		}
-		for sym := range s.Reduce {
-			occurs[sym] = true
-		}
-	}
-	occurs[a.EOF] = true
-	for sym, yes := range occurs {
-		if yes {
-			t.ColOf[sym] = int32(t.NumCols)
-			t.NumCols++
+		for _, pi := range s.Completed {
+			occurs.UnionWith(a.Follow[a.G.Prods[pi].LHS])
 		}
 	}
+	occurs.Add(a.EOF)
+	occurs.ForEach(func(sym int) {
+		t.ColOf[sym] = int32(t.NumCols)
+		t.NumCols++
+	})
 
 	t.actions = make([]Action, t.NumStates*t.NumCols)
+	// cands collects the reduce candidates per lookahead symbol for one
+	// state; candSyms lists the lookaheads touched, for resetting.
+	cands := make([][]int, a.NumSymbols())
+	candSeen := make([]bool, a.NumSymbols())
+	var candSyms []int
 	for _, s := range a.States {
 		row := t.Row(s.ID)
 		for sym, next := range s.Shift {
-			row[t.ColOf[sym]] = MkAction(Shift, next)
+			if next >= 0 {
+				row[t.ColOf[sym]] = MkAction(Shift, int(next))
+			}
 		}
-		syms := make([]int, 0, len(s.Reduce))
-		for sym := range s.Reduce {
-			syms = append(syms, sym)
+		// Completed is in ascending production order, so each lookahead's
+		// candidate list accumulates sorted — matching the former
+		// map-of-sorted-slices representation entry for entry.
+		candSyms = candSyms[:0]
+		for _, pi := range s.Completed {
+			a.Follow[a.G.Prods[pi].LHS].ForEach(func(la int) {
+				if !candSeen[la] {
+					candSeen[la] = true
+					candSyms = append(candSyms, la)
+				}
+				cands[la] = append(cands[la], int(pi))
+			})
 		}
-		sort.Ints(syms)
-		for _, sym := range syms {
-			cands := s.Reduce[sym]
+		sort.Ints(candSyms)
+		for _, sym := range candSyms {
+			cs := cands[sym]
+			cands[sym] = cs[:0] // reuse capacity unless retained below
+			candSeen[sym] = false
 			col := t.ColOf[sym]
 			if row[col].Kind() == Shift {
-				// Shift/reduce: shift, matching the largest subtree.
+				// Shift/reduce: shift, matching the largest subtree. The
+				// candidate list is retained as the conflict's losers, so
+				// give up its buffer.
+				cands[sym] = nil
 				t.Conflicts = append(t.Conflicts, Conflict{
 					Kind: ShiftReduce, State: s.ID, Sym: sym,
-					Chosen: row[col], Losers: cands,
+					Chosen: row[col], Losers: cs,
 				})
 				continue
 			}
-			best := a.bestReduce(cands)
+			best := a.bestReduce(cs)
 			row[col] = MkAction(Reduce, best)
-			if len(cands) > 1 {
-				losers := make([]int, 0, len(cands)-1)
-				for _, c := range cands {
+			if len(cs) > 1 {
+				losers := make([]int, 0, len(cs)-1)
+				for _, c := range cs {
 					if c != best {
 						losers = append(losers, c)
 					}

@@ -1,0 +1,64 @@
+// Package profiling wires runtime/pprof into the command-line tools:
+// the -cpuprofile/-memprofile flags of cogg, ifcgen, and pascal370, and
+// the phase labels that split a CPU profile into table construction,
+// module decode, and code generation samples.
+package profiling
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuFile is non-empty. The returned
+// stop function ends the CPU profile and, when memFile is non-empty,
+// writes an allocation profile; call it once on the way out of main
+// (not via defer past os.Exit).
+func Start(cpuFile, memFile string) (stop func() error, err error) {
+	var cpuOut *os.File
+	if cpuFile != "" {
+		cpuOut, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			if err := cpuOut.Close(); err != nil {
+				return err
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			return pprof.Lookup("allocs").WriteTo(f, 0)
+		}
+		return nil
+	}, nil
+}
+
+// Phase runs f under a pprof "phase" label, so CPU samples attribute to
+// the compilation phase that produced them (`pprof -tagfocus` or the
+// flame graph's tag browser splits the profile by it).
+func Phase(name string, f func()) {
+	pprof.Do(context.Background(), pprof.Labels("phase", name), func(context.Context) { f() })
+}
+
+// Mallocs returns the process-wide cumulative heap allocation count —
+// the raw material of per-phase allocs/op accounting. It stops the
+// world briefly; callers meter it behind an opt-in.
+func Mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}

@@ -50,6 +50,9 @@ type classState struct {
 	spec  Class
 	regs  map[int]*regState
 	under *classState
+	// sortedRegs is spec.Regs in ascending order, computed once so the
+	// per-allocation LRU scan needs no sorting (or copying) of its own.
+	sortedRegs []int
 	// partner maps a register to its even/odd pair mate when some pair
 	// class builds on this class; single-register allocation prefers
 	// registers whose mate is already busy, so that free pairs survive
@@ -81,6 +84,8 @@ func New(classes []Class) (*File, error) {
 				}
 				cs.regs[n] = &regState{}
 			}
+			cs.sortedRegs = append([]int(nil), c.Regs...)
+			sort.Ints(cs.sortedRegs)
 		}
 		f.classes[c.Name] = cs
 	}
@@ -144,7 +149,7 @@ func (f *File) Using(class string) (int, error) {
 	if cs.spec.Pair {
 		return f.usingPair(cs)
 	}
-	n, ok := cs.lruFree(cs.spec.Regs)
+	n, ok := cs.lruFree()
 	if !ok {
 		return 0, fmt.Errorf("regalloc: no free register in class %q", class)
 	}
@@ -177,48 +182,47 @@ func (f *File) usingPair(cs *classState) (int, error) {
 }
 
 // Need allocates one specific register of the class. If the register is
-// busy its contents are transferred to another register of the class: the
-// returned Move must be materialized by the caller as a copy instruction
-// plus a translation-stack rewrite.
-func (f *File) Need(class string, n int) ([]Move, error) {
+// busy its contents are transferred to another register of the class —
+// evicted reports this, and the returned Move must be materialized by
+// the caller as a copy instruction plus a translation-stack rewrite. At
+// most one move results from a need: the evictee lands in a free
+// register, never displacing a third.
+func (f *File) Need(class string, n int) (mv Move, evicted bool, err error) {
 	cs, err := f.class(class)
 	if err != nil {
-		return nil, err
+		return Move{}, false, err
 	}
 	if cs.spec.Flag || cs.spec.Pair {
-		return nil, fmt.Errorf("regalloc: need is not supported for %s class %q",
+		return Move{}, false, fmt.Errorf("regalloc: need is not supported for %s class %q",
 			map[bool]string{true: "pair", false: "flag"}[cs.spec.Pair], class)
 	}
 	r, ok := cs.regs[n]
 	if !ok {
-		return nil, fmt.Errorf("regalloc: register %d is not managed in class %q", n, class)
+		return Move{}, false, fmt.Errorf("regalloc: register %d is not managed in class %q", n, class)
 	}
-	var moves []Move
 	if r.busy {
-		to, ok := cs.lruFree(cs.spec.Regs)
+		to, ok := cs.lruFree()
 		if !ok {
-			return nil, fmt.Errorf("regalloc: need %s.%d: no free register to evict into", class, n)
+			return Move{}, false, fmt.Errorf("regalloc: need %s.%d: no free register to evict into", class, n)
 		}
 		dst := cs.regs[to]
 		dst.busy, dst.uses, dst.stamp = true, r.uses, f.clock
 		r.busy, r.uses = false, 0
-		moves = append(moves, Move{Class: class, From: n, To: to})
+		mv, evicted = Move{Class: class, From: n, To: to}, true
 	}
 	cs.alloc(n, f.clock)
-	return moves, nil
+	return mv, evicted, nil
 }
 
-// lruFree returns the best free register among candidates: registers
+// lruFree returns the best free using-allocatable register: registers
 // that do not break up a free even/odd pair come first (those without a
 // pair mate, or whose mate is busy), least recently used within each
 // preference tier.
-func (cs *classState) lruFree(candidates []int) (int, bool) {
-	sorted := append([]int(nil), candidates...)
-	sort.Ints(sorted)
+func (cs *classState) lruFree() (int, bool) {
 	best, found := -1, false
 	bestCost := 0
 	var bestStamp int64
-	for _, n := range sorted {
+	for _, n := range cs.sortedRegs {
 		r := cs.regs[n]
 		if r == nil || r.busy {
 			continue

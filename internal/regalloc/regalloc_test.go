@@ -152,12 +152,12 @@ func TestTouchChangesLRU(t *testing.T) {
 
 func TestNeedFree(t *testing.T) {
 	f := newFile(t)
-	moves, err := f.Need("r", 14)
+	mv, evicted, err := f.Need("r", 14)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(moves) != 0 {
-		t.Errorf("need of a free register produced moves: %v", moves)
+	if evicted {
+		t.Errorf("need of a free register produced a move: %v", mv)
 	}
 	if !f.Busy("r", 14) {
 		t.Error("r14 not busy after need")
@@ -178,14 +178,14 @@ func TestNeedEvicts(t *testing.T) {
 		}
 	}
 	f.IncUse("r", got, 2) // three outstanding uses
-	moves, err := f.Need("r", 5)
+	mv, evicted, err := f.Need("r", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(moves) != 1 || moves[0].From != 5 {
-		t.Fatalf("moves = %v", moves)
+	if !evicted || mv.From != 5 {
+		t.Fatalf("evicted=%v move=%v", evicted, mv)
 	}
-	to := moves[0].To
+	to := mv.To
 	if f.Uses("r", to) != 3 {
 		t.Errorf("evicted register carries %d uses, want 3", f.Uses("r", to))
 	}
@@ -196,10 +196,10 @@ func TestNeedEvicts(t *testing.T) {
 
 func TestNeedUnmanaged(t *testing.T) {
 	f := newFile(t)
-	if _, err := f.Need("r", 13); err == nil {
+	if _, _, err := f.Need("r", 13); err == nil {
 		t.Error("need of the base register r13 must fail: it is not managed")
 	}
-	if _, err := f.Need("cc", 0); err == nil {
+	if _, _, err := f.Need("cc", 0); err == nil {
 		t.Error("need of a flag class must fail")
 	}
 }
@@ -307,7 +307,7 @@ func TestUnknownClass(t *testing.T) {
 	if _, err := f.Using("q"); err == nil {
 		t.Error("Using of unknown class succeeded")
 	}
-	if _, err := f.Need("q", 1); err == nil {
+	if _, _, err := f.Need("q", 1); err == nil {
 		t.Error("Need of unknown class succeeded")
 	}
 	if f.HasClass("q") || !f.HasClass("r") {

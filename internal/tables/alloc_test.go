@@ -1,0 +1,26 @@
+package tables_test
+
+import (
+	"testing"
+
+	"cogg/internal/tables"
+	"cogg/specs"
+)
+
+// TestPackBoundedAllocs gates the comb packer's allocation count: Pack
+// builds a handful of working buffers (the per-row column/action pools,
+// the sort order, the occupancy bitmap and row masks, and the three
+// output arrays) whose number does not depend on the state count.
+// Growth of the shared pools adds a logarithmic number of doublings, so
+// a small constant bound holds even for the full 800-state grammar; a
+// regression to per-row or per-entry allocation blows straight past it.
+func TestPackBoundedAllocs(t *testing.T) {
+	cg := buildFrom(t, "amdahl470.cogg", specs.Amdahl470)
+	const limit = 64
+	allocs := testing.AllocsPerRun(3, func() {
+		tables.Pack(cg.Table)
+	})
+	if allocs > limit {
+		t.Errorf("Pack allocates %.0f times per run, want <= %d", allocs, limit)
+	}
+}

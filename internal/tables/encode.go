@@ -36,6 +36,12 @@ type SectionSizes struct {
 type Module struct {
 	Grammar *grammar.Grammar
 	Packed  *Packed
+
+	// Dense, when set, makes generators built from this module dispatch
+	// parse actions through the uncompressed table instead of Packed —
+	// the space/time ablation knob for the compression experiments. It
+	// is never serialized: Encode ignores it and Decode leaves it nil.
+	Dense *lr.Table
 }
 
 // Encode serializes the module and reports section sizes. Only the

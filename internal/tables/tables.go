@@ -15,6 +15,9 @@
 package tables
 
 import (
+	"math/bits"
+	"sort"
+
 	"cogg/internal/lr"
 )
 
@@ -35,7 +38,10 @@ type Packed struct {
 }
 
 // Pack compresses the action table by first-fit row displacement.
-// Rows are placed densest-first, which keeps the comb tight.
+// Rows are placed densest-first, which keeps the comb tight. Occupancy
+// during the first-fit search is tracked in a word-packed bitmap, so
+// skipping past a filled region costs one trailing-zero count per 64
+// slots rather than one check-array load per slot.
 func Pack(t *lr.Table) *Packed {
 	p := &Packed{
 		NumStates: t.NumStates,
@@ -44,70 +50,133 @@ func Pack(t *lr.Table) *Packed {
 		Base:      make([]int32, t.NumStates),
 	}
 
+	// One pass over the dense matrix collects each row's significant
+	// entries — column and action together, backed by two shared arrays —
+	// so placement never rematerializes a dense row.
+	all := t.Rows()
+	nsig := 0
+	for _, a := range all {
+		if a.Kind() != lr.Error {
+			nsig++
+		}
+	}
+	colBuf := make([]int32, 0, nsig)
+	actBuf := make([]lr.Action, 0, nsig)
 	type rowInfo struct {
 		state int
 		cols  []int32
+		acts  []lr.Action
 	}
 	rows := make([]rowInfo, 0, t.NumStates)
 	for s := 0; s < t.NumStates; s++ {
-		row := t.Row(s)
-		var cols []int32
-		for sym, a := range row {
-			if a.Kind() != lr.Error {
-				cols = append(cols, int32(sym))
+		start := len(colBuf)
+		off := s * t.NumCols
+		for c := 0; c < t.NumCols; c++ {
+			if a := all[off+c]; a.Kind() != lr.Error {
+				colBuf = append(colBuf, int32(c))
+				actBuf = append(actBuf, a)
 			}
 		}
-		rows = append(rows, rowInfo{state: s, cols: cols})
+		rows = append(rows, rowInfo{
+			state: s,
+			cols:  colBuf[start:len(colBuf):len(colBuf)],
+			acts:  actBuf[start:len(actBuf):len(actBuf)],
+		})
 	}
-	// Densest rows first; stable on state id for determinism.
-	for i := 1; i < len(rows); i++ {
-		for j := i; j > 0 && denser(rows[j], rows[j-1]); j-- {
-			rows[j], rows[j-1] = rows[j-1], rows[j]
+	// Densest rows first, state id breaking ties: a total order, so the
+	// sorted sequence — and with it every placement — is deterministic.
+	sort.Slice(rows, func(i, j int) bool {
+		if len(rows[i].cols) != len(rows[j].cols) {
+			return len(rows[i].cols) > len(rows[j].cols)
 		}
-	}
+		return rows[i].state < rows[j].state
+	})
 
-	grow := func(n int) {
-		for len(p.Data) < n {
-			p.Data = append(p.Data, 0)
-			p.Check = append(p.Check, 0)
-		}
-	}
+	// used marks occupied comb slots; bits beyond its length are free.
+	used := make([]uint64, 0, (nsig+63)/32)
+	var mask []uint64 // the row's occupancy pattern, relative to its first column
+	maxIdx := -1
 	for _, r := range rows {
 		if len(r.cols) == 0 {
 			p.Base[r.state] = 0
 			continue
 		}
-		base := int32(-r.cols[0]) // smallest legal displacement
+		first := int(r.cols[0])
+		span := int(r.cols[len(r.cols)-1]) - first + 1
+		if need := (span + 63) / 64; cap(mask) < need {
+			mask = make([]uint64, need)
+		} else {
+			mask = mask[:need]
+			for i := range mask {
+				mask[i] = 0
+			}
+		}
+		for _, c := range r.cols {
+			rel := int(c) - first
+			mask[rel>>6] |= 1 << (uint(rel) & 63)
+		}
+		s := 0 // candidate slot for the first significant column
 	search:
-		for ; ; base++ {
-			for _, c := range r.cols {
-				idx := int(base + c)
-				if idx < len(p.Check) && p.Check[idx] != 0 {
+		for {
+			// Skip to the next free slot for the first column.
+			w := s >> 6
+			for {
+				if w >= len(used) {
+					if s < w<<6 {
+						s = w << 6
+					}
+					break
+				}
+				if v := ^used[w] & (^uint64(0) << (uint(s) & 63)); v != 0 {
+					s = w<<6 | bits.TrailingZeros64(v)
+					break
+				}
+				w++
+				s = w << 6
+			}
+			// Compare the row mask against the occupancy window at s.
+			w, b := s>>6, uint(s)&63
+			for i, m := range mask {
+				var u uint64
+				if w+i < len(used) {
+					u = used[w+i] >> b
+				}
+				if b != 0 && w+i+1 < len(used) {
+					u |= used[w+i+1] << (64 - b)
+				}
+				if u&m != 0 {
+					s++
 					continue search
 				}
 			}
 			break
 		}
-		p.Base[r.state] = base
-		row := t.Row(r.state)
+		base := s - first
+		p.Base[r.state] = int32(base)
 		for _, c := range r.cols {
-			idx := int(base + c)
-			grow(idx + 1)
-			p.Data[idx] = row[c]
+			idx := base + int(c)
+			w := idx >> 6
+			for w >= len(used) {
+				used = append(used, 0)
+			}
+			used[w] |= 1 << (uint(idx) & 63)
+			if idx > maxIdx {
+				maxIdx = idx
+			}
+		}
+	}
+
+	p.Data = make([]lr.Action, maxIdx+1)
+	p.Check = make([]int32, maxIdx+1)
+	for _, r := range rows {
+		base := int(p.Base[r.state])
+		for i, c := range r.cols {
+			idx := base + int(c)
+			p.Data[idx] = r.acts[i]
 			p.Check[idx] = int32(r.state) + 1
 		}
 	}
 	return p
-}
-
-func denser(a, b struct {
-	state int
-	cols  []int32
-}) bool {
-	if len(a.cols) != len(b.cols) {
-		return len(a.cols) > len(b.cols)
-	}
-	return a.state < b.state
 }
 
 // Lookup returns the action for (state, symbol id), Error for symbols
