@@ -1,0 +1,133 @@
+// Command cogd is the compile-as-a-service daemon: the table-driven
+// code generator behind an HTTP/JSON API, with the tables built (or
+// cache-loaded) once at startup and every request served from pooled
+// translation sessions over the batch worker pool.
+//
+// Usage:
+//
+//	cogd [flags]
+//
+//	-addr HOST:PORT  listen address (default 127.0.0.1:8470)
+//	-spec NAME       default specification (amdahl470, amdahl-minimal,
+//	                 risc32, or a .cogg file path)
+//	-risc            apply the risc32 target configuration to the spec
+//	-cache DIR       on-disk table-module cache (warm starts skip SLR
+//	                 construction)
+//	-j N             batch worker pool size (default GOMAXPROCS)
+//	-pool N          reusable sessions kept per module (default 2*j)
+//	-queue N         admission queue bound; a full queue answers 429
+//	-batch-window D  micro-batch coalescing window (default 200µs)
+//	-batch-max N     units per micro-batch (default 64)
+//	-timeout D       default per-request deadline (default 15s)
+//	-drain D         graceful-drain budget on SIGTERM/SIGINT (default 30s)
+//	-pprof           mount /debug/pprof
+//	-stats           print the batch-service counters on exit
+//
+// Endpoints: POST /v1/compile, POST /v1/batch, GET /healthz, /varz,
+// /debug/vars, and (with -pprof) /debug/pprof. On SIGTERM or SIGINT the
+// daemon stops admitting work (healthz turns 503), finishes in-flight
+// requests within the drain budget, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cogg/internal/server"
+	"cogg/specs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8470", "listen address")
+	specName := flag.String("spec", "amdahl470", "default code generator specification")
+	risc := flag.Bool("risc", false, "use the risc32 target configuration for the default spec")
+	cacheDir := flag.String("cache", "", "table-module cache directory")
+	workers := flag.Int("j", 0, "worker pool size (default GOMAXPROCS)")
+	pool := flag.Int("pool", 0, "reusable sessions per module (default 2*j)")
+	queue := flag.Int("queue", 0, "admission queue bound (default 256)")
+	batchWindow := flag.Duration("batch-window", 0, "micro-batch coalescing window (default 200µs)")
+	batchMax := flag.Int("batch-max", 0, "max units per micro-batch (default 64)")
+	timeout := flag.Duration("timeout", 0, "default per-request deadline (default 15s)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM")
+	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof")
+	stats := flag.Bool("stats", false, "print batch-service counters on exit")
+	flag.Parse()
+
+	sName, sSrc, err := loadSpec(*specName)
+	if err != nil {
+		log.Fatalf("cogd: %v", err)
+	}
+	if *specName == "risc32" {
+		*risc = true
+	}
+	start := time.Now()
+	srv, err := server.New(server.Options{
+		SpecName:        sName,
+		SpecSrc:         sSrc,
+		Risc:            *risc,
+		Workers:         *workers,
+		CacheDir:        *cacheDir,
+		PoolSize:        *pool,
+		QueueBound:      *queue,
+		BatchWindow:     *batchWindow,
+		BatchMax:        *batchMax,
+		DefaultDeadline: *timeout,
+		EnablePprof:     *pprofOn,
+	})
+	if err != nil {
+		log.Fatalf("cogd: %v", err)
+	}
+	log.Printf("cogd: serving %s on %s (tables ready in %v)", sName, *addr, time.Since(start).Round(time.Millisecond))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("cogd: %v: draining (budget %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("cogd: drain incomplete: %v", err)
+		}
+		srv.Close()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("cogd: shutdown: %v", err)
+		}
+		cancel()
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("cogd: %v", err)
+		}
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, srv.Service().Stats.String())
+	}
+}
+
+// loadSpec resolves an embedded spec name or reads a .cogg file.
+func loadSpec(arg string) (string, string, error) {
+	switch arg {
+	case "amdahl470":
+		return "amdahl470.cogg", specs.Amdahl470, nil
+	case "amdahl-minimal", "minimal":
+		return "amdahl-minimal.cogg", specs.AmdahlMinimal, nil
+	case "risc32":
+		return "risc32.cogg", specs.Risc32, nil
+	}
+	b, err := os.ReadFile(arg)
+	if err != nil {
+		return "", "", err
+	}
+	return arg, string(b), nil
+}

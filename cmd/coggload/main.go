@@ -1,0 +1,339 @@
+// Command coggload is the load generator for the cogd compilation
+// daemon: closed-loop (a fixed set of workers issuing requests
+// back-to-back) or open-loop (requests launched on a fixed schedule
+// regardless of completions, the tail-latency-honest mode), with a
+// latency histogram and a machine-readable summary.
+//
+// Usage:
+//
+//	coggload [flags]
+//
+//	-url URL      daemon base URL (default http://127.0.0.1:8470)
+//	-lang L       request language: pascal (default) or if
+//	-src FILE     request source; default is an embedded Pascal program
+//	              (or an embedded IF stream with -lang if)
+//	-spec NAME    spec the requests select (daemon default when empty)
+//	-n N          closed loop: total requests (default 500)
+//	-c N          closed loop: concurrent workers (default 8)
+//	-rate R       open loop: launch R requests/second instead of the
+//	              closed loop (0 disables)
+//	-duration D   open loop: how long to generate load (default 10s)
+//	-warmup N     unmeasured priming requests (default 2*c)
+//	-deadline D   per-request deadline_ms sent to the daemon (0: none)
+//	-name NAME    benchmark name in the JSON summary (default
+//	              BenchmarkLoadCompile/<lang>)
+//	-o FILE       write the summary as benchgate-compatible JSON: p50
+//	              latency as ns_per_op, p95/p99/throughput as metrics,
+//	              so serving regressions gate exactly like the
+//	              micro-benchmarks (cmd/benchgate)
+//	-note NOTE    note stored in the JSON summary
+//
+// Exit status is nonzero when any request failed (non-2xx other than
+// backpressure 429s in open-loop mode, which are counted separately).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultPascal keeps the daemon's full pipeline busy: procedures,
+// loops, arrays — the end2end example's sieve, truncated for brevity.
+const defaultPascal = `
+program load;
+var v: array[1..20] of integer;
+    i, sum, prod: integer;
+
+function square(n: integer): integer;
+begin
+  square := n * n
+end;
+
+begin
+  sum := 0; prod := 1;
+  for i := 1 to 20 do v[i] := square(i) - i;
+  for i := 1 to 20 do
+  begin
+    sum := sum + v[i];
+    if odd(i) then prod := prod * 2
+  end;
+  writeln(sum); writeln(prod)
+end.
+`
+
+// defaultIF exercises the raw-IF fast path: the paper's running
+// example shape, assignment with indexing and arithmetic.
+const defaultIF = `assign fullword dsp.96 r.13 iadd imult fullword dsp.100 r.13 fullword dsp.104 r.13 isub fullword dsp.108 r.13 pos_constant v.7`
+
+type result struct {
+	latency time.Duration
+	status  int
+	err     error
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8470", "daemon base URL")
+	lang := flag.String("lang", "pascal", "request language: pascal or if")
+	srcFile := flag.String("src", "", "request source file (default: embedded)")
+	spec := flag.String("spec", "", "spec the requests select")
+	n := flag.Int("n", 500, "closed loop: total requests")
+	c := flag.Int("c", 8, "closed loop: concurrent workers")
+	rate := flag.Float64("rate", 0, "open loop: requests per second (0: closed loop)")
+	duration := flag.Duration("duration", 10*time.Second, "open loop: load duration")
+	warmup := flag.Int("warmup", -1, "unmeasured priming requests (default 2*c)")
+	deadline := flag.Duration("deadline", 0, "per-request deadline sent to the daemon")
+	benchName := flag.String("name", "", "benchmark name in the JSON summary")
+	out := flag.String("o", "", "write benchgate-compatible JSON summary")
+	note := flag.String("note", "", "note stored in the JSON summary")
+	flag.Parse()
+
+	source := defaultPascal
+	if *lang == "if" {
+		source = defaultIF
+	} else if *lang != "pascal" {
+		fatal(fmt.Errorf("unknown -lang %q", *lang))
+	}
+	if *srcFile != "" {
+		b, err := os.ReadFile(*srcFile)
+		if err != nil {
+			fatal(err)
+		}
+		source = string(b)
+	}
+	if *warmup < 0 {
+		*warmup = 2 * *c
+	}
+	if *benchName == "" {
+		*benchName = "BenchmarkLoadCompile/" + *lang
+	}
+
+	body, err := json.Marshal(map[string]any{
+		"name":        "load." + *lang,
+		"lang":        *lang,
+		"source":      source,
+		"spec":        *spec,
+		"deadline_ms": int(deadline.Milliseconds()),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        4 * *c,
+		MaxIdleConnsPerHost: 4 * *c,
+	}}
+	shoot := func() result {
+		t0 := time.Now()
+		resp, err := client.Post(*url+"/v1/compile", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return result{latency: time.Since(t0), err: err}
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return result{latency: time.Since(t0), status: resp.StatusCode}
+	}
+
+	for i := 0; i < *warmup; i++ {
+		if r := shoot(); r.err != nil {
+			fatal(fmt.Errorf("warmup request: %w", r.err))
+		}
+	}
+
+	var results []result
+	var elapsed time.Duration
+	mode := ""
+	if *rate > 0 {
+		mode = fmt.Sprintf("open loop, %.0f req/s for %v", *rate, *duration)
+		results, elapsed = openLoop(shoot, *rate, *duration)
+	} else {
+		mode = fmt.Sprintf("closed loop, %d workers, %d requests", *c, *n)
+		results, elapsed = closedLoop(shoot, *n, *c)
+	}
+
+	report(os.Stdout, mode, *url, results, elapsed, *benchName, *out, *note)
+}
+
+// closedLoop issues total requests from c workers back-to-back.
+func closedLoop(shoot func() result, total, c int) ([]result, time.Duration) {
+	results := make([]result, total)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				results[i] = shoot()
+			}
+		}()
+	}
+	wg.Wait()
+	return results, time.Since(t0)
+}
+
+// openLoop launches requests on a fixed schedule, decoupled from
+// completions: queueing delay shows up as latency instead of throttling
+// the generator.
+func openLoop(shoot func() result, rate float64, d time.Duration) ([]result, time.Duration) {
+	total := int(d.Seconds() * rate)
+	results := make([]result, total)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	// Pace against the wall clock, not a per-request ticker: above
+	// ~1k req/s a tick per request loses to timer granularity, so each
+	// wake-up fires however many requests the schedule now calls for.
+	for fired := 0; fired < total; {
+		due := int(time.Since(t0).Seconds() * rate)
+		if due > total {
+			due = total
+		}
+		for ; fired < due; fired++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i] = shoot()
+			}(fired)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+	return results, time.Since(t0)
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func report(w io.Writer, mode, url string, results []result, elapsed time.Duration, benchName, outFile, note string) {
+	var ok []time.Duration
+	statuses := map[int]int{}
+	transportErrs := 0
+	for _, r := range results {
+		if r.err != nil {
+			transportErrs++
+			continue
+		}
+		statuses[r.status]++
+		if r.status >= 200 && r.status < 300 {
+			ok = append(ok, r.latency)
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	var sum time.Duration
+	for _, d := range ok {
+		sum += d
+	}
+	mean := time.Duration(0)
+	if len(ok) > 0 {
+		mean = sum / time.Duration(len(ok))
+	}
+	p50 := percentile(ok, 0.50)
+	p95 := percentile(ok, 0.95)
+	p99 := percentile(ok, 0.99)
+	rps := float64(len(ok)) / elapsed.Seconds()
+
+	fmt.Fprintf(w, "coggload: %s against %s\n", mode, url)
+	fmt.Fprintf(w, "  completed   %d ok in %v (%.1f req/s)\n", len(ok), elapsed.Round(time.Millisecond), rps)
+	fmt.Fprintf(w, "  latency     p50 %v  p95 %v  p99 %v  mean %v  max %v\n",
+		p50, p95, p99, mean, percentile(ok, 1.0))
+	fmt.Fprintf(w, "  status     ")
+	for _, s := range sortedKeys(statuses) {
+		fmt.Fprintf(w, " %d×%d", s, statuses[s])
+	}
+	if transportErrs > 0 {
+		fmt.Fprintf(w, " transport-errors×%d", transportErrs)
+	}
+	fmt.Fprintln(w)
+
+	if outFile != "" {
+		if err := writeSummary(outFile, benchName, note, ok, p50, p95, p99, rps, statuses, transportErrs); err != nil {
+			fatal(err)
+		}
+	}
+
+	failures := transportErrs
+	for s, c := range statuses {
+		if (s < 200 || s >= 300) && s != http.StatusTooManyRequests {
+			failures += c
+		}
+	}
+	if failures > 0 || len(ok) == 0 {
+		fmt.Fprintf(os.Stderr, "coggload: %d failed requests\n", failures)
+		os.Exit(1)
+	}
+}
+
+// benchFile mirrors cmd/benchgate's File so the summary feeds the same
+// regression gate as the micro-benchmarks.
+type benchFile struct {
+	Note       string                `json:"note,omitempty"`
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func writeSummary(path, name, note string, ok []time.Duration, p50, p95, p99 time.Duration, rps float64, statuses map[int]int, transportErrs int) error {
+	rejected := statuses[http.StatusTooManyRequests]
+	failed := transportErrs
+	for s, c := range statuses {
+		if (s < 200 || s >= 300) && s != http.StatusTooManyRequests {
+			failed += c
+		}
+	}
+	f := benchFile{
+		Note: note,
+		Benchmarks: map[string]benchEntry{
+			name: {
+				NsPerOp: float64(p50.Nanoseconds()),
+				Metrics: map[string]float64{
+					"p95-ns":   float64(p95.Nanoseconds()),
+					"p99-ns":   float64(p99.Nanoseconds()),
+					"req/s":    rps,
+					"ok":       float64(len(ok)),
+					"rejected": float64(rejected),
+					"failed":   float64(failed),
+				},
+			},
+		},
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func sortedKeys(m map[int]int) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coggload:", err)
+	os.Exit(1)
+}

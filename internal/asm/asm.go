@@ -8,6 +8,7 @@ package asm
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -228,6 +229,12 @@ func Listing(p *Program, m Machine) string {
 		if id >= 0 {
 			labelAt[ix] = append(labelAt[ix], id)
 		}
+	}
+	// Labels sharing an instruction print in id order; map iteration
+	// order must not leak into the listing (it is diffed byte-for-byte
+	// across runs and processes).
+	for _, ids := range labelAt {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "* %s  (%s, origin %#x)\n", p.Name, m.Name(), p.Origin)

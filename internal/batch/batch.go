@@ -281,6 +281,7 @@ type IFResult struct {
 	Tokens       int
 	Reductions   int
 	Instructions int
+	CodeBytes    int
 	Err          error
 	Mode         FailureMode
 }
@@ -289,6 +290,19 @@ type IFResult struct {
 // concurrently, returning laid-out listings in input order. Units are
 // isolated the same way CompileBatch's are.
 func (s *Service) TranslateBatch(tgt *driver.Target, units []IFUnit) []IFResult {
+	return s.TranslateBatchWith(units, func(u IFUnit) IFResult {
+		return translateOne(tgt, u)
+	})
+}
+
+// TranslateBatchWith is TranslateBatch with a caller-supplied translator
+// per unit — the hook the cogd serving layer uses to drive pooled
+// reusable sessions through the service's worker pool, per-unit
+// isolation, and statistics. The translator runs inside the same
+// recover/deadline/retry envelope as the default one, so it must be
+// safe for concurrent calls and may be re-invoked after a transient
+// fault.
+func (s *Service) TranslateBatchWith(units []IFUnit, translate func(IFUnit) IFResult) []IFResult {
 	results := make([]IFResult, len(units))
 	s.run(len(units), func(i int) {
 		start := time.Now()
@@ -297,7 +311,7 @@ func (s *Service) TranslateBatch(tgt *driver.Target, units []IFUnit) []IFResult 
 		var err error
 		profiling.Phase("codegen", func() {
 			r, err = attempt(s, units[i].Name, func() (IFResult, error) {
-				r := translateOne(tgt, units[i])
+				r := translate(units[i])
 				return r, r.Err
 			})
 		})
@@ -334,6 +348,7 @@ func translateOne(tgt *driver.Target, u IFUnit) IFResult {
 		Tokens:       len(toks),
 		Reductions:   res.Reductions,
 		Instructions: prog.InstructionCount(),
+		CodeBytes:    prog.CodeSize,
 	}
 }
 

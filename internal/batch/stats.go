@@ -1,9 +1,11 @@
 package batch
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -186,10 +188,44 @@ func (s *Stats) String() string {
 	return b.String()
 }
 
+// statsVar adapts a Stats to expvar.Var behind an atomic pointer, so a
+// later Publish under the same name can re-bind the registry entry to a
+// fresh Stats instead of tripping expvar's duplicate-name panic.
+type statsVar struct {
+	s atomic.Pointer[Stats]
+}
+
+func (v *statsVar) String() string {
+	b, err := json.Marshal(v.s.Load().Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// publishMu serializes Publish's check-then-register against the
+// process-wide expvar registry.
+var publishMu sync.Mutex
+
 // Publish registers the counters with the process-wide expvar registry
-// under the given name. Like all expvar registrations the name must be
-// unique for the life of the process; a second Publish with the same
-// name panics.
-func (s *Stats) Publish(name string) {
-	expvar.Publish(name, expvar.Func(func() any { return s.Snapshot() }))
+// under the given name. expvar names live for the life of the process,
+// so a second Publish under the same name — two services in one
+// process, or a server restarted in tests — re-binds the existing entry
+// to this Stats rather than panicking. Publishing over a name some
+// other package registered reports an error.
+func (s *Stats) Publish(name string) error {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if v := expvar.Get(name); v != nil {
+		sv, ok := v.(*statsVar)
+		if !ok {
+			return fmt.Errorf("batch: expvar name %q is already registered by another package", name)
+		}
+		sv.s.Store(s)
+		return nil
+	}
+	sv := &statsVar{}
+	sv.s.Store(s)
+	expvar.Publish(name, sv)
+	return nil
 }

@@ -1,0 +1,58 @@
+package batch
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"testing"
+)
+
+// TestPublishRebinds exercises the duplicate-registration path that used
+// to panic inside expvar.Publish: a second Publish under the same name
+// (two services in one process, or a server plus a CLI run) must re-bind
+// the registry entry to the newer Stats.
+func TestPublishRebinds(t *testing.T) {
+	var a, b Stats
+	a.MemHits.Add(7)
+	b.MemHits.Add(42)
+
+	const name = "batch.test.rebind"
+	if err := a.Publish(name); err != nil {
+		t.Fatalf("first Publish: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(expvar.Get(name).String()), &snap); err != nil {
+		t.Fatalf("unmarshal published var: %v", err)
+	}
+	if snap.MemHits != 7 {
+		t.Fatalf("published MemHits = %d, want 7", snap.MemHits)
+	}
+
+	// The second registration must neither panic nor error, and the
+	// registry entry must now read the new Stats.
+	if err := b.Publish(name); err != nil {
+		t.Fatalf("second Publish: %v", err)
+	}
+	if err := json.Unmarshal([]byte(expvar.Get(name).String()), &snap); err != nil {
+		t.Fatalf("unmarshal re-bound var: %v", err)
+	}
+	if snap.MemHits != 42 {
+		t.Fatalf("re-bound MemHits = %d, want 42", snap.MemHits)
+	}
+}
+
+// TestPublishForeignName: a name some other package registered is not
+// ours to re-bind; Publish must report an error instead of clobbering
+// or panicking.
+func TestPublishForeignName(t *testing.T) {
+	const name = "batch.test.foreign"
+	expvar.NewInt(name)
+	var s Stats
+	err := s.Publish(name)
+	if err == nil {
+		t.Fatal("Publish over a foreign expvar name succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), name) {
+		t.Fatalf("error %q does not name the conflicting variable", err)
+	}
+}

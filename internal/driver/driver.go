@@ -7,6 +7,7 @@ package driver
 
 import (
 	"fmt"
+	"sort"
 
 	"cogg/internal/asm"
 	"cogg/internal/codegen"
@@ -161,8 +162,11 @@ func Finish(asmProg *asm.Program, shaped *shaper.Shaped, m asm.Machine) (*Compil
 		return nil, err
 	}
 	// The procedure transfer vector and the shaper's literal storage are
-	// object text in the runtime constant area.
-	for off, lbl := range shaped.VectorSlot {
+	// object text in the runtime constant area. Both live in maps keyed
+	// by offset; emit them in offset order so the deck is byte-for-byte
+	// reproducible across runs.
+	for _, off := range sortedKeys(shaped.VectorSlot) {
+		lbl := shaped.VectorSlot[off]
 		addr, err := asmProg.LabelAddr(lbl)
 		if err != nil {
 			return nil, fmt.Errorf("driver: transfer vector slot %#x: %w", off, err)
@@ -171,7 +175,8 @@ func Finish(asmProg *asm.Program, shaped *shaper.Shaped, m asm.Machine) (*Compil
 		deck.Texts = append(deck.Texts, loader.Text{Addr: rt370.PrOrigin + off, Data: word})
 		deck.Relocs = append(deck.Relocs, loader.Reloc{Addr: rt370.PrOrigin + off})
 	}
-	for off, word := range shaped.PrInit {
+	for _, off := range sortedKeys(shaped.PrInit) {
+		word := shaped.PrInit[off]
 		deck.Texts = append(deck.Texts, loader.Text{
 			Addr: rt370.PrOrigin + off,
 			Data: []byte{byte(word >> 24), byte(word >> 16), byte(word >> 8), byte(word)},
@@ -271,4 +276,15 @@ func Half(cpu *sim.CPU, c *Compiled, name string) (int32, error) {
 		return 0, fmt.Errorf("driver: unknown variable %q", name)
 	}
 	return cpu.Half(addr)
+}
+
+// sortedKeys returns a map's integer keys in ascending order, for
+// deterministic emission from offset-keyed maps.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"cogg/internal/batch"
+	"cogg/internal/codegen"
+)
+
+// CompileRequest is the JSON body of POST /v1/compile, and one unit of
+// POST /v1/batch.
+type CompileRequest struct {
+	// Name labels the unit in listings, errors, and statistics.
+	Name string `json:"name,omitempty"`
+	// Lang is the input language: "pascal" (default) compiles source
+	// through the full pipeline, "if" drives the code generator over a
+	// whitespace-separated prefix-IF token stream directly.
+	Lang string `json:"lang,omitempty"`
+	// Source is the program or IF text.
+	Source string `json:"source"`
+	// Spec selects the code generator specification by embedded name
+	// (amdahl470, amdahl-minimal, risc32); empty means the daemon's
+	// default. File paths are deliberately not accepted over the wire.
+	Spec string `json:"spec,omitempty"`
+	// Options are the shaper/optimizer knobs of the pascal pipeline,
+	// mirroring the pascal370 flags.
+	Options CompileOptions `json:"options,omitempty"`
+	// Deck and IF request the loader-card deck and the linearized
+	// intermediate form alongside the listing (pascal only).
+	Deck bool `json:"deck,omitempty"`
+	IF   bool `json:"if,omitempty"`
+	// DeadlineMillis bounds this request's wall time; 0 means the
+	// daemon's default. A request past its deadline fails with 504.
+	DeadlineMillis int `json:"deadline_ms,omitempty"`
+}
+
+// CompileOptions mirror the pascal370 shaping flags. StatementRecords
+// defaults to on, as in the CLI; send false explicitly to disable.
+type CompileOptions struct {
+	CSE              bool  `json:"cse,omitempty"`
+	SubscriptChecks  bool  `json:"checks,omitempty"`
+	UninitChecks     bool  `json:"uninit,omitempty"`
+	StatementRecords *bool `json:"statement_records,omitempty"`
+}
+
+func (o CompileOptions) statementRecords() bool {
+	return o.StatementRecords == nil || *o.StatementRecords
+}
+
+// CompileResponse is the JSON body answering /v1/compile, and one entry
+// of a /v1/batch response. On failure only Name and Failure are set and
+// the HTTP status encodes the failure mode (see StatusFor).
+type CompileResponse struct {
+	Name    string `json:"name"`
+	Listing string `json:"listing,omitempty"`
+	// Deck carries the loader-card images base64-encoded: card decks
+	// are binary, and a bare JSON string would corrupt non-UTF-8 bytes.
+	Deck         string   `json:"deck_b64,omitempty"`
+	IF           string   `json:"if,omitempty"`
+	Tokens       int      `json:"tokens"`
+	Reductions   int      `json:"reductions"`
+	Instructions int      `json:"instructions"`
+	CodeBytes    int      `json:"code_bytes"`
+	Failure      *Failure `json:"failure,omitempty"`
+}
+
+// Failure is the wire form of one failed unit: the batch FailureMode
+// taxonomy plus, for blocked parses, every BlockDiag the run collected.
+type Failure struct {
+	// Mode is the FailureMode string: panic, blocked, timeout,
+	// resource-limit, io, or other.
+	Mode      string  `json:"mode"`
+	Message   string  `json:"message"`
+	Blocks    []Block `json:"blocks,omitempty"`
+	Truncated bool    `json:"truncated,omitempty"`
+}
+
+// Block is the wire form of one codegen.BlockDiag.
+type Block struct {
+	Pos       int      `json:"pos"`
+	Stmt      int      `json:"stmt,omitempty"`
+	State     int      `json:"state"`
+	Lookahead string   `json:"lookahead"`
+	Stack     []string `json:"stack,omitempty"`
+	Reason    string   `json:"reason"`
+}
+
+// BatchRequest is the JSON body of POST /v1/batch: many units compiled
+// as one batch over the worker pool, results in input order.
+type BatchRequest struct {
+	Units          []CompileRequest `json:"units"`
+	DeadlineMillis int              `json:"deadline_ms,omitempty"`
+}
+
+// BatchResponse answers /v1/batch. The HTTP status is 200 as long as
+// the batch itself ran; per-unit failures are in each result's Failure,
+// with Failed counting them.
+type BatchResponse struct {
+	Results []CompileResponse `json:"results"`
+	Failed  int               `json:"failed"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error   string   `json:"error"`
+	Failure *Failure `json:"failure,omitempty"`
+}
+
+// StatusFor maps the batch failure taxonomy onto HTTP status codes:
+// a blocked parse is the client's IF exceeding the specification (422),
+// a resource limit is an oversized translation (413), a deadline is a
+// gateway-style timeout (504), and a recovered panic or infrastructure
+// fault is an internal error (500). FailOther covers front-end
+// rejections — bad Pascal, unknown symbols — which are plain 400s.
+func StatusFor(mode batch.FailureMode) int {
+	switch mode {
+	case batch.FailNone:
+		return http.StatusOK
+	case batch.FailBlocked:
+		return http.StatusUnprocessableEntity
+	case batch.FailResource:
+		return http.StatusRequestEntityTooLarge
+	case batch.FailTimeout:
+		return http.StatusGatewayTimeout
+	case batch.FailPanic, batch.FailIO:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// failureFor renders an error as its wire Failure, expanding blocked
+// parses into their per-site diagnostics.
+func failureFor(err error, mode batch.FailureMode) *Failure {
+	if err == nil {
+		return nil
+	}
+	f := &Failure{Mode: mode.String(), Message: err.Error()}
+	var be *codegen.BlockedError
+	if errors.As(err, &be) {
+		f.Truncated = be.Truncated
+		for _, d := range be.Blocks {
+			f.Blocks = append(f.Blocks, Block{
+				Pos:       d.Pos,
+				Stmt:      d.Stmt,
+				State:     d.State,
+				Lookahead: d.Lookahead,
+				Stack:     d.Stack,
+				Reason:    d.Reason,
+			})
+		}
+	}
+	return f
+}

@@ -1,0 +1,231 @@
+package server
+
+import (
+	"context"
+	"encoding/base64"
+	"net/http"
+	"strings"
+	"time"
+
+	"cogg/internal/asm"
+	"cogg/internal/batch"
+	"cogg/internal/codegen"
+	"cogg/internal/ir"
+	"cogg/internal/labels"
+	"cogg/internal/shaper"
+)
+
+type lang int
+
+const (
+	langPascal lang = iota
+	langIF
+)
+
+// pending is one admitted request waiting for (or holding) its result.
+// The executing worker is the only writer of resp/status and the only
+// closer of done; the handler reads resp only after done closes.
+type pending struct {
+	name   string
+	lang   lang
+	source string
+	opt    shaper.Options
+	deck   bool
+	showIF bool
+	mt     *modTarget
+	ctx    context.Context
+
+	resp   CompileResponse
+	status int
+	done   chan struct{}
+}
+
+func (p *pending) finish(status int, resp CompileResponse) {
+	p.status = status
+	p.resp = resp
+	close(p.done)
+}
+
+// collect is the micro-batcher: it blocks for the first queued request,
+// then coalesces whatever arrives within BatchWindow (up to BatchMax)
+// into one batch dispatched over the worker pool. Under load the window
+// never waits its full length — the batch fills first — so coalescing
+// costs idle-traffic latency only.
+func (s *Server) collect() {
+	defer close(s.collectorDone)
+	for {
+		var first *pending
+		select {
+		case first = <-s.queue:
+		case <-s.stop:
+			// Dispatch anything still queued so no caller hangs.
+			for {
+				select {
+				case p := <-s.queue:
+					go s.execute([]*pending{p})
+				default:
+					return
+				}
+			}
+		}
+		group := []*pending{first}
+		timer := time.NewTimer(s.opts.BatchWindow)
+	gather:
+		for len(group) < s.opts.BatchMax {
+			select {
+			case p := <-s.queue:
+				group = append(group, p)
+			case <-timer.C:
+				break gather
+			}
+		}
+		timer.Stop()
+		s.stats.noteBatch(len(group))
+		go s.execute(group)
+	}
+}
+
+// execute runs one micro-batch: requests whose deadline already passed
+// are answered immediately, the rest are partitioned by (module, lang)
+// and driven through the batch service, which supplies worker fan-out,
+// per-unit panic isolation, deadlines, and statistics.
+func (s *Server) execute(group []*pending) {
+	type part struct {
+		mt *modTarget
+		l  lang
+	}
+	parts := map[part][]*pending{}
+	order := []part{}
+	for _, p := range group {
+		if p.ctx.Err() != nil {
+			p.finish(http.StatusGatewayTimeout, CompileResponse{
+				Name:    p.name,
+				Failure: &Failure{Mode: batch.FailTimeout.String(), Message: "deadline exceeded while queued"},
+			})
+			continue
+		}
+		k := part{p.mt, p.lang}
+		if _, ok := parts[k]; !ok {
+			order = append(order, k)
+		}
+		parts[k] = append(parts[k], p)
+	}
+	for _, k := range order {
+		ps := parts[k]
+		if k.l == langIF {
+			s.executeIF(k.mt, ps)
+		} else {
+			s.executePascal(k.mt, ps)
+		}
+	}
+}
+
+// executeIF drives raw prefix-IF units through the module's session
+// pool: reused sessions keep the emission hot path allocation-free, and
+// the listing is rendered before the session is re-pooled because the
+// program buffer aliases session storage.
+func (s *Server) executeIF(mt *modTarget, ps []*pending) {
+	units := make([]batch.IFUnit, len(ps))
+	for i, p := range ps {
+		units[i] = batch.IFUnit{Name: p.name, Text: p.source}
+	}
+	results := s.svc.TranslateBatchWith(units, mt.translate)
+	for i, p := range ps {
+		r := results[i]
+		if r.Err != nil {
+			p.finish(StatusFor(r.Mode), CompileResponse{Name: p.name, Failure: failureFor(r.Err, r.Mode)})
+			continue
+		}
+		p.finish(http.StatusOK, CompileResponse{
+			Name:         p.name,
+			Listing:      r.Listing,
+			Tokens:       r.Tokens,
+			Reductions:   r.Reductions,
+			Instructions: r.Instructions,
+			CodeBytes:    r.CodeBytes,
+		})
+	}
+}
+
+// translate is the pooled-session unit translator handed to
+// TranslateBatchWith. It runs inside the batch service's per-unit
+// recover: a panic mid-translation unwinds past the put, so the
+// poisoned session is simply never re-pooled.
+func (t *modTarget) translate(u batch.IFUnit) batch.IFResult {
+	ses, err := t.pool.get()
+	if err != nil {
+		return batch.IFResult{Name: u.Name, Err: err}
+	}
+	r := translateSession(t, ses, u)
+	t.pool.put(ses, r.Err)
+	return r
+}
+
+// translateSession is one IF translation on a caller-owned session —
+// the batch service's stock translator, minus the per-call session
+// build. The returned listing is a fresh string; nothing in the result
+// aliases session storage, so the session may be reused immediately.
+func translateSession(t *modTarget, ses *codegen.Session, u batch.IFUnit) batch.IFResult {
+	toks, err := ir.ParseTokens(u.Text)
+	if err != nil {
+		return batch.IFResult{Name: u.Name, Err: err}
+	}
+	prog, res, err := ses.Generate(u.Name, toks)
+	if err != nil {
+		return batch.IFResult{Name: u.Name, Err: err}
+	}
+	if err := labels.Layout(prog, t.tgt.Machine); err != nil {
+		return batch.IFResult{Name: u.Name, Err: err}
+	}
+	return batch.IFResult{
+		Name:         u.Name,
+		Listing:      asm.Listing(prog, t.tgt.Machine),
+		Tokens:       len(toks),
+		Reductions:   res.Reductions,
+		Instructions: prog.InstructionCount(),
+		CodeBytes:    prog.CodeSize,
+	}
+}
+
+// executePascal compiles Pascal units through the full driver pipeline.
+// The front end allocates per program regardless, so this path uses the
+// service's stock per-unit sessions rather than the pool; the raw-IF
+// path is the allocation-free one.
+func (s *Server) executePascal(mt *modTarget, ps []*pending) {
+	units := make([]batch.Unit, len(ps))
+	for i, p := range ps {
+		units[i] = batch.Unit{Name: p.name, Source: p.source, Opt: p.opt}
+	}
+	results := s.svc.CompileBatch(mt.tgt, units)
+	for i, p := range ps {
+		r := results[i]
+		if r.Err != nil {
+			p.finish(StatusFor(r.Mode), CompileResponse{Name: p.name, Failure: failureFor(r.Err, r.Mode)})
+			continue
+		}
+		c := r.Compiled
+		resp := CompileResponse{
+			Name:         p.name,
+			Listing:      c.Listing(),
+			Tokens:       len(c.Tokens),
+			Reductions:   c.Result.Reductions,
+			Instructions: c.Prog.InstructionCount(),
+			CodeBytes:    c.Prog.CodeSize,
+		}
+		if p.showIF {
+			resp.IF = ir.FormatTokens(c.Tokens)
+		}
+		if p.deck {
+			var b strings.Builder
+			if err := c.Deck.WriteCards(&b); err != nil {
+				p.finish(http.StatusInternalServerError, CompileResponse{
+					Name:    p.name,
+					Failure: &Failure{Mode: batch.FailIO.String(), Message: "rendering deck: " + err.Error()},
+				})
+				continue
+			}
+			resp.Deck = base64.StdEncoding.EncodeToString([]byte(b.String()))
+		}
+		p.finish(http.StatusOK, resp)
+	}
+}

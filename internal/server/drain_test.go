@@ -1,0 +1,108 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"cogg/internal/faultinject"
+)
+
+// TestGracefulDrain: with one slow request in flight, Drain must wait
+// for it to finish while /healthz flips to 503 and new compile requests
+// are refused as draining.
+func TestGracefulDrain(t *testing.T) {
+	// Each reduction of the slow unit stalls 40ms; goodIF reduces a
+	// handful of times, so the request holds the server for a few
+	// hundred milliseconds — plenty to observe the draining window.
+	faultinject.Set(faultinject.Rule{
+		Site: "codegen/reduce", Key: "slow.if", Kind: faultinject.KindDelay, Delay: 40 * time.Millisecond,
+	})
+	defer faultinject.Reset()
+	s, ts := newTestServer(t, Options{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var slowStatus int
+	go func() {
+		defer wg.Done()
+		slowStatus, _ = compile(t, ts, CompileRequest{Name: "slow.if", Lang: "if", Source: goodIF})
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for s.admitted.Load() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.admitted.Load() < 1 {
+		t.Fatal("slow request never passed admission")
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	for !s.gate.isDraining() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// While draining: health reports down, new work is refused.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+	if status, _ := compile(t, ts, CompileRequest{Name: "late.if", Lang: "if", Source: goodIF}); status != http.StatusServiceUnavailable {
+		t.Errorf("compile while draining: %d, want 503", status)
+	}
+
+	// The in-flight request still completes, and then Drain returns.
+	wg.Wait()
+	if slowStatus != http.StatusOK {
+		t.Errorf("in-flight request during drain: status %d, want 200", slowStatus)
+	}
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete after the in-flight request finished")
+	}
+	if got := s.stats.RejectedDraining.Load(); got < 1 {
+		t.Errorf("RejectedDraining = %d, want >= 1", got)
+	}
+}
+
+// TestDeadlineExceeded: a request whose deadline elapses mid-translation
+// is answered 504 with the timeout failure mode.
+func TestDeadlineExceeded(t *testing.T) {
+	faultinject.Set(faultinject.Rule{
+		Site: "codegen/reduce", Key: "stall.if", Kind: faultinject.KindDelay, Delay: 100 * time.Millisecond,
+	})
+	defer faultinject.Reset()
+	s, ts := newTestServer(t, Options{})
+
+	status, resp := compile(t, ts, CompileRequest{
+		Name: "stall.if", Lang: "if", Source: goodIF, DeadlineMillis: 50,
+	})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (failure: %+v)", status, resp.Failure)
+	}
+	if resp.Failure == nil || resp.Failure.Mode != "timeout" {
+		t.Fatalf("failure = %+v, want mode timeout", resp.Failure)
+	}
+	if got := s.stats.TimedOut.Load(); got < 1 {
+		t.Errorf("TimedOut = %d, want >= 1", got)
+	}
+	// The daemon is still healthy afterwards.
+	if status, resp := compile(t, ts, CompileRequest{Name: "ok.if", Lang: "if", Source: goodIF}); status != http.StatusOK {
+		t.Fatalf("request after timeout: status %d (%+v)", status, resp.Failure)
+	}
+}

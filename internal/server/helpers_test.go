@@ -1,0 +1,89 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// goodIF is a minimal valid prefix-IF stream for the amdahl470 spec.
+const goodIF = "assign fullword dsp.96 r.13 pos_constant v.7"
+
+// badIF blocks the parse: the symbol is not declared in any spec.
+const badIF = "assign fullword dsp.96 r.13 no_such_operator v.7"
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain at cleanup: %v", err)
+		}
+		s.Close()
+	})
+	return s, ts
+}
+
+// post sends one JSON request and decodes the JSON answer into out.
+func post(t *testing.T, url string, req any, out any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("bad response body %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// getJSON fetches url and decodes the JSON answer into out.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("bad response body %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// compile posts one /v1/compile request.
+func compile(t *testing.T, ts *httptest.Server, req CompileRequest) (int, CompileResponse) {
+	t.Helper()
+	var resp CompileResponse
+	status := post(t, ts.URL+"/v1/compile", req, &resp)
+	return status, resp
+}

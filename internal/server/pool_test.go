@@ -1,0 +1,114 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+
+	"cogg/internal/batch"
+	"cogg/internal/faultinject"
+	"cogg/internal/rt370"
+	"cogg/specs"
+)
+
+// TestSessionPoolCounters checks the free-list mechanics directly:
+// a clean put is reused, a failed put is discarded, and a put into a
+// full list is discarded.
+func TestSessionPoolCounters(t *testing.T) {
+	svc := batch.New(batch.Options{})
+	tgt, err := svc.Target("amdahl470.cogg", specs.Amdahl470, rt370.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := newSessionPool(tgt.Gen, 1)
+
+	s1, err := pool.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.put(s1, nil)
+	s2, err := pool.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s1 {
+		t.Fatal("clean session was not reused")
+	}
+
+	// A failed translation discards its session.
+	pool.put(s2, errors.New("translation failed"))
+	s3, err := pool.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s2 {
+		t.Fatal("failed session was returned to the free list")
+	}
+
+	// Overflow past the list capacity discards too.
+	s4, err := pool.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.put(s3, nil)
+	pool.put(s4, nil)
+
+	st := pool.stats()
+	if st.Free != 1 {
+		t.Errorf("Free = %d, want 1", st.Free)
+	}
+	if st.Created != 3 || st.Reused != 1 || st.Discarded != 2 {
+		t.Errorf("Created/Reused/Discarded = %d/%d/%d, want 3/1/2",
+			st.Created, st.Reused, st.Discarded)
+	}
+}
+
+// TestPoisonedSessionNotReused is the hygiene regression test: after a
+// blocked parse and after a panic recovered by the batch envelope, the
+// session that served the failing unit must not contaminate later
+// requests — the same input keeps producing byte-identical output.
+func TestPoisonedSessionNotReused(t *testing.T) {
+	// PoolSize 1 maximizes the chance that a wrongly re-pooled session
+	// would be handed to the very next request.
+	s, ts := newTestServer(t, Options{PoolSize: 1, Workers: 1})
+
+	ref := func() string {
+		status, resp := compile(t, ts, CompileRequest{Name: "ref.if", Lang: "if", Source: goodIF})
+		if status != http.StatusOK {
+			t.Fatalf("reference request: status %d (%+v)", status, resp.Failure)
+		}
+		return resp.Listing
+	}
+	want := ref()
+
+	// Poison attempt 1: a blocked parse abandons the run mid-stack.
+	if status, _ := compile(t, ts, CompileRequest{Name: "blocked.if", Lang: "if", Source: badIF}); status != http.StatusUnprocessableEntity {
+		t.Fatalf("blocked poison request: status %d, want 422", status)
+	}
+	if got := ref(); got != want {
+		t.Errorf("listing diverged after a blocked session:\n got: %q\nwant: %q", got, want)
+	}
+
+	// Poison attempt 2: a panic tears through a reduction mid-edit; the
+	// batch envelope recovers it, and the session must be abandoned.
+	faultinject.Set(faultinject.Rule{
+		Site: "codegen/reduce", Key: "panic.if", Kind: faultinject.KindPanic, Count: 1,
+	})
+	defer faultinject.Reset()
+	if status, _ := compile(t, ts, CompileRequest{Name: "panic.if", Lang: "if", Source: goodIF}); status != http.StatusInternalServerError {
+		t.Fatalf("panic poison request: status %d, want 500", status)
+	}
+	if got := ref(); got != want {
+		t.Errorf("listing diverged after a panicked session:\n got: %q\nwant: %q", got, want)
+	}
+
+	// The failing runs must be visible as discards (blocked put) or as
+	// sessions never returned (panic); either way nothing poisoned sits
+	// on the free list, and at least the blocked one counted.
+	s.tmu.Lock()
+	st := s.targets["amdahl470.cogg"].pool.stats()
+	s.tmu.Unlock()
+	if st.Discarded < 1 {
+		t.Errorf("Discarded = %d, want >= 1 after a blocked translation", st.Discarded)
+	}
+}

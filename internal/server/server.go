@@ -1,0 +1,614 @@
+// Package server is cogd's compile-as-a-service layer: a long-running
+// HTTP/JSON daemon over the batch compilation service, turning the
+// paper's cheap table-driven translation into something a fleet of
+// clients can call without paying process startup or table construction
+// per request.
+//
+// The daemon keeps one decoded table module per specification through
+// the batch service's two-tier cache, holds a bounded pool of reusable
+// translation sessions per module so the steady-state raw-IF path keeps
+// the zero-allocation emission loop of package codegen, coalesces
+// concurrent requests into micro-batches over the batch worker pool,
+// and applies admission control: a bounded intake queue (429 when
+// full), per-request deadlines (504 past the deadline), and a graceful
+// drain that completes in-flight requests while rejecting new ones
+// (503). Unit failures map the batch failure taxonomy onto HTTP status
+// codes — see StatusFor.
+//
+// Endpoints:
+//
+//	POST /v1/compile   one unit (Pascal or raw prefix-IF) -> listing JSON
+//	POST /v1/batch     many units as one batch, results in input order
+//	GET  /healthz      "ok" while serving, 503 while draining
+//	GET  /varz         server, pool, and batch statistics as JSON
+//	GET  /debug/vars   the expvar registry (includes the batch counters)
+//	GET  /debug/pprof  profiling handlers, when Options.EnablePprof
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cogg/internal/batch"
+	"cogg/internal/driver"
+	"cogg/internal/ifopt"
+	"cogg/internal/rt370"
+	"cogg/internal/shaper"
+	"cogg/specs"
+)
+
+// Options configure a Server.
+type Options struct {
+	// SpecName/SpecSrc are the default specification; empty means the
+	// embedded amdahl470. Requests may select another embedded spec by
+	// name, never a file path.
+	SpecName string
+	SpecSrc  string
+	// Risc applies the risc32 target configuration to the default spec.
+	Risc bool
+
+	// Workers bounds the batch worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// CacheDir is the on-disk table-module cache; empty disables it.
+	CacheDir string
+	// PoolSize caps the reusable-session free list per module;
+	// <= 0 means 2x the worker pool.
+	PoolSize int
+
+	// QueueBound caps requests waiting for a micro-batch slot; a full
+	// queue answers 429. <= 0 means 256.
+	QueueBound int
+	// BatchWindow is how long the collector waits to coalesce more
+	// requests into a micro-batch; <= 0 means 200µs.
+	BatchWindow time.Duration
+	// BatchMax caps units per micro-batch; <= 0 means 64.
+	BatchMax int
+
+	// DefaultDeadline bounds a request that sends no deadline_ms, and
+	// is also the batch service's per-unit wall-time limit; <= 0 means
+	// 15s.
+	DefaultDeadline time.Duration
+	// MaxStackDepth and MaxCodeBytes bound each translation's parse
+	// stack and code buffer (codegen.Config limits, answered as 413);
+	// <= 0 keeps the codegen defaults.
+	MaxStackDepth int
+	MaxCodeBytes  int
+	// MaxBodyBytes caps a request body; <= 0 means 8 MiB.
+	MaxBodyBytes int64
+
+	// StatsName is the expvar name the batch counters publish under;
+	// empty means "cogd.batch".
+	StatsName string
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+func (o *Options) fill() {
+	if o.SpecName == "" {
+		o.SpecName, o.SpecSrc = "amdahl470.cogg", specs.Amdahl470
+	}
+	if o.PoolSize <= 0 {
+		w := o.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		o.PoolSize = 2 * w
+	}
+	if o.QueueBound <= 0 {
+		o.QueueBound = 256
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 200 * time.Microsecond
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 64
+	}
+	if o.DefaultDeadline <= 0 {
+		o.DefaultDeadline = 15 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.StatsName == "" {
+		o.StatsName = "cogd.batch"
+	}
+}
+
+// Server is the daemon. Build one with New, expose Handler on an
+// http.Server, and stop it with Drain then Close.
+type Server struct {
+	opts  Options
+	svc   *batch.Service
+	mux   *http.ServeMux
+	start time.Time
+
+	// targets maps spec key -> lazily built module target + session
+	// pool. The default spec is built eagerly by New, so a 200 from
+	// /healthz means the tables are ready.
+	tmu     sync.Mutex
+	targets map[string]*modTarget
+
+	queue         chan *pending
+	stop          chan struct{}
+	stopOnce      sync.Once
+	collectorDone chan struct{}
+
+	// admitted counts units admitted and not yet answered — the real
+	// backpressure bound. The queue channel never blocks because its
+	// capacity equals the admission bound.
+	admitted atomic.Int64
+
+	gate  drainGate
+	stats serverStats
+}
+
+// modTarget is one specification's serving state: the instantiated
+// generator target and its session pool.
+type modTarget struct {
+	specName string
+	tgt      *driver.Target
+	pool     *sessionPool
+}
+
+// New builds the daemon, constructing (or cache-loading) the default
+// specification's tables eagerly and starting the micro-batch
+// collector.
+func New(opts Options) (*Server, error) {
+	opts.fill()
+	s := &Server{
+		opts: opts,
+		svc: batch.New(batch.Options{
+			Workers:     opts.Workers,
+			CacheDir:    opts.CacheDir,
+			UnitTimeout: opts.DefaultDeadline,
+		}),
+		start:         time.Now(),
+		targets:       map[string]*modTarget{},
+		queue:         make(chan *pending, opts.QueueBound),
+		stop:          make(chan struct{}),
+		collectorDone: make(chan struct{}),
+	}
+	if err := s.svc.Stats.Publish(opts.StatsName); err != nil {
+		return nil, err
+	}
+	if _, err := s.target(""); err != nil {
+		return nil, err
+	}
+	s.buildMux()
+	go s.collect()
+	return s, nil
+}
+
+// Service exposes the underlying batch service (its statistics in
+// particular).
+func (s *Server) Service() *batch.Service { return s.svc }
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admitting requests and waits until every in-flight
+// request has been answered, or until ctx expires. Safe to call more
+// than once.
+func (s *Server) Drain(ctx context.Context) error {
+	select {
+	case <-s.gate.drainChan():
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops the micro-batch collector. Call after Drain; requests
+// still queued are dispatched individually on the way out so no caller
+// is left hanging.
+func (s *Server) Close() {
+	s.gate.drainChan()
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.collectorDone
+}
+
+// target resolves a request's spec field to its serving state, building
+// the target (through the module cache) on first use. Only embedded
+// spec names and the daemon's default are served.
+func (s *Server) target(spec string) (*modTarget, error) {
+	name, src, risc := s.opts.SpecName, s.opts.SpecSrc, s.opts.Risc
+	switch spec {
+	case "", s.opts.SpecName:
+	case "amdahl470", "amdahl470.cogg":
+		name, src, risc = "amdahl470.cogg", specs.Amdahl470, false
+	case "amdahl-minimal", "minimal", "amdahl-minimal.cogg":
+		name, src, risc = "amdahl-minimal.cogg", specs.AmdahlMinimal, false
+	case "risc32", "risc32.cogg":
+		name, src, risc = "risc32.cogg", specs.Risc32, true
+	default:
+		return nil, fmt.Errorf("unknown spec %q (serving amdahl470, amdahl-minimal, risc32, and the daemon default)", spec)
+	}
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if mt, ok := s.targets[name]; ok {
+		return mt, nil
+	}
+	cfg := rt370.Config()
+	if risc {
+		cfg = driver.RiscConfig()
+	}
+	cfg.MaxStackDepth = s.opts.MaxStackDepth
+	cfg.MaxCodeBytes = s.opts.MaxCodeBytes
+	tgt, err := s.svc.Target(name, src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	mt := &modTarget{specName: name, tgt: tgt, pool: newSessionPool(tgt.Gen, s.opts.PoolSize)}
+	s.targets[name] = mt
+	return mt, nil
+}
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/compile", s.handleCompile)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/varz", s.handleVarz)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if s.opts.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.mux = mux
+}
+
+// admit validates one request and stages it as a pending unit. It does
+// not enqueue.
+func (s *Server) admit(req *CompileRequest) (*pending, error) {
+	mt, err := s.target(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	p := &pending{
+		name:   req.Name,
+		source: req.Source,
+		mt:     mt,
+		deck:   req.Deck,
+		showIF: req.IF,
+		done:   make(chan struct{}),
+	}
+	if p.name == "" {
+		p.name = "unit"
+	}
+	switch req.Lang {
+	case "", "pascal":
+		p.lang = langPascal
+		p.opt = shaper.Options{
+			StatementRecords: req.Options.statementRecords(),
+			SubscriptChecks:  req.Options.SubscriptChecks,
+			UninitChecks:     req.Options.UninitChecks,
+		}
+		if req.Options.CSE {
+			p.opt.CSE = ifopt.New().Apply
+		}
+	case "if":
+		p.lang = langIF
+		if req.Deck || req.IF {
+			return nil, fmt.Errorf("deck and if output are pascal-only")
+		}
+	default:
+		return nil, fmt.Errorf("unknown lang %q (pascal or if)", req.Lang)
+	}
+	return p, nil
+}
+
+// requestContext derives the request's deadline: the client's
+// deadline_ms when sent, the server default otherwise.
+func (s *Server) requestContext(r *http.Request, deadlineMillis int) (context.Context, context.CancelFunc) {
+	d := s.opts.DefaultDeadline
+	if deadlineMillis > 0 {
+		d = time.Duration(deadlineMillis) * time.Millisecond
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.gate.enter() {
+		s.stats.RejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer s.gate.exit()
+	s.stats.Accepted.Add(1)
+
+	var req CompileRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)).Decode(&req); err != nil {
+		s.stats.Failed.Add(1)
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	p, err := s.admit(&req)
+	if err != nil {
+		s.stats.Failed.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.admitted.Add(1) > int64(s.opts.QueueBound) {
+		s.admitted.Add(-1)
+		s.stats.RejectedQueueFull.Add(1)
+		writeError(w, http.StatusTooManyRequests, "compilation queue is full")
+		return
+	}
+	defer s.admitted.Add(-1)
+	ctx, cancel := s.requestContext(r, req.DeadlineMillis)
+	defer cancel()
+	p.ctx = ctx
+
+	select {
+	case s.queue <- p:
+	default:
+		// Unreachable while admission holds: the queue's capacity is the
+		// admission bound.
+		s.stats.RejectedQueueFull.Add(1)
+		writeError(w, http.StatusTooManyRequests, "compilation queue is full")
+		return
+	}
+	select {
+	case <-p.done:
+		s.writeResult(w, p)
+	case <-ctx.Done():
+		// The unit may still finish inside the pool; its result is
+		// dropped. The batch service's own per-unit deadline bounds how
+		// long it can linger.
+		s.stats.TimedOut.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, CompileResponse{
+			Name:    p.name,
+			Failure: &Failure{Mode: batch.FailTimeout.String(), Message: "deadline exceeded before compilation finished"},
+		})
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.gate.enter() {
+		s.stats.RejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer s.gate.exit()
+
+	var req BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Units) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no units")
+		return
+	}
+	if s.admitted.Add(int64(len(req.Units))) > int64(s.opts.QueueBound) {
+		s.admitted.Add(-int64(len(req.Units)))
+		s.stats.RejectedQueueFull.Add(1)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("batch of %d units exceeds the admission capacity (%d)", len(req.Units), s.opts.QueueBound))
+		return
+	}
+	defer s.admitted.Add(-int64(len(req.Units)))
+	s.stats.Accepted.Add(int64(len(req.Units)))
+	ctx, cancel := s.requestContext(r, req.DeadlineMillis)
+	defer cancel()
+
+	ps := make([]*pending, len(req.Units))
+	for i := range req.Units {
+		p, err := s.admit(&req.Units[i])
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("unit %d: %v", i, err))
+			return
+		}
+		p.ctx = ctx
+		ps[i] = p
+	}
+
+	// A client-shaped batch is already coalesced; it skips the
+	// micro-batch queue and runs as one batch over the worker pool.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.execute(ps)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.stats.TimedOut.Add(int64(len(ps)))
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the batch finished")
+		return
+	}
+	resp := BatchResponse{Results: make([]CompileResponse, len(ps))}
+	for i, p := range ps {
+		resp.Results[i] = p.resp
+		if p.resp.Failure != nil {
+			resp.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.gate.isDraining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// Varz is the /varz payload: server-level counters, per-spec pool
+// state, and the batch service's snapshot.
+type Varz struct {
+	UptimeSeconds float64              `json:"uptime_seconds"`
+	Draining      bool                 `json:"draining"`
+	Server        ServerSnapshot       `json:"server"`
+	Pools         map[string]PoolStats `json:"pools"`
+	Batch         batch.Snapshot       `json:"batch"`
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	v := Varz{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      s.gate.isDraining(),
+		Server:        s.stats.snapshot(s.admitted.Load(), len(s.queue), cap(s.queue)),
+		Pools:         map[string]PoolStats{},
+		Batch:         s.svc.Stats.Snapshot(),
+	}
+	s.tmu.Lock()
+	for name, mt := range s.targets {
+		v.Pools[name] = mt.pool.stats()
+	}
+	s.tmu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) writeResult(w http.ResponseWriter, p *pending) {
+	if p.status != http.StatusOK {
+		s.stats.Failed.Add(1)
+	} else {
+		s.stats.Completed.Add(1)
+	}
+	writeJSON(w, p.status, p.resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// serverStats are the daemon-level counters behind /varz.
+type serverStats struct {
+	Accepted          atomic.Int64
+	Completed         atomic.Int64
+	Failed            atomic.Int64
+	TimedOut          atomic.Int64
+	RejectedQueueFull atomic.Int64
+	RejectedDraining  atomic.Int64
+	Batches           atomic.Int64
+	BatchedUnits      atomic.Int64
+	MaxBatchUnits     atomic.Int64
+}
+
+// ServerSnapshot is the /varz copy of serverStats.
+type ServerSnapshot struct {
+	Accepted          int64 `json:"accepted"`
+	Completed         int64 `json:"completed"`
+	Failed            int64 `json:"failed"`
+	TimedOut          int64 `json:"timed_out"`
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedDraining  int64 `json:"rejected_draining"`
+	Batches           int64 `json:"batches"`
+	BatchedUnits      int64 `json:"batched_units"`
+	MaxBatchUnits     int64 `json:"max_batch_units"`
+	InFlightUnits     int64 `json:"in_flight_units"`
+	QueueDepth        int   `json:"queue_depth"`
+	QueueCap          int   `json:"queue_cap"`
+}
+
+func (st *serverStats) snapshot(inflight int64, depth, capacity int) ServerSnapshot {
+	return ServerSnapshot{
+		Accepted:          st.Accepted.Load(),
+		Completed:         st.Completed.Load(),
+		Failed:            st.Failed.Load(),
+		TimedOut:          st.TimedOut.Load(),
+		RejectedQueueFull: st.RejectedQueueFull.Load(),
+		RejectedDraining:  st.RejectedDraining.Load(),
+		Batches:           st.Batches.Load(),
+		BatchedUnits:      st.BatchedUnits.Load(),
+		MaxBatchUnits:     st.MaxBatchUnits.Load(),
+		InFlightUnits:     inflight,
+		QueueDepth:        depth,
+		QueueCap:          capacity,
+	}
+}
+
+func (st *serverStats) noteBatch(n int) {
+	st.Batches.Add(1)
+	st.BatchedUnits.Add(int64(n))
+	for {
+		max := st.MaxBatchUnits.Load()
+		if int64(n) <= max || st.MaxBatchUnits.CompareAndSwap(max, int64(n)) {
+			return
+		}
+	}
+}
+
+// drainGate tracks in-flight requests and the draining flag. Unlike a
+// bare WaitGroup it makes reject-new-then-wait race-free: enter and the
+// drain transition serialize on one mutex, so a request admitted before
+// the drain always has its exit observed by the drain's idle channel.
+type drainGate struct {
+	mu         sync.Mutex
+	inflight   int
+	draining   bool
+	idle       chan struct{}
+	idleClosed bool
+}
+
+func (g *drainGate) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return false
+	}
+	g.inflight++
+	return true
+}
+
+func (g *drainGate) exit() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inflight--
+	if g.draining && g.inflight == 0 && g.idle != nil && !g.idleClosed {
+		close(g.idle)
+		g.idleClosed = true
+	}
+}
+
+// drainChan flips the gate to draining and returns a channel closed
+// once no request is in flight.
+func (g *drainGate) drainChan() <-chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.draining = true
+	if g.idle == nil {
+		g.idle = make(chan struct{})
+		if g.inflight == 0 {
+			close(g.idle)
+			g.idleClosed = true
+		}
+	}
+	return g.idle
+}
+
+func (g *drainGate) isDraining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}

@@ -1,0 +1,6 @@
+program appendix1;
+var a, b, c, d, e, f, g, h, x: array[0..24] of integer;
+    i, j, k, l, m, n, o, p, q: integer;
+begin
+  x[q] := a[i] + b[j]*(c[k]-d[l]) + (e[m] div (f[n]+g[o]))*h[p]
+end.

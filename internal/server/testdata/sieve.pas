@@ -1,0 +1,40 @@
+program sieve;
+var isprime: array[2..50] of 0..1;
+    i, j, count, largest, class2, class3, classbig: integer;
+
+function square(n: integer): integer;
+begin
+  square := n * n
+end;
+
+begin
+  for i := 2 to 50 do isprime[i] := 1;
+  i := 2;
+  while square(i) <= 50 do
+  begin
+    if isprime[i] = 1 then
+    begin
+      j := square(i);
+      while j <= 50 do
+      begin
+        isprime[j] := 0;
+        j := j + i
+      end
+    end;
+    i := i + 1
+  end;
+  count := 0; largest := 0;
+  class2 := 0; class3 := 0; classbig := 0;
+  for i := 2 to 50 do
+    if isprime[i] = 1 then
+    begin
+      count := count + 1;
+      largest := i;
+      writeln(i);
+      case i mod 4 of
+        1: class2 := class2 + 1;
+        2, 3: class3 := class3 + 1
+      else classbig := classbig + 1
+      end
+    end
+end.
