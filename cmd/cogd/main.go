@@ -20,12 +20,18 @@
 //	-batch-max N     units per micro-batch (default 64)
 //	-timeout D       default per-request deadline (default 15s)
 //	-drain D         graceful-drain budget on SIGTERM/SIGINT (default 30s)
-//	-pprof           mount /debug/pprof
+//	-trace-ring N    request traces retained for /v1/traces (default 64)
+//	-slow D          log the span tree of requests slower than D
+//	                 (0 disables slow-request logging)
+//	-pprof           mount /debug/pprof (default off; profiling endpoints
+//	                 stay unreachable unless explicitly requested)
 //	-stats           print the batch-service counters on exit
 //
 // Endpoints: POST /v1/compile, POST /v1/batch, GET /healthz, /varz,
-// /debug/vars, and (with -pprof) /debug/pprof. On SIGTERM or SIGINT the
-// daemon stops admitting work (healthz turns 503), finishes in-flight
+// /metrics (Prometheus text exposition), /v1/traces (recent span
+// trees), /debug/vars, and (with -pprof) /debug/pprof. The bound
+// listen address is logged at startup. On SIGTERM or SIGINT the daemon
+// stops admitting work (healthz turns 503), finishes in-flight
 // requests within the drain budget, then exits.
 package main
 
@@ -35,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -57,6 +64,8 @@ func main() {
 	batchMax := flag.Int("batch-max", 0, "max units per micro-batch (default 64)")
 	timeout := flag.Duration("timeout", 0, "default per-request deadline (default 15s)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM")
+	traceRing := flag.Int("trace-ring", 0, "request traces retained for /v1/traces (default 64)")
+	slow := flag.Duration("slow", 0, "log the span tree of requests slower than this (0 disables)")
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof")
 	stats := flag.Bool("stats", false, "print batch-service counters on exit")
 	flag.Parse()
@@ -81,15 +90,27 @@ func main() {
 		BatchMax:        *batchMax,
 		DefaultDeadline: *timeout,
 		EnablePprof:     *pprofOn,
+		TraceRing:       *traceRing,
+		SlowThreshold:   *slow,
 	})
 	if err != nil {
 		log.Fatalf("cogd: %v", err)
 	}
-	log.Printf("cogd: serving %s on %s (tables ready in %v)", sName, *addr, time.Since(start).Round(time.Millisecond))
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Listen before announcing: the logged address is the one actually
+	// bound (":0" resolves to a real port), so scripts can scrape it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("cogd: %v", err)
+	}
+	log.Printf("cogd: serving %s on %s (tables ready in %v)", sName, ln.Addr(), time.Since(start).Round(time.Millisecond))
+	if *pprofOn {
+		log.Printf("cogd: pprof enabled at http://%s/debug/pprof/", ln.Addr())
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
+	go func() { errc <- httpSrv.Serve(ln) }()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)

@@ -5,10 +5,17 @@
 // Usage:
 //
 //	cogg [flags] [spec-file]
+//	cogg explain [flags] [input-file]
 //
 // Without a spec file the built-in Amdahl 470 specification is used; the
 // names "amdahl470", "amdahl-minimal", and "risc32" select the other
 // built-ins.
+//
+// The explain subcommand translates one unit with derivation recording
+// on and prints, per emitted instruction, the production whose
+// reduction emitted it, the template (index and specification line),
+// the operand sources, and the register moves — the paper's
+// inspectability claim made executable. See `cogg explain -h`.
 //
 //	-stats      print Table 1 (grammar and parse table statistics), plus
 //	            the batch-service counters when -cache is in use
@@ -28,18 +35,30 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
+	"cogg/internal/asm"
 	"cogg/internal/batch"
+	"cogg/internal/codegen"
 	"cogg/internal/core"
+	"cogg/internal/driver"
+	"cogg/internal/ir"
+	"cogg/internal/labels"
 	"cogg/internal/lr"
 	"cogg/internal/profiling"
+	"cogg/internal/rt370"
+	"cogg/internal/shaper"
 	"cogg/internal/tables"
 	"cogg/specs"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		runExplain(os.Args[2:])
+		return
+	}
 	stats := flag.Bool("stats", true, "print Table 1 statistics")
 	sizes := flag.Bool("sizes", false, "print Table 2 sizes (pages)")
 	conflicts := flag.Bool("conflicts", false, "print resolved conflicts")
@@ -126,6 +145,86 @@ func main() {
 	}
 	if err := stopProfiles(); err != nil {
 		fatal(err)
+	}
+}
+
+// runExplain is the `cogg explain` subcommand: translate one unit with
+// derivation recording and print the instruction -> production map.
+func runExplain(args []string) {
+	fs := flag.NewFlagSet("cogg explain", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), `usage: cogg explain [flags] [input-file]
+
+Translate one unit with derivation recording and print, per emitted
+instruction, the production, template, operand sources, and register
+moves that produced it. Reads whitespace-separated prefix-IF tokens
+from the file or standard input; -pascal compiles Pascal source through
+the front end first. A blocked parse prints the partial derivation
+recorded up to the block, then the diagnostics, and exits nonzero.
+
+`)
+		fs.PrintDefaults()
+	}
+	spec := fs.String("spec", "amdahl470", "code generator specification (amdahl470, amdahl-minimal, risc32, or a path)")
+	risc := fs.Bool("risc", false, "use the risc32 target configuration")
+	pascalIn := fs.Bool("pascal", false, "input is Pascal source, not prefix-IF")
+	listing := fs.Bool("S", false, "print the assembly listing before the derivation")
+	fs.Parse(args)
+	if fs.NArg() > 1 {
+		fatal(fmt.Errorf("explain takes one input file (or standard input)"))
+	}
+
+	specName, specSrc, err := loadSpec(*spec)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := rt370.Config()
+	if *risc {
+		cfg = driver.RiscConfig()
+	}
+	tgt, err := driver.NewTargetWithConfig(specName, specSrc, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	unitName, text := "explain", ""
+	if fs.NArg() == 1 {
+		b, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		unitName, text = fs.Arg(0), string(b)
+	} else {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		text = string(b)
+	}
+
+	var prog *asm.Program
+	var prov []codegen.ProvEntry
+	var genErr error
+	if *pascalIn {
+		prog, prov, _, genErr = tgt.ExplainSource(unitName, text, shaper.Options{StatementRecords: true})
+	} else {
+		toks, err := ir.ParseTokens(text)
+		if err != nil {
+			fatal(err)
+		}
+		prog, prov, _, genErr = tgt.Explain(unitName, toks)
+	}
+	if *listing && genErr == nil && prog != nil {
+		if err := labels.Layout(prog, tgt.Machine); err != nil {
+			fatal(err)
+		}
+		fmt.Print(asm.Listing(prog, tgt.Machine))
+		fmt.Println()
+	}
+	fmt.Print(codegen.FormatProvenance(prov))
+	if genErr != nil {
+		fmt.Fprintf(os.Stderr, "cogg explain: %s: %v\n", unitName, genErr)
+		os.Exit(1)
 	}
 }
 

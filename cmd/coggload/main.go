@@ -23,9 +23,15 @@
 //	-name NAME    benchmark name in the JSON summary (default
 //	              BenchmarkLoadCompile/<lang>)
 //	-o FILE       write the summary as benchgate-compatible JSON: p50
-//	              latency as ns_per_op, p95/p99/throughput as metrics,
+//	              latency as ns_per_op, p95/p99/throughput plus
+//	              per-status counts and latency percentiles as metrics,
 //	              so serving regressions gate exactly like the
 //	              micro-benchmarks (cmd/benchgate)
+//
+// Latency is reported per HTTP status as well as in aggregate: each
+// status' count and p50/p95/p99 are printed and included in the JSON,
+// so rejections and timeouts no longer fold silently into (or hide
+// from) the success distribution.
 //	-note NOTE    note stored in the JSON summary
 //
 // Exit status is nonzero when any request failed (non-2xx other than
@@ -222,18 +228,25 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 }
 
 func report(w io.Writer, mode, url string, results []result, elapsed time.Duration, benchName, outFile, note string) {
+	// Latencies are grouped per HTTP status, each sorted for
+	// percentiles: a 429's latency says how fast backpressure answers
+	// and a 504's how long the deadline held the client, and folding
+	// either into the success distribution would misstate both.
+	byStatus := map[int][]time.Duration{}
 	var ok []time.Duration
-	statuses := map[int]int{}
 	transportErrs := 0
 	for _, r := range results {
 		if r.err != nil {
 			transportErrs++
 			continue
 		}
-		statuses[r.status]++
+		byStatus[r.status] = append(byStatus[r.status], r.latency)
 		if r.status >= 200 && r.status < 300 {
 			ok = append(ok, r.latency)
 		}
+	}
+	for _, ds := range byStatus {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 	}
 	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
 	var sum time.Duration
@@ -253,25 +266,25 @@ func report(w io.Writer, mode, url string, results []result, elapsed time.Durati
 	fmt.Fprintf(w, "  completed   %d ok in %v (%.1f req/s)\n", len(ok), elapsed.Round(time.Millisecond), rps)
 	fmt.Fprintf(w, "  latency     p50 %v  p95 %v  p99 %v  mean %v  max %v\n",
 		p50, p95, p99, mean, percentile(ok, 1.0))
-	fmt.Fprintf(w, "  status     ")
-	for _, s := range sortedKeys(statuses) {
-		fmt.Fprintf(w, " %d×%d", s, statuses[s])
+	for _, s := range sortedStatuses(byStatus) {
+		ds := byStatus[s]
+		fmt.Fprintf(w, "  status %d  ×%-5d p50 %v  p95 %v  p99 %v\n",
+			s, len(ds), percentile(ds, 0.50), percentile(ds, 0.95), percentile(ds, 0.99))
 	}
 	if transportErrs > 0 {
-		fmt.Fprintf(w, " transport-errors×%d", transportErrs)
+		fmt.Fprintf(w, "  transport-errors ×%d\n", transportErrs)
 	}
-	fmt.Fprintln(w)
 
 	if outFile != "" {
-		if err := writeSummary(outFile, benchName, note, ok, p50, p95, p99, rps, statuses, transportErrs); err != nil {
+		if err := writeSummary(outFile, benchName, note, ok, p50, p95, p99, rps, byStatus, transportErrs); err != nil {
 			fatal(err)
 		}
 	}
 
 	failures := transportErrs
-	for s, c := range statuses {
+	for s, ds := range byStatus {
 		if (s < 200 || s >= 300) && s != http.StatusTooManyRequests {
-			failures += c
+			failures += len(ds)
 		}
 	}
 	if failures > 0 || len(ok) == 0 {
@@ -293,27 +306,38 @@ type benchEntry struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-func writeSummary(path, name, note string, ok []time.Duration, p50, p95, p99 time.Duration, rps float64, statuses map[int]int, transportErrs int) error {
-	rejected := statuses[http.StatusTooManyRequests]
+func writeSummary(path, name, note string, ok []time.Duration, p50, p95, p99 time.Duration, rps float64, byStatus map[int][]time.Duration, transportErrs int) error {
+	rejected := len(byStatus[http.StatusTooManyRequests])
 	failed := transportErrs
-	for s, c := range statuses {
+	for s, ds := range byStatus {
 		if (s < 200 || s >= 300) && s != http.StatusTooManyRequests {
-			failed += c
+			failed += len(ds)
 		}
+	}
+	metrics := map[string]float64{
+		"p95-ns":   float64(p95.Nanoseconds()),
+		"p99-ns":   float64(p99.Nanoseconds()),
+		"req/s":    rps,
+		"ok":       float64(len(ok)),
+		"rejected": float64(rejected),
+		"failed":   float64(failed),
+	}
+	// Per-status counts and latency percentiles, so the gate can watch
+	// e.g. the 429 answer time or a creeping 5xx rate, not just the
+	// aggregate success distribution.
+	for s, ds := range byStatus {
+		prefix := fmt.Sprintf("status-%d-", s)
+		metrics[prefix+"count"] = float64(len(ds))
+		metrics[prefix+"p50-ns"] = float64(percentile(ds, 0.50).Nanoseconds())
+		metrics[prefix+"p95-ns"] = float64(percentile(ds, 0.95).Nanoseconds())
+		metrics[prefix+"p99-ns"] = float64(percentile(ds, 0.99).Nanoseconds())
 	}
 	f := benchFile{
 		Note: note,
 		Benchmarks: map[string]benchEntry{
 			name: {
 				NsPerOp: float64(p50.Nanoseconds()),
-				Metrics: map[string]float64{
-					"p95-ns":   float64(p95.Nanoseconds()),
-					"p99-ns":   float64(p99.Nanoseconds()),
-					"req/s":    rps,
-					"ok":       float64(len(ok)),
-					"rejected": float64(rejected),
-					"failed":   float64(failed),
-				},
+				Metrics: metrics,
 			},
 		},
 	}
@@ -324,7 +348,7 @@ func writeSummary(path, name, note string, ok []time.Duration, p50, p95, p99 tim
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func sortedKeys(m map[int]int) []int {
+func sortedStatuses(m map[int][]time.Duration) []int {
 	ks := make([]int, 0, len(m))
 	for k := range m {
 		ks = append(ks, k)

@@ -19,6 +19,9 @@
 //	-stats       print the batch-service counters (cache traffic, table
 //	             build vs. codegen time, queue depth) to standard error
 //	-trace       trace every parser action to stderr (single stream only)
+//	-spans       print each stream's phase-span tree (spec-load,
+//	             table-decode/build, parse-reduce with regalloc/emit
+//	             children) to standard error
 //	-timeout D   per-stream wall-time limit (e.g. 30s); a stream past the
 //	             deadline fails alone while the rest of the batch proceeds
 //	-retries N   retry a stream that failed with a transient (I/O) fault
@@ -31,6 +34,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +42,7 @@ import (
 
 	"cogg/internal/batch"
 	"cogg/internal/driver"
+	"cogg/internal/obs"
 	"cogg/internal/profiling"
 	"cogg/internal/rt370"
 	"cogg/specs"
@@ -47,6 +52,7 @@ func main() {
 	specName := flag.String("spec", "amdahl470", "code generator specification")
 	risc := flag.Bool("risc", false, "use the risc32 target configuration")
 	trace := flag.Bool("trace", false, "trace every parser action to stderr")
+	spans := flag.Bool("spans", false, "print each stream's phase-span tree to stderr")
 	cacheDir := flag.String("cache", "", "table-module cache directory")
 	workers := flag.Int("j", 0, "worker pool size (default GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print batch-service statistics to stderr")
@@ -70,7 +76,31 @@ func main() {
 		fatal(fmt.Errorf("-trace interleaves across streams; pass a single file"))
 	}
 
+	// With -spans, a startup trace brackets spec loading and table
+	// construction, and each stream gets its own trace via its unit
+	// context (the -trace flag is the parser-action log, a different
+	// view).
+	var startupTr *obs.Trace
+	tctx := context.Background()
+	var unitTraces []*obs.Trace
+	if *spans {
+		startupTr = obs.NewTrace("", "startup")
+		tctx = obs.ContextWith(tctx, startupTr, -1)
+		unitTraces = make([]*obs.Trace, len(units))
+		for i := range units {
+			unitTraces[i] = obs.NewTrace("", units[i].Name)
+			units[i].Ctx = obs.ContextWith(context.Background(), unitTraces[i], -1)
+		}
+	}
+
+	var specSpan int
+	if startupTr != nil {
+		specSpan = startupTr.StartSpan("spec-load", -1)
+	}
 	sName, sSrc, err := loadSpec(*specName)
+	if startupTr != nil {
+		startupTr.EndSpan(specSpan)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -90,14 +120,20 @@ func main() {
 		Retries:       *retries,
 		MeasureAllocs: *stats,
 	})
-	tgt, err := svc.Target(sName, sSrc, cfg)
+	tgt, err := svc.TargetCtx(tctx, sName, sSrc, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if startupTr != nil {
+		fmt.Fprint(os.Stderr, startupTr.Snapshot().Tree())
 	}
 	results := svc.TranslateBatch(tgt, units)
 
 	failed := false
-	for _, r := range results {
+	for i, r := range results {
+		if *spans {
+			fmt.Fprint(os.Stderr, unitTraces[i].Snapshot().Tree())
+		}
 		if len(results) > 1 {
 			fmt.Printf("=== %s\n", r.Name)
 		}

@@ -21,6 +21,9 @@
 //	-retries N   retry a program that failed with a transient (I/O) fault
 //	-max-errors N  blocked-parse diagnostics collected per program before
 //	             giving up (default 16)
+//	-trace       print each program's phase-span tree (spec-load,
+//	             table-decode/build, frontend, shape, parse-reduce with
+//	             regalloc/emit children, assemble) to standard error
 //	-S           print the assembly listing
 //	-if          print the linearized intermediate form
 //	-cse         run the IF optimizer (common subexpressions)
@@ -35,6 +38,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +49,7 @@ import (
 	"cogg/internal/driver"
 	"cogg/internal/ifopt"
 	"cogg/internal/ir"
+	"cogg/internal/obs"
 	"cogg/internal/profiling"
 	"cogg/internal/rt370"
 	"cogg/internal/s370"
@@ -77,6 +82,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-program wall-time limit (0 disables)")
 	retries := flag.Int("retries", 0, "retries for transient (I/O) faults")
 	maxErrors := flag.Int("max-errors", 0, "blocked-parse diagnostics per program (default 16)")
+	trace := flag.Bool("trace", false, "print each program's phase-span tree to stderr")
 	listing := flag.Bool("S", false, "print the assembly listing")
 	showIF := flag.Bool("if", false, "print the linearized intermediate form")
 	cse := flag.Bool("cse", false, "run the IF optimizer")
@@ -109,16 +115,39 @@ func main() {
 	if *cse {
 		opt.CSE = ifopt.New().Apply
 	}
+	// With -trace, a startup trace brackets spec loading and table
+	// construction, and each program gets its own trace threaded through
+	// the pipeline via its unit context.
+	var startupTr *obs.Trace
+	tctx := context.Background()
+	if *trace {
+		startupTr = obs.NewTrace("", "startup")
+		tctx = obs.ContextWith(tctx, startupTr, -1)
+	}
+	var unitTraces []*obs.Trace
 	units := make([]batch.Unit, 0, flag.NArg())
 	for _, srcFile := range flag.Args() {
 		src, err := os.ReadFile(srcFile)
 		if err != nil {
 			fatal(err)
 		}
-		units = append(units, batch.Unit{Name: srcFile, Source: string(src), Opt: opt})
+		u := batch.Unit{Name: srcFile, Source: string(src), Opt: opt}
+		if *trace {
+			tr := obs.NewTrace("", srcFile)
+			unitTraces = append(unitTraces, tr)
+			u.Ctx = obs.ContextWith(context.Background(), tr, -1)
+		}
+		units = append(units, u)
 	}
 
+	var specSpan int
+	if startupTr != nil {
+		specSpan = startupTr.StartSpan("spec-load", -1)
+	}
 	sName, sSrc, err := loadSpec(*specName)
+	if startupTr != nil {
+		startupTr.EndSpan(specSpan)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -131,13 +160,19 @@ func main() {
 	})
 	cfg := rt370.Config()
 	cfg.MaxBlocks = *maxErrors
-	tgt, err := svc.Target(sName, sSrc, cfg)
+	tgt, err := svc.TargetCtx(tctx, sName, sSrc, cfg)
 	if err != nil {
 		fatal(err)
 	}
+	if startupTr != nil {
+		fmt.Fprint(os.Stderr, startupTr.Snapshot().Tree())
+	}
 
 	failed := false
-	for _, r := range svc.CompileBatch(tgt, units) {
+	for i, r := range svc.CompileBatch(tgt, units) {
+		if *trace {
+			fmt.Fprint(os.Stderr, unitTraces[i].Snapshot().Tree())
+		}
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "pascal370: %s [%s]: %v\n", r.Name, r.Mode, r.Err)
 			failed = true

@@ -28,6 +28,7 @@
 package batch
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -38,6 +39,7 @@ import (
 	"cogg/internal/driver"
 	"cogg/internal/ir"
 	"cogg/internal/labels"
+	"cogg/internal/obs"
 	"cogg/internal/profiling"
 	"cogg/internal/shaper"
 	"cogg/internal/tables"
@@ -135,6 +137,14 @@ func (s *Service) Workers() int { return s.workers }
 // constructor (and populating both tiers). Concurrent calls for the
 // same specification share one construction.
 func (s *Service) Module(specName, specSrc string) (*tables.Module, error) {
+	return s.ModuleCtx(context.Background(), specName, specSrc)
+}
+
+// ModuleCtx is Module with a context: a trace attached via
+// obs.ContextWith records a table-decode span when the module came from
+// the disk tier and a table-build span when the SLR constructor ran (a
+// memory-tier hit records neither — nothing was built).
+func (s *Service) ModuleCtx(ctx context.Context, specName, specSrc string) (*tables.Module, error) {
 	key := Key(specName, specSrc)
 	if mod, ok := s.mem.get(key); ok {
 		s.Stats.MemHits.Add(1)
@@ -156,7 +166,7 @@ func (s *Service) Module(specName, specSrc string) (*tables.Module, error) {
 	s.inflight[key] = c
 	s.mu.Unlock()
 
-	c.mod, c.err = s.moduleSlow(key, specName, specSrc)
+	c.mod, c.err = s.moduleSlow(ctx, key, specName, specSrc)
 	s.mu.Lock()
 	delete(s.inflight, key)
 	s.mu.Unlock()
@@ -165,8 +175,14 @@ func (s *Service) Module(specName, specSrc string) (*tables.Module, error) {
 }
 
 // moduleSlow is the path below the in-memory tier.
-func (s *Service) moduleSlow(key, specName, specSrc string) (*tables.Module, error) {
-	if mod, ok := s.loadDisk(key); ok {
+func (s *Service) moduleSlow(ctx context.Context, key, specName, specSrc string) (*tables.Module, error) {
+	tr, parent := obs.FromContext(ctx)
+	t0 := time.Now()
+	mod, ok := s.loadDisk(key)
+	if ok {
+		if tr != nil {
+			tr.AddSpan("table-decode", parent, t0, time.Since(t0))
+		}
 		s.mem.put(key, mod)
 		return mod, nil
 	}
@@ -174,16 +190,18 @@ func (s *Service) moduleSlow(key, specName, specSrc string) (*tables.Module, err
 	m0 := profiling.Mallocs()
 	var cg *core.CodeGenerator
 	var err error
+	_, endBuild := obs.StartSpan(ctx, "table-build")
 	profiling.Phase("tablebuild", func() {
 		cg, err = core.Generate(specName, specSrc)
 	})
+	endBuild()
 	if err != nil {
 		return nil, err
 	}
 	s.Stats.TableBuildAllocs.Add(int64(profiling.Mallocs() - m0))
 	s.Stats.TableBuildNanos.Add(int64(time.Since(start)))
 	s.Stats.Misses.Add(1)
-	mod := cg.Module()
+	mod = cg.Module()
 	s.mem.put(key, mod)
 	// A failed cache write is degraded, not fatal: the module is in
 	// memory and every unit can proceed. Transient disk faults retry
@@ -206,7 +224,12 @@ func (s *Service) Store(specName, specSrc string, mod *tables.Module) error {
 // Target returns a ready-to-use compiler target for a specification,
 // built from the cached module when one exists.
 func (s *Service) Target(specName, specSrc string, cfg codegen.Config) (*driver.Target, error) {
-	mod, err := s.Module(specName, specSrc)
+	return s.TargetCtx(context.Background(), specName, specSrc, cfg)
+}
+
+// TargetCtx is Target with a context (see ModuleCtx for the spans).
+func (s *Service) TargetCtx(ctx context.Context, specName, specSrc string, cfg codegen.Config) (*driver.Target, error) {
+	mod, err := s.ModuleCtx(ctx, specName, specSrc)
 	if err != nil {
 		return nil, err
 	}
@@ -219,6 +242,19 @@ type Unit struct {
 	Name   string
 	Source string
 	Opt    shaper.Options
+	// Ctx, when non-nil, is threaded through the pipeline for this unit:
+	// its cancellation is not consulted (the service's own per-unit
+	// deadline governs), but a trace attached via obs.ContextWith
+	// collects the unit's phase spans.
+	Ctx context.Context
+}
+
+// ctxOf defaults a unit's optional context.
+func ctxOf(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }
 
 // Result is the outcome of one unit, at the unit's input position.
@@ -249,7 +285,7 @@ func (s *Service) CompileBatch(tgt *driver.Target, units []Unit) []Result {
 		var err error
 		profiling.Phase("codegen", func() {
 			c, err = attempt(s, units[i].Name, func() (*driver.Compiled, error) {
-				return tgt.Compile(units[i].Name, units[i].Source, units[i].Opt)
+				return tgt.CompileCtx(ctxOf(units[i].Ctx), units[i].Name, units[i].Source, units[i].Opt)
 			})
 		})
 		s.meterEnd(m0)
@@ -272,6 +308,8 @@ func (s *Service) CompileBatch(tgt *driver.Target, units []Unit) []Result {
 type IFUnit struct {
 	Name string
 	Text string
+	// Ctx carries an optional trace for this unit (see Unit.Ctx).
+	Ctx context.Context
 }
 
 // IFResult is the outcome of one IF unit.
@@ -335,7 +373,7 @@ func translateOne(tgt *driver.Target, u IFUnit) IFResult {
 	if err != nil {
 		return IFResult{Name: u.Name, Err: err}
 	}
-	prog, res, err := tgt.Gen.Generate(u.Name, toks)
+	prog, res, err := tgt.Gen.GenerateCtx(ctxOf(u.Ctx), u.Name, toks)
 	if err != nil {
 		return IFResult{Name: u.Name, Err: err}
 	}

@@ -13,13 +13,16 @@
 package codegen
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"cogg/internal/asm"
 	"cogg/internal/cse"
 	"cogg/internal/grammar"
 	"cogg/internal/ir"
+	"cogg/internal/obs"
 	"cogg/internal/regalloc"
 	"cogg/internal/tables"
 )
@@ -59,6 +62,13 @@ type Config struct {
 	// reduce, prefix-to-input) — the spec-debugging view of the skeletal
 	// parser at work.
 	Trace io.Writer
+
+	// Metrics, when non-nil, receives per-translation counters,
+	// per-production reduce counts, register-pressure observations, and
+	// phase latencies (see NewMetrics). The instruments update through
+	// plain atomics, so an instrumented generator keeps the
+	// zero-allocation emission hot path.
+	Metrics *Metrics
 
 	// MaxBlocks caps the blocked-parse diagnostics collected per
 	// Generate before the parser gives up resynchronizing; <= 0 means
@@ -182,6 +192,11 @@ func New(mod *tables.Module, cfg Config) (*Generator, error) {
 		}
 	}
 	g.compilePlans()
+	if cfg.Metrics != nil {
+		// Pre-size the per-production counter vector so steady-state
+		// reductions never take the grow-under-lock slow path.
+		cfg.Metrics.reductions.Grow(g.prodCountLen)
+	}
 	return g, nil
 }
 
@@ -196,16 +211,31 @@ type Result struct {
 	// order; index 0 is unused), how many times the production was used
 	// to reduce — the raw material of the grammar-complexity sweep.
 	ProdCounts []int
+	// RegAllocs, Evictions, and PeakLiveRegs report register-file
+	// activity: registers allocated by using/need, need-evictions
+	// materialized as moves, and the peak number of simultaneously busy
+	// registers — the pressure signal behind the
+	// cogg_register_pressure_peak histogram.
+	RegAllocs    int
+	Evictions    int
+	PeakLiveRegs int
 }
 
 // Generate translates one linearized IF program into a code buffer. The
 // returned program still requires labels.Layout and loader.Build.
 func (g *Generator) Generate(name string, toks []ir.Token) (*asm.Program, *Result, error) {
+	return g.GenerateCtx(context.Background(), name, toks)
+}
+
+// GenerateCtx is Generate with a context: a trace attached via
+// obs.ContextWith records the parse-reduce phase span (with regalloc
+// and emit children) under the context's current span.
+func (g *Generator) GenerateCtx(ctx context.Context, name string, toks []ir.Token) (*asm.Program, *Result, error) {
 	s, err := g.NewSession()
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.Generate(name, toks)
+	return s.GenerateCtx(ctx, name, toks)
 }
 
 // Session owns the reusable translation state of one goroutine: the
@@ -246,12 +276,54 @@ func (g *Generator) NewSession() (*Session, error) {
 // Generate translates one linearized IF program, reusing the session's
 // buffers. See Session for the aliasing caveat.
 func (s *Session) Generate(name string, toks []ir.Token) (*asm.Program, *Result, error) {
+	return s.GenerateCtx(context.Background(), name, toks)
+}
+
+// GenerateCtx is Generate with a context. A trace attached to the
+// context (obs.ContextWith) gets a parse-reduce span with accumulated
+// regalloc and emit children; Config.Metrics, when set, is flushed once
+// per call. Neither costs an allocation on the emission hot path, and
+// with a plain background context and nil Metrics the timing reads are
+// skipped entirely.
+func (s *Session) GenerateCtx(ctx context.Context, name string, toks []ir.Token) (*asm.Program, *Result, error) {
 	r := &s.r
 	r.reset(name, toks)
-	if err := r.parse(); err != nil {
+	tr, parent := obs.FromContext(ctx)
+	m := r.g.cfg.Metrics
+	r.timed = tr != nil || m != nil
+	var start time.Time
+	if r.timed {
+		start = time.Now()
+	}
+	err := r.parse()
+	rs := r.ra.RunStats()
+	r.res.RegAllocs = int(rs.Allocs)
+	r.res.Evictions = int(rs.Evictions)
+	r.res.PeakLiveRegs = rs.PeakLive
+	r.res.Instructions = r.prog.InstructionCount()
+	if r.timed {
+		total := time.Since(start)
+		regalloc := time.Duration(r.regallocNS)
+		emit := time.Duration(r.emitNS)
+		if m != nil {
+			m.observe(r.res, total, regalloc, emit, err != nil)
+		}
+		if tr != nil {
+			// The regalloc and emit spans are accumulated slices of the
+			// parse-reduce phase, not contiguous intervals; they anchor at
+			// the phase start with their summed durations.
+			pi := tr.AddSpan("parse-reduce", parent, start, total)
+			if r.regallocNS > 0 {
+				tr.AddSpan("regalloc", pi, start, regalloc)
+			}
+			if r.emitNS > 0 {
+				tr.AddSpan("emit", pi, start, emit)
+			}
+		}
+	}
+	if err != nil {
 		return nil, nil, err
 	}
-	r.res.Instructions = r.prog.InstructionCount()
 	return r.prog, r.res, nil
 }
 

@@ -1,0 +1,97 @@
+package codegen
+
+import (
+	"time"
+
+	"cogg/internal/obs"
+)
+
+// Metrics is the code generator's bundle of pre-resolved obs
+// instruments for one specification. Every instrument is resolved once
+// (NewMetrics) and updated with plain atomics, so an instrumented
+// generator keeps the zero-allocation steady state of the emission hot
+// path — verified by the AllocsPerRun gate in alloc_test.go.
+//
+// Metric inventory (all labeled spec="<spec name>"):
+//
+//	cogg_translations_total              Generate calls
+//	cogg_translation_failures_total      Generate calls that returned an error
+//	cogg_reductions_total{production=N}  reductions by production number
+//	cogg_register_allocs_total           registers allocated by using/need
+//	cogg_register_evictions_total        need-evictions materialized as moves
+//	cogg_register_pressure_peak          histogram of peak live registers per translation
+//	cogg_phase_seconds{phase=...}        parse-reduce, regalloc, emit latency
+//
+// The regalloc and emit phases are slices of parse-reduce (the paper's
+// code emission routine runs inside the reduce actions), so their sums
+// are bounded by — not additive with — the parse-reduce sum.
+type Metrics struct {
+	spec string
+
+	translations *obs.Counter
+	failures     *obs.Counter
+	reductions   *obs.IndexedCounters
+	regAllocs    *obs.Counter
+	evictions    *obs.Counter
+	pressure     *obs.Histogram
+
+	phaseParse    *obs.Histogram
+	phaseRegalloc *obs.Histogram
+	phaseEmit     *obs.Histogram
+}
+
+// NewMetrics registers (or re-resolves — registration is idempotent)
+// the code generation metrics for one spec on a registry. A nil
+// registry yields unregistered instruments, costing the updates but
+// exposing nothing; pass nil Config.Metrics instead to skip the cost.
+func NewMetrics(reg *obs.Registry, spec string) *Metrics {
+	sl := obs.L("spec", spec)
+	phase := func(name string) *obs.Histogram {
+		return reg.Histogram("cogg_phase_seconds",
+			"Latency of one pipeline phase over one unit, in seconds.",
+			obs.L("spec", spec, "phase", name), obs.LatencyBuckets)
+	}
+	return &Metrics{
+		spec: spec,
+		translations: reg.Counter("cogg_translations_total",
+			"Translations attempted (Generate calls).", sl),
+		failures: reg.Counter("cogg_translation_failures_total",
+			"Translations that returned an error.", sl),
+		reductions: reg.IndexedCounters("cogg_reductions_total",
+			"SLR reductions by production number (1-based specification order).",
+			sl, "production"),
+		regAllocs: reg.Counter("cogg_register_allocs_total",
+			"Registers allocated by the using/need requests.", sl),
+		evictions: reg.Counter("cogg_register_evictions_total",
+			"need evictions materialized as register-to-register moves.", sl),
+		pressure: reg.Histogram("cogg_register_pressure_peak",
+			"Peak simultaneously live registers per translation.", sl, obs.CountBuckets),
+		phaseParse:    phase("parse-reduce"),
+		phaseRegalloc: phase("regalloc"),
+		phaseEmit:     phase("emit"),
+	}
+}
+
+// Spec returns the specification name the metrics are labeled with.
+func (m *Metrics) Spec() string { return m.spec }
+
+// observe flushes one finished translation into the instruments. Called
+// once per Generate — allocation-free given the reductions slice was
+// pre-grown (see New).
+func (m *Metrics) observe(res *Result, total, regalloc, emit time.Duration, failed bool) {
+	m.translations.Inc()
+	if failed {
+		m.failures.Inc()
+	}
+	for num, c := range res.ProdCounts {
+		if c > 0 {
+			m.reductions.At(num).Add(int64(c))
+		}
+	}
+	m.regAllocs.Add(int64(res.RegAllocs))
+	m.evictions.Add(int64(res.Evictions))
+	m.pressure.Observe(float64(res.PeakLiveRegs))
+	m.phaseParse.ObserveDuration(total)
+	m.phaseRegalloc.ObserveDuration(regalloc)
+	m.phaseEmit.ObserveDuration(emit)
+}

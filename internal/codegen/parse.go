@@ -129,6 +129,23 @@ type run struct {
 	codeBytes int
 	codeErr   error
 
+	// phase timing, accumulated per reduction when metrics or a trace
+	// are attached (GenerateCtx sets timed): regallocNS covers the
+	// up-front allocate, emitNS the template/semantic steps. Both are
+	// slices of the surrounding parse-reduce phase.
+	timed      bool
+	regallocNS int64
+	emitNS     int64
+
+	// derivation provenance (opt-in, see provenance.go): curPlan and
+	// curStep track the reduction context emit attributes entries to;
+	// provMove flags the emission inside materializeMove.
+	provEnabled bool
+	prov        []ProvEntry
+	curPlan     *prodPlan
+	curStep     *tmplStep
+	provMove    bool
+
 	// per-reduction scratch, reused across reductions and runs:
 	// slots/allocMark are sized to the generator's widest plan; popped
 	// aliases the truncated parse-stack tail for the current reduction;
@@ -153,6 +170,7 @@ type pendingSkip struct {
 // dropped, not truncated.
 func (r *run) reset(name string, toks []ir.Token) {
 	r.ra.Reset()
+	r.ra.ResetStats()
 	r.cses.Reset()
 	r.prog.Reset(name)
 	r.prog.Origin = r.g.cfg.Origin
@@ -172,6 +190,18 @@ func (r *run) reset(name string, toks []ir.Token) {
 	r.truncated = false
 	r.codeBytes = 0
 	r.codeErr = nil
+	r.timed = false
+	r.regallocNS, r.emitNS = 0, 0
+	// Provenance entries escape through Session.Provenance until the
+	// next Generate; truncate (keeping capacity) when recording stays
+	// on, drop entirely when it was switched off.
+	if r.provEnabled {
+		r.prov = r.prov[:0]
+	} else {
+		r.prov = nil
+	}
+	r.curPlan, r.curStep = nil, nil
+	r.provMove = false
 	r.pushed = r.pushed[:0]
 	r.popped = nil
 	r.ignoreLHS = false

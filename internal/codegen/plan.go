@@ -120,6 +120,7 @@ type valPlan struct {
 type tmplStep struct {
 	op     semOp
 	t      *grammar.Template // error context (operator name, line)
+	tix    int               // template index within the production, for provenance
 	name   string            // operator name
 	machOp string            // opcode for semMachine steps
 
@@ -248,7 +249,7 @@ func (g *Generator) compileProd(p *grammar.Prod) prodPlan {
 
 	for ti := range p.Templates {
 		t := &p.Templates[ti]
-		st := tmplStep{t: t, name: gr.SymName(t.Op)}
+		st := tmplStep{t: t, tix: ti, name: gr.SymName(t.Op)}
 		if t.Semantic {
 			st.op = semanticOps[st.name] // membership validated by New
 		} else {

@@ -1,0 +1,254 @@
+package codegen_test
+
+import (
+	"strings"
+	"testing"
+
+	"cogg/internal/codegen"
+	"cogg/internal/core"
+	"cogg/internal/obs"
+	"cogg/internal/rt370"
+	"cogg/specs"
+)
+
+// amdahlGenObs builds an amdahl470 generator whose Config carries
+// metrics registered on reg (nil reg: unregistered instruments).
+func amdahlGenObs(t *testing.T, reg *obs.Registry) *codegen.Generator {
+	t.Helper()
+	cg, err := core.Generate("amdahl470.cogg", specs.Amdahl470)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rt370.Config()
+	cfg.Metrics = codegen.NewMetrics(reg, "amdahl470")
+	gen, err := cg.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+// TestProvenanceCoversEveryInstruction is the acceptance check for the
+// derivation map: with recording enabled, every emitted instruction has
+// exactly one entry attributing it to a production, and template
+// entries carry the template position and resolved operand sources.
+func TestProvenanceCoversEveryInstruction(t *testing.T) {
+	g := amdahlGen(t)
+	s, err := g.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableProvenance(true)
+	toks := allocIF(t, 8)
+	prog, res, err := s.Generate("prov", toks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := s.Provenance()
+	if len(prov) != len(prog.Instrs) {
+		t.Fatalf("provenance has %d entries for %d instructions", len(prov), len(prog.Instrs))
+	}
+	if res.Reductions == 0 {
+		t.Fatal("workload performed no reductions")
+	}
+	kinds := map[string]int{}
+	for i, e := range prov {
+		if e.Instr != i {
+			t.Fatalf("entry %d maps instruction %d; entries must follow emission order", i, e.Instr)
+		}
+		if e.Prod <= 0 {
+			t.Errorf("instruction %d (%s) has no production attribution", i, e.Op)
+		}
+		switch e.Kind {
+		case codegen.ProvTemplate, codegen.ProvSemantic, codegen.ProvEvictMove:
+		default:
+			t.Errorf("instruction %d has unknown provenance kind %q", i, e.Kind)
+		}
+		if e.Kind == codegen.ProvTemplate && e.TemplateLine <= 0 {
+			t.Errorf("template-derived instruction %d lacks a specification line", i)
+		}
+		kinds[e.Kind]++
+	}
+	if kinds[codegen.ProvTemplate] == 0 {
+		t.Error("no template-derived instructions recorded")
+	}
+	if kinds[codegen.ProvSemantic] == 0 {
+		t.Error("no semantic-intervention instructions recorded")
+	}
+	// At least one template instruction must name its operand sources as
+	// source=resolved pairs.
+	sourced := false
+	for _, e := range prov {
+		if e.Kind != codegen.ProvTemplate {
+			continue
+		}
+		for _, o := range e.Operands {
+			if strings.Contains(o, "=") {
+				sourced = true
+			}
+		}
+	}
+	if !sourced {
+		t.Error("no template operand carries a source=resolved annotation")
+	}
+
+	text := codegen.FormatProvenance(prov)
+	if !strings.Contains(text, "prod") || !strings.Contains(text, "::=") {
+		t.Errorf("FormatProvenance lacks production attribution:\n%s", text)
+	}
+}
+
+// TestProvenanceDisabledByDefault: recording is opt-in; a plain session
+// must not retain entries.
+func TestProvenanceDisabledByDefault(t *testing.T) {
+	g := amdahlGen(t)
+	s, err := g.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Generate("plain", allocIF(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if prov := s.Provenance(); len(prov) != 0 {
+		t.Fatalf("provenance recorded %d entries with recording disabled", len(prov))
+	}
+}
+
+// TestGenerateCtxTraceSpans: a trace on the context gets the
+// parse-reduce phase span with regalloc and emit children.
+func TestGenerateCtxTraceSpans(t *testing.T) {
+	g := amdahlGen(t)
+	s, err := g.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace("", "test")
+	ctx, done := obs.StartSpan(obs.ContextWith(t.Context(), tr, -1), "request")
+	if _, _, err := s.GenerateCtx(ctx, "traced", allocIF(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	done()
+	td := tr.Snapshot()
+	byName := map[string]obs.Span{}
+	for _, sp := range td.Spans {
+		byName[sp.Name] = sp
+	}
+	pr, ok := byName["parse-reduce"]
+	if !ok {
+		t.Fatalf("no parse-reduce span; have %+v", td.Spans)
+	}
+	for _, phase := range []string{"regalloc", "emit"} {
+		sp, ok := byName[phase]
+		if !ok {
+			t.Fatalf("no %s span; have %+v", phase, td.Spans)
+		}
+		if td.Spans[sp.Parent].Name != "parse-reduce" {
+			t.Errorf("%s span parented to %q, want parse-reduce", phase, td.Spans[sp.Parent].Name)
+		}
+		if sp.DurNS < 0 || sp.DurNS > pr.DurNS {
+			t.Errorf("%s duration %d outside parse-reduce duration %d", phase, sp.DurNS, pr.DurNS)
+		}
+	}
+}
+
+// TestMetricsExposition: a metered generator surfaces per-production
+// reduce counts, register activity, and phase latencies as valid
+// Prometheus exposition.
+func TestMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := amdahlGenObs(t, reg)
+	s, err := g.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks := allocIF(t, 8)
+	_, res, err := s.Generate("metered", toks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	text := sb.String()
+	if err := obs.LintExposition(text); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`cogg_translations_total{spec="amdahl470"} 1`,
+		`cogg_reductions_total{spec="amdahl470",production=`,
+		`cogg_register_allocs_total{spec="amdahl470"} `,
+		`cogg_phase_seconds_bucket{spec="amdahl470",phase="parse-reduce",le=`,
+		`cogg_phase_seconds_bucket{spec="amdahl470",phase="regalloc",le=`,
+		`cogg_phase_seconds_bucket{spec="amdahl470",phase="emit",le=`,
+		`cogg_register_pressure_peak_count{spec="amdahl470"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, text)
+		}
+	}
+	// The per-production series must account for every reduction.
+	sum := 0
+	for _, c := range res.ProdCounts {
+		sum += c
+	}
+	if sum != res.Reductions {
+		t.Errorf("ProdCounts sum %d != Reductions %d", sum, res.Reductions)
+	}
+}
+
+// TestZeroAllocSteadyStateWithMetrics is the PR's allocation gate: the
+// instrumented hot path (metrics flushing per Generate, timed phases
+// per reduction) must keep the zero-allocation steady state of the
+// plain path.
+func TestZeroAllocSteadyStateWithMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := amdahlGenObs(t, reg)
+	s, err := g.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks := allocIF(t, 24)
+	for i := 0; i < 3; i++ {
+		if _, _, err := s.Generate("warm", toks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var reductions int
+	allocs := testing.AllocsPerRun(20, func() {
+		_, r, err := s.Generate("steady", toks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reductions = r.Reductions
+	})
+	if reductions == 0 {
+		t.Fatal("workload performed no reductions")
+	}
+	if allocs != 0 {
+		t.Errorf("metered steady-state translation allocates: %.1f allocs/run over %d reductions, want 0",
+			allocs, reductions)
+	}
+}
+
+// TestRegisterPressureStats: the Result register-activity fields are
+// populated and self-consistent.
+func TestRegisterPressureStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := amdahlGenObs(t, reg)
+	s, err := g.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := s.Generate("pressure", allocIF(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RegAllocs <= 0 {
+		t.Errorf("RegAllocs = %d, want > 0", res.RegAllocs)
+	}
+	if res.PeakLiveRegs <= 0 {
+		t.Errorf("PeakLiveRegs = %d, want > 0", res.PeakLiveRegs)
+	}
+	if res.Evictions < 0 || res.Evictions > res.RegAllocs {
+		t.Errorf("Evictions = %d outside [0, RegAllocs=%d]", res.Evictions, res.RegAllocs)
+	}
+}

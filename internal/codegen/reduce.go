@@ -2,6 +2,7 @@ package codegen
 
 import (
 	"fmt"
+	"time"
 
 	"cogg/internal/asm"
 	"cogg/internal/faultinject"
@@ -24,6 +25,7 @@ func (r *run) reduce(pi int) error {
 	r.ra.Tick()
 	r.res.Reductions++
 	r.res.ProdCounts[p.Num]++
+	r.curPlan = pl
 
 	// Remove the current production from the parse stack.
 	n := len(p.RHS)
@@ -45,15 +47,28 @@ func (r *run) reduce(pi int) error {
 	r.pushed = r.pushed[:0]
 
 	// Allocate all requested registers at once, before acting on any
-	// template (paper section 4.1).
+	// template (paper section 4.1). When timed, the allocate and the
+	// template steps accumulate into the regalloc and emit phases; the
+	// clock reads cost two time.Now calls per reduction and no
+	// allocation, so the instrumented hot path stays zero-alloc.
+	var t0 time.Time
+	if r.timed {
+		t0 = time.Now()
+	}
 	if err := r.allocate(pl); err != nil {
 		return err
+	}
+	if r.timed {
+		now := time.Now()
+		r.regallocNS += now.Sub(t0).Nanoseconds()
+		t0 = now
 	}
 
 	// Fill in required values and act on each associated template.
 	r.pendingSkips = r.pendingSkips[:0]
 	for si := range pl.steps {
 		st := &pl.steps[si]
+		r.curStep = st
 		if st.op != semMachine {
 			if err := r.intervene(pl, st); err != nil {
 				return r.templateErr(pl, st, err)
@@ -63,6 +78,10 @@ func (r *run) reduce(pi int) error {
 		if err := r.emitMachine(st); err != nil {
 			return r.templateErr(pl, st, err)
 		}
+	}
+	r.curStep = nil
+	if r.timed {
+		r.emitNS += time.Since(t0).Nanoseconds()
 	}
 	if len(r.pendingSkips) > 0 {
 		// A trailing skip may legitimately complete at the end of the
@@ -193,7 +212,9 @@ func (r *run) materializeMove(pl *prodPlan, class string, from, to int) error {
 	opds := r.arena.alloc(2)
 	opds[0] = asm.R(to)
 	opds[1] = asm.R(from)
+	r.provMove = true
 	r.emit(asm.Instr{Op: op, Opds: opds, Comment: evictComment(from)})
+	r.provMove = false
 	symID := r.g.classSym[class] // nonterminal id: its name is the class name
 	for i := range r.stack {
 		if r.stack[i].sym == symID && r.stack[i].val == int64(from) {
@@ -244,6 +265,9 @@ func (r *run) emit(in asm.Instr) int {
 				_ = r.prog.DefineLabel(ps.label, ix+1)
 			}
 		}
+	}
+	if r.provEnabled {
+		r.recordProv(ix)
 	}
 	return ix
 }

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintExposition checks a Prometheus text exposition for structural
+// validity: metric and label name syntax, HELP/TYPE lines preceding
+// their samples, parseable sample values, and — for histograms —
+// cumulative bucket counts with an +Inf bucket matching _count. It is
+// the assertion backing the /metrics tests; a scrape that passes it is
+// ingestible by a standard Prometheus server.
+func LintExposition(text string) error {
+	var (
+		nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+		labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+	)
+	typed := map[string]string{}           // family -> type
+	lastBucket := map[string]float64{}     // series (name+labels sans le) -> last cumulative count
+	lastBound := map[string]float64{}      // series -> last le bound
+	infCount := map[string]float64{}       // series -> +Inf cumulative count
+	countSample := map[string]float64{}    // series -> _count value
+	sawSample := map[string]bool{}         // family -> any sample seen
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !nameRe.MatchString(parts[2]) {
+				return fmt.Errorf("line %d: bad metric name %q", lineNo, parts[2])
+			}
+			if parts[1] == "TYPE" {
+				if sawSample[parts[2]] {
+					return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, parts[2])
+				}
+				switch parts[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, parts[3])
+				}
+				typed[parts[2]] = parts[3]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name, labelBody, valStr := m[1], m[3], m[4]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		le := ""
+		var plain []string
+		if labelBody != "" {
+			for _, lp := range splitLabels(labelBody) {
+				if !labelRe.MatchString(lp) {
+					return fmt.Errorf("line %d: bad label pair %q", lineNo, lp)
+				}
+				if strings.HasPrefix(lp, `le="`) {
+					le = strings.TrimSuffix(strings.TrimPrefix(lp, `le="`), `"`)
+				} else {
+					plain = append(plain, lp)
+				}
+			}
+		}
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && typed[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		sawSample[family] = true
+		if _, ok := typed[family]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", lineNo, name)
+		}
+		if typed[family] == "histogram" {
+			key := family + "{" + strings.Join(plain, ",") + "}"
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				bound := math.Inf(1)
+				if le != "+Inf" {
+					bound, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: bad le %q", lineNo, le)
+					}
+				}
+				if prev, ok := lastBound[key]; ok && bound <= prev {
+					return fmt.Errorf("line %d: %s buckets out of order (le %v after %v)", lineNo, key, bound, prev)
+				}
+				if prev, ok := lastBucket[key]; ok && v < prev {
+					return fmt.Errorf("line %d: %s bucket counts not cumulative (%v after %v)", lineNo, key, v, prev)
+				}
+				lastBound[key], lastBucket[key] = bound, v
+				if math.IsInf(bound, 1) {
+					infCount[key] = v
+				}
+			case strings.HasSuffix(name, "_count"):
+				countSample[key] = v
+			}
+		}
+	}
+	for key, c := range countSample {
+		inf, ok := infCount[key]
+		if !ok {
+			return fmt.Errorf("histogram %s has _count but no +Inf bucket", key)
+		}
+		if inf != c {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", key, inf, c)
+		}
+	}
+	return nil
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(body string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			if depth {
+				i++
+			}
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, body[start:])
+	return out
+}

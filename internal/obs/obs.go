@@ -1,0 +1,510 @@
+// Package obs is the pipeline's zero-dependency observability layer:
+// metric instruments (counters, gauges, fixed-bucket histograms) with a
+// Prometheus text exposition, and phase-span traces with trace-ID
+// propagation through context.Context (see trace.go).
+//
+// The design constraint is the PR 3 hot path: a steady-state reduction
+// performs no heap allocation, and instrumentation must not change
+// that. Every instrument therefore updates through plain atomics —
+// Counter.Add is one atomic add, Histogram.Observe is a binary search
+// over a fixed bound slice plus two atomic adds and a CAS loop for the
+// float sum — and per-production counters are a dense slice indexed by
+// production number (IndexedCounters), grown only outside the steady
+// state. Registration and exposition take a mutex; observation never
+// does.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter. Negative deltas are a programming error
+// and are ignored rather than corrupting the monotone invariant.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by a (possibly negative) delta.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram. Bounds are the inclusive upper
+// edges of each bucket in ascending order; one implicit +Inf bucket is
+// appended. Observe is allocation-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
+	sum    atomicFloat
+	n      atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; linear would do for ~20
+	// buckets but the search keeps wide custom bucketings honest too.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.n.Add(1)
+	h.sum.add(v)
+}
+
+// ObserveDuration records a duration in seconds, the Prometheus base
+// unit for time.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// atomicFloat is a float64 updated by CAS on its bit pattern, so the
+// histogram sum needs no mutex on the observation path.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// LatencyBuckets are the default histogram bounds for pipeline phase
+// latencies, in seconds: 1µs to 10s, roughly 2.5x apart — the
+// microsecond-scale emission loop and the tens-of-milliseconds table
+// build both land mid-range.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// CountBuckets are default bounds for small cardinalities (live
+// registers, queue depths).
+var CountBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128, 256}
+
+// L renders label pairs as a Prometheus label body:
+// L("spec", "amdahl470.cogg", "phase", "emit") is
+// `spec="amdahl470.cogg",phase="emit"`. Values are escaped per the
+// exposition format. An odd trailing key is dropped.
+func L(kv ...string) string {
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled time series of a family: exactly one of the
+// value sources is set.
+type series struct {
+	labels string
+	c      *Counter
+	g      *Gauge
+	cf     func() int64
+	gf     func() float64
+	h      *Histogram
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name     string
+	help     string
+	kind     metricKind
+	series   []*series
+	byLabels map[string]*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration methods are idempotent per
+// (name, labels): asking again returns the existing instrument, so
+// lazily-built components (per-spec serving state) can register without
+// coordinating. A nil *Registry is valid and registers nothing —
+// callers can thread an optional registry without nil checks at every
+// site.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help string, kind metricKind) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, byLabels: map[string]*series{}}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+func (f *family) lookup(labels string) (*series, bool) {
+	s, ok := f.byLabels[labels]
+	return s, ok
+}
+
+func (f *family) add(s *series) {
+	f.series = append(f.series, s)
+	f.byLabels[s.labels] = s
+}
+
+// Counter registers (or returns) the counter series name{labels}.
+func (r *Registry) Counter(name, help, labels string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counterLocked(name, help, labels)
+}
+
+func (r *Registry) counterLocked(name, help, labels string) *Counter {
+	f := r.family(name, help, kindCounter)
+	if s, ok := f.lookup(labels); ok {
+		return s.c
+	}
+	s := &series{labels: labels, c: &Counter{}}
+	f.add(s)
+	return s.c
+}
+
+// Gauge registers (or returns) the gauge series name{labels}.
+func (r *Registry) Gauge(name, help, labels string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge)
+	if s, ok := f.lookup(labels); ok {
+		return s.g
+	}
+	s := &series{labels: labels, g: &Gauge{}}
+	f.add(s)
+	return s.g
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// exposition time — the bridge for counters that already live in other
+// packages' atomics (batch.Stats, the session pools).
+func (r *Registry) CounterFunc(name, help, labels string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter)
+	if _, ok := f.lookup(labels); ok {
+		return
+	}
+	f.add(&series{labels: labels, cf: fn})
+}
+
+// CounterFloatFunc registers a counter series whose float value is read
+// from fn at exposition time — for monotone sums kept in other units
+// elsewhere (accumulated nanoseconds exported as seconds).
+func (r *Registry) CounterFloatFunc(name, help, labels string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter)
+	if _, ok := f.lookup(labels); ok {
+		return
+	}
+	f.add(&series{labels: labels, gf: fn})
+}
+
+// GaugeFunc registers a gauge series read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help, labels string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge)
+	if _, ok := f.lookup(labels); ok {
+		return
+	}
+	f.add(&series{labels: labels, gf: fn})
+}
+
+// Histogram registers (or returns) the histogram series name{labels}
+// with the given bucket bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help, labels string, bounds []float64) *Histogram {
+	if r == nil {
+		return newHistogram(bounds)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindHistogram)
+	if s, ok := f.lookup(labels); ok {
+		return s.h
+	}
+	s := &series{labels: labels, h: newHistogram(bounds)}
+	f.add(s)
+	return s.h
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// IndexedCounters is a dense family of counters distinguished by one
+// integer label — per-production reduce counts, indexed by production
+// number. At is lock-free once the index has been touched; growth takes
+// the registry lock, which only ever happens outside the steady state
+// (the first translation through a given production).
+type IndexedCounters struct {
+	r          *Registry
+	name, help string
+	baseLabels string
+	indexLabel string
+	ptr        atomic.Pointer[[]*Counter]
+}
+
+// IndexedCounters registers a dense integer-indexed counter family.
+// Each index i surfaces as name{baseLabels,indexLabel="i"}.
+func (r *Registry) IndexedCounters(name, help, baseLabels, indexLabel string) *IndexedCounters {
+	ic := &IndexedCounters{r: r, name: name, help: help, baseLabels: baseLabels, indexLabel: indexLabel}
+	if r != nil {
+		r.mu.Lock()
+		r.family(name, help, kindCounter) // reserve the family and its kind
+		r.mu.Unlock()
+	}
+	return ic
+}
+
+// At returns the counter for index i, creating it (and any smaller
+// missing indices' slots) on first touch.
+func (ic *IndexedCounters) At(i int) *Counter {
+	if s := ic.ptr.Load(); s != nil && i < len(*s) {
+		if c := (*s)[i]; c != nil {
+			return c
+		}
+	}
+	return ic.grow(i)
+}
+
+// Grow pre-extends the dense slice to cover indices [0, n), creating
+// every counter eagerly — call at session setup so the steady state
+// never takes the growth path at all.
+func (ic *IndexedCounters) Grow(n int) {
+	if n > 0 {
+		ic.grow(n - 1)
+	}
+}
+
+func (ic *IndexedCounters) grow(i int) *Counter {
+	if ic.r == nil {
+		// Unregistered: hand out throwaway counters so callers need no
+		// nil checks. Steady-state code should not reach here (a nil
+		// registry means metrics are off and the caller skips the flush).
+		return &Counter{}
+	}
+	ic.r.mu.Lock()
+	defer ic.r.mu.Unlock()
+	old := ic.ptr.Load()
+	var cur []*Counter
+	if old != nil {
+		cur = *old
+	}
+	if i < len(cur) && cur[i] != nil {
+		return cur[i] // another goroutine grew it first
+	}
+	n := i + 1
+	if n < len(cur) {
+		n = len(cur)
+	}
+	next := make([]*Counter, n)
+	copy(next, cur)
+	for j := 0; j <= i; j++ {
+		if next[j] == nil {
+			labels := ic.baseLabels
+			idx := ic.indexLabel + `="` + strconv.Itoa(j) + `"`
+			if labels != "" {
+				labels += "," + idx
+			} else {
+				labels = idx
+			}
+			next[j] = ic.r.counterLocked(ic.name, ic.help, labels)
+		}
+	}
+	ic.ptr.Store(&next)
+	return next[i]
+}
+
+// WriteText renders every family in Prometheus text exposition format.
+// Families are sorted by name and series by label string, so the output
+// is deterministic whatever order registration happened in.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	// Snapshot the series slices under the lock; values are atomics and
+	// are read outside it.
+	snaps := make([][]*series, len(fams))
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for i, f := range fams {
+		ss := append([]*series(nil), f.series...)
+		sort.Slice(ss, func(a, b int) bool { return ss[a].labels < ss[b].labels })
+		snaps[i] = ss
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for i, f := range fams {
+		if len(snaps[i]) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range snaps[i] {
+			writeSeries(&b, f.name, s)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSeries(b *strings.Builder, name string, s *series) {
+	switch {
+	case s.c != nil:
+		writeSample(b, name, s.labels, float64(s.c.Value()))
+	case s.g != nil:
+		writeSample(b, name, s.labels, float64(s.g.Value()))
+	case s.cf != nil:
+		writeSample(b, name, s.labels, float64(s.cf()))
+	case s.gf != nil:
+		writeSample(b, name, s.labels, s.gf())
+	case s.h != nil:
+		h := s.h
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			writeSample(b, name+"_bucket", joinLabels(s.labels, `le="`+formatFloat(bound)+`"`), float64(cum))
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		writeSample(b, name+"_bucket", joinLabels(s.labels, `le="+Inf"`), float64(cum))
+		writeSample(b, name+"_sum", s.labels, h.Sum())
+		writeSample(b, name+"_count", s.labels, float64(cum))
+	}
+}
+
+func writeSample(b *strings.Builder, name, labels string, v float64) {
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

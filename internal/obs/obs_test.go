@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cogg_things_total", "things.", L("kind", "a"))
+	c.Inc()
+	c.Add(4)
+	c.Add(-5) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("cogg_things_total", "things.", L("kind", "a")); again != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+	g := r.Gauge("cogg_depth", "depth.", "")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("cogg_lat_seconds", "latency.", "", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`cogg_lat_seconds_bucket{le="0.001"} 1`,
+		`cogg_lat_seconds_bucket{le="0.01"} 3`,
+		`cogg_lat_seconds_bucket{le="0.1"} 4`,
+		`cogg_lat_seconds_bucket{le="+Inf"} 5`,
+		`cogg_lat_seconds_count 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if err := LintExposition(text); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cogg_reductions_total", "Reductions by production.", L("spec", "amdahl470.cogg", "production", "3")).Add(12)
+	r.CounterFunc("cogg_cache_hits_total", "Cache hits.", L("tier", "mem"), func() int64 { return 42 })
+	r.GaugeFunc("cogd_queue_depth", "Queue depth.", "", func() float64 { return 3 })
+	r.Histogram("cogg_phase_seconds", "Phase latency.", L("phase", "emit"), LatencyBuckets).ObserveDuration(30 * time.Microsecond)
+	ic := r.IndexedCounters("cogg_prod_total", "Per-production.", L("spec", "s"), "production")
+	ic.At(2).Add(9)
+	ic.At(0).Inc()
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if err := LintExposition(text); err != nil {
+		t.Fatalf("lint: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE cogg_reductions_total counter",
+		`cogg_cache_hits_total{tier="mem"} 42`,
+		"cogd_queue_depth 3",
+		`cogg_prod_total{spec="s",production="2"} 9`,
+		`cogg_prod_total{spec="s",production="0"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Each family's HELP/TYPE appears exactly once.
+	if n := strings.Count(text, "# TYPE cogg_prod_total"); n != 1 {
+		t.Errorf("TYPE cogg_prod_total appears %d times", n)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := L("k", `va"l\ue`+"\n")
+	want := `k="va\"l\\ue\n"`
+	if got != want {
+		t.Fatalf("L = %s, want %s", got, want)
+	}
+}
+
+// TestInstrumentAllocs verifies the observation path is allocation-free
+// — the property that lets the PR 3 zero-alloc reduce loop carry
+// metrics.
+func TestInstrumentAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c.", "")
+	h := r.Histogram("h_seconds", "h.", "", LatencyBuckets)
+	ic := r.IndexedCounters("p_total", "p.", "", "i")
+	ic.Grow(64)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		h.Observe(2.5e-5)
+		ic.At(17).Add(3)
+	}); n != 0 {
+		t.Fatalf("instrument path allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestIndexedCountersConcurrent(t *testing.T) {
+	r := NewRegistry()
+	ic := r.IndexedCounters("p_total", "p.", "", "i")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ic.At(i % 50).Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for i := 0; i < 50; i++ {
+		total += ic.At(i).Value()
+	}
+	if total != 8*200 {
+		t.Fatalf("total = %d, want %d", total, 8*200)
+	}
+}
+
+func TestTraceSpansAndTree(t *testing.T) {
+	tr := NewTrace("", "unit.pas")
+	if len(tr.ID()) != 16 {
+		t.Fatalf("trace id %q, want 16 hex chars", tr.ID())
+	}
+	root := tr.StartSpan("request", -1)
+	child := tr.StartSpan("parse-reduce", root)
+	tr.AddSpan("regalloc", child, time.Now(), 123*time.Microsecond)
+	tr.EndSpan(child)
+	tr.EndSpan(root)
+	tr.SetFailure("blocked")
+
+	d := tr.Snapshot()
+	if len(d.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(d.Spans))
+	}
+	if d.Spans[1].Parent != root || d.Spans[2].Parent != child {
+		t.Fatalf("parent links wrong: %+v", d.Spans)
+	}
+	if d.Failure != "blocked" {
+		t.Fatalf("failure = %q", d.Failure)
+	}
+	tree := d.Tree()
+	for _, want := range []string{"trace " + tr.ID(), "request", "parse-reduce", "regalloc", "failure=blocked"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+	// parse-reduce is indented deeper than request.
+	reqLine, childLine := "", ""
+	for _, line := range strings.Split(tree, "\n") {
+		if strings.Contains(line, "request") {
+			reqLine = line
+		}
+		if strings.Contains(line, "parse-reduce") {
+			childLine = line
+		}
+	}
+	if indent(childLine) <= indent(reqLine) {
+		t.Fatalf("child not nested under parent:\n%s", tree)
+	}
+}
+
+func indent(s string) int {
+	return len(s) - len(strings.TrimLeft(s, " "))
+}
+
+func TestContextPropagation(t *testing.T) {
+	// No trace: everything is a no-op.
+	ctx := context.Background()
+	if tr, span := FromContext(ctx); tr != nil || span != -1 {
+		t.Fatalf("empty context returned %v, %d", tr, span)
+	}
+	c2, end := StartSpan(ctx, "x")
+	end()
+	if c2 != ctx {
+		t.Fatalf("StartSpan without a trace derived a new context")
+	}
+
+	tr := NewTrace("deadbeefdeadbeef", "t")
+	ctx = ContextWith(ctx, tr, -1)
+	ctx, endA := StartSpan(ctx, "a")
+	_, endB := StartSpan(ctx, "b")
+	endB()
+	endA()
+	d := tr.Snapshot()
+	if d.ID != "deadbeefdeadbeef" {
+		t.Fatalf("id = %q", d.ID)
+	}
+	if len(d.Spans) != 2 || d.Spans[1].Parent != 0 {
+		t.Fatalf("spans = %+v", d.Spans)
+	}
+	if d.Spans[0].DurNS < 0 || d.Spans[1].DurNS < 0 {
+		t.Fatalf("spans left unfinished: %+v", d.Spans)
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(4)
+	if got := r.Snapshot(0); len(got) != 0 {
+		t.Fatalf("empty ring snapshot = %d entries", len(got))
+	}
+	for i := 0; i < 6; i++ {
+		tr := NewTrace("", "t")
+		tr.SetName(strings.Repeat("x", i+1)) // distinguishable
+		r.Add(tr.Snapshot())
+	}
+	got := r.Snapshot(0)
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(got))
+	}
+	// Newest first: names of length 6,5,4,3.
+	for i, td := range got {
+		if len(td.Name) != 6-i {
+			t.Fatalf("entry %d has name %q, want length %d", i, td.Name, 6-i)
+		}
+	}
+	if got := r.Snapshot(2); len(got) != 2 || len(got[0].Name) != 6 {
+		t.Fatalf("bounded snapshot wrong: %d entries", len(got))
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr := NewTrace("", "t")
+				r.Add(tr.Snapshot())
+				r.Snapshot(0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Snapshot(0); len(got) != 8 {
+		t.Fatalf("ring holds %d, want 8", len(got))
+	}
+}
+
+func TestLintExpositionRejects(t *testing.T) {
+	bad := []string{
+		"no_type_metric 1\n",
+		"# TYPE m counter\nm{bad-label=\"x\"} 1\n",
+		"# TYPE m counter\nm notanumber\n",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+	}
+	for _, text := range bad {
+		if err := LintExposition(text); err == nil {
+			t.Errorf("lint accepted invalid exposition:\n%s", text)
+		}
+	}
+}

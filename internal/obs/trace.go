@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed phase of a trace. Start offsets and durations are
+// nanoseconds relative to the trace's begin time; Parent is the index
+// of the enclosing span in the trace's span slice, -1 for a root.
+type Span struct {
+	Name    string `json:"name"`
+	Parent  int    `json:"parent"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// Trace is one request's (or one compilation unit's) span collection.
+// It is safe for concurrent use: batch units of one request record
+// spans from multiple workers. Tracing is per-request opt-in — the
+// mutex and the span append are off the metrics-only hot path entirely.
+type Trace struct {
+	mu      sync.Mutex
+	id      string
+	name    string
+	begin   time.Time
+	failure string
+	spans   []Span
+}
+
+// NewTrace starts a trace. An empty id generates a fresh one.
+func NewTrace(id, name string) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	return &Trace{id: id, name: name, begin: time.Now()}
+}
+
+// ID returns the trace ID.
+func (t *Trace) ID() string { return t.id }
+
+// SetName renames the trace (the request's unit name becomes known only
+// after the body is decoded).
+func (t *Trace) SetName(name string) {
+	t.mu.Lock()
+	t.name = name
+	t.mu.Unlock()
+}
+
+// SetFailure records the request's failure mode (the PR 2 taxonomy
+// string) on the trace, so slow-request logs and /v1/traces tie the
+// span tree to what went wrong.
+func (t *Trace) SetFailure(mode string) {
+	t.mu.Lock()
+	t.failure = mode
+	t.mu.Unlock()
+}
+
+// StartSpan opens a span under parent (-1 for a root) and returns its
+// index.
+func (t *Trace) StartSpan(name string, parent int) int {
+	now := time.Now()
+	t.mu.Lock()
+	i := len(t.spans)
+	t.spans = append(t.spans, Span{Name: name, Parent: parent, StartNS: now.Sub(t.begin).Nanoseconds(), DurNS: -1})
+	t.mu.Unlock()
+	return i
+}
+
+// EndSpan closes the span opened by StartSpan.
+func (t *Trace) EndSpan(i int) {
+	now := time.Now()
+	t.mu.Lock()
+	if i >= 0 && i < len(t.spans) && t.spans[i].DurNS < 0 {
+		t.spans[i].DurNS = now.Sub(t.begin).Nanoseconds() - t.spans[i].StartNS
+	}
+	t.mu.Unlock()
+}
+
+// AddSpan records an already-measured span, for phases timed with plain
+// time.Now pairs (the accumulated regalloc/emit time inside one
+// parse-reduce) rather than bracketed live.
+func (t *Trace) AddSpan(name string, parent int, start time.Time, d time.Duration) int {
+	t.mu.Lock()
+	i := len(t.spans)
+	t.spans = append(t.spans, Span{Name: name, Parent: parent, StartNS: start.Sub(t.begin).Nanoseconds(), DurNS: d.Nanoseconds()})
+	t.mu.Unlock()
+	return i
+}
+
+// TraceData is an immutable snapshot of a trace: the JSON shape of
+// /v1/traces entries and the ring buffer element.
+type TraceData struct {
+	ID      string    `json:"id"`
+	Name    string    `json:"name"`
+	Begin   time.Time `json:"begin"`
+	DurNS   int64     `json:"dur_ns"`
+	Failure string    `json:"failure,omitempty"`
+	Spans   []Span    `json:"spans"`
+}
+
+// Snapshot copies the trace. Unfinished spans keep DurNS -1. The
+// snapshot's DurNS covers begin through the latest span end seen.
+func (t *Trace) Snapshot() *TraceData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := &TraceData{
+		ID:      t.id,
+		Name:    t.name,
+		Begin:   t.begin,
+		Failure: t.failure,
+		Spans:   append([]Span(nil), t.spans...),
+	}
+	for _, sp := range d.Spans {
+		if sp.DurNS >= 0 && sp.StartNS+sp.DurNS > d.DurNS {
+			d.DurNS = sp.StartNS + sp.DurNS
+		}
+	}
+	return d
+}
+
+// Tree renders the span forest indented, one span per line — the
+// slow-request log and the CLI -trace output.
+func (d *TraceData) Tree() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s name=%s dur=%v", d.ID, d.Name, time.Duration(d.DurNS))
+	if d.Failure != "" {
+		fmt.Fprintf(&b, " failure=%s", d.Failure)
+	}
+	b.WriteByte('\n')
+	children := make(map[int][]int, len(d.Spans))
+	roots := []int{}
+	for i, sp := range d.Spans {
+		if sp.Parent >= 0 && sp.Parent < len(d.Spans) && sp.Parent != i {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		sp := d.Spans[i]
+		dur := "unfinished"
+		if sp.DurNS >= 0 {
+			dur = time.Duration(sp.DurNS).String()
+		}
+		fmt.Fprintf(&b, "%s%-14s +%v %s\n", strings.Repeat("  ", depth+1), sp.Name,
+			time.Duration(sp.StartNS), dur)
+		for _, c := range children[i] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}
+
+// NewTraceID returns a 16-hex-character random trace ID.
+func NewTraceID() string {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable; fall back to a
+		// process-local counter rather than failing a request over an ID.
+		return fmt.Sprintf("%016x", fallbackID.Add(1))
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+var fallbackID atomic.Int64
+
+// ctxKey carries a trace plus the current span index through a request.
+type ctxKey struct{}
+
+type ctxVal struct {
+	t    *Trace
+	span int
+}
+
+// ContextWith attaches a trace (and the current span index, -1 when no
+// span is open yet) to a context.
+func ContextWith(ctx context.Context, t *Trace, span int) context.Context {
+	return context.WithValue(ctx, ctxKey{}, ctxVal{t: t, span: span})
+}
+
+// FromContext extracts the trace and current span index; (nil, -1) when
+// the context carries none.
+func FromContext(ctx context.Context) (*Trace, int) {
+	if ctx == nil {
+		return nil, -1
+	}
+	if v, ok := ctx.Value(ctxKey{}).(ctxVal); ok {
+		return v.t, v.span
+	}
+	return nil, -1
+}
+
+// StartSpan opens a span named name under the context's current span
+// and returns the derived context plus the closer. Without a trace in
+// the context both are no-ops, so call sites need no conditionals.
+func StartSpan(ctx context.Context, name string) (context.Context, func()) {
+	v, ok := ctx.Value(ctxKey{}).(ctxVal)
+	if !ok {
+		return ctx, func() {}
+	}
+	i := v.t.StartSpan(name, v.span)
+	return context.WithValue(ctx, ctxKey{}, ctxVal{t: v.t, span: i}), func() { v.t.EndSpan(i) }
+}
+
+// Ring is a lock-free ring buffer of the last N trace snapshots. Add is
+// one atomic increment plus one atomic pointer store; Snapshot walks
+// the slots newest-first.
+type Ring struct {
+	slots []atomic.Pointer[TraceData]
+	next  atomic.Uint64
+}
+
+// NewRing builds a ring holding up to n traces (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[TraceData], n)}
+}
+
+// Add publishes a trace snapshot, displacing the oldest.
+func (r *Ring) Add(td *TraceData) {
+	if td == nil {
+		return
+	}
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(td)
+}
+
+// Snapshot returns up to max traces, newest first (max <= 0 means all).
+func (r *Ring) Snapshot(max int) []*TraceData {
+	n := len(r.slots)
+	if max <= 0 || max > n {
+		max = n
+	}
+	out := make([]*TraceData, 0, max)
+	head := r.next.Load()
+	for i := 0; i < n && len(out) < max; i++ {
+		// Walk backwards from the most recently written slot.
+		idx := (head + uint64(n) - 1 - uint64(i)) % uint64(n)
+		if td := r.slots[idx].Load(); td != nil {
+			out = append(out, td)
+		}
+	}
+	return out
+}

@@ -47,6 +47,7 @@ type regState struct {
 }
 
 type classState struct {
+	f     *File // owning file, for allocation-activity accounting
 	spec  Class
 	regs  map[int]*regState
 	under *classState
@@ -64,6 +65,52 @@ type classState struct {
 type File struct {
 	classes map[string]*classState
 	clock   int64
+
+	// Allocation-activity accounting since the last ResetStats: the raw
+	// material of the register-pressure and eviction metrics. live counts
+	// busy managed registers right now; the rest accumulate per run.
+	live      int
+	peakLive  int
+	allocs    int64
+	evictions int64
+}
+
+// RunStats reports the register file's allocation activity since the
+// last ResetStats.
+type RunStats struct {
+	Allocs    int64 // registers allocated by using/need (pairs count both members)
+	Evictions int64 // need displacements the caller materialized as moves
+	PeakLive  int   // maximum simultaneously busy managed registers
+	Live      int   // busy managed registers right now
+}
+
+// RunStats returns the activity counters.
+func (f *File) RunStats() RunStats {
+	return RunStats{Allocs: f.allocs, Evictions: f.evictions, PeakLive: f.peakLive, Live: f.live}
+}
+
+// ResetStats zeroes the activity counters. Reset deliberately does not:
+// blocked-parse recovery resets the file mid-translation, and the
+// run's statistics must survive it.
+func (f *File) ResetStats() {
+	f.live, f.peakLive, f.allocs, f.evictions = 0, 0, 0, 0
+}
+
+// noteAlloc records one free->busy transition made on behalf of the
+// translation (an allocation, not an eviction transfer).
+func (f *File) noteAlloc() {
+	f.live++
+	f.allocs++
+	if f.live > f.peakLive {
+		f.peakLive = f.live
+	}
+}
+
+// noteFree records one busy->free transition.
+func (f *File) noteFree() {
+	if f.live > 0 {
+		f.live--
+	}
 }
 
 // New builds a register file from class descriptions.
@@ -73,7 +120,7 @@ func New(classes []Class) (*File, error) {
 		if _, dup := f.classes[c.Name]; dup {
 			return nil, fmt.Errorf("regalloc: class %q declared twice", c.Name)
 		}
-		cs := &classState{spec: c, regs: make(map[int]*regState)}
+		cs := &classState{f: f, spec: c, regs: make(map[int]*regState)}
 		if !c.Pair && !c.Flag {
 			for _, n := range c.Regs {
 				cs.regs[n] = &regState{}
@@ -208,6 +255,9 @@ func (f *File) Need(class string, n int) (mv Move, evicted bool, err error) {
 		dst := cs.regs[to]
 		dst.busy, dst.uses, dst.stamp = true, r.uses, f.clock
 		r.busy, r.uses = false, 0
+		// The contents moved rather than a register being freed or newly
+		// allocated, so live is unchanged; only the eviction is counted.
+		f.evictions++
 		mv, evicted = Move{Class: class, From: n, To: to}, true
 	}
 	cs.alloc(n, f.clock)
@@ -245,6 +295,7 @@ func (cs *classState) alloc(n int, clock int64) {
 	r.busy = true
 	r.uses = 1
 	r.stamp = clock
+	cs.f.noteAlloc()
 }
 
 // Managed reports whether register n of the class is under allocator
@@ -291,6 +342,7 @@ func (f *File) DecUse(class string, n int) bool {
 	if r.uses <= 0 {
 		r.busy = false
 		r.uses = 0
+		f.noteFree()
 		return true
 	}
 	return false
@@ -307,6 +359,9 @@ func (f *File) FreePair(class string, even int) error {
 	}
 	for _, n := range []int{even, even + 1} {
 		if r := cs.under.regs[n]; r != nil {
+			if r.busy {
+				f.noteFree()
+			}
 			r.busy, r.uses = false, 0
 		}
 	}
@@ -325,11 +380,17 @@ func (f *File) ConvertOdd(class string, even int) (int, error) {
 		return 0, fmt.Errorf("regalloc: class %q is not a pair class", class)
 	}
 	if r := cs.under.regs[even]; r != nil {
+		if r.busy {
+			f.noteFree()
+		}
 		r.busy, r.uses = false, 0
 	}
 	odd := cs.under.regs[even+1]
 	if odd == nil {
 		return 0, fmt.Errorf("regalloc: register %d is not managed in class %q", even+1, cs.spec.Under)
+	}
+	if !odd.busy {
+		f.noteAlloc()
 	}
 	odd.busy, odd.uses, odd.stamp = true, 1, f.clock
 	return even + 1, nil
@@ -346,11 +407,17 @@ func (f *File) ConvertEven(class string, even int) (int, error) {
 		return 0, fmt.Errorf("regalloc: class %q is not a pair class", class)
 	}
 	if r := cs.under.regs[even+1]; r != nil {
+		if r.busy {
+			f.noteFree()
+		}
 		r.busy, r.uses = false, 0
 	}
 	ev := cs.under.regs[even]
 	if ev == nil {
 		return 0, fmt.Errorf("regalloc: register %d is not managed in class %q", even, cs.spec.Under)
+	}
+	if !ev.busy {
+		f.noteAlloc()
 	}
 	ev.busy, ev.uses, ev.stamp = true, 1, f.clock
 	return even, nil
@@ -404,9 +471,12 @@ func (f *File) FreeCount(class string) int {
 	return n
 }
 
-// Reset frees every register; use between compilation units.
+// Reset frees every register; use between compilation units (and by
+// blocked-parse recovery mid-unit — which is why the activity counters
+// survive, cleared separately by ResetStats).
 func (f *File) Reset() {
 	f.clock = 0
+	f.live = 0
 	for _, cs := range f.classes {
 		for _, r := range cs.regs {
 			*r = regState{}

@@ -30,6 +30,12 @@ type CompileRequest struct {
 	// intermediate form alongside the listing (pascal only).
 	Deck bool `json:"deck,omitempty"`
 	IF   bool `json:"if,omitempty"`
+	// Explain requests the derivation provenance — every emitted
+	// instruction mapped to the production, template, and operand
+	// sources that produced it — alongside the listing. Costs one extra
+	// recording translation per unit, so it is opt-in; blocked parses
+	// return their partial derivation on the 422 regardless.
+	Explain bool `json:"explain,omitempty"`
 	// DeadlineMillis bounds this request's wall time; 0 means the
 	// daemon's default. A request past its deadline fails with 504.
 	DeadlineMillis int `json:"deadline_ms,omitempty"`
@@ -63,6 +69,14 @@ type CompileResponse struct {
 	Instructions int      `json:"instructions"`
 	CodeBytes    int      `json:"code_bytes"`
 	Failure      *Failure `json:"failure,omitempty"`
+	// TraceID identifies this request's trace: the client's X-Trace-Id
+	// header when one was sent, a fresh ID otherwise. The span tree is
+	// retrievable from /v1/traces under this ID while it stays in the
+	// ring.
+	TraceID string `json:"trace_id,omitempty"`
+	// Derivation maps each emitted instruction to its producing
+	// production and template (requested via Explain).
+	Derivation []codegen.ProvEntry `json:"derivation,omitempty"`
 }
 
 // Failure is the wire form of one failed unit: the batch FailureMode
@@ -74,6 +88,10 @@ type Failure struct {
 	Message   string  `json:"message"`
 	Blocks    []Block `json:"blocks,omitempty"`
 	Truncated bool    `json:"truncated,omitempty"`
+	// Derivation is the partial derivation recorded up to the failure —
+	// on a blocked parse (422), the instructions the recovery emitted
+	// before and between the blocks, each attributed to its production.
+	Derivation []codegen.ProvEntry `json:"derivation,omitempty"`
 }
 
 // Block is the wire form of one codegen.BlockDiag.
@@ -99,6 +117,9 @@ type BatchRequest struct {
 type BatchResponse struct {
 	Results []CompileResponse `json:"results"`
 	Failed  int               `json:"failed"`
+	// TraceID identifies the batch's shared trace; each unit is a child
+	// span under the request span.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

@@ -12,6 +12,7 @@ import (
 	"cogg/internal/codegen"
 	"cogg/internal/ir"
 	"cogg/internal/labels"
+	"cogg/internal/obs"
 	"cogg/internal/shaper"
 )
 
@@ -26,21 +27,47 @@ const (
 // The executing worker is the only writer of resp/status and the only
 // closer of done; the handler reads resp only after done closes.
 type pending struct {
-	name   string
-	lang   lang
-	source string
-	opt    shaper.Options
-	deck   bool
-	showIF bool
-	mt     *modTarget
-	ctx    context.Context
+	name    string
+	lang    lang
+	source  string
+	opt     shaper.Options
+	deck    bool
+	showIF  bool
+	explain bool
+	mt      *modTarget
+	ctx     context.Context
+
+	// tr/unitSpan/queueSpan tie this unit into its request's trace: the
+	// unit span covers admission through finish, with a queue-wait child
+	// the executor closes when it picks the unit up.
+	tr        *obs.Trace
+	unitSpan  int
+	queueSpan int
 
 	resp   CompileResponse
 	status int
 	done   chan struct{}
 }
 
+// attachTrace parents this unit's spans under the request span.
+func (p *pending) attachTrace(tr *obs.Trace, parent int) {
+	p.tr = tr
+	p.unitSpan = tr.StartSpan("unit:"+p.name, parent)
+	p.queueSpan = tr.StartSpan("queue-wait", p.unitSpan)
+}
+
+// endQueue closes the queue-wait span; the executor calls it the moment
+// a micro-batch claims the unit.
+func (p *pending) endQueue() {
+	if p.tr != nil {
+		p.tr.EndSpan(p.queueSpan)
+	}
+}
+
 func (p *pending) finish(status int, resp CompileResponse) {
+	if p.tr != nil {
+		p.tr.EndSpan(p.unitSpan)
+	}
 	p.status = status
 	p.resp = resp
 	close(p.done)
@@ -97,6 +124,7 @@ func (s *Server) execute(group []*pending) {
 	parts := map[part][]*pending{}
 	order := []part{}
 	for _, p := range group {
+		p.endQueue()
 		if p.ctx.Err() != nil {
 			p.finish(http.StatusGatewayTimeout, CompileResponse{
 				Name:    p.name,
@@ -127,24 +155,54 @@ func (s *Server) execute(group []*pending) {
 func (s *Server) executeIF(mt *modTarget, ps []*pending) {
 	units := make([]batch.IFUnit, len(ps))
 	for i, p := range ps {
-		units[i] = batch.IFUnit{Name: p.name, Text: p.source}
+		units[i] = batch.IFUnit{Name: p.name, Text: p.source, Ctx: p.ctx}
 	}
 	results := s.svc.TranslateBatchWith(units, mt.translate)
 	for i, p := range ps {
 		r := results[i]
 		if r.Err != nil {
-			p.finish(StatusFor(r.Mode), CompileResponse{Name: p.name, Failure: failureFor(r.Err, r.Mode)})
+			f := failureFor(r.Err, r.Mode)
+			if r.Mode == batch.FailBlocked {
+				f.Derivation = explainUnit(p)
+			}
+			p.finish(StatusFor(r.Mode), CompileResponse{Name: p.name, Failure: f})
 			continue
 		}
-		p.finish(http.StatusOK, CompileResponse{
+		resp := CompileResponse{
 			Name:         p.name,
 			Listing:      r.Listing,
 			Tokens:       r.Tokens,
 			Reductions:   r.Reductions,
 			Instructions: r.Instructions,
 			CodeBytes:    r.CodeBytes,
-		})
+		}
+		if p.explain {
+			resp.Derivation = explainUnit(p)
+		}
+		p.finish(http.StatusOK, resp)
 	}
+}
+
+// explainUnit re-runs one unit with derivation recording on a fresh,
+// throwaway session, for diagnostics only: blocked-parse 422s attach
+// their partial derivation, and explain:true requests their full one.
+// Keeping recording off the pooled path preserves its zero-allocation
+// steady state; a blocked parse is cheap to repeat (it stops at the
+// block) and deterministic, so the re-run reproduces exactly the
+// instructions the failing attempt emitted. The recover guard means a
+// diagnostic re-run can never take down the executor goroutine.
+func explainUnit(p *pending) (prov []codegen.ProvEntry) {
+	defer func() { _ = recover() }()
+	if p.lang == langIF {
+		toks, err := ir.ParseTokens(p.source)
+		if err != nil {
+			return nil
+		}
+		_, prov, _, _ = p.mt.tgt.Explain(p.name, toks)
+		return prov
+	}
+	_, prov, _, _ = p.mt.tgt.ExplainSource(p.name, p.source, p.opt)
+	return prov
 }
 
 // translate is the pooled-session unit translator handed to
@@ -170,7 +228,11 @@ func translateSession(t *modTarget, ses *codegen.Session, u batch.IFUnit) batch.
 	if err != nil {
 		return batch.IFResult{Name: u.Name, Err: err}
 	}
-	prog, res, err := ses.Generate(u.Name, toks)
+	ctx := u.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prog, res, err := ses.GenerateCtx(ctx, u.Name, toks)
 	if err != nil {
 		return batch.IFResult{Name: u.Name, Err: err}
 	}
@@ -194,13 +256,17 @@ func translateSession(t *modTarget, ses *codegen.Session, u batch.IFUnit) batch.
 func (s *Server) executePascal(mt *modTarget, ps []*pending) {
 	units := make([]batch.Unit, len(ps))
 	for i, p := range ps {
-		units[i] = batch.Unit{Name: p.name, Source: p.source, Opt: p.opt}
+		units[i] = batch.Unit{Name: p.name, Source: p.source, Opt: p.opt, Ctx: p.ctx}
 	}
 	results := s.svc.CompileBatch(mt.tgt, units)
 	for i, p := range ps {
 		r := results[i]
 		if r.Err != nil {
-			p.finish(StatusFor(r.Mode), CompileResponse{Name: p.name, Failure: failureFor(r.Err, r.Mode)})
+			f := failureFor(r.Err, r.Mode)
+			if r.Mode == batch.FailBlocked {
+				f.Derivation = explainUnit(p)
+			}
+			p.finish(StatusFor(r.Mode), CompileResponse{Name: p.name, Failure: f})
 			continue
 		}
 		c := r.Compiled
@@ -214,6 +280,9 @@ func (s *Server) executePascal(mt *modTarget, ps []*pending) {
 		}
 		if p.showIF {
 			resp.IF = ir.FormatTokens(c.Tokens)
+		}
+		if p.explain {
+			resp.Derivation = explainUnit(p)
 		}
 		if p.deck {
 			var b strings.Builder

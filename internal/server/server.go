@@ -21,8 +21,18 @@
 //	POST /v1/batch     many units as one batch, results in input order
 //	GET  /healthz      "ok" while serving, 503 while draining
 //	GET  /varz         server, pool, and batch statistics as JSON
+//	GET  /metrics      Prometheus text exposition (see Registry)
+//	GET  /v1/traces    the last traces' span trees as JSON, newest first
 //	GET  /debug/vars   the expvar registry (includes the batch counters)
 //	GET  /debug/pprof  profiling handlers, when Options.EnablePprof
+//
+// Every request is traced: phase spans (queue-wait, then the pipeline's
+// frontend/shape/parse-reduce/regalloc/emit/assemble) collect under a
+// per-request trace whose ID comes from the client's X-Trace-Id header
+// when sent, and is returned in the response header and body either
+// way. The last TraceRing traces are browsable at /v1/traces; requests
+// slower than SlowThreshold additionally log their span tree plus the
+// failure mode.
 package server
 
 import (
@@ -30,16 +40,21 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"cogg/internal/batch"
+	"cogg/internal/codegen"
 	"cogg/internal/driver"
 	"cogg/internal/ifopt"
+	"cogg/internal/obs"
 	"cogg/internal/rt370"
 	"cogg/internal/shaper"
 	"cogg/specs"
@@ -89,6 +104,19 @@ type Options struct {
 	StatsName string
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+
+	// Registry receives the daemon's metrics (and the batch service's,
+	// and each spec's code generation instruments); nil builds a fresh
+	// one. Exposed at /metrics in Prometheus text format.
+	Registry *obs.Registry
+	// TraceRing is how many finished request traces /v1/traces retains;
+	// <= 0 means 64.
+	TraceRing int
+	// SlowThreshold logs the full span tree of any request slower than
+	// this; 0 disables slow-request logging.
+	SlowThreshold time.Duration
+	// SlowLog is where slow-request span trees go; nil means stderr.
+	SlowLog io.Writer
 }
 
 func (o *Options) fill() {
@@ -120,6 +148,15 @@ func (o *Options) fill() {
 	if o.StatsName == "" {
 		o.StatsName = "cogd.batch"
 	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	if o.TraceRing <= 0 {
+		o.TraceRing = 64
+	}
+	if o.SlowLog == nil {
+		o.SlowLog = os.Stderr
+	}
 }
 
 // Server is the daemon. Build one with New, expose Handler on an
@@ -148,6 +185,9 @@ type Server struct {
 
 	gate  drainGate
 	stats serverStats
+
+	reg  *obs.Registry
+	ring *obs.Ring
 }
 
 // modTarget is one specification's serving state: the instantiated
@@ -175,16 +215,56 @@ func New(opts Options) (*Server, error) {
 		queue:         make(chan *pending, opts.QueueBound),
 		stop:          make(chan struct{}),
 		collectorDone: make(chan struct{}),
+		reg:           opts.Registry,
+		ring:          obs.NewRing(opts.TraceRing),
 	}
 	if err := s.svc.Stats.Publish(opts.StatsName); err != nil {
 		return nil, err
 	}
+	s.svc.RegisterMetrics(s.reg)
+	s.registerServerMetrics()
 	if _, err := s.target(""); err != nil {
 		return nil, err
 	}
 	s.buildMux()
 	go s.collect()
 	return s, nil
+}
+
+// Registry exposes the daemon's metric registry (tests scrape it
+// without HTTP; embedding servers merge it into their own exposition).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// registerServerMetrics bridges the daemon-level counters into the
+// registry, read from the existing atomics at exposition time.
+func (s *Server) registerServerMetrics() {
+	outcomes := "Requests by admission outcome (accepted counts every admitted unit; the others are terminal outcomes)."
+	for _, o := range []struct {
+		name string
+		v    func() int64
+	}{
+		{"accepted", s.stats.Accepted.Load},
+		{"completed", s.stats.Completed.Load},
+		{"failed", s.stats.Failed.Load},
+		{"timed_out", s.stats.TimedOut.Load},
+		{"rejected_queue_full", s.stats.RejectedQueueFull.Load},
+		{"rejected_draining", s.stats.RejectedDraining.Load},
+	} {
+		s.reg.CounterFunc("cogd_requests_total", outcomes, obs.L("outcome", o.name), o.v)
+	}
+	s.reg.CounterFunc("cogd_microbatches_total",
+		"Micro-batches dispatched by the collector.", "", s.stats.Batches.Load)
+	s.reg.CounterFunc("cogd_microbatch_units_total",
+		"Units dispatched inside micro-batches.", "", s.stats.BatchedUnits.Load)
+	s.reg.GaugeFunc("cogd_queue_depth",
+		"Requests waiting for a micro-batch slot.", "",
+		func() float64 { return float64(len(s.queue)) })
+	s.reg.GaugeFunc("cogd_inflight_units",
+		"Units admitted and not yet answered.", "",
+		func() float64 { return float64(s.admitted.Load()) })
+	s.reg.GaugeFunc("cogd_uptime_seconds",
+		"Seconds since the daemon built its tables.", "",
+		func() float64 { return time.Since(s.start).Seconds() })
 }
 
 // Service exposes the underlying batch service (its statistics in
@@ -242,21 +322,46 @@ func (s *Server) target(spec string) (*modTarget, error) {
 	}
 	cfg.MaxStackDepth = s.opts.MaxStackDepth
 	cfg.MaxCodeBytes = s.opts.MaxCodeBytes
+	cfg.Metrics = codegen.NewMetrics(s.reg, name)
 	tgt, err := s.svc.Target(name, src, cfg)
 	if err != nil {
 		return nil, err
 	}
 	mt := &modTarget{specName: name, tgt: tgt, pool: newSessionPool(tgt.Gen, s.opts.PoolSize)}
 	s.targets[name] = mt
+	s.registerPoolMetrics(mt)
 	return mt, nil
+}
+
+// registerPoolMetrics bridges one spec's session-pool counters into the
+// registry.
+func (s *Server) registerPoolMetrics(mt *modTarget) {
+	events := "Session pool events by spec: created (fresh build), reused (from the free list), discarded (failed translation or full list)."
+	p := mt.pool
+	for _, e := range []struct {
+		event string
+		v     func() int64
+	}{
+		{"created", p.created.Load},
+		{"reused", p.reused.Load},
+		{"discarded", p.discarded.Load},
+	} {
+		s.reg.CounterFunc("cogd_sessions_total", events,
+			obs.L("spec", mt.specName, "event", e.event), e.v)
+	}
+	s.reg.GaugeFunc("cogd_session_pool_free",
+		"Reusable sessions on the free list.", obs.L("spec", mt.specName),
+		func() float64 { return float64(len(p.free)) })
 }
 
 func (s *Server) buildMux() {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/compile", s.handleCompile)
-	mux.HandleFunc("/v1/batch", s.handleBatch)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/varz", s.handleVarz)
+	mux.Handle("/v1/compile", s.instrument("/v1/compile", s.handleCompile))
+	mux.Handle("/v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("/varz", s.instrument("/varz", s.handleVarz))
+	mux.Handle("/metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.Handle("/v1/traces", s.instrument("/v1/traces", s.handleTraces))
 	mux.Handle("/debug/vars", expvar.Handler())
 	if s.opts.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -268,6 +373,65 @@ func (s *Server) buildMux() {
 	s.mux = mux
 }
 
+// instrument wraps a handler with per-endpoint HTTP metrics: request
+// counts by status class and a latency histogram. The instruments are
+// resolved once per endpoint at mux construction, so the per-request
+// cost is one histogram observation and one counter add.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	lat := s.reg.Histogram("cogd_http_request_seconds",
+		"HTTP request latency by endpoint, in seconds.",
+		obs.L("endpoint", endpoint), obs.LatencyBuckets)
+	classes := [5]*obs.Counter{}
+	for i := range classes {
+		classes[i] = s.reg.Counter("cogd_http_requests_total",
+			"HTTP requests by endpoint and status class.",
+			obs.L("endpoint", endpoint, "class", strconv.Itoa(i+1)+"xx"))
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		lat.ObserveDuration(time.Since(t0))
+		if c := sw.status/100 - 1; c >= 0 && c < len(classes) {
+			classes[c].Inc()
+		}
+	})
+}
+
+// statusWriter captures the response status for the HTTP metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteText(w)
+}
+
+// TracesResponse is the /v1/traces payload: span trees newest first.
+type TracesResponse struct {
+	Traces []*obs.TraceData `json:"traces"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 0 // all retained traces
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "n must be a non-negative integer")
+			return
+		}
+		n = v
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: s.ring.Snapshot(n)})
+}
+
 // admit validates one request and stages it as a pending unit. It does
 // not enqueue.
 func (s *Server) admit(req *CompileRequest) (*pending, error) {
@@ -276,12 +440,13 @@ func (s *Server) admit(req *CompileRequest) (*pending, error) {
 		return nil, err
 	}
 	p := &pending{
-		name:   req.Name,
-		source: req.Source,
-		mt:     mt,
-		deck:   req.Deck,
-		showIF: req.IF,
-		done:   make(chan struct{}),
+		name:    req.Name,
+		source:  req.Source,
+		mt:      mt,
+		deck:    req.Deck,
+		showIF:  req.IF,
+		explain: req.Explain,
+		done:    make(chan struct{}),
 	}
 	if p.name == "" {
 		p.name = "unit"
@@ -331,28 +496,43 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	defer s.gate.exit()
 	s.stats.Accepted.Add(1)
 
+	// The trace starts before decoding so queue-full and bad-body
+	// rejections leave an inspectable (if span-less) record. The ID is
+	// echoed in the header even on errors.
+	t0 := time.Now()
+	tr := obs.NewTrace(r.Header.Get("X-Trace-Id"), "compile")
+	reqSpan := tr.StartSpan("request", -1)
+	w.Header().Set("X-Trace-Id", tr.ID())
+	failMode := ""
+	defer func() { s.finishTrace(tr, reqSpan, failMode, time.Since(t0)) }()
+
 	var req CompileRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)).Decode(&req); err != nil {
 		s.stats.Failed.Add(1)
+		failMode = "bad-request"
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	p, err := s.admit(&req)
 	if err != nil {
 		s.stats.Failed.Add(1)
+		failMode = "bad-request"
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	tr.SetName(p.name)
 	if s.admitted.Add(1) > int64(s.opts.QueueBound) {
 		s.admitted.Add(-1)
 		s.stats.RejectedQueueFull.Add(1)
+		failMode = "queue-full"
 		writeError(w, http.StatusTooManyRequests, "compilation queue is full")
 		return
 	}
 	defer s.admitted.Add(-1)
 	ctx, cancel := s.requestContext(r, req.DeadlineMillis)
 	defer cancel()
-	p.ctx = ctx
+	p.attachTrace(tr, reqSpan)
+	p.ctx = obs.ContextWith(ctx, tr, p.unitSpan)
 
 	select {
 	case s.queue <- p:
@@ -360,21 +540,44 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		// Unreachable while admission holds: the queue's capacity is the
 		// admission bound.
 		s.stats.RejectedQueueFull.Add(1)
+		failMode = "queue-full"
 		writeError(w, http.StatusTooManyRequests, "compilation queue is full")
 		return
 	}
 	select {
 	case <-p.done:
+		p.resp.TraceID = tr.ID()
+		if p.resp.Failure != nil {
+			failMode = p.resp.Failure.Mode
+		}
 		s.writeResult(w, p)
 	case <-ctx.Done():
 		// The unit may still finish inside the pool; its result is
 		// dropped. The batch service's own per-unit deadline bounds how
-		// long it can linger.
+		// long it can linger. Its unit span stays unfinished in the
+		// trace, which is exactly what a timeout looks like.
 		s.stats.TimedOut.Add(1)
+		failMode = batch.FailTimeout.String()
 		writeJSON(w, http.StatusGatewayTimeout, CompileResponse{
 			Name:    p.name,
+			TraceID: tr.ID(),
 			Failure: &Failure{Mode: batch.FailTimeout.String(), Message: "deadline exceeded before compilation finished"},
 		})
+	}
+}
+
+// finishTrace ends the request span, records the snapshot in the
+// /v1/traces ring, and — past the slow threshold — logs the span tree
+// with the failure mode.
+func (s *Server) finishTrace(tr *obs.Trace, reqSpan int, failMode string, elapsed time.Duration) {
+	tr.EndSpan(reqSpan)
+	if failMode != "" {
+		tr.SetFailure(failMode)
+	}
+	td := tr.Snapshot()
+	s.ring.Add(td)
+	if s.opts.SlowThreshold > 0 && elapsed >= s.opts.SlowThreshold {
+		fmt.Fprintf(s.opts.SlowLog, "cogd: slow request (%v):\n%s", elapsed, td.Tree())
 	}
 }
 
@@ -390,18 +593,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.gate.exit()
 
+	t0 := time.Now()
+	tr := obs.NewTrace(r.Header.Get("X-Trace-Id"), "batch")
+	reqSpan := tr.StartSpan("request", -1)
+	w.Header().Set("X-Trace-Id", tr.ID())
+	failMode := ""
+	defer func() { s.finishTrace(tr, reqSpan, failMode, time.Since(t0)) }()
+
 	var req BatchRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)).Decode(&req); err != nil {
+		failMode = "bad-request"
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	if len(req.Units) == 0 {
+		failMode = "bad-request"
 		writeError(w, http.StatusBadRequest, "batch has no units")
 		return
 	}
 	if s.admitted.Add(int64(len(req.Units))) > int64(s.opts.QueueBound) {
 		s.admitted.Add(-int64(len(req.Units)))
 		s.stats.RejectedQueueFull.Add(1)
+		failMode = "queue-full"
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("batch of %d units exceeds the admission capacity (%d)", len(req.Units), s.opts.QueueBound))
 		return
@@ -415,10 +628,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Units {
 		p, err := s.admit(&req.Units[i])
 		if err != nil {
+			failMode = "bad-request"
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("unit %d: %v", i, err))
 			return
 		}
-		p.ctx = ctx
+		p.attachTrace(tr, reqSpan)
+		p.ctx = obs.ContextWith(ctx, tr, p.unitSpan)
 		ps[i] = p
 	}
 
@@ -433,10 +648,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	case <-done:
 	case <-ctx.Done():
 		s.stats.TimedOut.Add(int64(len(ps)))
+		failMode = batch.FailTimeout.String()
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded before the batch finished")
 		return
 	}
-	resp := BatchResponse{Results: make([]CompileResponse, len(ps))}
+	resp := BatchResponse{Results: make([]CompileResponse, len(ps)), TraceID: tr.ID()}
 	for i, p := range ps {
 		resp.Results[i] = p.resp
 		if p.resp.Failure != nil {
