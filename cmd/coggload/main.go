@@ -12,6 +12,10 @@
 //	-lang L       request language: pascal (default) or if
 //	-src FILE     request source; default is an embedded Pascal program
 //	              (or an embedded IF stream with -lang if)
+//	-synth DIR    cycle request bodies through the *.if corpus files in
+//	              DIR (as written by ifsynth -out), implying -lang if:
+//	              load with grammar-wide variety instead of one fixed
+//	              program
 //	-spec NAME    spec the requests select (daemon default when empty)
 //	-n N          closed loop: total requests (default 500)
 //	-c N          closed loop: concurrent workers (default 8)
@@ -46,6 +50,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -90,6 +95,7 @@ func main() {
 	url := flag.String("url", "http://127.0.0.1:8470", "daemon base URL")
 	lang := flag.String("lang", "pascal", "request language: pascal or if")
 	srcFile := flag.String("src", "", "request source file (default: embedded)")
+	synthDir := flag.String("synth", "", "directory of *.if corpus files to cycle through (implies -lang if)")
 	spec := flag.String("spec", "", "spec the requests select")
 	n := flag.Int("n", 500, "closed loop: total requests")
 	c := flag.Int("c", 8, "closed loop: concurrent workers")
@@ -102,6 +108,12 @@ func main() {
 	note := flag.String("note", "", "note stored in the JSON summary")
 	flag.Parse()
 
+	if *synthDir != "" {
+		if *srcFile != "" {
+			fatal(fmt.Errorf("-synth and -src are mutually exclusive"))
+		}
+		*lang = "if"
+	}
 	source := defaultPascal
 	if *lang == "if" {
 		source = defaultIF
@@ -115,6 +127,13 @@ func main() {
 		}
 		source = string(b)
 	}
+	sources := []string{source}
+	if *synthDir != "" {
+		var err error
+		if sources, err = loadSynthCorpus(*synthDir); err != nil {
+			fatal(err)
+		}
+	}
 	if *warmup < 0 {
 		*warmup = 2 * *c
 	}
@@ -122,21 +141,27 @@ func main() {
 		*benchName = "BenchmarkLoadCompile/" + *lang
 	}
 
-	body, err := json.Marshal(map[string]any{
-		"name":        "load." + *lang,
-		"lang":        *lang,
-		"source":      source,
-		"spec":        *spec,
-		"deadline_ms": int(deadline.Milliseconds()),
-	})
-	if err != nil {
-		fatal(err)
+	bodies := make([][]byte, len(sources))
+	for i, src := range sources {
+		body, err := json.Marshal(map[string]any{
+			"name":        "load." + *lang,
+			"lang":        *lang,
+			"source":      src,
+			"spec":        *spec,
+			"deadline_ms": int(deadline.Milliseconds()),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		bodies[i] = body
 	}
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        4 * *c,
 		MaxIdleConnsPerHost: 4 * *c,
 	}}
+	var bodyNext atomic.Int64
 	shoot := func() result {
+		body := bodies[int(bodyNext.Add(1)-1)%len(bodies)]
 		t0 := time.Now()
 		resp, err := client.Post(*url+"/v1/compile", "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -355,6 +380,29 @@ func sortedStatuses(m map[int][]time.Duration) []int {
 	}
 	sort.Ints(ks)
 	return ks
+}
+
+// loadSynthCorpus reads every *.if file under dir (an ifsynth -out
+// corpus) in name order, so the workers cycle through the whole
+// grammar's worth of program shapes instead of hammering one body.
+func loadSynthCorpus(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.if"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("-synth %s: no *.if corpus files", dir)
+	}
+	sort.Strings(paths)
+	sources := make([]string, len(paths))
+	for i, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		sources[i] = string(b)
+	}
+	return sources, nil
 }
 
 func fatal(err error) {

@@ -19,6 +19,12 @@ type BlockDiag struct {
 	Lookahead string   // offending token, or "$end" at end of input
 	Stack     []string // parse stack symbol names, bottom first
 	Reason    string   // why the parse cannot proceed
+	// Expected lists every IF symbol the specification could have
+	// accepted at this point instead (plus "$end" when the program
+	// could have ended), in symbol-id order — the specification hole's
+	// shape, computed by simulating each symbol's reduce cascade
+	// against the blocked stack.
+	Expected []string
 }
 
 func (d BlockDiag) String() string {
@@ -30,6 +36,9 @@ func (d BlockDiag) String() string {
 		d.Pos, d.State, d.Lookahead, stack, d.Reason)
 	if d.Stmt > 0 {
 		s = fmt.Sprintf("statement %d, %s", d.Stmt, s)
+	}
+	if len(d.Expected) > 0 {
+		s += "; expected one of: " + strings.Join(d.Expected, " ")
 	}
 	return s
 }

@@ -1,0 +1,89 @@
+package codegen
+
+import (
+	"cogg/internal/grammar"
+	"cogg/internal/lr"
+)
+
+// expectedBound caps the reductions simulated while probing one symbol.
+// Glanville's construction admits only uniformly reducible grammars,
+// whose cascades are short; the bound keeps a corrupt table from
+// looping the probe.
+const expectedBound = 1 << 14
+
+// expectedSymbols computes, for the blocked parse stack, every IF
+// symbol the specification could have accepted instead — plus "$end"
+// when the program could have ended here. A table probe alone is not
+// the answer: a Reduce action pops the stack and re-dispatches, and the
+// cascade may dead-end several reductions later, so each symbol is
+// simulated to completion against a scratch copy of the state stack,
+// mirroring the parse loop. Names come back in symbol-id order, "$end"
+// last, so the diagnostic is deterministic and directly comparable to
+// the grammar oracle's legal-next set.
+func (r *run) expectedSymbols() []string {
+	var out []string
+	for _, s := range r.gr.Syms {
+		switch s.Kind {
+		case grammar.Operator, grammar.Terminal, grammar.Nonterminal:
+		default:
+			continue
+		}
+		if s.ID == r.gr.Lambda {
+			continue
+		}
+		if r.wouldAccept(s.ID) {
+			out = append(out, s.Name)
+		}
+	}
+	if r.wouldAccept(r.g.eofSym) {
+		out = append(out, "$end")
+	}
+	return out
+}
+
+// wouldAccept simulates dispatching sym against a copy of the parse
+// stack's states: shifts, reduce cascades with pushback, lambda
+// reductions (legal only with the stack back at the statement bottom),
+// and Accept (legal only for the end marker at the bottom).
+func (r *run) wouldAccept(sym int) bool {
+	states := make([]int, 0, len(r.stack))
+	for _, e := range r.stack {
+		states = append(states, e.state)
+	}
+	pending := []int{sym}
+	for steps := 0; steps < expectedBound; steps++ {
+		look := pending[len(pending)-1]
+		var act lr.Action
+		if r.dense != nil {
+			act = r.dense.Lookup(states[len(states)-1], look)
+		} else {
+			act = r.packed.Lookup(states[len(states)-1], look)
+		}
+		switch act.Kind() {
+		case lr.Shift:
+			states = append(states, act.Target())
+			pending = pending[:len(pending)-1]
+			if len(pending) == 0 {
+				return true
+			}
+		case lr.Accept:
+			return len(pending) == 1 && len(states) == 1
+		case lr.Reduce:
+			p := r.gr.Prods[act.Target()]
+			if len(p.RHS) > len(states)-1 {
+				return false
+			}
+			states = states[:len(states)-len(p.RHS)]
+			if p.LHS == r.gr.Lambda {
+				if len(states) != 1 {
+					return false
+				}
+				continue
+			}
+			pending = append(pending, p.LHS)
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -313,7 +313,7 @@ func (r *run) finish() error {
 // run, not to salvage the translation.
 func (r *run) block(tok ir.Token, haveTok bool, reason string) bool {
 	d := BlockDiag{Pos: r.input.pos, Stmt: r.stmtNum, State: r.top().state,
-		Lookahead: "$end", Reason: reason}
+		Lookahead: "$end", Reason: reason, Expected: r.expectedSymbols()}
 	if haveTok {
 		d.Lookahead = tok.String()
 	}

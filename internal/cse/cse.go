@@ -8,7 +8,10 @@
 // interpretations fall back to the memory home.
 package cse
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Width is the storage format of a CSE's memory home.
 type Width string
@@ -87,7 +90,11 @@ func (t *Table) Use(id int64) (*Entry, bool, error) {
 	return e, true, nil
 }
 
-// HeldIn returns the live entries whose register home is (class, reg).
+// HeldIn returns the live entries whose register home is (class, reg),
+// in CSE-number order. The order is part of the output contract: a
+// `modifies` that evicts several CSEs from one register emits one save
+// per entry, and those stores must land identically on every
+// translation of the same unit.
 func (t *Table) HeldIn(class string, reg int) []*Entry {
 	var out []*Entry
 	for _, e := range t.entries {
@@ -95,6 +102,7 @@ func (t *Table) HeldIn(class string, reg int) []*Entry {
 			out = append(out, e)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

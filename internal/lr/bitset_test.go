@@ -1,0 +1,102 @@
+package lr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestSymSetMatchesMapReference drives SymSet and a map[int]bool
+// reference through the same random operation sequence and checks they
+// never disagree. Universe sizes straddle the 64-bit word boundary —
+// 63, 64, 65 — where the word-index and in-word-bit arithmetic is
+// easiest to get wrong.
+func TestSymSetMatchesMapReference(t *testing.T) {
+	for _, universe := range []int{1, 63, 64, 65, 130, 200} {
+		t.Run(fmt.Sprintf("u%d", universe), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(universe)))
+			set := NewSymSet(universe)
+			ref := map[int]bool{}
+			for step := 0; step < 4000; step++ {
+				id := rng.Intn(universe)
+				switch rng.Intn(3) {
+				case 0: // Add
+					changed := set.Add(id)
+					if changed == ref[id] {
+						t.Fatalf("step %d: Add(%d) changed=%v, reference had=%v", step, id, changed, ref[id])
+					}
+					ref[id] = true
+				case 1: // Has
+					if got := set.Has(id); got != ref[id] {
+						t.Fatalf("step %d: Has(%d)=%v, reference %v", step, id, got, ref[id])
+					}
+				case 2: // UnionWith a fresh random set
+					other := NewSymSet(universe)
+					otherRef := map[int]bool{}
+					for k := rng.Intn(8); k > 0; k-- {
+						m := rng.Intn(universe)
+						other.Add(m)
+						otherRef[m] = true
+					}
+					wantChanged := false
+					for m := range otherRef {
+						if !ref[m] {
+							wantChanged = true
+							ref[m] = true
+						}
+					}
+					if changed := set.UnionWith(other); changed != wantChanged {
+						t.Fatalf("step %d: UnionWith changed=%v, want %v", step, changed, wantChanged)
+					}
+				}
+				checkAgreement(t, step, universe, set, ref)
+			}
+		})
+	}
+}
+
+// checkAgreement compares Len, per-id Has, and ForEach order against
+// the map reference.
+func checkAgreement(t *testing.T, step, universe int, set SymSet, ref map[int]bool) {
+	t.Helper()
+	want := 0
+	for _, in := range ref {
+		if in {
+			want++
+		}
+	}
+	if got := set.Len(); got != want {
+		t.Fatalf("step %d: Len=%d, reference %d", step, got, want)
+	}
+	prev := -1
+	n := 0
+	set.ForEach(func(id int) {
+		if id <= prev {
+			t.Fatalf("step %d: ForEach out of order: %d after %d", step, id, prev)
+		}
+		if id < 0 || id >= universe {
+			t.Fatalf("step %d: ForEach yielded %d outside universe %d", step, id, universe)
+		}
+		if !ref[id] {
+			t.Fatalf("step %d: ForEach yielded %d not in reference", step, id)
+		}
+		prev = id
+		n++
+	})
+	if n != want {
+		t.Fatalf("step %d: ForEach yielded %d members, reference %d", step, n, want)
+	}
+}
+
+// TestSymSetHasOutOfRange pins that membership probes beyond the
+// allocated words answer false instead of panicking — Legal-set
+// consumers probe EOF ids at the top of the universe.
+func TestSymSetHasOutOfRange(t *testing.T) {
+	s := NewSymSet(64)
+	s.Add(63)
+	for _, id := range []int{64, 65, 128, 1 << 20} {
+		if s.Has(id) {
+			t.Errorf("Has(%d) = true on a 64-symbol universe", id)
+		}
+	}
+}

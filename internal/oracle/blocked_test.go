@@ -1,0 +1,114 @@
+package oracle_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cogg/internal/codegen"
+	"cogg/internal/grammar"
+	"cogg/internal/ir"
+	"cogg/internal/oracle"
+)
+
+// TestBlockedExpectedMatchesOracle is the blocked-parse differential:
+// take valid walker programs, corrupt one token's symbol, and — when
+// the corruption blocks the parser — check the code generator's
+// BlockDiag against the oracle. The two compute the legal-next set
+// independently (codegen simulates against its own parse stack, the
+// oracle against a cursor replaying the same prefix), so agreement
+// pins both the diagnostic and the oracle's cascade simulation.
+func TestBlockedExpectedMatchesOracle(t *testing.T) {
+	for _, sc := range specCases {
+		t.Run(sc.name, func(t *testing.T) {
+			o, gen := build(t, sc)
+			g := o.Grammar()
+			var names []string
+			for _, id := range ifSymbols(o) {
+				names = append(names, g.SymName(id))
+			}
+			w := oracle.NewWalker(o, 11, oracle.WalkConfig{})
+			rng := rand.New(rand.NewSource(23))
+			checked := 0
+			for i := 0; i < 120 && checked < 25; i++ {
+				toks, err := w.Program()
+				if err != nil {
+					continue
+				}
+				mut := append([]ir.Token(nil), toks...)
+				at := rng.Intn(len(mut))
+				mut[at].Sym = names[rng.Intn(len(names))]
+
+				_, _, err = gen.Generate("mut", mut)
+				var blocked *codegen.BlockedError
+				if !errors.As(err, &blocked) {
+					continue // still valid, or a semantic rejection
+				}
+				d := blocked.Blocks[0]
+
+				// Replay the same prefix on a fresh cursor; the first
+				// illegal index must be where the parser blocked.
+				c := o.NewCursor()
+				pos := len(mut)
+				for j, tok := range mut {
+					s, ok := g.Lookup(tok.Sym)
+					if !ok {
+						t.Fatalf("program %d: mutated token %q not in grammar", i, tok.Sym)
+					}
+					if !c.CanAdvance(s.ID) {
+						pos = j
+						break
+					}
+					if _, err := c.Advance(s.ID); err != nil {
+						t.Fatalf("program %d: replay failed at %d: %v", i, j, err)
+					}
+				}
+				if pos != d.Pos {
+					t.Fatalf("program %d: parser blocked at %d, oracle at %d\n%s",
+						i, d.Pos, pos, ir.FormatTokens(mut))
+				}
+
+				var want []string
+				legal := c.Legal(nil)
+				for _, id := range ifSymbols(o) {
+					if legal.Has(id) {
+						want = append(want, g.SymName(id))
+					}
+				}
+				if legal.Has(o.EOF()) {
+					want = append(want, "$end")
+				}
+				if len(want) != len(d.Expected) {
+					t.Fatalf("program %d pos %d: expected-set sizes differ: oracle %v vs diag %v",
+						i, pos, want, d.Expected)
+				}
+				for k := range want {
+					if want[k] != d.Expected[k] {
+						t.Fatalf("program %d pos %d: expected sets differ: oracle %v vs diag %v",
+							i, pos, want, d.Expected)
+					}
+				}
+				checked++
+			}
+			if checked < 10 {
+				t.Fatalf("only %d mutations blocked the parser; mutation scheme too weak", checked)
+			}
+		})
+	}
+}
+
+// ifSymbols lists the oracle's IF symbol universe in id order.
+func ifSymbols(o *oracle.Oracle) []int {
+	var out []int
+	g := o.Grammar()
+	for _, s := range g.Syms {
+		if s.ID == g.Lambda {
+			continue
+		}
+		switch s.Kind {
+		case grammar.Operator, grammar.Terminal, grammar.Nonterminal:
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}

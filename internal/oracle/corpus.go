@@ -1,0 +1,432 @@
+package oracle
+
+import (
+	"fmt"
+
+	"cogg/internal/grammar"
+	"cogg/internal/ir"
+)
+
+// Verify checks a synthesized program against an authority (typically a
+// full code-generation session) and returns its per-production
+// reduction counts, indexed by 1-based production number as in
+// codegen.Result.ProdCounts. A non-nil error rejects the program.
+type Verify func(toks []ir.Token) (prodCounts []int, err error)
+
+// CorpusOptions tunes corpus generation.
+type CorpusOptions struct {
+	Walk WalkConfig
+	// Verify, when set, gates every program: rejected programs are
+	// dropped and regenerated, and accepted programs feed authoritative
+	// production coverage.
+	Verify Verify
+	// Retries bounds regeneration attempts per program slot. <= 0
+	// means 64.
+	Retries int
+}
+
+// CoverageReport summarizes which productions a corpus exercised.
+type CoverageReport struct {
+	Total     int // productions in the grammar
+	Reachable int // productions with at least one Reduce entry
+	Covered   int // reachable productions the corpus fired
+	// Uncovered lists reachable productions the corpus missed, as
+	// ProdString renderings.
+	Uncovered []string
+	// Dead lists productions with no Reduce entry in the packed table;
+	// no input whatsoever can fire them (see Oracle.ReachableProds).
+	Dead []string
+}
+
+// Full reports whether every reachable production was covered.
+func (r CoverageReport) Full() bool { return r.Covered == r.Reachable }
+
+// Corpus is the result of a generation run.
+type Corpus struct {
+	Programs [][]ir.Token
+	Report   CoverageReport
+}
+
+// Generate mass-produces n verified programs by random walk, then
+// targets any still-uncovered reachable productions with witness
+// programs (appended beyond n). Deterministic given the seed.
+func Generate(o *Oracle, seed int64, n int, opts CorpusOptions) (*Corpus, error) {
+	w := NewWalker(o, seed, opts.Walk)
+	retries := opts.Retries
+	if retries <= 0 {
+		retries = 64
+	}
+	c := &Corpus{}
+	for i := 0; i < n; i++ {
+		toks, err := w.nextVerified(opts.Verify, retries)
+		if err != nil {
+			return nil, fmt.Errorf("program %d: %w", i, err)
+		}
+		c.Programs = append(c.Programs, toks)
+	}
+	for _, pi := range w.UncoveredReachable() {
+		if w.covered[pi] {
+			continue // an earlier witness covered it incidentally
+		}
+		toks, err := w.witnessVerified(pi, opts.Verify, retries)
+		if err != nil {
+			continue // reported as uncovered below
+		}
+		c.Programs = append(c.Programs, toks)
+	}
+	c.Report = w.Coverage()
+	return c, nil
+}
+
+// nextVerified draws random-walk programs until one verifies.
+func (w *Walker) nextVerified(verify Verify, retries int) ([]ir.Token, error) {
+	var lastErr error
+	for a := 0; a < retries; a++ {
+		toks, err := w.Program()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if verify != nil {
+			counts, err := verify(toks)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			w.MarkCovered(counts)
+		} else {
+			w.commitProgram()
+		}
+		return toks, nil
+	}
+	return nil, fmt.Errorf("oracle: no verified program in %d attempts: %w", retries, lastErr)
+}
+
+// witnessVerified retries Witness against verification. The witness
+// construction is deterministic, but its finishing tail draws from the
+// PRNG, so retries can succeed where the first attempt's values failed.
+func (w *Walker) witnessVerified(prodIdx int, verify Verify, retries int) ([]ir.Token, error) {
+	var lastErr error
+	for a := 0; a < retries; a++ {
+		toks, err := w.Witness(prodIdx)
+		if err != nil {
+			return nil, err // structural: retrying cannot help
+		}
+		if verify != nil {
+			counts, err := verify(toks)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			w.MarkCovered(counts)
+		} else {
+			w.commitProgram()
+		}
+		return toks, nil
+	}
+	return nil, fmt.Errorf("oracle: witness for production %d never verified: %w", prodIdx, lastErr)
+}
+
+// Coverage renders the walker's coverage state.
+func (w *Walker) Coverage() CoverageReport {
+	g := w.o.Grammar()
+	r := CoverageReport{Total: len(g.Prods)}
+	for i, p := range g.Prods {
+		if !w.reachable[i] {
+			r.Dead = append(r.Dead, g.ProdString(p))
+			continue
+		}
+		r.Reachable++
+		if w.covered[i] {
+			r.Covered++
+		} else {
+			r.Uncovered = append(r.Uncovered, g.ProdString(p))
+		}
+	}
+	return r
+}
+
+// Witness builds a program whose parse fires production prodIdx, for
+// reachable productions the random walk missed. The construction is a
+// top-down minimal derivation: a context chain links a statement
+// (lambda-left-side) production down to the target through
+// "appears-in-the-right-side-of" edges, the chain's productions expand
+// the designated slots, and every other nonterminal expands through its
+// cheapest derivation. Because the grammar is prefix form, emitting the
+// derivation's frontier left to right yields a token stream the
+// bottom-up parser reduces back along the same tree — up to conflict
+// resolution, which the caller detects by checking the fired
+// productions; alternative context chains (one per occurrence of the
+// target's left side) are tried until one fires the target. The
+// statement-aligned priming prefix from the configuration runs first so
+// that derivations through common-subexpression uses are semantically
+// live.
+func (w *Walker) Witness(prodIdx int) ([]ir.Token, error) {
+	w.ensureDerivs()
+	chains := w.witnessChains(prodIdx)
+	if len(chains) == 0 {
+		return nil, fmt.Errorf("oracle: production %d has no statement context", prodIdx)
+	}
+	for _, chain := range chains {
+		w.resetProgram()
+		if err := w.replayPriming(); err != nil {
+			return nil, err
+		}
+		if !w.expandProd(chain, 0, 0) {
+			continue
+		}
+		if err := w.windDown(); err != nil {
+			continue
+		}
+		fired := false
+		for _, pi := range w.progProds {
+			if pi == prodIdx {
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			continue // a conflict-resolution twin fired instead
+		}
+		out := make([]ir.Token, len(w.toks))
+		copy(out, w.toks)
+		return out, nil
+	}
+	return nil, fmt.Errorf("oracle: no derivation context fires production %d", prodIdx)
+}
+
+// chainLink is one level of a witness context chain: production prod
+// expands, and its right-side slot (when >= 0) expands via the next
+// chain element instead of minimally.
+type chainLink struct{ prod, slot int }
+
+// ensureDerivs builds the derivation tables once per walker: the
+// cheapest token expansion per symbol and, per symbol, one minimal
+// statement context (the production-and-slot through which it first
+// becomes reachable from a lambda-left-side production).
+func (w *Walker) ensureDerivs() {
+	if w.dProd != nil {
+		return
+	}
+	g := w.o.Grammar()
+	n := len(g.Syms)
+	w.dProd = make([]int, n)
+	w.dCost = make([]int, n)
+	w.ctxProd = make([]int, n)
+	w.ctxSlot = make([]int, n)
+	for i := range w.dProd {
+		w.dProd[i], w.dCost[i] = -1, -1
+		w.ctxProd[i], w.ctxSlot[i] = -1, -1
+	}
+	for _, sym := range w.o.ifs {
+		if w.directToken(sym) {
+			w.dCost[sym] = 1
+		}
+	}
+	// Cheapest-expansion fixpoint. Costs only ever decrease and are
+	// bounded below by 1, so the chosen productions cannot cycle.
+	for changed := true; changed; {
+		changed = false
+		for pi, p := range g.Prods {
+			if g.IsLambda(p.LHS) {
+				continue
+			}
+			sum := 0
+			ok := true
+			for _, r := range p.RHS {
+				if w.dCost[r] < 0 {
+					ok = false
+					break
+				}
+				sum += w.dCost[r]
+			}
+			if ok && (w.dCost[p.LHS] < 0 || sum < w.dCost[p.LHS]) {
+				w.dCost[p.LHS] = sum
+				w.dProd[p.LHS] = pi
+				changed = true
+			}
+		}
+	}
+	// Statement-context breadth-first search, lambda productions first,
+	// so every context chain terminates at a statement root.
+	var queue []int
+	place := func(sym, pi, slot int) {
+		if w.ctxProd[sym] == -1 {
+			w.ctxProd[sym], w.ctxSlot[sym] = pi, slot
+			queue = append(queue, sym)
+		}
+	}
+	for pi, p := range g.Prods {
+		if g.IsLambda(p.LHS) {
+			for j, r := range p.RHS {
+				place(r, pi, j)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		sym := queue[0]
+		queue = queue[1:]
+		for pi, p := range g.Prods {
+			if p.LHS != sym {
+				continue
+			}
+			for j, r := range p.RHS {
+				place(r, pi, j)
+			}
+		}
+	}
+}
+
+// witnessChains enumerates context chains for the target production,
+// one per occurrence of its left side in another production's right
+// side (the occurrence fixes the reduce's left context and follow
+// symbol, which is where conflict resolution distinguishes twins), each
+// completed upward with the minimal context links.
+func (w *Walker) witnessChains(prodIdx int) [][]chainLink {
+	g := w.o.Grammar()
+	target := g.Prods[prodIdx]
+	if g.IsLambda(target.LHS) {
+		return [][]chainLink{{{prodIdx, -1}}}
+	}
+	var chains [][]chainLink
+	for qi, q := range g.Prods {
+		for j, r := range q.RHS {
+			if r != target.LHS {
+				continue
+			}
+			up, ok := w.contextTo(qi)
+			if !ok {
+				continue
+			}
+			chain := append(up, chainLink{qi, j}, chainLink{prodIdx, -1})
+			chains = append(chains, chain)
+		}
+	}
+	return chains
+}
+
+// contextTo returns the minimal chain of links from a statement root
+// down to (but excluding) production qi, or ok=false when qi's left
+// side never reaches a statement context.
+func (w *Walker) contextTo(qi int) ([]chainLink, bool) {
+	g := w.o.Grammar()
+	var rev []chainLink
+	for cur := g.Prods[qi].LHS; !g.IsLambda(cur); {
+		pi := w.ctxProd[cur]
+		if pi < 0 || len(rev) > len(g.Prods) {
+			return nil, false
+		}
+		rev = append(rev, chainLink{pi, w.ctxSlot[cur]})
+		cur = g.Prods[pi].LHS
+	}
+	links := make([]chainLink, 0, len(rev)+2)
+	for i := len(rev) - 1; i >= 0; i-- {
+		links = append(links, rev[i])
+	}
+	return links, true
+}
+
+// expandProd emits production chain[ci]'s right side left to right: the
+// designated slot expands via the next chain element, every other
+// symbol via expandSym.
+func (w *Walker) expandProd(chain []chainLink, ci, depth int) bool {
+	if depth > 128 {
+		return false
+	}
+	p := w.o.Grammar().Prods[chain[ci].prod]
+	for j, sym := range p.RHS {
+		if j == chain[ci].slot && ci+1 < len(chain) {
+			if !w.expandProd(chain, ci+1, depth+1) {
+				return false
+			}
+			continue
+		}
+		if !w.expandSym(sym, depth+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// expandSym emits one symbol: directly as a token when possible,
+// otherwise through its cheapest derivation.
+func (w *Walker) expandSym(sym, depth int) bool {
+	if depth > 128 {
+		return false
+	}
+	if w.directToken(sym) {
+		return w.emit(sym) == nil
+	}
+	pi := w.dProd[sym]
+	if pi < 0 {
+		return false
+	}
+	for _, r := range w.o.Grammar().Prods[pi].RHS {
+		if !w.expandSym(r, depth+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// directToken reports whether sym may appear in the IF as a literal
+// token: operators and terminals always, nonterminals only with a
+// configured raw-token table entry. Unlike emittable, this is purely
+// grammatical — witness derivations route common-subexpression uses
+// through the priming prefix's definitions.
+func (w *Walker) directToken(sym int) bool {
+	g := w.o.Grammar()
+	if g.KindOf(sym) != grammar.Nonterminal {
+		return true
+	}
+	_, ok := w.cfg.NontermTokens[g.SymName(sym)]
+	return ok
+}
+
+// replayPriming drives the configured priming tokens through the
+// cursor, mirroring the bookkeeping tokenFor would have done so that
+// primed common subexpressions and labels are live for the walk.
+func (w *Walker) replayPriming() error {
+	g := w.o.Grammar()
+	for i, tok := range w.cfg.Priming {
+		s, ok := g.Lookup(tok.Sym)
+		if !ok {
+			return fmt.Errorf("oracle: priming token %d: unknown symbol %q", i, tok.Sym)
+		}
+		step, err := w.cur.Advance(s.ID)
+		if err != nil {
+			return fmt.Errorf("oracle: priming token %d (%s): %w", i, tok.Sym, err)
+		}
+		prev := ""
+		if n := len(w.toks); n > 0 {
+			prev = w.toks[n-1].Sym
+		}
+		switch tok.Sym {
+		case ir.TermCse:
+			if ps, ok := g.Lookup(prev); ok && w.useLeads[ps.ID] {
+				w.pendUses = append(w.pendUses, len(w.toks))
+			} else {
+				w.pendMakes = append(w.pendMakes, pendingMake{id: tok.Val, cnt: 1})
+				if tok.Val >= w.nextCSE {
+					w.nextCSE = tok.Val + 1
+				}
+			}
+		case ir.TermCnt:
+			if n := len(w.pendMakes); n > 0 && prev == ir.TermCse {
+				w.pendMakes[n-1].cnt = tok.Val
+			}
+		case w.defLbl:
+			if w.defLead >= 0 && prev == g.SymName(w.defLead) {
+				w.labelsDef[tok.Val] = true
+			} else {
+				w.labelsRef[tok.Val] = true
+			}
+		}
+		w.toks = append(w.toks, tok)
+		w.onReduced(step.Reduced)
+	}
+	if len(w.cfg.Priming) > 0 && !w.cur.CanAdvance(w.o.eof) {
+		return fmt.Errorf("oracle: priming prefix is not statement aligned")
+	}
+	return nil
+}

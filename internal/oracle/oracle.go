@@ -1,0 +1,284 @@
+// Package oracle turns a decoded table module into a grammar oracle: a
+// queryable model of the SLR parser that, for any parse-stack cursor,
+// answers "which IF symbols may come next?" and advances the cursor on a
+// chosen symbol, replaying the shift/reduce-cascade/accept behaviour of
+// the real parser without emitting code.
+//
+// The parse table already encodes the whole answer — an action exists
+// for exactly the (state, symbol) pairs the specification can translate
+// — but a single table probe is not enough: a Reduce action does not by
+// itself make a symbol legal. The reduction pops right-side entries,
+// exposes a deeper state, and re-dispatches on the same symbol, and the
+// cascade may end in an Error several reductions later (or in an illegal
+// lambda reduction mid-statement). Legality therefore simulates the
+// cascade against a scratch copy of the stack, exactly as the code
+// generator's parse loop would execute it.
+//
+// The oracle is purely grammatical: it pushes a production's left side
+// where the code emission routine would run semantic operators. For the
+// shipped specifications the two agree on the parse stack — push_odd and
+// push_even push a register of the pair's under class (the production's
+// left-side class), and find_common either pushes a register of the
+// defining class or a storage reference that the ordinary load
+// productions reduce to the same class — so a symbol the oracle deems
+// legal is legal for the real parser too.
+package oracle
+
+import (
+	"fmt"
+
+	"cogg/internal/grammar"
+	"cogg/internal/lr"
+	"cogg/internal/tables"
+)
+
+// cascadeBound caps the reductions simulated while dispatching one
+// symbol. Glanville's construction admits only uniformly reducible
+// grammars, whose cascades are short; the bound exists so a corrupt
+// module cannot loop the simulation.
+const cascadeBound = 1 << 14
+
+// Oracle wraps one decoded table module for grammar walking. It is
+// immutable and safe for concurrent use; cursors are not.
+type Oracle struct {
+	mod *tables.Module
+	eof int   // EOF pseudo-symbol id (the extra ColOf column)
+	ifs []int // symbol ids that may occur in the IF, ascending
+}
+
+// New builds an oracle over a decoded module.
+func New(mod *tables.Module) *Oracle {
+	o := &Oracle{mod: mod, eof: len(mod.Packed.ColOf) - 1}
+	for _, s := range mod.Grammar.Syms {
+		switch s.Kind {
+		case grammar.Operator, grammar.Terminal, grammar.Nonterminal:
+			if s.ID != mod.Grammar.Lambda {
+				o.ifs = append(o.ifs, s.ID)
+			}
+		}
+	}
+	return o
+}
+
+// Grammar returns the module's grammar.
+func (o *Oracle) Grammar() *grammar.Grammar { return o.mod.Grammar }
+
+// Module returns the underlying table module.
+func (o *Oracle) Module() *tables.Module { return o.mod }
+
+// EOF returns the end-of-input pseudo-symbol id. It participates in
+// Legal sets (membership means "the program may end here") and may be
+// passed to Advance to accept.
+func (o *Oracle) EOF() int { return o.eof }
+
+// Universe returns the size of the symbol-id universe for Legal sets:
+// every grammar symbol plus the EOF pseudo-symbol.
+func (o *Oracle) Universe() int { return len(o.mod.Packed.ColOf) }
+
+// ReachableProds reports, per production index, whether the production
+// has at least one Reduce entry in the packed table. A production can
+// lose every slot to conflict resolution — an identical right side with
+// an earlier declaration, or a shift preferred on every follow symbol —
+// and such a production can never fire on any input, so corpus coverage
+// is measured against this set.
+func (o *Oracle) ReachableProds() []bool {
+	p := o.mod.Packed
+	reachable := make([]bool, len(o.mod.Grammar.Prods))
+	for i, c := range p.Check {
+		if c == 0 {
+			continue
+		}
+		if a := p.Data[i]; a.Kind() == lr.Reduce && a.Target() < len(reachable) {
+			reachable[a.Target()] = true
+		}
+	}
+	return reachable
+}
+
+// Step reports what one Advance did.
+type Step struct {
+	// Reduced lists the productions (indices into Grammar().Prods) the
+	// cascade fired, in execution order.
+	Reduced []int
+	// Accepted is set when the advance was on EOF and the parse
+	// accepted; the cursor takes no further symbols.
+	Accepted bool
+}
+
+// Cursor is one walk's parse-stack position. The zero cursor is not
+// usable; obtain one from Oracle.NewCursor.
+type Cursor struct {
+	o      *Oracle
+	states []int // parse stack of states; states[0] is the start state
+	done   bool
+
+	// simulation scratch, reused across Legal and Advance calls
+	simStates []int
+	simRed    []int
+	simPend   []int
+}
+
+// NewCursor returns a cursor at the start of a program.
+func (o *Oracle) NewCursor() *Cursor {
+	c := &Cursor{o: o}
+	c.Reset()
+	return c
+}
+
+// Reset rewinds the cursor to the start of a program.
+func (c *Cursor) Reset() {
+	c.states = append(c.states[:0], 0)
+	c.done = false
+}
+
+// Depth returns the number of grammar symbols on the parse stack. Zero
+// means the cursor sits at a statement boundary (or the very start).
+func (c *Cursor) Depth() int { return len(c.states) - 1 }
+
+// State returns the current top parse state.
+func (c *Cursor) State() int { return c.states[len(c.states)-1] }
+
+// Accepted reports whether the cursor has accepted end of input.
+func (c *Cursor) Accepted() bool { return c.done }
+
+// simulate dispatches sym against a scratch copy of the stack,
+// returning whether the symbol is legal. On success the scratch stack
+// holds the post-advance configuration and c.simRed the fired
+// productions; accepted reports an EOF accept.
+//
+// The pending slice mirrors the parser's pushback queue, next symbol
+// last: it starts as [sym], a reduction appends its left side (the
+// parser prefixes it to the input), and a shift pops. A pushed left
+// side can itself be the lookahead that triggers the next reduction, so
+// pending can hold several left sides above the original symbol.
+func (c *Cursor) simulate(sym int) (ok, accepted bool) {
+	o := c.o
+	c.simStates = append(c.simStates[:0], c.states...)
+	c.simRed = c.simRed[:0]
+	c.simPend = append(c.simPend[:0], sym)
+	states := c.simStates
+	pending := c.simPend
+	prods := o.mod.Grammar.Prods
+	lambda := o.mod.Grammar.Lambda
+	for steps := 0; steps < cascadeBound; steps++ {
+		look := pending[len(pending)-1]
+		act := o.mod.Packed.Lookup(states[len(states)-1], look)
+		switch act.Kind() {
+		case lr.Shift:
+			states = append(states, act.Target())
+			pending = pending[:len(pending)-1]
+			if len(pending) == 0 {
+				c.simStates, c.simPend = states, pending
+				return true, false
+			}
+		case lr.Accept:
+			// Accept consumes the EOF pseudo-symbol with the stack back
+			// at the start state; anything still pending above it would
+			// have to be consumed after end of input.
+			c.simStates, c.simPend = states, pending
+			return len(pending) == 1 && len(states) == 1, true
+		case lr.Reduce:
+			p := prods[act.Target()]
+			n := len(p.RHS)
+			if n > len(states)-1 {
+				return false, false // corrupt table: pops through the stack bottom
+			}
+			states = states[:len(states)-n]
+			c.simRed = append(c.simRed, act.Target())
+			if p.LHS == lambda {
+				// Lambda productions end a statement: the code emission
+				// routine requires the stack back at the bottom.
+				if len(states) != 1 {
+					return false, false
+				}
+				continue
+			}
+			pending = append(pending, p.LHS)
+		default:
+			return false, false
+		}
+	}
+	return false, false
+}
+
+// CanAdvance reports whether Advance(sym) would succeed.
+func (c *Cursor) CanAdvance(sym int) bool {
+	if c.done {
+		return false
+	}
+	ok, _ := c.simulate(sym)
+	return ok
+}
+
+// Legal fills dst with every symbol id on which Advance would succeed,
+// including EOF when the program may end here. A nil dst allocates a
+// set over Universe(); a caller-supplied dst must cover Universe() and
+// is cleared first.
+func (c *Cursor) Legal(dst lr.SymSet) lr.SymSet {
+	if dst == nil {
+		dst = lr.NewSymSet(c.o.Universe())
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	if c.done {
+		return dst
+	}
+	for _, id := range c.o.ifs {
+		if ok, _ := c.simulate(id); ok {
+			dst.Add(id)
+		}
+	}
+	if ok, _ := c.simulate(c.o.eof); ok {
+		dst.Add(c.o.eof)
+	}
+	return dst
+}
+
+// Advance consumes sym, committing the shift and any reduce cascade it
+// triggers. Advancing on EOF accepts. The returned Step's Reduced slice
+// aliases cursor scratch and is valid until the next call.
+func (c *Cursor) Advance(sym int) (Step, error) {
+	if c.done {
+		return Step{}, fmt.Errorf("oracle: cursor has accepted; no further symbols")
+	}
+	ok, accepted := c.simulate(sym)
+	if !ok {
+		return Step{}, &IllegalSymbolError{Sym: sym, Name: c.symName(sym), State: c.State()}
+	}
+	c.states, c.simStates = c.simStates, c.states
+	c.done = accepted
+	return Step{Reduced: c.simRed, Accepted: accepted}, nil
+}
+
+func (c *Cursor) symName(sym int) string {
+	if sym == c.o.eof {
+		return "$end"
+	}
+	return c.o.mod.Grammar.SymName(sym)
+}
+
+// IllegalSymbolError reports an Advance on a symbol the grammar does
+// not allow at the cursor's position.
+type IllegalSymbolError struct {
+	Sym   int
+	Name  string
+	State int
+}
+
+func (e *IllegalSymbolError) Error() string {
+	return fmt.Sprintf("oracle: symbol %s (id %d) is not legal in state %d", e.Name, e.Sym, e.State)
+}
+
+// LegalFromStates computes the legal-next set for an arbitrary parse
+// stack of states (bottom first, states[0] the start state) over mod.
+// It is the package-level form of Cursor.Legal for callers that hold a
+// raw stack — the blocked-parse tests compare the code generator's
+// expected-symbol diagnostics against it.
+func LegalFromStates(mod *tables.Module, states []int, dst lr.SymSet) lr.SymSet {
+	o := New(mod)
+	c := o.NewCursor()
+	c.states = append(c.states[:0], states...)
+	return c.Legal(dst)
+}

@@ -1,0 +1,235 @@
+package oracle_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"cogg/internal/codegen"
+	"cogg/internal/core"
+	"cogg/internal/driver"
+	"cogg/internal/ir"
+	"cogg/internal/oracle"
+	"cogg/internal/rt370"
+	"cogg/specs"
+)
+
+// specCase bundles one shipped specification with its target
+// configuration and the priming prefix used for witness programs: full
+// statements defining one common subexpression per register class, with
+// raw base registers as the stored values so the allocator never needs
+// to spill them.
+type specCase struct {
+	name string
+	src  string
+	cfg  func() codegen.Config
+	dead int // productions with no Reduce entry in the packed table
+}
+
+var specCases = []specCase{
+	{name: "amdahl470.cogg", src: specs.Amdahl470, cfg: rt370.Config, dead: 1},
+	{name: "risc32.cogg", src: specs.Risc32, cfg: driver.RiscConfig, dead: 0},
+}
+
+var (
+	buildOnce sync.Once
+	builds    map[string]*core.CodeGenerator
+)
+
+func build(t *testing.T, sc specCase) (*oracle.Oracle, *codegen.Generator) {
+	t.Helper()
+	buildOnce.Do(func() {
+		builds = map[string]*core.CodeGenerator{}
+		for _, c := range specCases {
+			cg, err := core.Generate(c.name, c.src)
+			if err != nil {
+				panic(err)
+			}
+			builds[c.name] = cg
+		}
+	})
+	cg := builds[sc.name]
+	gen, err := cg.NewGenerator(sc.cfg())
+	if err != nil {
+		t.Fatalf("NewGenerator(%s): %v", sc.name, err)
+	}
+	return oracle.New(cg.Module()), gen
+}
+
+func priming(t *testing.T, sc specCase) []ir.Token {
+	t.Helper()
+	text := oracle.DefaultPriming(sc.name)
+	if text == "" {
+		t.Fatalf("no default priming for %s", sc.name)
+	}
+	toks, err := ir.ParseTokens(text)
+	if err != nil {
+		t.Fatalf("priming prefix: %v", err)
+	}
+	return toks
+}
+
+// codegenVerify builds a Verify that runs a full translation session.
+func codegenVerify(t *testing.T, gen *codegen.Generator) oracle.Verify {
+	t.Helper()
+	ses, err := gen.NewSession()
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	return func(toks []ir.Token) ([]int, error) {
+		_, res, err := ses.Generate("synth", toks)
+		if err != nil {
+			return nil, err
+		}
+		return append([]int(nil), res.ProdCounts...), nil
+	}
+}
+
+// TestReachableProds pins the statically dead productions: amdahl470
+// ships exactly one production every Reduce slot of which is shadowed
+// by conflict resolution (the realword radd form that repeats an
+// earlier right side), risc32 none.
+func TestReachableProds(t *testing.T) {
+	for _, sc := range specCases {
+		t.Run(sc.name, func(t *testing.T) {
+			o, _ := build(t, sc)
+			reach := o.ReachableProds()
+			var dead []string
+			for i, r := range reach {
+				if !r {
+					p := o.Grammar().Prods[i]
+					dead = append(dead, o.Grammar().ProdString(p))
+				}
+			}
+			if len(dead) != sc.dead {
+				t.Fatalf("dead productions = %v, want %d of them", dead, sc.dead)
+			}
+			if sc.dead == 1 && !strings.Contains(dead[0], "radd") {
+				t.Errorf("expected the dead production to be the shadowed radd form, got %q", dead[0])
+			}
+		})
+	}
+}
+
+// TestCursorLegalAndAdvance sanity-checks the cursor at the start of a
+// program: statement-leading operators are legal, a bare cse terminal
+// is not, and Advance rejects illegal symbols with a typed error.
+func TestCursorLegalAndAdvance(t *testing.T) {
+	for _, sc := range specCases {
+		t.Run(sc.name, func(t *testing.T) {
+			o, _ := build(t, sc)
+			g := o.Grammar()
+			c := o.NewCursor()
+			legal := c.Legal(nil)
+			assign, _ := g.Lookup("assign")
+			if !legal.Has(assign.ID) {
+				t.Errorf("assign not legal at program start")
+			}
+			cse, _ := g.Lookup("cse")
+			if legal.Has(cse.ID) {
+				t.Errorf("bare cse terminal reported legal at program start")
+			}
+			if _, err := c.Advance(cse.ID); err == nil {
+				t.Fatalf("Advance(cse) at start did not fail")
+			} else {
+				var ill *oracle.IllegalSymbolError
+				if !errors.As(err, &ill) {
+					t.Fatalf("Advance error = %T, want *IllegalSymbolError", err)
+				}
+				if ill.Sym != cse.ID || ill.State != 0 {
+					t.Errorf("IllegalSymbolError = %+v", *ill)
+				}
+			}
+			// Legal set membership must agree with CanAdvance across the
+			// whole universe.
+			for sym := 0; sym < o.Universe(); sym++ {
+				if legal.Has(sym) != c.CanAdvance(sym) {
+					t.Fatalf("Legal and CanAdvance disagree on symbol %d", sym)
+				}
+			}
+		})
+	}
+}
+
+// TestWalkerProgramsTranslate drives the random walk alone (no
+// verification feedback, no witnesses) and checks that nearly every
+// program it emits translates cleanly; the rare semantic rejection
+// (register exhaustion under an unlucky expression shape) is tolerated,
+// parse blocks are not.
+func TestWalkerProgramsTranslate(t *testing.T) {
+	for _, sc := range specCases {
+		t.Run(sc.name, func(t *testing.T) {
+			o, gen := build(t, sc)
+			ses, err := gen.NewSession()
+			if err != nil {
+				t.Fatalf("NewSession: %v", err)
+			}
+			w := oracle.NewWalker(o, 7, oracle.WalkConfig{})
+			ok, rejected := 0, 0
+			for i := 0; i < 200; i++ {
+				toks, err := w.Program()
+				if err != nil {
+					rejected++ // dead-ended walk; the walker retries by design
+					continue
+				}
+				_, _, err = ses.Generate("walk", toks)
+				if err != nil {
+					var blocked *codegen.BlockedError
+					if errors.As(err, &blocked) {
+						t.Fatalf("program %d blocked the parser:\n%s\n%v", i, ir.FormatTokens(toks), err)
+					}
+					rejected++
+					continue
+				}
+				ok++
+			}
+			if ok < 150 {
+				t.Fatalf("only %d/200 walks translated (%d rejected)", ok, rejected)
+			}
+		})
+	}
+}
+
+// TestCorpusCoverageAndDeterminism is the package's acceptance test:
+// a verified corpus plus witness targeting covers every reachable
+// production of both shipped specifications, and the whole run is
+// byte-for-byte deterministic given the seed.
+func TestCorpusCoverageAndDeterminism(t *testing.T) {
+	for _, sc := range specCases {
+		t.Run(sc.name, func(t *testing.T) {
+			o, gen := build(t, sc)
+			opts := oracle.CorpusOptions{
+				Walk:   oracle.WalkConfig{Priming: priming(t, sc)},
+				Verify: codegenVerify(t, gen),
+			}
+			c, err := oracle.Generate(o, 42, 60, opts)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if !c.Report.Full() {
+				t.Errorf("coverage %d/%d reachable; uncovered:\n%s",
+					c.Report.Covered, c.Report.Reachable,
+					strings.Join(c.Report.Uncovered, "\n"))
+			}
+			if len(c.Report.Dead) != sc.dead {
+				t.Errorf("dead productions = %v, want %d", c.Report.Dead, sc.dead)
+			}
+
+			_, gen2 := build(t, sc)
+			opts.Verify = codegenVerify(t, gen2)
+			c2, err := oracle.Generate(o, 42, 60, opts)
+			if err != nil {
+				t.Fatalf("second Generate: %v", err)
+			}
+			if len(c.Programs) != len(c2.Programs) {
+				t.Fatalf("runs differ in size: %d vs %d programs", len(c.Programs), len(c2.Programs))
+			}
+			for i := range c.Programs {
+				if ir.FormatTokens(c.Programs[i]) != ir.FormatTokens(c2.Programs[i]) {
+					t.Fatalf("program %d differs between same-seed runs", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,763 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cogg/internal/grammar"
+	"cogg/internal/ir"
+)
+
+// WalkConfig tunes the random grammar walk.
+type WalkConfig struct {
+	// MaxTokens is the soft length budget: past it the walk winds down
+	// (closes open subtrees and ends the program). <= 0 means 96.
+	MaxTokens int
+	// MaxDepth caps the parse-stack depth, bounding expression nesting
+	// and with it register pressure. <= 0 means 10.
+	MaxDepth int
+	// MaxStatements caps the statements per program. <= 0 means 12.
+	MaxStatements int
+	// NontermTokens supplies, per nonterminal class name, the raw tokens
+	// the walk may emit for it directly. Register classes whose every
+	// member is managed by the allocator (no safe raw value) are left
+	// out; the walk then derives the class through its productions
+	// instead of emitting it as a token. Nil applies Rt370Nonterms.
+	NontermTokens map[string][]int64
+	// Priming is a token sequence prepended to every witness program
+	// (see Witnesses), typically statements defining common
+	// subexpressions so shift paths through use_common sites are
+	// semantically live. The walk replays it through the cursor, so it
+	// must be a valid statement-aligned prefix.
+	Priming []ir.Token
+}
+
+// Rt370Nonterms is the raw-token table for the shipped specifications:
+// general registers 10-13 are the runtime's base registers, outside the
+// allocator's managed set, so they may appear literally in the IF; the
+// condition code is a flag without a meaningful number.
+func Rt370Nonterms() map[string][]int64 {
+	return map[string][]int64{
+		ir.NTReg: {10, 11, 12, 13},
+		ir.NTCC:  {0},
+	}
+}
+
+func (c *WalkConfig) fill() {
+	if c.MaxTokens <= 0 {
+		c.MaxTokens = 96
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 10
+	}
+	if c.MaxStatements <= 0 {
+		c.MaxStatements = 12
+	}
+	if c.NontermTokens == nil {
+		c.NontermTokens = Rt370Nonterms()
+	}
+}
+
+// prodSem classifies a production's effect on walker bookkeeping.
+type prodSem struct {
+	makeCommon bool   // defines a common subexpression (full_common & co)
+	useCommon  bool   // uses one (find_common & co)
+	labelDef   bool   // defines a label (label_location)
+	class      string // left-side register class name
+}
+
+// liveCSE is a defined common subexpression with uses remaining.
+type liveCSE struct {
+	id        int64
+	class     string
+	remaining int64
+}
+
+// pendingMake tracks a cse terminal emitted after a make-common lead
+// operator, awaiting the production's reduce to become live.
+type pendingMake struct {
+	id  int64
+	cnt int64
+}
+
+// Walker random-walks a grammar, producing valid-by-construction IF
+// token streams. It is deterministic given its seed and not safe for
+// concurrent use.
+type Walker struct {
+	o   *Oracle
+	cfg WalkConfig
+	rng *rand.Rand
+	cur *Cursor
+
+	sems     []prodSem // by production index
+	numToIdx map[int]int
+	// covered is authoritative coverage, by production index: fed by
+	// MarkCovered (verified translations) or commitProgram (accepted
+	// walks when no verifier gates them).
+	covered []bool
+	// seen is steering coverage: every production any walk's cascade
+	// fired, including walks later dropped. It biases the walk toward
+	// unexercised productions but never enters the coverage report.
+	seen       []bool
+	progProds  []int // productions this program's cascades fired, deduped
+	reachable  []bool
+	leadBonus  map[int]bool // symbols beginning some uncovered production (rebuilt lazily)
+	leadsDirty bool
+
+	useLeads map[int]bool // first symbols of use-common productions
+	defLead  int          // first symbol of the label-defining production, -1 none
+	defLbl   string       // its label terminal name
+
+	// per-program state
+	toks      []ir.Token
+	stmts     int
+	lives     []liveCSE
+	pendMakes []pendingMake
+	pendUses  []int // token indices of use-context cse tokens
+	nextCSE   int64
+	stmtNum   int64
+	labelsDef map[int64]bool
+	labelsRef map[int64]bool
+	nextLabel int64
+
+	legalSet []candidate // scratch
+	availBuf map[string]int64
+
+	// derivation tables for witness programs, built lazily (ensureDerivs)
+	dProd   []int // per symbol: cheapest-expansion production, -1 none
+	dCost   []int // per symbol: tokens in that expansion, -1 underivable
+	ctxProd []int // per symbol: production of its minimal statement context
+	ctxSlot []int // per symbol: right-side slot in that production
+}
+
+// candidate is one legal next symbol with its simulated consequences.
+type candidate struct {
+	sym        int
+	postDepth  int
+	reduced    []int // owned copy of the cascade's productions
+	weight     int
+	postStates []int // owned copy of the post-advance stack (clamped walks only)
+}
+
+// NewWalker builds a walker over the oracle with its own deterministic
+// PRNG stream.
+func NewWalker(o *Oracle, seed int64, cfg WalkConfig) *Walker {
+	cfg.fill()
+	w := &Walker{
+		o:          o,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(seed)),
+		cur:        o.NewCursor(),
+		numToIdx:   map[int]int{},
+		useLeads:   map[int]bool{},
+		defLead:    -1,
+		availBuf:   map[string]int64{},
+		leadsDirty: true,
+	}
+	g := o.Grammar()
+	w.sems = make([]prodSem, len(g.Prods))
+	w.covered = make([]bool, len(g.Prods))
+	w.seen = make([]bool, len(g.Prods))
+	w.reachable = o.ReachableProds()
+	for i, p := range g.Prods {
+		w.numToIdx[p.Num] = i
+		sem := prodSem{class: g.SymName(p.LHS)}
+		for _, t := range p.Templates {
+			if !t.Semantic {
+				continue
+			}
+			switch g.SymName(t.Op) {
+			case "full_common", "half_common", "byte_common", "real_common", "dreal_common":
+				sem.makeCommon = true
+			case "find_common", "find_real_common":
+				sem.useCommon = true
+			case "label_location":
+				sem.labelDef = true
+			}
+		}
+		w.sems[i] = sem
+		if sem.useCommon && len(p.RHS) > 0 {
+			w.useLeads[p.RHS[0]] = true
+		}
+		if sem.labelDef && w.defLead < 0 && len(p.RHS) == 2 {
+			w.defLead = p.RHS[0]
+			w.defLbl = g.SymName(p.RHS[1])
+		}
+	}
+	return w
+}
+
+// Covered returns the walker's covered flags, by production index.
+func (w *Walker) Covered() []bool { return w.covered }
+
+// Reachable returns the statically reachable productions, by index.
+func (w *Walker) Reachable() []bool { return w.reachable }
+
+// UncoveredReachable lists reachable productions not yet covered.
+func (w *Walker) UncoveredReachable() []int {
+	var out []int
+	for i, r := range w.reachable {
+		if r && !w.covered[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MarkCovered folds a verified translation's per-production reduction
+// counts (codegen.Result.ProdCounts, indexed by 1-based production
+// number) into the walker's coverage state.
+func (w *Walker) MarkCovered(prodCounts []int) {
+	for num, n := range prodCounts {
+		if n <= 0 {
+			continue
+		}
+		if idx, ok := w.numToIdx[num]; ok && !w.covered[idx] {
+			w.covered[idx] = true
+			w.seen[idx] = true
+			w.leadsDirty = true
+		}
+	}
+}
+
+// markCascade records a committed advance's productions for steering
+// and for the current program's tally. The oracle's cascade matches the
+// real parser's reductions except for reloads of spilled
+// subexpressions, which only add coverage.
+func (w *Walker) markCascade(reduced []int) {
+	for _, pi := range reduced {
+		if !w.seen[pi] {
+			w.seen[pi] = true
+			w.leadsDirty = true
+		}
+		dup := false
+		for _, q := range w.progProds {
+			if q == pi {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			w.progProds = append(w.progProds, pi)
+		}
+	}
+}
+
+// commitProgram promotes the current program's cascade tally to
+// authoritative coverage, for runs without a verifier.
+func (w *Walker) commitProgram() {
+	for _, pi := range w.progProds {
+		w.covered[pi] = true
+	}
+}
+
+func (w *Walker) refreshLeads() {
+	if !w.leadsDirty {
+		return
+	}
+	w.leadsDirty = false
+	w.leadBonus = map[int]bool{}
+	g := w.o.Grammar()
+	for i, p := range g.Prods {
+		if w.reachable[i] && !w.seen[i] && len(p.RHS) > 0 {
+			w.leadBonus[p.RHS[0]] = true
+		}
+	}
+}
+
+func (w *Walker) resetProgram() {
+	w.cur.Reset()
+	w.toks = w.toks[:0]
+	w.progProds = w.progProds[:0]
+	w.stmts = 0
+	w.lives = w.lives[:0]
+	w.pendMakes = w.pendMakes[:0]
+	w.pendUses = w.pendUses[:0]
+	w.nextCSE = 1
+	w.stmtNum = 0
+	w.labelsDef = map[int64]bool{}
+	w.labelsRef = map[int64]bool{}
+	w.nextLabel = 1
+}
+
+// Program random-walks one valid program. The returned tokens are a
+// fresh slice. An error means the walk dead-ended (a rare semantic
+// corner, e.g. a use-common context with no matching live
+// subexpression) or overran its budgets; callers retry, advancing the
+// PRNG stream.
+func (w *Walker) Program() ([]ir.Token, error) {
+	w.resetProgram()
+	w.refreshLeads()
+	hardCap := 2*w.cfg.MaxTokens + 64
+	for steps := 0; ; steps++ {
+		if steps > hardCap+512 {
+			return nil, fmt.Errorf("oracle: walk exceeded %d steps", steps)
+		}
+		winding := len(w.toks) >= w.cfg.MaxTokens || w.stmts >= w.cfg.MaxStatements ||
+			w.cur.Depth() > w.cfg.MaxDepth
+		// A statement's closing reduce fires only when the next symbol
+		// arrives, so the stack is never observed empty between
+		// statements; "the program may end here" is exactly EOF being
+		// acceptable (its cascade pops the completed statement).
+		if winding && len(w.toks) > 0 && w.cur.CanAdvance(w.o.eof) {
+			if err := w.windDown(); err != nil {
+				return nil, err
+			}
+			out := make([]ir.Token, len(w.toks))
+			copy(out, w.toks)
+			return out, nil
+		}
+		if len(w.toks) > hardCap {
+			return nil, fmt.Errorf("oracle: walk overran the token budget")
+		}
+		cands := w.candidates(winding)
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("oracle: walk dead-ended in state %d at depth %d", w.cur.State(), w.cur.Depth())
+		}
+		pick := w.weightedPick(cands)
+		if err := w.emit(pick.sym); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// candidates collects the legal, semantically viable next symbols with
+// their simulated consequences and steering weights. EOF is never a
+// candidate here; ending is handled by windDown.
+func (w *Walker) candidates(winding bool) []candidate {
+	w.legalSet = w.legalSet[:0]
+	depth := w.cur.Depth()
+	for _, sym := range w.o.ifs {
+		if !w.emittable(sym) {
+			continue
+		}
+		ok, _ := w.cur.simulate(sym)
+		if !ok {
+			continue
+		}
+		post := len(w.cur.simStates) - 1
+		// MaxDepth is a soft cap: a reduction fires only when the symbol
+		// AFTER a completed subtree arrives, so an incomplete subtree at
+		// the cap must still be allowed to finish (briefly exceeding it)
+		// or every walk reaching the cap mid-subtree would dead-end.
+		// clampDeep below steers the walk back; the hard bound here is
+		// only a safety margin against runaway recursion.
+		if post > 4*w.cfg.MaxDepth {
+			continue
+		}
+		if !w.semViable(w.cur.simRed) {
+			continue
+		}
+		c := candidate{sym: sym, postDepth: post,
+			reduced: append([]int(nil), w.cur.simRed...)}
+		if winding || depth >= w.cfg.MaxDepth {
+			c.postStates = append([]int(nil), w.cur.simStates...)
+		}
+		c.weight = 1
+		for _, pi := range c.reduced {
+			if !w.seen[pi] {
+				c.weight += 50
+			}
+		}
+		if w.leadBonus[sym] {
+			c.weight += 8
+		}
+		// Depth pressure: most of the alphabet opens structure, so an
+		// unweighted walk drifts to the depth cap and stalls there.
+		// Closing candidates gain weight linearly with depth; opening
+		// candidates decay exponentially above half the cap; winding
+		// sharpens both.
+		switch {
+		case post < depth:
+			c.weight *= 1 + depth
+			if winding {
+				c.weight *= 8
+			}
+		case post > depth:
+			if over := depth - w.cfg.MaxDepth/2; over > 0 {
+				c.weight = max(1, c.weight>>over)
+			}
+			if winding {
+				c.weight = 1
+			}
+		}
+		w.legalSet = append(w.legalSet, c)
+	}
+	if winding || depth >= w.cfg.MaxDepth {
+		w.legalSet = w.clampDeep(w.legalSet, depth)
+	}
+	return w.legalSet
+}
+
+// clampDeep restricts a steered walk (deep, or winding down) to the
+// candidates that make the most closing progress. A reduction fires
+// only when the symbol after a completed subtree arrives, so candidates
+// at the depth cap may all deepen the stack; the walk must then fill
+// the open right side's remaining slots rather than dead-end.
+//
+// Preference order:
+//  1. strictly depth-reducing candidates;
+//  2. depth-preserving candidates from which a depth-reducing step
+//     exists next — a leaf that completes the current slot (the
+//     close-one-open-one cascade), as opposed to a terminal like cond
+//     that merely starts another frame at the same depth;
+//  3. any depth-preserving candidate;
+//  4. leaf symbols (terminals and raw nonterminals, which fill a slot
+//     without opening a new subtree);
+//  5. minimum post-depth.
+//
+// Overshoot past the cap is thereby bounded by the longest right side
+// plus the shallowest derivation of a class with no raw token.
+func (w *Walker) clampDeep(cands []candidate, depth int) []candidate {
+	g := w.o.Grammar()
+	var best []candidate
+	bestTier := 6
+	minPost := -1
+	for _, c := range cands {
+		var tier int
+		switch {
+		case c.postDepth < depth:
+			tier = 1
+		case c.postDepth == depth:
+			tier = 3
+			if bestTier >= 2 && w.canDescend(c.postStates) {
+				tier = 2
+			}
+		case g.Syms[c.sym].Kind != grammar.Operator:
+			tier = 4
+		default:
+			tier = 5
+		}
+		if tier > bestTier {
+			continue
+		}
+		if tier < bestTier {
+			bestTier = tier
+			best = best[:0]
+			minPost = c.postDepth
+		}
+		if tier == 5 {
+			if c.postDepth < minPost {
+				best = best[:0]
+				minPost = c.postDepth
+			} else if c.postDepth > minPost {
+				continue
+			}
+		}
+		best = append(best, c)
+	}
+	return best
+}
+
+// canDescend reports whether, from the given parse stack, some next
+// symbol's cascade strictly reduces the depth (or accepts).
+func (w *Walker) canDescend(states []int) bool {
+	if len(states) == 0 {
+		return false
+	}
+	c := &Cursor{o: w.o, states: states}
+	if ok, _ := c.simulate(w.o.eof); ok {
+		return true
+	}
+	for _, sym := range w.o.ifs {
+		if ok, _ := c.simulate(sym); ok && len(c.simStates) < len(states) {
+			return true
+		}
+	}
+	return false
+}
+
+// emittable filters symbols the walker can realize as input tokens:
+// nonterminals need a configured raw value, and a use-common lead
+// operator needs some live subexpression to resolve against.
+func (w *Walker) emittable(sym int) bool {
+	g := w.o.Grammar()
+	s := g.Syms[sym]
+	if s.Kind == grammar.Nonterminal {
+		if vals := w.cfg.NontermTokens[s.Name]; len(vals) == 0 {
+			return false
+		}
+	}
+	if w.useLeads[sym] {
+		live := false
+		for _, l := range w.lives {
+			if l.remaining > 0 {
+				live = true
+				break
+			}
+		}
+		if !live {
+			return false
+		}
+	}
+	return true
+}
+
+// semViable walks a candidate cascade's productions checking that every
+// use of a common subexpression can resolve against a live definition
+// of the matching class, counting definitions the same cascade makes.
+func (w *Walker) semViable(reduced []int) bool {
+	avail := w.availBuf
+	for k := range avail {
+		delete(avail, k)
+	}
+	for _, l := range w.lives {
+		avail[l.class] += l.remaining
+	}
+	makes := 0
+	for _, pi := range reduced {
+		sem := &w.sems[pi]
+		if sem.makeCommon {
+			// Cascaded make-commons resolve innermost (top of the
+			// pending stack) first.
+			at := len(w.pendMakes) - 1 - makes
+			if at >= 0 {
+				avail[sem.class] += w.pendMakes[at].cnt
+			}
+			makes++
+		}
+		if sem.useCommon {
+			if avail[sem.class] <= 0 {
+				return false
+			}
+			avail[sem.class]--
+		}
+	}
+	return true
+}
+
+// emit advances the cursor on sym and appends the realized token(s),
+// updating label and subexpression bookkeeping from the cascade.
+func (w *Walker) emit(sym int) error {
+	step, err := w.cur.Advance(sym)
+	if err != nil {
+		return err
+	}
+	w.toks = append(w.toks, w.tokenFor(sym))
+	w.onReduced(step.Reduced)
+	return nil
+}
+
+// tokenFor realizes symbol sym as an input token, synthesizing a
+// plausible value within the shaper's limits.
+func (w *Walker) tokenFor(sym int) ir.Token {
+	g := w.o.Grammar()
+	s := g.Syms[sym]
+	if s.Kind == grammar.Nonterminal {
+		vals := w.cfg.NontermTokens[s.Name]
+		return ir.Token{Sym: s.Name, Val: vals[w.rng.Intn(len(vals))]}
+	}
+	if s.Kind != grammar.Terminal {
+		return ir.Token{Sym: s.Name}
+	}
+	prev := ""
+	if n := len(w.toks); n > 0 {
+		prev = w.toks[n-1].Sym
+	}
+	return ir.Token{Sym: s.Name, Val: w.valueFor(s.Name, prev)}
+}
+
+// valueFor synthesizes a terminal value. The ranges come from the
+// shaper and the emission routine's validation: displacements fit the
+// S/370 12-bit base-displacement form, storage-to-storage lengths fit
+// IBM_length's 1..256, immediates fit a byte, condition masks are the
+// meaningful BC masks, and set elements are single-bit masks.
+func (w *Walker) valueFor(name, prev string) int64 {
+	switch name {
+	case ir.TermDsp:
+		return 8 * int64(w.rng.Intn(512)) // 0..4088, doubleword aligned
+	case ir.TermLng:
+		return 1 + int64(w.rng.Intn(256))
+	case ir.TermCnt:
+		cnt := 1 + int64(w.rng.Intn(3))
+		if n := len(w.pendMakes); n > 0 && w.toks[len(w.toks)-1].Sym == ir.TermCse {
+			// The count belongs to the make-common whose cse number was
+			// the previous token: record the planned uses.
+			w.pendMakes[n-1].cnt = cnt
+		}
+		return cnt
+	case ir.TermLbl:
+		return w.labelFor(prev)
+	case ir.TermCond:
+		masks := [...]int64{2, 4, 7, 8, 11, 13, 15}
+		return masks[w.rng.Intn(len(masks))]
+	case ir.TermErr, "err": // the shipped specs declare the terminal as "err"
+		return 1 + int64(w.rng.Intn(3))
+	case ir.TermStmt:
+		w.stmtNum++
+		return w.stmtNum
+	case ir.TermElmnt:
+		return 1 << w.rng.Intn(8)
+	case ir.TermValue:
+		return int64(w.rng.Intn(256))
+	case ir.TermCse:
+		return w.cseFor(prev)
+	}
+	return 1
+}
+
+// labelFor synthesizes a label number. A label following the defining
+// operator is a definition (defined at most once, preferring labels
+// already referenced); any other occurrence is a reference, drawn from
+// a small pool so programs branch both forward and backward.
+func (w *Walker) labelFor(prev string) int64 {
+	defining := w.defLead >= 0 && prev == w.o.Grammar().SymName(w.defLead)
+	if defining {
+		// Prefer resolving the lowest referenced-but-undefined label
+		// (sorted, so the walk stays deterministic across runs).
+		var dangling []int64
+		for id := range w.labelsRef {
+			if !w.labelsDef[id] {
+				dangling = append(dangling, id)
+			}
+		}
+		if len(dangling) > 0 {
+			sort.Slice(dangling, func(i, j int) bool { return dangling[i] < dangling[j] })
+			w.labelsDef[dangling[0]] = true
+			return dangling[0]
+		}
+		for w.labelsDef[w.nextLabel] {
+			w.nextLabel++
+		}
+		id := w.nextLabel
+		w.labelsDef[id] = true
+		return id
+	}
+	id := 1 + int64(w.rng.Intn(4))
+	w.labelsRef[id] = true
+	return id
+}
+
+// cseFor synthesizes a cse number. After a make-common lead the number
+// is fresh and staged as pending; after a use-common lead the token's
+// value is a placeholder patched when the production reduces and the
+// live set determines which class is being resolved.
+func (w *Walker) cseFor(prev string) int64 {
+	g := w.o.Grammar()
+	if s, ok := g.Lookup(prev); ok && w.useLeads[s.ID] {
+		w.pendUses = append(w.pendUses, len(w.toks))
+		return 0
+	}
+	id := w.nextCSE
+	w.nextCSE++
+	w.pendMakes = append(w.pendMakes, pendingMake{id: id, cnt: 1})
+	return id
+}
+
+// onReduced folds a committed cascade into the walker's semantic state:
+// make-commons become live, use-commons pick a live definition of the
+// reducing class and patch their cse token.
+func (w *Walker) onReduced(reduced []int) {
+	w.markCascade(reduced)
+	g := w.o.Grammar()
+	for _, pi := range reduced {
+		if g.Prods[pi].LHS == g.Lambda {
+			w.stmts++ // a statement closed
+		}
+		sem := &w.sems[pi]
+		if sem.makeCommon {
+			if n := len(w.pendMakes); n > 0 {
+				pm := w.pendMakes[n-1]
+				w.pendMakes = w.pendMakes[:n-1]
+				w.lives = append(w.lives, liveCSE{id: pm.id, class: sem.class, remaining: pm.cnt})
+			}
+		}
+		if sem.useCommon {
+			if n := len(w.pendUses); n > 0 {
+				tokIdx := w.pendUses[n-1]
+				w.pendUses = w.pendUses[:n-1]
+				w.patchUse(tokIdx, sem.class)
+			}
+		}
+	}
+}
+
+// patchUse binds a pending use-common cse token to a live definition of
+// the given class, decrementing its remaining uses.
+func (w *Walker) patchUse(tokIdx int, class string) {
+	matches := w.availBufIdx(class)
+	if len(matches) == 0 {
+		// Unreachable when semViable gated the choice; leave the
+		// placeholder, verification will reject the program.
+		return
+	}
+	li := matches[w.rng.Intn(len(matches))]
+	w.toks[tokIdx].Val = w.lives[li].id
+	w.lives[li].remaining--
+	if w.lives[li].remaining == 0 {
+		w.lives = append(w.lives[:li], w.lives[li+1:]...)
+	}
+}
+
+func (w *Walker) availBufIdx(class string) []int {
+	var out []int
+	for i, l := range w.lives {
+		if l.class == class && l.remaining > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// windDown ends the program: every referenced-but-undefined label gets
+// a defining statement, then the cursor accepts EOF.
+func (w *Walker) windDown() error {
+	if w.defLead >= 0 {
+		g := w.o.Grammar()
+		lblSym, _ := g.Lookup(w.defLbl)
+		var need []int64
+		for id := range w.labelsRef {
+			if !w.labelsDef[id] {
+				need = append(need, id)
+			}
+		}
+		// Deterministic order: map iteration above is randomized.
+		for i := 0; i < len(need); i++ {
+			for j := i + 1; j < len(need); j++ {
+				if need[j] < need[i] {
+					need[i], need[j] = need[j], need[i]
+				}
+			}
+		}
+		for _, id := range need {
+			if step, err := w.cur.Advance(w.defLead); err != nil {
+				return err
+			} else {
+				w.toks = append(w.toks, ir.Token{Sym: g.SymName(w.defLead)})
+				w.onReduced(step.Reduced)
+			}
+			step, err := w.cur.Advance(lblSym.ID)
+			if err != nil {
+				return err
+			}
+			w.toks = append(w.toks, ir.Token{Sym: w.defLbl, Val: id})
+			w.labelsDef[id] = true
+			w.onReduced(step.Reduced)
+		}
+	}
+	step, err := w.cur.Advance(w.o.EOF())
+	if err != nil {
+		return err
+	}
+	// EOF's cascade pops the final statement; it can carry the reduce
+	// of a trailing use_common whose cse token still awaits patching.
+	w.onReduced(step.Reduced)
+	return nil
+}
+
+// weightedPick draws one candidate proportionally to its weight.
+func (w *Walker) weightedPick(cands []candidate) candidate {
+	total := 0
+	for _, c := range cands {
+		total += c.weight
+	}
+	n := w.rng.Intn(total)
+	for _, c := range cands {
+		n -= c.weight
+		if n < 0 {
+			return c
+		}
+	}
+	return cands[len(cands)-1]
+}

@@ -102,6 +102,9 @@ type Block struct {
 	Lookahead string   `json:"lookahead"`
 	Stack     []string `json:"stack,omitempty"`
 	Reason    string   `json:"reason"`
+	// Expected lists the IF symbols the specification could have
+	// accepted at the blocking point (see codegen.BlockDiag.Expected).
+	Expected []string `json:"expected,omitempty"`
 }
 
 // BatchRequest is the JSON body of POST /v1/batch: many units compiled
@@ -120,6 +123,51 @@ type BatchResponse struct {
 	// TraceID identifies the batch's shared trace; each unit is a child
 	// span under the request span.
 	TraceID string `json:"trace_id,omitempty"`
+}
+
+// GrammarSessionRequest is the JSON body of POST /v1/grammar/session:
+// open a grammar-walk cursor over a specification's SLR tables.
+type GrammarSessionRequest struct {
+	// Spec selects the specification by embedded name, as in
+	// CompileRequest; empty means the daemon's default.
+	Spec string `json:"spec,omitempty"`
+}
+
+// GrammarSessionResponse answers /v1/grammar/session.
+type GrammarSessionResponse struct {
+	SessionID string `json:"session_id"`
+	Spec      string `json:"spec"`
+	State     int    `json:"state"`
+	Depth     int    `json:"depth"`
+	// Legal lists every IF symbol the grammar accepts next, in
+	// symbol-id order, with "$end" last when the program may end here —
+	// the same order as a blocked parse's expected-symbol diagnostic.
+	Legal   []string `json:"legal"`
+	TraceID string   `json:"trace_id,omitempty"`
+}
+
+// GrammarNextRequest is the JSON body of POST /v1/grammar/next:
+// advance a session's cursor on one symbol. "$end" accepts the walk
+// and closes the session.
+type GrammarNextRequest struct {
+	SessionID string `json:"session_id"`
+	Symbol    string `json:"symbol"`
+}
+
+// GrammarNextResponse answers /v1/grammar/next. An illegal-but-declared
+// symbol comes back as 422 with Error set and Legal carrying the
+// recovery set; the session survives.
+type GrammarNextResponse struct {
+	SessionID string `json:"session_id"`
+	State     int    `json:"state"`
+	Depth     int    `json:"depth"`
+	// Reduced lists the productions the advance's reduce cascade fired,
+	// rendered as grammar rules, in execution order.
+	Reduced  []string `json:"reduced,omitempty"`
+	Accepted bool     `json:"accepted,omitempty"`
+	Legal    []string `json:"legal,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	TraceID  string   `json:"trace_id,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
@@ -169,6 +217,7 @@ func failureFor(err error, mode batch.FailureMode) *Failure {
 				Lookahead: d.Lookahead,
 				Stack:     d.Stack,
 				Reason:    d.Reason,
+				Expected:  d.Expected,
 			})
 		}
 	}

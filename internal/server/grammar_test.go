@@ -1,0 +1,232 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"testing"
+
+	"cogg/internal/batch"
+	"cogg/internal/codegen"
+	"cogg/internal/driver"
+	"cogg/internal/ir"
+	"cogg/internal/oracle"
+	"cogg/internal/rt370"
+	"cogg/specs"
+)
+
+// TestGrammarSessionWalk drives a full remote grammar walk: open a
+// session, feed a known-valid program symbol by symbol (checking each
+// symbol was announced as legal by the previous step), accept with
+// "$end", and verify the session is gone afterwards.
+func TestGrammarSessionWalk(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+
+	var sess GrammarSessionResponse
+	if status := post(t, ts.URL+"/v1/grammar/session", GrammarSessionRequest{}, &sess); status != http.StatusOK {
+		t.Fatalf("session: status %d", status)
+	}
+	if sess.SessionID == "" || sess.Spec != "amdahl470.cogg" {
+		t.Fatalf("session = %+v", sess)
+	}
+	legal := sess.Legal
+	toks, err := ir.ParseTokens(goodIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced := 0
+	for i, tok := range toks {
+		if !contains(legal, tok.Sym) {
+			t.Fatalf("token %d (%s): not in announced legal set %v", i, tok.Sym, legal)
+		}
+		var next GrammarNextResponse
+		status := post(t, ts.URL+"/v1/grammar/next",
+			GrammarNextRequest{SessionID: sess.SessionID, Symbol: tok.Sym}, &next)
+		if status != http.StatusOK {
+			t.Fatalf("next(%s): status %d (%+v)", tok.Sym, status, next)
+		}
+		reduced += len(next.Reduced)
+		legal = next.Legal
+	}
+	if !contains(legal, "$end") {
+		t.Fatalf("program complete but $end not legal: %v", legal)
+	}
+	var fin GrammarNextResponse
+	if status := post(t, ts.URL+"/v1/grammar/next",
+		GrammarNextRequest{SessionID: sess.SessionID, Symbol: "$end"}, &fin); status != http.StatusOK {
+		t.Fatalf("accept: status %d", status)
+	}
+	if !fin.Accepted {
+		t.Fatalf("accept: %+v", fin)
+	}
+	if reduced+len(fin.Reduced) == 0 {
+		t.Error("no productions reported across the whole walk")
+	}
+	// Accepted sessions are closed.
+	if status := post(t, ts.URL+"/v1/grammar/next",
+		GrammarNextRequest{SessionID: sess.SessionID, Symbol: "assign"}, nil); status != http.StatusNotFound {
+		t.Fatalf("closed session answered %d, want 404", status)
+	}
+	if got := s.grammar.closed.Load(); got != 1 {
+		t.Errorf("closed counter = %d, want 1", got)
+	}
+}
+
+// TestGrammarNextErrors pins the error contract: undeclared symbol 400,
+// declared-but-illegal symbol 422 with a recovery set (session
+// survives), unknown session 404, unknown spec 400.
+func TestGrammarNextErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	if status := post(t, ts.URL+"/v1/grammar/session",
+		GrammarSessionRequest{Spec: "no-such-spec"}, nil); status != http.StatusBadRequest {
+		t.Fatalf("unknown spec: status %d, want 400", status)
+	}
+	if status := post(t, ts.URL+"/v1/grammar/next",
+		GrammarNextRequest{SessionID: "nope", Symbol: "assign"}, nil); status != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d, want 404", status)
+	}
+
+	var sess GrammarSessionResponse
+	if status := post(t, ts.URL+"/v1/grammar/session",
+		GrammarSessionRequest{Spec: "risc32"}, &sess); status != http.StatusOK {
+		t.Fatalf("session: status %d", status)
+	}
+	if status := post(t, ts.URL+"/v1/grammar/next",
+		GrammarNextRequest{SessionID: sess.SessionID, Symbol: "made_up_op"}, nil); status != http.StatusBadRequest {
+		t.Fatalf("undeclared symbol: status %d, want 400", status)
+	}
+	var blocked GrammarNextResponse
+	if status := post(t, ts.URL+"/v1/grammar/next",
+		GrammarNextRequest{SessionID: sess.SessionID, Symbol: "cse"}, &blocked); status != http.StatusUnprocessableEntity {
+		t.Fatalf("illegal symbol: status %d, want 422", status)
+	}
+	if blocked.Error == "" || len(blocked.Legal) == 0 {
+		t.Fatalf("422 body lacks error or recovery set: %+v", blocked)
+	}
+	// The session survives an illegal probe.
+	if status := post(t, ts.URL+"/v1/grammar/next",
+		GrammarNextRequest{SessionID: sess.SessionID, Symbol: "assign"}, nil); status != http.StatusOK {
+		t.Fatalf("session did not survive the illegal probe")
+	}
+}
+
+// synthSpecs are the corpus-differential targets.
+var synthSpecs = []struct {
+	name string
+	src  string
+	cfg  func() codegen.Config
+}{
+	{"amdahl470.cogg", specs.Amdahl470, rt370.Config},
+	{"risc32.cogg", specs.Risc32, driver.RiscConfig},
+}
+
+// corpusSize returns the differential corpus size: a quick default, or
+// the acceptance-criterion scale when COGG_CORPUS_FULL is set (the CI
+// corpus job sets it; a 10,000-program run must show zero parse
+// failures, zero blocked parses, full production coverage, and
+// byte-identical listings across both translation paths).
+func corpusSize() int {
+	if os.Getenv("COGG_CORPUS_FULL") != "" {
+		return 10000
+	}
+	return 40
+}
+
+// TestSynthCorpusDifferential is the ifsynth differential property
+// test: every oracle-generated program must translate without a
+// blocked parse, cover every reachable production of its spec
+// (collectively), and produce byte-identical listings between a
+// directly driven codegen session and the daemon's /v1/batch path.
+func TestSynthCorpusDifferential(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	n := corpusSize()
+
+	for _, sc := range synthSpecs {
+		t.Run(sc.name, func(t *testing.T) {
+			svc := batch.New(batch.Options{})
+			tgt, err := svc.Target(sc.name, sc.src, sc.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ses, err := tgt.Gen.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := oracle.New(tgt.Mod)
+			prime, err := ir.ParseTokens(oracle.DefaultPriming(sc.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := oracle.Generate(o, 42, n, oracle.CorpusOptions{
+				Walk: oracle.WalkConfig{Priming: prime},
+				Verify: func(toks []ir.Token) ([]int, error) {
+					_, res, err := ses.Generate("synth", toks)
+					if err != nil {
+						return nil, err
+					}
+					return append([]int(nil), res.ProdCounts...), nil
+				},
+			})
+			if err != nil {
+				t.Fatalf("corpus generation: %v", err)
+			}
+			if !c.Report.Full() {
+				t.Fatalf("coverage %d/%d reachable productions; uncovered: %v",
+					c.Report.Covered, c.Report.Reachable, c.Report.Uncovered)
+			}
+
+			// Reference path: fresh-session translation, as ifcgen does it.
+			units := make([]batch.IFUnit, len(c.Programs))
+			for i, toks := range c.Programs {
+				units[i] = batch.IFUnit{Name: "synth.if", Text: ir.FormatTokens(toks)}
+			}
+			refs := svc.TranslateBatch(tgt, units)
+
+			// Daemon path: the same programs through /v1/batch, chunked
+			// under the admission bound.
+			const chunk = 64
+			for lo := 0; lo < len(units); lo += chunk {
+				hi := lo + chunk
+				if hi > len(units) {
+					hi = len(units)
+				}
+				req := BatchRequest{}
+				for i := lo; i < hi; i++ {
+					req.Units = append(req.Units, CompileRequest{
+						Name: "synth.if", Lang: "if", Spec: sc.name, Source: units[i].Text,
+					})
+				}
+				var resp BatchResponse
+				if status := post(t, ts.URL+"/v1/batch", req, &resp); status != http.StatusOK {
+					t.Fatalf("batch [%d:%d]: status %d", lo, hi, status)
+				}
+				if resp.Failed != 0 {
+					for i, r := range resp.Results {
+						if r.Failure != nil {
+							t.Fatalf("program %d failed via cogd: %+v", lo+i, r.Failure)
+						}
+					}
+				}
+				for i, r := range resp.Results {
+					ref := refs[lo+i]
+					if ref.Err != nil {
+						t.Fatalf("program %d: reference translation failed: %v", lo+i, ref.Err)
+					}
+					if r.Listing != ref.Listing {
+						t.Fatalf("program %d: listing differs between direct and cogd paths\n%s",
+							lo+i, units[lo+i].Text)
+					}
+				}
+			}
+		})
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -19,6 +19,10 @@
 //
 //	POST /v1/compile   one unit (Pascal or raw prefix-IF) -> listing JSON
 //	POST /v1/batch     many units as one batch, results in input order
+//	POST /v1/grammar/session  open a grammar-walk cursor over a spec's
+//	                   SLR tables; returns the legal opening symbols
+//	POST /v1/grammar/next     advance the cursor on one symbol; returns
+//	                   fired productions and the new legal-next set
 //	GET  /healthz      "ok" while serving, 503 while draining
 //	GET  /varz         server, pool, and batch statistics as JSON
 //	GET  /metrics      Prometheus text exposition (see Registry)
@@ -55,6 +59,7 @@ import (
 	"cogg/internal/driver"
 	"cogg/internal/ifopt"
 	"cogg/internal/obs"
+	"cogg/internal/oracle"
 	"cogg/internal/rt370"
 	"cogg/internal/shaper"
 	"cogg/specs"
@@ -183,8 +188,9 @@ type Server struct {
 	// capacity equals the admission bound.
 	admitted atomic.Int64
 
-	gate  drainGate
-	stats serverStats
+	gate    drainGate
+	stats   serverStats
+	grammar grammarTable
 
 	reg  *obs.Registry
 	ring *obs.Ring
@@ -196,6 +202,7 @@ type modTarget struct {
 	specName string
 	tgt      *driver.Target
 	pool     *sessionPool
+	oracle   *oracle.Oracle
 }
 
 // New builds the daemon, constructing (or cache-loading) the default
@@ -223,6 +230,7 @@ func New(opts Options) (*Server, error) {
 	}
 	s.svc.RegisterMetrics(s.reg)
 	s.registerServerMetrics()
+	s.registerGrammarMetrics()
 	if _, err := s.target(""); err != nil {
 		return nil, err
 	}
@@ -327,7 +335,9 @@ func (s *Server) target(spec string) (*modTarget, error) {
 	if err != nil {
 		return nil, err
 	}
-	mt := &modTarget{specName: name, tgt: tgt, pool: newSessionPool(tgt.Gen, s.opts.PoolSize)}
+	mt := &modTarget{specName: name, tgt: tgt,
+		pool:   newSessionPool(tgt.Gen, s.opts.PoolSize),
+		oracle: oracle.New(tgt.Mod)}
 	s.targets[name] = mt
 	s.registerPoolMetrics(mt)
 	return mt, nil
@@ -358,6 +368,8 @@ func (s *Server) buildMux() {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/compile", s.instrument("/v1/compile", s.handleCompile))
 	mux.Handle("/v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	mux.Handle("/v1/grammar/session", s.instrument("/v1/grammar/session", s.handleGrammarSession))
+	mux.Handle("/v1/grammar/next", s.instrument("/v1/grammar/next", s.handleGrammarNext))
 	mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("/varz", s.instrument("/varz", s.handleVarz))
 	mux.Handle("/metrics", s.instrument("/metrics", s.handleMetrics))

@@ -187,6 +187,13 @@ func (m *Module) validate() error {
 		if c == 0 {
 			continue // free slot; its action is never followed
 		}
+		// A significant entry is reached only as Base[state]+ColOf[sym],
+		// so its displacement from its owner's base must be a real
+		// lookahead column; an entry outside [0, NumCols) claims a
+		// lookahead symbol beyond the declared universe.
+		if col := i - int(p.Base[c-1]); col < 0 || col >= p.NumCols {
+			return fmt.Errorf("entry %d of state %d is at lookahead column %d of %d", i, c-1, col, p.NumCols)
+		}
 		a := p.Data[i]
 		switch a.Kind() {
 		case lr.Shift:

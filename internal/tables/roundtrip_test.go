@@ -80,9 +80,20 @@ func (randModule) Generate(r *rand.Rand, size int) reflect.Value {
 	entries := r.Intn(33)
 	for i := 0; i < entries; i++ {
 		// Occupied slots must satisfy Decode's consistency validation:
-		// shift targets are states and reduce targets are productions.
-		// Free slots (check 0) are never followed and stay unconstrained.
-		check := int32(r.Intn(p.NumStates + 1))
+		// shift targets are states, reduce targets are productions, and
+		// the slot's displacement from its owner's base must be a real
+		// lookahead column. Free slots (check 0) are never followed and
+		// stay unconstrained.
+		var owners []int32
+		for s := 0; s < p.NumStates; s++ {
+			if col := i - int(p.Base[s]); col >= 0 && col < p.NumCols {
+				owners = append(owners, int32(s)+1)
+			}
+		}
+		check := int32(0)
+		if len(owners) > 0 && r.Intn(p.NumStates+1) != 0 {
+			check = owners[r.Intn(len(owners))]
+		}
 		a := lr.MkAction(lr.Kind(r.Intn(4)), r.Intn(1<<14))
 		if check != 0 {
 			switch a.Kind() {

@@ -3,6 +3,7 @@ package tables_test
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -176,6 +177,56 @@ func TestDedupEquivalence(t *testing.T) {
 		// state-specific shift targets, so nothing merges.
 		if d.UniqueRows() != cg.Table.NumStates {
 			t.Logf("%s: %d unique rows of %d states", s.name, d.UniqueRows(), cg.Table.NumStates)
+		}
+	}
+}
+
+// TestDecodeRejectsOutOfUniverseLookahead is the corrupted-module
+// regression for the packed-table displacement check: a significant
+// action entry whose offset from its owning state's base falls outside
+// [0, NumCols) claims a lookahead symbol beyond the declared symbol
+// universe, and Decode must refuse the module rather than let the
+// parse loop follow it.
+func TestDecodeRejectsOutOfUniverseLookahead(t *testing.T) {
+	cg := buildFrom(t, "amdahl-minimal.cogg", specs.AmdahlMinimal)
+	var buf bytes.Buffer
+	if _, err := cg.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := tables.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a significant entry and push its owner's base past it, so the
+	// entry's displacement goes negative; then pull the base back until
+	// the displacement lands at NumCols, just over the high edge.
+	target := -1
+	for i, c := range pristine.Packed.Check {
+		if c != 0 {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("module has no significant entries")
+	}
+	owner := pristine.Packed.Check[target] - 1
+	for _, bad := range []int32{int32(target) + 1, int32(target - pristine.Packed.NumCols)} {
+		corrupt, err := tables.Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		corrupt.Packed.Base[owner] = bad
+		var reenc bytes.Buffer
+		if _, err := tables.EncodeModule(&reenc, corrupt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tables.Decode(bytes.NewReader(reenc.Bytes())); err == nil {
+			t.Errorf("Decode accepted a module whose state %d base %d puts entry %d outside the symbol universe",
+				owner, bad, target)
+		} else if !strings.Contains(err.Error(), "lookahead column") {
+			t.Errorf("base %d: error %q does not name the lookahead column", bad, err)
 		}
 	}
 }
