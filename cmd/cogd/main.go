@@ -27,12 +27,16 @@
 //	                 stay unreachable unless explicitly requested)
 //	-stats           print the batch-service counters on exit
 //
-// Endpoints: POST /v1/compile, POST /v1/batch, GET /healthz, /varz,
-// /metrics (Prometheus text exposition), /v1/traces (recent span
-// trees), /debug/vars, and (with -pprof) /debug/pprof. The bound
-// listen address is logged at startup. On SIGTERM or SIGINT the daemon
-// stops admitting work (healthz turns 503), finishes in-flight
-// requests within the drain budget, then exits.
+// Endpoints: POST /v1/compile, POST /v1/batch, GET /healthz (liveness,
+// always 200), /readyz (readiness: 503 with Retry-After while
+// draining), /varz, /metrics (Prometheus text exposition), /v1/traces
+// (recent span trees), /debug/vars, and (with -pprof) /debug/pprof.
+// The bound listen address is logged at startup. On SIGTERM or SIGINT
+// the daemon stops admitting work (readyz turns 503 so fleet fronts
+// route around it; healthz stays 200 so supervisors don't restart a
+// draining process), finishes in-flight requests within the drain
+// budget, then exits. To run several cogd replicas behind one resilient
+// endpoint, see cmd/cogdfront.
 package main
 
 import (

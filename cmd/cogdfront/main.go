@@ -1,0 +1,157 @@
+// Command cogdfront is the fleet front for replicated cogd daemons: a
+// reverse proxy that consistent-hashes requests across replicas by spec
+// (cache affinity), probes every replica's /readyz, retries retryable
+// answers with jittered backoff honoring Retry-After, hedges slow
+// requests, trips per-replica circuit breakers, and — with -local — falls
+// back to in-process compilation (responses flagged "degraded":true)
+// when no replica can answer. The policy engine is internal/cluster,
+// shared with coggload's -targets mode.
+//
+// Usage:
+//
+//	cogdfront -targets URL[,URL...] [flags]
+//
+//	-addr HOST:PORT       listen address (default 127.0.0.1:8471)
+//	-targets URLS         comma-separated replica base URLs (required)
+//	-retries N            retryable-answer retries per request (default 3)
+//	-timeout D            per-attempt timeout; a hung replica is only
+//	                      detectable through this (default 10s)
+//	-hedge-after D        hedge a request still unanswered after D;
+//	                      0 adapts to the observed p99, -1 disables
+//	                      (default 0)
+//	-probe-interval D     /readyz probe period per replica (default 250ms)
+//	-breaker-threshold N  consecutive failures that open a replica's
+//	                      breaker (default 5)
+//	-breaker-cooldown D   open-breaker cooldown before the half-open
+//	                      probe (default 1s)
+//	-local                serve requests locally when no replica can
+//	-spec NAME            local tier's spec (as cogd -spec)
+//	-risc                 local tier's risc32 configuration
+//	-cache DIR            local tier's table-module cache directory
+//
+// Endpoints mirror cogd's: POST /v1/compile, /v1/batch,
+// /v1/grammar/session, /v1/grammar/next (grammar sessions are pinned to
+// the replica that opened them via a session-ID prefix, so the front
+// stays stateless), GET /healthz, /readyz, /varz (replica health and
+// policy counters), /metrics (cluster_* series in Prometheus text).
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cogg/internal/cluster"
+	"cogg/internal/obs"
+	"cogg/internal/server"
+	"cogg/specs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8471", "listen address")
+	targets := flag.String("targets", "", "comma-separated cogd replica base URLs")
+	retries := flag.Int("retries", 3, "retryable-answer retries per request")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-attempt timeout")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge delay (0: adaptive p99, -1: off)")
+	probeInterval := flag.Duration("probe-interval", 250*time.Millisecond, "/readyz probe period per replica")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive failures that open a breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "open-breaker cooldown")
+	local := flag.Bool("local", false, "fall back to in-process compilation when no replica can answer")
+	specName := flag.String("spec", "amdahl470", "local tier's code generator specification")
+	risc := flag.Bool("risc", false, "local tier's risc32 target configuration")
+	cacheDir := flag.String("cache", "", "local tier's table-module cache directory")
+	flag.Parse()
+
+	var urls []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			urls = append(urls, t)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("cogdfront: -targets is required (comma-separated cogd base URLs)")
+	}
+
+	reg := obs.NewRegistry()
+	opts := cluster.Options{
+		Targets:          urls,
+		MaxRetries:       *retries,
+		AttemptTimeout:   *timeout,
+		HedgeAfter:       *hedgeAfter,
+		ProbeInterval:    *probeInterval,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Registry:         reg,
+	}
+	if *local {
+		// The local tier is built on first use, not at startup: a front
+		// over a healthy fleet never pays table construction.
+		opts.Local = func() (http.Handler, error) {
+			name, src, err := loadSpec(*specName)
+			if err != nil {
+				return nil, err
+			}
+			srv, err := server.New(server.Options{
+				SpecName: name,
+				SpecSrc:  src,
+				Risc:     *risc || *specName == "risc32",
+				CacheDir: *cacheDir,
+				Registry: reg,
+			})
+			if err != nil {
+				return nil, err
+			}
+			log.Printf("cogdfront: degraded: serving %s locally", name)
+			return srv.Handler(), nil
+		}
+	}
+	cl, err := cluster.New(opts)
+	if err != nil {
+		log.Fatalf("cogdfront: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("cogdfront: %v", err)
+	}
+	log.Printf("cogdfront: serving %d replicas (%s) on %s", len(urls), strings.Join(cl.Replicas(), ", "), ln.Addr())
+
+	httpSrv := &http.Server{Handler: cluster.NewFront(cl).Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("cogdfront: %v: shutting down", sig)
+		cl.Close()
+		_ = httpSrv.Close()
+	case err := <-errc:
+		log.Fatalf("cogdfront: %v", err)
+	}
+}
+
+// loadSpec resolves an embedded spec name or reads a .cogg file, as
+// cogd does.
+func loadSpec(arg string) (string, string, error) {
+	switch arg {
+	case "amdahl470":
+		return "amdahl470.cogg", specs.Amdahl470, nil
+	case "amdahl-minimal", "minimal":
+		return "amdahl-minimal.cogg", specs.AmdahlMinimal, nil
+	case "risc32":
+		return "risc32.cogg", specs.Risc32, nil
+	}
+	b, err := os.ReadFile(arg)
+	if err != nil {
+		return "", "", err
+	}
+	return arg, string(b), nil
+}

@@ -9,6 +9,16 @@
 //	coggload [flags]
 //
 //	-url URL      daemon base URL (default http://127.0.0.1:8470)
+//	-targets URLS comma-separated replica base URLs: drive a whole fleet
+//	              through the cluster policy engine (internal/cluster),
+//	              spreading load across replicas and reporting a
+//	              per-replica latency breakdown; overrides -url
+//	-retries N    retryable-answer (transport error, 429, 5xx) retries
+//	              per request through the policy engine (default 0: a
+//	              failure is a failure, the measurement-honest mode)
+//	-timeout D    per-attempt timeout in the policy engine (0: none)
+//	-hedge-after D hedge a request still unanswered after D; 0 adapts
+//	              to the observed p99, -1 disables (default -1)
 //	-lang L       request language: pascal (default) or if
 //	-src FILE     request source; default is an embedded Pascal program
 //	              (or an embedded IF stream with -lang if)
@@ -36,6 +46,7 @@
 // status' count and p50/p95/p99 are printed and included in the JSON,
 // so rejections and timeouts no longer fold silently into (or hide
 // from) the success distribution.
+//
 //	-note NOTE    note stored in the JSON summary
 //
 // Exit status is nonzero when any request failed (non-2xx other than
@@ -43,7 +54,7 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -52,9 +63,12 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cogg/internal/cluster"
 )
 
 // defaultPascal keeps the daemon's full pipeline busy: procedures,
@@ -88,11 +102,16 @@ const defaultIF = `assign fullword dsp.96 r.13 iadd imult fullword dsp.100 r.13 
 type result struct {
 	latency time.Duration
 	status  int
+	replica string
 	err     error
 }
 
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8470", "daemon base URL")
+	targetsFlag := flag.String("targets", "", "comma-separated replica base URLs (overrides -url)")
+	retries := flag.Int("retries", 0, "retryable-answer retries per request")
+	attemptTimeout := flag.Duration("timeout", 0, "per-attempt timeout (0: none)")
+	hedgeAfter := flag.Duration("hedge-after", -1, "hedge delay (0: adaptive p99, -1: off)")
 	lang := flag.String("lang", "pascal", "request language: pascal or if")
 	srcFile := flag.String("src", "", "request source file (default: embedded)")
 	synthDir := flag.String("synth", "", "directory of *.if corpus files to cycle through (implies -lang if)")
@@ -155,21 +174,58 @@ func main() {
 		}
 		bodies[i] = body
 	}
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConns:        4 * *c,
-		MaxIdleConnsPerHost: 4 * *c,
-	}}
-	var bodyNext atomic.Int64
+	targets := []string{*url}
+	multi := false
+	if *targetsFlag != "" {
+		targets = nil
+		for _, t := range strings.Split(*targetsFlag, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targets = append(targets, t)
+			}
+		}
+		multi = len(targets) > 1
+	}
+	// All traffic flows through the cluster policy engine — the same
+	// retry/hedge/breaker implementation as cmd/cogdfront — so a load
+	// test measures exactly the client behavior production gets. With
+	// the default single target, zero retries, and hedging off, the
+	// engine is a pass-through and measurement semantics are unchanged.
+	// Active /readyz probing runs only when resilience features are on;
+	// a plain benchmark adds no background traffic.
+	probe := time.Duration(-1)
+	if multi || *retries > 0 || *hedgeAfter >= 0 {
+		probe = 250 * time.Millisecond
+	}
+	cl, err := cluster.New(cluster.Options{
+		Targets:        targets,
+		MaxRetries:     *retries,
+		AttemptTimeout: *attemptTimeout,
+		HedgeAfter:     *hedgeAfter,
+		ProbeInterval:  probe,
+		HTTPClient: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        4 * *c,
+			MaxIdleConnsPerHost: 4 * *c,
+		}},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+
+	var seq atomic.Int64
 	shoot := func() result {
-		body := bodies[int(bodyNext.Add(1)-1)%len(bodies)]
+		i := seq.Add(1) - 1
+		body := bodies[int(i)%len(bodies)]
+		// The routing key varies per request so a fleet is loaded
+		// uniformly; real clients keying by spec alone would concentrate
+		// each spec's traffic on its hash owner instead.
+		key := fmt.Sprintf("%s/%d", *spec, i)
 		t0 := time.Now()
-		resp, err := client.Post(*url+"/v1/compile", "application/json", bytes.NewReader(body))
+		res, err := cl.Do(context.Background(), "/v1/compile", key, body)
 		if err != nil {
 			return result{latency: time.Since(t0), err: err}
 		}
-		_, _ = io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		return result{latency: time.Since(t0), status: resp.StatusCode}
+		return result{latency: time.Since(t0), status: res.Status, replica: res.Replica}
 	}
 
 	for i := 0; i < *warmup; i++ {
@@ -189,7 +245,12 @@ func main() {
 		results, elapsed = closedLoop(shoot, *n, *c)
 	}
 
-	report(os.Stdout, mode, *url, results, elapsed, *benchName, *out, *note)
+	target := *url
+	if multi {
+		target = strings.Join(targets, ", ")
+	}
+	snap := cl.Snapshot()
+	report(os.Stdout, mode, target, results, elapsed, *benchName, *out, *note, multi, snap)
 }
 
 // closedLoop issues total requests from c workers back-to-back.
@@ -252,7 +313,7 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[i]
 }
 
-func report(w io.Writer, mode, url string, results []result, elapsed time.Duration, benchName, outFile, note string) {
+func report(w io.Writer, mode, url string, results []result, elapsed time.Duration, benchName, outFile, note string, multi bool, snap cluster.Snapshot) {
 	// Latencies are grouped per HTTP status, each sorted for
 	// percentiles: a 429's latency says how fast backpressure answers
 	// and a 504's how long the deadline held the client, and folding
@@ -300,8 +361,32 @@ func report(w io.Writer, mode, url string, results []result, elapsed time.Durati
 		fmt.Fprintf(w, "  transport-errors ×%d\n", transportErrs)
 	}
 
+	// Per-replica breakdown of successful answers: in a fleet run this
+	// shows routing (who served what) and per-replica latency, so one
+	// browned-out replica is visible instead of averaged away.
+	byReplica := map[string][]time.Duration{}
+	for _, r := range results {
+		if r.err == nil && r.replica != "" && r.status >= 200 && r.status < 300 {
+			byReplica[r.replica] = append(byReplica[r.replica], r.latency)
+		}
+	}
+	for _, ds := range byReplica {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	}
+	if multi || len(byReplica) > 1 {
+		for _, name := range sortedReplicas(byReplica) {
+			ds := byReplica[name]
+			fmt.Fprintf(w, "  replica %-21s ×%-5d p50 %v  p95 %v  p99 %v\n",
+				name, len(ds), percentile(ds, 0.50), percentile(ds, 0.95), percentile(ds, 0.99))
+		}
+	}
+	if snap.Retries+snap.Hedges+snap.Failovers+snap.Degraded > 0 {
+		fmt.Fprintf(w, "  policy      %d retries, %d hedges (%d won), %d failovers, %d degraded\n",
+			snap.Retries, snap.Hedges, snap.HedgeWins, snap.Failovers, snap.Degraded)
+	}
+
 	if outFile != "" {
-		if err := writeSummary(outFile, benchName, note, ok, p50, p95, p99, rps, byStatus, transportErrs); err != nil {
+		if err := writeSummary(outFile, benchName, note, ok, p50, p95, p99, rps, byStatus, byReplica, snap, transportErrs); err != nil {
 			fatal(err)
 		}
 	}
@@ -331,7 +416,7 @@ type benchEntry struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-func writeSummary(path, name, note string, ok []time.Duration, p50, p95, p99 time.Duration, rps float64, byStatus map[int][]time.Duration, transportErrs int) error {
+func writeSummary(path, name, note string, ok []time.Duration, p50, p95, p99 time.Duration, rps float64, byStatus map[int][]time.Duration, byReplica map[string][]time.Duration, snap cluster.Snapshot, transportErrs int) error {
 	rejected := len(byStatus[http.StatusTooManyRequests])
 	failed := transportErrs
 	for s, ds := range byStatus {
@@ -357,6 +442,23 @@ func writeSummary(path, name, note string, ok []time.Duration, p50, p95, p99 tim
 		metrics[prefix+"p95-ns"] = float64(percentile(ds, 0.95).Nanoseconds())
 		metrics[prefix+"p99-ns"] = float64(percentile(ds, 0.99).Nanoseconds())
 	}
+	// Per-replica counts and latency percentiles, so the gate can catch
+	// one replica serving slow (or nothing) while the fleet aggregate
+	// still looks healthy.
+	for name, ds := range byReplica {
+		prefix := "replica-" + name + "-"
+		metrics[prefix+"count"] = float64(len(ds))
+		metrics[prefix+"p50-ns"] = float64(percentile(ds, 0.50).Nanoseconds())
+		metrics[prefix+"p95-ns"] = float64(percentile(ds, 0.95).Nanoseconds())
+		metrics[prefix+"p99-ns"] = float64(percentile(ds, 0.99).Nanoseconds())
+	}
+	if snap.Attempts > 0 {
+		metrics["policy-retries"] = float64(snap.Retries)
+		metrics["policy-hedges"] = float64(snap.Hedges)
+		metrics["policy-hedge-wins"] = float64(snap.HedgeWins)
+		metrics["policy-failovers"] = float64(snap.Failovers)
+		metrics["policy-degraded"] = float64(snap.Degraded)
+	}
 	f := benchFile{
 		Note: note,
 		Benchmarks: map[string]benchEntry{
@@ -379,6 +481,15 @@ func sortedStatuses(m map[int][]time.Duration) []int {
 		ks = append(ks, k)
 	}
 	sort.Ints(ks)
+	return ks
+}
+
+func sortedReplicas(m map[string][]time.Duration) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
 	return ks
 }
 

@@ -117,7 +117,7 @@ func New(opts Options) *Service {
 	if backoff <= 0 {
 		backoff = 10 * time.Millisecond
 	}
-	return &Service{
+	s := &Service{
 		workers:  w,
 		dir:      opts.CacheDir,
 		mem:      newModuleLRU(mem),
@@ -127,6 +127,8 @@ func New(opts Options) *Service {
 		measure:  opts.MeasureAllocs,
 		inflight: map[string]*call{},
 	}
+	s.sweepOrphans()
+	return s
 }
 
 // Workers reports the pool bound.

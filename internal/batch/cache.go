@@ -123,9 +123,13 @@ func (s *Service) loadDisk(key string) (*tables.Module, bool) {
 	return mod, true
 }
 
-// storeDisk writes an encoded module under its key, atomically: the
-// bytes land in a temporary file first so a crashed or concurrent writer
-// can never leave a half-written entry at the final name.
+// storeDisk writes an encoded module under its key, atomically and
+// crash-safely: the bytes land in a temporary file that is fsynced
+// before the rename, and the parent directory is fsynced after it, so
+// neither a crashed writer nor a power cut can leave a half-written
+// entry at the final name — at worst an orphaned temp file survives,
+// which the startup sweep reclaims (and the decoder's checksums would
+// reject anyway).
 func (s *Service) storeDisk(key string, mod *tables.Module) error {
 	if s.dir == "" {
 		return nil
@@ -149,6 +153,19 @@ func (s *Service) storeDisk(key string, mod *tables.Module) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	// The data must be durable before the rename publishes the name:
+	// otherwise a power cut can leave the final name pointing at blocks
+	// that never reached the disk.
+	if err := faultinject.Eval("batch/cache/sync", key); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
@@ -161,8 +178,45 @@ func (s *Service) storeDisk(key string, mod *tables.Module) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	// And the rename itself must be durable: fsync the directory so the
+	// new entry survives a crash. A failure here degrades, not corrupts
+	// — the entry is good, its durability just is not proven.
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
 	s.Stats.DiskBytes.Add(int64(buf.Len()))
 	return nil
+}
+
+// orphanMinAge guards the startup sweep against reaping a temp file a
+// concurrent Service in another process is about to rename: only temps
+// old enough that no live write can still own them are reclaimed.
+const orphanMinAge = time.Minute
+
+// sweepOrphans removes stale "*.tmp*" files left in the cache directory
+// by writers that crashed between CreateTemp and Rename. Runs once at
+// Service construction; the atomic-rename protocol guarantees orphans
+// are invisible to loadDisk, so this is hygiene (disk space, inode
+// clutter), not correctness.
+func (s *Service) sweepOrphans() {
+	if s.dir == "" {
+		return
+	}
+	matches, err := filepath.Glob(filepath.Join(s.dir, "*.tmp*"))
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	for _, path := range matches {
+		fi, err := os.Stat(path)
+		if err != nil || now.Sub(fi.ModTime()) < orphanMinAge {
+			continue
+		}
+		if os.Remove(path) == nil {
+			s.Stats.OrphansSwept.Add(1)
+		}
+	}
 }
 
 // storeDiskRetry is storeDisk with the service's transient-fault retry

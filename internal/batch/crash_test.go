@@ -1,0 +1,104 @@
+package batch_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cogg/internal/batch"
+	"cogg/internal/faultinject"
+	"cogg/internal/rt370"
+	"cogg/specs"
+)
+
+// TestOrphanSweepAtStartup: a temp file left by a writer that crashed
+// between CreateTemp and Rename is reclaimed when the next Service
+// starts over the directory — but only once it is old enough that no
+// live writer can still own it, so a concurrent store's fresh temp
+// survives the sweep.
+func TestOrphanSweepAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "deadbeef.tmp123456")
+	fresh := filepath.Join(dir, "cafef00d.tmp654321")
+	if err := os.WriteFile(stale, []byte("half-written module"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Minute)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fresh, []byte("in-flight write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := batch.New(batch.Options{CacheDir: dir})
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale orphan %s survived the startup sweep", stale)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp %s was reaped by the startup sweep: %v", fresh, err)
+	}
+	if got := s.Stats.Snapshot().OrphansSwept; got != 1 {
+		t.Errorf("OrphansSwept = %d, want 1", got)
+	}
+}
+
+// TestTruncatedEntryNeverServesCorruptModule simulates the crash the
+// atomic-rename protocol defends against: whatever prefix of a module's
+// bytes reaches the final name, the loader must reject it and rebuild —
+// a truncated entry may cost a table construction, never a wrong table.
+func TestTruncatedEntryNeverServesCorruptModule(t *testing.T) {
+	dir := t.TempDir()
+	minimalTarget(t, batch.New(batch.Options{CacheDir: dir}))
+	entries := cacheFiles(t, dir)
+	if len(entries) != 1 {
+		t.Fatalf("cache holds %d entries, want 1", len(entries))
+	}
+	whole, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cut := range []int{0, 1, 16, len(whole) / 4, len(whole) / 2, len(whole) - 1} {
+		if err := os.WriteFile(entries[0], whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := batch.New(batch.Options{CacheDir: dir})
+		if _, err := s.Target(specName, specs.AmdahlMinimal, rt370.Config()); err != nil {
+			t.Fatalf("cut=%d: rebuild after truncated entry failed: %v", cut, err)
+		}
+		v := s.Stats.Snapshot()
+		if v.DiskHits != 0 {
+			t.Errorf("cut=%d: truncated entry served as a disk hit", cut)
+		}
+		if v.DiskBad != 1 || v.Misses != 1 {
+			t.Errorf("cut=%d: bad=%d misses=%d, want 1/1", cut, v.DiskBad, v.Misses)
+		}
+		// The rebuild republished a full entry for the next round.
+		if b, err := os.ReadFile(entries[0]); err != nil || len(b) != len(whole) {
+			t.Fatalf("cut=%d: entry not republished (err=%v len=%d want %d)", cut, err, len(b), len(whole))
+		}
+	}
+}
+
+// TestSyncFaultLeavesNoFinalEntry: a failure at the pre-rename fsync
+// (the crash window the durability protocol closes) must leave nothing
+// at the final name — the store degrades, the cache stays consistent.
+func TestSyncFaultLeavesNoFinalEntry(t *testing.T) {
+	faultinject.Set(faultinject.Rule{Site: "batch/cache/sync", Kind: faultinject.KindError, Class: "io"})
+	defer faultinject.Reset()
+
+	dir := t.TempDir()
+	s := batch.New(batch.Options{CacheDir: dir})
+	minimalTarget(t, s) // table build succeeds; only the disk store fails
+	if n := len(cacheFiles(t, dir)); n != 0 {
+		t.Errorf("cache holds %d entries after an injected sync fault, want 0", n)
+	}
+	if got := s.Stats.Snapshot().DiskWriteErrs; got != 1 {
+		t.Errorf("DiskWriteErrs = %d, want 1", got)
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "*.tmp*")); len(m) != 0 {
+		t.Errorf("sync fault leaked temp files: %v", m)
+	}
+}

@@ -53,6 +53,7 @@ type Stats struct {
 	FailedOther    atomic.Int64 // everything else
 	Retries        atomic.Int64 // transient-fault retries performed
 	DiskWriteErrs  atomic.Int64 // cache writes that failed after retry (degraded)
+	OrphansSwept   atomic.Int64 // stale temp files reclaimed at startup
 
 	// Queue pressure: units waiting or running right now, and the
 	// high-water mark over the service's lifetime.
@@ -111,7 +112,7 @@ type Snapshot struct {
 
 	FailedPanic, FailedBlocked, FailedTimeout int64
 	FailedResource, FailedIO, FailedOther     int64
-	Retries, DiskWriteErrs                    int64
+	Retries, DiskWriteErrs, OrphansSwept      int64
 }
 
 func perOp(total, n int64) int64 {
@@ -157,6 +158,7 @@ func (s *Stats) Snapshot() Snapshot {
 		FailedOther:    s.FailedOther.Load(),
 		Retries:        s.Retries.Load(),
 		DiskWriteErrs:  s.DiskWriteErrs.Load(),
+		OrphansSwept:   s.OrphansSwept.Load(),
 	}
 }
 
@@ -182,8 +184,9 @@ func (s *Stats) String() string {
 		fmt.Fprintf(&b, "  failure modes    %d panic, %d blocked, %d timeout, %d resource-limit, %d io, %d other\n",
 			v.FailedPanic, v.FailedBlocked, v.FailedTimeout, v.FailedResource, v.FailedIO, v.FailedOther)
 	}
-	if v.Retries > 0 || v.DiskWriteErrs > 0 {
-		fmt.Fprintf(&b, "  fault tolerance  %d retries, %d degraded cache writes\n", v.Retries, v.DiskWriteErrs)
+	if v.Retries > 0 || v.DiskWriteErrs > 0 || v.OrphansSwept > 0 {
+		fmt.Fprintf(&b, "  fault tolerance  %d retries, %d degraded cache writes, %d orphans swept\n",
+			v.Retries, v.DiskWriteErrs, v.OrphansSwept)
 	}
 	return b.String()
 }

@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Front is the reverse-proxy tier over a Client: the handler cogdfront
+// serves. Compile and batch traffic routes by spec key through the full
+// policy engine; grammar-walk sessions — stateful cursors living on
+// exactly one replica — get sticky routing via a replica prefix folded
+// into the session ID, so the front itself stays stateless and a front
+// restart loses nothing.
+type Front struct {
+	c *Client
+}
+
+// NewFront wraps a Client.
+func NewFront(c *Client) *Front { return &Front{c: c} }
+
+// Handler builds the front's mux:
+//
+//	POST /v1/compile          routed by the request's spec
+//	POST /v1/batch            routed by the first unit's spec
+//	POST /v1/grammar/session  routed by spec; session_id gains a replica prefix
+//	POST /v1/grammar/next     sticky to the session's replica
+//	GET  /healthz             liveness: always 200
+//	GET  /readyz              200 when at least one replica (or the local
+//	                          tier) can take traffic, else 503
+//	GET  /varz                replica health + policy counters as JSON
+//	GET  /metrics             Prometheus text exposition (cluster_* series)
+func (f *Front) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/compile", func(w http.ResponseWriter, r *http.Request) {
+		f.proxy(w, r, "/v1/compile", specKeyCompile)
+	})
+	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		f.proxy(w, r, "/v1/batch", specKeyBatch)
+	})
+	mux.HandleFunc("/v1/grammar/session", f.handleGrammarSession)
+	mux.HandleFunc("/v1/grammar/next", f.handleGrammarNext)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", f.handleReadyz)
+	mux.HandleFunc("/varz", f.handleVarz)
+	mux.HandleFunc("/metrics", f.handleMetrics)
+	return mux
+}
+
+// specKeyCompile pulls the routing key out of a compile body.
+func specKeyCompile(body []byte) string {
+	var req struct {
+		Spec string `json:"spec"`
+	}
+	_ = json.Unmarshal(body, &req)
+	return req.Spec
+}
+
+// specKeyBatch keys a batch by its first unit's spec: batches are
+// normally homogeneous, and a mixed batch still lands somewhere valid —
+// affinity is an optimization, never a correctness requirement.
+func specKeyBatch(body []byte) string {
+	var req struct {
+		Units []struct {
+			Spec string `json:"spec"`
+		} `json:"units"`
+	}
+	_ = json.Unmarshal(body, &req)
+	if len(req.Units) > 0 {
+		return req.Units[0].Spec
+	}
+	return ""
+}
+
+func (f *Front) proxy(w http.ResponseWriter, r *http.Request, path string, keyFn func([]byte) string) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeFrontError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	res, err := f.c.Do(r.Context(), path, keyFn(body), body)
+	if err != nil {
+		writeFrontError(w, http.StatusBadGateway, err)
+		return
+	}
+	writeResult(w, res)
+}
+
+// handleGrammarSession opens a cursor somewhere in the fleet and brands
+// the returned session ID with the answering replica ("r2:<id>"), or
+// "local:<id>" for the degraded tier, so /v1/grammar/next can route back.
+func (f *Front) handleGrammarSession(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeFrontError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	res, err := f.c.Do(r.Context(), "/v1/grammar/session", specKeyCompile(body), body)
+	if err != nil {
+		writeFrontError(w, http.StatusBadGateway, err)
+		return
+	}
+	if res.Status == http.StatusOK {
+		res.Body = rewriteSessionID(res.Body, sessionPrefix(res))
+	}
+	writeResult(w, res)
+}
+
+// handleGrammarNext strips the replica prefix off the session ID and
+// sends the advance to exactly that replica — a cursor is state on one
+// process; failing over would silently restart the walk.
+func (f *Front) handleGrammarNext(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeFrontError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	var req struct {
+		SessionID string `json:"session_id"`
+		Symbol    string `json:"symbol"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeFrontError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	prefix, inner, ok := splitSessionID(req.SessionID)
+	if !ok {
+		writeFrontError(w, http.StatusBadRequest,
+			fmt.Errorf("session_id %q carries no replica prefix; open sessions through this front", req.SessionID))
+		return
+	}
+	req.SessionID = inner
+	fwd, _ := json.Marshal(req)
+
+	var res *Result
+	if prefix == "local" {
+		if f.c.opts.Local == nil {
+			writeFrontError(w, http.StatusBadGateway, fmt.Errorf("local session but no local tier configured"))
+			return
+		}
+		res, err = f.c.localDo("/v1/grammar/next", fwd)
+	} else {
+		idx, convErr := strconv.Atoi(strings.TrimPrefix(prefix, "r"))
+		if convErr != nil {
+			writeFrontError(w, http.StatusBadRequest, fmt.Errorf("bad session_id prefix %q", prefix))
+			return
+		}
+		res, err = f.c.DoAt(r.Context(), idx, "/v1/grammar/next", fwd)
+	}
+	if err != nil {
+		writeFrontError(w, http.StatusBadGateway, err)
+		return
+	}
+	res.Body = rewriteSessionID(res.Body, prefix+":")
+	writeResult(w, res)
+}
+
+func sessionPrefix(res *Result) string {
+	if res.Degraded {
+		return "local:"
+	}
+	return fmt.Sprintf("r%d:", res.ReplicaIdx)
+}
+
+// splitSessionID divides "r2:abc" into ("r2", "abc", true); IDs without
+// a prefix report false.
+func splitSessionID(id string) (prefix, inner string, ok bool) {
+	i := strings.IndexByte(id, ':')
+	if i <= 0 {
+		return "", id, false
+	}
+	return id[:i], id[i+1:], true
+}
+
+// rewriteSessionID prefixes the session_id field of a JSON object body;
+// bodies without one pass through unchanged.
+func rewriteSessionID(body []byte, prefix string) []byte {
+	var obj map[string]any
+	if err := json.Unmarshal(body, &obj); err != nil {
+		return body
+	}
+	id, _ := obj["session_id"].(string)
+	if id == "" {
+		return body
+	}
+	obj["session_id"] = prefix + id
+	out, err := json.Marshal(obj)
+	if err != nil {
+		return body
+	}
+	return append(out, '\n')
+}
+
+// handleReadyz answers 200 when traffic has somewhere to go: any replica
+// whose last probe said ready (or is unprobed with a non-open breaker),
+// or the local degradation tier as a last resort.
+func (f *Front) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready := f.c.opts.Local != nil
+	if !ready {
+		for _, rep := range f.c.reps {
+			probed, rdy := rep.isReady()
+			if probed && !rdy {
+				continue
+			}
+			if rep.br.current() != BreakerOpen {
+				ready = true
+				break
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !ready {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no admissible replica")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (f *Front) handleVarz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(f.c.Snapshot())
+}
+
+func (f *Front) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if f.c.opts.Registry != nil {
+		_ = f.c.opts.Registry.WriteText(w)
+	}
+}
+
+// writeResult copies a cluster Result onto the wire, tagging the
+// answering replica so operators can see routing from curl.
+func writeResult(w http.ResponseWriter, res *Result) {
+	if ct := res.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	if ra := res.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	if tid := res.Header.Get("X-Trace-Id"); tid != "" {
+		w.Header().Set("X-Trace-Id", tid)
+	}
+	w.Header().Set("X-Cogd-Replica", res.Replica)
+	if res.Attempts > 1 || res.Hedges > 0 {
+		w.Header().Set("X-Cogd-Attempts", strconv.Itoa(res.Attempts))
+	}
+	w.WriteHeader(res.Status)
+	_, _ = w.Write(res.Body)
+}
+
+func writeFrontError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

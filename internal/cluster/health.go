@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+)
+
+// startProbers launches one active health prober per replica. Each
+// probes GET /readyz on the probe interval: readiness is stricter than
+// liveness (a draining or still-warming replica answers 503 there while
+// /healthz stays 200), which is exactly the signal routing wants —
+// stop preferring a replica the moment it stops wanting traffic.
+//
+// Active probing and the breakers are deliberately separate channels:
+// probes flip the replica's ready bit but never trip its breaker, so a
+// probe blip cannot shed live traffic, and a recovering replica
+// (probe ok again) still re-enters through the breaker's half-open
+// single-probe admission rather than taking a thundering herd.
+func (c *Client) startProbers() {
+	for _, rep := range c.reps {
+		c.probeWG.Add(1)
+		go c.probeLoop(rep)
+	}
+}
+
+func (c *Client) probeLoop(rep *replica) {
+	defer c.probeWG.Done()
+	// First probe immediately, then on the ticker, so a freshly built
+	// client learns the fleet's shape within one probe timeout.
+	c.probeOnce(rep)
+	t := time.NewTicker(c.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.probeOnce(rep)
+		case <-c.stopProbe:
+			return
+		}
+	}
+}
+
+func (c *Client) probeOnce(rep *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.ProbeTimeout)
+	defer cancel()
+	ready := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/readyz", nil)
+	if err == nil {
+		resp, err := c.hc.Do(req)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ready = resp.StatusCode == http.StatusOK
+		}
+	}
+	if ready {
+		c.m.probe(rep, "ok").Inc()
+	} else {
+		c.m.probe(rep, "fail").Inc()
+	}
+	rep.setReady(ready)
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+)
+
+// localDo serves one request through the degradation tier: an
+// in-process handler built lazily (and at most once) from Options.Local.
+// The JSON response gets "degraded":true injected so callers — and the
+// humans reading coggload reports — can tell a locally compiled answer
+// from a fleet one.
+func (c *Client) localDo(path string, body []byte) (*Result, error) {
+	c.localMu.Lock()
+	if c.localH == nil && c.localErr == nil {
+		c.localH, c.localErr = c.opts.Local()
+	}
+	h, err := c.localH, c.localErr
+	c.localMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := &recorder{hdr: http.Header{}, status: http.StatusOK}
+	h.ServeHTTP(rec, req)
+
+	return &Result{
+		Status:     rec.status,
+		Header:     rec.hdr,
+		Body:       markDegraded(rec.buf.Bytes()),
+		Replica:    "local",
+		ReplicaIdx: -1,
+		Degraded:   true,
+	}, nil
+}
+
+// recorder is a minimal ResponseWriter capturing status, headers, and
+// body from the in-process handler.
+type recorder struct {
+	hdr    http.Header
+	buf    bytes.Buffer
+	status int
+	wrote  bool
+}
+
+func (r *recorder) Header() http.Header { return r.hdr }
+
+func (r *recorder) WriteHeader(status int) {
+	if !r.wrote {
+		r.status = status
+		r.wrote = true
+	}
+}
+
+func (r *recorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.buf.Write(p)
+}
+
+// markDegraded sets "degraded":true in a JSON object body. Non-object
+// bodies (error text, arrays) pass through unchanged — the Result's
+// Degraded field still records the tier.
+func markDegraded(body []byte) []byte {
+	var obj map[string]any
+	if err := json.Unmarshal(body, &obj); err != nil || obj == nil {
+		return body
+	}
+	obj["degraded"] = true
+	out, err := json.Marshal(obj)
+	if err != nil {
+		return body
+	}
+	return append(out, '\n')
+}

@@ -74,6 +74,10 @@ type CompileResponse struct {
 	// retrievable from /v1/traces under this ID while it stays in the
 	// ring.
 	TraceID string `json:"trace_id,omitempty"`
+	// Degraded marks a response produced by a fleet front's local
+	// fallback compilation rather than a cogd replica (see
+	// internal/cluster); the daemon itself never sets it.
+	Degraded bool `json:"degraded,omitempty"`
 	// Derivation maps each emitted instruction to its producing
 	// production and template (requested via Explain).
 	Derivation []codegen.ProvEntry `json:"derivation,omitempty"`

@@ -10,6 +10,7 @@ import (
 	"cogg/internal/asm"
 	"cogg/internal/batch"
 	"cogg/internal/codegen"
+	"cogg/internal/faultinject"
 	"cogg/internal/ir"
 	"cogg/internal/labels"
 	"cogg/internal/obs"
@@ -120,6 +121,20 @@ func (s *Server) execute(group []*pending) {
 	type part struct {
 		mt *modTarget
 		l  lang
+	}
+	// The flush failpoint models the dispatch path itself failing (a
+	// worker-pool wedge, an OOM between collect and run): the whole
+	// micro-batch answers 503 + Retry-After, and a resilient client
+	// retries each unit elsewhere.
+	if err := faultinject.Eval("server/batch/flush", group[0].name); err != nil {
+		for _, p := range group {
+			p.endQueue()
+			p.finish(http.StatusServiceUnavailable, CompileResponse{
+				Name:    p.name,
+				Failure: &Failure{Mode: batch.FailIO.String(), Message: "batch flush failed: " + err.Error()},
+			})
+		}
+		return
 	}
 	parts := map[part][]*pending{}
 	order := []part{}

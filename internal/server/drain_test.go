@@ -11,8 +11,9 @@ import (
 )
 
 // TestGracefulDrain: with one slow request in flight, Drain must wait
-// for it to finish while /healthz flips to 503 and new compile requests
-// are refused as draining.
+// for it to finish while /readyz flips to 503 (liveness /healthz stays
+// 200 — a draining daemon must be routed around, not restarted) and new
+// compile requests are refused as draining.
 func TestGracefulDrain(t *testing.T) {
 	// Each reduction of the slow unit stalls 40ms; goodIF reduces a
 	// handful of times, so the request holds the server for a few
@@ -49,14 +50,26 @@ func TestGracefulDrain(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	// While draining: health reports down, new work is refused.
-	resp, err := http.Get(ts.URL + "/healthz")
+	// While draining: readiness reports down with a retry hint, liveness
+	// stays up, and new work is refused.
+	resp, err := http.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining: %d, want 503", resp.StatusCode)
+		t.Errorf("readyz while draining: %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Errorf("readyz while draining: no Retry-After header")
+	}
+	live, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Body.Close()
+	if live.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining: %d, want 200 (liveness is not readiness)", live.StatusCode)
 	}
 	if status, _ := compile(t, ts, CompileRequest{Name: "late.if", Lang: "if", Source: goodIF}); status != http.StatusServiceUnavailable {
 		t.Errorf("compile while draining: %d, want 503", status)

@@ -34,11 +34,16 @@ type grammarSession struct {
 	lastUsed time.Time
 }
 
-// grammarTable is the bounded, TTL-swept session store.
+// grammarTable is the bounded, TTL-swept session store. Sweeping
+// happens two ways: inline on create/get (so a busy table never grows
+// stale entries), and from the server's background sweeper goroutine
+// (so an idle table's abandoned cursors are reclaimed without waiting
+// for traffic).
 type grammarTable struct {
 	mu       sync.Mutex
 	sessions map[string]*grammarSession
 	nextID   int64
+	ttl      time.Duration // <= 0 falls back to grammarTTL
 
 	created atomic.Int64
 	expired atomic.Int64
@@ -47,14 +52,29 @@ type grammarTable struct {
 	steps   atomic.Int64
 }
 
+func (t *grammarTable) ttlOrDefault() time.Duration {
+	if t.ttl > 0 {
+		return t.ttl
+	}
+	return grammarTTL
+}
+
 // sweep drops sessions idle past the TTL. Callers hold t.mu.
 func (t *grammarTable) sweepLocked(now time.Time) {
+	ttl := t.ttlOrDefault()
 	for id, gs := range t.sessions {
-		if now.Sub(gs.lastUsed) > grammarTTL {
+		if now.Sub(gs.lastUsed) > ttl {
 			delete(t.sessions, id)
 			t.expired.Add(1)
 		}
 	}
+}
+
+// sweep is the background sweeper's entry: one full pass under the lock.
+func (t *grammarTable) sweep() {
+	t.mu.Lock()
+	t.sweepLocked(time.Now())
+	t.mu.Unlock()
 }
 
 // create registers a new session, evicting the least recently used one
@@ -77,7 +97,7 @@ func (t *grammarTable) create(spec string, o *oracle.Oracle) (*grammarSession, b
 		}
 		// Only a session idle for a respectable fraction of the TTL is
 		// evictable; otherwise the caller gets backpressure.
-		if oldest == nil || now.Sub(oldest.lastUsed) < grammarTTL/10 {
+		if oldest == nil || now.Sub(oldest.lastUsed) < t.ttlOrDefault()/10 {
 			return nil, false
 		}
 		delete(t.sessions, oldest.id)
@@ -122,6 +142,28 @@ func (t *grammarTable) size() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.sessions)
+}
+
+// grammarSweeper periodically reclaims idle grammar sessions until the
+// server stops. It shares s.stop with the micro-batch collector and is
+// waited on by Close, so a closed server leaves no sweeper goroutine
+// behind.
+func (s *Server) grammarSweeper() {
+	defer close(s.sweeperDone)
+	every := s.grammar.ttlOrDefault() / 10
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.grammar.sweep()
+		case <-s.stop:
+			return
+		}
+	}
 }
 
 // registerGrammarMetrics bridges the grammar-session counters into the

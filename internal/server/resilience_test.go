@@ -1,0 +1,171 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cogg/internal/faultinject"
+)
+
+// postRaw sends one JSON request and returns the raw response so tests
+// can inspect headers.
+func postRaw(t *testing.T, url string, req any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestRetryAfterOnQueueFull: a 429 from admission carries Retry-After,
+// so honoring clients back off instead of hammering a full queue.
+func TestRetryAfterOnQueueFull(t *testing.T) {
+	faultinject.Set(faultinject.Rule{
+		Site: "codegen/reduce", Key: "slow.if", Kind: faultinject.KindDelay, Delay: 40 * time.Millisecond,
+	})
+	defer faultinject.Reset()
+	s, ts := newTestServer(t, Options{QueueBound: 1})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		compile(t, ts, CompileRequest{Name: "slow.if", Lang: "if", Source: goodIF})
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.admitted.Load() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.admitted.Load() < 1 {
+		t.Fatal("slow request never passed admission")
+	}
+
+	resp := postRaw(t, ts.URL+"/v1/compile", CompileRequest{Name: "late.if", Lang: "if", Source: goodIF})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request with a full queue: %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 carries no Retry-After header")
+	}
+	wg.Wait()
+}
+
+// TestRetryAfterOnInjectedAdmitFault: the admission failpoint answers
+// 503 with Retry-After — the same retryable contract as draining, which
+// is what the cluster policy engine keys its failover on.
+func TestRetryAfterOnInjectedAdmitFault(t *testing.T) {
+	faultinject.Set(faultinject.Rule{
+		Site: "server/admit", Key: "fenced.if", Kind: faultinject.KindError, Count: 1,
+	})
+	defer faultinject.Reset()
+	_, ts := newTestServer(t, Options{})
+
+	resp := postRaw(t, ts.URL+"/v1/compile", CompileRequest{Name: "fenced.if", Lang: "if", Source: goodIF})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("injected admit fault: %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("injected 503 carries no Retry-After header")
+	}
+	// The failpoint fired once; the daemon serves normally afterwards.
+	if status, r := compile(t, ts, CompileRequest{Name: "fenced.if", Lang: "if", Source: goodIF}); status != http.StatusOK {
+		t.Fatalf("request after injected fault: %d (%+v)", status, r.Failure)
+	}
+}
+
+// TestDrainRefusesGrammarCursors: a grammar session opened before a
+// drain cannot be advanced once the drain starts — cursor traffic goes
+// through the same gate as compiles, so a draining daemon quiesces
+// completely instead of serving walks forever.
+func TestDrainRefusesGrammarCursors(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+
+	var open GrammarSessionResponse
+	if status := post(t, ts.URL+"/v1/grammar/session", GrammarSessionRequest{}, &open); status != http.StatusOK {
+		t.Fatalf("open session: %d", status)
+	}
+	var step GrammarNextResponse
+	if status := post(t, ts.URL+"/v1/grammar/next", GrammarNextRequest{SessionID: open.SessionID, Symbol: "assign"}, &step); status != http.StatusOK {
+		t.Fatalf("advance before drain: %d", status)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	if status := post(t, ts.URL+"/v1/grammar/next", GrammarNextRequest{SessionID: open.SessionID, Symbol: "fullword"}, nil); status != http.StatusServiceUnavailable {
+		t.Errorf("advance while draining: %d, want 503", status)
+	}
+	if status := post(t, ts.URL+"/v1/grammar/session", GrammarSessionRequest{}, nil); status != http.StatusServiceUnavailable {
+		t.Errorf("open while draining: %d, want 503", status)
+	}
+}
+
+// TestGrammarSweeperReclaimsIdleSessions: an abandoned cursor is
+// reclaimed by the background sweeper without any further table traffic
+// — the inline sweep alone would leave it pinned until the next
+// create/get.
+func TestGrammarSweeperReclaimsIdleSessions(t *testing.T) {
+	s, ts := newTestServer(t, Options{GrammarTTL: 50 * time.Millisecond})
+
+	var open GrammarSessionResponse
+	if status := post(t, ts.URL+"/v1/grammar/session", GrammarSessionRequest{}, &open); status != http.StatusOK {
+		t.Fatalf("open session: %d", status)
+	}
+	if got := s.grammar.size(); got != 1 {
+		t.Fatalf("sessions after open: %d, want 1", got)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.grammar.size() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.grammar.size(); got != 0 {
+		t.Fatalf("idle session not reclaimed by the background sweeper (size=%d)", got)
+	}
+	if got := s.grammar.expired.Load(); got != 1 {
+		t.Errorf("expired = %d, want 1", got)
+	}
+}
+
+// TestCloseStopsBackgroundGoroutines: Drain+Close must take the
+// collector and the grammar sweeper down with it — a server churned in
+// tests (or embedded and restarted) cannot leak a goroutine per
+// instance.
+func TestCloseStopsBackgroundGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		s, err := New(Options{GrammarTTL: 20 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := s.Drain(ctx); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+		s.Close()
+	}
+	// Settle: finished goroutines unwind asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines after 3 server lifecycles: %d, was %d before", after, before)
+	}
+}

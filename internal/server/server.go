@@ -23,7 +23,9 @@
 //	                   SLR tables; returns the legal opening symbols
 //	POST /v1/grammar/next     advance the cursor on one symbol; returns
 //	                   fired productions and the new legal-next set
-//	GET  /healthz      "ok" while serving, 503 while draining
+//	GET  /healthz      liveness: "ok" as long as the process serves HTTP
+//	GET  /readyz       readiness: "ready" while accepting work; 503 with
+//	                   Retry-After once draining starts
 //	GET  /varz         server, pool, and batch statistics as JSON
 //	GET  /metrics      Prometheus text exposition (see Registry)
 //	GET  /v1/traces    the last traces' span trees as JSON, newest first
@@ -57,6 +59,7 @@ import (
 	"cogg/internal/batch"
 	"cogg/internal/codegen"
 	"cogg/internal/driver"
+	"cogg/internal/faultinject"
 	"cogg/internal/ifopt"
 	"cogg/internal/obs"
 	"cogg/internal/oracle"
@@ -104,6 +107,12 @@ type Options struct {
 	// MaxBodyBytes caps a request body; <= 0 means 8 MiB.
 	MaxBodyBytes int64
 
+	// GrammarTTL is how long an idle grammar-walk session survives
+	// before the background sweeper reclaims it; <= 0 means 5 minutes.
+	// The sweeper runs every GrammarTTL/10 (at least every 10ms), so an
+	// abandoned cursor is reclaimed without waiting for table traffic.
+	GrammarTTL time.Duration
+
 	// StatsName is the expvar name the batch counters publish under;
 	// empty means "cogd.batch".
 	StatsName string
@@ -150,6 +159,9 @@ func (o *Options) fill() {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 8 << 20
 	}
+	if o.GrammarTTL <= 0 {
+		o.GrammarTTL = grammarTTL
+	}
 	if o.StatsName == "" {
 		o.StatsName = "cogd.batch"
 	}
@@ -182,6 +194,7 @@ type Server struct {
 	stop          chan struct{}
 	stopOnce      sync.Once
 	collectorDone chan struct{}
+	sweeperDone   chan struct{}
 
 	// admitted counts units admitted and not yet answered — the real
 	// backpressure bound. The queue channel never blocks because its
@@ -222,9 +235,11 @@ func New(opts Options) (*Server, error) {
 		queue:         make(chan *pending, opts.QueueBound),
 		stop:          make(chan struct{}),
 		collectorDone: make(chan struct{}),
+		sweeperDone:   make(chan struct{}),
 		reg:           opts.Registry,
 		ring:          obs.NewRing(opts.TraceRing),
 	}
+	s.grammar.ttl = opts.GrammarTTL
 	if err := s.svc.Stats.Publish(opts.StatsName); err != nil {
 		return nil, err
 	}
@@ -236,6 +251,7 @@ func New(opts Options) (*Server, error) {
 	}
 	s.buildMux()
 	go s.collect()
+	go s.grammarSweeper()
 	return s, nil
 }
 
@@ -294,13 +310,14 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Close stops the micro-batch collector. Call after Drain; requests
-// still queued are dispatched individually on the way out so no caller
-// is left hanging.
+// Close stops the micro-batch collector and the grammar-session
+// sweeper. Call after Drain; requests still queued are dispatched
+// individually on the way out so no caller is left hanging.
 func (s *Server) Close() {
 	s.gate.drainChan()
 	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.collectorDone
+	<-s.sweeperDone
 }
 
 // target resolves a request's spec field to its serving state, building
@@ -371,6 +388,7 @@ func (s *Server) buildMux() {
 	mux.Handle("/v1/grammar/session", s.instrument("/v1/grammar/session", s.handleGrammarSession))
 	mux.Handle("/v1/grammar/next", s.instrument("/v1/grammar/next", s.handleGrammarNext))
 	mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("/readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.Handle("/varz", s.instrument("/varz", s.handleVarz))
 	mux.Handle("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.Handle("/v1/traces", s.instrument("/v1/traces", s.handleTraces))
@@ -419,6 +437,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so the partial-response
+// failpoint can push its truncated body onto the wire before aborting.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -530,6 +556,15 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.stats.Failed.Add(1)
 		failMode = "bad-request"
 		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Admission failpoint: a daemon refusing work at the door (resource
+	// exhaustion, operator fencing) answers 503 + Retry-After, the same
+	// contract as draining — retryable elsewhere.
+	if err := faultinject.Eval("server/admit", p.name); err != nil {
+		s.stats.Failed.Add(1)
+		failMode = "injected"
+		writeError(w, http.StatusServiceUnavailable, "admission refused: "+err.Error())
 		return
 	}
 	tr.SetName(p.name)
@@ -674,13 +709,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is pure liveness: a process that can run this handler
+// is alive, draining or not. Fleet supervisors restart on a failed
+// healthz; routing decisions belong to /readyz — a draining daemon must
+// not be restarted, just routed around.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.gate.isDraining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
-	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 200 only while the daemon wants traffic.
+// The default spec's tables and session pool are built eagerly by New,
+// so a serving daemon that answers at all is warm; the one not-ready
+// state is draining, answered 503 with Retry-After since the drain has
+// a bounded horizon.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.gate.isDraining() {
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 // Varz is the /varz payload: server-level counters, per-spec pool
@@ -715,6 +766,23 @@ func (s *Server) writeResult(w http.ResponseWriter, p *pending) {
 	} else {
 		s.stats.Completed.Add(1)
 	}
+	// The response-write failpoint models a daemon dying (or stalling —
+	// KindDelay is a slow-loris) mid-response: half the body goes out,
+	// then the connection aborts. Clients must treat the truncated body
+	// as a transport error, never as a short-but-valid answer.
+	if err := faultinject.Eval("server/response/write", p.name); err != nil {
+		setRetryAfter(w, p.status)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(p.status)
+		if data, merr := json.Marshal(p.resp); merr == nil {
+			_, _ = w.Write(data[:len(data)/2])
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+		}
+		panic(http.ErrAbortHandler)
+	}
+	setRetryAfter(w, p.status)
 	writeJSON(w, p.status, p.resp)
 }
 
@@ -727,7 +795,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
+	setRetryAfter(w, status)
 	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// setRetryAfter attaches the retry hint every backpressure answer
+// carries: a full queue clears in about a batch window (seconds are the
+// header's floor), a drain takes as long as the slowest in-flight unit.
+// Retry policies that honor the header back off without guessing.
+func setRetryAfter(w http.ResponseWriter, status int) {
+	switch status {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "1")
+	case http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "5")
+	}
 }
 
 // serverStats are the daemon-level counters behind /varz.
