@@ -31,9 +31,11 @@
 //
 // Endpoints mirror cogd's: POST /v1/compile, /v1/batch,
 // /v1/grammar/session, /v1/grammar/next (grammar sessions are pinned to
-// the replica that opened them via a session-ID prefix, so the front
-// stays stateless), GET /healthz, /readyz, /varz (replica health and
-// policy counters), /metrics (cluster_* series in Prometheus text).
+// the replica that opened them via a session-ID prefix — a hash of the
+// replica's URL, so the front stays stateless and any front over the
+// same replicas routes the session home regardless of -targets order),
+// GET /healthz, /readyz, /varz (replica health and policy counters),
+// /metrics (cluster_* series in Prometheus text).
 package main
 
 import (

@@ -59,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -189,19 +190,27 @@ func main() {
 	// retry/hedge/breaker implementation as cmd/cogdfront — so a load
 	// test measures exactly the client behavior production gets. With
 	// the default single target, zero retries, and hedging off, the
-	// engine is a pass-through and measurement semantics are unchanged.
-	// Active /readyz probing runs only when resilience features are on;
-	// a plain benchmark adds no background traffic.
+	// engine is a pass-through and measurement semantics are unchanged:
+	// active /readyz probing stays off (no background traffic) and the
+	// circuit breaker is effectively disabled, so a run of 5xx answers
+	// is recorded as the daemon's real responses instead of tripping
+	// into synthetic "no admissible replica" errors that would skew the
+	// reported status and latency distributions.
+	plain := !multi && *retries == 0 && *hedgeAfter < 0
 	probe := time.Duration(-1)
-	if multi || *retries > 0 || *hedgeAfter >= 0 {
+	breakerThreshold := 0 // the cluster default
+	if !plain {
 		probe = 250 * time.Millisecond
+	} else {
+		breakerThreshold = math.MaxInt32
 	}
 	cl, err := cluster.New(cluster.Options{
-		Targets:        targets,
-		MaxRetries:     *retries,
-		AttemptTimeout: *attemptTimeout,
-		HedgeAfter:     *hedgeAfter,
-		ProbeInterval:  probe,
+		Targets:          targets,
+		MaxRetries:       *retries,
+		AttemptTimeout:   *attemptTimeout,
+		HedgeAfter:       *hedgeAfter,
+		ProbeInterval:    probe,
+		BreakerThreshold: breakerThreshold,
 		HTTPClient: &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        4 * *c,
 			MaxIdleConnsPerHost: 4 * *c,

@@ -103,6 +103,20 @@ func (b *breaker) success() {
 	}
 }
 
+// cancelProbe releases the half-open probe slot without judging the
+// replica. A request admitted as the probe can end for reasons that
+// say nothing about the replica's health — the hedge winner canceled
+// it, or the caller's context ended. Without this release the slot
+// would stay consumed forever and the breaker would sit half-open
+// rejecting everything, permanently ejecting the replica.
+func (b *breaker) cancelProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+}
+
 // failure records a transport error, attempt timeout, or 5xx.
 func (b *breaker) failure() {
 	b.mu.Lock()

@@ -31,6 +31,8 @@ package cluster
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net/http"
@@ -139,9 +141,10 @@ func (o *Options) fill() {
 // replica is one target's serving state: its breaker plus the latest
 // active-probe verdict.
 type replica struct {
-	idx  int
-	url  string // base URL, no trailing slash
-	name string // host:port, the metrics label
+	idx   int
+	url   string // base URL, no trailing slash
+	name  string // host:port, the metrics label
+	token string // order-independent sticky-routing token (URL hash)
 
 	br *breaker
 
@@ -179,12 +182,13 @@ func (r *replica) isReady() (probed, ready bool) {
 // Client is the resilient fleet client. Build with New, stop the
 // health probers with Close.
 type Client struct {
-	opts Options
-	hc   *http.Client
-	reps []*replica
-	ring *ring
-	lat  *latWindow
-	m    *metrics
+	opts    Options
+	hc      *http.Client
+	reps    []*replica
+	byToken map[string]*replica
+	ring    *ring
+	lat     *latWindow
+	m       *metrics
 
 	localMu  sync.Mutex
 	localH   http.Handler
@@ -230,6 +234,7 @@ func New(opts Options) (*Client, error) {
 	if len(c.reps) == 0 {
 		return nil, errors.New("cluster: no usable targets")
 	}
+	c.byToken = assignTokens(c.reps)
 	c.ring = newRing(c.reps, opts.VNodes)
 	c.m = newMetrics(opts.Registry, c.reps)
 	if opts.ProbeInterval > 0 {
@@ -251,6 +256,50 @@ func (c *Client) Replicas() []string {
 		names[i] = r.name
 	}
 	return names
+}
+
+// assignTokens gives every replica a sticky-routing token: a sha256-hex
+// prefix of its URL, the shortest length >= 8 that keeps all tokens
+// distinct (lengthened in lockstep on the astronomically rare prefix
+// collision). The token is a pure function of the URL — not of this
+// client's target order — so a session branded by one front resolves
+// on any front (or restart) configured with the same replica, however
+// its -targets list is ordered. Tokens are hex-only, so the "local"
+// degraded-tier prefix can never collide with one.
+func assignTokens(reps []*replica) map[string]*replica {
+	full := make([]string, len(reps))
+	for i, rep := range reps {
+		sum := sha256.Sum256([]byte(rep.url))
+		full[i] = hex.EncodeToString(sum[:])
+	}
+	n := 8
+	for ; n < len(full[0]); n += 4 {
+		seen := make(map[string]bool, len(full))
+		unique := true
+		for _, h := range full {
+			if seen[h[:n]] {
+				unique = false
+				break
+			}
+			seen[h[:n]] = true
+		}
+		if unique {
+			break
+		}
+	}
+	byToken := make(map[string]*replica, len(reps))
+	for i, rep := range reps {
+		rep.token = full[i][:n]
+		byToken[rep.token] = rep
+	}
+	return byToken
+}
+
+// replicaByToken resolves a sticky-session token minted by any client
+// over the same replica URLs (see assignTokens).
+func (c *Client) replicaByToken(tok string) (*replica, bool) {
+	rep, ok := c.byToken[tok]
+	return rep, ok
 }
 
 // Owner names the replica that owns key on the hash ring (the first
@@ -290,6 +339,18 @@ type Result struct {
 // (422s and other terminal answers pass through untouched); the error
 // is non-nil only when no answer could be produced at all.
 func (c *Client) Do(ctx context.Context, path, key string, body []byte) (*Result, error) {
+	return c.do(ctx, path, key, body, true)
+}
+
+// DoNoHedge routes like Do but never fires a hedged duplicate: the
+// path for non-idempotent requests — opening a grammar session — where
+// a duplicate that loses the race would leave an orphaned resource
+// occupying the losing replica's bounded session table until its TTL.
+func (c *Client) DoNoHedge(ctx context.Context, path, key string, body []byte) (*Result, error) {
+	return c.do(ctx, path, key, body, false)
+}
+
+func (c *Client) do(ctx context.Context, path, key string, body []byte, hedge bool) (*Result, error) {
 	order := c.ring.order(key)
 	owner := order[0]
 	var last attemptRes
@@ -301,7 +362,7 @@ func (c *Client) Do(ctx context.Context, path, key string, body []byte) (*Result
 		if primary == nil {
 			break // nobody admissible: degrade
 		}
-		ar, h := c.attemptHedged(ctx, primary, order, path, body)
+		ar, h := c.attemptHedged(ctx, primary, order, path, body, hedge)
 		attempts++
 		hedges += h
 		if ar.ctxErr != nil {

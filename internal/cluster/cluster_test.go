@@ -128,6 +128,76 @@ func TestBreakerLifecycle(t *testing.T) {
 	}
 }
 
+// TestBreakerCancelProbeReleasesSlot: a half-open probe whose request
+// is canceled (hedge winner, caller context) must release the probe
+// slot — without that the breaker would be stuck half-open, rejecting
+// everything forever.
+func TestBreakerCancelProbeReleasesSlot(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(1, time.Second)
+	b.now = func() time.Time { return now }
+
+	b.failure() // trip open
+	now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second request while probing")
+	}
+	b.cancelProbe() // the probe request was canceled: no verdict
+	if b.current() != BreakerHalfOpen {
+		t.Fatalf("cancelProbe changed state to %v", b.current())
+	}
+	if !b.allow() {
+		t.Fatal("breaker still rejecting after the canceled probe released the slot")
+	}
+	b.success()
+	if b.current() != BreakerClosed {
+		t.Fatal("successful re-probe did not close the breaker")
+	}
+
+	// On a closed breaker cancelProbe is a no-op, not a reset.
+	b.cancelProbe()
+	if !b.allow() || b.current() != BreakerClosed {
+		t.Fatal("cancelProbe disturbed a closed breaker")
+	}
+}
+
+// TestReplicaTokensOrderIndependent: the sticky-session token is a pure
+// function of the replica URL, so two clients over the same fleet in
+// different -targets order mint and resolve the same tokens.
+func TestReplicaTokensOrderIndependent(t *testing.T) {
+	urls := []string{"http://10.0.0.1:8470", "http://10.0.0.2:8470", "http://10.0.0.3:8470"}
+	rev := []string{urls[2], urls[1], urls[0]}
+	a, err := New(Options{Targets: urls, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(Options{Targets: rev, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	for _, rep := range a.reps {
+		if len(rep.token) < 8 {
+			t.Errorf("replica %s token %q is too short", rep.url, rep.token)
+		}
+		other, ok := b.replicaByToken(rep.token)
+		if !ok {
+			t.Fatalf("token %q for %s does not resolve on the reversed client", rep.token, rep.url)
+		}
+		if other.url != rep.url {
+			t.Errorf("token %q resolves to %s on one client and %s on the other", rep.token, rep.url, other.url)
+		}
+	}
+	if _, ok := a.replicaByToken("ffffffff"); ok {
+		t.Error("an unknown token resolved to a replica")
+	}
+}
+
 // TestBreakerSuccessResetsCount: failures must be consecutive to trip;
 // any success restarts the count.
 func TestBreakerSuccessResetsCount(t *testing.T) {

@@ -12,9 +12,11 @@ import (
 // Front is the reverse-proxy tier over a Client: the handler cogdfront
 // serves. Compile and batch traffic routes by spec key through the full
 // policy engine; grammar-walk sessions — stateful cursors living on
-// exactly one replica — get sticky routing via a replica prefix folded
-// into the session ID, so the front itself stays stateless and a front
-// restart loses nothing.
+// exactly one replica — get sticky routing via a replica token folded
+// into the session ID. The token is a hash of the replica's URL, not a
+// position in this front's target list, so the front stays stateless
+// and a restart (or a second front with the same targets in any order)
+// still routes every open session home.
 type Front struct {
 	c *Client
 }
@@ -26,7 +28,7 @@ func NewFront(c *Client) *Front { return &Front{c: c} }
 //
 //	POST /v1/compile          routed by the request's spec
 //	POST /v1/batch            routed by the first unit's spec
-//	POST /v1/grammar/session  routed by spec; session_id gains a replica prefix
+//	POST /v1/grammar/session  routed by spec; session_id gains a replica token
 //	POST /v1/grammar/next     sticky to the session's replica
 //	GET  /healthz             liveness: always 200
 //	GET  /readyz              200 when at least one replica (or the local
@@ -97,8 +99,12 @@ func (f *Front) proxy(w http.ResponseWriter, r *http.Request, path string, keyFn
 }
 
 // handleGrammarSession opens a cursor somewhere in the fleet and brands
-// the returned session ID with the answering replica ("r2:<id>"), or
-// "local:<id>" for the degraded tier, so /v1/grammar/next can route back.
+// the returned session ID with the answering replica's URL-hash token
+// ("3f21ab9c:<id>"), or "local:<id>" for the degraded tier, so
+// /v1/grammar/next can route back. Opening a session is not idempotent
+// — a hedged duplicate that loses the race would strand a cursor in the
+// losing replica's bounded session table until its TTL — so this path
+// routes through DoNoHedge.
 func (f *Front) handleGrammarSession(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -109,18 +115,18 @@ func (f *Front) handleGrammarSession(w http.ResponseWriter, r *http.Request) {
 		writeFrontError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
 		return
 	}
-	res, err := f.c.Do(r.Context(), "/v1/grammar/session", specKeyCompile(body), body)
+	res, err := f.c.DoNoHedge(r.Context(), "/v1/grammar/session", specKeyCompile(body), body)
 	if err != nil {
 		writeFrontError(w, http.StatusBadGateway, err)
 		return
 	}
 	if res.Status == http.StatusOK {
-		res.Body = rewriteSessionID(res.Body, sessionPrefix(res))
+		res.Body = rewriteSessionID(res.Body, f.sessionPrefix(res))
 	}
 	writeResult(w, res)
 }
 
-// handleGrammarNext strips the replica prefix off the session ID and
+// handleGrammarNext strips the replica token off the session ID and
 // sends the advance to exactly that replica — a cursor is state on one
 // process; failing over would silently restart the walk.
 func (f *Front) handleGrammarNext(w http.ResponseWriter, r *http.Request) {
@@ -158,12 +164,13 @@ func (f *Front) handleGrammarNext(w http.ResponseWriter, r *http.Request) {
 		}
 		res, err = f.c.localDo("/v1/grammar/next", fwd)
 	} else {
-		idx, convErr := strconv.Atoi(strings.TrimPrefix(prefix, "r"))
-		if convErr != nil {
-			writeFrontError(w, http.StatusBadRequest, fmt.Errorf("bad session_id prefix %q", prefix))
+		rep, ok := f.c.replicaByToken(prefix)
+		if !ok {
+			writeFrontError(w, http.StatusNotFound,
+				fmt.Errorf("session prefix %q matches no replica in this front's target set", prefix))
 			return
 		}
-		res, err = f.c.DoAt(r.Context(), idx, "/v1/grammar/next", fwd)
+		res, err = f.c.DoAt(r.Context(), rep.idx, "/v1/grammar/next", fwd)
 	}
 	if err != nil {
 		writeFrontError(w, http.StatusBadGateway, err)
@@ -173,15 +180,18 @@ func (f *Front) handleGrammarNext(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, res)
 }
 
-func sessionPrefix(res *Result) string {
+// sessionPrefix brands a session with the answering replica's token —
+// a hash of its URL, stable across front restarts and independent of
+// target-list order — or "local" for the degraded tier.
+func (f *Front) sessionPrefix(res *Result) string {
 	if res.Degraded {
 		return "local:"
 	}
-	return fmt.Sprintf("r%d:", res.ReplicaIdx)
+	return f.c.reps[res.ReplicaIdx].token + ":"
 }
 
-// splitSessionID divides "r2:abc" into ("r2", "abc", true); IDs without
-// a prefix report false.
+// splitSessionID divides "3f21ab9c:abc" into ("3f21ab9c", "abc", true);
+// IDs without a prefix report false.
 func splitSessionID(id string) (prefix, inner string, ok bool) {
 	i := strings.IndexByte(id, ':')
 	if i <= 0 {

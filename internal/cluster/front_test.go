@@ -89,9 +89,9 @@ func TestFrontGrammarStickiness(t *testing.T) {
 	if r := postJSON(t, fts.URL+"/v1/grammar/session", server.GrammarSessionRequest{}, &open); r.StatusCode != http.StatusOK {
 		t.Fatalf("open session via front: %d", r.StatusCode)
 	}
-	branded := regexp.MustCompile(`^r[01]:`)
+	branded := regexp.MustCompile(`^[0-9a-f]{8,}:`)
 	if !branded.MatchString(open.SessionID) {
-		t.Fatalf("session_id %q carries no replica prefix", open.SessionID)
+		t.Fatalf("session_id %q carries no replica token", open.SessionID)
 	}
 	prefix := open.SessionID[:strings.IndexByte(open.SessionID, ':')+1]
 
@@ -120,6 +120,45 @@ func TestFrontGrammarStickiness(t *testing.T) {
 		server.GrammarNextRequest{SessionID: "nob-rand", Symbol: "assign"}, nil)
 	if r.StatusCode != http.StatusBadRequest {
 		t.Errorf("unbranded session_id: %d, want 400", r.StatusCode)
+	}
+
+	// A token for a replica this front does not know is a 404, not a
+	// misroute.
+	r = postJSON(t, fts.URL+"/v1/grammar/next",
+		server.GrammarNextRequest{SessionID: "deadbeef:ghost", Symbol: "assign"}, nil)
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown replica token: %d, want 404", r.StatusCode)
+	}
+}
+
+// TestFrontGrammarStickinessAcrossFronts: the replica token in a
+// session ID is a hash of the replica's URL, not a position in one
+// front's -targets order — a session opened through one front must
+// advance through a second front whose target list is reversed, exactly
+// the restart/multi-front scenario the package doc promises survives.
+func TestFrontGrammarStickinessAcrossFronts(t *testing.T) {
+	f := newFleet(t, 2)
+	ftsA := newFrontOver(t, f, Options{ProbeInterval: -1, HedgeAfter: -1})
+	reversed := &fleet{urls: []string{f.urls[1], f.urls[0]}}
+	ftsB := newFrontOver(t, reversed, Options{ProbeInterval: -1, HedgeAfter: -1})
+
+	var open server.GrammarSessionResponse
+	if r := postJSON(t, ftsA.URL+"/v1/grammar/session", server.GrammarSessionRequest{}, &open); r.StatusCode != http.StatusOK {
+		t.Fatalf("open session via front A: %d", r.StatusCode)
+	}
+	toks, err := ir.ParseTokens(goodIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next server.GrammarNextResponse
+	r := postJSON(t, ftsB.URL+"/v1/grammar/next",
+		server.GrammarNextRequest{SessionID: open.SessionID, Symbol: toks[0].Sym}, &next)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("advance via front B (reversed targets): %d", r.StatusCode)
+	}
+	prefix := open.SessionID[:strings.IndexByte(open.SessionID, ':')+1]
+	if !strings.HasPrefix(next.SessionID, prefix) {
+		t.Errorf("advance via front B rebranded the session: %q -> %q", open.SessionID, next.SessionID)
 	}
 }
 

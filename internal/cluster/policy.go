@@ -44,6 +44,7 @@ func (c *Client) send(ctx context.Context, rep *replica, path string, body []byt
 	}
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, rep.url+path, bytes.NewReader(body))
 	if err != nil {
+		rep.br.cancelProbe() // admission consumed a probe slot; free it
 		return attemptRes{err: err, rep: rep, retryable: false}
 	}
 	req.Header.Set("Content-Type", "application/json")
@@ -53,7 +54,10 @@ func (c *Client) send(ctx context.Context, rep *replica, path string, body []byt
 	if err != nil {
 		if ctx.Err() != nil {
 			// The caller's context ended (or the hedge winner canceled
-			// us): not evidence about the replica.
+			// us): not evidence about the replica. Still release the
+			// half-open probe slot this attempt may have consumed, or
+			// the breaker would be stuck rejecting forever.
+			rep.br.cancelProbe()
 			c.m.replica(rep, "canceled").Inc()
 			return attemptRes{err: err, rep: rep, retryable: true, ctxErr: ctx.Err()}
 		}
@@ -68,6 +72,7 @@ func (c *Client) send(ctx context.Context, rep *replica, path string, body []byt
 	elapsed := time.Since(t0)
 	if err != nil {
 		if ctx.Err() != nil {
+			rep.br.cancelProbe()
 			c.m.replica(rep, "canceled").Inc()
 			return attemptRes{err: err, rep: rep, retryable: true, ctxErr: ctx.Err()}
 		}
@@ -106,12 +111,13 @@ func (c *Client) send(ctx context.Context, rep *replica, path string, body []byt
 	}
 }
 
-// attemptHedged is one policy attempt: the primary request, plus a
-// hedged duplicate to the next admissible replica if the primary
-// outlives the hedge threshold. The first non-retryable answer wins and
-// the loser is canceled; if both come back retryable the attempt as a
-// whole is retryable. Returns the outcome and how many hedges fired.
-func (c *Client) attemptHedged(ctx context.Context, primary *replica, order []*replica, path string, body []byte) (attemptRes, int) {
+// attemptHedged is one policy attempt: the primary request, plus —
+// when hedge is set — a hedged duplicate to the next admissible
+// replica if the primary outlives the hedge threshold. The first
+// non-retryable answer wins and the loser is canceled; if both come
+// back retryable the attempt as a whole is retryable. Returns the
+// outcome and how many hedges fired.
+func (c *Client) attemptHedged(ctx context.Context, primary *replica, order []*replica, path string, body []byte, hedge bool) (attemptRes, int) {
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -124,10 +130,12 @@ func (c *Client) attemptHedged(ctx context.Context, primary *replica, order []*r
 	hedges := 0
 
 	var hedgeC <-chan time.Time
-	if d := c.hedgeDelay(); d >= 0 {
-		timer := time.NewTimer(d)
-		defer timer.Stop()
-		hedgeC = timer.C
+	if hedge {
+		if d := c.hedgeDelay(); d >= 0 {
+			timer := time.NewTimer(d)
+			defer timer.Stop()
+			hedgeC = timer.C
+		}
 	}
 
 	var lastRetryable attemptRes
