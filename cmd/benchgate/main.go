@@ -25,8 +25,16 @@
 //	                allocations admits no regression at all.
 //
 // With -count > 1 the best (minimum) ns/op and the worst (maximum)
-// allocs/op per benchmark are kept: time noise is one-sided slow,
-// allocation noise is one-sided high.
+// allocs/op and B/op per benchmark are kept: time noise is one-sided
+// slow, allocation noise is one-sided high.
+//
+// Beyond the fractional tolerances, a baseline entry may carry gate
+// annotations: "note" (a per-benchmark comparison note echoed with any
+// failure), "max_bytes_per_op" (an absolute B/op ceiling), and
+// "faster_than" (the name of a sibling benchmark this one must
+// strictly beat on ns/op within the same run — machine-independent
+// where absolute ns/op is not). -update preserves the annotations of
+// an existing baseline.
 package main
 
 import (
@@ -41,12 +49,29 @@ import (
 	"strings"
 )
 
-// Entry is one benchmark's measurement.
+// Entry is one benchmark's measurement. The last three fields are
+// baseline-only gate annotations: measured results never carry them,
+// but a baseline entry may, and compare enforces them.
 type Entry struct {
 	NsPerOp     float64            `json:"ns_per_op"`
 	AllocsPerOp float64            `json:"allocs_per_op"`
 	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+
+	// Note is a per-benchmark comparison note: it explains what this
+	// entry gates and is echoed with any failure it produces.
+	Note string `json:"note,omitempty"`
+	// MaxBytesPerOp is an absolute B/op ceiling. Unlike the fractional
+	// allocs tolerance it gates benchmarks whose baseline bytes are
+	// nonzero but must stay bounded (a zero-alloc baseline already
+	// admits nothing).
+	MaxBytesPerOp float64 `json:"max_bytes_per_op,omitempty"`
+	// FasterThan names a sibling benchmark this one must strictly beat
+	// on ns/op in the same measured run. Both run on the same machine,
+	// so the comparison is machine-independent where absolute ns/op is
+	// not — it pins relative wins (e.g. the emitted engine beating the
+	// interpreted one) that a wide ns tolerance cannot.
+	FasterThan string `json:"faster_than,omitempty"`
 }
 
 // File is the JSON shape of both the baseline and the results artifact.
@@ -92,6 +117,18 @@ func main() {
 	if *update {
 		if *baseline == "" {
 			fatal(fmt.Errorf("-update requires -baseline"))
+		}
+		// A rewritten baseline keeps the previous one's gate
+		// annotations: they are curated by hand, not measured.
+		if prev, err := readFile(*baseline); err == nil {
+			for name, e := range got {
+				if pb, ok := prev.Benchmarks[name]; ok {
+					e.Note = pb.Note
+					e.MaxBytesPerOp = pb.MaxBytesPerOp
+					e.FasterThan = pb.FasterThan
+					got[name] = e
+				}
+			}
 		}
 		if err := writeFile(*baseline, &File{Note: *note, Benchmarks: got}); err != nil {
 			fatal(err)
@@ -173,6 +210,9 @@ func parseBench(r io.Reader) (map[string]Entry, error) {
 			if prev.AllocsPerOp > e.AllocsPerOp {
 				e.AllocsPerOp = prev.AllocsPerOp
 			}
+			if prev.BytesPerOp > e.BytesPerOp {
+				e.BytesPerOp = prev.BytesPerOp
+			}
 		}
 		out[name] = e
 	}
@@ -180,27 +220,47 @@ func parseBench(r io.Reader) (map[string]Entry, error) {
 }
 
 // compare reports every baseline benchmark that regressed (or is
-// missing from the measured set).
+// missing from the measured set). A baseline entry's Note is echoed
+// with each of its failures so the gate explains itself.
 func compare(base, got map[string]Entry, nsTol, allocTol float64) []string {
 	var problems []string
 	for _, name := range sortedNames(base) {
 		b := base[name]
+		fail := func(format string, args ...any) {
+			p := name + ": " + fmt.Sprintf(format, args...)
+			if b.Note != "" {
+				p += " [" + b.Note + "]"
+			}
+			problems = append(problems, p)
+		}
 		g, ok := got[name]
 		if !ok {
-			problems = append(problems, fmt.Sprintf("%s: in baseline but not measured", name))
+			fail("in baseline but not measured")
 			continue
 		}
 		if limit := b.NsPerOp * (1 + nsTol); b.NsPerOp > 0 && g.NsPerOp > limit {
-			problems = append(problems, fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f by more than %.0f%%",
-				name, g.NsPerOp, b.NsPerOp, nsTol*100))
+			fail("%.0f ns/op exceeds baseline %.0f by more than %.0f%%",
+				g.NsPerOp, b.NsPerOp, nsTol*100)
 		}
 		switch {
 		case b.AllocsPerOp == 0 && g.AllocsPerOp > 0:
-			problems = append(problems, fmt.Sprintf("%s: %.0f allocs/op where baseline allocates nothing",
-				name, g.AllocsPerOp))
+			fail("%.0f allocs/op where baseline allocates nothing", g.AllocsPerOp)
 		case g.AllocsPerOp > b.AllocsPerOp*(1+allocTol):
-			problems = append(problems, fmt.Sprintf("%s: %.0f allocs/op exceeds baseline %.0f by more than %.0f%%",
-				name, g.AllocsPerOp, b.AllocsPerOp, allocTol*100))
+			fail("%.0f allocs/op exceeds baseline %.0f by more than %.0f%%",
+				g.AllocsPerOp, b.AllocsPerOp, allocTol*100)
+		}
+		if b.MaxBytesPerOp > 0 && g.BytesPerOp > b.MaxBytesPerOp {
+			fail("%.0f B/op exceeds ceiling %.0f", g.BytesPerOp, b.MaxBytesPerOp)
+		}
+		if b.FasterThan != "" {
+			rival, measured := got[b.FasterThan]
+			switch {
+			case !measured:
+				fail("must beat %s, which was not measured in this run", b.FasterThan)
+			case g.NsPerOp >= rival.NsPerOp:
+				fail("%.0f ns/op is not strictly below %s's %.0f",
+					g.NsPerOp, b.FasterThan, rival.NsPerOp)
+			}
 		}
 	}
 	return problems

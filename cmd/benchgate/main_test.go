@@ -105,3 +105,66 @@ func TestCompare(t *testing.T) {
 		t.Errorf("missing benchmark not caught: %v", p)
 	}
 }
+
+// TestCompareAnnotations covers the baseline gate annotations: the B/op
+// ceiling, the cross-benchmark faster_than comparison, and the note
+// echoed with failures.
+func TestCompareAnnotations(t *testing.T) {
+	base := map[string]Entry{
+		"BenchmarkSlow": {NsPerOp: 1000, AllocsPerOp: 0},
+		"BenchmarkFast": {NsPerOp: 700, AllocsPerOp: 0,
+			FasterThan: "BenchmarkSlow", Note: "the emitted engine must beat the interpreter"},
+		"BenchmarkMem": {NsPerOp: 1000, AllocsPerOp: 50, MaxBytesPerOp: 4096},
+	}
+
+	got := map[string]Entry{
+		"BenchmarkSlow": {NsPerOp: 2000, AllocsPerOp: 0},
+		"BenchmarkFast": {NsPerOp: 1500, AllocsPerOp: 0},
+		"BenchmarkMem":  {NsPerOp: 1000, AllocsPerOp: 50, BytesPerOp: 4000},
+	}
+	// Both halves slowed in lockstep (a slower machine): the wide ns
+	// tolerance admits it and the relative gate still holds.
+	if p := compare(base, got, 3.0, 0.10); len(p) != 0 {
+		t.Errorf("clean annotated run reported problems: %v", p)
+	}
+
+	// The fast benchmark no longer strictly beats its rival; the note
+	// rides along with the failure.
+	got["BenchmarkFast"] = Entry{NsPerOp: 2000, AllocsPerOp: 0}
+	p := compare(base, got, 3.0, 0.10)
+	if len(p) != 1 || !strings.Contains(p[0], "not strictly below") {
+		t.Errorf("faster_than violation not caught: %v", p)
+	}
+	if !strings.Contains(p[0], "must beat the interpreter") {
+		t.Errorf("note not echoed with failure: %v", p)
+	}
+	got["BenchmarkFast"] = Entry{NsPerOp: 1500, AllocsPerOp: 0}
+
+	// faster_than against a benchmark missing from the run.
+	delete(got, "BenchmarkSlow")
+	if p := compare(base, got, 3.0, 0.10); len(p) != 2 { // missing + unmeasured rival
+		t.Errorf("unmeasured rival not caught: %v", p)
+	}
+	got["BenchmarkSlow"] = Entry{NsPerOp: 2000, AllocsPerOp: 0}
+
+	// B/op ceiling.
+	got["BenchmarkMem"] = Entry{NsPerOp: 1000, AllocsPerOp: 50, BytesPerOp: 5000}
+	if p := compare(base, got, 3.0, 0.10); len(p) != 1 || !strings.Contains(p[0], "exceeds ceiling") {
+		t.Errorf("bytes ceiling violation not caught: %v", p)
+	}
+}
+
+// TestParseBenchKeepsMaxBytes: B/op merges like allocs/op — worst of
+// the repeats.
+func TestParseBenchKeepsMaxBytes(t *testing.T) {
+	in := `BenchmarkX-8 100 2000 ns/op 100 B/op 5 allocs/op
+BenchmarkX-8 100 1000 ns/op 300 B/op 5 allocs/op
+`
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := got["BenchmarkX"]; e.BytesPerOp != 300 {
+		t.Errorf("B/op = %v, want max 300", e.BytesPerOp)
+	}
+}

@@ -60,6 +60,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8470", "listen address")
 	specName := flag.String("spec", "amdahl470", "default code generator specification")
 	risc := flag.Bool("risc", false, "use the risc32 target configuration for the default spec")
+	engine := flag.String("engine", "interpreted", "translation engine: interpreted, auto, or emitted (a compiled-in `cogg emit-go` engine; byte-identical output)")
 	cacheDir := flag.String("cache", "", "table-module cache directory")
 	workers := flag.Int("j", 0, "worker pool size (default GOMAXPROCS)")
 	pool := flag.Int("pool", 0, "reusable sessions per module (default 2*j)")
@@ -86,6 +87,7 @@ func main() {
 		SpecName:        sName,
 		SpecSrc:         sSrc,
 		Risc:            *risc,
+		Engine:          *engine,
 		Workers:         *workers,
 		CacheDir:        *cacheDir,
 		PoolSize:        *pool,

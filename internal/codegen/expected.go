@@ -53,12 +53,7 @@ func (r *run) wouldAccept(sym int) bool {
 	pending := []int{sym}
 	for steps := 0; steps < expectedBound; steps++ {
 		look := pending[len(pending)-1]
-		var act lr.Action
-		if r.dense != nil {
-			act = r.dense.Lookup(states[len(states)-1], look)
-		} else {
-			act = r.packed.Lookup(states[len(states)-1], look)
-		}
+		act := r.lookupAction(states[len(states)-1], look)
 		switch act.Kind() {
 		case lr.Shift:
 			states = append(states, act.Target())

@@ -3,6 +3,7 @@ package codegen
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"cogg/internal/asm"
 	"cogg/internal/cse"
@@ -115,6 +116,15 @@ type run struct {
 	packed *tables.Packed
 	dense  *lr.Table // optional uncompressed dispatch (benchmark ablation)
 
+	// parseFn drives the skeletal parser: the interpreted loop for
+	// Session, the generated loop for an emitted engine (see emitrt.go).
+	// actionFn, when set, replaces the table lookup for the cold paths
+	// that re-dispatch actions outside the main loop (blocked-parse
+	// resync and expected-symbol simulation) — an emitted engine carries
+	// its action table as compiled code, not as a Packed module.
+	parseFn  func() error
+	actionFn func(state, sym int) lr.Action
+
 	autoLabel int64 // allocator for generator-internal (negative) labels
 	stmtNum   int   // current source statement, from stmt_record
 
@@ -132,10 +142,12 @@ type run struct {
 	// phase timing, accumulated per reduction when metrics or a trace
 	// are attached (GenerateCtx sets timed): regallocNS covers the
 	// up-front allocate, emitNS the template/semantic steps. Both are
-	// slices of the surrounding parse-reduce phase.
+	// slices of the surrounding parse-reduce phase. phaseT0 is the
+	// running phase-boundary clock read (see beginReduce/endAllocPhase).
 	timed      bool
 	regallocNS int64
 	emitNS     int64
+	phaseT0    time.Time
 
 	// derivation provenance (opt-in, see provenance.go): curPlan and
 	// curStep track the reduction context emit attributes entries to;
@@ -348,7 +360,7 @@ func (r *run) block(tok ir.Token, haveTok bool, reason string) bool {
 		if s, found := r.gr.Lookup(next.Sym); found {
 			switch s.Kind {
 			case grammar.Operator, grammar.Terminal, grammar.Nonterminal:
-				if r.packed.Lookup(0, s.ID).Kind() != lr.Error {
+				if r.lookupAction(0, s.ID).Kind() != lr.Error {
 					return true
 				}
 			}
@@ -358,6 +370,20 @@ func (r *run) block(tok ir.Token, haveTok bool, reason string) bool {
 }
 
 func (r *run) top() *stackEntry { return &r.stack[len(r.stack)-1] }
+
+// lookupAction dispatches one (state, symbol) pair outside the main
+// parse loop: blocked-parse resynchronization and the expected-symbol
+// simulation. The interpreted loop keeps its own inlined dense/packed
+// dispatch; an emitted engine supplies actionFn instead of tables.
+func (r *run) lookupAction(state, sym int) lr.Action {
+	if r.actionFn != nil {
+		return r.actionFn(state, sym)
+	}
+	if r.dense != nil {
+		return r.dense.Lookup(state, sym)
+	}
+	return r.packed.Lookup(state, sym)
+}
 
 // traceAction writes one spec-debugging line for the pending action.
 func (r *run) traceAction(w io.Writer, tok ir.Token, haveTok bool, act lr.Action) {

@@ -1,6 +1,7 @@
 package codegen
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -57,6 +58,14 @@ type ProvEntry struct {
 	Operands []string `json:"operands,omitempty"`
 	Stmt     int      `json:"stmt,omitempty"` // source statement, from stmt_record
 }
+
+// ErrProvenanceUnsupported is returned when derivation recording is
+// requested from an emitted (generated-code) engine. Provenance is an
+// interpreter-only feature: the emitted engine compiles templates away,
+// so the template-index bookkeeping the recording relies on does not
+// exist there. Translate with the interpreted engine to explain a unit.
+var ErrProvenanceUnsupported = errors.New(
+	"codegen: derivation recording is interpreter-only; the emitted engine does not support provenance")
 
 // EnableProvenance turns derivation recording on or off for subsequent
 // Generate calls on this session.
@@ -183,8 +192,8 @@ func provOperandString(o *asm.Operand) string {
 // FormatProvenance renders entries as a table, one line per
 // instruction:
 //
-//	   0  l      <- prod 12 [template 0 @ line 34]  r.1=R5, fullword dsp.1(r.13)=96(R13)
-//	      r.1 ::= fullword dsp.1 r.2
+//	0  l      <- prod 12 [template 0 @ line 34]  r.1=R5, fullword dsp.1(r.13)=96(R13)
+//	   r.1 ::= fullword dsp.1 r.2
 func FormatProvenance(entries []ProvEntry) string {
 	var b strings.Builder
 	lastProd := -1

@@ -1,0 +1,225 @@
+package codegen
+
+import (
+	"strconv"
+
+	"cogg/internal/tables"
+)
+
+// This file exports a read-only view of the compiled production plans
+// for the Go-source emitter (internal/emitgo). The emitter consumes the
+// interpreter's own static resolution — the same slot numbering, operand
+// classification, and semantic-op dispatch the interpreted hot loop
+// runs — so the code it generates is a partial evaluation of exactly
+// the plans the interpreter would have walked, not a reimplementation
+// that could drift.
+
+// SemOp and its constants are the exported face of the semantic-op
+// enum (see plan.go).
+type SemOp = semOp
+
+const (
+	SemMachine       = semMachine
+	SemUsing         = semUsing
+	SemNeed          = semNeed
+	SemModifies      = semModifies
+	SemIgnoreLHS     = semIgnoreLHS
+	SemIBMLength     = semIBMLength
+	SemPushOdd       = semPushOdd
+	SemPushEven      = semPushEven
+	SemLoadOddAddr   = semLoadOddAddr
+	SemLoadOddFull   = semLoadOddFull
+	SemLoadOddHalf   = semLoadOddHalf
+	SemLoadOddReg    = semLoadOddReg
+	SemLabelLocation = semLabelLocation
+	SemLabelPntr     = semLabelPntr
+	SemBranch        = semBranch
+	SemBranchIndexed = semBranchIndexed
+	SemSkip          = semSkip
+	SemCaseLoad      = semCaseLoad
+	SemAbort         = semAbort
+	SemStmtRecord    = semStmtRecord
+	SemListRequest   = semListRequest
+	SemFullCommon    = semFullCommon
+	SemHalfCommon    = semHalfCommon
+	SemByteCommon    = semByteCommon
+	SemRealCommon    = semRealCommon
+	SemDRealCommon   = semDRealCommon
+	SemFindCommon    = semFindCommon
+	SemFindRealCommon = semFindRealCommon
+	SemLoadExtended  = semLoadExtended
+	SemStoreExtended = semStoreExtended
+	SemClearExtended = semClearExtended
+)
+
+// OpdShape and its constants are the exported face of the operand
+// classification (see plan.go).
+type OpdShape = opdShape
+
+const (
+	OpdImm    = opdImm
+	OpdReg    = opdReg
+	OpdMem    = opdMem
+	OpdMemIdx = opdMemIdx
+	OpdMemLen = opdMemLen
+	OpdBad    = opdBad
+)
+
+// Exported slot sentinels (see plan.go).
+const (
+	LitSlot     = litSlot
+	UnboundSlot = unboundSlot
+)
+
+// AtomView is one pre-resolved template atom: a slot binding, a literal
+// value, or a statically-unbound reference kept for its runtime error.
+type AtomView struct {
+	Slot    int32 // >= 0 slot number; LitSlot literal; UnboundSlot unbound
+	Val     int64 // literal value when Slot == LitSlot
+	SymName string
+	Tag     int
+}
+
+// OpdView is one pre-classified template operand.
+type OpdView struct {
+	Shape OpdShape
+	Base  AtomView // scalar value or displacement
+	X     AtomView // index or length
+	B     AtomView // base register
+	NSub  int      // for the OpdBad diagnostic
+}
+
+// RefView is an operand's bare-tagged-reference reading.
+type RefView struct {
+	Bare    bool
+	Slot    int32
+	SymName string
+	Tag     int
+	Class   string
+}
+
+// ValView is an operand's scalar reading.
+type ValView struct {
+	Scalar bool
+	Atom   AtomView
+}
+
+// StepView is one compiled template step.
+type StepView struct {
+	Op     SemOp
+	Name   string // operator name
+	MachOp string // opcode for SemMachine steps
+	Line   int    // specification source line
+	Opds   []OpdView
+	Refs   []RefView
+	Vals   []ValView
+}
+
+// AllocView is one `using` or `need` request.
+type AllocView struct {
+	Class   string // "" raises the not-a-register-class error
+	SymName string
+	Tag     int
+	Slot    int32
+}
+
+// ProdView is the compiled form of one production.
+type ProdView struct {
+	Index  int // production index: the Reduce action target
+	Num    int // 1-based specification order
+	Line   int
+	Text   string // specification notation, for generated comments
+	RHSLen int
+	NSlots int
+	// RHSSlot maps each RHS position to the slot bound from the popped
+	// stack value, -1 for none.
+	RHSSlot  []int32
+	SlotName []string // slot -> "sym.tag", for generated comments
+	Uses     []AllocView
+	Needs    []AllocView
+	Steps    []StepView
+	Tail     ReduceTail
+}
+
+// EngineView is the compiled-plan view the Go-source emitter renders
+// from; grammar symbols and the packed action table come from the
+// module itself.
+type EngineView struct {
+	EOFSym       int
+	MaxSlots     int
+	ProdCountLen int
+	Prods        []ProdView
+}
+
+// NewEngineView compiles the module's plans (exactly as New does) and
+// converts them to the exported view.
+func NewEngineView(mod *tables.Module, cfg Config) (*EngineView, error) {
+	g, err := New(mod, cfg)
+	if err != nil {
+		return nil, err
+	}
+	gr := mod.Grammar
+	v := &EngineView{
+		EOFSym:       g.eofSym,
+		MaxSlots:     g.maxSlots,
+		ProdCountLen: g.prodCountLen,
+	}
+	atom := func(a *atomPlan) AtomView {
+		if a.slot == litSlot {
+			return AtomView{Slot: litSlot, Val: a.val}
+		}
+		return AtomView{Slot: a.slot, SymName: gr.SymName(a.ref.Sym), Tag: a.ref.Tag}
+	}
+	for pi := range g.plans {
+		pl := &g.plans[pi]
+		p := pl.prod
+		pv := ProdView{
+			Index:   pi,
+			Num:     p.Num,
+			Line:    p.Line,
+			Text:    gr.ProdString(p),
+			RHSLen:  len(p.RHS),
+			NSlots:  pl.nslots,
+			RHSSlot: pl.rhsSlot,
+			Tail:    pl.tail,
+		}
+		for _, ref := range pl.slotRef {
+			pv.SlotName = append(pv.SlotName, gr.SymName(ref.Sym)+"."+strconv.Itoa(ref.Tag))
+		}
+		alloc := func(a *allocStep) AllocView {
+			return AllocView{Class: a.class, SymName: gr.SymName(a.ref.Sym), Tag: a.ref.Tag, Slot: a.slot}
+		}
+		for i := range pl.uses {
+			pv.Uses = append(pv.Uses, alloc(&pl.uses[i]))
+		}
+		for i := range pl.needs {
+			pv.Needs = append(pv.Needs, alloc(&pl.needs[i]))
+		}
+		for si := range pl.steps {
+			st := &pl.steps[si]
+			sv := StepView{Op: st.op, Name: st.name, MachOp: st.machOp, Line: st.t.Line}
+			for oi := range st.opds {
+				o := &st.opds[oi]
+				sv.Opds = append(sv.Opds, OpdView{
+					Shape: o.shape, Base: atom(&o.base), X: atom(&o.x), B: atom(&o.b), NSub: o.nsub,
+				})
+			}
+			for ri := range st.refs {
+				rp := &st.refs[ri]
+				rv := RefView{Bare: rp.bare, Slot: rp.slot, Class: rp.class}
+				if rp.bare {
+					rv.SymName = gr.SymName(rp.ref.Sym)
+					rv.Tag = rp.ref.Tag
+				}
+				sv.Refs = append(sv.Refs, rv)
+			}
+			for vi := range st.vals {
+				vp := &st.vals[vi]
+				sv.Vals = append(sv.Vals, ValView{Scalar: vp.scalar, Atom: atom(&vp.atom)})
+			}
+			pv.Steps = append(pv.Steps, sv)
+		}
+		v.Prods = append(v.Prods, pv)
+	}
+	return v, nil
+}

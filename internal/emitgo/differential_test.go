@@ -1,0 +1,224 @@
+package emitgo_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"cogg/internal/asm"
+	"cogg/internal/codegen"
+	"cogg/internal/driver"
+	"cogg/internal/ifopt"
+	"cogg/internal/ir"
+	"cogg/internal/labels"
+	"cogg/internal/oracle"
+	"cogg/internal/rt370"
+	"cogg/internal/shaper"
+	"cogg/specs"
+
+	amdahl470emitted "cogg/internal/emitted/amdahl470"
+)
+
+// newEngines builds the two translation paths under test: the
+// interpreted generator and the checked-in emitted engine, both from
+// the amdahl470 specification with the standard S/370 configuration.
+func newEngines(t testing.TB) (*driver.Target, codegen.Engine) {
+	t.Helper()
+	tgt, err := driver.NewTarget("amdahl470.cogg", specs.Amdahl470)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := amdahl470emitted.New(rt370.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tgt, eng
+}
+
+// translate runs one engine session over an IF stream and renders the
+// laid-out listing; a failed translation returns the error instead.
+func translate(ses codegen.EngineSession, m asm.Machine, name string, toks []ir.Token) (string, []int, error) {
+	prog, res, err := ses.Generate(name, toks)
+	if err != nil {
+		return "", nil, err
+	}
+	if err := labels.Layout(prog, m); err != nil {
+		return "", nil, err
+	}
+	return asm.Listing(prog, m), append([]int(nil), res.ProdCounts...), nil
+}
+
+// sameError reports whether two translation failures are identical
+// structured errors: same concrete type, same rendered message (which
+// for a BlockedError covers every collected blocked-parse diagnostic).
+func sameError(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return fmt.Sprintf("%T", a) == fmt.Sprintf("%T", b) && a.Error() == b.Error()
+}
+
+// corpusSize is the differential corpus scale: quick by default, the
+// acceptance-criterion 10,000 programs under COGG_CORPUS_FULL=1 (the
+// CI emit-go job sets it).
+func corpusSize() int {
+	if os.Getenv("COGG_CORPUS_FULL") != "" {
+		return 10000
+	}
+	return 40
+}
+
+// TestEngineDifferentialCorpus drives the ifsynth oracle corpus through
+// both engines and requires byte-identical listings and identical
+// production counts for every program.
+func TestEngineDifferentialCorpus(t *testing.T) {
+	tgt, eng := newEngines(t)
+	intSes, err := tgt.Gen.NewEngineSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitSes, err := eng.NewEngineSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := oracle.New(tgt.Mod)
+	prime, err := ir.ParseTokens(oracle.DefaultPriming("amdahl470.cogg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := oracle.Generate(o, 42, corpusSize(), oracle.CorpusOptions{
+		Walk: oracle.WalkConfig{Priming: prime},
+		Verify: func(toks []ir.Token) ([]int, error) {
+			_, res, err := intSes.Generate("synth", toks)
+			if err != nil {
+				return nil, err
+			}
+			return append([]int(nil), res.ProdCounts...), nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("corpus generation: %v", err)
+	}
+
+	for i, toks := range c.Programs {
+		ref, refCounts, refErr := translate(intSes, tgt.Machine, "synth", toks)
+		got, gotCounts, gotErr := translate(emitSes, tgt.Machine, "synth", toks)
+		if refErr != nil || gotErr != nil {
+			t.Fatalf("program %d: interpreted err %v, emitted err %v", i, refErr, gotErr)
+		}
+		if got != ref {
+			t.Fatalf("program %d: listings differ between interpreted and emitted engines\ninput: %s",
+				i, ir.FormatTokens(toks))
+		}
+		if len(refCounts) != len(gotCounts) {
+			t.Fatalf("program %d: ProdCounts length %d vs %d", i, len(refCounts), len(gotCounts))
+		}
+		for p := range refCounts {
+			if refCounts[p] != gotCounts[p] {
+				t.Fatalf("program %d: production %d reduced %d times interpreted, %d emitted",
+					i, p, refCounts[p], gotCounts[p])
+			}
+		}
+	}
+}
+
+// exampleProgram extracts the embedded Pascal source from one
+// examples/<name>/main.go.
+var exampleProgramRE = regexp.MustCompile("(?s)const program = `\n(.*?)`")
+
+// TestEngineDifferentialExamples compiles every example program through
+// the full pipeline twice — interpreted target and emitted engine — and
+// requires byte-identical listings, with and without the CSE optimizer.
+func TestEngineDifferentialExamples(t *testing.T) {
+	tgt, eng := newEngines(t)
+	emitted := &driver.Target{Mod: tgt.Mod, Gen: tgt.Gen, Machine: tgt.Machine, Engine: eng}
+
+	dirs, err := filepath.Glob("../../examples/*/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no examples found")
+	}
+	tested := 0
+	for _, path := range dirs {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := exampleProgramRE.FindSubmatch(src)
+		if m == nil {
+			continue // quickstart embeds a spec, not a program
+		}
+		name := filepath.Base(filepath.Dir(path))
+		for _, mode := range []struct {
+			tag string
+			cse bool
+		}{
+			{"plain", false},
+			{"cse", true},
+		} {
+			t.Run(name+"/"+mode.tag, func(t *testing.T) {
+				// One optimizer per compile: the CSE numbering sequence is
+				// per-Optimizer state, and both engines must see the same IF.
+				opts := func() shaper.Options {
+					o := shaper.Options{StatementRecords: true}
+					if mode.cse {
+						o.CSE = ifopt.New().Apply
+					}
+					return o
+				}
+				ref, err := tgt.Compile(name+".pas", string(m[1]), opts())
+				if err != nil {
+					t.Fatalf("interpreted compile: %v", err)
+				}
+				got, err := emitted.Compile(name+".pas", string(m[1]), opts())
+				if err != nil {
+					t.Fatalf("emitted compile: %v", err)
+				}
+				if got.Listing() != ref.Listing() {
+					t.Fatalf("listings differ between interpreted and emitted engines")
+				}
+				tested++
+			})
+		}
+	}
+	if tested == 0 {
+		t.Fatal("no example programs extracted")
+	}
+}
+
+// TestEngineDifferentialErrors drives malformed and blocked IF through
+// both engines and requires identical structured errors — including the
+// blocked-parse diagnostics collected during resynchronization.
+func TestEngineDifferentialErrors(t *testing.T) {
+	tgt, eng := newEngines(t)
+
+	cases := []string{
+		"",                             // empty input
+		"assign fullword dsp.100",      // truncated mid-statement
+		"iadd iadd iadd r.1 r.2",       // operators without operands
+		"dsp.100 r.13 assign fullword", // operands before any operator
+		"halfword imul r.1 r.2",        // undeclared symbol
+		"cse fullword dsp.100 r.13",    // symbol kind illegal in IF
+		"assign fullword dsp.100 r.13 iadd fullword dsp.100 r.13 fullword", // truncated operand
+	}
+	for i, text := range cases {
+		toks, err := ir.ParseTokens(text)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		_, _, refErr := tgt.Gen.Generate("err", toks)
+		_, _, gotErr := eng.Generate("err", toks)
+		if !sameError(refErr, gotErr) {
+			t.Errorf("case %d (%q):\ninterpreted: %T %v\nemitted:     %T %v",
+				i, text, refErr, refErr, gotErr, gotErr)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package emitgo_test
+
+import (
+	"testing"
+
+	"cogg/internal/ir"
+	"cogg/internal/oracle"
+)
+
+// FuzzEngineDifferential is the engine-equivalence fuzz target: any IF
+// stream — well-formed, truncated, or garbage — must produce either
+// byte-identical listings or identical structured errors (blocked-parse
+// diagnostics included) from the interpreted and emitted engines. The
+// seeds are ifsynth-generated program bodies plus handcrafted malformed
+// shapes, so mutation starts from inputs that reach deep into the
+// grammar.
+func FuzzEngineDifferential(f *testing.F) {
+	tgt, eng := newEngines(f)
+	intSes, err := tgt.Gen.NewEngineSession()
+	if err != nil {
+		f.Fatal(err)
+	}
+	emitSes, err := eng.NewEngineSession()
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	// ifsynth seeds: oracle-generated well-formed bodies.
+	o := oracle.New(tgt.Mod)
+	prime, err := ir.ParseTokens(oracle.DefaultPriming("amdahl470.cogg"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	c, err := oracle.Generate(o, 42, 16, oracle.CorpusOptions{
+		Walk: oracle.WalkConfig{Priming: prime},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, toks := range c.Programs {
+		f.Add(ir.FormatTokens(toks))
+	}
+	// Malformed shapes that exercise blocked-parse recovery.
+	f.Add("assign fullword dsp.100")
+	f.Add("iadd iadd iadd r.1 r.2")
+	f.Add("dsp.100 r.13 assign fullword")
+	f.Add("halfword imul r.1 r.2")
+	f.Add("cse fullword dsp.100 r.13")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 1<<13 {
+			return // bound per-input work; long streams add no new shapes
+		}
+		toks, err := ir.ParseTokens(text)
+		if err != nil {
+			return
+		}
+		ref, refCounts, refErr := translate(intSes, tgt.Machine, "fuzz", toks)
+		got, gotCounts, gotErr := translate(emitSes, tgt.Machine, "fuzz", toks)
+		if !sameError(refErr, gotErr) {
+			t.Fatalf("error divergence on %q:\ninterpreted: %T %v\nemitted:     %T %v",
+				text, refErr, refErr, gotErr, gotErr)
+		}
+		if refErr != nil {
+			return
+		}
+		if got != ref {
+			t.Fatalf("listing divergence on %q:\n--- interpreted ---\n%s\n--- emitted ---\n%s",
+				text, ref, got)
+		}
+		for p := range refCounts {
+			if refCounts[p] != gotCounts[p] {
+				t.Fatalf("ProdCounts divergence on %q: production %d: %d vs %d",
+					text, p, refCounts[p], gotCounts[p])
+			}
+		}
+	})
+}

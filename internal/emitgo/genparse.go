@@ -1,0 +1,105 @@
+package emitgo
+
+import (
+	"fmt"
+	"sort"
+
+	"cogg/internal/grammar"
+)
+
+// parseFile renders the generated skeletal parser: the symbol lookup as
+// a string switch and the main loop, mirroring the interpreted
+// run.parse statement for statement. Everything that touches run state
+// goes through the EmitRT methods; the generated code contributes the
+// compiled dispatch (symOf, lookupAction, reduceFns).
+func (e *emitter) parseFile() []byte {
+	gr := e.mod.Grammar
+	b := e.file("fmt", "", "cogg/internal/lr")
+
+	// Mirror the grammar's byName semantics: symbols are entered in ID
+	// order and a later declaration of the same name wins.
+	byName := map[string]grammar.Symbol{}
+	for _, s := range gr.Syms {
+		byName[s.Name] = s
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(b, "// symOf maps an IF token symbol name to its parser symbol id. For a\n")
+	fmt.Fprintf(b, "// declared symbol that cannot occur in the intermediate form it\n")
+	fmt.Fprintf(b, "// returns -1 with the diagnostic; for an undeclared name, -1 and \"\".\n")
+	fmt.Fprintf(b, "func symOf(name string) (int, string) {\n")
+	fmt.Fprintf(b, "\tswitch name {\n")
+	for _, n := range names {
+		s := byName[n]
+		switch s.Kind {
+		case grammar.Operator, grammar.Terminal, grammar.Nonterminal:
+			fmt.Fprintf(b, "\tcase %q:\n\t\treturn %d, \"\"\n", n, s.ID)
+		default:
+			msg := fmt.Sprintf("%s %q cannot occur in the intermediate form", s.Kind, n)
+			fmt.Fprintf(b, "\tcase %q:\n\t\treturn -1, %q\n", n, msg)
+		}
+	}
+	fmt.Fprintf(b, "\t}\n")
+	fmt.Fprintf(b, "\treturn -1, \"\"\n")
+	fmt.Fprintf(b, "}\n\n")
+
+	fmt.Fprintf(b, `// parse drives the skeletal LR parser to completion — the generated
+// twin of the interpreter's main loop, with the action dispatch
+// compiled into lookupAction and the reductions into reduceFns.
+func (s *session) parse() error {
+	rt := s.rt
+	rt.InitParse()
+	limit := rt.StepLimit()
+	for steps := 0; ; steps++ {
+		if steps > limit {
+			return rt.LoopError()
+		}
+		if err := rt.CodeErr(); err != nil {
+			return err
+		}
+		tok, ok := rt.Peek()
+		sym := eofSym
+		if ok {
+			id, badKind := symOf(tok.Sym)
+			if id < 0 {
+				reason := badKind
+				if reason == "" {
+					reason = fmt.Sprintf("symbol %%q is not declared in the code generator specification", tok.Sym)
+				}
+				if rt.Block(tok, true, reason) {
+					continue
+				}
+				return rt.Finish()
+			}
+			sym = id
+		}
+		act := lookupAction(rt.State(), sym)
+		if rt.Tracing() {
+			rt.TraceAction(tok, ok, act)
+		}
+		switch act.Kind() {
+		case lr.Accept:
+			return rt.Accept()
+		case lr.Shift:
+			if err := rt.Shift(act.Target(), sym, tok.Val); err != nil {
+				return err
+			}
+		case lr.Reduce:
+			if err := reduceFns[act.Target()](s); err != nil {
+				return err
+			}
+		default:
+			if rt.Block(tok, ok, "no action; the specification cannot translate this IF shape") {
+				continue
+			}
+			return rt.Finish()
+		}
+	}
+}
+`)
+	return b.Bytes()
+}

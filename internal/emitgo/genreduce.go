@@ -1,0 +1,681 @@
+package emitgo
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cogg/internal/codegen"
+)
+
+// reduceFile renders the compiled reduction sites: one function per
+// production performing the same sequence as the interpreted
+// run.reduce — begin, bind slots from the popped right side, allocate,
+// act on each template, epilogue — with every plan decision (slot
+// numbers, classes, operand shapes, literals, static errors) baked in.
+func (e *emitter) reduceFile() []byte {
+	body := &bytes.Buffer{}
+	imp := &importSet{}
+
+	fmt.Fprintf(body, "// tails carries each production's reduction epilogue: the static\n")
+	fmt.Fprintf(body, "// release/push data EndReduce consumes (see codegen.ReduceTail).\n")
+	fmt.Fprintf(body, "var tails = [...]codegen.ReduceTail{\n")
+	for i := range e.view.Prods {
+		t := &e.view.Prods[i].Tail
+		fmt.Fprintf(body, "\t{ProdNum: %d, Lambda: %v, LHSClass: %q, LHSName: %q, LHSTag: %d, LHSSlot: %d, LHSFallback: %d, RHSClass: %s, SlotClass: %s},\n",
+			t.ProdNum, t.Lambda, t.LHSClass, t.LHSName, t.LHSTag, t.LHSSlot, t.LHSFallback,
+			strSlice(t.RHSClass), strSlice(t.SlotClass))
+	}
+	fmt.Fprintf(body, "}\n\n")
+
+	fmt.Fprintf(body, "// reduceFns dispatches a Reduce action's production index to its\n")
+	fmt.Fprintf(body, "// compiled reduction site.\n")
+	fmt.Fprintf(body, "var reduceFns = [%d]func(*session) error{\n", len(e.view.Prods))
+	for i := range e.view.Prods {
+		fmt.Fprintf(body, "\t(*session).reduce%d,\n", i)
+	}
+	fmt.Fprintf(body, "}\n\n")
+
+	for i := range e.view.Prods {
+		e.prodFunc(body, imp, &e.view.Prods[i])
+	}
+
+	b := e.file(imp.list()...)
+	b.Write(body.Bytes())
+	return b.Bytes()
+}
+
+// importSet accumulates the imports the generated reduction sites need.
+type importSet struct {
+	fmt, asm, cse, errors bool
+}
+
+func (s *importSet) list() []string {
+	var out []string
+	if s.errors {
+		out = append(out, "errors")
+	}
+	if s.fmt {
+		out = append(out, "fmt")
+	}
+	out = append(out, "") // std / project separator
+	if s.asm {
+		out = append(out, "cogg/internal/asm")
+	}
+	out = append(out, "cogg/internal/codegen")
+	if s.cse {
+		out = append(out, "cogg/internal/cse")
+	}
+	if out[0] == "" {
+		out = out[1:]
+	}
+	return out
+}
+
+func strSlice(xs []string) string {
+	if len(xs) == 0 {
+		return "nil"
+	}
+	var sb strings.Builder
+	sb.WriteString("[]string{")
+	for i, x := range xs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(strconv.Quote(x))
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// prodGen renders one production's reduction site.
+type prodGen struct {
+	b    *bytes.Buffer
+	imp  *importSet
+	pv   *codegen.ProdView
+	nv   int  // fresh-variable counter
+	done bool // an unconditional return was emitted; the rest is unreachable
+}
+
+func (e *emitter) prodFunc(b *bytes.Buffer, imp *importSet, pv *codegen.ProdView) {
+	g := &prodGen{b: b, imp: imp, pv: pv}
+	fmt.Fprintf(b, "// reduce%d is production %d: %s\n", pv.Index, pv.Num, pv.Text)
+	fmt.Fprintf(b, "func (s *session) reduce%d() error {\n", pv.Index)
+	fmt.Fprintf(b, "rt := s.rt\n")
+	fmt.Fprintf(b, "if err := rt.BeginReduce(%d, %d, %d); err != nil {\nreturn err\n}\n", pv.Num, pv.RHSLen, pv.NSlots)
+	for i, slot := range pv.RHSSlot {
+		if slot >= 0 {
+			fmt.Fprintf(b, "rt.Bind(%d, %d) // %s\n", slot, i, pv.SlotName[slot])
+		}
+	}
+	g.allocs()
+	if !g.done {
+		fmt.Fprintf(b, "rt.EndAllocPhase()\n")
+		for si := range pv.Steps {
+			g.step(&pv.Steps[si])
+			if g.done {
+				break
+			}
+		}
+	}
+	if !g.done {
+		fmt.Fprintf(b, "rt.EndEmitPhase()\n")
+		fmt.Fprintf(b, "if err := rt.CheckTrailingSkips(%d); err != nil {\nreturn err\n}\n", pv.Num)
+		fmt.Fprintf(b, "return rt.EndReduce(&tails[%d])\n", pv.Index)
+	}
+	fmt.Fprintf(b, "}\n\n")
+}
+
+// allocs renders the up-front register allocation, in the interpreted
+// order: every `using` then every `need`, each class-checked first.
+func (g *prodGen) allocs() {
+	for _, u := range g.pv.Uses {
+		if g.done {
+			return
+		}
+		if u.Class == "" {
+			g.imp.errors = true
+			fmt.Fprintf(g.b, "return errors.New(%q)\n",
+				fmt.Sprintf("codegen: using %s.%d: not a register class", u.SymName, u.Tag))
+			g.done = true
+			return
+		}
+		fmt.Fprintf(g.b, "if err := rt.Using(%q, %d, %d); err != nil {\nreturn err\n}\n", u.Class, u.Slot, g.pv.Num)
+	}
+	for _, n := range g.pv.Needs {
+		if g.done {
+			return
+		}
+		if n.Class == "" {
+			g.imp.errors = true
+			fmt.Fprintf(g.b, "return errors.New(%q)\n",
+				fmt.Sprintf("codegen: need %s.%d: not a register class", n.SymName, n.Tag))
+			g.done = true
+			return
+		}
+		fmt.Fprintf(g.b, "if err := rt.Need(%q, %d, %d, tails[%d].SlotClass, %d); err != nil {\nreturn err\n}\n",
+			n.Class, n.Tag, n.Slot, g.pv.Index, g.pv.Num)
+	}
+}
+
+// --- per-step helpers ---------------------------------------------------
+
+// prefix is the template-error context tmplErr would prepend.
+func (g *prodGen) prefix(st *codegen.StepView) string {
+	return fmt.Sprintf("production %d, template %q (line %d): ", g.pv.Num, st.Name, st.Line)
+}
+
+// staticErr emits the unconditional GenErr for a statically-known
+// template failure, prefixed with the step's context.
+func (g *prodGen) staticErr(st *codegen.StepView, msg string) {
+	fmt.Fprintf(g.b, "return rt.GenErr(%q)\n", g.prefix(st)+msg)
+	g.done = true
+}
+
+// wrap emits the runtime-error wrapper around a core call expression.
+func (g *prodGen) wrap(st *codegen.StepView, call string) {
+	fmt.Fprintf(g.b, "if err := %s; err != nil {\nreturn rt.TemplateErr(%d, %q, %d, err)\n}\n",
+		call, g.pv.Num, st.Name, st.Line)
+}
+
+func (g *prodGen) fresh() string {
+	g.nv++
+	return fmt.Sprintf("v%d", g.nv)
+}
+
+// fmtEscape embeds literal text into a generated format string.
+func fmtEscape(s string) string { return strings.ReplaceAll(s, "%", "%%") }
+
+// val resolves template operand i as a plain number (the generated
+// stepVal): returns the int64-valued expression, or emits the static
+// error and reports !ok.
+func (g *prodGen) val(st *codegen.StepView, i int) (string, bool) {
+	if i >= len(st.Vals) {
+		g.staticErr(st, fmt.Sprintf("missing operand %d", i+1))
+		return "", false
+	}
+	v := &st.Vals[i]
+	if !v.Scalar {
+		g.staticErr(st, fmt.Sprintf("operand %d must not have an address form", i+1))
+		return "", false
+	}
+	return g.atomVal(st, &v.Atom)
+}
+
+// ref resolves template operand i as a bare tagged reference with a
+// value (the generated stepRef).
+func (g *prodGen) ref(st *codegen.StepView, i int) (*codegen.RefView, bool) {
+	if i >= len(st.Refs) {
+		g.staticErr(st, fmt.Sprintf("missing operand %d", i+1))
+		return nil, false
+	}
+	r := &st.Refs[i]
+	if !r.Bare {
+		g.staticErr(st, fmt.Sprintf("operand %d must be a tagged symbol reference", i+1))
+		return nil, false
+	}
+	if r.Slot < 0 {
+		g.staticErr(st, fmt.Sprintf("operand %s.%d has no value in this reduction", r.SymName, r.Tag))
+		return nil, false
+	}
+	return r, true
+}
+
+// atomVal resolves one atom to its int64 value expression.
+func (g *prodGen) atomVal(st *codegen.StepView, a *codegen.AtomView) (string, bool) {
+	switch {
+	case a.Slot >= 0:
+		return fmt.Sprintf("rt.Slot(%d)", a.Slot), true
+	case a.Slot == codegen.LitSlot:
+		return strconv.FormatInt(a.Val, 10), true
+	}
+	g.staticErr(st, fmt.Sprintf("operand %s.%d has no value in this reduction", a.SymName, a.Tag))
+	return "", false
+}
+
+// regAtom resolves one atom used in a register position, with the
+// interpreter's 0..15 range check (compile-time for literals, runtime
+// for slot bindings). The returned expression has type int.
+func (g *prodGen) regAtom(st *codegen.StepView, a *codegen.AtomView) (string, bool) {
+	switch {
+	case a.Slot >= 0:
+		v := g.fresh()
+		g.imp.fmt = true
+		fmt.Fprintf(g.b, "%s := rt.Slot(%d)\n", v, a.Slot)
+		fmt.Fprintf(g.b, "if %s < 0 || %s > 15 {\nreturn rt.GenErr(fmt.Sprintf(%q, %s))\n}\n",
+			v, v, fmtEscape(g.prefix(st))+"register number %d out of range", v)
+		return fmt.Sprintf("int(%s)", v), true
+	case a.Slot == codegen.LitSlot:
+		if a.Val < 0 || a.Val > 15 {
+			g.staticErr(st, fmt.Sprintf("register number %d out of range", a.Val))
+			return "", false
+		}
+		return strconv.FormatInt(a.Val, 10), true
+	}
+	g.staticErr(st, fmt.Sprintf("operand %s.%d has no value in this reduction", a.SymName, a.Tag))
+	return "", false
+}
+
+// operand renders the checks for one pre-classified operand and returns
+// the asm.Operand construction expression — the generated resolveOpd,
+// with the interpreter's resolution order per shape.
+func (g *prodGen) operand(st *codegen.StepView, o *codegen.OpdView) (string, bool) {
+	g.imp.asm = true
+	switch o.Shape {
+	case codegen.OpdReg:
+		n, ok := g.regAtom(st, &o.Base)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("asm.R(%s)", n), true
+	case codegen.OpdImm:
+		v, ok := g.atomVal(st, &o.Base)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("asm.I(%s)", v), true
+	case codegen.OpdMem:
+		disp, ok := g.atomVal(st, &o.Base)
+		if !ok {
+			return "", false
+		}
+		base, ok := g.regAtom(st, &o.B)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("asm.M(%s, 0, %s)", disp, base), true
+	case codegen.OpdMemIdx:
+		disp, ok := g.atomVal(st, &o.Base)
+		if !ok {
+			return "", false
+		}
+		base, ok := g.regAtom(st, &o.B)
+		if !ok {
+			return "", false
+		}
+		index, ok := g.regAtom(st, &o.X)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("asm.M(%s, %s, %s)", disp, index, base), true
+	case codegen.OpdMemLen:
+		disp, ok := g.atomVal(st, &o.Base)
+		if !ok {
+			return "", false
+		}
+		base, ok := g.regAtom(st, &o.B)
+		if !ok {
+			return "", false
+		}
+		length, ok := g.atomVal(st, &o.X)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("asm.ML(%s, %s, %s)", disp, length, base), true
+	}
+	g.staticErr(st, fmt.Sprintf("operand has %d address elements; at most two are allowed", o.NSub))
+	return "", false
+}
+
+// step renders one compiled template, machine or semantic, inside its
+// own block so per-step locals do not collide.
+func (g *prodGen) step(st *codegen.StepView) {
+	// Allocation operators were handled up front, like the interpreter.
+	if st.Op == codegen.SemUsing || st.Op == codegen.SemNeed {
+		return
+	}
+	fmt.Fprintf(g.b, "{ // %s (line %d)\n", st.Name, st.Line)
+	defer func() {
+		if !g.done {
+			fmt.Fprintf(g.b, "}\n")
+		} else {
+			// The step ended in an unconditional return; close the block.
+			fmt.Fprintf(g.b, "}\n")
+		}
+	}()
+
+	switch st.Op {
+	case codegen.SemMachine:
+		g.machineStep(st)
+	case codegen.SemModifies:
+		for i := range st.Refs {
+			r, ok := g.ref(st, i)
+			if !ok {
+				return
+			}
+			if r.Class == "" {
+				g.staticErr(st, fmt.Sprintf("modifies %s.%d: not a register", r.SymName, r.Tag))
+				return
+			}
+			g.wrap(st, fmt.Sprintf("rt.Modifies(%q, %d)", r.Class, r.Slot))
+		}
+	case codegen.SemIgnoreLHS:
+		fmt.Fprintf(g.b, "rt.IgnoreLHS()\n")
+	case codegen.SemIBMLength:
+		r, ok := g.ref(st, 0)
+		if !ok {
+			return
+		}
+		g.wrap(st, fmt.Sprintf("rt.IBMLength(%d)", r.Slot))
+	case codegen.SemPushOdd, codegen.SemPushEven:
+		r, ok := g.ref(st, 0)
+		if !ok {
+			return
+		}
+		g.wrap(st, fmt.Sprintf("rt.PushHalf(%q, %q, %d, %d, %v)",
+			r.Class, r.SymName, r.Tag, r.Slot, st.Op == codegen.SemPushOdd))
+	case codegen.SemLoadOddAddr, codegen.SemLoadOddFull, codegen.SemLoadOddHalf, codegen.SemLoadOddReg:
+		g.loadOddStep(st)
+	case codegen.SemLabelLocation:
+		v, ok := g.val(st, 0)
+		if !ok {
+			return
+		}
+		g.wrap(st, fmt.Sprintf("rt.DefineLabelHere(%s)", v))
+	case codegen.SemLabelPntr:
+		v, ok := g.val(st, 0)
+		if !ok {
+			return
+		}
+		fmt.Fprintf(g.b, "rt.AddrConst(%s)\n", v)
+	case codegen.SemBranch, codegen.SemBranchIndexed:
+		g.branchStep(st)
+	case codegen.SemSkip:
+		g.skipStep(st)
+	case codegen.SemCaseLoad:
+		g.caseLoadStep(st)
+	case codegen.SemAbort:
+		v, ok := g.val(st, 0)
+		if !ok {
+			return
+		}
+		fmt.Fprintf(g.b, "rt.Abort(%s)\n", v)
+	case codegen.SemStmtRecord:
+		v, ok := g.val(st, 0)
+		if !ok {
+			return
+		}
+		fmt.Fprintf(g.b, "rt.SetStmt(%s)\n", v)
+	case codegen.SemListRequest:
+		v, ok := g.val(st, 0)
+		if !ok {
+			return
+		}
+		fmt.Fprintf(g.b, "rt.ListRequest(%s)\n", v)
+	case codegen.SemFullCommon, codegen.SemHalfCommon, codegen.SemByteCommon,
+		codegen.SemRealCommon, codegen.SemDRealCommon:
+		g.commonStep(st)
+	case codegen.SemFindCommon, codegen.SemFindRealCommon:
+		g.findCommonStep(st)
+	case codegen.SemLoadExtended, codegen.SemStoreExtended, codegen.SemClearExtended:
+		g.extendedStep(st)
+	default:
+		// Unreachable: membership was validated when the view compiled.
+		g.staticErr(st, fmt.Sprintf("semantic operator %q is not implemented", st.Name))
+	}
+}
+
+// machineStep renders one instruction template: each operand's checks
+// in order, then the arena draw, fills, and emit — the generated
+// emitMachine. (The interpreter draws the arena before resolving; the
+// draw has no observable effect when resolution fails, so the emitted
+// form hoists the checks to keep a statically-failing operand from
+// leaving the slice declared but unused.)
+func (g *prodGen) machineStep(st *codegen.StepView) {
+	g.imp.asm = true
+	exprs := make([]string, len(st.Opds))
+	for i := range st.Opds {
+		expr, ok := g.operand(st, &st.Opds[i])
+		if !ok {
+			return
+		}
+		exprs[i] = expr
+	}
+	fmt.Fprintf(g.b, "opds := rt.Arena(%d)\n", len(st.Opds))
+	for i, expr := range exprs {
+		fmt.Fprintf(g.b, "opds[%d] = %s\n", i, expr)
+	}
+	fmt.Fprintf(g.b, "rt.Emit(asm.Instr{Op: %q, Opds: opds})\n", st.MachOp)
+}
+
+// atomValBad reports whether atomVal would fail statically for a.
+func atomValBad(a *codegen.AtomView) bool {
+	return a.Slot < 0 && a.Slot != codegen.LitSlot
+}
+
+// regAtomBad reports whether regAtom would fail statically for a.
+func regAtomBad(a *codegen.AtomView) bool {
+	if a.Slot == codegen.LitSlot {
+		return a.Val < 0 || a.Val > 15
+	}
+	return a.Slot < 0
+}
+
+// opdStaticBad reports whether operand would end in an unconditional
+// error for o (mirrors its static checks without emitting).
+func opdStaticBad(o *codegen.OpdView) bool {
+	switch o.Shape {
+	case codegen.OpdReg:
+		return regAtomBad(&o.Base)
+	case codegen.OpdImm:
+		return atomValBad(&o.Base)
+	case codegen.OpdMem:
+		return atomValBad(&o.Base) || regAtomBad(&o.B)
+	case codegen.OpdMemIdx:
+		return atomValBad(&o.Base) || regAtomBad(&o.B) || regAtomBad(&o.X)
+	case codegen.OpdMemLen:
+		return atomValBad(&o.Base) || regAtomBad(&o.B) || atomValBad(&o.X)
+	}
+	return true // OpdBad
+}
+
+// loadOddStep mirrors semLoadOdd's check order: pair reference, opcode
+// lookup, operand count, source operand, emit. When a later check is a
+// statically-known failure the opcode result is discarded so the
+// generated site still runs the lookup (its error takes precedence)
+// without declaring an unused variable.
+func (g *prodGen) loadOddStep(st *codegen.StepView) {
+	r, ok := g.ref(st, 0)
+	if !ok {
+		return
+	}
+	srcBad := len(st.Opds) != 2 || opdStaticBad(&st.Opds[1])
+	capture := "op, err"
+	if srcBad {
+		capture = "_, err"
+	}
+	fmt.Fprintf(g.b, "%s := rt.LoadOddOp(%q, %q, %q, %d)\n", capture, st.Name, r.Class, r.SymName, r.Tag)
+	fmt.Fprintf(g.b, "if err != nil {\nreturn rt.TemplateErr(%d, %q, %d, err)\n}\n", g.pv.Num, st.Name, st.Line)
+	if len(st.Opds) != 2 {
+		g.staticErr(st, fmt.Sprintf("%s expects a pair and one source operand", st.Name))
+		return
+	}
+	src, ok := g.operand(st, &st.Opds[1])
+	if !ok {
+		return
+	}
+	fmt.Fprintf(g.b, "rt.EmitLoadOdd(op, %d, %s)\n", r.Slot, src)
+}
+
+// branchStep mirrors semBranch: operand count, condition, label,
+// scratch register, then the branch_indexed rejection.
+func (g *prodGen) branchStep(st *codegen.StepView) {
+	if len(st.Opds) != 3 {
+		g.staticErr(st, "branch expects condition, label, and scratch register")
+		return
+	}
+	cond, ok := g.val(st, 0)
+	if !ok {
+		return
+	}
+	label, ok := g.val(st, 1)
+	if !ok {
+		return
+	}
+	scratch, ok := g.ref(st, 2)
+	if !ok {
+		return
+	}
+	if st.Op == codegen.SemBranchIndexed {
+		g.staticErr(st, "branch_indexed is expressed through case_load in this implementation")
+		return
+	}
+	fmt.Fprintf(g.b, "rt.EmitBranch(%s, %s, %d)\n", cond, label, scratch.Slot)
+}
+
+// skipStep mirrors semSkip: operand count, condition, count with its
+// 1..8 range check, scratch register.
+func (g *prodGen) skipStep(st *codegen.StepView) {
+	if len(st.Opds) != 3 {
+		g.staticErr(st, "skip expects condition, instruction count, and scratch register")
+		return
+	}
+	cond, ok := g.val(st, 0)
+	if !ok {
+		return
+	}
+	count, ok := g.val(st, 1)
+	if !ok {
+		return
+	}
+	if a := &st.Vals[1].Atom; a.Slot == codegen.LitSlot {
+		if a.Val < 1 || a.Val > 8 {
+			g.staticErr(st, fmt.Sprintf("skip count %d is outside a template sequence", a.Val))
+			return
+		}
+	} else {
+		v := g.fresh()
+		g.imp.fmt = true
+		fmt.Fprintf(g.b, "%s := %s\n", v, count)
+		fmt.Fprintf(g.b, "if %s < 1 || %s > 8 {\nreturn rt.GenErr(fmt.Sprintf(%q, %s))\n}\n",
+			v, v, fmtEscape(g.prefix(st))+"skip count %d is outside a template sequence", v)
+		count = v
+	}
+	scratch, ok := g.ref(st, 2)
+	if !ok {
+		return
+	}
+	fmt.Fprintf(g.b, "rt.EmitSkip(%s, %s, %d)\n", cond, count, scratch.Slot)
+}
+
+// caseLoadStep mirrors semCaseLoad.
+func (g *prodGen) caseLoadStep(st *codegen.StepView) {
+	if len(st.Opds) != 3 {
+		g.staticErr(st, "case_load expects label, index register, and scratch register")
+		return
+	}
+	label, ok := g.val(st, 0)
+	if !ok {
+		return
+	}
+	index, ok := g.ref(st, 1)
+	if !ok {
+		return
+	}
+	scratch, ok := g.ref(st, 2)
+	if !ok {
+		return
+	}
+	fmt.Fprintf(g.b, "rt.EmitCaseLoad(%s, %d, %d)\n", label, index.Slot, scratch.Slot)
+}
+
+// commonStep mirrors semCommon for the five width variants.
+func (g *prodGen) commonStep(st *codegen.StepView) {
+	if len(st.Opds) != 5 {
+		g.staticErr(st, "common declaration expects cse, count, register, displacement, base")
+		return
+	}
+	id, ok := g.val(st, 0)
+	if !ok {
+		return
+	}
+	count, ok := g.val(st, 1)
+	if !ok {
+		return
+	}
+	reg, ok := g.ref(st, 2)
+	if !ok {
+		return
+	}
+	disp, ok := g.val(st, 3)
+	if !ok {
+		return
+	}
+	base, ok := g.val(st, 4)
+	if !ok {
+		return
+	}
+	if reg.Class == "" {
+		g.staticErr(st, fmt.Sprintf("common register operand %s.%d is not a register", reg.SymName, reg.Tag))
+		return
+	}
+	g.imp.cse = true
+	g.wrap(st, fmt.Sprintf("rt.DefineCommon(%s, %s, %q, %d, %s, %s, %s)",
+		id, count, reg.Class, reg.Slot, disp, base, widthIdent(st.Op)))
+}
+
+func widthIdent(op codegen.SemOp) string {
+	switch op {
+	case codegen.SemHalfCommon:
+		return "cse.Half"
+	case codegen.SemByteCommon:
+		return "cse.Byte"
+	case codegen.SemRealCommon:
+		return "cse.Real"
+	case codegen.SemDRealCommon:
+		return "cse.DReal"
+	}
+	return "cse.Full"
+}
+
+// findCommonStep mirrors semFindCommon.
+func (g *prodGen) findCommonStep(st *codegen.StepView) {
+	if len(st.Opds) != 2 {
+		g.staticErr(st, "find_common expects cse number and destination register")
+		return
+	}
+	id, ok := g.val(st, 0)
+	if !ok {
+		return
+	}
+	dest, ok := g.ref(st, 1)
+	if !ok {
+		return
+	}
+	g.wrap(st, fmt.Sprintf("rt.FindCommon(%s, %q, %d)", id, dest.Class, dest.Slot))
+}
+
+// extendedStep mirrors semExtended: pair reference first, then the
+// per-operator handling.
+func (g *prodGen) extendedStep(st *codegen.StepView) {
+	r, ok := g.ref(st, 0)
+	if !ok {
+		return
+	}
+	if st.Op == codegen.SemClearExtended {
+		fmt.Fprintf(g.b, "rt.ClearExtended(%d)\n", r.Slot)
+		return
+	}
+	if len(st.Opds) != 2 {
+		g.staticErr(st, fmt.Sprintf("%s expects a register and a storage operand", st.Name))
+		return
+	}
+	mem, ok := g.operand(st, &st.Opds[1])
+	if !ok {
+		return
+	}
+	// The interpreter resolves the operand, then rejects any non-Mem
+	// kind; the shape decides that statically (asm.M is the only
+	// constructor yielding Kind Mem).
+	if sh := st.Opds[1].Shape; sh != codegen.OpdMem && sh != codegen.OpdMemIdx {
+		// Keep the resolution's side effects (range checks) that the
+		// interpreter would run before rejecting the kind.
+		fmt.Fprintf(g.b, "_ = %s\n", mem)
+		g.staticErr(st, fmt.Sprintf("%s needs a storage operand", st.Name))
+		return
+	}
+	v := g.fresh()
+	fmt.Fprintf(g.b, "%s := %s\n", v, mem)
+	fmt.Fprintf(g.b, "rt.ExtendedLS(%v, %d, %s)\n", st.Op == codegen.SemStoreExtended, r.Slot, v)
+}

@@ -1,0 +1,20 @@
+// Package emitted links the checked-in generated engines into a build.
+// Each subdirectory is the output of `cogg emit-go` for one built-in
+// specification, committed so consumers compile without a generation
+// step; the blank imports run each engine's init() self-registration
+// (codegen.RegisterEmitted), which is how driver.Target finds them.
+//
+// Regenerate after changing a specification, the emitter, or the
+// shared runtime surface:
+//
+//	go generate ./internal/emitted
+//
+// TestEmittedCurrent fails when a checked-in engine drifts from what
+// the emitter produces today.
+package emitted
+
+//go:generate go run cogg/cmd/cogg emit-go -spec amdahl470 -o amdahl470 -pkg amdahl470
+
+import (
+	_ "cogg/internal/emitted/amdahl470"
+)

@@ -1,0 +1,58 @@
+package emitted
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cogg/internal/codegen"
+	"cogg/internal/core"
+	"cogg/internal/emitgo"
+	"cogg/internal/rt370"
+	"cogg/specs"
+)
+
+// TestEmittedCurrent regenerates each checked-in engine and compares it
+// byte for byte with the committed sources, so a change to the
+// specification, the emitter, or the compiled-plan view cannot land
+// without refreshing the generated package (`go generate ./internal/emitted`).
+func TestEmittedCurrent(t *testing.T) {
+	engines := []struct {
+		dir, pkg, specName, specSrc string
+	}{
+		{"amdahl470", "amdahl470", "amdahl470.cogg", specs.Amdahl470},
+	}
+	for _, e := range engines {
+		t.Run(e.dir, func(t *testing.T) {
+			cg, err := core.Generate(e.specName, e.specSrc)
+			if err != nil {
+				t.Fatalf("core.Generate: %v", err)
+			}
+			files, err := emitgo.Emit(cg.Module(), rt370.Config(), emitgo.Options{
+				Package:    e.pkg,
+				SpecName:   e.specName,
+				SpecSHA256: codegen.SpecSHA256([]byte(e.specSrc)),
+			})
+			if err != nil {
+				t.Fatalf("emitgo.Emit: %v", err)
+			}
+			onDisk, err := filepath.Glob(filepath.Join(e.dir, "*.go"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(onDisk) != len(files) {
+				t.Errorf("checked-in package has %d files, emitter produces %d", len(onDisk), len(files))
+			}
+			for name, want := range files {
+				got, err := os.ReadFile(filepath.Join(e.dir, name))
+				if err != nil {
+					t.Errorf("%s: %v (run `go generate ./internal/emitted`)", name, err)
+					continue
+				}
+				if string(got) != string(want) {
+					t.Errorf("%s/%s is stale: checked-in bytes differ from the emitter's output; run `go generate ./internal/emitted`", e.dir, name)
+				}
+			}
+		})
+	}
+}

@@ -77,6 +77,13 @@ type Options struct {
 	SpecSrc  string
 	// Risc applies the risc32 target configuration to the default spec.
 	Risc bool
+	// Engine selects the translation engine per served spec:
+	// "" or "interpreted" runs the table interpreter, "auto" serves a
+	// compiled-in emitted engine (cogg emit-go output) when one matches
+	// the specification, "emitted" requires one (target construction
+	// fails otherwise). Output is byte-identical either way; `cogg
+	// explain` provenance remains interpreter-only regardless.
+	Engine string
 
 	// Workers bounds the batch worker pool; <= 0 means GOMAXPROCS.
 	Workers int
@@ -229,6 +236,7 @@ func New(opts Options) (*Server, error) {
 			Workers:     opts.Workers,
 			CacheDir:    opts.CacheDir,
 			UnitTimeout: opts.DefaultDeadline,
+			Engine:      opts.Engine,
 		}),
 		start:         time.Now(),
 		targets:       map[string]*modTarget{},
@@ -353,7 +361,7 @@ func (s *Server) target(spec string) (*modTarget, error) {
 		return nil, err
 	}
 	mt := &modTarget{specName: name, tgt: tgt,
-		pool:   newSessionPool(tgt.Gen, s.opts.PoolSize),
+		pool:   newSessionPool(tgt.Translator(), s.opts.PoolSize),
 		oracle: oracle.New(tgt.Mod)}
 	s.targets[name] = mt
 	s.registerPoolMetrics(mt)
