@@ -11,8 +11,14 @@
 //	-spec NAME       default specification (amdahl470, amdahl-minimal,
 //	                 risc32, or a .cogg file path)
 //	-risc            apply the risc32 target configuration to the spec
-//	-cache DIR       on-disk table-module cache (warm starts skip SLR
-//	                 construction)
+//	-cache DIR       on-disk blob store for table modules and decks
+//	                 (warm starts skip SLR construction)
+//	-blob-peers URLS comma-separated fleet replica base URLs; cold
+//	                 starts fetch built artifacts from a peer's
+//	                 /v1/artifacts instead of constructing tables
+//	-blob-timeout D  per-attempt deadline for peer artifact fetches
+//	                 (default 2s)
+//	-blob-mem N      in-memory blob tier entry bound (default 256)
 //	-j N             batch worker pool size (default GOMAXPROCS)
 //	-pool N          reusable sessions kept per module (default 2*j)
 //	-queue N         admission queue bound; a full queue answers 429
@@ -49,6 +55,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,6 +69,9 @@ func main() {
 	risc := flag.Bool("risc", false, "use the risc32 target configuration for the default spec")
 	engine := flag.String("engine", "interpreted", "translation engine: interpreted, auto, or emitted (a compiled-in `cogg emit-go` engine; byte-identical output)")
 	cacheDir := flag.String("cache", "", "table-module cache directory")
+	blobPeers := flag.String("blob-peers", "", "comma-separated peer base URLs for the shared artifact tier")
+	blobTimeout := flag.Duration("blob-timeout", 0, "per-attempt peer artifact fetch deadline (default 2s)")
+	blobMem := flag.Int("blob-mem", 0, "in-memory blob tier entry bound (default 256)")
 	workers := flag.Int("j", 0, "worker pool size (default GOMAXPROCS)")
 	pool := flag.Int("pool", 0, "reusable sessions per module (default 2*j)")
 	queue := flag.Int("queue", 0, "admission queue bound (default 256)")
@@ -84,20 +94,24 @@ func main() {
 	}
 	start := time.Now()
 	srv, err := server.New(server.Options{
-		SpecName:        sName,
-		SpecSrc:         sSrc,
-		Risc:            *risc,
-		Engine:          *engine,
-		Workers:         *workers,
-		CacheDir:        *cacheDir,
-		PoolSize:        *pool,
-		QueueBound:      *queue,
-		BatchWindow:     *batchWindow,
-		BatchMax:        *batchMax,
-		DefaultDeadline: *timeout,
-		EnablePprof:     *pprofOn,
-		TraceRing:       *traceRing,
-		SlowThreshold:   *slow,
+		SpecName:           sName,
+		SpecSrc:            sSrc,
+		Risc:               *risc,
+		Engine:             *engine,
+		Workers:            *workers,
+		CacheDir:           *cacheDir,
+		PoolSize:           *pool,
+		QueueBound:         *queue,
+		BatchWindow:        *batchWindow,
+		BatchMax:           *batchMax,
+		DefaultDeadline:    *timeout,
+		EnablePprof:        *pprofOn,
+		TraceRing:          *traceRing,
+		SlowThreshold:      *slow,
+		BlobPeers:          splitPeers(*blobPeers),
+		BlobMemEntries:     *blobMem,
+		BlobAttemptTimeout: *blobTimeout,
+		Logf:               log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("cogd: %v", err)
@@ -140,6 +154,17 @@ func main() {
 	if *stats {
 		fmt.Fprint(os.Stderr, srv.Service().Stats.String())
 	}
+}
+
+// splitPeers turns the -blob-peers flag value into a URL list.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 // loadSpec resolves an embedded spec name or reads a .cogg file.

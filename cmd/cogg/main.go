@@ -7,6 +7,7 @@
 //	cogg [flags] [spec-file]
 //	cogg explain [flags] [input-file]
 //	cogg emit-go -o DIR [flags]
+//	cogg cache <ls|gc|verify> -dir DIR
 //
 // Without a spec file the built-in Amdahl 470 specification is used; the
 // names "amdahl470", "amdahl-minimal", and "risc32" select the other
@@ -23,6 +24,12 @@
 // as code (switch-threaded parser, reduction sites with the templates
 // inlined) that produces byte-identical output to the interpreted
 // engine. See `cogg emit-go -h`.
+//
+// The cache subcommand administers the shared on-disk artifact tier
+// (the daemon's -cache directory): ls joins the manifest sidecar with
+// the blobs on disk, gc deletes unreferenced blobs past an age floor,
+// and verify re-hashes every entry and reports manifest drift. See
+// `cogg cache -h`.
 //
 //	-stats      print Table 1 (grammar and parse table statistics), plus
 //	            the batch-service counters when -cache is in use
@@ -70,6 +77,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "emit-go" {
 		runEmitGo(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "cache" {
+		runCache(os.Args[2:])
 		return
 	}
 	stats := flag.Bool("stats", true, "print Table 1 statistics")

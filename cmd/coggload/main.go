@@ -41,6 +41,11 @@
 //	              per-status counts and latency percentiles as metrics,
 //	              so serving regressions gate exactly like the
 //	              micro-benchmarks (cmd/benchgate)
+//	-report-blob  scrape each target's /metrics after the run and fold
+//	              the artifact-tier counters (cogg_blob_*, cogg_cache_*)
+//	              into the summary — how much work came warm from the
+//	              shared tier versus built from source; in a fleet run
+//	              each key is prefixed by the replica's host:port
 //
 // Latency is reported per HTTP status as well as in aggregate: each
 // status' count and p50/p95/p99 are printed and included in the JSON,
@@ -54,6 +59,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -61,9 +67,11 @@ import (
 	"io"
 	"math"
 	"net/http"
+	neturl "net/url"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -126,6 +134,7 @@ func main() {
 	benchName := flag.String("name", "", "benchmark name in the JSON summary")
 	out := flag.String("o", "", "write benchgate-compatible JSON summary")
 	note := flag.String("note", "", "note stored in the JSON summary")
+	reportBlob := flag.Bool("report-blob", false, "scrape each target's /metrics cogg_blob_* and cache counters into the summary")
 	flag.Parse()
 
 	if *synthDir != "" {
@@ -259,7 +268,11 @@ func main() {
 		target = strings.Join(targets, ", ")
 	}
 	snap := cl.Snapshot()
-	report(os.Stdout, mode, target, results, elapsed, *benchName, *out, *note, multi, snap)
+	var extra map[string]float64
+	if *reportBlob {
+		extra = scrapeBlobMetrics(targets, multi)
+	}
+	report(os.Stdout, mode, target, results, elapsed, *benchName, *out, *note, multi, snap, extra)
 }
 
 // closedLoop issues total requests from c workers back-to-back.
@@ -322,7 +335,7 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[i]
 }
 
-func report(w io.Writer, mode, url string, results []result, elapsed time.Duration, benchName, outFile, note string, multi bool, snap cluster.Snapshot) {
+func report(w io.Writer, mode, url string, results []result, elapsed time.Duration, benchName, outFile, note string, multi bool, snap cluster.Snapshot, extra map[string]float64) {
 	// Latencies are grouped per HTTP status, each sorted for
 	// percentiles: a 429's latency says how fast backpressure answers
 	// and a 504's how long the deadline held the client, and folding
@@ -394,8 +407,13 @@ func report(w io.Writer, mode, url string, results []result, elapsed time.Durati
 			snap.Retries, snap.Hedges, snap.HedgeWins, snap.Failovers, snap.Degraded)
 	}
 
+	if len(extra) > 0 {
+		for _, k := range sortedKeys(extra) {
+			fmt.Fprintf(w, "  blob        %s = %g\n", k, extra[k])
+		}
+	}
 	if outFile != "" {
-		if err := writeSummary(outFile, benchName, note, ok, p50, p95, p99, rps, byStatus, byReplica, snap, transportErrs); err != nil {
+		if err := writeSummary(outFile, benchName, note, ok, p50, p95, p99, rps, byStatus, byReplica, snap, transportErrs, extra); err != nil {
 			fatal(err)
 		}
 	}
@@ -425,7 +443,7 @@ type benchEntry struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-func writeSummary(path, name, note string, ok []time.Duration, p50, p95, p99 time.Duration, rps float64, byStatus map[int][]time.Duration, byReplica map[string][]time.Duration, snap cluster.Snapshot, transportErrs int) error {
+func writeSummary(path, name, note string, ok []time.Duration, p50, p95, p99 time.Duration, rps float64, byStatus map[int][]time.Duration, byReplica map[string][]time.Duration, snap cluster.Snapshot, transportErrs int, extra map[string]float64) error {
 	rejected := len(byStatus[http.StatusTooManyRequests])
 	failed := transportErrs
 	for s, ds := range byStatus {
@@ -460,6 +478,9 @@ func writeSummary(path, name, note string, ok []time.Duration, p50, p95, p99 tim
 		metrics[prefix+"p50-ns"] = float64(percentile(ds, 0.50).Nanoseconds())
 		metrics[prefix+"p95-ns"] = float64(percentile(ds, 0.95).Nanoseconds())
 		metrics[prefix+"p99-ns"] = float64(percentile(ds, 0.99).Nanoseconds())
+	}
+	for k, v := range extra {
+		metrics[k] = v
 	}
 	if snap.Attempts > 0 {
 		metrics["policy-retries"] = float64(snap.Retries)
@@ -528,4 +549,94 @@ func loadSynthCorpus(dir string) ([]string, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "coggload:", err)
 	os.Exit(1)
+}
+
+// scrapeBlobMetrics pulls the artifact-tier counters (cogg_blob_* and
+// cogg_cache_*) out of each target's /metrics exposition, so a load
+// run's summary records how much of the fleet's work came warm from
+// the shared tier versus built from source. With one target the series
+// keep their bare names ("blob-hits-http"); in a fleet run each key is
+// prefixed by the replica's host:port so benchgate can watch the cold
+// replica specifically.
+func scrapeBlobMetrics(targets []string, multi bool) map[string]float64 {
+	out := map[string]float64{}
+	for _, target := range targets {
+		series, err := scrapeTarget(target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coggload: scraping %s/metrics: %v\n", target, err)
+			continue
+		}
+		prefix := ""
+		if multi {
+			if u, err := neturl.Parse(target); err == nil {
+				prefix = u.Host + "-"
+			}
+		}
+		for k, v := range series {
+			out[prefix+k] = v
+		}
+	}
+	return out
+}
+
+// scrapeTarget parses the blob/cache counter lines of one Prometheus
+// text exposition. "cogg_blob_hits_total{backend="fs"} 3" becomes
+// blob-hits-fs=3; histogram bucket series are skipped.
+func scrapeTarget(target string) (map[string]float64, error) {
+	resp, err := http.Get(target + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	series := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "cogg_blob_") && !strings.HasPrefix(line, "cogg_cache_") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		name, valText := line[:sp], line[sp+1:]
+		if strings.Contains(name, "_bucket{") || strings.Contains(name, "_bucket ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			continue
+		}
+		series[blobMetricKey(name)] += v
+	}
+	return series, sc.Err()
+}
+
+// blobMetricKey flattens one exposition series name into a benchgate
+// metric key: prefix and _total stripped, label values folded in.
+func blobMetricKey(name string) string {
+	labels := ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		for _, pair := range strings.Split(strings.Trim(name[i:], "{}"), ",") {
+			if _, v, ok := strings.Cut(pair, "="); ok {
+				labels += "-" + strings.Trim(v, `"`)
+			}
+		}
+		name = name[:i]
+	}
+	name = strings.TrimSuffix(name, "_total")
+	name = strings.TrimPrefix(name, "cogg_")
+	return strings.ReplaceAll(name, "_", "-") + labels
+}
+
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
 }

@@ -6,15 +6,20 @@
 // The paper's economics motivate the design: constructing the tables
 // costs tens of milliseconds of automaton construction, while driving
 // them over a program costs microseconds. The service therefore caches
-// compiled table modules in two tiers keyed by content hash of the
+// compiled table modules in tiers keyed by content hash of the
 // specification (see Key):
 //
 //   - an in-memory LRU of decoded modules, and
-//   - an on-disk cache of tables.Encode output, so a warm start skips
-//     SLR construction entirely and pays only the decode.
+//   - a blob store of tables.Encode output beneath it (internal/blob:
+//     disk, memory, or a tiered stack reaching fleet peers), so a warm
+//     start skips SLR construction entirely and pays only the decode —
+//     and a cold replica can fetch a neighbor's already-built module
+//     instead of constructing its own.
 //
-// Corrupt or stale disk entries (including modules serialized under an
-// older format version) are silently discarded and regenerated.
+// Corrupt store entries are quarantined by the blob layer (every read
+// re-verifies the payload's content digest), counted here, and
+// regenerated; payloads that verify but fail to decode are discarded
+// and regenerated.
 //
 // Compilation units fan out across a bounded worker pool with
 // deterministic output ordering: results arrive indexed by input
@@ -35,6 +40,7 @@ import (
 	"time"
 
 	"cogg/internal/asm"
+	"cogg/internal/blob"
 	"cogg/internal/codegen"
 	"cogg/internal/core"
 	"cogg/internal/driver"
@@ -55,8 +61,15 @@ type Options struct {
 	// Workers bounds the compilation pool; <= 0 means GOMAXPROCS.
 	Workers int
 	// CacheDir is the on-disk table-module cache; empty disables the
-	// disk tier (the in-memory LRU still applies).
+	// disk tier (the decoded-module LRU still applies). When Blob is
+	// also set, CacheDir only locates the index sidecar — the blobs go
+	// wherever Blob puts them.
 	CacheDir string
+	// Blob, when set, is the artifact store beneath the decoded-module
+	// LRU — typically a blob.Tiered layering memory, disk, and fleet
+	// peers (see internal/blob). Nil falls back to a plain disk store
+	// under CacheDir, or no store at all when both are empty.
+	Blob blob.Store
 	// MemEntries caps the in-memory module LRU; <= 0 means 8.
 	MemEntries int
 
@@ -94,9 +107,10 @@ type Options struct {
 type Service struct {
 	Stats Stats
 
-	workers int
-	dir     string
-	mem     *moduleLRU
+	workers  int
+	store    blob.Store // encoded-module tier(s); nil disables
+	indexDir string     // where the index sidecar lives; "" disables
+	mem      *moduleLRU
 
 	timeout time.Duration
 	retries int
@@ -133,7 +147,8 @@ func New(opts Options) *Service {
 	}
 	s := &Service{
 		workers:  w,
-		dir:      opts.CacheDir,
+		store:    opts.Blob,
+		indexDir: opts.CacheDir,
 		mem:      newModuleLRU(mem),
 		timeout:  opts.UnitTimeout,
 		retries:  opts.Retries,
@@ -142,7 +157,14 @@ func New(opts Options) *Service {
 		engine:   opts.Engine,
 		inflight: map[string]*call{},
 	}
-	s.sweepOrphans()
+	if s.store == nil && opts.CacheDir != "" {
+		// The classic configuration: a plain disk store under CacheDir.
+		// blob.NewFS sweeps orphaned temp files at construction; fold the
+		// count into this service's fault-tolerance stats.
+		fs := blob.NewFS(opts.CacheDir)
+		s.Stats.OrphansSwept.Add(fs.OrphansSwept())
+		s.store = fs
+	}
 	return s
 }
 
@@ -195,7 +217,7 @@ func (s *Service) ModuleCtx(ctx context.Context, specName, specSrc string) (*tab
 func (s *Service) moduleSlow(ctx context.Context, key, specName, specSrc string) (*tables.Module, error) {
 	tr, parent := obs.FromContext(ctx)
 	t0 := time.Now()
-	mod, ok := s.loadDisk(key)
+	mod, ok := s.loadStore(ctx, key)
 	if ok {
 		if tr != nil {
 			tr.AddSpan("table-decode", parent, t0, time.Since(t0))
@@ -221,22 +243,27 @@ func (s *Service) moduleSlow(ctx context.Context, key, specName, specSrc string)
 	mod = cg.Module()
 	s.mem.put(key, mod)
 	// A failed cache write is degraded, not fatal: the module is in
-	// memory and every unit can proceed. Transient disk faults retry
+	// memory and every unit can proceed. Transient store faults retry
 	// with backoff first; a write that still fails is only counted.
-	if err := s.storeDiskRetry(key, mod); err != nil {
+	if err := s.storeBlobRetry(ctx, key, specName, mod); err != nil {
 		s.Stats.DiskWriteErrs.Add(1)
 	}
 	return mod, nil
 }
 
-// Store publishes an already-constructed module into both cache tiers
-// under the specification it was built from — the path cogg uses to
-// warm the cache offline for later ifcgen/pascal370 runs.
+// Store publishes an already-constructed module into the decoded-module
+// LRU and the blob store under the specification it was built from —
+// the path cogg uses to warm the cache offline for later
+// ifcgen/pascal370 runs.
 func (s *Service) Store(specName, specSrc string, mod *tables.Module) error {
 	key := Key(specName, specSrc)
 	s.mem.put(key, mod)
-	return s.storeDisk(key, mod)
+	return s.storeBlob(context.Background(), key, specName, mod)
 }
+
+// Blob exposes the service's artifact store (nil when the service runs
+// memory-only) — the handle the serving layer's deck cache shares.
+func (s *Service) Blob() blob.Store { return s.store }
 
 // Target returns a ready-to-use compiler target for a specification,
 // built from the cached module when one exists.

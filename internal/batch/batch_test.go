@@ -26,10 +26,11 @@ func minimalTarget(t *testing.T, s *batch.Service) *driver.Target {
 	return tgt
 }
 
-// cacheFiles lists the table modules currently in a cache directory.
+// cacheFiles lists the blob entries currently in a cache directory
+// (quarantined entries and the index sidecar do not count).
 func cacheFiles(t *testing.T, dir string) []string {
 	t.Helper()
-	m, err := filepath.Glob(filepath.Join(dir, "*.cogtbl"))
+	m, err := filepath.Glob(filepath.Join(dir, "*.blob"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,9 +140,13 @@ func TestCorruptDiskEntryRegenerates(t *testing.T) {
 	}
 }
 
-// TestStaleMagicEntryRegenerates flips a magic byte of a valid cache
-// entry — the shape of an on-disk module left behind by an older format
-// version — and expects fallback to regeneration, not an error.
+// TestStaleMagicEntryRegenerates flips the module-format magic byte
+// inside a valid blob entry — the shape of an on-disk module left
+// behind by an older format version — and expects fallback to
+// regeneration, not an error. Under the blob envelope the flip is
+// caught even earlier than the decoder: the payload no longer hashes to
+// its recorded content digest, so the entry is quarantined (set aside,
+// not deleted) before tables.Decode ever sees it.
 func TestStaleMagicEntryRegenerates(t *testing.T) {
 	dir := t.TempDir()
 	seed := batch.New(batch.Options{CacheDir: dir})
@@ -151,10 +156,11 @@ func TestStaleMagicEntryRegenerates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.HasPrefix(data, []byte("CoGGtbl")) {
-		t.Fatalf("cache entry does not start with the format magic: %q", data[:8])
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 || !bytes.HasPrefix(data[nl+1:], []byte("CoGGtbl")) {
+		t.Fatalf("blob payload does not start with the format magic: %.20q", data)
 	}
-	data[7]++ // bump the version digit in place
+	data[nl+1+7]++ // bump the module version digit in place
 	if err := os.WriteFile(entry, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -167,6 +173,9 @@ func TestStaleMagicEntryRegenerates(t *testing.T) {
 	}
 	if tgt.Gen == nil {
 		t.Fatal("regenerated target has no generator")
+	}
+	if q, err := filepath.Glob(filepath.Join(dir, "*.quarantine")); err != nil || len(q) != 1 {
+		t.Errorf("corrupt entry was not quarantined: %v %v", q, err)
 	}
 }
 

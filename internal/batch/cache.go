@@ -3,48 +3,31 @@ package batch
 import (
 	"bytes"
 	"container/list"
-	"crypto/sha256"
-	"encoding/binary"
-	"fmt"
-	"os"
-	"path/filepath"
+	"context"
+	"errors"
 	"sync"
 	"time"
 
-	"cogg/internal/faultinject"
+	"cogg/internal/blob"
 	"cogg/internal/profiling"
 	"cogg/internal/tables"
 )
 
-// Key derives the cache key for a specification: the hex SHA-256 over
-// the table-module format version, the specification name, and the
-// specification bytes. All three matter for staleness:
-//
-//   - a one-byte edit to the spec source must miss,
-//   - two specs with identical text but different names are distinct
-//     artifacts (diagnostics embed the name), and
-//   - a format-version bump (the magic string in package tables) must
-//     orphan every module serialized under the old encoding.
+// Key derives the cache key for a specification — the blob-store digest
+// every table module is published under. Key derivation has a single
+// owner, blob.DigestModule: the hex SHA-256 over the table-module
+// format version, the specification name, and the specification bytes,
+// so a one-byte spec edit, a rename, or a format-version bump each
+// orphan the old artifact.
 func Key(specName, specSrc string) string {
-	return keyWith(tables.FormatVersion(), specName, specSrc)
+	return blob.DigestModule(tables.FormatVersion(), specName, []byte(specSrc))
 }
 
-// keyWith is Key with the format version injected — split out so the
-// staleness tests can prove a version bump changes every key.
-func keyWith(version, specName, specSrc string) string {
-	h := sha256.New()
-	var n [8]byte
-	for _, part := range []string{version, specName, specSrc} {
-		binary.LittleEndian.PutUint64(n[:], uint64(len(part)))
-		h.Write(n[:])
-		h.Write([]byte(part))
-	}
-	return fmt.Sprintf("%x", h.Sum(nil))
-}
-
-// moduleLRU is the in-memory tier: decoded table modules by cache key,
+// moduleLRU is the decoded-module tier: table modules by cache key,
 // evicting least-recently-used beyond cap. Modules are immutable after
 // decode, so one cached module may be handed to any number of callers.
+// This tier sits above the blob store (which holds encoded bytes); a
+// hit here costs neither decode nor I/O.
 type moduleLRU struct {
 	mu    sync.Mutex
 	cap   int
@@ -88,24 +71,21 @@ func (c *moduleLRU) put(key string, mod *tables.Module) {
 	}
 }
 
-// diskPath places a cache entry inside the service's cache directory.
-func (s *Service) diskPath(key string) string {
-	return filepath.Join(s.dir, key+".cogtbl")
-}
-
-// loadDisk tries the on-disk tier. A decode failure — truncation,
-// corruption, or a module serialized under a different format version
-// (whose magic no longer matches) — discards the entry and falls back
-// to regeneration rather than surfacing an error.
-func (s *Service) loadDisk(key string) (*tables.Module, bool) {
-	if s.dir == "" {
+// loadStore tries the blob store below the decoded-module tier. A
+// verify failure (the backend quarantined the entry) or a decode
+// failure (a payload that is intact bytes but not a module — the entry
+// is deleted) discards the entry and falls back to regeneration rather
+// than surfacing an error.
+func (s *Service) loadStore(ctx context.Context, key string) (*tables.Module, bool) {
+	if s.store == nil {
 		return nil, false
 	}
-	if err := faultinject.Eval("batch/cache/read", key); err != nil {
-		return nil, false
-	}
-	data, err := os.ReadFile(s.diskPath(key))
+	data, err := s.store.Get(ctx, key)
 	if err != nil {
+		var verr *blob.VerifyError
+		if errors.As(err, &verr) {
+			s.Stats.DiskBad.Add(1)
+		}
 		return nil, false
 	}
 	start := time.Now()
@@ -115,7 +95,7 @@ func (s *Service) loadDisk(key string) (*tables.Module, bool) {
 	})
 	if err != nil {
 		s.Stats.DiskBad.Add(1)
-		os.Remove(s.diskPath(key))
+		_ = s.store.Delete(ctx, key)
 		return nil, false
 	}
 	s.Stats.DecodeNanos.Add(int64(time.Since(start)))
@@ -123,110 +103,45 @@ func (s *Service) loadDisk(key string) (*tables.Module, bool) {
 	return mod, true
 }
 
-// storeDisk writes an encoded module under its key, atomically and
-// crash-safely: the bytes land in a temporary file that is fsynced
-// before the rename, and the parent directory is fsynced after it, so
-// neither a crashed writer nor a power cut can leave a half-written
-// entry at the final name — at worst an orphaned temp file survives,
-// which the startup sweep reclaims (and the decoder's checksums would
-// reject anyway).
-func (s *Service) storeDisk(key string, mod *tables.Module) error {
-	if s.dir == "" {
+// storeBlob publishes an encoded module into the blob store under its
+// key and — when this service fronts an on-disk store — upserts the
+// index sidecar row so `cogg cache ls|gc|verify` can map the digest
+// back to its specification.
+func (s *Service) storeBlob(ctx context.Context, key, specName string, mod *tables.Module) error {
+	if s.store == nil {
 		return nil
-	}
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return err
 	}
 	var buf bytes.Buffer
 	if _, err := tables.EncodeModule(&buf, mod); err != nil {
 		return err
 	}
-	if err := faultinject.Eval("batch/cache/write", key); err != nil {
+	if err := s.store.Put(ctx, key, buf.Bytes()); err != nil {
 		return err
-	}
-	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	// The data must be durable before the rename publishes the name:
-	// otherwise a power cut can leave the final name pointing at blocks
-	// that never reached the disk.
-	if err := faultinject.Eval("batch/cache/sync", key); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := faultinject.Eval("batch/cache/rename", key); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), s.diskPath(key)); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	// And the rename itself must be durable: fsync the directory so the
-	// new entry survives a crash. A failure here degrades, not corrupts
-	// — the entry is good, its durability just is not proven.
-	if d, err := os.Open(s.dir); err == nil {
-		_ = d.Sync()
-		d.Close()
 	}
 	s.Stats.DiskBytes.Add(int64(buf.Len()))
+	if s.indexDir != "" {
+		// Index drift is tolerable (the blobs are the truth); a failed
+		// upsert degrades enumeration, not correctness.
+		_ = blob.UpdateIndex(s.indexDir, blob.IndexEntry{
+			Name:    specName,
+			Version: tables.FormatVersion(),
+			Kind:    "module",
+			Key:     key,
+			Content: blob.Sum(buf.Bytes()),
+			Size:    int64(buf.Len()),
+		})
+	}
 	return nil
 }
 
-// orphanMinAge guards the startup sweep against reaping a temp file a
-// concurrent Service in another process is about to rename: only temps
-// old enough that no live write can still own them are reclaimed.
-const orphanMinAge = time.Minute
-
-// sweepOrphans removes stale "*.tmp*" files left in the cache directory
-// by writers that crashed between CreateTemp and Rename. Runs once at
-// Service construction; the atomic-rename protocol guarantees orphans
-// are invisible to loadDisk, so this is hygiene (disk space, inode
-// clutter), not correctness.
-func (s *Service) sweepOrphans() {
-	if s.dir == "" {
-		return
-	}
-	matches, err := filepath.Glob(filepath.Join(s.dir, "*.tmp*"))
-	if err != nil {
-		return
-	}
-	now := time.Now()
-	for _, path := range matches {
-		fi, err := os.Stat(path)
-		if err != nil || now.Sub(fi.ModTime()) < orphanMinAge {
-			continue
-		}
-		if os.Remove(path) == nil {
-			s.Stats.OrphansSwept.Add(1)
-		}
-	}
-}
-
-// storeDiskRetry is storeDisk with the service's transient-fault retry
+// storeBlobRetry is storeBlob with the service's transient-fault retry
 // schedule.
-func (s *Service) storeDiskRetry(key string, mod *tables.Module) error {
-	err := s.storeDisk(key, mod)
+func (s *Service) storeBlobRetry(ctx context.Context, key, specName string, mod *tables.Module) error {
+	err := s.storeBlob(ctx, key, specName, mod)
 	for try := 0; err != nil && try < s.retries && transient(err); try++ {
 		s.Stats.Retries.Add(1)
 		time.Sleep(s.backoff << try)
-		err = s.storeDisk(key, mod)
+		err = s.storeBlob(ctx, key, specName, mod)
 	}
 	return err
 }

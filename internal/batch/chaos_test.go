@@ -148,7 +148,7 @@ func TestChaosTranslateBatch(t *testing.T) {
 // the batch is unaffected.
 func TestCacheWriteFaultDegrades(t *testing.T) {
 	defer faultinject.Reset()
-	faultinject.Set(faultinject.Rule{Site: "batch/cache/write", Kind: faultinject.KindError, Class: "io"})
+	faultinject.Set(faultinject.Rule{Site: "blob/put", Kind: faultinject.KindError, Class: "io"})
 
 	dir := t.TempDir()
 	svc := batch.New(batch.Options{CacheDir: dir, Retries: 2, RetryBackoff: time.Millisecond})
@@ -170,7 +170,7 @@ func TestCacheWriteFaultDegrades(t *testing.T) {
 // absorbed by the retry — the entry lands on disk and nothing degrades.
 func TestCacheWriteFaultRetriesThenSucceeds(t *testing.T) {
 	defer faultinject.Reset()
-	faultinject.Set(faultinject.Rule{Site: "batch/cache/write", Kind: faultinject.KindError, Class: "io", Count: 1})
+	faultinject.Set(faultinject.Rule{Site: "blob/put", Kind: faultinject.KindError, Class: "io", Count: 1})
 
 	dir := t.TempDir()
 	svc := batch.New(batch.Options{CacheDir: dir, Retries: 2, RetryBackoff: time.Millisecond})
@@ -189,7 +189,7 @@ func TestCacheWriteFaultRetriesThenSucceeds(t *testing.T) {
 // degrades like any write fault and must not leave temporary files.
 func TestCacheRenameFaultLeavesNoDebris(t *testing.T) {
 	defer faultinject.Reset()
-	faultinject.Set(faultinject.Rule{Site: "batch/cache/rename", Kind: faultinject.KindError, Class: "io"})
+	faultinject.Set(faultinject.Rule{Site: "blob/fs/rename", Kind: faultinject.KindError, Class: "io"})
 
 	dir := t.TempDir()
 	svc := batch.New(batch.Options{CacheDir: dir})
@@ -210,7 +210,7 @@ func TestCacheReadFaultFallsBack(t *testing.T) {
 	minimalTargetAt(t, dir) // seed the disk tier
 
 	defer faultinject.Reset()
-	faultinject.Set(faultinject.Rule{Site: "batch/cache/read", Kind: faultinject.KindError, Class: "io"})
+	faultinject.Set(faultinject.Rule{Site: "blob/get", Kind: faultinject.KindError, Class: "io"})
 
 	svc := batch.New(batch.Options{CacheDir: dir})
 	minimalTarget(t, svc)

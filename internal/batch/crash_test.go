@@ -86,7 +86,7 @@ func TestTruncatedEntryNeverServesCorruptModule(t *testing.T) {
 // (the crash window the durability protocol closes) must leave nothing
 // at the final name — the store degrades, the cache stays consistent.
 func TestSyncFaultLeavesNoFinalEntry(t *testing.T) {
-	faultinject.Set(faultinject.Rule{Site: "batch/cache/sync", Kind: faultinject.KindError, Class: "io"})
+	faultinject.Set(faultinject.Rule{Site: "blob/fs/sync", Kind: faultinject.KindError, Class: "io"})
 	defer faultinject.Reset()
 
 	dir := t.TempDir()

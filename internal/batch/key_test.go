@@ -3,21 +3,24 @@ package batch
 import (
 	"testing"
 
+	"cogg/internal/blob"
 	"cogg/internal/tables"
 )
 
 // TestKeyCoversFormatVersion is the white-box half of the staleness
 // contract: the cache key must change when the table-module format
-// version (the magic string in package tables) is bumped, so every disk
-// entry written under the old encoding is orphaned rather than decoded.
+// version (the magic string in package tables) is bumped, so every
+// store entry written under the old encoding is orphaned rather than
+// decoded. Key derivation is owned by blob.DigestModule; this pins that
+// Key stays a faithful delegate.
 func TestKeyCoversFormatVersion(t *testing.T) {
 	const name, src = "spec.cogg", "$Non-terminals\n r = register\n"
-	v1 := keyWith("CoGGtbl1", name, src)
-	v2 := keyWith("CoGGtbl2", name, src)
+	v1 := blob.DigestModule("CoGGtbl1", name, []byte(src))
+	v2 := blob.DigestModule("CoGGtbl2", name, []byte(src))
 	if v1 == v2 {
 		t.Error("format version bump did not change the cache key")
 	}
-	if Key(name, src) != keyWith(tables.FormatVersion(), name, src) {
+	if Key(name, src) != blob.DigestModule(tables.FormatVersion(), name, []byte(src)) {
 		t.Error("Key does not incorporate tables.FormatVersion")
 	}
 }
@@ -25,10 +28,10 @@ func TestKeyCoversFormatVersion(t *testing.T) {
 // TestKeyFieldsDoNotCollide: the key hashes length-prefixed fields, so
 // moving a byte between the name and the source must not collide.
 func TestKeyFieldsDoNotCollide(t *testing.T) {
-	if keyWith("v", "ab", "c") == keyWith("v", "a", "bc") {
+	if blob.DigestModule("v", "ab", []byte("c")) == blob.DigestModule("v", "a", []byte("bc")) {
 		t.Error("name/source boundary shift produced a key collision")
 	}
-	if keyWith("va", "b", "c") == keyWith("v", "ab", "c") {
+	if blob.DigestModule("va", "b", []byte("c")) == blob.DigestModule("v", "ab", []byte("c")) {
 		t.Error("version/name boundary shift produced a key collision")
 	}
 }

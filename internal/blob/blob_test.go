@@ -1,0 +1,260 @@
+package blob
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var ctx = context.Background()
+
+// TestDigestPartsBoundaries: the length-prefixed hash must keep field
+// boundaries apart — the property the PR 1 cache key was built on, now
+// owned by this package.
+func TestDigestPartsBoundaries(t *testing.T) {
+	if DigestParts("ab", "c") == DigestParts("a", "bc") {
+		t.Error("boundary shift produced a digest collision")
+	}
+	if DigestParts("x") != DigestParts("x") {
+		t.Error("digest is not deterministic")
+	}
+	if !ValidKey(DigestParts("anything", "at", "all")) {
+		t.Error("DigestParts does not produce a valid blob key")
+	}
+	if DigestModule("v1", "n", []byte("s")) != DigestParts("v1", "n", "s") {
+		t.Error("DigestModule is not a DigestParts delegate")
+	}
+}
+
+func TestValidKey(t *testing.T) {
+	good := Sum([]byte("payload"))
+	for _, tc := range []struct {
+		key  string
+		want bool
+	}{
+		{good, true},
+		{good[:63], false},
+		{good + "0", false},
+		{strings.ToUpper(good), false},
+		{strings.Replace(good, good[:1], "g", 1), false},
+		{"", false},
+		{"../" + good[3:], false},
+	} {
+		if got := ValidKey(tc.key); got != tc.want {
+			t.Errorf("ValidKey(%.16q...) = %v, want %v", tc.key, got, tc.want)
+		}
+	}
+}
+
+// roundtrip exercises the full Store contract against one backend.
+func roundtrip(t *testing.T, s Store) {
+	t.Helper()
+	payload := []byte("the artifact bytes")
+	key := DigestParts("roundtrip", "key")
+
+	if _, err := s.Get(ctx, key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get before Put: %v, want ErrNotFound", err)
+	}
+	if _, err := s.Stat(ctx, key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stat before Put: %v, want ErrNotFound", err)
+	}
+	if err := s.Put(ctx, key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(ctx, key)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	info, err := s.Stat(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Key != key || info.Content != Sum(payload) || info.Size != int64(len(payload)) {
+		t.Fatalf("Stat = %+v", info)
+	}
+	infos, err := s.List(ctx)
+	if err != nil || len(infos) != 1 || infos[0].Key != key {
+		t.Fatalf("List = %+v, %v", infos, err)
+	}
+	if err := s.Delete(ctx, key); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(ctx, key); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := s.Get(ctx, key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Delete: %v, want ErrNotFound", err)
+	}
+}
+
+func TestMemRoundtrip(t *testing.T) { roundtrip(t, NewMem(0, 0)) }
+
+func TestFSRoundtrip(t *testing.T) { roundtrip(t, NewFS(t.TempDir())) }
+
+func TestTieredRoundtrip(t *testing.T) {
+	roundtrip(t, NewTiered(NewMem(0, 0), NewFS(t.TempDir())))
+}
+
+func TestMemEntryBound(t *testing.T) {
+	m := NewMem(2, 0)
+	keys := []string{DigestParts("a"), DigestParts("b"), DigestParts("c")}
+	for _, k := range keys {
+		if err := m.Put(ctx, k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Get(ctx, keys[0]); !errors.Is(err, ErrNotFound) {
+		t.Errorf("oldest entry survived a full LRU: %v", err)
+	}
+	for _, k := range keys[1:] {
+		if _, err := m.Get(ctx, k); err != nil {
+			t.Errorf("recent entry %s evicted: %v", short(k), err)
+		}
+	}
+}
+
+func TestMemByteBound(t *testing.T) {
+	m := NewMem(0, 10)
+	big := bytes.Repeat([]byte("x"), 8)
+	k1, k2 := DigestParts("one"), DigestParts("two")
+	if err := m.Put(ctx, k1, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(ctx, k2, big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get(ctx, k1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("byte bound did not evict the older entry: %v", err)
+	}
+	// The newest entry always survives, even alone over the byte budget.
+	if _, err := m.Get(ctx, k2); err != nil {
+		t.Errorf("newest entry evicted by its own arrival: %v", err)
+	}
+}
+
+func TestFSEnvelopeOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(dir)
+	payload := []byte("envelope check")
+	key := DigestParts("envelope")
+	if err := fs.Put(ctx, key, payload); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, key+blobExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHeader := fsMagic + " " + Sum(payload) + " "
+	if !bytes.HasPrefix(raw, []byte(wantHeader)) {
+		t.Errorf("entry header = %.90q, want prefix %q", raw, wantHeader)
+	}
+	if !bytes.HasSuffix(raw, payload) {
+		t.Error("payload does not trail the envelope header")
+	}
+	// No temp debris after a clean Put.
+	if tmp, _ := filepath.Glob(filepath.Join(dir, "*.tmp*")); len(tmp) != 0 {
+		t.Errorf("clean Put left temp files: %v", tmp)
+	}
+}
+
+// TestTieredPromotion: a hit in a lower tier lands in every tier above
+// it, so the next read stops at the fastest one.
+func TestTieredPromotion(t *testing.T) {
+	mem := NewMem(0, 0)
+	fs := NewFS(t.TempDir())
+	tiered := NewTiered(mem, fs)
+
+	payload := []byte("promoted")
+	key := DigestParts("promotion")
+	if err := fs.Put(ctx, key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Stat(ctx, key); !errors.Is(err, ErrNotFound) {
+		t.Fatal("memory tier warm before the read")
+	}
+	got, err := tiered.Get(ctx, key)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("tiered Get = %q, %v", got, err)
+	}
+	if _, err := mem.Stat(ctx, key); err != nil {
+		t.Errorf("hit was not promoted into the memory tier: %v", err)
+	}
+}
+
+// failStore errors on everything — a dead tier.
+type failStore struct{}
+
+func (failStore) Get(context.Context, string) ([]byte, error) { return nil, errors.New("dead tier") }
+func (failStore) Put(context.Context, string, []byte) error   { return errors.New("dead tier") }
+func (failStore) Stat(context.Context, string) (Info, error)  { return Info{}, errors.New("dead tier") }
+func (failStore) List(context.Context) ([]Info, error)        { return nil, errors.New("dead tier") }
+func (failStore) Delete(context.Context, string) error        { return errors.New("dead tier") }
+
+// TestTieredDegradesAroundSickTier: one erroring tier must cost
+// nothing — reads fall through it, writes succeed if any tier stores.
+func TestTieredDegradesAroundSickTier(t *testing.T) {
+	mem := NewMem(0, 0)
+	tiered := NewTiered(failStore{}, mem)
+	payload := []byte("survives")
+	key := DigestParts("degrade")
+
+	if err := tiered.Put(ctx, key, payload); err != nil {
+		t.Fatalf("write-through with one sick tier failed: %v", err)
+	}
+	got, err := tiered.Get(ctx, key)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read around a sick tier = %q, %v", got, err)
+	}
+	// All tiers sick: the write must fail loudly, not silently drop.
+	allDead := NewTiered(failStore{})
+	if err := allDead.Put(ctx, key, payload); err == nil {
+		t.Error("write into only-sick tiers reported success")
+	}
+	// A miss everywhere with a sick tier present surfaces the tier's
+	// error, not a clean miss — infrastructure trouble is not "absent".
+	if _, err := tiered.Get(ctx, DigestParts("absent")); !errors.Is(err, ErrNotFound) {
+		// mem answers NotFound and failStore answers error; the error wins.
+		if err == nil {
+			t.Error("miss through a sick tier reported a hit")
+		}
+	}
+}
+
+// TestCountersClassify: the instrumentation decorator must sort Get
+// outcomes into hit / miss / verify-failure / error, never double-count.
+func TestCountersClassify(t *testing.T) {
+	var c Counters
+	mem := NewMem(0, 0)
+	s := WithCounters(mem, &c)
+	key := DigestParts("counted")
+
+	if _, err := s.Get(ctx, key); !errors.Is(err, ErrNotFound) {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, key, []byte("counted payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx, key); err != nil {
+		t.Fatal(err)
+	}
+	if !mem.corruptForTest(key) {
+		t.Fatal("corruptForTest missed the entry")
+	}
+	var verr *VerifyError
+	if _, err := s.Get(ctx, key); !errors.As(err, &verr) {
+		t.Fatalf("corrupted Get = %v, want VerifyError", err)
+	}
+	if h, m, v, e := c.Hits.Load(), c.Misses.Load(), c.VerifyFails.Load(), c.GetErrs.Load(); h != 1 || m != 1 || v != 1 || e != 0 {
+		t.Errorf("hits=%d misses=%d verify=%d errs=%d, want 1/1/1/0", h, m, v, e)
+	}
+	if c.Puts.Load() != 1 || c.PutBytes.Load() != int64(len("counted payload")) {
+		t.Errorf("puts=%d bytes=%d", c.Puts.Load(), c.PutBytes.Load())
+	}
+	if c.FetchNanos.Load() <= 0 {
+		t.Error("successful fetch recorded no wall time")
+	}
+}

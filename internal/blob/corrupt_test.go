@@ -1,0 +1,183 @@
+package blob
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cogg/internal/faultinject"
+)
+
+// The corruption suite pins the tier's central safety property: a blob
+// whose payload no longer hashes to its recorded content digest is
+// never served, never silently deleted, and always counted.
+
+// TestFSBitFlipQuarantined: one flipped payload bit on disk fails
+// re-verification; the entry is set aside under its quarantine name
+// with its bytes intact (evidence, not garbage).
+func TestFSBitFlipQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(dir)
+	payload := []byte("bytes that will rot on disk")
+	key := DigestParts("bitflip")
+	if err := fs.Put(ctx, key, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, key+blobExt)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x01 // flip one payload bit
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var verr *VerifyError
+	if _, err := fs.Get(ctx, key); !errors.As(err, &verr) {
+		t.Fatalf("Get over rotten entry = %v, want VerifyError", err)
+	}
+	if verr.Backend != "fs" || verr.Want != Sum(payload) {
+		t.Errorf("VerifyError = %+v", verr)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt entry still lives at its serving name")
+	}
+	q := fs.QuarantineFiles()
+	if len(q) != 1 {
+		t.Fatalf("quarantine files = %v, want exactly one", q)
+	}
+	kept, err := os.ReadFile(q[0])
+	if err != nil || !bytes.Equal(kept, raw) {
+		t.Error("quarantined bytes were not preserved verbatim")
+	}
+	if fs.VerifyFailures() != 1 || fs.Quarantined() != 1 {
+		t.Errorf("verifyFails=%d quarantined=%d, want 1/1", fs.VerifyFailures(), fs.Quarantined())
+	}
+	// The next read is a clean miss — the caller falls through to a
+	// lower tier or rebuilds from source.
+	if _, err := fs.Get(ctx, key); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after quarantine = %v, want ErrNotFound", err)
+	}
+}
+
+// TestFSGarbageEnvelopeQuarantined: bytes that are not even an envelope
+// (an old-format entry, a partial write that dodged the rename
+// protocol) get the same treatment as a digest mismatch.
+func TestFSGarbageEnvelopeQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(dir)
+	key := DigestParts("garbage")
+	if err := os.WriteFile(filepath.Join(dir, key+blobExt), []byte("not a table module"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var verr *VerifyError
+	if _, err := fs.Get(ctx, key); !errors.As(err, &verr) {
+		t.Fatalf("Get over garbage = %v, want VerifyError", err)
+	}
+	if len(fs.QuarantineFiles()) != 1 {
+		t.Error("garbage entry was not quarantined")
+	}
+}
+
+// TestFSTruncationCaught: every truncation point of a valid entry fails
+// the envelope size check or the digest, never serves.
+func TestFSTruncationCaught(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(dir)
+	payload := bytes.Repeat([]byte("truncate me "), 20)
+	key := DigestParts("truncate")
+	if err := fs.Put(ctx, key, payload); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+blobExt)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, 16, len(whole) / 2, len(whole) - 1} {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var verr *VerifyError
+		if _, err := fs.Get(ctx, key); !errors.As(err, &verr) {
+			t.Errorf("cut=%d: Get = %v, want VerifyError", cut, err)
+		}
+		// Un-quarantine for the next round.
+		for _, q := range fs.QuarantineFiles() {
+			os.Remove(q)
+		}
+	}
+}
+
+// TestMemCorruptionEvicted: the memory tier's quarantine is eviction —
+// a poisoned entry is never served twice.
+func TestMemCorruptionEvicted(t *testing.T) {
+	m := NewMem(0, 0)
+	key := DigestParts("mem-rot")
+	if err := m.Put(ctx, key, []byte("resident payload")); err != nil {
+		t.Fatal(err)
+	}
+	if !m.corruptForTest(key) {
+		t.Fatal("corruptForTest missed")
+	}
+	var verr *VerifyError
+	if _, err := m.Get(ctx, key); !errors.As(err, &verr) {
+		t.Fatalf("Get over corrupt entry = %v, want VerifyError", err)
+	}
+	if verr.Backend != "mem" {
+		t.Errorf("backend = %q", verr.Backend)
+	}
+	if _, err := m.Get(ctx, key); !errors.Is(err, ErrNotFound) {
+		t.Errorf("corrupt entry served twice: %v", err)
+	}
+	if m.VerifyFailures() != 1 {
+		t.Errorf("VerifyFailures = %d, want 1", m.VerifyFailures())
+	}
+}
+
+// TestVerifyFailpoint: the blob/verify failpoint forces a verification
+// failure on an intact entry — the chaos hook for drills that need
+// corruption without staging real bit rot.
+func TestVerifyFailpoint(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set(faultinject.Rule{Site: "blob/verify", Kind: faultinject.KindError, Class: "io"})
+
+	fs := NewFS(t.TempDir())
+	key := DigestParts("drill")
+	if err := fs.Put(ctx, key, []byte("intact bytes")); err != nil {
+		t.Fatal(err)
+	}
+	var verr *VerifyError
+	if _, err := fs.Get(ctx, key); !errors.As(err, &verr) {
+		t.Fatalf("armed blob/verify: Get = %v, want VerifyError", err)
+	}
+	if len(fs.QuarantineFiles()) != 1 {
+		t.Error("failpoint-failed entry was not quarantined")
+	}
+}
+
+// TestGetFailpointIsNotVerifyFailure: an injected read fault (blob/get)
+// is infrastructure, not corruption — no quarantine, no verify count.
+func TestGetFailpointIsNotVerifyFailure(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set(faultinject.Rule{Site: "blob/get", Kind: faultinject.KindError, Class: "io"})
+
+	dir := t.TempDir()
+	fs := NewFS(dir)
+	key := DigestParts("io-fault")
+	if err := fs.Put(ctx, key, []byte("healthy")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := fs.Get(ctx, key)
+	var verr *VerifyError
+	if err == nil || errors.As(err, &verr) {
+		t.Fatalf("Get = %v, want a plain injected I/O error", err)
+	}
+	if fs.VerifyFailures() != 0 || len(fs.QuarantineFiles()) != 0 {
+		t.Error("an I/O fault was booked as corruption")
+	}
+}

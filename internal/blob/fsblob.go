@@ -1,0 +1,310 @@
+package blob
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cogg/internal/faultinject"
+)
+
+// fsMagic heads every on-disk blob envelope; bumping it orphans every
+// entry written under the old layout (they fail the header parse and
+// are treated as corrupt).
+const fsMagic = "coggblob1"
+
+// blobExt / quarantineExt / tmpGlob are the FS backend's file-name
+// scheme: "<key>.blob" entries, "<key>.quarantine" entries set aside by
+// a failed verify, and "<key>.tmp*" in-flight writes.
+const (
+	blobExt       = ".blob"
+	quarantineExt = ".quarantine"
+)
+
+// FS is the disk backend: one file per blob under dir, each an envelope
+//
+//	coggblob1 <content-sha256-hex> <payload-size>\n<payload>
+//
+// written with the crash-safe protocol the batch service's disk cache
+// pioneered — temp file, fsync, rename, directory fsync — so neither a
+// crashed writer nor a power cut can leave a half-written entry at the
+// final name. A shared directory is the zero-copy fleet tier: replicas
+// on one host (or one mount) pointing at the same dir share every
+// module and deck without a network hop.
+type FS struct {
+	dir string
+
+	orphansSwept atomic.Int64
+	verifyFails  atomic.Int64
+	quarantined  atomic.Int64
+}
+
+// NewFS opens (creating lazily on first Put) a disk store under dir and
+// sweeps orphaned temp files old enough that no live writer can still
+// own them.
+func NewFS(dir string) *FS {
+	fs := &FS{dir: dir}
+	fs.SweepOrphans()
+	return fs
+}
+
+// Dir reports the backing directory.
+func (f *FS) Dir() string { return f.dir }
+
+func (f *FS) path(key string) string { return filepath.Join(f.dir, key+blobExt) }
+
+func (f *FS) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := faultinject.Eval("blob/get", key); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(f.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	content, payload, err := parseEnvelope(data)
+	if err != nil {
+		// An unparseable envelope is corruption of a different shade:
+		// quarantine it too, with the zero digest standing in for the
+		// unreadable recorded one.
+		f.quarantine(key)
+		f.verifyFails.Add(1)
+		return nil, &VerifyError{Backend: "fs", Key: key, Want: "unreadable-envelope", Got: Sum(data)}
+	}
+	if verr := verifyPayload("fs", key, content, payload); verr != nil {
+		f.quarantine(key)
+		f.verifyFails.Add(1)
+		return nil, verr
+	}
+	return payload, nil
+}
+
+// parseEnvelope splits "coggblob1 <content> <size>\n<payload>" and
+// checks the recorded size against the bytes present (a short file is
+// truncation the rename protocol should have prevented — still caught).
+func parseEnvelope(data []byte) (content string, payload []byte, err error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return "", nil, fmt.Errorf("blob: no envelope header")
+	}
+	fields := strings.Fields(string(data[:nl]))
+	if len(fields) != 3 || fields[0] != fsMagic || !ValidKey(fields[1]) {
+		return "", nil, fmt.Errorf("blob: bad envelope header")
+	}
+	size, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil || size < 0 {
+		return "", nil, fmt.Errorf("blob: bad envelope size")
+	}
+	payload = data[nl+1:]
+	if int64(len(payload)) != size {
+		return "", nil, fmt.Errorf("blob: envelope size %d, payload %d", size, len(payload))
+	}
+	return fields[1], payload, nil
+}
+
+// quarantine sets a corrupt entry aside under its quarantine name —
+// served never, deleted never (an operator or `cogg cache verify` can
+// inspect it; `cogg cache gc` reports but keeps it). A second
+// quarantine of the same key overwrites the first: same key, same
+// derivation, and the newest corpse is the interesting one.
+func (f *FS) quarantine(key string) {
+	if os.Rename(f.path(key), filepath.Join(f.dir, key+quarantineExt)) == nil {
+		f.quarantined.Add(1)
+	}
+}
+
+func (f *FS) Put(ctx context.Context, key string, payload []byte) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	if err := faultinject.Eval("blob/put", key); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(payload) + 96)
+	fmt.Fprintf(&buf, "%s %s %d\n", fsMagic, Sum(payload), len(payload))
+	buf.Write(payload)
+
+	tmp, err := os.CreateTemp(f.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	// The data must be durable before the rename publishes the name:
+	// otherwise a power cut can leave the final name pointing at blocks
+	// that never reached the disk.
+	if err := faultinject.Eval("blob/fs/sync", key); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := faultinject.Eval("blob/fs/rename", key); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), f.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// And the rename itself must be durable: fsync the directory so the
+	// new entry survives a crash. A failure here degrades, not corrupts
+	// — the entry is good, its durability just is not proven.
+	if d, err := os.Open(f.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+func (f *FS) Stat(ctx context.Context, key string) (Info, error) {
+	if err := ctxErr(ctx); err != nil {
+		return Info{}, err
+	}
+	return f.statPath(f.path(key), key)
+}
+
+// statPath reads just the envelope header of one entry.
+func (f *FS) statPath(path, key string) (Info, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Info{}, ErrNotFound
+		}
+		return Info{}, err
+	}
+	defer file.Close()
+	fi, err := file.Stat()
+	if err != nil {
+		return Info{}, err
+	}
+	header, err := bufio.NewReaderSize(file, 256).ReadString('\n')
+	if err != nil {
+		return Info{}, fmt.Errorf("blob: %s: unreadable envelope: %w", short(key), err)
+	}
+	fields := strings.Fields(strings.TrimSuffix(header, "\n"))
+	if len(fields) != 3 || fields[0] != fsMagic {
+		return Info{}, fmt.Errorf("blob: %s: bad envelope header", short(key))
+	}
+	size, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return Info{}, fmt.Errorf("blob: %s: bad envelope size", short(key))
+	}
+	return Info{Key: key, Content: fields[1], Size: size, ModTime: fi.ModTime()}, nil
+}
+
+func (f *FS) List(ctx context.Context) ([]Info, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	matches, err := filepath.Glob(filepath.Join(f.dir, "*"+blobExt))
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]Info, 0, len(matches))
+	for _, path := range matches {
+		key := strings.TrimSuffix(filepath.Base(path), blobExt)
+		if !ValidKey(key) {
+			continue
+		}
+		info, err := f.statPath(path, key)
+		if err != nil {
+			// A corrupt header still enumerates — `cogg cache verify`
+			// needs to see it to quarantine it.
+			info = Info{Key: key}
+			if fi, serr := os.Stat(path); serr == nil {
+				info.Size, info.ModTime = fi.Size(), fi.ModTime()
+			}
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+func (f *FS) Delete(ctx context.Context, key string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	err := os.Remove(f.path(key))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// orphanMinAge guards the startup sweep against reaping a temp file a
+// concurrent writer in another process is about to rename: only temps
+// old enough that no live write can still own them are reclaimed.
+const orphanMinAge = time.Minute
+
+// SweepOrphans removes stale "*.tmp*" files left by writers that
+// crashed between CreateTemp and Rename, returning how many it
+// reclaimed. The atomic-rename protocol guarantees orphans are
+// invisible to Get, so this is hygiene (disk space, inode clutter), not
+// correctness. Runs once at construction; callable again any time.
+func (f *FS) SweepOrphans() int64 {
+	if f.dir == "" {
+		return 0
+	}
+	matches, err := filepath.Glob(filepath.Join(f.dir, "*.tmp*"))
+	if err != nil {
+		return 0
+	}
+	var swept int64
+	now := time.Now()
+	for _, path := range matches {
+		fi, err := os.Stat(path)
+		if err != nil || now.Sub(fi.ModTime()) < orphanMinAge {
+			continue
+		}
+		if os.Remove(path) == nil {
+			swept++
+		}
+	}
+	f.orphansSwept.Add(swept)
+	return swept
+}
+
+// OrphansSwept reports temp files reclaimed over this store's lifetime.
+func (f *FS) OrphansSwept() int64 { return f.orphansSwept.Load() }
+
+// VerifyFailures reports entries that failed content-digest
+// re-verification (each was quarantined).
+func (f *FS) VerifyFailures() int64 { return f.verifyFails.Load() }
+
+// Quarantined reports entries renamed aside after failing verification.
+func (f *FS) Quarantined() int64 { return f.quarantined.Load() }
+
+// QuarantineFiles lists quarantined entries under the directory — what
+// `cogg cache ls` prints and the corruption tests assert on.
+func (f *FS) QuarantineFiles() []string {
+	matches, _ := filepath.Glob(filepath.Join(f.dir, "*"+quarantineExt))
+	return matches
+}

@@ -1,0 +1,187 @@
+package blob
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"cogg/internal/faultinject"
+)
+
+// Mem is the in-memory backend: a bounded LRU of payloads with their
+// content digests. It is the L1 tier under every replica and the whole
+// store in tests — and, crucially, the tier that lets a disk-less
+// replica still serve the artifact API: a module built anywhere lands
+// here, so peers can warm-fetch from a replica with no cache directory.
+type Mem struct {
+	mu       sync.Mutex
+	maxBytes int64
+	maxEntry int
+	bytes    int64
+	order    *list.List // front = most recent; values are *memEntry
+	byKey    map[string]*list.Element
+
+	verifyFails int64 // entries dropped on content-digest mismatch
+}
+
+type memEntry struct {
+	key     string
+	content string
+	payload []byte
+	added   time.Time
+}
+
+// NewMem builds a Mem bounded by entry count and total payload bytes;
+// maxEntries <= 0 means 64 and maxBytes <= 0 means 256 MiB.
+func NewMem(maxEntries int, maxBytes int64) *Mem {
+	if maxEntries <= 0 {
+		maxEntries = 64
+	}
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	return &Mem{
+		maxEntry: maxEntries,
+		maxBytes: maxBytes,
+		order:    list.New(),
+		byKey:    map[string]*list.Element{},
+	}
+}
+
+// Get returns a copy-free reference to the stored payload. Payloads are
+// immutable by contract (callers must not mutate what Get returns), the
+// same contract the decoded-module LRU above this tier relies on.
+func (m *Mem) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := faultinject.Eval("blob/get", key); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	el, ok := m.byKey[key]
+	if !ok {
+		m.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	e := el.Value.(*memEntry)
+	m.order.MoveToFront(el)
+	payload, content := e.payload, e.content
+	m.mu.Unlock()
+
+	if verr := verifyPayload("mem", key, content, payload); verr != nil {
+		// Quarantine for the memory tier is eviction: the corrupt copy
+		// must not be served again, and there is no file to set aside.
+		m.mu.Lock()
+		if el, ok := m.byKey[key]; ok && el.Value.(*memEntry).content == content {
+			m.remove(el)
+		}
+		m.verifyFails++
+		m.mu.Unlock()
+		return nil, verr
+	}
+	return payload, nil
+}
+
+func (m *Mem) Put(ctx context.Context, key string, payload []byte) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	if err := faultinject.Eval("blob/put", key); err != nil {
+		return err
+	}
+	// Copy on the way in: the caller keeps ownership of its slice.
+	own := make([]byte, len(payload))
+	copy(own, payload)
+	e := &memEntry{key: key, content: Sum(own), payload: own, added: time.Now()}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.byKey[key]; ok {
+		m.bytes -= int64(len(el.Value.(*memEntry).payload))
+		el.Value = e
+		m.bytes += int64(len(own))
+		m.order.MoveToFront(el)
+	} else {
+		m.byKey[key] = m.order.PushFront(e)
+		m.bytes += int64(len(own))
+	}
+	for m.order.Len() > m.maxEntry || (m.bytes > m.maxBytes && m.order.Len() > 1) {
+		m.remove(m.order.Back())
+	}
+	return nil
+}
+
+func (m *Mem) Stat(ctx context.Context, key string) (Info, error) {
+	if err := ctxErr(ctx); err != nil {
+		return Info{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.byKey[key]
+	if !ok {
+		return Info{}, ErrNotFound
+	}
+	e := el.Value.(*memEntry)
+	return Info{Key: key, Content: e.content, Size: int64(len(e.payload)), ModTime: e.added}, nil
+}
+
+func (m *Mem) List(ctx context.Context) ([]Info, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	infos := make([]Info, 0, len(m.byKey))
+	for el := m.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*memEntry)
+		infos = append(infos, Info{Key: e.key, Content: e.content, Size: int64(len(e.payload)), ModTime: e.added})
+	}
+	return infos, nil
+}
+
+func (m *Mem) Delete(ctx context.Context, key string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.byKey[key]; ok {
+		m.remove(el)
+	}
+	return nil
+}
+
+// VerifyFailures reports entries dropped on content-digest mismatch.
+func (m *Mem) VerifyFailures() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.verifyFails
+}
+
+// remove unlinks one element; callers hold the lock.
+func (m *Mem) remove(el *list.Element) {
+	e := el.Value.(*memEntry)
+	m.order.Remove(el)
+	delete(m.byKey, e.key)
+	m.bytes -= int64(len(e.payload))
+}
+
+// corruptForTest flips one payload byte in place — the hook the
+// corruption tests use to prove a poisoned memory entry is never
+// served. Returns false when the key is absent.
+func (m *Mem) corruptForTest(key string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.byKey[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*memEntry)
+	if len(e.payload) == 0 {
+		return false
+	}
+	e.payload[len(e.payload)/2] ^= 0x40
+	return true
+}

@@ -1,0 +1,128 @@
+package blob
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"cogg/internal/obs"
+)
+
+// Counters instrument one backend of a store: hit/miss/fetch-latency on
+// the read path, put traffic, and verify failures. They accumulate in
+// plain atomics so tests read them directly; Register bridges them into
+// an obs.Registry as the cogg_blob_* series at exposition time,
+// following the batch service's no-second-counter pattern.
+type Counters struct {
+	Hits         atomic.Int64
+	Misses       atomic.Int64
+	GetErrs      atomic.Int64 // infrastructure failures (not misses, not verify)
+	Puts         atomic.Int64
+	PutErrs      atomic.Int64
+	PutBytes     atomic.Int64
+	VerifyFails  atomic.Int64
+	FetchNanos   atomic.Int64 // wall time summed over successful Gets
+	fetchSeconds *obs.Histogram
+}
+
+// Register binds the counters into reg under the given backend label:
+//
+//	cogg_blob_hits_total{backend}             payloads served
+//	cogg_blob_misses_total{backend}           keys with no blob behind them
+//	cogg_blob_get_errors_total{backend}       reads lost to infrastructure
+//	cogg_blob_puts_total{backend}             payloads stored
+//	cogg_blob_put_errors_total{backend}       stores that failed
+//	cogg_blob_put_bytes_total{backend}        payload bytes stored
+//	cogg_blob_verify_failures_total{backend}  content-digest mismatches (quarantined)
+//	cogg_blob_fetch_seconds_total{backend}    wall time summed over hits
+//	cogg_blob_fetch_seconds{backend}          fetch-latency histogram
+func (c *Counters) Register(reg *obs.Registry, backend string) {
+	if reg == nil {
+		return
+	}
+	l := obs.L("backend", backend)
+	reg.CounterFunc("cogg_blob_hits_total",
+		"Blob-store payloads served, by backend.", l, c.Hits.Load)
+	reg.CounterFunc("cogg_blob_misses_total",
+		"Blob-store lookups that found no blob, by backend.", l, c.Misses.Load)
+	reg.CounterFunc("cogg_blob_get_errors_total",
+		"Blob-store reads lost to infrastructure faults, by backend.", l, c.GetErrs.Load)
+	reg.CounterFunc("cogg_blob_puts_total",
+		"Blob-store payloads stored, by backend.", l, c.Puts.Load)
+	reg.CounterFunc("cogg_blob_put_errors_total",
+		"Blob-store writes that failed, by backend.", l, c.PutErrs.Load)
+	reg.CounterFunc("cogg_blob_put_bytes_total",
+		"Blob-store payload bytes stored, by backend.", l, c.PutBytes.Load)
+	reg.CounterFunc("cogg_blob_verify_failures_total",
+		"Blobs that failed content-digest re-verification and were quarantined, by backend.",
+		l, c.VerifyFails.Load)
+	reg.CounterFloatFunc("cogg_blob_fetch_seconds_total",
+		"Wall time summed over successful blob fetches, by backend.", l,
+		func() float64 { return float64(c.FetchNanos.Load()) / 1e9 })
+	c.fetchSeconds = reg.Histogram("cogg_blob_fetch_seconds",
+		"Blob fetch latency by backend, in seconds.", l, obs.LatencyBuckets)
+}
+
+// WithCounters decorates a store so every operation lands in c. Wrap
+// each tier separately (before layering with NewTiered) to get
+// per-backend series out of one logical store.
+func WithCounters(s Store, c *Counters) Store {
+	return &instrumented{inner: s, c: c}
+}
+
+type instrumented struct {
+	inner Store
+	c     *Counters
+}
+
+func (s *instrumented) Get(ctx context.Context, key string) ([]byte, error) {
+	t0 := time.Now()
+	payload, err := s.inner.Get(ctx, key)
+	switch {
+	case err == nil:
+		elapsed := time.Since(t0)
+		s.c.Hits.Add(1)
+		s.c.FetchNanos.Add(int64(elapsed))
+		if s.c.fetchSeconds != nil {
+			s.c.fetchSeconds.ObserveDuration(elapsed)
+		}
+	case errors.Is(err, ErrNotFound):
+		s.c.Misses.Add(1)
+	default:
+		var verr *VerifyError
+		if errors.As(err, &verr) {
+			s.c.VerifyFails.Add(1)
+		} else {
+			s.c.GetErrs.Add(1)
+		}
+	}
+	return payload, err
+}
+
+func (s *instrumented) Put(ctx context.Context, key string, payload []byte) error {
+	err := s.inner.Put(ctx, key, payload)
+	if err != nil {
+		s.c.PutErrs.Add(1)
+		return err
+	}
+	s.c.Puts.Add(1)
+	s.c.PutBytes.Add(int64(len(payload)))
+	return nil
+}
+
+func (s *instrumented) Stat(ctx context.Context, key string) (Info, error) {
+	return s.inner.Stat(ctx, key)
+}
+
+func (s *instrumented) List(ctx context.Context) ([]Info, error) {
+	return s.inner.List(ctx)
+}
+
+func (s *instrumented) Delete(ctx context.Context, key string) error {
+	return s.inner.Delete(ctx, key)
+}
+
+// Unwrap exposes the decorated store (the artifact API reaches through
+// to backend-specific methods like FS.QuarantineFiles in tests).
+func (s *instrumented) Unwrap() Store { return s.inner }

@@ -1,146 +1,33 @@
 package cluster
 
 import (
-	"sync"
 	"time"
+
+	"cogg/internal/fleet"
 )
 
+// The per-replica circuit breaker implementation lives in
+// internal/fleet so the blob tier's httpblob client can share it
+// without importing this package (which would cycle through
+// server → batch → blob). The aliases below keep cluster's historical
+// names — BreakerState in replica status JSON, the state constants in
+// metrics — pointing at the single implementation.
+
 // BreakerState is a circuit breaker's position.
-type BreakerState int32
+type BreakerState = fleet.BreakerState
 
 const (
 	// BreakerClosed passes traffic, counting consecutive failures.
-	BreakerClosed BreakerState = iota
+	BreakerClosed = fleet.BreakerClosed
 	// BreakerHalfOpen admits exactly one probe request; its outcome
 	// decides between closing and re-opening.
-	BreakerHalfOpen
+	BreakerHalfOpen = fleet.BreakerHalfOpen
 	// BreakerOpen rejects traffic until the cooldown elapses.
-	BreakerOpen
+	BreakerOpen = fleet.BreakerOpen
 )
 
-func (s BreakerState) String() string {
-	switch s {
-	case BreakerClosed:
-		return "closed"
-	case BreakerHalfOpen:
-		return "half-open"
-	case BreakerOpen:
-		return "open"
-	}
-	return "unknown"
-}
-
-// breaker is a per-replica circuit breaker. It trips open after
-// Threshold consecutive failures, rejects everything for Cooldown, then
-// half-opens: one request is admitted as a probe, and its outcome
-// either closes the breaker or slams it open for another cooldown.
-//
-// The breaker is deliberately per-replica, not per-(replica, spec): the
-// failures it watches — connection refused, request timeouts, 5xx —
-// are process-level symptoms, and one sick replica should shed all of
-// its traffic at once rather than spec by spec.
-type breaker struct {
-	mu        sync.Mutex
-	state     BreakerState
-	fails     int
-	threshold int
-	cooldown  time.Duration
-	openedAt  time.Time
-	probing   bool
-
-	// onTransition is the metrics hook, called (outside the fast path,
-	// inside the lock) on every state change.
-	onTransition func(to BreakerState)
-
-	now func() time.Time // test hook
-}
+type breaker = fleet.Breaker
 
 func newBreaker(threshold int, cooldown time.Duration) *breaker {
-	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
-}
-
-func (b *breaker) transition(to BreakerState) {
-	b.state = to
-	if b.onTransition != nil {
-		b.onTransition(to)
-	}
-}
-
-// allow reports whether a request may be sent. A true return from the
-// half-open state consumes the single probe slot, so the caller must
-// follow up with success or failure.
-func (b *breaker) allow() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch b.state {
-	case BreakerClosed:
-		return true
-	case BreakerOpen:
-		if b.now().Sub(b.openedAt) < b.cooldown {
-			return false
-		}
-		b.transition(BreakerHalfOpen)
-		b.probing = true
-		return true
-	default: // half-open
-		if b.probing {
-			return false
-		}
-		b.probing = true
-		return true
-	}
-}
-
-// success records a request that reached the replica and got a sane
-// answer.
-func (b *breaker) success() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.fails = 0
-	if b.state != BreakerClosed {
-		b.probing = false
-		b.transition(BreakerClosed)
-	}
-}
-
-// cancelProbe releases the half-open probe slot without judging the
-// replica. A request admitted as the probe can end for reasons that
-// say nothing about the replica's health — the hedge winner canceled
-// it, or the caller's context ended. Without this release the slot
-// would stay consumed forever and the breaker would sit half-open
-// rejecting everything, permanently ejecting the replica.
-func (b *breaker) cancelProbe() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.state == BreakerHalfOpen {
-		b.probing = false
-	}
-}
-
-// failure records a transport error, attempt timeout, or 5xx.
-func (b *breaker) failure() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch b.state {
-	case BreakerClosed:
-		b.fails++
-		if b.fails >= b.threshold {
-			b.openedAt = b.now()
-			b.transition(BreakerOpen)
-		}
-	case BreakerHalfOpen:
-		b.probing = false
-		b.openedAt = b.now()
-		b.transition(BreakerOpen)
-	case BreakerOpen:
-		// Late failures from requests admitted before the trip; the
-		// breaker is already open, just keep the cooldown fresh enough.
-	}
-}
-
-// current reports the state without consuming a probe slot.
-func (b *breaker) current() BreakerState {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.state
+	return fleet.NewBreaker(threshold, cooldown)
 }

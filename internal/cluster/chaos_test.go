@@ -24,15 +24,15 @@ import (
 const goodIF = "assign fullword dsp.96 r.13 pos_constant v.7"
 
 // fleet is n live cogd replicas behind real listeners.
-type fleet struct {
+type testFleet struct {
 	servers []*server.Server
 	https   []*httptest.Server
 	urls    []string
 }
 
-func newFleet(t *testing.T, n int) *fleet {
+func newFleet(t *testing.T, n int) *testFleet {
 	t.Helper()
-	f := &fleet{}
+	f := &testFleet{}
 	for i := 0; i < n; i++ {
 		s, err := server.New(server.Options{})
 		if err != nil {
@@ -59,13 +59,13 @@ func newFleet(t *testing.T, n int) *fleet {
 
 // kill takes replica i down hard: established connections reset,
 // listener closed — the closest an in-process test gets to SIGKILL.
-func (f *fleet) kill(i int) {
+func (f *testFleet) kill(i int) {
 	f.https[i].CloseClientConnections()
 	f.https[i].Close()
 }
 
 // indexOf maps a replica name (host:port) back to its fleet index.
-func (f *fleet) indexOf(t *testing.T, name string) int {
+func (f *testFleet) indexOf(t *testing.T, name string) int {
 	t.Helper()
 	for i, u := range f.urls {
 		if u == "http://"+name {

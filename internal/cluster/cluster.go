@@ -164,7 +164,7 @@ func (r *replica) admissible() bool {
 	if probed && !ready {
 		return false
 	}
-	return r.br.allow()
+	return r.br.Allow()
 }
 
 func (r *replica) setReady(ready bool) {
@@ -496,7 +496,7 @@ func (c *Client) Snapshot() Snapshot {
 			URL:     r.url,
 			Probed:  probed,
 			Ready:   ready,
-			Breaker: r.br.current().String(),
+			Breaker: r.br.State().String(),
 		})
 	}
 	return s

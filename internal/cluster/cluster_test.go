@@ -70,50 +70,50 @@ func TestRingSpreadsKeys(t *testing.T) {
 func TestBreakerLifecycle(t *testing.T) {
 	now := time.Unix(1000, 0)
 	b := newBreaker(3, time.Second)
-	b.now = func() time.Time { return now }
+	b.Now = func() time.Time { return now }
 	var transitions []BreakerState
-	b.onTransition = func(to BreakerState) { transitions = append(transitions, to) }
+	b.OnTransition = func(to BreakerState) { transitions = append(transitions, to) }
 
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("closed breaker refused a request")
 	}
-	b.failure()
-	b.failure()
-	if b.current() != BreakerClosed {
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
 		t.Fatalf("2/3 failures already opened the breaker")
 	}
-	b.failure()
-	if b.current() != BreakerOpen {
+	b.Failure()
+	if b.State() != BreakerOpen {
 		t.Fatal("threshold failures did not open the breaker")
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("open breaker admitted a request inside the cooldown")
 	}
 
 	now = now.Add(time.Second) // cooldown elapses
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("cooled-down breaker refused the half-open probe")
 	}
-	if b.current() != BreakerHalfOpen {
-		t.Fatalf("state after probe admission: %v", b.current())
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe admission: %v", b.State())
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("half-open breaker admitted a second request while probing")
 	}
-	b.failure() // the probe failed: slam open again
-	if b.current() != BreakerOpen {
+	b.Failure() // the probe failed: slam open again
+	if b.State() != BreakerOpen {
 		t.Fatal("failed probe did not re-open the breaker")
 	}
 
 	now = now.Add(time.Second)
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("second half-open probe refused")
 	}
-	b.success()
-	if b.current() != BreakerClosed {
+	b.Success()
+	if b.State() != BreakerClosed {
 		t.Fatal("successful probe did not close the breaker")
 	}
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("re-closed breaker refused a request")
 	}
 
@@ -135,31 +135,31 @@ func TestBreakerLifecycle(t *testing.T) {
 func TestBreakerCancelProbeReleasesSlot(t *testing.T) {
 	now := time.Unix(1000, 0)
 	b := newBreaker(1, time.Second)
-	b.now = func() time.Time { return now }
+	b.Now = func() time.Time { return now }
 
-	b.failure() // trip open
+	b.Failure() // trip open
 	now = now.Add(time.Second)
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("cooled-down breaker refused the half-open probe")
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("half-open breaker admitted a second request while probing")
 	}
-	b.cancelProbe() // the probe request was canceled: no verdict
-	if b.current() != BreakerHalfOpen {
-		t.Fatalf("cancelProbe changed state to %v", b.current())
+	b.CancelProbe() // the probe request was canceled: no verdict
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("cancelProbe changed state to %v", b.State())
 	}
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("breaker still rejecting after the canceled probe released the slot")
 	}
-	b.success()
-	if b.current() != BreakerClosed {
+	b.Success()
+	if b.State() != BreakerClosed {
 		t.Fatal("successful re-probe did not close the breaker")
 	}
 
 	// On a closed breaker cancelProbe is a no-op, not a reset.
-	b.cancelProbe()
-	if !b.allow() || b.current() != BreakerClosed {
+	b.CancelProbe()
+	if !b.Allow() || b.State() != BreakerClosed {
 		t.Fatal("cancelProbe disturbed a closed breaker")
 	}
 }
@@ -202,16 +202,16 @@ func TestReplicaTokensOrderIndependent(t *testing.T) {
 // any success restarts the count.
 func TestBreakerSuccessResetsCount(t *testing.T) {
 	b := newBreaker(3, time.Second)
-	b.failure()
-	b.failure()
-	b.success()
-	b.failure()
-	b.failure()
-	if b.current() != BreakerClosed {
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
 		t.Fatal("interleaved successes still tripped the breaker")
 	}
-	b.failure()
-	if b.current() != BreakerOpen {
+	b.Failure()
+	if b.State() != BreakerOpen {
 		t.Fatal("three consecutive failures did not trip the breaker")
 	}
 }

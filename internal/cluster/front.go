@@ -52,7 +52,55 @@ func (f *Front) Handler() http.Handler {
 	mux.HandleFunc("/readyz", f.handleReadyz)
 	mux.HandleFunc("/varz", f.handleVarz)
 	mux.HandleFunc("/metrics", f.handleMetrics)
+	mux.HandleFunc("/v1/artifacts/", f.handleArtifacts)
 	return mux
+}
+
+// handleArtifacts makes the front a read-only window onto the fleet's
+// shared blob tier: a GET or HEAD for one digest sweeps the replicas in
+// order and forwards the first hit. A replica answering 404 is a
+// healthy miss — the sweep continues — and only when every admissible
+// replica misses does the front answer 404 itself. Writes stay
+// replica-to-replica (each cogd publishes what it builds); the front
+// never accepts a PUT.
+func (f *Front) handleArtifacts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	for _, rep := range f.c.reps {
+		if rep.br.State() == BreakerOpen {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, rep.url+r.URL.Path, nil)
+		if err != nil {
+			continue
+		}
+		if inm := r.Header.Get("If-None-Match"); inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		res, err := f.c.hc.Do(req)
+		if err != nil {
+			rep.br.Failure()
+			continue
+		}
+		rep.br.Success()
+		if res.StatusCode == http.StatusNotFound {
+			_ = res.Body.Close()
+			continue
+		}
+		for _, h := range []string{"Content-Type", "Content-Length", "ETag", "X-Blob-Content-Sha256"} {
+			if v := res.Header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		w.Header().Set("X-Cogd-Replica", rep.url)
+		w.WriteHeader(res.StatusCode)
+		_, _ = io.Copy(w, res.Body)
+		_ = res.Body.Close()
+		return
+	}
+	http.Error(w, "artifact not found in fleet", http.StatusNotFound)
 }
 
 // specKeyCompile pulls the routing key out of a compile body.
@@ -230,7 +278,7 @@ func (f *Front) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			if probed && !rdy {
 				continue
 			}
-			if rep.br.current() != BreakerOpen {
+			if rep.br.State() != BreakerOpen {
 				ready = true
 				break
 			}

@@ -12,12 +12,13 @@ import (
 	"testing"
 	"time"
 
+	"cogg/internal/blob"
 	"cogg/internal/ir"
 	"cogg/internal/obs"
 	"cogg/internal/server"
 )
 
-func newFrontOver(t *testing.T, f *fleet, opts Options) *httptest.Server {
+func newFrontOver(t *testing.T, f *testFleet, opts Options) *httptest.Server {
 	t.Helper()
 	opts.Targets = f.urls
 	cl, err := New(opts)
@@ -139,7 +140,7 @@ func TestFrontGrammarStickiness(t *testing.T) {
 func TestFrontGrammarStickinessAcrossFronts(t *testing.T) {
 	f := newFleet(t, 2)
 	ftsA := newFrontOver(t, f, Options{ProbeInterval: -1, HedgeAfter: -1})
-	reversed := &fleet{urls: []string{f.urls[1], f.urls[0]}}
+	reversed := &testFleet{urls: []string{f.urls[1], f.urls[0]}}
 	ftsB := newFrontOver(t, reversed, Options{ProbeInterval: -1, HedgeAfter: -1})
 
 	var open server.GrammarSessionResponse
@@ -270,5 +271,61 @@ func TestFrontMetricsExposition(t *testing.T) {
 		if !strings.Contains(text, series) {
 			t.Errorf("/metrics is missing %s", series)
 		}
+	}
+}
+
+// TestFrontArtifactPassthrough: GET /v1/artifacts/{digest} through the
+// front sweeps the replicas — a miss on the first falls through to the
+// one holding the blob, and a fleet-wide miss is a clean 404.
+func TestFrontArtifactPassthrough(t *testing.T) {
+	f := newFleet(t, 2)
+	fts := newFrontOver(t, f, Options{ProbeInterval: -1, HedgeAfter: -1})
+
+	payload := []byte("fleet artifact")
+	key := blob.DigestParts("front", "artifact")
+	// Seed only the SECOND replica: the sweep must fall through the
+	// first replica's 404.
+	if err := f.servers[1].Artifacts().Put(context.Background(), key, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(fts.URL + blob.ArtifactPathPrefix + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifact via front: %d, want 200", resp.StatusCode)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("artifact body = %q", got)
+	}
+	if resp.Header.Get("ETag") == "" || resp.Header.Get("X-Cogd-Replica") == "" {
+		t.Error("passthrough dropped the ETag or replica attribution")
+	}
+
+	// Absent digest: every replica misses, the front answers 404.
+	resp2, err := http.Get(fts.URL + blob.ArtifactPathPrefix + blob.DigestParts("absent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("fleet-wide miss: %d, want 404", resp2.StatusCode)
+	}
+
+	// The front is a read-only window: PUT is refused.
+	req, _ := http.NewRequest(http.MethodPut, fts.URL+blob.ArtifactPathPrefix+key, bytes.NewReader(payload))
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT via front: %d, want 405", resp3.StatusCode)
 	}
 }

@@ -49,7 +49,7 @@ func newMetrics(reg *obs.Registry, reps []*replica) *metrics {
 		reg.GaugeFunc("cluster_breaker_state",
 			"Replica circuit breaker state: 0 closed, 1 half-open, 2 open.",
 			obs.L("replica", rep.name),
-			func() float64 { return float64(rep.br.current()) })
+			func() float64 { return float64(rep.br.State()) })
 		reg.GaugeFunc("cluster_replica_ready",
 			"Last active health probe verdict: 1 ready, 0 not (or never probed).",
 			obs.L("replica", rep.name),
@@ -67,7 +67,7 @@ func newMetrics(reg *obs.Registry, reps []*replica) *metrics {
 				"Circuit breaker state transitions by replica and destination state.",
 				obs.L("replica", rep.name, "to", st.String()))
 		}
-		rep.br.onTransition = func(to BreakerState) {
+		rep.br.OnTransition = func(to BreakerState) {
 			if ctr, ok := trans[to]; ok {
 				ctr.Inc()
 			}

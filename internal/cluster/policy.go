@@ -7,9 +7,10 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
+
+	"cogg/internal/fleet"
 )
 
 // attemptRes is one attempt's outcome as the policy engine sees it:
@@ -44,7 +45,7 @@ func (c *Client) send(ctx context.Context, rep *replica, path string, body []byt
 	}
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, rep.url+path, bytes.NewReader(body))
 	if err != nil {
-		rep.br.cancelProbe() // admission consumed a probe slot; free it
+		rep.br.CancelProbe() // admission consumed a probe slot; free it
 		return attemptRes{err: err, rep: rep, retryable: false}
 	}
 	req.Header.Set("Content-Type", "application/json")
@@ -57,13 +58,13 @@ func (c *Client) send(ctx context.Context, rep *replica, path string, body []byt
 			// us): not evidence about the replica. Still release the
 			// half-open probe slot this attempt may have consumed, or
 			// the breaker would be stuck rejecting forever.
-			rep.br.cancelProbe()
+			rep.br.CancelProbe()
 			c.m.replica(rep, "canceled").Inc()
 			return attemptRes{err: err, rep: rep, retryable: true, ctxErr: ctx.Err()}
 		}
 		// Connection refused, reset, or the attempt timeout: the
 		// replica is down or hanging. Breaker failure either way.
-		rep.br.failure()
+		rep.br.Failure()
 		c.m.replica(rep, "transport").Inc()
 		return attemptRes{err: err, rep: rep, retryable: true}
 	}
@@ -72,23 +73,23 @@ func (c *Client) send(ctx context.Context, rep *replica, path string, body []byt
 	elapsed := time.Since(t0)
 	if err != nil {
 		if ctx.Err() != nil {
-			rep.br.cancelProbe()
+			rep.br.CancelProbe()
 			c.m.replica(rep, "canceled").Inc()
 			return attemptRes{err: err, rep: rep, retryable: true, ctxErr: ctx.Err()}
 		}
 		// A partial response — the replica died (or was injected to
 		// die) mid-write. Transport class, retryable.
-		rep.br.failure()
+		rep.br.Failure()
 		c.m.replica(rep, "transport").Inc()
 		return attemptRes{err: err, rep: rep, retryable: true}
 	}
 	retryable := retryableStatus(resp.StatusCode)
 	if resp.StatusCode >= 500 {
-		rep.br.failure()
+		rep.br.Failure()
 	} else {
 		// 2xx/3xx/4xx (including 429 backpressure): the replica is
 		// alive and answering coherently.
-		rep.br.success()
+		rep.br.Success()
 	}
 	if retryable {
 		c.m.replica(rep, "retryable").Inc()
@@ -212,19 +213,9 @@ func (c *Client) backoff(try int, retryAfter time.Duration) time.Duration {
 	return d
 }
 
-// parseRetryAfter reads a Retry-After header in delay-seconds form (the
-// form cogd sends). HTTP-date form is rare and a miss just means the
-// jittered backoff governs alone.
+// parseRetryAfter delegates to the shared fleet-client implementation.
 func parseRetryAfter(h http.Header) time.Duration {
-	v := h.Get("Retry-After")
-	if v == "" {
-		return 0
-	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
-		return 0
-	}
-	return time.Duration(secs) * time.Second
+	return fleet.ParseRetryAfter(h)
 }
 
 // latWindow is a sliding window of recent latencies for the adaptive

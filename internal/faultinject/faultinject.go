@@ -1,6 +1,6 @@
 // Package faultinject provides named failpoints for chaos testing the
 // compilation pipeline. A failpoint is a call to Eval at a named site
-// ("batch/cache/read", "tables/decode", "codegen/reduce", ...); when a
+// ("blob/get", "tables/decode", "codegen/reduce", ...); when a
 // matching rule is armed the site injects a deterministic fault — an
 // error, a panic, or a delay — on a schedule, so the chaos tests can
 // prove that one poisoned compilation unit cannot take its batch down.
@@ -17,9 +17,9 @@
 // after matching hits, and "*count" fires at most count times. For
 // example:
 //
-//	COGG_FAILPOINTS="batch/cache/rename=error:io;codegen/reduce#p7.pas=delay:5s@2*1"
+//	COGG_FAILPOINTS="blob/fs/rename=error:io;codegen/reduce#p7.pas=delay:5s@2*1"
 //
-// injects an I/O error into every cache rename and a single 5 second
+// injects an I/O error into every blob-store rename and a single 5 second
 // stall into the third reduction of unit p7.pas.
 package faultinject
 
@@ -56,7 +56,7 @@ func (k Kind) String() string {
 
 // Rule arms one failpoint site.
 type Rule struct {
-	Site  string // site name, e.g. "batch/cache/read"
+	Site  string // site name, e.g. "blob/get"
 	Key   string // fire only when Eval's key matches; "" matches any key
 	Kind  Kind
 	Class string        // KindError: error class carried by InjectedError ("io", ...)

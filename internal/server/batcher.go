@@ -3,12 +3,15 @@ package server
 import (
 	"context"
 	"encoding/base64"
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"strings"
 	"time"
 
 	"cogg/internal/asm"
 	"cogg/internal/batch"
+	"cogg/internal/blob"
 	"cogg/internal/codegen"
 	"cogg/internal/faultinject"
 	"cogg/internal/ir"
@@ -264,17 +267,125 @@ func translateSession(t *modTarget, ses codegen.EngineSession, u batch.IFUnit) b
 	}
 }
 
+// deckCacheEntry is the blob-cached form of a deck-producing compile:
+// everything a CompileResponse needs, so a warm replica answers a
+// repeated deck request from the artifact tier without touching the
+// pipeline — and a fleet peer's deck serves here byte-identically.
+type deckCacheEntry struct {
+	Listing      string `json:"listing"`
+	Tokens       int    `json:"tokens"`
+	Reductions   int    `json:"reductions"`
+	Instructions int    `json:"instructions"`
+	CodeBytes    int    `json:"code_bytes"`
+	Deck         string `json:"deck_b64"`
+}
+
+// deckCacheable: only plain deck-producing Pascal successes are
+// cached. Explain output is interpreter-provenance (cheap to re-derive,
+// huge to store) and showIF is a debugging view; both stay uncached.
+func (p *pending) deckCacheable() bool {
+	return p.deck && !p.explain && !p.showIF && p.lang == langPascal
+}
+
+// deckKey derives a deck's blob key from everything the output depends
+// on: the scheme tag, the module key (which already covers format
+// version + spec name + spec source), the unit name and source, and the
+// shaper option flags.
+func deckKey(mt *modTarget, p *pending) string {
+	o := p.opt
+	flags := fmt.Sprintf("sr=%v sc=%v uc=%v cse=%v",
+		o.StatementRecords, o.SubscriptChecks, o.UninitChecks, o.CSE != nil)
+	return blob.DigestParts("deck/v1", mt.key, p.name, p.source, flags)
+}
+
+// deckCacheGet answers one pending from the blob tier; any miss or
+// malformed entry falls through to compilation.
+func (s *Server) deckCacheGet(mt *modTarget, p *pending) (CompileResponse, bool) {
+	if s.blobStore == nil {
+		return CompileResponse{}, false
+	}
+	key := deckKey(mt, p)
+	data, err := s.blobStore.Get(p.ctx, key)
+	if err != nil {
+		return CompileResponse{}, false
+	}
+	var e deckCacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Deck == "" {
+		// Intact bytes that are not a deck entry: drop and recompile.
+		_ = s.blobStore.Delete(p.ctx, key)
+		return CompileResponse{}, false
+	}
+	return CompileResponse{
+		Name:         p.name,
+		Listing:      e.Listing,
+		Tokens:       e.Tokens,
+		Reductions:   e.Reductions,
+		Instructions: e.Instructions,
+		CodeBytes:    e.CodeBytes,
+		Deck:         e.Deck,
+	}, true
+}
+
+// deckCachePut publishes one successful deck compile into the blob
+// tier (best-effort) and, when a disk tier exists, upserts the index
+// sidecar so `cogg cache ls` can name the digest.
+func (s *Server) deckCachePut(mt *modTarget, p *pending, resp CompileResponse) {
+	if s.blobStore == nil {
+		return
+	}
+	data, err := json.Marshal(deckCacheEntry{
+		Listing:      resp.Listing,
+		Tokens:       resp.Tokens,
+		Reductions:   resp.Reductions,
+		Instructions: resp.Instructions,
+		CodeBytes:    resp.CodeBytes,
+		Deck:         resp.Deck,
+	})
+	if err != nil {
+		return
+	}
+	key := deckKey(mt, p)
+	if err := s.blobStore.Put(p.ctx, key, data); err != nil {
+		return
+	}
+	if s.opts.CacheDir != "" {
+		_ = blob.UpdateIndex(s.opts.CacheDir, blob.IndexEntry{
+			Name:    mt.specName + "/" + p.name,
+			Version: "deck/v1",
+			Kind:    "deck",
+			Key:     key,
+			Content: blob.Sum(data),
+			Size:    int64(len(data)),
+		})
+	}
+}
+
 // executePascal compiles Pascal units through the full driver pipeline.
 // The front end allocates per program regardless, so this path uses the
 // service's stock per-unit sessions rather than the pool; the raw-IF
-// path is the allocation-free one.
+// path is the allocation-free one. Deck-producing units consult the
+// blob tier first — a deck compiled by any replica in the fleet serves
+// here without re-entering the pipeline.
 func (s *Server) executePascal(mt *modTarget, ps []*pending) {
-	units := make([]batch.Unit, len(ps))
-	for i, p := range ps {
+	run := make([]*pending, 0, len(ps))
+	for _, p := range ps {
+		if p.deckCacheable() {
+			if resp, ok := s.deckCacheGet(mt, p); ok {
+				p.finish(http.StatusOK, resp)
+				continue
+			}
+		}
+		run = append(run, p)
+	}
+	if len(run) == 0 {
+		return
+	}
+	units := make([]batch.Unit, len(run))
+	for i, p := range run {
 		units[i] = batch.Unit{Name: p.name, Source: p.source, Opt: p.opt, Ctx: p.ctx}
 	}
 	results := s.svc.CompileBatch(mt.tgt, units)
-	for i, p := range ps {
+	for i, p := range run {
 		r := results[i]
 		if r.Err != nil {
 			f := failureFor(r.Err, r.Mode)
@@ -309,6 +420,9 @@ func (s *Server) executePascal(mt *modTarget, ps []*pending) {
 				continue
 			}
 			resp.Deck = base64.StdEncoding.EncodeToString([]byte(b.String()))
+			if p.deckCacheable() {
+				s.deckCachePut(mt, p, resp)
+			}
 		}
 		p.finish(http.StatusOK, resp)
 	}

@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"cogg/internal/batch"
+	"cogg/internal/blob"
 	"cogg/internal/codegen"
 	"cogg/internal/driver"
 	"cogg/internal/faultinject"
@@ -87,8 +88,28 @@ type Options struct {
 
 	// Workers bounds the batch worker pool; <= 0 means GOMAXPROCS.
 	Workers int
-	// CacheDir is the on-disk table-module cache; empty disables it.
+	// CacheDir is the on-disk table-module cache; empty disables the
+	// disk blob tier (the in-memory blob tier still serves).
 	CacheDir string
+	// BlobPeers are base URLs of fleet peers (replicas or fronts)
+	// serving the artifact API; when set, a remote tier joins the blob
+	// store beneath the batch service, so a cold start warm-fetches a
+	// neighbor's already-built module instead of constructing tables.
+	// The daemon's own /v1/artifacts endpoint serves only its local
+	// tiers, never the peers — two replicas pointing at each other must
+	// not bounce a missing key forever.
+	BlobPeers []string
+	// BlobMemEntries/BlobMemBytes bound the in-memory blob tier;
+	// <= 0 means the blob package defaults (64 entries / 256 MiB).
+	BlobMemEntries int
+	BlobMemBytes   int64
+	// BlobAttemptTimeout bounds one artifact fetch attempt against a
+	// peer; <= 0 means 2s. Tests and latency-sensitive deployments
+	// shrink it — the fetch races a ~20ms local table construction.
+	BlobAttemptTimeout time.Duration
+	// Logf receives operational lines (blob warm fetches); nil is
+	// silent.
+	Logf func(format string, args ...any)
 	// PoolSize caps the reusable-session free list per module;
 	// <= 0 means 2x the worker pool.
 	PoolSize int
@@ -212,14 +233,23 @@ type Server struct {
 	stats   serverStats
 	grammar grammarTable
 
+	// artifacts is the store behind GET/HEAD/PUT /v1/artifacts/ — the
+	// LOCAL blob tiers only (memory + disk). blobStore adds the remote
+	// tier and sits beneath the batch service and the deck cache.
+	artifacts  blob.Store
+	blobStore  blob.Store
+	blobCounts map[string]*blob.Counters
+
 	reg  *obs.Registry
 	ring *obs.Ring
 }
 
 // modTarget is one specification's serving state: the instantiated
-// generator target and its session pool.
+// generator target and its session pool. key is the spec's module blob
+// key — the derivation root compiled-deck cache keys hang off.
 type modTarget struct {
 	specName string
+	key      string
 	tgt      *driver.Target
 	pool     *sessionPool
 	oracle   *oracle.Oracle
@@ -230,14 +260,43 @@ type modTarget struct {
 // collector.
 func New(opts Options) (*Server, error) {
 	opts.fill()
+	// The blob tiers, fastest first. Each backend is wrapped with its
+	// own counters so /metrics tells a memory hit from a disk hit from
+	// a fleet warm fetch.
+	counts := map[string]*blob.Counters{}
+	wrap := func(backend string, st blob.Store) blob.Store {
+		c := &blob.Counters{}
+		c.Register(opts.Registry, backend)
+		counts[backend] = c
+		return blob.WithCounters(st, c)
+	}
+	memTier := wrap("mem", blob.NewMem(opts.BlobMemEntries, opts.BlobMemBytes))
+	var fsTier, remoteTier blob.Store
+	if opts.CacheDir != "" {
+		fsTier = wrap("fs", blob.NewFS(opts.CacheDir))
+	}
+	if len(opts.BlobPeers) > 0 {
+		remoteTier = wrap("http", blob.NewRemote(blob.RemoteOptions{
+			Peers:          opts.BlobPeers,
+			AttemptTimeout: opts.BlobAttemptTimeout,
+			Logf:           opts.Logf,
+		}))
+	}
+	local := blob.NewTiered(memTier, fsTier)
+	full := blob.NewTiered(memTier, fsTier, remoteTier)
+
 	s := &Server{
 		opts: opts,
 		svc: batch.New(batch.Options{
 			Workers:     opts.Workers,
 			CacheDir:    opts.CacheDir,
+			Blob:        full,
 			UnitTimeout: opts.DefaultDeadline,
 			Engine:      opts.Engine,
 		}),
+		artifacts:     local,
+		blobStore:     full,
+		blobCounts:    counts,
 		start:         time.Now(),
 		targets:       map[string]*modTarget{},
 		queue:         make(chan *pending, opts.QueueBound),
@@ -303,6 +362,14 @@ func (s *Server) registerServerMetrics() {
 // particular).
 func (s *Server) Service() *batch.Service { return s.svc }
 
+// Artifacts exposes the store behind /v1/artifacts — the local blob
+// tiers (memory + disk), never the fleet.
+func (s *Server) Artifacts() blob.Store { return s.artifacts }
+
+// BlobCounters reports one blob backend's counters ("mem", "fs",
+// "http"); nil when that tier is not configured.
+func (s *Server) BlobCounters(backend string) *blob.Counters { return s.blobCounts[backend] }
+
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
@@ -360,7 +427,7 @@ func (s *Server) target(spec string) (*modTarget, error) {
 	if err != nil {
 		return nil, err
 	}
-	mt := &modTarget{specName: name, tgt: tgt,
+	mt := &modTarget{specName: name, key: batch.Key(name, src), tgt: tgt,
 		pool:   newSessionPool(tgt.Translator(), s.opts.PoolSize),
 		oracle: oracle.New(tgt.Mod)}
 	s.targets[name] = mt
@@ -400,6 +467,8 @@ func (s *Server) buildMux() {
 	mux.Handle("/varz", s.instrument("/varz", s.handleVarz))
 	mux.Handle("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.Handle("/v1/traces", s.instrument("/v1/traces", s.handleTraces))
+	mux.Handle(blob.ArtifactPathPrefix,
+		s.instrument("/v1/artifacts", blob.ArtifactHandler(s.artifacts, s.opts.MaxBodyBytes).ServeHTTP))
 	mux.Handle("/debug/vars", expvar.Handler())
 	if s.opts.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
