@@ -29,6 +29,11 @@
 //	-trace-ring N    request traces retained for /v1/traces (default 64)
 //	-slow D          log the span tree of requests slower than D
 //	                 (0 disables slow-request logging)
+//	-slo D           request-latency SLO threshold backing the
+//	                 cogg_slo_* burn-rate series (default 50ms)
+//	-slo-objective F target good-request fraction (default 0.99)
+//	-log-format FMT  text (default, the traditional log lines) or json
+//	                 (structured log/slog output carrying trace IDs)
 //	-pprof           mount /debug/pprof (default off; profiling endpoints
 //	                 stay unreachable unless explicitly requested)
 //	-stats           print the batch-service counters on exit
@@ -50,7 +55,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -59,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"cogg/internal/applog"
 	"cogg/internal/server"
 	"cogg/specs"
 )
@@ -81,13 +86,23 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM")
 	traceRing := flag.Int("trace-ring", 0, "request traces retained for /v1/traces (default 64)")
 	slow := flag.Duration("slow", 0, "log the span tree of requests slower than this (0 disables)")
+	sloTarget := flag.Duration("slo", 0, "request-latency SLO threshold (default 50ms)")
+	sloObjective := flag.Float64("slo-objective", 0, "SLO good-request fraction (default 0.99)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	pprofOn := flag.Bool("pprof", false, "mount /debug/pprof")
 	stats := flag.Bool("stats", false, "print batch-service counters on exit")
 	flag.Parse()
 
+	// A nil *applog.Logger degrades to plain log.Printf, so the error
+	// path below is safe even though lg is nil when New rejects the
+	// format value.
+	lg, err := applog.New(*logFormat, "cogd")
+	if err != nil {
+		lg.Fatalf("cogd: %v", err)
+	}
 	sName, sSrc, err := loadSpec(*specName)
 	if err != nil {
-		log.Fatalf("cogd: %v", err)
+		lg.Fatalf("cogd: %v", err)
 	}
 	if *specName == "risc32" {
 		*risc = true
@@ -108,24 +123,29 @@ func main() {
 		EnablePprof:        *pprofOn,
 		TraceRing:          *traceRing,
 		SlowThreshold:      *slow,
+		SLOTarget:          *sloTarget,
+		SLOObjective:       *sloObjective,
 		BlobPeers:          splitPeers(*blobPeers),
 		BlobMemEntries:     *blobMem,
 		BlobAttemptTimeout: *blobTimeout,
-		Logf:               log.Printf,
+		Logf:               lg.Printf,
+		Logger:             lg.Slog(),
 	})
 	if err != nil {
-		log.Fatalf("cogd: %v", err)
+		lg.Fatalf("cogd: %v", err)
 	}
 
 	// Listen before announcing: the logged address is the one actually
 	// bound (":0" resolves to a real port), so scripts can scrape it.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("cogd: %v", err)
+		lg.Fatalf("cogd: %v", err)
 	}
-	log.Printf("cogd: serving %s on %s (tables ready in %v)", sName, ln.Addr(), time.Since(start).Round(time.Millisecond))
+	// The port distinguishes replicas in stitched cross-process traces.
+	srv.SetProcess("cogd@" + ln.Addr().String())
+	lg.Printf("cogd: serving %s on %s (tables ready in %v)", sName, ln.Addr(), time.Since(start).Round(time.Millisecond))
 	if *pprofOn {
-		log.Printf("cogd: pprof enabled at http://%s/debug/pprof/", ln.Addr())
+		lg.Printf("cogd: pprof enabled at http://%s/debug/pprof/", ln.Addr())
 	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
@@ -136,19 +156,19 @@ func main() {
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case sig := <-sigc:
-		log.Printf("cogd: %v: draining (budget %v)", sig, *drain)
+		lg.Printf("cogd: %v: draining (budget %v)", sig, *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		if err := srv.Drain(ctx); err != nil {
-			log.Printf("cogd: drain incomplete: %v", err)
+			lg.Printf("cogd: drain incomplete: %v", err)
 		}
 		srv.Close()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("cogd: shutdown: %v", err)
+			lg.Printf("cogd: shutdown: %v", err)
 		}
 		cancel()
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("cogd: %v", err)
+			lg.Fatalf("cogd: %v", err)
 		}
 	}
 	if *stats {

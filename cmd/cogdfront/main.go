@@ -28,6 +28,8 @@
 //	-spec NAME            local tier's spec (as cogd -spec)
 //	-risc                 local tier's risc32 configuration
 //	-cache DIR            local tier's table-module cache directory
+//	-log-format FMT       text (default, the traditional log lines) or
+//	                      json (structured log/slog output)
 //
 // Endpoints mirror cogd's: POST /v1/compile, /v1/batch,
 // /v1/grammar/session, /v1/grammar/next (grammar sessions are pinned to
@@ -35,12 +37,12 @@
 // replica's URL, so the front stays stateless and any front over the
 // same replicas routes the session home regardless of -targets order),
 // GET /healthz, /readyz, /varz (replica health and policy counters),
-// /metrics (cluster_* series in Prometheus text).
+// /metrics (cluster_* series in Prometheus text), /v1/traces (recent
+// front-side span trees; ?id= filters by trace ID for cogg trace).
 package main
 
 import (
 	"flag"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -49,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"cogg/internal/applog"
 	"cogg/internal/cluster"
 	"cogg/internal/obs"
 	"cogg/internal/server"
@@ -68,8 +71,15 @@ func main() {
 	specName := flag.String("spec", "amdahl470", "local tier's code generator specification")
 	risc := flag.Bool("risc", false, "local tier's risc32 target configuration")
 	cacheDir := flag.String("cache", "", "local tier's table-module cache directory")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
 
+	// A nil *applog.Logger degrades to plain log.Printf, so the error
+	// path is safe even though lg is nil when New rejects the format.
+	lg, err := applog.New(*logFormat, "cogdfront")
+	if err != nil {
+		lg.Fatalf("cogdfront: %v", err)
+	}
 	var urls []string
 	for _, t := range strings.Split(*targets, ",") {
 		if t = strings.TrimSpace(t); t != "" {
@@ -77,7 +87,7 @@ func main() {
 		}
 	}
 	if len(urls) == 0 {
-		log.Fatal("cogdfront: -targets is required (comma-separated cogd base URLs)")
+		lg.Fatalf("cogdfront: -targets is required (comma-separated cogd base URLs)")
 	}
 
 	reg := obs.NewRegistry()
@@ -105,26 +115,32 @@ func main() {
 				Risc:     *risc || *specName == "risc32",
 				CacheDir: *cacheDir,
 				Registry: reg,
+				Process:  "cogdfront-local",
+				Logf:     lg.Printf,
+				Logger:   lg.Slog(),
 			})
 			if err != nil {
 				return nil, err
 			}
-			log.Printf("cogdfront: degraded: serving %s locally", name)
+			lg.Printf("cogdfront: degraded: serving %s locally", name)
 			return srv.Handler(), nil
 		}
 	}
 	cl, err := cluster.New(opts)
 	if err != nil {
-		log.Fatalf("cogdfront: %v", err)
+		lg.Fatalf("cogdfront: %v", err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("cogdfront: %v", err)
+		lg.Fatalf("cogdfront: %v", err)
 	}
-	log.Printf("cogdfront: serving %d replicas (%s) on %s", len(urls), strings.Join(cl.Replicas(), ", "), ln.Addr())
+	lg.Printf("cogdfront: serving %d replicas (%s) on %s", len(urls), strings.Join(cl.Replicas(), ", "), ln.Addr())
 
-	httpSrv := &http.Server{Handler: cluster.NewFront(cl).Handler()}
+	front := cluster.NewFront(cl)
+	// The bound address distinguishes this front in stitched traces.
+	front.SetProcess("cogdfront@" + ln.Addr().String())
+	httpSrv := &http.Server{Handler: front.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
@@ -132,11 +148,11 @@ func main() {
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case sig := <-sigc:
-		log.Printf("cogdfront: %v: shutting down", sig)
+		lg.Printf("cogdfront: %v: shutting down", sig)
 		cl.Close()
 		_ = httpSrv.Close()
 	case err := <-errc:
-		log.Fatalf("cogdfront: %v", err)
+		lg.Fatalf("cogdfront: %v", err)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	cogg explain [flags] [input-file]
 //	cogg emit-go -o DIR [flags]
 //	cogg cache <ls|gc|verify> -dir DIR
+//	cogg trace -targets URL[,URL...] [-id TRACE-ID]
 //
 // Without a spec file the built-in Amdahl 470 specification is used; the
 // names "amdahl470", "amdahl-minimal", and "risc32" select the other
@@ -30,6 +31,12 @@
 // the blobs on disk, gc deletes unreferenced blobs past an age floor,
 // and verify re-hashes every entry and reports manifest drift. See
 // `cogg cache -h`.
+//
+// The trace subcommand collects one request's trace fragments from
+// every fleet process (/v1/traces?id= on the front and the replicas),
+// stitches them into a single cross-process timeline by span ID, and
+// prints the tree — hedged attempts, breaker rejections, failovers, and
+// peer blob fetches included. See `cogg trace -h`.
 //
 //	-stats      print Table 1 (grammar and parse table statistics), plus
 //	            the batch-service counters when -cache is in use
@@ -81,6 +88,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "cache" {
 		runCache(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
 		return
 	}
 	stats := flag.Bool("stats", true, "print Table 1 statistics")

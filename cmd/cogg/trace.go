@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"cogg/internal/obs"
+)
+
+// runTrace implements `cogg trace`: fan a /v1/traces query out across
+// fleet processes (front and replicas), stitch the per-process
+// fragments of one trace ID into a single cross-process timeline, and
+// render it as an indented tree (or JSON with -json). Without -id it
+// lists the trace IDs each target currently retains, so an ID can be
+// picked for stitching.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("cogg trace", flag.ExitOnError)
+	targets := fs.String("targets", "", "comma-separated fleet base URLs to collect fragments from (front and replicas)")
+	id := fs.String("id", "", "trace ID to stitch; empty lists recent trace IDs per target")
+	n := fs.Int("n", 10, "recent traces listed per target when no -id is given")
+	jsonOut := fs.Bool("json", false, "emit the stitched trace as JSON instead of a tree")
+	minProcs := fs.Int("min-procs", 0, "fail unless the stitched trace spans at least this many processes")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-target collection deadline")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cogg trace -targets URL[,URL...] [-id TRACE-ID] [-n N] [-json] [-min-procs N]\n")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+
+	var urls []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			urls = append(urls, strings.TrimRight(t, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "cogg trace: -targets is required (comma-separated fleet base URLs)")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	if *id == "" {
+		listTraces(client, urls, *n)
+		return
+	}
+
+	// Collect every target's fragments for the trace. A target that is
+	// down or never saw the trace contributes nothing; stitching works
+	// from whatever subset answered (missing parents become orphans).
+	var frags []*obs.TraceData
+	for _, u := range urls {
+		got, err := fetchTraces(client, u+"/v1/traces?id="+*id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cogg trace: %s: %v (skipping)\n", u, err)
+			continue
+		}
+		frags = append(frags, got...)
+	}
+	if len(frags) == 0 {
+		fmt.Fprintf(os.Stderr, "cogg trace: no fragments for trace %s on any target\n", *id)
+		os.Exit(1)
+	}
+
+	st := obs.Stitch(frags)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Print(st.Tree())
+	}
+	if len(st.Processes) < *minProcs {
+		fmt.Fprintf(os.Stderr, "cogg trace: trace %s spans %d process(es), want >= %d\n",
+			st.ID, len(st.Processes), *minProcs)
+		os.Exit(1)
+	}
+}
+
+// listTraces prints the trace IDs each target retains, newest first —
+// enough to pick an -id for stitching.
+func listTraces(client *http.Client, urls []string, n int) {
+	for _, u := range urls {
+		got, err := fetchTraces(client, fmt.Sprintf("%s/v1/traces?n=%d", u, n))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cogg trace: %s: %v (skipping)\n", u, err)
+			continue
+		}
+		fmt.Printf("%s: %d trace(s)\n", u, len(got))
+		// A ring holds several fragments of one trace (retries); collapse
+		// to one line per ID, keeping the first (newest) fragment's shape.
+		seen := map[string]bool{}
+		ids := make([]string, 0, len(got))
+		byID := map[string]*obs.TraceData{}
+		for _, td := range got {
+			if td == nil || seen[td.ID] {
+				continue
+			}
+			seen[td.ID] = true
+			ids = append(ids, td.ID)
+			byID[td.ID] = td
+		}
+		sort.SliceStable(ids, func(i, j int) bool {
+			return byID[ids[i]].Begin.After(byID[ids[j]].Begin)
+		})
+		for _, tid := range ids {
+			td := byID[tid]
+			line := fmt.Sprintf("  %s  %-24s %v spans=%d", td.ID, td.Name,
+				time.Duration(td.DurNS).Round(time.Microsecond), len(td.Spans))
+			if td.Failure != "" {
+				line += " failure=" + td.Failure
+			}
+			fmt.Println(line)
+		}
+	}
+}
+
+// fetchTraces GETs one /v1/traces URL and decodes the {"traces":[...]}
+// payload shared by cogd and cogdfront.
+func fetchTraces(client *http.Client, url string) ([]*obs.TraceData, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var payload struct {
+		Traces []*obs.TraceData `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, err
+	}
+	return payload.Traces, nil
+}

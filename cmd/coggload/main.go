@@ -46,6 +46,10 @@
 //	              into the summary — how much work came warm from the
 //	              shared tier versus built from source; in a fleet run
 //	              each key is prefixed by the replica's host:port
+//	-report-slo   scrape each target's /metrics cogg_slo_* series —
+//	              request/breach totals and the 1m/10m burn-rate gauges —
+//	              into the summary, so a load run records how far the
+//	              fleet was from its latency objective
 //
 // Latency is reported per HTTP status as well as in aggregate: each
 // status' count and p50/p95/p99 are printed and included in the JSON,
@@ -135,6 +139,7 @@ func main() {
 	out := flag.String("o", "", "write benchgate-compatible JSON summary")
 	note := flag.String("note", "", "note stored in the JSON summary")
 	reportBlob := flag.Bool("report-blob", false, "scrape each target's /metrics cogg_blob_* and cache counters into the summary")
+	reportSLO := flag.Bool("report-slo", false, "scrape each target's /metrics cogg_slo_* burn-rate series into the summary")
 	flag.Parse()
 
 	if *synthDir != "" {
@@ -268,9 +273,12 @@ func main() {
 		target = strings.Join(targets, ", ")
 	}
 	snap := cl.Snapshot()
-	var extra map[string]float64
+	extra := map[string]float64{}
 	if *reportBlob {
-		extra = scrapeBlobMetrics(targets, multi)
+		mergeMetrics(extra, scrapeFleetMetrics(targets, multi, "cogg_blob_", "cogg_cache_"))
+	}
+	if *reportSLO {
+		mergeMetrics(extra, scrapeFleetMetrics(targets, multi, "cogg_slo_"))
 	}
 	report(os.Stdout, mode, target, results, elapsed, *benchName, *out, *note, multi, snap, extra)
 }
@@ -551,17 +559,18 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// scrapeBlobMetrics pulls the artifact-tier counters (cogg_blob_* and
-// cogg_cache_*) out of each target's /metrics exposition, so a load
-// run's summary records how much of the fleet's work came warm from
-// the shared tier versus built from source. With one target the series
-// keep their bare names ("blob-hits-http"); in a fleet run each key is
-// prefixed by the replica's host:port so benchgate can watch the cold
-// replica specifically.
-func scrapeBlobMetrics(targets []string, multi bool) map[string]float64 {
+// scrapeFleetMetrics pulls the series matching the given name prefixes
+// out of each target's /metrics exposition. -report-blob uses it for
+// the artifact-tier counters (how much of the fleet's work came warm
+// from the shared tier versus built from source); -report-slo for the
+// burn-rate gauges and breach counters. With one target the series keep
+// their bare names ("blob-hits-http", "slo-burn-rate-compile-1m"); in a
+// fleet run each key is prefixed by the replica's host:port so
+// benchgate can watch one replica specifically.
+func scrapeFleetMetrics(targets []string, multi bool, prefixes ...string) map[string]float64 {
 	out := map[string]float64{}
 	for _, target := range targets {
-		series, err := scrapeTarget(target)
+		series, err := scrapeTarget(target, prefixes)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "coggload: scraping %s/metrics: %v\n", target, err)
 			continue
@@ -579,10 +588,18 @@ func scrapeBlobMetrics(targets []string, multi bool) map[string]float64 {
 	return out
 }
 
-// scrapeTarget parses the blob/cache counter lines of one Prometheus
-// text exposition. "cogg_blob_hits_total{backend="fs"} 3" becomes
-// blob-hits-fs=3; histogram bucket series are skipped.
-func scrapeTarget(target string) (map[string]float64, error) {
+// mergeMetrics folds src into dst, summing on key collisions.
+func mergeMetrics(dst, src map[string]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// scrapeTarget parses the matching sample lines of one Prometheus text
+// exposition. "cogg_blob_hits_total{backend="fs"} 3" becomes
+// blob-hits-fs=3; histogram bucket series (which may carry exemplar
+// suffixes) are skipped.
+func scrapeTarget(target string, prefixes []string) (map[string]float64, error) {
 	resp, err := http.Get(target + "/metrics")
 	if err != nil {
 		return nil, err
@@ -595,7 +612,14 @@ func scrapeTarget(target string) (map[string]float64, error) {
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
-		if !strings.HasPrefix(line, "cogg_blob_") && !strings.HasPrefix(line, "cogg_cache_") {
+		matched := false
+		for _, p := range prefixes {
+			if strings.HasPrefix(line, p) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
 			continue
 		}
 		sp := strings.LastIndexByte(line, ' ')
@@ -610,14 +634,14 @@ func scrapeTarget(target string) (map[string]float64, error) {
 		if err != nil {
 			continue
 		}
-		series[blobMetricKey(name)] += v
+		series[metricKey(name)] += v
 	}
 	return series, sc.Err()
 }
 
-// blobMetricKey flattens one exposition series name into a benchgate
+// metricKey flattens one exposition series name into a benchgate
 // metric key: prefix and _total stripped, label values folded in.
-func blobMetricKey(name string) string {
+func metricKey(name string) string {
 	labels := ""
 	if i := strings.IndexByte(name, '{'); i >= 0 {
 		for _, pair := range strings.Split(strings.Trim(name[i:], "{}"), ",") {

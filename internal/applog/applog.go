@@ -1,0 +1,99 @@
+// Package applog is the daemons' logging seam behind the -log-format
+// flag. Text mode (the default) keeps the traditional log.Printf lines
+// byte-compatible with what cogd and cogdfront have always emitted, so
+// existing grep-based tooling keeps working; json mode switches every
+// line to log/slog structured output — one JSON object per line — and
+// hands the embedding server a *slog.Logger so request-scoped reports
+// (slow-request trees) carry trace IDs as first-class attributes
+// instead of being buried in formatted prose.
+package applog
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+)
+
+// Logger routes daemon operational lines per the chosen format.
+type Logger struct {
+	json      *slog.Logger
+	component string
+}
+
+// New builds a logger for -log-format value format ("", "text", or
+// "json"); component tags every structured line ("cogd", "cogdfront").
+func New(format, component string) (*Logger, error) {
+	switch format {
+	case "", "text":
+		return &Logger{component: component}, nil
+	case "json":
+		return &Logger{
+			json:      slog.New(slog.NewJSONHandler(os.Stderr, nil)).With("component", component),
+			component: component,
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
+// Printf emits one operational line. Text mode is exactly log.Printf —
+// call sites keep their historical "cogd: ..." phrasing; json mode
+// wraps the same formatted message in a structured record.
+func (l *Logger) Printf(format string, args ...any) {
+	if l == nil || l.json == nil {
+		log.Printf(format, args...)
+		return
+	}
+	l.json.Info(fmt.Sprintf(format, args...))
+}
+
+// Info emits a structured line: msg plus key/value attrs. Text mode
+// renders them as logfmt-style suffixes on a log.Printf line.
+func (l *Logger) Info(msg string, attrs ...any) {
+	if l == nil || l.json == nil {
+		log.Printf("%s: %s%s", l.comp(), msg, renderAttrs(attrs))
+		return
+	}
+	l.json.Info(msg, attrs...)
+}
+
+// Fatalf logs and exits 1, both modes.
+func (l *Logger) Fatalf(format string, args ...any) {
+	if l == nil || l.json == nil {
+		log.Fatalf(format, args...)
+	}
+	l.json.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+// Slog exposes the structured logger, nil in text mode — servers use it
+// to decide between structured and legacy slow-request reporting.
+func (l *Logger) Slog() *slog.Logger {
+	if l == nil {
+		return nil
+	}
+	return l.json
+}
+
+func (l *Logger) comp() string {
+	if l == nil || l.component == "" {
+		return "log"
+	}
+	return l.component
+}
+
+// renderAttrs formats alternating key/value pairs as " k=v" suffixes.
+func renderAttrs(attrs []any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	out := ""
+	for i := 0; i+1 < len(attrs); i += 2 {
+		out += fmt.Sprintf(" %v=%v", attrs[i], attrs[i+1])
+	}
+	if len(attrs)%2 == 1 {
+		out += fmt.Sprintf(" %v", attrs[len(attrs)-1])
+	}
+	return out
+}

@@ -13,6 +13,7 @@ import (
 
 	"cogg/internal/faultinject"
 	"cogg/internal/fleet"
+	"cogg/internal/obs"
 )
 
 // ArtifactPathPrefix is the cogd artifact API mount point; a blob key
@@ -239,10 +240,36 @@ func retryAfterOf(err error) time.Duration {
 func (r *Remote) attemptGet(ctx context.Context, p *remotePeer, key string) (payload []byte, err error, retryable bool) {
 	actx, cancel := context.WithTimeout(ctx, r.opts.AttemptTimeout)
 	defer cancel()
+	// When the read happens inside a traced request (a deck cache miss
+	// warm-fetching a peer), the peer fetch is a child span and the
+	// peer's artifact handler — which records its own server fragment —
+	// parents under it via the injected headers. Singleflight followers
+	// share the leader's fetch, so only the leader's trace carries it.
+	tr, parent := obs.FromContext(ctx)
+	span := -1
+	if tr != nil {
+		span = tr.StartSpan("blob-get:"+p.url, parent)
+		defer func() {
+			switch {
+			case err == nil:
+				tr.Annotate(span, "warm-fetch")
+			case errors.Is(err, ErrNotFound):
+				tr.Annotate(span, "peer-miss")
+			case retryable:
+				tr.Annotate(span, "retryable-error")
+			default:
+				tr.Annotate(span, "error")
+			}
+			tr.EndSpan(span)
+		}()
+	}
 	req, err := http.NewRequestWithContext(actx, http.MethodGet, p.url+ArtifactPathPrefix+key, nil)
 	if err != nil {
 		p.br.CancelProbe()
 		return nil, err, false
+	}
+	if tr != nil {
+		obs.Inject(req.Header, tr.ID(), tr.SpanID(span))
 	}
 	t0 := time.Now()
 	resp, err := r.hc.Do(req)
@@ -332,9 +359,21 @@ func (r *Remote) Put(ctx context.Context, key string, payload []byte) error {
 	return lastErr
 }
 
-func (r *Remote) putTo(ctx context.Context, p *remotePeer, key, sum string, payload []byte) error {
+func (r *Remote) putTo(ctx context.Context, p *remotePeer, key, sum string, payload []byte) (err error) {
 	actx, cancel := context.WithTimeout(ctx, r.opts.AttemptTimeout)
 	defer cancel()
+
+	tr, parent := obs.FromContext(ctx)
+	span := -1
+	if tr != nil {
+		span = tr.StartSpan("blob-put:"+p.url, parent)
+		defer func() {
+			if err != nil {
+				tr.Annotate(span, "error")
+			}
+			tr.EndSpan(span)
+		}()
+	}
 
 	// HEAD first: identical content already there means no body to send.
 	head, err := http.NewRequestWithContext(actx, http.MethodHead, p.url+ArtifactPathPrefix+key, nil)
@@ -347,6 +386,9 @@ func (r *Remote) putTo(ctx context.Context, p *remotePeer, key, sum string, payl
 		resp.Body.Close()
 		if resp.StatusCode == http.StatusOK && etagDigest(resp.Header.Get("ETag")) == sum {
 			p.br.Success()
+			if tr != nil {
+				tr.Annotate(span, "dedup")
+			}
 			return nil
 		}
 	}
@@ -358,6 +400,9 @@ func (r *Remote) putTo(ctx context.Context, p *remotePeer, key, sum string, payl
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	req.Header.Set(ContentDigestHeader, sum)
+	if tr != nil {
+		obs.Inject(req.Header, tr.ID(), tr.SpanID(span))
+	}
 	resp, err := r.hc.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {

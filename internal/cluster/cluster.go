@@ -351,11 +351,31 @@ func (c *Client) DoNoHedge(ctx context.Context, path, key string, body []byte) (
 }
 
 func (c *Client) do(ctx context.Context, path, key string, body []byte, hedge bool) (*Result, error) {
+	// The whole policy decision — every retry, hedge, failover, and the
+	// degraded fallback — is one span; each launched attempt is a child
+	// under it (attemptHedged). Outcome annotations land here so the
+	// stitched timeline explains *why* the routing did what it did.
+	tr, parent := obs.FromContext(ctx)
+	pspan := -1
+	if tr != nil {
+		pspan = tr.StartSpan("cluster:"+path, parent)
+		defer tr.EndSpan(pspan)
+		ctx = obs.ContextWith(ctx, tr, pspan)
+	}
 	order := c.ring.order(key)
 	owner := order[0]
 	var last attemptRes
 	attempts, hedges := 0, 0
 	for try := 0; try <= c.opts.MaxRetries; try++ {
+		if tr != nil {
+			// Read-only breaker peek (State, not Allow): record which
+			// replicas the picker is about to route around.
+			for _, r := range order {
+				if r.br.State() == BreakerOpen {
+					tr.Annotate(pspan, "breaker-open:"+r.name)
+				}
+			}
+		}
 		// Rotate the starting preference by try so a retry after a
 		// failed owner attempt goes straight to the first fallback.
 		primary := c.pick(order, try, nil)
@@ -372,21 +392,33 @@ func (c *Client) do(ctx context.Context, path, key string, body []byte, hedge bo
 			ar.res.Attempts, ar.res.Hedges = attempts, hedges
 			if ar.rep != owner {
 				c.m.failovers.Inc()
+				if tr != nil {
+					tr.Annotate(pspan, "failover:"+ar.rep.name)
+				}
 			}
 			return ar.res, nil
 		}
 		last = ar
 		if try < c.opts.MaxRetries {
 			c.m.retries.Inc()
+			if tr != nil {
+				tr.Annotate(pspan, "retry")
+				if ar.retryAfter > 0 {
+					tr.Annotate(pspan, "retry-after="+ar.retryAfter.String())
+				}
+			}
 			if !sleepCtx(ctx, c.backoff(try, ar.retryAfter)) {
 				return nil, ctx.Err()
 			}
 		}
 	}
 	if c.opts.Local != nil {
-		res, err := c.localDo(path, body)
+		res, err := c.localDo(ctx, path, body)
 		if err == nil {
 			c.m.degraded.Inc()
+			if tr != nil {
+				tr.Annotate(pspan, "degraded")
+			}
 			res.Attempts, res.Hedges = attempts, hedges
 			return res, nil
 		}
@@ -416,7 +448,18 @@ func (c *Client) DoAt(ctx context.Context, idx int, path string, body []byte) (*
 	if !rep.admissible() {
 		return nil, fmt.Errorf("cluster: replica %s is not admissible", rep.name)
 	}
+	tr, cur := obs.FromContext(ctx)
+	span := -1
+	if tr != nil {
+		span = tr.StartSpan("attempt:"+rep.name, cur)
+		tr.Annotate(span, "sticky")
+		ctx = obs.ContextWith(ctx, tr, span)
+	}
 	ar := c.send(ctx, rep, path, body)
+	if tr != nil {
+		tr.Annotate(span, outcomeNote(ar))
+		tr.EndSpan(span)
+	}
 	if ar.res == nil {
 		if ar.ctxErr != nil {
 			return nil, ar.ctxErr

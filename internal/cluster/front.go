@@ -1,12 +1,15 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+
+	"cogg/internal/obs"
 )
 
 // Front is the reverse-proxy tier over a Client: the handler cogdfront
@@ -18,11 +21,42 @@ import (
 // and a restart (or a second front with the same targets in any order)
 // still routes every open session home.
 type Front struct {
-	c *Client
+	c       *Client
+	ring    *obs.Ring
+	process string
 }
 
 // NewFront wraps a Client.
-func NewFront(c *Client) *Front { return &Front{c: c} }
+func NewFront(c *Client) *Front {
+	return &Front{c: c, ring: obs.NewRing(256), process: "cogdfront"}
+}
+
+// SetProcess names this front in exported trace fragments
+// ("cogdfront@:8471"). Call before serving traffic.
+func (f *Front) SetProcess(p string) { f.process = p }
+
+// startTrace opens the front's own trace fragment for one inbound
+// request: parented from inbound propagation headers when the caller
+// sent any, rooted fresh otherwise. Everything the policy engine does
+// downstream — attempts, hedges, the degraded tier — hangs under the
+// returned context's span.
+func (f *Front) startTrace(r *http.Request, name string) (*obs.Trace, int, context.Context) {
+	tid, parent := obs.Extract(r.Header)
+	tr := obs.NewTrace(tid, name)
+	tr.SetProcess(f.process)
+	if parent != "" {
+		tr.SetRemoteParent(parent)
+	}
+	span := tr.StartSpan("request", -1)
+	return tr, span, obs.ContextWith(r.Context(), tr, span)
+}
+
+// finishTrace closes the request span and publishes the fragment to the
+// front's ring, where /v1/traces (and cogg trace) can collect it.
+func (f *Front) finishTrace(tr *obs.Trace, span int) {
+	tr.EndSpan(span)
+	f.ring.Add(tr.Snapshot())
+}
 
 // Handler builds the front's mux:
 //
@@ -52,6 +86,7 @@ func (f *Front) Handler() http.Handler {
 	mux.HandleFunc("/readyz", f.handleReadyz)
 	mux.HandleFunc("/varz", f.handleVarz)
 	mux.HandleFunc("/metrics", f.handleMetrics)
+	mux.HandleFunc("/v1/traces", f.handleTraces)
 	mux.HandleFunc("/v1/artifacts/", f.handleArtifacts)
 	return mux
 }
@@ -138,12 +173,41 @@ func (f *Front) proxy(w http.ResponseWriter, r *http.Request, path string, keyFn
 		writeFrontError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
 		return
 	}
-	res, err := f.c.Do(r.Context(), path, keyFn(body), body)
+	tr, span, ctx := f.startTrace(r, "proxy:"+path)
+	defer f.finishTrace(tr, span)
+	w.Header().Set(obs.TraceIDHeader, tr.ID())
+	res, err := f.c.Do(ctx, path, keyFn(body), body)
 	if err != nil {
+		tr.SetFailure("no-answer")
 		writeFrontError(w, http.StatusBadGateway, err)
 		return
 	}
 	writeResult(w, res)
+}
+
+// handleTraces exports the front's completed trace fragments, the same
+// JSON shape as cogd's /v1/traces: {"traces":[...]}, newest first.
+// ?id= filters to one trace's fragments; ?n= bounds the count.
+func (f *Front) handleTraces(w http.ResponseWriter, r *http.Request) {
+	var out []*obs.TraceData
+	if id := r.URL.Query().Get("id"); id != "" {
+		out = f.ring.Find(id)
+	} else {
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				writeFrontError(w, http.StatusBadRequest, fmt.Errorf("n must be a non-negative integer"))
+				return
+			}
+			n = v
+		}
+		out = f.ring.Snapshot(n)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Traces []*obs.TraceData `json:"traces"`
+	}{Traces: out})
 }
 
 // handleGrammarSession opens a cursor somewhere in the fleet and brands
@@ -163,8 +227,12 @@ func (f *Front) handleGrammarSession(w http.ResponseWriter, r *http.Request) {
 		writeFrontError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
 		return
 	}
-	res, err := f.c.DoNoHedge(r.Context(), "/v1/grammar/session", specKeyCompile(body), body)
+	tr, span, ctx := f.startTrace(r, "proxy:/v1/grammar/session")
+	defer f.finishTrace(tr, span)
+	w.Header().Set(obs.TraceIDHeader, tr.ID())
+	res, err := f.c.DoNoHedge(ctx, "/v1/grammar/session", specKeyCompile(body), body)
 	if err != nil {
+		tr.SetFailure("no-answer")
 		writeFrontError(w, http.StatusBadGateway, err)
 		return
 	}
@@ -204,13 +272,16 @@ func (f *Front) handleGrammarNext(w http.ResponseWriter, r *http.Request) {
 	req.SessionID = inner
 	fwd, _ := json.Marshal(req)
 
+	tr, span, ctx := f.startTrace(r, "proxy:/v1/grammar/next")
+	defer f.finishTrace(tr, span)
+	w.Header().Set(obs.TraceIDHeader, tr.ID())
 	var res *Result
 	if prefix == "local" {
 		if f.c.opts.Local == nil {
 			writeFrontError(w, http.StatusBadGateway, fmt.Errorf("local session but no local tier configured"))
 			return
 		}
-		res, err = f.c.localDo("/v1/grammar/next", fwd)
+		res, err = f.c.localDo(ctx, "/v1/grammar/next", fwd)
 	} else {
 		rep, ok := f.c.replicaByToken(prefix)
 		if !ok {
@@ -218,9 +289,10 @@ func (f *Front) handleGrammarNext(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("session prefix %q matches no replica in this front's target set", prefix))
 			return
 		}
-		res, err = f.c.DoAt(r.Context(), rep.idx, "/v1/grammar/next", fwd)
+		res, err = f.c.DoAt(ctx, rep.idx, "/v1/grammar/next", fwd)
 	}
 	if err != nil {
+		tr.SetFailure("no-answer")
 		writeFrontError(w, http.StatusBadGateway, err)
 		return
 	}

@@ -2,9 +2,12 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+
+	"cogg/internal/obs"
 )
 
 // localDo serves one request through the degradation tier: an
@@ -12,7 +15,7 @@ import (
 // The JSON response gets "degraded":true injected so callers — and the
 // humans reading coggload reports — can tell a locally compiled answer
 // from a fleet one.
-func (c *Client) localDo(path string, body []byte) (*Result, error) {
+func (c *Client) localDo(ctx context.Context, path string, body []byte) (*Result, error) {
 	c.localMu.Lock()
 	if c.localH == nil && c.localErr == nil {
 		c.localH, c.localErr = c.opts.Local()
@@ -23,8 +26,21 @@ func (c *Client) localDo(path string, body []byte) (*Result, error) {
 		return nil, err
 	}
 
+	// The degraded tier is a process-internal hop, but it propagates
+	// exactly like a network one: a local-fallback span plus injected
+	// headers, so the in-process server's fragment still parents under
+	// this request instead of orphaning.
+	tr, parent := obs.FromContext(ctx)
+	span := -1
+	if tr != nil {
+		span = tr.StartSpan("local-fallback", parent)
+		defer tr.EndSpan(span)
+	}
 	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
 	req.Header.Set("Content-Type", "application/json")
+	if tr != nil {
+		obs.Inject(req.Header, tr.ID(), tr.SpanID(span))
+	}
 	rec := &recorder{hdr: http.Header{}, status: http.StatusOK}
 	h.ServeHTTP(rec, req)
 

@@ -42,7 +42,8 @@ func newMetrics(reg *obs.Registry, reps []*replica) *metrics {
 		degraded: reg.Counter("cluster_degraded_total",
 			"Requests served by local in-process compilation because no replica could answer.", ""),
 		latency: reg.Histogram("cluster_attempt_seconds",
-			"Per-attempt latency against replicas, in seconds.", "", obs.LatencyBuckets),
+			"Per-attempt latency against replicas, in seconds; buckets carry trace-ID exemplars.",
+			"", obs.LatencyBuckets).EnableExemplars(),
 	}
 	for _, rep := range reps {
 		rep := rep

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"cogg/internal/fleet"
+	"cogg/internal/obs"
 )
 
 // attemptRes is one attempt's outcome as the policy engine sees it:
@@ -23,6 +25,23 @@ type attemptRes struct {
 	retryable  bool
 	retryAfter time.Duration // server's Retry-After, when sent
 	ctxErr     error         // the caller's context ended; not the replica's fault
+	span       int           // the attempt's span index in the caller's trace, -1 untraced
+}
+
+// outcomeNote classifies one attempt's result for its span annotation.
+func outcomeNote(ar attemptRes) string {
+	switch {
+	case ar.ctxErr != nil:
+		return "canceled"
+	case ar.err != nil:
+		return "transport-error"
+	case ar.res != nil && ar.retryable:
+		return fmt.Sprintf("retryable-%d", ar.res.Status)
+	case ar.res != nil:
+		return fmt.Sprintf("status-%d", ar.res.Status)
+	default:
+		return "no-answer"
+	}
 }
 
 // retryableStatus reports whether an HTTP answer may be re-sent
@@ -49,6 +68,10 @@ func (c *Client) send(ctx context.Context, rep *replica, path string, body []byt
 		return attemptRes{err: err, rep: rep, retryable: false}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the trace across the process edge: the context carries
+	// this attempt's span, so the replica's server spans parent under
+	// exactly this attempt — hedged duplicates get distinct parents.
+	obs.InjectContext(actx, req.Header)
 	c.m.attempts.Inc()
 	t0 := time.Now()
 	resp, err := c.hc.Do(req)
@@ -97,7 +120,11 @@ func (c *Client) send(ctx context.Context, rep *replica, path string, body []byt
 		c.m.replica(rep, "ok").Inc()
 		c.lat.observe(elapsed)
 	}
-	c.m.latency.ObserveDuration(elapsed)
+	if tr, _ := obs.FromContext(ctx); tr != nil {
+		c.m.latency.ObserveExemplar(elapsed.Seconds(), tr.ID())
+	} else {
+		c.m.latency.ObserveDuration(elapsed)
+	}
 	return attemptRes{
 		res: &Result{
 			Status:     resp.StatusCode,
@@ -122,11 +149,42 @@ func (c *Client) attemptHedged(ctx context.Context, primary *replica, order []*r
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Each launched copy — primary or hedged duplicate — is its own
+	// child span, opened here (synchronously, so it is in the tree even
+	// if its goroutine is still in flight when the trace is exported)
+	// and carried into send via the context so the wire headers name it
+	// as the remote parent. spans collects the launched span indices;
+	// when the race resolves, the winner and loser are annotated from
+	// the resolving side so hedge-win/hedge-lose land before the
+	// caller's snapshot, not whenever the canceled loser unwinds.
+	tr, cur := obs.FromContext(ctx)
+	var spans []int
 	ch := make(chan attemptRes, 2)
-	launch := func(rep *replica) {
-		go func() { ch <- c.send(actx, rep, path, body) }()
+	launch := func(rep *replica, kind string) {
+		span := -1
+		sctx := actx
+		if tr != nil {
+			span = tr.StartSpan("attempt:"+rep.name, cur)
+			if kind != "" {
+				tr.Annotate(span, kind)
+			}
+			sctx = obs.ContextWith(actx, tr, span)
+		}
+		spans = append(spans, span)
+		go func() {
+			ar := c.send(sctx, rep, path, body)
+			ar.span = span
+			if tr != nil {
+				tr.Annotate(span, outcomeNote(ar))
+				if ar.retryAfter > 0 {
+					tr.Annotate(span, "retry-after="+ar.retryAfter.String())
+				}
+				tr.EndSpan(span)
+			}
+			ch <- ar
+		}()
 	}
-	launch(primary)
+	launch(primary, "")
 	inflight := 1
 	hedges := 0
 
@@ -151,6 +209,14 @@ func (c *Client) attemptHedged(ctx context.Context, primary *replica, order []*r
 				if hedges > 0 && ar.rep != primary {
 					c.m.hedgeWins.Inc()
 				}
+				if tr != nil && len(spans) > 1 {
+					tr.Annotate(ar.span, "hedge-win")
+					for _, s := range spans {
+						if s != ar.span {
+							tr.Annotate(s, "hedge-lose")
+						}
+					}
+				}
 				return ar, hedges
 			}
 			lastRetryable = ar
@@ -164,11 +230,11 @@ func (c *Client) attemptHedged(ctx context.Context, primary *replica, order []*r
 			if h != nil {
 				hedges++
 				c.m.hedges.Inc()
-				launch(h)
+				launch(h, "hedge")
 				inflight++
 			}
 		case <-ctx.Done():
-			return attemptRes{ctxErr: ctx.Err(), retryable: true}, hedges
+			return attemptRes{ctxErr: ctx.Err(), retryable: true, span: -1}, hedges
 		}
 	}
 }

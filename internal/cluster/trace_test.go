@@ -1,0 +1,426 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cogg/internal/faultinject"
+	"cogg/internal/obs"
+	"cogg/internal/server"
+)
+
+// The propagation suite verifies the tentpole invariant: every path a
+// request can take through the policy engine — hedged duplicates,
+// breaker-open failovers, the degraded local tier — yields trace
+// fragments that stitch into one connected cross-process tree, never
+// orphans.
+
+// newNamedFleet is newFleet with per-replica process names, so stitched
+// timelines can tell the replicas apart.
+func newNamedFleet(t *testing.T, n int) *testFleet {
+	t.Helper()
+	f := &testFleet{}
+	for i := 0; i < n; i++ {
+		s, err := server.New(server.Options{Process: fmt.Sprintf("cogd-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		f.servers = append(f.servers, s)
+		f.https = append(f.https, ts)
+		f.urls = append(f.urls, ts.URL)
+	}
+	t.Cleanup(func() {
+		for _, ts := range f.https {
+			ts.Close()
+		}
+		for _, s := range f.servers {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = s.Drain(ctx)
+			cancel()
+			s.Close()
+		}
+	})
+	return f
+}
+
+// newClientTrace builds the caller-side trace with a root request span,
+// as cogdfront's startTrace does.
+func newClientTrace(name string) (*obs.Trace, context.Context) {
+	tr := obs.NewTrace("", name)
+	tr.SetProcess("loadgen")
+	span := tr.StartSpan("request", -1)
+	return tr, obs.ContextWith(context.Background(), tr, span)
+}
+
+// fleetFragments collects every replica's fragments of one trace via
+// the same /v1/traces?id= endpoint cogg trace scrapes. Unreachable
+// replicas (killed mid-test) contribute nothing.
+func fleetFragments(t *testing.T, urls []string, id string) []*obs.TraceData {
+	t.Helper()
+	var frags []*obs.TraceData
+	for _, u := range urls {
+		resp, err := http.Get(u + "/v1/traces?id=" + id)
+		if err != nil {
+			continue
+		}
+		var payload struct {
+			Traces []*obs.TraceData `json:"traces"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&payload)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decoding %s/v1/traces: %v", u, err)
+		}
+		frags = append(frags, payload.Traces...)
+	}
+	return frags
+}
+
+// allNotes flattens a fragment set's span notes for containment checks.
+func allNotes(frags []*obs.TraceData) string {
+	var b strings.Builder
+	for _, f := range frags {
+		for _, sp := range f.Spans {
+			b.WriteString(sp.Note)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// TestTraceHedgeLoserConnected: a hedged request against a stalled
+// primary. The stitched tree must contain both attempt spans — the
+// hedge winner and the canceled loser — connected under the cluster
+// span, annotated hedge-win/hedge-lose, spanning the client and the
+// winning replica's processes.
+func TestTraceHedgeLoserConnected(t *testing.T) {
+	faultinject.Set(faultinject.Rule{
+		Site: "server/admit", Key: "hedge-trace.if", Kind: faultinject.KindDelay,
+		Delay: 400 * time.Millisecond, Count: 1,
+	})
+	defer faultinject.Reset()
+
+	f := newNamedFleet(t, 2)
+	cl, err := New(Options{
+		Targets:       f.urls,
+		MaxRetries:    0,
+		HedgeAfter:    15 * time.Millisecond,
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tr, ctx := newClientTrace("hedge-trace")
+	res, err := cl.Do(ctx, "/v1/compile", "hedge-trace.if", compileBody(t, "hedge-trace.if"))
+	if err != nil || res.Status != 200 {
+		t.Fatalf("hedged request: err=%v status=%d", err, res.Status)
+	}
+	if res.Hedges < 1 {
+		t.Fatalf("hedges = %d, want >= 1", res.Hedges)
+	}
+
+	td := tr.Snapshot()
+	notes := allNotes([]*obs.TraceData{td})
+	if !strings.Contains(notes, "hedge-win") || !strings.Contains(notes, "hedge-lose") {
+		t.Errorf("client fragment lacks hedge-win/hedge-lose annotations:\n%s", td.Tree())
+	}
+	attempts := 0
+	for _, sp := range td.Spans {
+		if strings.HasPrefix(sp.Name, "attempt:") {
+			attempts++
+			if sp.Parent < 0 || !strings.HasPrefix(td.Spans[sp.Parent].Name, "cluster:") {
+				t.Errorf("attempt span %q not parented under the cluster span", sp.Name)
+			}
+		}
+	}
+	if attempts < 2 {
+		t.Errorf("client fragment has %d attempt spans, want >= 2 (primary + hedge):\n%s", attempts, td.Tree())
+	}
+
+	frags := append([]*obs.TraceData{td}, fleetFragments(t, f.urls, tr.ID())...)
+	st := obs.Stitch(frags)
+	if st.Orphans != 0 {
+		t.Errorf("stitched trace has %d orphan spans, want 0:\n%s", st.Orphans, st.Tree())
+	}
+	if len(st.Processes) < 2 {
+		t.Errorf("stitched trace spans processes %v, want >= 2 (client + winning replica):\n%s",
+			st.Processes, st.Tree())
+	}
+}
+
+// TestTraceBreakerOpenFailover: the key's owner is dead and its breaker
+// open. A traced request must record the breaker rejection and the
+// failover on the cluster span, and the stitched tree must connect the
+// answering replica's server spans under the surviving attempt.
+func TestTraceBreakerOpenFailover(t *testing.T) {
+	f := newNamedFleet(t, 2)
+	cl, err := New(Options{
+		Targets:          f.urls,
+		MaxRetries:       2,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       5 * time.Millisecond,
+		HedgeAfter:       -1,
+		ProbeInterval:    -1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Minute, // stays open for the whole test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const key = "breaker-trace"
+	owner := cl.Owner(key)
+	f.kill(f.indexOf(t, owner))
+
+	// Untraced request: the owner's transport error trips its breaker
+	// (threshold 1) and the failover replica answers.
+	if res, err := cl.Do(context.Background(), "/v1/compile", key, compileBody(t, "trip.if")); err != nil || res.Status != 200 {
+		t.Fatalf("breaker-tripping request: err=%v res=%+v", err, res)
+	}
+
+	tr, ctx := newClientTrace("breaker-trace")
+	res, err := cl.Do(ctx, "/v1/compile", key, compileBody(t, "breaker.if"))
+	if err != nil || res.Status != 200 {
+		t.Fatalf("traced request: err=%v status=%d", err, res.Status)
+	}
+	if res.Replica == owner {
+		t.Fatalf("answer claims to come from the dead owner %s", owner)
+	}
+
+	td := tr.Snapshot()
+	notes := allNotes([]*obs.TraceData{td})
+	if !strings.Contains(notes, "breaker-open:"+owner) {
+		t.Errorf("cluster span not annotated breaker-open:%s:\n%s\nnotes:\n%s", owner, td.Tree(), notes)
+	}
+
+	frags := append([]*obs.TraceData{td}, fleetFragments(t, f.urls, tr.ID())...)
+	st := obs.Stitch(frags)
+	if st.Orphans != 0 {
+		t.Errorf("stitched trace has %d orphan spans, want 0:\n%s", st.Orphans, st.Tree())
+	}
+	if len(st.Processes) < 2 {
+		t.Errorf("stitched trace spans processes %v, want >= 2 (client + failover replica):\n%s",
+			st.Processes, st.Tree())
+	}
+}
+
+// TestTraceDegradedLocalConnected: the whole fleet is unreachable and
+// the degraded local tier answers. The in-process hop must propagate
+// like a network one — a local-fallback span in the client fragment,
+// the local server's fragment remote-parented under it — so the
+// stitched tree stays connected.
+func TestTraceDegradedLocalConnected(t *testing.T) {
+	var (
+		localMu sync.Mutex
+		local   *server.Server
+	)
+	t.Cleanup(func() {
+		localMu.Lock()
+		defer localMu.Unlock()
+		if local != nil {
+			local.Close()
+		}
+	})
+	cl, err := New(Options{
+		Targets:       []string{"http://127.0.0.1:9"}, // discard port: refused
+		MaxRetries:    1,
+		BaseBackoff:   time.Millisecond,
+		MaxBackoff:    2 * time.Millisecond,
+		HedgeAfter:    -1,
+		ProbeInterval: -1,
+		Local: func() (http.Handler, error) {
+			s, err := server.New(server.Options{Process: "cogd-local"})
+			if err != nil {
+				return nil, err
+			}
+			localMu.Lock()
+			local = s
+			localMu.Unlock()
+			return s.Handler(), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tr, ctx := newClientTrace("degraded-trace")
+	res, err := cl.Do(ctx, "/v1/compile", "amdahl470", compileBody(t, "lifeboat.if"))
+	if err != nil || !res.Degraded {
+		t.Fatalf("degraded request: err=%v res=%+v", err, res)
+	}
+
+	td := tr.Snapshot()
+	var fallback *obs.Span
+	for i := range td.Spans {
+		if td.Spans[i].Name == "local-fallback" {
+			fallback = &td.Spans[i]
+		}
+	}
+	if fallback == nil {
+		t.Fatalf("client fragment has no local-fallback span:\n%s", td.Tree())
+	}
+	if !strings.Contains(allNotes([]*obs.TraceData{td}), "degraded") {
+		t.Errorf("cluster span not annotated degraded:\n%s", td.Tree())
+	}
+
+	// The local tier has no listener; scrape its ring through the handler
+	// directly, exactly the payload /v1/traces?id= would serve.
+	localMu.Lock()
+	h := local.Handler()
+	localMu.Unlock()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/traces?id="+tr.ID(), nil))
+	var payload struct {
+		Traces []*obs.TraceData `json:"traces"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Traces) == 0 {
+		t.Fatal("local tier recorded no fragment for the degraded request")
+	}
+
+	st := obs.Stitch(append([]*obs.TraceData{td}, payload.Traces...))
+	if st.Orphans != 0 {
+		t.Errorf("stitched trace has %d orphan spans, want 0:\n%s", st.Orphans, st.Tree())
+	}
+	if len(st.Processes) != 2 {
+		t.Errorf("stitched trace spans processes %v, want [cogd-local loadgen]:\n%s", st.Processes, st.Tree())
+	}
+	// The local server's request span must sit under the client's
+	// local-fallback span, not float as a second root.
+	for _, f := range payload.Traces {
+		for _, sp := range f.Spans {
+			if sp.Parent == -1 && sp.ParentID != fallback.SpanID {
+				t.Errorf("local root span %q parented to %q, want the local-fallback span %q",
+					sp.Name, sp.ParentID, fallback.SpanID)
+			}
+		}
+	}
+}
+
+// TestMergedRegistryExpositionLint: a front-style deployment registers
+// the server's cogg_* families, the artifact tier's cogg_blob_*, the
+// SLO's cogg_slo_*, and the policy engine's cluster_* on one shared
+// registry; the merged exposition must pass the lint (no duplicate or
+// inconsistent HELP/TYPE, monotone buckets, valid exemplars).
+func TestMergedRegistryExpositionLint(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := server.New(server.Options{Registry: reg, Process: "cogd-merged"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cl, err := New(Options{
+		Targets:       []string{ts.URL},
+		ProbeInterval: -1,
+		HedgeAfter:    -1,
+		Registry:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// One traced request so histograms and exemplar slots are populated.
+	_, ctx := newClientTrace("merged")
+	if res, err := cl.Do(ctx, "/v1/compile", "merged", compileBody(t, "merged.if")); err != nil || res.Status != 200 {
+		t.Fatalf("compile: err=%v res=%+v", err, res)
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if err := obs.LintExposition(text); err != nil {
+		t.Fatalf("merged exposition fails lint: %v\n%s", err, text)
+	}
+	for _, family := range []string{
+		"cluster_attempts_total",
+		"cluster_attempt_seconds_bucket",
+		"cogg_blob_",
+		"cogg_slo_burn_rate",
+		"cogd_http_requests_total",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("merged exposition lacks %s series", family)
+		}
+	}
+}
+
+// TestFrontTraceEndToEnd: a request through the Front with caller-
+// supplied trace headers. The front's proxy fragment must adopt the
+// caller's trace ID and remote parent, the replica's fragment must hang
+// under the front's attempt span, and the front must echo the trace ID
+// so callers can find the stitched trace.
+func TestFrontTraceEndToEnd(t *testing.T) {
+	f := newNamedFleet(t, 2)
+	cl, err := New(Options{Targets: f.urls, ProbeInterval: -1, HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	front := NewFront(cl)
+	front.SetProcess("front-e2e")
+	fts := httptest.NewServer(front.Handler())
+	defer fts.Close()
+
+	id := obs.NewTraceID()
+	req, err := http.NewRequest("POST", fts.URL+"/v1/compile", strings.NewReader(string(compileBody(t, "e2e.if"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	obs.Inject(req.Header, id, "")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceIDHeader); got != id {
+		t.Errorf("front echoed trace ID %q, want %q", got, id)
+	}
+
+	frags := fleetFragments(t, append([]string{fts.URL}, f.urls...), id)
+	st := obs.Stitch(frags)
+	if st.ID != id {
+		t.Fatalf("stitched ID = %s, want %s", st.ID, id)
+	}
+	if st.Orphans != 0 {
+		t.Errorf("stitched trace has %d orphan spans, want 0:\n%s", st.Orphans, st.Tree())
+	}
+	if len(st.Processes) < 2 {
+		t.Errorf("stitched trace spans processes %v, want front + replica:\n%s", st.Processes, st.Tree())
+	}
+	hasFront, hasReplica := false, false
+	for _, p := range st.Processes {
+		if p == "front-e2e" {
+			hasFront = true
+		}
+		if strings.HasPrefix(p, "cogd-") {
+			hasReplica = true
+		}
+	}
+	if !hasFront || !hasReplica {
+		t.Errorf("processes %v lack front and replica", st.Processes)
+	}
+}

@@ -316,7 +316,11 @@ func (r *run) translate(ctx context.Context, name string, toks []ir.Token) (*asm
 		regalloc := time.Duration(r.regallocNS)
 		emit := time.Duration(r.emitNS)
 		if m != nil {
-			m.observe(r.res, total, regalloc, emit, err != nil)
+			traceID := ""
+			if tr != nil {
+				traceID = tr.ID()
+			}
+			m.observe(r.res, total, regalloc, emit, err != nil, traceID)
 		}
 		if tr != nil {
 			// The regalloc and emit spans are accumulated slices of the

@@ -47,9 +47,12 @@ type Metrics struct {
 func NewMetrics(reg *obs.Registry, spec string) *Metrics {
 	sl := obs.L("spec", spec)
 	phase := func(name string) *obs.Histogram {
+		// Exemplar slots link a phase-latency bucket to the most recent
+		// traced unit that landed there; untraced units use the plain
+		// Observe path and never touch them.
 		return reg.Histogram("cogg_phase_seconds",
-			"Latency of one pipeline phase over one unit, in seconds.",
-			obs.L("spec", spec, "phase", name), obs.LatencyBuckets)
+			"Latency of one pipeline phase over one unit, in seconds; buckets carry trace-ID exemplars.",
+			obs.L("spec", spec, "phase", name), obs.LatencyBuckets).EnableExemplars()
 	}
 	return &Metrics{
 		spec: spec,
@@ -78,7 +81,7 @@ func (m *Metrics) Spec() string { return m.spec }
 // observe flushes one finished translation into the instruments. Called
 // once per Generate — allocation-free given the reductions slice was
 // pre-grown (see New).
-func (m *Metrics) observe(res *Result, total, regalloc, emit time.Duration, failed bool) {
+func (m *Metrics) observe(res *Result, total, regalloc, emit time.Duration, failed bool, traceID string) {
 	m.translations.Inc()
 	if failed {
 		m.failures.Inc()
@@ -91,7 +94,13 @@ func (m *Metrics) observe(res *Result, total, regalloc, emit time.Duration, fail
 	m.regAllocs.Add(int64(res.RegAllocs))
 	m.evictions.Add(int64(res.Evictions))
 	m.pressure.Observe(float64(res.PeakLiveRegs))
-	m.phaseParse.ObserveDuration(total)
-	m.phaseRegalloc.ObserveDuration(regalloc)
-	m.phaseEmit.ObserveDuration(emit)
+	if traceID != "" {
+		m.phaseParse.ObserveExemplar(total.Seconds(), traceID)
+		m.phaseRegalloc.ObserveExemplar(regalloc.Seconds(), traceID)
+		m.phaseEmit.ObserveExemplar(emit.Seconds(), traceID)
+	} else {
+		m.phaseParse.ObserveDuration(total)
+		m.phaseRegalloc.ObserveDuration(regalloc)
+		m.phaseEmit.ObserveDuration(emit)
+	}
 }

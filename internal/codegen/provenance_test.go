@@ -1,6 +1,7 @@
 package codegen_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -198,7 +199,11 @@ func TestMetricsExposition(t *testing.T) {
 // TestZeroAllocSteadyStateWithMetrics is the PR's allocation gate: the
 // instrumented hot path (metrics flushing per Generate, timed phases
 // per reduction) must keep the zero-allocation steady state of the
-// plain path.
+// plain path. Since the propagation PR the phase histograms carry
+// exemplar slots and trace context plumbing is compiled into translate;
+// the gate covers that configuration too — untraced steady state stays
+// 0 allocs/op, while a traced request (which is allowed to allocate)
+// deposits trace-ID exemplars into the same instruments.
 func TestZeroAllocSteadyStateWithMetrics(t *testing.T) {
 	reg := obs.NewRegistry()
 	g := amdahlGenObs(t, reg)
@@ -211,6 +216,14 @@ func TestZeroAllocSteadyStateWithMetrics(t *testing.T) {
 		if _, _, err := s.Generate("warm", toks); err != nil {
 			t.Fatal(err)
 		}
+	}
+	// One traced request through the same session: exemplar machinery
+	// engaged, so the steady-state measurement below runs against
+	// exemplar-enabled histograms, not a propagation-free configuration.
+	tr := obs.NewTrace("", "alloc-gate")
+	ctx := obs.ContextWith(context.Background(), tr, tr.StartSpan("request", -1))
+	if _, _, err := s.GenerateCtx(ctx, "traced", toks); err != nil {
+		t.Fatal(err)
 	}
 	var reductions int
 	allocs := testing.AllocsPerRun(20, func() {
@@ -226,6 +239,18 @@ func TestZeroAllocSteadyStateWithMetrics(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("metered steady-state translation allocates: %.1f allocs/run over %d reductions, want 0",
 			allocs, reductions)
+	}
+	// The traced run must have left its trace ID as an exemplar on the
+	// exposition — the metrics-to-traces link the SLO layer relies on.
+	var text strings.Builder
+	if err := reg.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), `# {trace_id="`+tr.ID()+`"}`) {
+		t.Errorf("exposition carries no exemplar for trace %s", tr.ID())
+	}
+	if err := obs.LintExposition(text.String()); err != nil {
+		t.Errorf("exposition with exemplars fails lint: %v", err)
 	}
 }
 

@@ -16,16 +16,19 @@ import (
 // ingestible by a standard Prometheus server.
 func LintExposition(text string) error {
 	var (
-		nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
-		sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
-		labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+		nameRe     = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		sampleRe   = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+		labelRe    = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+		exemplarRe = regexp.MustCompile(`^\{([^}]*)\} (\S+)( \S+)?$`)
 	)
-	typed := map[string]string{}           // family -> type
-	lastBucket := map[string]float64{}     // series (name+labels sans le) -> last cumulative count
-	lastBound := map[string]float64{}      // series -> last le bound
-	infCount := map[string]float64{}       // series -> +Inf cumulative count
-	countSample := map[string]float64{}    // series -> _count value
-	sawSample := map[string]bool{}         // family -> any sample seen
+	typed := map[string]string{}        // family -> type
+	helped := map[string]string{}       // family -> help text
+	lastBucket := map[string]float64{}  // series (name+labels sans le) -> last cumulative count
+	lastBound := map[string]float64{}   // series -> last le bound
+	infCount := map[string]float64{}    // series -> +Inf cumulative count
+	countSample := map[string]float64{} // series -> _count value
+	sawSample := map[string]bool{}      // family -> any sample seen
+	seenSeries := map[string]int{}      // name+full labels -> first line
 	for ln, line := range strings.Split(text, "\n") {
 		if line == "" {
 			continue
@@ -48,18 +51,67 @@ func LintExposition(text string) error {
 				default:
 					return fmt.Errorf("line %d: unknown type %q", lineNo, parts[3])
 				}
+				// A merged exposition (several registries, or series
+				// registered twice under divergent metadata) must not
+				// redeclare a family: Prometheus keeps the first TYPE
+				// and silently drops samples that disagree with it.
+				if prev, ok := typed[parts[2]]; ok {
+					if prev != parts[3] {
+						return fmt.Errorf("line %d: TYPE for %q redeclared as %q (was %q)", lineNo, parts[2], parts[3], prev)
+					}
+					return fmt.Errorf("line %d: duplicate TYPE line for %q", lineNo, parts[2])
+				}
 				typed[parts[2]] = parts[3]
+			} else {
+				if prev, ok := helped[parts[2]]; ok {
+					if prev != parts[3] {
+						return fmt.Errorf("line %d: HELP for %q redeclared as %q (was %q)", lineNo, parts[2], parts[3], prev)
+					}
+					return fmt.Errorf("line %d: duplicate HELP line for %q", lineNo, parts[2])
+				}
+				helped[parts[2]] = parts[3]
 			}
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
 			continue
 		}
-		m := sampleRe.FindStringSubmatch(line)
+		// Peel an OpenMetrics exemplar suffix off bucket samples:
+		// `name_bucket{le="x"} 41 # {trace_id="..."} 0.004 1754650001.25`.
+		sampleLine := line
+		if cut := strings.Index(line, " # "); cut >= 0 {
+			sampleLine = line[:cut]
+			em := exemplarRe.FindStringSubmatch(line[cut+3:])
+			if em == nil {
+				return fmt.Errorf("line %d: malformed exemplar %q", lineNo, line[cut+3:])
+			}
+			for _, lp := range splitLabels(em[1]) {
+				if !labelRe.MatchString(lp) {
+					return fmt.Errorf("line %d: bad exemplar label pair %q", lineNo, lp)
+				}
+			}
+			if _, err := strconv.ParseFloat(em[2], 64); err != nil {
+				return fmt.Errorf("line %d: bad exemplar value %q: %v", lineNo, em[2], err)
+			}
+			if em[3] != "" {
+				if _, err := strconv.ParseFloat(strings.TrimSpace(em[3]), 64); err != nil {
+					return fmt.Errorf("line %d: bad exemplar timestamp %q: %v", lineNo, em[3], err)
+				}
+			}
+			if !strings.Contains(sampleLine, "_bucket") {
+				return fmt.Errorf("line %d: exemplar on non-bucket sample %q", lineNo, sampleLine)
+			}
+		}
+		m := sampleRe.FindStringSubmatch(sampleLine)
 		if m == nil {
 			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
 		}
 		name, labelBody, valStr := m[1], m[3], m[4]
+		seriesKey := name + "{" + labelBody + "}"
+		if first, ok := seenSeries[seriesKey]; ok {
+			return fmt.Errorf("line %d: duplicate series %s (first at line %d)", lineNo, seriesKey, first)
+		}
+		seenSeries[seriesKey] = lineNo
 		v, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
 			return fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)

@@ -67,12 +67,54 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
 	sum    atomicFloat
 	n      atomic.Int64
+	// ex, when enabled, holds one exemplar slot per bucket: the most
+	// recent traced observation that landed there, so a hot bucket on
+	// /metrics links straight to a trace ID in /v1/traces. Plain
+	// Observe never touches it — the hot path stays allocation-free.
+	ex []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one histogram bucket to a recent traced observation —
+// the OpenMetrics `# {trace_id="..."} value ts` suffix on bucket lines.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	TS      time.Time
+}
+
+// EnableExemplars allocates the per-bucket exemplar slots. Call it at
+// registration time, before the histogram is shared; it returns the
+// receiver so it chains off Registry.Histogram.
+func (h *Histogram) EnableExemplars() *Histogram {
+	if h.ex == nil {
+		h.ex = make([]atomic.Pointer[Exemplar], len(h.counts))
+	}
+	return h
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
-	// Binary search for the first bound >= v; linear would do for ~20
-	// buckets but the search keeps wide custom bucketings honest too.
+	h.counts[h.bucketIdx(v)].Add(1)
+	h.n.Add(1)
+	h.sum.add(v)
+}
+
+// ObserveExemplar records one value and, when the observation came from
+// a traced request, pins it as the bucket's exemplar. Only traced
+// requests pay the allocation; untraced callers use plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := h.bucketIdx(v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	h.sum.add(v)
+	if h.ex != nil && traceID != "" {
+		h.ex[i].Store(&Exemplar{Value: v, TraceID: traceID, TS: time.Now()})
+	}
+}
+
+// bucketIdx binary-searches for the first bound >= v; linear would do
+// for ~20 buckets but the search keeps wide custom bucketings honest.
+func (h *Histogram) bucketIdx(v float64) int {
 	lo, hi := 0, len(h.bounds)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -82,9 +124,15 @@ func (h *Histogram) Observe(v float64) {
 			lo = mid + 1
 		}
 	}
-	h.counts[lo].Add(1)
-	h.n.Add(1)
-	h.sum.add(v)
+	return lo
+}
+
+// exemplar returns bucket i's exemplar, nil when absent or disabled.
+func (h *Histogram) exemplar(i int) *Exemplar {
+	if h.ex == nil || i < 0 || i >= len(h.ex) {
+		return nil
+	}
+	return h.ex[i].Load()
 }
 
 // ObserveDuration records a duration in seconds, the Prometheus base
@@ -477,10 +525,10 @@ func writeSeries(b *strings.Builder, name string, s *series) {
 		cum := int64(0)
 		for i, bound := range h.bounds {
 			cum += h.counts[i].Load()
-			writeSample(b, name+"_bucket", joinLabels(s.labels, `le="`+formatFloat(bound)+`"`), float64(cum))
+			writeBucket(b, name, joinLabels(s.labels, `le="`+formatFloat(bound)+`"`), float64(cum), h.exemplar(i))
 		}
 		cum += h.counts[len(h.bounds)].Load()
-		writeSample(b, name+"_bucket", joinLabels(s.labels, `le="+Inf"`), float64(cum))
+		writeBucket(b, name, joinLabels(s.labels, `le="+Inf"`), float64(cum), h.exemplar(len(h.bounds)))
 		writeSample(b, name+"_sum", s.labels, h.Sum())
 		writeSample(b, name+"_count", s.labels, float64(cum))
 	}
@@ -495,6 +543,27 @@ func writeSample(b *strings.Builder, name, labels string, v float64) {
 	}
 	b.WriteByte(' ')
 	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// writeBucket writes one histogram bucket sample, appending the
+// OpenMetrics exemplar suffix when the bucket has one:
+//
+//	name_bucket{le="0.005"} 41 # {trace_id="4bf9..."} 0.0042 1754650001.25
+func writeBucket(b *strings.Builder, name, labels string, v float64, ex *Exemplar) {
+	b.WriteString(name)
+	b.WriteString("_bucket{")
+	b.WriteString(labels)
+	b.WriteString("} ")
+	b.WriteString(formatFloat(v))
+	if ex != nil {
+		b.WriteString(` # {trace_id="`)
+		b.WriteString(ex.TraceID)
+		b.WriteString(`"} `)
+		b.WriteString(formatFloat(ex.Value))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(float64(ex.TS.UnixNano())/1e9, 'f', 3, 64))
+	}
 	b.WriteByte('\n')
 }
 

@@ -144,8 +144,8 @@ func TestIndexedCountersConcurrent(t *testing.T) {
 
 func TestTraceSpansAndTree(t *testing.T) {
 	tr := NewTrace("", "unit.pas")
-	if len(tr.ID()) != 16 {
-		t.Fatalf("trace id %q, want 16 hex chars", tr.ID())
+	if len(tr.ID()) != 32 {
+		t.Fatalf("trace id %q, want 32 hex chars", tr.ID())
 	}
 	root := tr.StartSpan("request", -1)
 	child := tr.StartSpan("parse-reduce", root)

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLOOptions configures one latency objective.
+type SLOOptions struct {
+	// Name is the slo label value on every series ("compile").
+	Name string
+	// Threshold is the latency objective: observations slower than this
+	// breach the SLO. Default 50ms.
+	Threshold time.Duration
+	// Objective is the target good fraction (0.99 = 99% of requests
+	// under Threshold); 1-Objective is the error budget the burn rate
+	// is measured against. Default 0.99.
+	Objective float64
+	// FastWindow and SlowWindow are the two burn-rate horizons — the
+	// classic multi-window pairing where the fast window catches a
+	// sudden regression and the slow window confirms it is sustained.
+	// Defaults 1m and 10m.
+	FastWindow, SlowWindow time.Duration
+	// Buckets are the latency histogram bounds in seconds; default
+	// LatencyBuckets.
+	Buckets []float64
+	// Now is the clock, for tests. Default time.Now.
+	Now func() time.Time
+}
+
+// SLO tracks a latency objective: cumulative request/breach counters, a
+// latency histogram whose buckets carry trace-ID exemplars, and rolling
+// per-second windows from which two burn-rate gauges are derived.
+//
+// Burn rate is the fraction of requests in the window that breached the
+// threshold, divided by the error budget (1 - objective): 1.0 means the
+// budget is being consumed exactly as fast as it accrues, 10 means ten
+// times too fast. All series surface on /metrics via the registry:
+//
+//	cogg_slo_requests_total{slo}            observations
+//	cogg_slo_breaches_total{slo}            observations over threshold
+//	cogg_slo_threshold_seconds{slo}         the configured objective latency
+//	cogg_slo_objective{slo}                 the configured good fraction
+//	cogg_slo_burn_rate{slo,window}          budget-normalized breach rate
+//	cogg_slo_latency_seconds{slo}           histogram with exemplars
+type SLO struct {
+	name      string
+	threshold float64 // seconds
+	objective float64
+	fastSec   int64
+	slowSec   int64
+	total     *Counter
+	breaches  *Counter
+	latency   *Histogram
+	now       func() time.Time
+
+	mu    sync.Mutex
+	slots []sloSlot // one per second, len slowSec
+}
+
+// sloSlot is one second's tally; sec identifies which second it holds
+// so stale slots are recognized and reset in place (no sliding copy).
+type sloSlot struct {
+	sec    int64
+	total  int64
+	breach int64
+}
+
+// NewSLO registers the SLO's series in reg (nil reg keeps the SLO
+// functional but unexported) and returns it.
+func NewSLO(reg *Registry, o SLOOptions) *SLO {
+	if o.Name == "" {
+		o.Name = "default"
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 50 * time.Millisecond
+	}
+	if o.Objective <= 0 || o.Objective >= 1 {
+		o.Objective = 0.99
+	}
+	if o.FastWindow <= 0 {
+		o.FastWindow = time.Minute
+	}
+	if o.SlowWindow <= 0 {
+		o.SlowWindow = 10 * time.Minute
+	}
+	if o.SlowWindow < o.FastWindow {
+		o.SlowWindow = o.FastWindow
+	}
+	if o.Buckets == nil {
+		o.Buckets = LatencyBuckets
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	s := &SLO{
+		name:      o.Name,
+		threshold: o.Threshold.Seconds(),
+		objective: o.Objective,
+		fastSec:   int64(o.FastWindow / time.Second),
+		slowSec:   int64(o.SlowWindow / time.Second),
+		now:       o.Now,
+		slots:     make([]sloSlot, int64(o.SlowWindow/time.Second)),
+	}
+	l := L("slo", o.Name)
+	s.total = reg.Counter("cogg_slo_requests_total",
+		"Requests observed against the latency SLO, by objective.", l)
+	s.breaches = reg.Counter("cogg_slo_breaches_total",
+		"Requests that exceeded the SLO latency threshold, by objective.", l)
+	s.latency = reg.Histogram("cogg_slo_latency_seconds",
+		"Latency of SLO-observed requests; buckets carry trace-ID exemplars.",
+		l, o.Buckets).EnableExemplars()
+	threshold, objective := s.threshold, s.objective
+	reg.GaugeFunc("cogg_slo_threshold_seconds",
+		"Configured SLO latency threshold in seconds.", l,
+		func() float64 { return threshold })
+	reg.GaugeFunc("cogg_slo_objective",
+		"Configured SLO good-request fraction.", l,
+		func() float64 { return objective })
+	reg.GaugeFunc("cogg_slo_burn_rate",
+		"Error-budget burn rate: windowed breach fraction over (1-objective). 1 = budget consumed exactly at accrual rate.",
+		joinLabels(l, `window="`+windowLabel(o.FastWindow)+`"`),
+		func() float64 { return s.BurnRate(o.FastWindow) })
+	reg.GaugeFunc("cogg_slo_burn_rate",
+		"Error-budget burn rate: windowed breach fraction over (1-objective). 1 = budget consumed exactly at accrual rate.",
+		joinLabels(l, `window="`+windowLabel(o.SlowWindow)+`"`),
+		func() float64 { return s.BurnRate(o.SlowWindow) })
+	return s
+}
+
+// Observe records one request latency. traceID, when non-empty, becomes
+// the exemplar on the latency bucket the observation lands in — the
+// metrics-to-trace link. This sits on the per-request (not per-unit)
+// path, so its mutex and exemplar allocation are off the compile hot
+// loop entirely.
+func (s *SLO) Observe(d time.Duration, traceID string) {
+	sec := d.Seconds()
+	s.total.Inc()
+	breach := sec > s.threshold
+	if breach {
+		s.breaches.Inc()
+	}
+	s.latency.ObserveExemplar(sec, traceID)
+	now := s.now().Unix()
+	s.mu.Lock()
+	slot := &s.slots[now%int64(len(s.slots))]
+	if slot.sec != now {
+		slot.sec, slot.total, slot.breach = now, 0, 0
+	}
+	slot.total++
+	if breach {
+		slot.breach++
+	}
+	s.mu.Unlock()
+}
+
+// BurnRate reports the budget-normalized breach rate over the trailing
+// window (clamped to the slow window the ring covers). Zero traffic
+// burns no budget.
+func (s *SLO) BurnRate(window time.Duration) float64 {
+	wsec := int64(window / time.Second)
+	if wsec < 1 {
+		wsec = 1
+	}
+	if wsec > s.slowSec {
+		wsec = s.slowSec
+	}
+	now := s.now().Unix()
+	var total, breach int64
+	s.mu.Lock()
+	for i := range s.slots {
+		if sl := s.slots[i]; sl.sec > now-wsec && sl.sec <= now {
+			total += sl.total
+			breach += sl.breach
+		}
+	}
+	s.mu.Unlock()
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - s.objective
+	return (float64(breach) / float64(total)) / budget
+}
+
+// Breaches returns the cumulative breach count (tests and varz).
+func (s *SLO) Breaches() int64 { return s.breaches.Value() }
+
+// Total returns the cumulative observation count.
+func (s *SLO) Total() int64 { return s.total.Value() }
+
+// windowLabel renders a window duration compactly ("1m", "90s").
+func windowLabel(d time.Duration) string {
+	if d%time.Minute == 0 {
+		return fmt.Sprintf("%dm", int64(d/time.Minute))
+	}
+	return fmt.Sprintf("%ds", int64(d/time.Second))
+}

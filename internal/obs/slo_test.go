@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloClock is a settable test clock for the burn-rate windows.
+type sloClock struct{ t time.Time }
+
+func (c *sloClock) now() time.Time          { return c.t }
+func (c *sloClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestSLO(reg *Registry, clk *sloClock) *SLO {
+	return NewSLO(reg, SLOOptions{
+		Name:       "compile",
+		Threshold:  50 * time.Millisecond,
+		Objective:  0.99,
+		FastWindow: time.Minute,
+		SlowWindow: 10 * time.Minute,
+		Now:        clk.now,
+	})
+}
+
+// TestSLOBurnRate: breach fraction over the window divided by the error
+// budget, with the fast window forgetting old breaches the slow window
+// still remembers.
+func TestSLOBurnRate(t *testing.T) {
+	clk := &sloClock{t: time.Unix(1_000_000, 0)}
+	s := newTestSLO(NewRegistry(), clk)
+
+	// 100 requests this second, 10 breaching: windowed breach fraction
+	// 0.1 against a 0.01 budget = burn rate 10.
+	for i := 0; i < 90; i++ {
+		s.Observe(time.Millisecond, "")
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe(200*time.Millisecond, "")
+	}
+	if got := s.Total(); got != 100 {
+		t.Fatalf("total = %d, want 100", got)
+	}
+	if got := s.Breaches(); got != 10 {
+		t.Fatalf("breaches = %d, want 10", got)
+	}
+	if got := s.BurnRate(time.Minute); got < 9.99 || got > 10.01 {
+		t.Fatalf("fast burn rate = %g, want 10", got)
+	}
+
+	// Two minutes later the fast window is clean but the slow window
+	// still covers the breaches.
+	clk.advance(2 * time.Minute)
+	if got := s.BurnRate(time.Minute); got != 0 {
+		t.Errorf("fast burn rate after the window passed = %g, want 0", got)
+	}
+	if got := s.BurnRate(10 * time.Minute); got < 9.99 || got > 10.01 {
+		t.Errorf("slow burn rate = %g, want 10 (breaches still in window)", got)
+	}
+
+	// Eleven minutes later even the slow window has forgotten.
+	clk.advance(11 * time.Minute)
+	if got := s.BurnRate(10 * time.Minute); got != 0 {
+		t.Errorf("slow burn rate after expiry = %g, want 0", got)
+	}
+	// Zero traffic burns no budget.
+	if got := s.BurnRate(time.Minute); got != 0 {
+		t.Errorf("burn rate with no traffic = %g, want 0", got)
+	}
+}
+
+// TestSLOExposition: the registry carries every series — counters,
+// config gauges, both burn-rate windows — and the latency histogram's
+// buckets hold the traced request's exemplar. The whole exposition must
+// pass the lint.
+func TestSLOExposition(t *testing.T) {
+	reg := NewRegistry()
+	clk := &sloClock{t: time.Unix(2_000_000, 0)}
+	s := newTestSLO(reg, clk)
+	s.Observe(time.Millisecond, "")
+	s.Observe(200*time.Millisecond, "00000000000000000000000000abcdef")
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if err := LintExposition(text); err != nil {
+		t.Fatalf("SLO exposition fails lint: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`cogg_slo_requests_total{slo="compile"} 2`,
+		`cogg_slo_breaches_total{slo="compile"} 1`,
+		`cogg_slo_threshold_seconds{slo="compile"} 0.05`,
+		`cogg_slo_objective{slo="compile"} 0.99`,
+		`cogg_slo_burn_rate{slo="compile",window="1m"}`,
+		`cogg_slo_burn_rate{slo="compile",window="10m"}`,
+		`cogg_slo_latency_seconds_bucket{slo="compile",le=`,
+		`# {trace_id="00000000000000000000000000abcdef"} 0.2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestSLODefaults: zero-valued options resolve to the documented
+// defaults and a degenerate slow window is clamped up to the fast one.
+func TestSLODefaults(t *testing.T) {
+	s := NewSLO(nil, SLOOptions{})
+	if s.threshold != 0.05 {
+		t.Errorf("default threshold = %g, want 0.05", s.threshold)
+	}
+	if s.objective != 0.99 {
+		t.Errorf("default objective = %g, want 0.99", s.objective)
+	}
+	if s.fastSec != 60 || s.slowSec != 600 {
+		t.Errorf("default windows = %ds/%ds, want 60/600", s.fastSec, s.slowSec)
+	}
+	clamped := NewSLO(nil, SLOOptions{FastWindow: 2 * time.Minute, SlowWindow: time.Minute})
+	if clamped.slowSec != clamped.fastSec {
+		t.Errorf("slow window not clamped to fast: %d vs %d", clamped.slowSec, clamped.fastSec)
+	}
+	// Unregistered (nil registry) SLOs still observe and report.
+	s.Observe(time.Second, "")
+	if s.Total() != 1 || s.Breaches() != 1 {
+		t.Errorf("nil-registry SLO lost counts: total=%d breaches=%d", s.Total(), s.Breaches())
+	}
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StitchedSpan is one span in a cross-process timeline: a fragment span
+// lifted to absolute time and labeled with the process that recorded it.
+type StitchedSpan struct {
+	Process  string          `json:"process,omitempty"`
+	Name     string          `json:"name"`
+	SpanID   string          `json:"span_id"`
+	ParentID string          `json:"parent_span_id,omitempty"`
+	Note     string          `json:"note,omitempty"`
+	Orphan   bool            `json:"orphan,omitempty"`
+	Start    time.Time       `json:"start"`
+	DurNS    int64           `json:"dur_ns"`
+	Children []*StitchedSpan `json:"children,omitempty"`
+}
+
+// Stitched is one trace reassembled from per-process fragments.
+type Stitched struct {
+	ID        string          `json:"id"`
+	Begin     time.Time       `json:"begin"`
+	DurNS     int64           `json:"dur_ns"`
+	Processes []string        `json:"processes"`
+	Failures  []string        `json:"failures,omitempty"`
+	Spans     int             `json:"spans"`
+	Orphans   int             `json:"orphans"`
+	Roots     []*StitchedSpan `json:"roots"`
+}
+
+// Stitch joins trace fragments exported by different processes into one
+// timeline. The algorithm:
+//
+//  1. Deduplicate fragments (a fan-out may reach the same ring twice —
+//     a front listed under two names, or a retried scrape).
+//  2. Lift every span to absolute time (fragment Begin + StartNS) and
+//     index it by its wire SpanID.
+//  3. Link children under parents by ParentID. Cross-process edges
+//     resolve exactly like intra-process ones because a server trace's
+//     root spans carry the caller's attempt span as their ParentID
+//     (SetRemoteParent). A span whose ParentID is non-empty but absent
+//     from every fragment becomes an orphan root — the caller's
+//     fragment was not collected (or its ring already evicted it).
+//  4. Sort siblings by absolute start time.
+//
+// Clock skew between processes shifts fragments relative to each other
+// but never breaks the tree: linkage is by span ID, not by time.
+func Stitch(frags []*TraceData) *Stitched {
+	st := &Stitched{}
+	seen := map[string]bool{}
+	procs := map[string]bool{}
+	index := map[string]*StitchedSpan{}
+	var all []*StitchedSpan
+	for _, f := range frags {
+		if f == nil || len(f.Spans) == 0 {
+			continue
+		}
+		fkey := f.Process + "|" + f.Spans[0].SpanID + "|" + fmt.Sprint(len(f.Spans))
+		if seen[fkey] {
+			continue
+		}
+		seen[fkey] = true
+		if st.ID == "" {
+			st.ID = f.ID
+		}
+		if f.ID != st.ID {
+			continue // caller mixed trace IDs; keep the first
+		}
+		if f.Process != "" {
+			procs[f.Process] = true
+		}
+		if f.Failure != "" {
+			st.Failures = append(st.Failures, f.Failure)
+		}
+		for i := range f.Spans {
+			sp := &f.Spans[i]
+			node := &StitchedSpan{
+				Process:  f.Process,
+				Name:     sp.Name,
+				SpanID:   sp.SpanID,
+				ParentID: sp.ParentID,
+				Note:     sp.Note,
+				Start:    f.Begin.Add(time.Duration(sp.StartNS)),
+				DurNS:    sp.DurNS,
+			}
+			all = append(all, node)
+			if sp.SpanID != "" && index[sp.SpanID] == nil {
+				index[sp.SpanID] = node
+			}
+		}
+	}
+	for _, n := range all {
+		if p := index[n.ParentID]; n.ParentID != "" && p != nil && p != n {
+			p.Children = append(p.Children, n)
+			continue
+		}
+		if n.ParentID != "" {
+			n.Orphan = true
+			st.Orphans++
+		}
+		st.Roots = append(st.Roots, n)
+	}
+	sortSpans := func(s []*StitchedSpan) {
+		sort.SliceStable(s, func(i, j int) bool { return s[i].Start.Before(s[j].Start) })
+	}
+	sortSpans(st.Roots)
+	for _, n := range all {
+		sortSpans(n.Children)
+	}
+	st.Spans = len(all)
+	for i, n := range all {
+		if i == 0 || n.Start.Before(st.Begin) {
+			st.Begin = n.Start
+		}
+	}
+	for _, n := range all {
+		if n.DurNS >= 0 {
+			if end := n.Start.Add(time.Duration(n.DurNS)).Sub(st.Begin).Nanoseconds(); end > st.DurNS {
+				st.DurNS = end
+			}
+		}
+	}
+	for p := range procs {
+		st.Processes = append(st.Processes, p)
+	}
+	sort.Strings(st.Processes)
+	return st
+}
+
+// Tree renders the stitched timeline indented, one span per line, each
+// prefixed with the recording process. Offsets are relative to the
+// stitched begin.
+func (st *Stitched) Tree() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s dur=%v spans=%d processes=%d [%s]",
+		st.ID, time.Duration(st.DurNS), st.Spans, len(st.Processes), strings.Join(st.Processes, " "))
+	if st.Orphans > 0 {
+		fmt.Fprintf(&b, " orphans=%d", st.Orphans)
+	}
+	if len(st.Failures) > 0 {
+		fmt.Fprintf(&b, " failures=%s", strings.Join(st.Failures, ","))
+	}
+	b.WriteByte('\n')
+	var walk func(n *StitchedSpan, depth int)
+	walk = func(n *StitchedSpan, depth int) {
+		dur := "unfinished"
+		if n.DurNS >= 0 {
+			dur = time.Duration(n.DurNS).String()
+		}
+		proc := n.Process
+		if proc == "" {
+			proc = "?"
+		}
+		mark := ""
+		if n.Orphan {
+			mark = " (orphan)"
+		}
+		note := ""
+		if n.Note != "" {
+			note = " [" + n.Note + "]"
+		}
+		fmt.Fprintf(&b, "%s[%s] %-16s +%v %s%s%s\n", strings.Repeat("  ", depth+1),
+			proc, n.Name, n.Start.Sub(st.Begin).Round(time.Microsecond), dur, note, mark)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range st.Roots {
+		walk(r, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tracePair builds a two-process fragment set the way the fleet does:
+// a client trace whose attempt span is the remote parent of a server
+// trace recorded by another Trace (hence a different span-ID base).
+func tracePair(t *testing.T) (client, server *TraceData, attemptID string) {
+	t.Helper()
+	ct := NewTrace("", "request")
+	ct.SetProcess("front")
+	root := ct.StartSpan("request", -1)
+	cluster := ct.StartSpan("cluster:/v1/compile", root)
+	attempt := ct.StartSpan("attempt:replica0", cluster)
+	attemptID = ct.SpanID(attempt)
+
+	st := NewTrace(ct.ID(), "compile")
+	st.SetProcess("cogd-0")
+	st.SetRemoteParent(attemptID)
+	sroot := st.StartSpan("request", -1)
+	st.EndSpan(st.StartSpan("parse-reduce", sroot))
+	st.EndSpan(sroot)
+
+	ct.Annotate(attempt, "hedge-win")
+	ct.EndSpan(attempt)
+	ct.EndSpan(cluster)
+	ct.EndSpan(root)
+	return ct.Snapshot(), st.Snapshot(), attemptID
+}
+
+// TestStitchCrossProcess: two fragments with a remote-parent edge join
+// into one connected tree — one root, zero orphans, both processes.
+func TestStitchCrossProcess(t *testing.T) {
+	client, server, attemptID := tracePair(t)
+	st := Stitch([]*TraceData{client, server})
+	if st.ID != client.ID {
+		t.Fatalf("stitched ID = %s, want %s", st.ID, client.ID)
+	}
+	if st.Orphans != 0 {
+		t.Fatalf("orphans = %d, want 0:\n%s", st.Orphans, st.Tree())
+	}
+	if len(st.Roots) != 1 {
+		t.Fatalf("roots = %d, want 1:\n%s", len(st.Roots), st.Tree())
+	}
+	if got, want := len(st.Processes), 2; got != want {
+		t.Fatalf("processes = %v, want %d", st.Processes, want)
+	}
+	if st.Spans != len(client.Spans)+len(server.Spans) {
+		t.Fatalf("spans = %d, want %d", st.Spans, len(client.Spans)+len(server.Spans))
+	}
+	// The server's root must hang under the client's attempt span.
+	var find func(n *StitchedSpan, id string) *StitchedSpan
+	find = func(n *StitchedSpan, id string) *StitchedSpan {
+		if n.SpanID == id {
+			return n
+		}
+		for _, c := range n.Children {
+			if got := find(c, id); got != nil {
+				return got
+			}
+		}
+		return nil
+	}
+	attempt := find(st.Roots[0], attemptID)
+	if attempt == nil {
+		t.Fatalf("attempt span %s not reachable from the root:\n%s", attemptID, st.Tree())
+	}
+	serverChild := false
+	for _, c := range attempt.Children {
+		if c.Process == "cogd-0" && c.Name == "request" {
+			serverChild = true
+		}
+	}
+	if !serverChild {
+		t.Errorf("server fragment not parented under the attempt span:\n%s", st.Tree())
+	}
+	tree := st.Tree()
+	for _, want := range []string{"[front]", "[cogd-0]", "[hedge-win]", "processes=2"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree lacks %q:\n%s", want, tree)
+		}
+	}
+}
+
+// TestStitchDedupsFragments: the same fragment collected twice (a front
+// reachable under two URLs) must not double the span count.
+func TestStitchDedupsFragments(t *testing.T) {
+	client, server, _ := tracePair(t)
+	st := Stitch([]*TraceData{client, server, client, server})
+	if st.Spans != len(client.Spans)+len(server.Spans) {
+		t.Fatalf("spans = %d after duplicate collection, want %d", st.Spans, len(client.Spans)+len(server.Spans))
+	}
+	if st.Orphans != 0 {
+		t.Fatalf("orphans = %d, want 0", st.Orphans)
+	}
+}
+
+// TestStitchMissingParentOrphan: a server fragment whose caller's
+// fragment was never collected still renders — its root flagged as an
+// orphan, counted in the summary.
+func TestStitchMissingParentOrphan(t *testing.T) {
+	_, server, _ := tracePair(t)
+	st := Stitch([]*TraceData{server})
+	if st.Orphans != 1 {
+		t.Fatalf("orphans = %d, want 1 (remote parent uncollected):\n%s", st.Orphans, st.Tree())
+	}
+	if len(st.Roots) != 1 || !st.Roots[0].Orphan {
+		t.Fatalf("orphaned server root not surfaced as a root:\n%s", st.Tree())
+	}
+	if !strings.Contains(st.Tree(), "(orphan)") {
+		t.Errorf("tree does not mark the orphan:\n%s", st.Tree())
+	}
+}
+
+// TestStitchIgnoresForeignTrace: fragments of a different trace ID are
+// dropped rather than grafted in.
+func TestStitchIgnoresForeignTrace(t *testing.T) {
+	client, server, _ := tracePair(t)
+	foreign := NewTrace("", "other")
+	foreign.SetProcess("cogd-9")
+	foreign.EndSpan(foreign.StartSpan("request", -1))
+	st := Stitch([]*TraceData{client, server, foreign.Snapshot()})
+	if st.Spans != len(client.Spans)+len(server.Spans) {
+		t.Fatalf("foreign fragment leaked into the stitch: spans = %d", st.Spans)
+	}
+	for _, p := range st.Processes {
+		if p == "cogd-9" {
+			t.Fatalf("foreign process listed: %v", st.Processes)
+		}
+	}
+}
+
+// TestStitchClockSkew: a server fragment whose clock runs ahead of the
+// client's still links under its parent — linkage is by span ID, and
+// only the rendered offsets shift.
+func TestStitchClockSkew(t *testing.T) {
+	client, server, _ := tracePair(t)
+	server.Begin = server.Begin.Add(-3 * time.Second) // server clock behind
+	st := Stitch([]*TraceData{client, server})
+	if st.Orphans != 0 {
+		t.Fatalf("skewed fragment orphaned: %d orphans:\n%s", st.Orphans, st.Tree())
+	}
+	if len(st.Roots) != 1 {
+		t.Fatalf("skewed fragment broke the tree: %d roots:\n%s", len(st.Roots), st.Tree())
+	}
+}

@@ -14,11 +14,21 @@ import (
 // Span is one timed phase of a trace. Start offsets and durations are
 // nanoseconds relative to the trace's begin time; Parent is the index
 // of the enclosing span in the trace's span slice, -1 for a root.
+//
+// SpanID and ParentID are wire identities filled in by Snapshot (live
+// spans carry only indices): each span's ID is the trace's random
+// 64-bit span base plus its index, so recording a span never formats a
+// string, and a fragment's IDs still join against fragments recorded by
+// other processes. Note carries outcome annotations (hedge-win,
+// breaker-open, retry-after=...) appended after the span ends.
 type Span struct {
-	Name    string `json:"name"`
-	Parent  int    `json:"parent"`
-	StartNS int64  `json:"start_ns"`
-	DurNS   int64  `json:"dur_ns"`
+	Name     string `json:"name"`
+	Parent   int    `json:"parent"`
+	StartNS  int64  `json:"start_ns"`
+	DurNS    int64  `json:"dur_ns"`
+	Note     string `json:"note,omitempty"`
+	SpanID   string `json:"span_id,omitempty"`
+	ParentID string `json:"parent_span_id,omitempty"`
 }
 
 // Trace is one request's (or one compilation unit's) span collection.
@@ -26,12 +36,15 @@ type Span struct {
 // spans from multiple workers. Tracing is per-request opt-in — the
 // mutex and the span append are off the metrics-only hot path entirely.
 type Trace struct {
-	mu      sync.Mutex
-	id      string
-	name    string
-	begin   time.Time
-	failure string
-	spans   []Span
+	mu           sync.Mutex
+	id           string
+	name         string
+	begin        time.Time
+	failure      string
+	process      string
+	remoteParent string
+	spanBase     uint64
+	spans        []Span
 }
 
 // NewTrace starts a trace. An empty id generates a fresh one.
@@ -39,11 +52,57 @@ func NewTrace(id, name string) *Trace {
 	if id == "" {
 		id = NewTraceID()
 	}
-	return &Trace{id: id, name: name, begin: time.Now()}
+	return &Trace{id: id, name: name, begin: time.Now(), spanBase: randUint64()}
 }
 
 // ID returns the trace ID.
 func (t *Trace) ID() string { return t.id }
+
+// SetProcess names the process recording this trace ("cogd@:8481",
+// "cogdfront@:8471"); stitched cross-process timelines label each span
+// with the fragment's process.
+func (t *Trace) SetProcess(p string) {
+	t.mu.Lock()
+	t.process = p
+	t.mu.Unlock()
+}
+
+// SetRemoteParent links this trace's root spans under a span recorded
+// by another process: the inbound X-Parent-Span header value. Snapshot
+// stamps it as the ParentID of every root span.
+func (t *Trace) SetRemoteParent(spanID string) {
+	t.mu.Lock()
+	t.remoteParent = spanID
+	t.mu.Unlock()
+}
+
+// SpanID renders span i's wire identity: the trace's random span base
+// plus the index, as 16 hex characters. It involves no trace state
+// besides the immutable base, so it is safe without the lock.
+func (t *Trace) SpanID(i int) string {
+	if i < 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", t.spanBase+uint64(i)+1)
+}
+
+// Annotate appends an outcome note to span i ("hedge-win",
+// "breaker-open:replica2", "retry-after=50ms"). Notes accumulate
+// comma-separated; annotating an out-of-range span is a no-op.
+func (t *Trace) Annotate(i int, note string) {
+	if note == "" {
+		return
+	}
+	t.mu.Lock()
+	if i >= 0 && i < len(t.spans) {
+		if t.spans[i].Note != "" {
+			t.spans[i].Note += "," + note
+		} else {
+			t.spans[i].Note = note
+		}
+	}
+	t.mu.Unlock()
+}
 
 // SetName renames the trace (the request's unit name becomes known only
 // after the body is decoded).
@@ -99,6 +158,7 @@ func (t *Trace) AddSpan(name string, parent int, start time.Time, d time.Duratio
 type TraceData struct {
 	ID      string    `json:"id"`
 	Name    string    `json:"name"`
+	Process string    `json:"process,omitempty"`
 	Begin   time.Time `json:"begin"`
 	DurNS   int64     `json:"dur_ns"`
 	Failure string    `json:"failure,omitempty"`
@@ -107,17 +167,27 @@ type TraceData struct {
 
 // Snapshot copies the trace. Unfinished spans keep DurNS -1. The
 // snapshot's DurNS covers begin through the latest span end seen.
+// Wire span IDs are rendered here — once per export, never on the
+// recording path.
 func (t *Trace) Snapshot() *TraceData {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	d := &TraceData{
 		ID:      t.id,
 		Name:    t.name,
+		Process: t.process,
 		Begin:   t.begin,
 		Failure: t.failure,
 		Spans:   append([]Span(nil), t.spans...),
 	}
-	for _, sp := range d.Spans {
+	for i := range d.Spans {
+		sp := &d.Spans[i]
+		sp.SpanID = fmt.Sprintf("%016x", t.spanBase+uint64(i)+1)
+		if sp.Parent >= 0 && sp.Parent < len(d.Spans) {
+			sp.ParentID = fmt.Sprintf("%016x", t.spanBase+uint64(sp.Parent)+1)
+		} else if t.remoteParent != "" {
+			sp.ParentID = t.remoteParent
+		}
 		if sp.DurNS >= 0 && sp.StartNS+sp.DurNS > d.DurNS {
 			d.DurNS = sp.StartNS + sp.DurNS
 		}
@@ -130,6 +200,9 @@ func (t *Trace) Snapshot() *TraceData {
 func (d *TraceData) Tree() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "trace %s name=%s dur=%v", d.ID, d.Name, time.Duration(d.DurNS))
+	if d.Process != "" {
+		fmt.Fprintf(&b, " process=%s", d.Process)
+	}
 	if d.Failure != "" {
 		fmt.Fprintf(&b, " failure=%s", d.Failure)
 	}
@@ -150,8 +223,12 @@ func (d *TraceData) Tree() string {
 		if sp.DurNS >= 0 {
 			dur = time.Duration(sp.DurNS).String()
 		}
-		fmt.Fprintf(&b, "%s%-14s +%v %s\n", strings.Repeat("  ", depth+1), sp.Name,
-			time.Duration(sp.StartNS), dur)
+		note := ""
+		if sp.Note != "" {
+			note = " [" + sp.Note + "]"
+		}
+		fmt.Fprintf(&b, "%s%-14s +%v %s%s\n", strings.Repeat("  ", depth+1), sp.Name,
+			time.Duration(sp.StartNS), dur, note)
 		for _, c := range children[i] {
 			walk(c, depth+1)
 		}
@@ -162,18 +239,116 @@ func (d *TraceData) Tree() string {
 	return b.String()
 }
 
-// NewTraceID returns a 16-hex-character random trace ID.
+// NewTraceID returns a 32-hex-character random trace ID — the W3C
+// trace-context trace-id width, so generated IDs round-trip through a
+// canonical traceparent header unchanged.
 func NewTraceID() string {
-	var buf [8]byte
+	var buf [16]byte
 	if _, err := rand.Read(buf[:]); err != nil {
 		// Entropy exhaustion is effectively unreachable; fall back to a
 		// process-local counter rather than failing a request over an ID.
-		return fmt.Sprintf("%016x", fallbackID.Add(1))
+		return fmt.Sprintf("%032x", fallbackID.Add(1))
 	}
 	return hex.EncodeToString(buf[:])
 }
 
 var fallbackID atomic.Int64
+
+// randUint64 draws the per-trace span-ID base. Zero on entropy failure
+// is acceptable: span IDs then degrade to small integers but traces
+// still stitch (IDs only need to be unique within one scrape window).
+func randUint64() uint64 {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return uint64(fallbackID.Add(1)) << 20
+	}
+	var v uint64
+	for _, b := range buf {
+		v = v<<8 | uint64(b)
+	}
+	return v
+}
+
+// Propagation headers. X-Trace-Id predates this PR and stays the
+// authoritative join key — it carries the ID verbatim even when a
+// caller supplied a non-W3C-shaped one. traceparent is emitted
+// alongside it (canonical form when the ID is 32 lowercase hex) for
+// interop with W3C trace-context tooling, and X-Parent-Span carries
+// the caller's span identity so the receiving process parents its
+// server spans under the exact outbound attempt that reached it.
+const (
+	TraceIDHeader     = "X-Trace-Id"
+	ParentSpanHeader  = "X-Parent-Span"
+	TraceparentHeader = "Traceparent"
+)
+
+// headerSetter is the subset of http.Header Inject needs; declared
+// locally so obs keeps zero net/http imports on the recording path.
+type headerSetter interface{ Set(key, value string) }
+
+// headerGetter is the subset of http.Header Extract needs.
+type headerGetter interface{ Get(key string) string }
+
+// Inject stamps the propagation headers for an outbound hop made while
+// span spanID of trace traceID is open. An empty spanID omits the
+// parent-span header (the hop becomes a remote root) and suppresses the
+// traceparent too: a synthetic parent-id there would make the receiver
+// parent its spans under a span no process ever recorded.
+func Inject(h headerSetter, traceID, spanID string) {
+	if traceID == "" {
+		return
+	}
+	h.Set(TraceIDHeader, traceID)
+	if spanID != "" {
+		h.Set(ParentSpanHeader, spanID)
+	}
+	if isHex(traceID, 32) && isHex(spanID, 16) {
+		h.Set(TraceparentHeader, "00-"+traceID+"-"+spanID+"-01")
+	}
+}
+
+// InjectContext injects the context's current trace and span, if any.
+// The no-trace case is a cheap nil check, so callers on optional-trace
+// paths need no conditionals.
+func InjectContext(ctx context.Context, h headerSetter) {
+	if tr, span := FromContext(ctx); tr != nil {
+		Inject(h, tr.ID(), tr.SpanID(span))
+	}
+}
+
+// Extract recovers (traceID, parentSpanID) from inbound headers. The
+// raw X-Trace-Id wins over the traceparent's trace-id field so the
+// sender and receiver always record the identical join key; traceparent
+// fills in when only W3C headers arrived.
+func Extract(h headerGetter) (traceID, parentSpanID string) {
+	if tp := h.Get(TraceparentHeader); tp != "" {
+		parts := strings.Split(tp, "-")
+		if len(parts) >= 4 && isHex(parts[1], 32) && isHex(parts[2], 16) {
+			traceID, parentSpanID = parts[1], parts[2]
+		}
+	}
+	if id := h.Get(TraceIDHeader); id != "" {
+		traceID = id
+	}
+	if ps := h.Get(ParentSpanHeader); ps != "" {
+		parentSpanID = ps
+	}
+	return traceID, parentSpanID
+}
+
+// isHex reports whether s is exactly n lowercase hex characters.
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
 
 // ctxKey carries a trace plus the current span index through a request.
 type ctxKey struct{}
@@ -236,6 +411,19 @@ func (r *Ring) Add(td *TraceData) {
 	}
 	i := r.next.Add(1) - 1
 	r.slots[i%uint64(len(r.slots))].Store(td)
+}
+
+// Find returns every buffered snapshot whose ID matches, newest first.
+// One process can hold several fragments of the same trace (a request
+// span tree plus a peer artifact fetch it served), so this is a slice.
+func (r *Ring) Find(id string) []*TraceData {
+	var out []*TraceData
+	for _, td := range r.Snapshot(0) {
+		if td.ID == id {
+			out = append(out, td)
+		}
+	}
+	return out
 }
 
 // Snapshot returns up to max traces, newest first (max <= 0 means all).

@@ -228,8 +228,7 @@ func (s *Server) handleGrammarSession(w http.ResponseWriter, r *http.Request) {
 	defer s.gate.exit()
 
 	t0 := time.Now()
-	tr := obs.NewTrace(r.Header.Get("X-Trace-Id"), "grammar-session")
-	reqSpan := tr.StartSpan("request", -1)
+	tr, reqSpan := s.startTrace(r, "grammar-session")
 	w.Header().Set("X-Trace-Id", tr.ID())
 	failMode := ""
 	defer func() { s.finishTrace(tr, reqSpan, failMode, time.Since(t0)) }()
@@ -278,8 +277,7 @@ func (s *Server) handleGrammarNext(w http.ResponseWriter, r *http.Request) {
 	defer s.gate.exit()
 
 	t0 := time.Now()
-	tr := obs.NewTrace(r.Header.Get("X-Trace-Id"), "grammar-next")
-	reqSpan := tr.StartSpan("request", -1)
+	tr, reqSpan := s.startTrace(r, "grammar-next")
 	w.Header().Set("X-Trace-Id", tr.ID())
 	failMode := ""
 	defer func() { s.finishTrace(tr, reqSpan, failMode, time.Since(t0)) }()

@@ -47,6 +47,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -159,6 +160,21 @@ type Options struct {
 	SlowThreshold time.Duration
 	// SlowLog is where slow-request span trees go; nil means stderr.
 	SlowLog io.Writer
+	// Logger, when set, routes slow-request reports through structured
+	// logging (with trace_id attributes) instead of SlowLog.
+	Logger *slog.Logger
+
+	// Process names this process in exported trace fragments
+	// ("cogd@:8481"); empty means "cogd". SetProcess can refine it once
+	// the listen address is known.
+	Process string
+
+	// SLOTarget is the request-latency objective: requests slower than
+	// this burn error budget. <= 0 means 50ms.
+	SLOTarget time.Duration
+	// SLOObjective is the target good-request fraction; out of (0,1)
+	// means 0.99.
+	SLOObjective float64
 }
 
 func (o *Options) fill() {
@@ -202,6 +218,9 @@ func (o *Options) fill() {
 	if o.SlowLog == nil {
 		o.SlowLog = os.Stderr
 	}
+	if o.Process == "" {
+		o.Process = "cogd"
+	}
 }
 
 // Server is the daemon. Build one with New, expose Handler on an
@@ -242,6 +261,24 @@ type Server struct {
 
 	reg  *obs.Registry
 	ring *obs.Ring
+	slo  *obs.SLO
+
+	// process names this daemon in trace fragments; an atomic because
+	// cmd/cogd refines it with the bound port after New has returned.
+	process atomic.Value // string
+}
+
+// SetProcess renames the daemon's trace-fragment process label, for
+// callers that only learn the listen address after construction.
+func (s *Server) SetProcess(p string) {
+	if p != "" {
+		s.process.Store(p)
+	}
+}
+
+func (s *Server) processName() string {
+	p, _ := s.process.Load().(string)
+	return p
 }
 
 // modTarget is one specification's serving state: the instantiated
@@ -307,6 +344,12 @@ func New(opts Options) (*Server, error) {
 		ring:          obs.NewRing(opts.TraceRing),
 	}
 	s.grammar.ttl = opts.GrammarTTL
+	s.process.Store(opts.Process)
+	s.slo = obs.NewSLO(opts.Registry, obs.SLOOptions{
+		Name:      "compile",
+		Threshold: opts.SLOTarget,
+		Objective: opts.SLOObjective,
+	})
 	if err := s.svc.Stats.Publish(opts.StatsName); err != nil {
 		return nil, err
 	}
@@ -468,7 +511,7 @@ func (s *Server) buildMux() {
 	mux.Handle("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.Handle("/v1/traces", s.instrument("/v1/traces", s.handleTraces))
 	mux.Handle(blob.ArtifactPathPrefix,
-		s.instrument("/v1/artifacts", blob.ArtifactHandler(s.artifacts, s.opts.MaxBodyBytes).ServeHTTP))
+		s.instrument("/v1/artifacts", s.traceArtifacts(blob.ArtifactHandler(s.artifacts, s.opts.MaxBodyBytes))))
 	mux.Handle("/debug/vars", expvar.Handler())
 	if s.opts.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -478,6 +521,32 @@ func (s *Server) buildMux() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	s.mux = mux
+}
+
+// traceArtifacts records a server-side trace fragment for artifact
+// requests that arrive carrying propagation headers — a peer's
+// warm fetch or replication PUT. The fragment parents under the peer's
+// blob-get/blob-put span, so a stitched timeline shows the serving side
+// of every cross-replica artifact hop. Untraced requests (startup
+// sweeps, curl) pass through without polluting the ring.
+func (s *Server) traceArtifacts(h http.Handler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tid, parent := obs.Extract(r.Header)
+		if tid == "" {
+			h.ServeHTTP(w, r)
+			return
+		}
+		tr := obs.NewTrace(tid, "artifact")
+		tr.SetProcess(s.processName())
+		if parent != "" {
+			tr.SetRemoteParent(parent)
+		}
+		span := tr.StartSpan("artifact:"+r.Method, -1)
+		w.Header().Set("X-Trace-Id", tr.ID())
+		h.ServeHTTP(w, r)
+		tr.EndSpan(span)
+		s.ring.Add(tr.Snapshot())
+	}
 }
 
 // instrument wraps a handler with per-endpoint HTTP metrics: request
@@ -535,6 +604,11 @@ type TracesResponse struct {
 }
 
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		// One trace's fragments — what cogg trace fans out to collect.
+		writeJSON(w, http.StatusOK, TracesResponse{Traces: s.ring.Find(id)})
+		return
+	}
 	n := 0 // all retained traces
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
@@ -615,8 +689,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	// rejections leave an inspectable (if span-less) record. The ID is
 	// echoed in the header even on errors.
 	t0 := time.Now()
-	tr := obs.NewTrace(r.Header.Get("X-Trace-Id"), "compile")
-	reqSpan := tr.StartSpan("request", -1)
+	tr, reqSpan := s.startTrace(r, "compile")
 	w.Header().Set("X-Trace-Id", tr.ID())
 	failMode := ""
 	defer func() { s.finishTrace(tr, reqSpan, failMode, time.Since(t0)) }()
@@ -698,11 +771,32 @@ func (s *Server) finishTrace(tr *obs.Trace, reqSpan int, failMode string, elapse
 	if failMode != "" {
 		tr.SetFailure(failMode)
 	}
+	s.slo.Observe(elapsed, tr.ID())
 	td := tr.Snapshot()
 	s.ring.Add(td)
 	if s.opts.SlowThreshold > 0 && elapsed >= s.opts.SlowThreshold {
-		fmt.Fprintf(s.opts.SlowLog, "cogd: slow request (%v):\n%s", elapsed, td.Tree())
+		if s.opts.Logger != nil {
+			s.opts.Logger.Warn("slow request",
+				"trace_id", td.ID, "name", td.Name, "elapsed", elapsed.String(),
+				"failure", td.Failure, "spans", len(td.Spans))
+		} else {
+			fmt.Fprintf(s.opts.SlowLog, "cogd: slow request (%v):\n%s", elapsed, td.Tree())
+		}
 	}
+}
+
+// startTrace opens the server's trace fragment for one inbound request:
+// the trace ID and remote parent span come off the propagation headers
+// when the caller sent any (a front's or peer's attempt span), so this
+// fragment stitches under the caller's tree instead of orphaning.
+func (s *Server) startTrace(r *http.Request, name string) (*obs.Trace, int) {
+	tid, parent := obs.Extract(r.Header)
+	tr := obs.NewTrace(tid, name)
+	tr.SetProcess(s.processName())
+	if parent != "" {
+		tr.SetRemoteParent(parent)
+	}
+	return tr, tr.StartSpan("request", -1)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -718,8 +812,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer s.gate.exit()
 
 	t0 := time.Now()
-	tr := obs.NewTrace(r.Header.Get("X-Trace-Id"), "batch")
-	reqSpan := tr.StartSpan("request", -1)
+	tr, reqSpan := s.startTrace(r, "batch")
 	w.Header().Set("X-Trace-Id", tr.ID())
 	failMode := ""
 	defer func() { s.finishTrace(tr, reqSpan, failMode, time.Since(t0)) }()
